@@ -1,0 +1,54 @@
+// Figure 6: touch and mkdir latency, normalized to one network RTT
+// (0.174 ms), as the metadata-server count grows from 1 to 16.
+//
+// Methodology (paper §4.2.1): a single client performs the operations;
+// latency is the per-op mean.  Scale-down: 2,000 items per cell instead of
+// the paper's 1M (documented in EXPERIMENTS.md; single-client latency is
+// insensitive to the item count).
+#include "bench_common.h"
+
+namespace loco::bench {
+namespace {
+
+constexpr int kItems = 2000;
+
+void RunOp(fs::FsOp op, const char* figure_label) {
+  const std::vector<int> server_counts = {1, 2, 4, 8, 16};
+  const std::vector<System> systems = {System::kLocoC,   System::kLocoNC,
+                                       System::kLustreD1, System::kLustreD2,
+                                       System::kCephFs,  System::kGluster};
+  Table table([&] {
+    std::vector<std::string> headers = {"system"};
+    for (int s : server_counts) headers.push_back(std::to_string(s) + " MDS");
+    return headers;
+  }());
+
+  const sim::ClusterConfig cluster = PaperCluster();
+  for (System system : systems) {
+    std::vector<std::string> row = {std::string(SystemName(system))};
+    for (int servers : server_counts) {
+      const double ns =
+          MeanLatencyNs(system, servers, {op}, op, kItems, cluster);
+      row.push_back(RttX(ns));
+    }
+    table.AddRow(std::move(row));
+  }
+  PrintBanner(figure_label,
+              std::string("mean ") + std::string(fs::FsOpName(op)) +
+                  " latency, normalized to one RTT (0.174 ms); 1 client, " +
+                  std::to_string(kItems) + " items");
+  table.Print();
+}
+
+}  // namespace
+}  // namespace loco::bench
+
+int main() {
+  using namespace loco::bench;
+  PrintClusterBanner("Figure 6: touch/mkdir latency vs #metadata servers",
+                     "single-client mdtest; Y = latency / RTT",
+                     PaperCluster());
+  RunOp(loco::fs::FsOp::kCreate, "Figure 6 (top): touch");
+  RunOp(loco::fs::FsOp::kMkdir, "Figure 6 (bottom): mkdir");
+  return 0;
+}

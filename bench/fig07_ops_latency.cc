@@ -1,0 +1,84 @@
+// Figure 7: latency of readdir, rmdir, rm, dir-stat and file-stat with 16
+// metadata servers, normalized to LocoFS-C.
+//
+// Methodology: one client; each op runs over items created by preceding
+// phases (create-phase files populate readdir/rm/stat, mkdir-phase
+// directories populate rmdir/dir-stat).  The readdir directory holds 2,000
+// entries (paper: 10k; scale-down documented in EXPERIMENTS.md).
+#include "bench_common.h"
+
+namespace loco::bench {
+namespace {
+
+constexpr int kItems = 2000;
+constexpr int kServers = 16;
+
+double OpLatency(System system, fs::FsOp op, const sim::ClusterConfig& cluster) {
+  // Build the dependency chain each measured op needs.
+  std::vector<fs::FsOp> phases;
+  switch (op) {
+    case fs::FsOp::kReaddir:
+      phases = {fs::FsOp::kCreate, fs::FsOp::kReaddir};
+      break;
+    case fs::FsOp::kRmdir:
+      phases = {fs::FsOp::kMkdir, fs::FsOp::kRmdir};
+      break;
+    case fs::FsOp::kUnlink:
+      phases = {fs::FsOp::kCreate, fs::FsOp::kUnlink};
+      break;
+    case fs::FsOp::kStatDir:
+      phases = {fs::FsOp::kMkdir, fs::FsOp::kStatDir};
+      break;
+    case fs::FsOp::kStatFile:
+      phases = {fs::FsOp::kCreate, fs::FsOp::kStatFile};
+      break;
+    default:
+      phases = {op};
+  }
+  return MeanLatencyNs(system, kServers, phases, op, kItems, cluster);
+}
+
+}  // namespace
+}  // namespace loco::bench
+
+int main() {
+  using namespace loco::bench;
+  using loco::fs::FsOp;
+  const sim::ClusterConfig cluster = PaperCluster();
+  PrintClusterBanner(
+      "Figure 7: op latency with 16 metadata servers",
+      "single client; values normalized to LocoFS-C (1.00x)", cluster);
+
+  const std::vector<FsOp> ops = {FsOp::kReaddir, FsOp::kRmdir, FsOp::kUnlink,
+                                 FsOp::kStatDir, FsOp::kStatFile};
+  const std::vector<System> systems = {System::kLocoC,   System::kLocoNC,
+                                       System::kLustreD1, System::kLustreD2,
+                                       System::kCephFs,  System::kGluster};
+
+  Table table([&] {
+    std::vector<std::string> headers = {"system"};
+    for (FsOp op : ops) headers.emplace_back(loco::fs::FsOpName(op));
+    return headers;
+  }());
+
+  // LocoFS-C is the normalization base.
+  std::vector<double> base;
+  for (FsOp op : ops) base.push_back(OpLatency(System::kLocoC, op, cluster));
+
+  for (System system : systems) {
+    std::vector<std::string> row = {std::string(SystemName(system))};
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const double ns = OpLatency(system, ops[i], cluster);
+      row.push_back(Table::Num(ns / base[i], 2) + "x");
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf("\nLocoFS-C absolute means: ");
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    std::printf("%s=%s  ", std::string(loco::fs::FsOpName(ops[i])).c_str(),
+                Table::Micros(base[i]).c_str());
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Figure 8: metadata throughput (IOPS) of touch, mkdir, rm, rmdir,
+// file-stat and dir-stat as metadata servers scale from 1 to 16.
+//
+// Methodology (paper §4.2.2): closed-loop clients at the per-configuration
+// optimal client count (Table 3 of the paper supplies the counts used
+// here); each client runs a fixed number of items per phase.  Scale-down:
+// 200 items/client instead of 0.1M (EXPERIMENTS.md).
+#include "bench_common.h"
+
+namespace loco::bench {
+namespace {
+
+constexpr int kItemsPerClient = 200;
+
+// Paper Table 3: optimal #clients per (system, #servers).
+int ClientsFor(System system, int servers) {
+  struct Row {
+    int servers;
+    int loco;    // both LocoFS variants
+    int ceph;    // CephFS and Gluster
+    int lustre;  // both DNE modes
+  };
+  static constexpr Row kRows[] = {
+      {1, 30, 20, 40},   {2, 50, 30, 60},    {4, 70, 50, 90},
+      {8, 120, 70, 120}, {16, 144, 110, 192},
+  };
+  for (const Row& row : kRows) {
+    if (row.servers == servers) {
+      if (IsLocoFs(system)) return row.loco;
+      if (system == System::kCephFs || system == System::kGluster ||
+          system == System::kIndexFs) {
+        return row.ceph;
+      }
+      return row.lustre;
+    }
+  }
+  return 30;
+}
+
+struct Cell {
+  double iops = 0;
+};
+
+}  // namespace
+}  // namespace loco::bench
+
+int main() {
+  using namespace loco::bench;
+  using loco::fs::FsOp;
+  const sim::ClusterConfig cluster = PaperCluster();
+  PrintClusterBanner("Figure 8: throughput vs #metadata servers",
+                     "closed-loop clients at Table-3 counts; absolute IOPS",
+                     cluster);
+
+  const std::vector<int> server_counts = {1, 2, 4, 8, 16};
+  const std::vector<System> systems = {System::kLocoC,   System::kLocoNC,
+                                       System::kLustreD1, System::kCephFs,
+                                       System::kGluster};
+  // Measured phases; each run also performs the prerequisite phases.
+  const std::vector<FsOp> ops = {FsOp::kCreate,   FsOp::kMkdir,
+                                 FsOp::kUnlink,   FsOp::kRmdir,
+                                 FsOp::kStatFile, FsOp::kStatDir};
+
+  for (FsOp op : ops) {
+    Table table([&] {
+      std::vector<std::string> headers = {"system"};
+      for (int s : server_counts) headers.push_back(std::to_string(s) + " MDS");
+      return headers;
+    }());
+    for (System system : systems) {
+      std::vector<std::string> row = {std::string(SystemName(system))};
+      for (int servers : server_counts) {
+        MdtestConfig cfg;
+        cfg.system = system;
+        cfg.metadata_servers = servers;
+        cfg.clients = ClientsFor(system, servers);
+        cfg.items_per_client = kItemsPerClient;
+        cfg.cluster = cluster;
+        // Dependency phases first; measure the final one.
+        switch (op) {
+          case FsOp::kCreate:
+          case FsOp::kMkdir:
+            cfg.phases = {op};
+            break;
+          case FsOp::kUnlink:
+          case FsOp::kStatFile:
+            cfg.phases = {FsOp::kCreate, op};
+            break;
+          case FsOp::kRmdir:
+          case FsOp::kStatDir:
+            cfg.phases = {FsOp::kMkdir, op};
+            break;
+          default:
+            cfg.phases = {op};
+        }
+        const MdtestResult result = RunMdtest(cfg);
+        const PhaseResult* phase = result.Phase(op);
+        row.push_back(phase != nullptr ? Table::Iops(phase->iops) : "-");
+      }
+      table.AddRow(std::move(row));
+    }
+    PrintBanner(std::string("Figure 8: ") + std::string(loco::fs::FsOpName(op)),
+                "IOPS (higher is better)");
+    table.Print();
+  }
+  return 0;
+}

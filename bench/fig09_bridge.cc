@@ -1,0 +1,53 @@
+// Figure 9: bridging the performance gap between file-system metadata and a
+// raw key-value store.
+//
+// The paper's claims to reproduce: with one metadata server LocoFS reaches a
+// large fraction (paper: 38%) of a single-node KV store's throughput, and
+// with enough servers it exceeds the single-node KV line — far earlier than
+// IndexFS-style systems (paper: IndexFS needs ~32 servers; LocoFS ~16).
+#include "bench_common.h"
+
+namespace loco::bench {
+namespace {
+
+double CreateIops(System system, int servers, int clients,
+                  const sim::ClusterConfig& cluster) {
+  MdtestConfig cfg;
+  cfg.system = system;
+  cfg.metadata_servers = servers;
+  cfg.clients = clients;
+  cfg.items_per_client = 200;
+  cfg.phases = {loco::fs::FsOp::kCreate};
+  cfg.cluster = cluster;
+  return RunMdtest(cfg).Phase(loco::fs::FsOp::kCreate)->iops;
+}
+
+}  // namespace
+}  // namespace loco::bench
+
+int main() {
+  using namespace loco::bench;
+  const sim::ClusterConfig cluster = PaperCluster();
+  PrintClusterBanner("Figure 9: bridging the KV gap",
+                     "LocoFS-C / IndexFS create IOPS vs 1-node raw KV",
+                     cluster);
+
+  const double raw_kv = RawKvIops(loco::kv::KvBackend::kBTree, cluster.server);
+  std::printf("raw single-node KV (tree mode): %s IOPS\n\n",
+              Table::Iops(raw_kv).c_str());
+
+  Table table({"servers", "LocoFS-C IOPS", "% of 1-node KV", "IndexFS IOPS",
+               "% of 1-node KV"});
+  for (int servers : {1, 2, 4, 8, 16}) {
+    const int clients = 30 + servers * 8;
+    const double loco = CreateIops(System::kLocoC, servers, clients, cluster);
+    const double indexfs =
+        CreateIops(System::kIndexFs, servers, clients, cluster);
+    table.AddRow({std::to_string(servers), Table::Iops(loco),
+                  Table::Num(100.0 * loco / raw_kv, 1) + "%",
+                  Table::Iops(indexfs),
+                  Table::Num(100.0 * indexfs / raw_kv, 1) + "%"});
+  }
+  table.Print();
+  return 0;
+}

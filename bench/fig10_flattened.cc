@@ -1,0 +1,67 @@
+// Figure 10: effect of the flattened directory tree — metadata latency with
+// the client co-located with its (single) metadata server, i.e. zero
+// network round-trip time.
+//
+// With the network removed, the remaining latency is software path length;
+// the paper's finding to reproduce is that LocoFS has the shortest software
+// path (shorter than IndexFS, which in turn beats CephFS/Gluster), so a
+// faster network helps LocoFS the most (§4.2.4).
+#include "bench_common.h"
+
+namespace loco::bench {
+namespace {
+
+sim::ClusterConfig ColocatedCluster() {
+  sim::ClusterConfig cfg = PaperCluster();
+  cfg.net.rtt = 0;
+  cfg.net.per_message_ns = 0;
+  cfg.net.bandwidth_bps = 0;  // no transfer term
+  cfg.client.per_op_ns = 0;
+  cfg.client.per_connection_ns = 0;
+  cfg.client.connection_setup_ns = 0;
+  return cfg;
+}
+
+}  // namespace
+}  // namespace loco::bench
+
+int main() {
+  using namespace loco::bench;
+  using loco::fs::FsOp;
+  const sim::ClusterConfig cluster = ColocatedCluster();
+  PrintClusterBanner("Figure 10: flattened directory tree effect",
+                     "client co-located with one metadata server (RTT = 0); "
+                     "absolute latency",
+                     cluster);
+
+  const std::vector<System> systems = {System::kLocoC,  System::kIndexFs,
+                                       System::kCephFs, System::kGluster,
+                                       System::kLustreD1};
+  const std::vector<FsOp> ops = {FsOp::kMkdir, FsOp::kRmdir, FsOp::kCreate,
+                                 FsOp::kUnlink};
+
+  Table table([&] {
+    std::vector<std::string> headers = {"system"};
+    for (FsOp op : ops) headers.emplace_back(loco::fs::FsOpName(op));
+    return headers;
+  }());
+
+  for (System system : systems) {
+    std::vector<std::string> row = {std::string(SystemName(system))};
+    for (FsOp op : ops) {
+      std::vector<FsOp> phases;
+      if (op == FsOp::kRmdir) {
+        phases = {FsOp::kMkdir, FsOp::kRmdir};
+      } else if (op == FsOp::kUnlink) {
+        phases = {FsOp::kCreate, FsOp::kUnlink};
+      } else {
+        phases = {op};
+      }
+      const double ns = MeanLatencyNs(system, 1, phases, op, 2000, cluster);
+      row.push_back(Table::Micros(ns));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  return 0;
+}

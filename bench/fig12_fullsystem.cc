@@ -1,0 +1,91 @@
+// Figure 12: full-system write and read latency vs I/O size (512 B - 4 MiB)
+// with 16 metadata servers.
+//
+// Workload: each file is created, written with one fixed-size I/O, then
+// read back (paper: create + read/write + close over 1000 files).  The
+// shape to reproduce: LocoFS wins clearly at small I/O (metadata cost
+// dominates) and the systems converge at large I/O (data transfer
+// dominates); the crossover sits around ~1 MiB for writes / ~256 KiB for
+// reads in the paper.
+#include "bench_common.h"
+
+namespace loco::bench {
+namespace {
+
+constexpr int kServers = 16;
+constexpr int kFiles = 100;  // paper: 1000 (scale-down in EXPERIMENTS.md)
+
+struct IoLatency {
+  double write_ns;
+  double read_ns;
+};
+
+IoLatency Measure(System system, std::uint64_t io_bytes,
+                  const sim::ClusterConfig& cluster) {
+  MdtestConfig cfg;
+  cfg.system = system;
+  cfg.metadata_servers = kServers;
+  cfg.clients = 1;
+  cfg.items_per_client = kFiles;
+  cfg.io_bytes = io_bytes;
+  cfg.phases = {loco::fs::FsOp::kCreate, loco::fs::FsOp::kWrite,
+                loco::fs::FsOp::kRead};
+  cfg.cluster = cluster;
+  // Payloads are modeled, not retained: this bench pushes GiBs through the
+  // store and only the device/network timing matters.
+  cfg.deploy.object_retain_data = false;
+  const MdtestResult result = RunMdtest(cfg);
+  return IoLatency{result.Phase(loco::fs::FsOp::kWrite)->latency.Mean(),
+                   result.Phase(loco::fs::FsOp::kRead)->latency.Mean()};
+}
+
+}  // namespace
+}  // namespace loco::bench
+
+int main() {
+  using namespace loco::bench;
+  const sim::ClusterConfig cluster = PaperCluster();
+  PrintClusterBanner("Figure 12: full-system read/write latency vs I/O size",
+                     "create+write+read per file; 16 metadata servers",
+                     cluster);
+
+  const std::vector<std::uint64_t> sizes = {512,       4096,      65536,
+                                            262144,    1 << 20,   4u << 20};
+  const std::vector<System> systems = {System::kLocoC, System::kCephFs,
+                                       System::kGluster, System::kLustreD1};
+
+  // Measure every cell once; print as two tables.
+  std::vector<std::vector<IoLatency>> grid;
+  for (System system : systems) {
+    std::vector<IoLatency> row;
+    for (std::uint64_t size : sizes) row.push_back(Measure(system, size, cluster));
+    grid.push_back(std::move(row));
+  }
+
+  auto size_header = [&] {
+    std::vector<std::string> headers = {"system"};
+    for (std::uint64_t s : sizes) {
+      headers.push_back(s >= (1u << 20)
+                            ? std::to_string(s >> 20) + "MiB"
+                            : (s >= 1024 ? std::to_string(s >> 10) + "KiB"
+                                         : std::to_string(s) + "B"));
+    }
+    return headers;
+  };
+
+  for (const bool is_write : {true, false}) {
+    Table table(size_header());
+    for (std::size_t r = 0; r < systems.size(); ++r) {
+      std::vector<std::string> row = {std::string(SystemName(systems[r]))};
+      for (std::size_t c = 0; c < sizes.size(); ++c) {
+        row.push_back(Table::Micros(is_write ? grid[r][c].write_ns
+                                             : grid[r][c].read_ns));
+      }
+      table.AddRow(std::move(row));
+    }
+    PrintBanner(std::string("Figure 12: ") + (is_write ? "write" : "read") +
+                " latency");
+    table.Print();
+  }
+  return 0;
+}

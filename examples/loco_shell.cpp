@@ -1,0 +1,154 @@
+// loco_shell: an interactive shell over an in-process LocoFS deployment.
+//
+// Commands:
+//   mkdir <path>            rmdir <path>         ls <path>
+//   touch <path>            rm <path>            mv <from> <to>
+//   write <path> <text>     cat <path>           stat <path>
+//   chmod <octal> <path>    su <uid> <gid>       cache
+//   help                    quit
+//
+// Reads from stdin; EOF exits, so it is safe to pipe a script in:
+//   printf 'mkdir /a\ntouch /a/f\nls /a\n' | ./build/examples/loco_shell
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/client.h"
+#include "core/dms.h"
+#include "core/fms.h"
+#include "core/object_store.h"
+#include "net/inproc.h"
+#include "net/task.h"
+
+using namespace loco;
+
+namespace {
+
+void PrintStatus(const Status& st) {
+  std::printf("%s\n", st.ok() ? "ok" : st.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  net::InProcTransport transport;
+  core::DirectoryMetadataServer dms;
+  transport.Register(0, &dms);
+  std::vector<std::unique_ptr<core::FileMetadataServer>> fms;
+  std::vector<net::NodeId> fms_nodes;
+  for (int i = 0; i < 4; ++i) {
+    core::FileMetadataServer::Options options;
+    options.sid = static_cast<std::uint32_t>(i + 1);
+    fms.push_back(std::make_unique<core::FileMetadataServer>(options));
+    transport.Register(1 + static_cast<net::NodeId>(i), fms.back().get());
+    fms_nodes.push_back(1 + static_cast<net::NodeId>(i));
+  }
+  core::ObjectStoreServer object_store;
+  transport.Register(100, &object_store);
+
+  std::uint64_t clock = 0;
+  core::LocoClient::Config cfg;
+  cfg.dms = 0;
+  cfg.fms = fms_nodes;
+  cfg.object_stores = {100};
+  cfg.now = [&clock] { return ++clock; };
+  core::LocoClient client(transport, cfg);
+  client.SetIdentity(fs::Identity{1000, 1000});
+
+  std::printf("LocoFS shell — 1 DMS + 4 FMS in-process; 'help' for commands\n");
+  std::string line;
+  while (std::printf("loco> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+
+    if (cmd == "help") {
+      std::printf(
+          "mkdir rmdir ls touch rm mv write cat stat chmod su cache quit\n");
+    } else if (cmd == "mkdir" || cmd == "rmdir" || cmd == "touch" ||
+               cmd == "rm") {
+      std::string path;
+      in >> path;
+      if (cmd == "mkdir") {
+        PrintStatus(net::RunInline(client.Mkdir(path, 0755)));
+      } else if (cmd == "rmdir") {
+        PrintStatus(net::RunInline(client.Rmdir(path)));
+      } else if (cmd == "touch") {
+        PrintStatus(net::RunInline(client.Create(path, 0644)));
+      } else {
+        PrintStatus(net::RunInline(client.Unlink(path)));
+      }
+    } else if (cmd == "ls") {
+      std::string path;
+      in >> path;
+      if (path.empty()) path = "/";
+      auto entries = net::RunInline(client.Readdir(path));
+      if (!entries.ok()) {
+        PrintStatus(entries.status());
+        continue;
+      }
+      for (const fs::DirEntry& e : *entries) {
+        std::printf("%s%s\n", e.name.c_str(), e.is_dir ? "/" : "");
+      }
+    } else if (cmd == "mv") {
+      std::string from, to;
+      in >> from >> to;
+      PrintStatus(net::RunInline(client.Rename(from, to)));
+    } else if (cmd == "write") {
+      std::string path;
+      in >> path;
+      std::string text;
+      std::getline(in, text);
+      if (!text.empty() && text.front() == ' ') text.erase(0, 1);
+      PrintStatus(net::RunInline(client.Write(path, 0, text)));
+    } else if (cmd == "cat") {
+      std::string path;
+      in >> path;
+      auto data = net::RunInline(client.Read(path, 0, 1 << 20));
+      if (!data.ok()) {
+        PrintStatus(data.status());
+      } else {
+        std::printf("%s\n", data->c_str());
+      }
+    } else if (cmd == "stat") {
+      std::string path;
+      in >> path;
+      auto attr = net::RunInline(client.Stat(path));
+      if (!attr.ok()) {
+        PrintStatus(attr.status());
+      } else {
+        std::printf("%s mode=%o uid=%u gid=%u size=%llu uuid=sid%u/fid%llu\n",
+                    attr->is_dir ? "dir " : "file", attr->mode, attr->uid,
+                    attr->gid, static_cast<unsigned long long>(attr->size),
+                    attr->uuid.sid(),
+                    static_cast<unsigned long long>(attr->uuid.fid()));
+      }
+    } else if (cmd == "chmod") {
+      std::string octal, path;
+      in >> octal >> path;
+      PrintStatus(net::RunInline(client.Chmod(
+          path, static_cast<std::uint32_t>(std::strtoul(octal.c_str(),
+                                                        nullptr, 8)))));
+    } else if (cmd == "su") {
+      std::uint32_t uid = 0, gid = 0;
+      in >> uid >> gid;
+      client.SetIdentity(fs::Identity{uid, gid});
+      std::printf("identity now uid=%u gid=%u\n", uid, gid);
+    } else if (cmd == "cache") {
+      std::printf("d-inode cache: %zu entries, %llu hits, %llu misses\n",
+                  client.cache_size(),
+                  static_cast<unsigned long long>(client.cache_hits()),
+                  static_cast<unsigned long long>(client.cache_misses()));
+    } else {
+      std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+    }
+  }
+  std::printf("\nbye\n");
+  return 0;
+}

@@ -1,0 +1,674 @@
+#include "baselines/client.h"
+
+#include <algorithm>
+#include <set>
+
+#include "baselines/proto.h"
+#include "core/proto.h"
+#include "common/hash.h"
+#include "fs/path.h"
+#include "fs/wire.h"
+
+namespace loco::baselines {
+
+namespace {
+
+constexpr std::uint64_t kPlacementSeed = 0xB45E;
+
+Result<fs::Attr> AttrFrom(const net::RpcResponse& resp) {
+  if (!resp.ok()) return ErrStatus(resp.code);
+  fs::Attr attr;
+  if (!fs::Unpack(resp.payload, attr)) return ErrStatus(ErrCode::kCorruption);
+  return attr;
+}
+
+Status StatusFrom(const net::RpcResponse& resp) { return Status(resp.code); }
+
+fs::Attr RootAttr() {
+  fs::Attr attr;
+  attr.is_dir = true;
+  attr.mode = 0777;
+  attr.uuid = fs::kRootUuid;
+  return attr;
+}
+
+std::string_view FirstComponent(const std::string& path) {
+  const std::size_t end = path.find('/', 1);
+  return std::string_view(path).substr(1, end == std::string::npos
+                                              ? std::string::npos
+                                              : end - 1);
+}
+
+}  // namespace
+
+BaselineFsClient::BaselineFsClient(net::Channel& channel, Config config)
+    : channel_(channel), cfg_(std::move(config)) {}
+
+net::NodeId BaselineFsClient::Owner(const std::string& path) const {
+  const std::size_t n = ServerCount();
+  switch (cfg_.policy.flavor) {
+    case Flavor::kIndexFs:
+    case Flavor::kLustreD2:
+    case Flavor::kGluster:
+      return cfg_.servers[common::WyMix(path, kPlacementSeed) % n];
+    case Flavor::kCephFs: {
+      const std::string parent =
+          path == "/" ? std::string("/") : std::string(fs::ParentPath(path));
+      return cfg_.servers[common::WyMix(parent, kPlacementSeed) % n];
+    }
+    case Flavor::kLustreD1: {
+      if (path == "/") return cfg_.servers[0];
+      return cfg_.servers[common::WyMix(FirstComponent(path), kPlacementSeed) % n];
+    }
+  }
+  return cfg_.servers[0];
+}
+
+net::NodeId BaselineFsClient::ChildrenOwner(const std::string& path) const {
+  switch (cfg_.policy.flavor) {
+    case Flavor::kCephFs:
+      // Children records (and the list) live on hash(dir).
+      return cfg_.servers[common::WyMix(path, kPlacementSeed) % ServerCount()];
+    case Flavor::kLustreD1:
+      // Subtree-pinned: children share the directory's MDT.
+      return Owner(path == "/" ? std::string("/") : path);
+    default:
+      return Owner(path);
+  }
+}
+
+void BaselineFsClient::CachePut(const std::string& path, const fs::Attr& attr) {
+  const bool allow = attr.is_dir ? cfg_.policy.cache_dirs : cfg_.policy.cache_files;
+  if (!allow || path == "/") return;
+  cache_[path] = CacheEntry{attr, Now() + cfg_.policy.lease_ns};
+}
+
+void BaselineFsClient::InvalidatePrefix(const std::string& path) {
+  const std::string prefix = path + "/";
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (it->first == path || it->first.rfind(prefix, 0) == 0) {
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+net::Task<Result<fs::Attr>> BaselineFsClient::FetchNode(std::string path) {
+  if (path == "/") co_return RootAttr();
+  const auto it = cache_.find(path);
+  if (it != cache_.end() && Now() < it->second.expires_at) {
+    ++cache_hits_;
+    co_return it->second.attr;
+  }
+  if (cfg_.policy.cache_dirs || cfg_.policy.cache_files) ++cache_misses_;
+  net::RpcResponse resp =
+      co_await net::Call(channel_, Owner(path), proto::kNsGet, fs::Pack(path));
+  auto attr = AttrFrom(resp);
+  if (attr.ok()) CachePut(path, *attr);
+  co_return attr;
+}
+
+net::Task<Result<fs::Attr>> BaselineFsClient::ResolveNode(std::string path,
+                                                          std::uint32_t want) {
+  if (!fs::IsValidPath(path)) co_return ErrStatus(ErrCode::kInvalid);
+  if (cfg_.policy.server_resolve) {
+    net::RpcResponse resp =
+        co_await net::Call(channel_, Owner(path), proto::kNsResolve,
+                           fs::Pack(path, identity_, want));
+    co_return AttrFrom(resp);
+  }
+  for (const std::string& ancestor : fs::Ancestors(path)) {
+    auto attr = co_await FetchNode(ancestor);
+    if (!attr.ok()) co_return attr.status();
+    if (!attr->is_dir) co_return ErrStatus(ErrCode::kNotDir);
+    if (!fs::CheckPermission(identity_, attr->mode, attr->uid, attr->gid,
+                             fs::kModeExec)) {
+      co_return ErrStatus(ErrCode::kPermission);
+    }
+  }
+  auto target = co_await FetchNode(path);
+  if (!target.ok()) co_return target.status();
+  if (want != 0 && !fs::CheckPermission(identity_, target->mode, target->uid,
+                                        target->gid, want)) {
+    co_return ErrStatus(ErrCode::kPermission);
+  }
+  co_return target;
+}
+
+net::Task<Status> BaselineFsClient::Broadcast(std::uint16_t opcode,
+                                              std::string payload) {
+  std::vector<net::NodeId> servers = cfg_.servers;
+  auto responses =
+      co_await net::CallMany(channel_, std::move(servers), opcode,
+                             std::move(payload));
+  for (const net::RpcResponse& r : responses) {
+    if (!r.ok()) co_return ErrStatus(r.code);
+  }
+  co_return OkStatus();
+}
+
+// ------------------------------------------------------------- namespace --
+
+net::Task<Status> BaselineFsClient::Mkdir(std::string path, std::uint32_t mode) {
+  if (!fs::IsValidPath(path) || path == "/") {
+    co_return ErrStatus(ErrCode::kInvalid);
+  }
+  const std::uint64_t ts = Now();
+  fs::Attr attr;
+  attr.is_dir = true;
+  attr.mode = mode;
+  attr.uid = identity_.uid;
+  attr.gid = identity_.gid;
+  attr.ctime = attr.mtime = attr.atime = ts;
+
+  if (cfg_.policy.broadcast_dir_mutations) {
+    // Replicated directories must agree on the uuid: derive it from the path.
+    attr.uuid = fs::Uuid::Make(0xaaa, common::WyMix(path, 0xd1d) >> 16);
+    if (cfg_.policy.mkdir_lock_rounds) {
+      // Entry locks are acquired brick-by-brick in server order (the
+      // standard deadlock-avoidance protocol) — one round trip per brick.
+      // This sequential lock phase is what makes directory creation degrade
+      // as bricks are added (§4.2.1: Gluster's mkdir latency).
+      for (net::NodeId server : cfg_.servers) {
+        net::RpcResponse lock =
+            co_await net::Call(channel_, server, proto::kNsLock,
+                               fs::Pack(path, cfg_.client_id));
+        if (!lock.ok()) {
+          co_await Broadcast(proto::kNsUnlock, fs::Pack(path, cfg_.client_id));
+          co_return StatusFrom(lock);
+        }
+      }
+    }
+    const Status st = co_await Broadcast(
+        proto::kNsInsert, fs::Pack(std::uint8_t{1}, path, attr, identity_));
+    if (cfg_.policy.mkdir_lock_rounds) {
+      co_await Broadcast(proto::kNsUnlock, fs::Pack(path, cfg_.client_id));
+    }
+    co_return st;
+  }
+
+  auto parent = co_await ResolveNode(std::string(fs::ParentPath(path)),
+                                     fs::kModeWrite | fs::kModeExec);
+  if (!parent.ok()) co_return parent.status();
+  const net::NodeId owner = Owner(path);
+  if (cfg_.policy.per_op_lock) {
+    net::RpcResponse lock = co_await net::Call(channel_, owner, proto::kNsLock,
+                                               fs::Pack(path, cfg_.client_id));
+    if (!lock.ok()) co_return StatusFrom(lock);
+  }
+  net::RpcResponse resp = co_await net::Call(
+      channel_, owner, proto::kNsInsert,
+      fs::Pack(std::uint8_t{0}, path, attr, identity_));
+  if (cfg_.policy.per_op_lock) {
+    co_await net::Call(channel_, owner, proto::kNsUnlock,
+                       fs::Pack(path, cfg_.client_id));
+  }
+  co_return StatusFrom(resp);
+}
+
+net::Task<Status> BaselineFsClient::Create(std::string path, std::uint32_t mode) {
+  if (!fs::IsValidPath(path) || path == "/") {
+    co_return ErrStatus(ErrCode::kInvalid);
+  }
+  const std::uint64_t ts = Now();
+  fs::Attr attr;
+  attr.is_dir = false;
+  attr.mode = mode;
+  attr.uid = identity_.uid;
+  attr.gid = identity_.gid;
+  attr.ctime = attr.mtime = attr.atime = ts;
+  attr.block_size = 4096;
+
+  const net::NodeId owner = Owner(path);
+  if (cfg_.policy.server_resolve) {
+    // No client cache: the parent directory is revalidated on every brick,
+    // then the fresh name is probed everywhere (DHT "lookup everywhere")
+    // before the create is sent to its hash brick.  These rounds are what
+    // make Gluster creates slow — and slower as bricks are added (§4.2.1).
+    std::vector<net::NodeId> parent_round = cfg_.servers;
+    (void)co_await net::CallMany(channel_, std::move(parent_round),
+                                 proto::kNsGet,
+                                 fs::Pack(std::string(fs::ParentPath(path))));
+    std::vector<net::NodeId> servers = cfg_.servers;
+    (void)co_await net::CallMany(channel_, std::move(servers), proto::kNsGet,
+                                 fs::Pack(path));
+    net::RpcResponse resp = co_await net::Call(
+        channel_, owner, proto::kNsInsert,
+        fs::Pack(std::uint8_t{1}, path, attr, identity_));
+    co_return StatusFrom(resp);
+  }
+  auto parent = co_await ResolveNode(std::string(fs::ParentPath(path)),
+                                     fs::kModeWrite | fs::kModeExec);
+  if (!parent.ok()) co_return parent.status();
+  if (cfg_.policy.per_op_lock) {
+    net::RpcResponse lock = co_await net::Call(channel_, owner, proto::kNsLock,
+                                               fs::Pack(path, cfg_.client_id));
+    if (!lock.ok()) co_return StatusFrom(lock);
+  }
+  net::RpcResponse resp = co_await net::Call(
+      channel_, owner, proto::kNsInsert,
+      fs::Pack(std::uint8_t{0}, path, attr, identity_));
+  if (cfg_.policy.per_op_lock) {
+    co_await net::Call(channel_, owner, proto::kNsUnlock,
+                       fs::Pack(path, cfg_.client_id));
+  }
+  co_return StatusFrom(resp);
+}
+
+net::Task<Status> BaselineFsClient::Unlink(std::string path) {
+  if (!fs::IsValidPath(path) || path == "/") {
+    co_return ErrStatus(ErrCode::kInvalid);
+  }
+  const net::NodeId owner = Owner(path);
+  if (cfg_.policy.server_resolve) {
+    net::RpcResponse resp = co_await net::Call(
+        channel_, owner, proto::kNsRemove,
+        fs::Pack(std::uint8_t{1}, path, identity_, std::uint8_t{0},
+                 std::uint8_t{0}));
+    co_return StatusFrom(resp);
+  }
+  auto parent = co_await ResolveNode(std::string(fs::ParentPath(path)),
+                                     fs::kModeWrite | fs::kModeExec);
+  if (!parent.ok()) co_return parent.status();
+  if (cfg_.policy.per_op_lock) {
+    net::RpcResponse lock = co_await net::Call(channel_, owner, proto::kNsLock,
+                                               fs::Pack(path, cfg_.client_id));
+    if (!lock.ok()) co_return StatusFrom(lock);
+  }
+  net::RpcResponse resp = co_await net::Call(
+      channel_, owner, proto::kNsRemove,
+      fs::Pack(std::uint8_t{0}, path, identity_, std::uint8_t{0},
+               std::uint8_t{0}));
+  if (cfg_.policy.per_op_lock) {
+    co_await net::Call(channel_, owner, proto::kNsUnlock,
+                       fs::Pack(path, cfg_.client_id));
+  }
+  Invalidate(path);
+  co_return StatusFrom(resp);
+}
+
+net::Task<Status> BaselineFsClient::Rmdir(std::string path) {
+  if (!fs::IsValidPath(path) || path == "/") {
+    co_return ErrStatus(ErrCode::kInvalid);
+  }
+  // Contract order: chain/existence, type, emptiness, parent-W, removal.
+  auto dir = co_await ResolveNode(path, 0);
+  if (!dir.ok()) co_return dir.status();
+  if (!dir->is_dir) co_return ErrStatus(ErrCode::kNotDir);
+
+  if (cfg_.policy.readdir_fanout ||
+      (cfg_.policy.flavor == Flavor::kLustreD1 &&
+       fs::ParentPath(path) == "/")) {
+    std::vector<net::NodeId> servers = cfg_.servers;
+    auto responses = co_await net::CallMany(channel_, std::move(servers),
+                                            proto::kNsHasChildren,
+                                            fs::Pack(path));
+    for (const net::RpcResponse& r : responses) {
+      if (!r.ok()) co_return ErrStatus(r.code);
+    }
+  } else {
+    net::RpcResponse resp = co_await net::Call(
+        channel_, ChildrenOwner(path), proto::kNsHasChildren, fs::Pack(path));
+    if (!resp.ok()) co_return StatusFrom(resp);
+  }
+
+  if (cfg_.policy.broadcast_dir_mutations) {
+    const Status st = co_await Broadcast(
+        proto::kNsRemove, fs::Pack(std::uint8_t{1}, path, identity_,
+                                   std::uint8_t{1}, std::uint8_t{1}));
+    co_return st;
+  }
+  auto parent = co_await ResolveNode(std::string(fs::ParentPath(path)), 0);
+  if (!parent.ok()) co_return parent.status();
+  if (!fs::CheckPermission(identity_, parent->mode, parent->uid, parent->gid,
+                           fs::kModeWrite)) {
+    co_return ErrStatus(ErrCode::kPermission);
+  }
+  const net::NodeId owner = Owner(path);
+  if (cfg_.policy.per_op_lock) {
+    net::RpcResponse lock = co_await net::Call(channel_, owner, proto::kNsLock,
+                                               fs::Pack(path, cfg_.client_id));
+    if (!lock.ok()) co_return StatusFrom(lock);
+  }
+  net::RpcResponse resp = co_await net::Call(
+      channel_, owner, proto::kNsRemove,
+      fs::Pack(std::uint8_t{0}, path, identity_, std::uint8_t{1},
+               std::uint8_t{1}));
+  if (cfg_.policy.per_op_lock) {
+    co_await net::Call(channel_, owner, proto::kNsUnlock,
+                       fs::Pack(path, cfg_.client_id));
+  }
+  InvalidatePrefix(path);
+  co_return StatusFrom(resp);
+}
+
+net::Task<Result<std::vector<fs::DirEntry>>> BaselineFsClient::Readdir(
+    std::string path) {
+  auto dir = co_await ResolveNode(path, 0);
+  if (!dir.ok()) co_return dir.status();
+  if (!dir->is_dir) co_return ErrStatus(ErrCode::kNotDir);
+  if (!fs::CheckPermission(identity_, dir->mode, dir->uid, dir->gid,
+                           fs::kModeRead)) {
+    co_return ErrStatus(ErrCode::kPermission);
+  }
+
+  std::vector<fs::DirEntry> entries;
+  const bool fanout = cfg_.policy.readdir_fanout ||
+                      (cfg_.policy.flavor == Flavor::kLustreD1 && path == "/");
+  if (fanout) {
+    std::vector<net::NodeId> servers = cfg_.servers;
+    auto responses = co_await net::CallMany(channel_, std::move(servers),
+                                            proto::kNsChildren, fs::Pack(path));
+    std::set<std::string> seen;  // replicated dirs appear on every server
+    for (const net::RpcResponse& r : responses) {
+      if (!r.ok()) co_return ErrStatus(r.code);
+      std::vector<fs::DirEntry> part;
+      if (!fs::Unpack(r.payload, part)) co_return ErrStatus(ErrCode::kCorruption);
+      for (fs::DirEntry& e : part) {
+        if (seen.insert(e.name).second) entries.push_back(std::move(e));
+      }
+    }
+  } else {
+    net::RpcResponse resp = co_await net::Call(
+        channel_, ChildrenOwner(path), proto::kNsChildren, fs::Pack(path));
+    if (!resp.ok()) co_return ErrStatus(resp.code);
+    if (!fs::Unpack(resp.payload, entries)) {
+      co_return ErrStatus(ErrCode::kCorruption);
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const fs::DirEntry& a, const fs::DirEntry& b) {
+              return a.name < b.name;
+            });
+  co_return entries;
+}
+
+// ------------------------------------------------------------ attributes --
+
+net::Task<Result<fs::Attr>> BaselineFsClient::Stat(std::string path) {
+  co_return co_await ResolveNode(std::move(path), 0);
+}
+
+net::Task<Status> BaselineFsClient::Chmod(std::string path, std::uint32_t mode) {
+  if (!fs::IsValidPath(path)) co_return ErrStatus(ErrCode::kInvalid);
+  const std::uint64_t ts = Now();
+  if (cfg_.policy.server_resolve) {
+    // Directory mutations must reach every replica.
+    net::RpcResponse probe =
+        co_await net::Call(channel_, Owner(path), proto::kNsGet, fs::Pack(path));
+    auto attr = AttrFrom(probe);
+    if (attr.ok() && attr->is_dir && cfg_.policy.broadcast_dir_mutations) {
+      co_return co_await Broadcast(
+          proto::kNsChmod,
+          fs::Pack(std::uint8_t{1}, path, identity_, mode, ts));
+    }
+    net::RpcResponse resp = co_await net::Call(
+        channel_, Owner(path), proto::kNsChmod,
+        fs::Pack(std::uint8_t{1}, path, identity_, mode, ts));
+    co_return StatusFrom(resp);
+  }
+  if (path != "/") {
+    auto parent = co_await ResolveNode(std::string(fs::ParentPath(path)),
+                                       fs::kModeExec);
+    if (!parent.ok()) co_return parent.status();
+  }
+  net::RpcResponse resp = co_await net::Call(
+      channel_, Owner(path), proto::kNsChmod,
+      fs::Pack(std::uint8_t{0}, path, identity_, mode, ts));
+  if (resp.ok()) InvalidatePrefix(path);
+  co_return StatusFrom(resp);
+}
+
+net::Task<Status> BaselineFsClient::Chown(std::string path, std::uint32_t uid,
+                                          std::uint32_t gid) {
+  if (!fs::IsValidPath(path)) co_return ErrStatus(ErrCode::kInvalid);
+  const std::uint64_t ts = Now();
+  if (cfg_.policy.server_resolve) {
+    net::RpcResponse probe =
+        co_await net::Call(channel_, Owner(path), proto::kNsGet, fs::Pack(path));
+    auto attr = AttrFrom(probe);
+    if (attr.ok() && attr->is_dir && cfg_.policy.broadcast_dir_mutations) {
+      co_return co_await Broadcast(
+          proto::kNsChown,
+          fs::Pack(std::uint8_t{1}, path, identity_, uid, gid, ts));
+    }
+    net::RpcResponse resp = co_await net::Call(
+        channel_, Owner(path), proto::kNsChown,
+        fs::Pack(std::uint8_t{1}, path, identity_, uid, gid, ts));
+    co_return StatusFrom(resp);
+  }
+  if (path != "/") {
+    auto parent = co_await ResolveNode(std::string(fs::ParentPath(path)),
+                                       fs::kModeExec);
+    if (!parent.ok()) co_return parent.status();
+  }
+  net::RpcResponse resp = co_await net::Call(
+      channel_, Owner(path), proto::kNsChown,
+      fs::Pack(std::uint8_t{0}, path, identity_, uid, gid, ts));
+  if (resp.ok()) InvalidatePrefix(path);
+  co_return StatusFrom(resp);
+}
+
+net::Task<Status> BaselineFsClient::Utimens(std::string path,
+                                            std::uint64_t mtime,
+                                            std::uint64_t atime) {
+  if (!fs::IsValidPath(path)) co_return ErrStatus(ErrCode::kInvalid);
+  if (cfg_.policy.server_resolve) {
+    net::RpcResponse probe =
+        co_await net::Call(channel_, Owner(path), proto::kNsGet, fs::Pack(path));
+    auto attr = AttrFrom(probe);
+    if (attr.ok() && attr->is_dir && cfg_.policy.broadcast_dir_mutations) {
+      co_return co_await Broadcast(
+          proto::kNsUtimens,
+          fs::Pack(std::uint8_t{1}, path, identity_, mtime, atime));
+    }
+    net::RpcResponse resp = co_await net::Call(
+        channel_, Owner(path), proto::kNsUtimens,
+        fs::Pack(std::uint8_t{1}, path, identity_, mtime, atime));
+    co_return StatusFrom(resp);
+  }
+  if (path != "/") {
+    auto parent = co_await ResolveNode(std::string(fs::ParentPath(path)),
+                                       fs::kModeExec);
+    if (!parent.ok()) co_return parent.status();
+  }
+  net::RpcResponse resp = co_await net::Call(
+      channel_, Owner(path), proto::kNsUtimens,
+      fs::Pack(std::uint8_t{0}, path, identity_, mtime, atime));
+  if (resp.ok()) InvalidatePrefix(path);
+  co_return StatusFrom(resp);
+}
+
+net::Task<Status> BaselineFsClient::Access(std::string path, std::uint32_t want) {
+  auto attr = co_await ResolveNode(std::move(path), want);
+  co_return attr.status();
+}
+
+net::Task<Result<fs::Attr>> BaselineFsClient::Open(std::string path) {
+  auto attr = co_await ResolveNode(std::move(path), 0);
+  if (!attr.ok()) co_return attr;
+  if (attr->is_dir) co_return ErrStatus(ErrCode::kIsDir);
+  if (!fs::CheckPermission(identity_, attr->mode, attr->uid, attr->gid,
+                           fs::kModeRead)) {
+    co_return ErrStatus(ErrCode::kPermission);
+  }
+  co_return attr;
+}
+
+net::Task<Status> BaselineFsClient::Close(std::string path) {
+  (void)path;
+  co_return OkStatus();
+}
+
+// ------------------------------------------------------------------ data --
+
+net::Task<Status> BaselineFsClient::Truncate(std::string path,
+                                             std::uint64_t size) {
+  if (!fs::IsValidPath(path) || path == "/") {
+    co_return ErrStatus(path == "/" ? ErrCode::kIsDir : ErrCode::kInvalid);
+  }
+  if (!cfg_.policy.server_resolve) {
+    auto parent = co_await ResolveNode(std::string(fs::ParentPath(path)),
+                                       fs::kModeExec);
+    if (!parent.ok()) co_return parent.status();
+  }
+  const std::uint8_t resolve = cfg_.policy.server_resolve ? 1 : 0;
+  net::RpcResponse resp = co_await net::Call(
+      channel_, Owner(path), proto::kNsSetSize,
+      fs::Pack(resolve, path, identity_, size, std::uint8_t{1}, Now()));
+  if (!resp.ok()) co_return StatusFrom(resp);
+  Invalidate(path);
+  fs::Uuid uuid;
+  std::uint64_t new_size = 0;
+  if (!fs::Unpack(resp.payload, uuid, new_size)) {
+    co_return ErrStatus(ErrCode::kCorruption);
+  }
+  net::RpcResponse obj = co_await net::Call(
+      channel_, ObjFor(uuid), core::proto::kObjTruncate, fs::Pack(uuid, size));
+  co_return StatusFrom(obj);
+}
+
+net::Task<Status> BaselineFsClient::Write(std::string path, std::uint64_t offset,
+                                          std::string data) {
+  if (!fs::IsValidPath(path) || path == "/") {
+    co_return ErrStatus(path == "/" ? ErrCode::kIsDir : ErrCode::kInvalid);
+  }
+  if (!cfg_.policy.server_resolve) {
+    auto parent = co_await ResolveNode(std::string(fs::ParentPath(path)),
+                                       fs::kModeExec);
+    if (!parent.ok()) co_return parent.status();
+  }
+  const std::uint8_t resolve = cfg_.policy.server_resolve ? 1 : 0;
+  net::RpcResponse resp = co_await net::Call(
+      channel_, Owner(path), proto::kNsSetSize,
+      fs::Pack(resolve, path, identity_, offset + data.size(), std::uint8_t{0},
+               Now()));
+  if (!resp.ok()) co_return StatusFrom(resp);
+  Invalidate(path);
+  fs::Uuid uuid;
+  std::uint64_t new_size = 0;
+  if (!fs::Unpack(resp.payload, uuid, new_size)) {
+    co_return ErrStatus(ErrCode::kCorruption);
+  }
+  net::RpcResponse obj =
+      co_await net::Call(channel_, ObjFor(uuid), core::proto::kObjWrite,
+                         fs::Pack(uuid, offset, data));
+  co_return StatusFrom(obj);
+}
+
+net::Task<Result<std::string>> BaselineFsClient::Read(std::string path,
+                                                      std::uint64_t offset,
+                                                      std::uint64_t length) {
+  if (!fs::IsValidPath(path) || path == "/") {
+    co_return ErrStatus(path == "/" ? ErrCode::kIsDir : ErrCode::kInvalid);
+  }
+  if (!cfg_.policy.server_resolve) {
+    auto parent = co_await ResolveNode(std::string(fs::ParentPath(path)),
+                                       fs::kModeExec);
+    if (!parent.ok()) co_return parent.status();
+  }
+  const std::uint8_t resolve = cfg_.policy.server_resolve ? 1 : 0;
+  net::RpcResponse resp =
+      co_await net::Call(channel_, Owner(path), proto::kNsSetAtime,
+                         fs::Pack(resolve, path, identity_, Now()));
+  if (!resp.ok()) co_return ErrStatus(resp.code);
+  Invalidate(path);
+  fs::Uuid uuid;
+  std::uint64_t size = 0;
+  if (!fs::Unpack(resp.payload, uuid, size)) {
+    co_return ErrStatus(ErrCode::kCorruption);
+  }
+  if (offset >= size) co_return std::string();
+  const std::uint64_t n = std::min(length, size - offset);
+  net::RpcResponse obj =
+      co_await net::Call(channel_, ObjFor(uuid), core::proto::kObjRead,
+                         fs::Pack(uuid, offset, n, size));
+  if (!obj.ok()) co_return ErrStatus(obj.code);
+  std::string data;
+  if (!fs::Unpack(obj.payload, data)) co_return ErrStatus(ErrCode::kCorruption);
+  co_return data;
+}
+
+// ---------------------------------------------------------------- rename --
+
+net::Task<Status> BaselineFsClient::Rename(std::string from, std::string to) {
+  if (!fs::IsValidPath(from) || !fs::IsValidPath(to) || from == "/" ||
+      to == "/") {
+    co_return ErrStatus(ErrCode::kInvalid);
+  }
+  if (from == to) co_return OkStatus();
+  if (to.size() > from.size() && to.compare(0, from.size(), from) == 0 &&
+      to[from.size()] == '/') {
+    co_return ErrStatus(ErrCode::kInvalid);
+  }
+
+  auto src_parent = co_await ResolveNode(std::string(fs::ParentPath(from)),
+                                         fs::kModeWrite | fs::kModeExec);
+  if (!src_parent.ok()) co_return src_parent.status();
+  net::RpcResponse probe =
+      co_await net::Call(channel_, Owner(from), proto::kNsGet, fs::Pack(from));
+  auto src = AttrFrom(probe);
+  if (!src.ok()) co_return src.status();
+
+  auto dst_parent = co_await ResolveNode(std::string(fs::ParentPath(to)),
+                                         fs::kModeWrite | fs::kModeExec);
+  if (!dst_parent.ok()) co_return dst_parent.status();
+  net::RpcResponse dst_probe =
+      co_await net::Call(channel_, Owner(to), proto::kNsGet, fs::Pack(to));
+  if (dst_probe.ok()) co_return ErrStatus(ErrCode::kExists);
+  if (dst_probe.code != ErrCode::kNotFound) co_return StatusFrom(dst_probe);
+
+  if (!src->is_dir) {
+    // f-rename: relocate one record (hash placement moves it).
+    net::RpcResponse ins = co_await net::Call(
+        channel_, Owner(to), proto::kNsInsert,
+        fs::Pack(std::uint8_t{0}, to, *src, identity_));
+    if (!ins.ok()) co_return StatusFrom(ins);
+    net::RpcResponse rm = co_await net::Call(
+        channel_, Owner(from), proto::kNsRemove,
+        fs::Pack(std::uint8_t{0}, from, identity_, std::uint8_t{0},
+                 std::uint8_t{0}));
+    Invalidate(from);
+    Invalidate(to);
+    co_return StatusFrom(rm);
+  }
+
+  // d-rename: every record of the subtree relocates (the full cost of
+  // hash-based placement the paper's §3.4 design avoids).
+  std::vector<net::NodeId> servers = cfg_.servers;
+  auto extracts = co_await net::CallMany(channel_, std::move(servers),
+                                         proto::kNsExtract, fs::Pack(from));
+  std::vector<std::pair<std::string, fs::Attr>> records;
+  std::set<std::string> seen;
+  for (const net::RpcResponse& r : extracts) {
+    if (!r.ok()) co_return ErrStatus(r.code);
+    common::Reader reader(r.payload);
+    const std::uint32_t count = reader.GetU32();
+    for (std::uint32_t i = 0; i < count && reader.ok(); ++i) {
+      std::string path(reader.GetBytes());
+      fs::Attr attr = fs::DecodeAttr(reader);
+      if (seen.insert(path).second) {
+        records.emplace_back(std::move(path), attr);
+      }
+    }
+  }
+  for (auto& [old_path, attr] : records) {
+    std::string new_path = to + old_path.substr(from.size());
+    const std::string payload =
+        fs::Pack(std::uint8_t{0}, new_path, attr, identity_);
+    if (cfg_.policy.broadcast_dir_mutations && attr.is_dir) {
+      const Status st = co_await Broadcast(proto::kNsInsert, payload);
+      if (!st.ok()) co_return st;
+    } else {
+      net::RpcResponse ins = co_await net::Call(
+          channel_, Owner(new_path), proto::kNsInsert, payload);
+      if (!ins.ok()) co_return StatusFrom(ins);
+    }
+  }
+  InvalidatePrefix(from);
+  InvalidatePrefix(to);
+  co_return OkStatus();
+}
+
+}  // namespace loco::baselines

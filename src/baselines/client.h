@@ -1,0 +1,100 @@
+// BaselineFsClient: the client library of every baseline file system.
+//
+// One implementation of fs::FileSystemClient parameterized by a
+// BaselinePolicy (see flavors.h); the policy decides placement, broadcast
+// behaviour, caching, lock rounds, and readdir fan-out.  All flavors pass
+// the same oracle property tests as LocoFS — they are correct file systems
+// that differ in their RPC decomposition and server-side cost profile,
+// which is exactly the contrast the paper's evaluation draws.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/flavors.h"
+#include "fs/client.h"
+#include "net/call.h"
+#include "net/rpc.h"
+
+namespace loco::baselines {
+
+class BaselineFsClient final : public fs::FileSystemClient {
+ public:
+  struct Config {
+    BaselinePolicy policy;
+    std::vector<net::NodeId> servers;
+    std::vector<net::NodeId> object_stores;
+    fs::TimeFn now;
+    std::uint64_t client_id = 0;  // lock-owner token
+  };
+
+  BaselineFsClient(net::Channel& channel, Config config);
+
+  net::Task<Status> Mkdir(std::string path, std::uint32_t mode) override;
+  net::Task<Status> Rmdir(std::string path) override;
+  net::Task<Result<std::vector<fs::DirEntry>>> Readdir(std::string path) override;
+  net::Task<Status> Create(std::string path, std::uint32_t mode) override;
+  net::Task<Status> Unlink(std::string path) override;
+  net::Task<Status> Rename(std::string from, std::string to) override;
+  net::Task<Result<fs::Attr>> Stat(std::string path) override;
+  net::Task<Status> Chmod(std::string path, std::uint32_t mode) override;
+  net::Task<Status> Chown(std::string path, std::uint32_t uid,
+                          std::uint32_t gid) override;
+  net::Task<Status> Access(std::string path, std::uint32_t want) override;
+  net::Task<Status> Utimens(std::string path, std::uint64_t mtime,
+                            std::uint64_t atime) override;
+  net::Task<Status> Truncate(std::string path, std::uint64_t size) override;
+  net::Task<Result<fs::Attr>> Open(std::string path) override;
+  net::Task<Status> Close(std::string path) override;
+  net::Task<Status> Write(std::string path, std::uint64_t offset,
+                          std::string data) override;
+  net::Task<Result<std::string>> Read(std::string path, std::uint64_t offset,
+                                      std::uint64_t length) override;
+
+  void SetIdentity(fs::Identity id) noexcept override {
+    if (id.uid != identity_.uid || id.gid != identity_.gid) cache_.clear();
+    identity_ = id;
+  }
+
+  std::uint64_t cache_hits() const noexcept { return cache_hits_; }
+  std::uint64_t cache_misses() const noexcept { return cache_misses_; }
+
+ private:
+  struct CacheEntry {
+    fs::Attr attr;
+    std::uint64_t expires_at = 0;
+  };
+
+  std::uint64_t Now() const { return cfg_.now ? cfg_.now() : 0; }
+  std::size_t ServerCount() const noexcept { return cfg_.servers.size(); }
+
+  // Owning server for the record at `path` under this flavor's placement.
+  net::NodeId Owner(const std::string& path) const;
+  // Server holding the children list of directory `path`.
+  net::NodeId ChildrenOwner(const std::string& path) const;
+  net::NodeId ObjFor(fs::Uuid uuid) const {
+    return cfg_.object_stores[uuid.raw() % cfg_.object_stores.size()];
+  }
+
+  // Fetch a node's attributes (lease cache per policy; constant root).
+  net::Task<Result<fs::Attr>> FetchNode(std::string path);
+  // Full resolution with ancestor execute checks and `want` on the target.
+  net::Task<Result<fs::Attr>> ResolveNode(std::string path, std::uint32_t want);
+
+  // Broadcast `opcode` to every server; returns the first non-ok response
+  // code (replicas are kept consistent, so codes agree) or kOk.
+  net::Task<Status> Broadcast(std::uint16_t opcode, std::string payload);
+
+  void CachePut(const std::string& path, const fs::Attr& attr);
+  void Invalidate(const std::string& path) { cache_.erase(path); }
+  void InvalidatePrefix(const std::string& path);
+
+  net::Channel& channel_;
+  Config cfg_;
+  std::unordered_map<std::string, CacheEntry> cache_;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+};
+
+}  // namespace loco::baselines

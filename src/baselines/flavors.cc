@@ -1,0 +1,80 @@
+#include "baselines/flavors.h"
+
+namespace loco::baselines {
+
+std::string_view FlavorName(Flavor flavor) noexcept {
+  switch (flavor) {
+    case Flavor::kIndexFs: return "indexfs";
+    case Flavor::kCephFs: return "cephfs";
+    case Flavor::kGluster: return "gluster";
+    case Flavor::kLustreD1: return "lustre-d1";
+    case Flavor::kLustreD2: return "lustre-d2";
+  }
+  return "?";
+}
+
+BaselinePolicy PolicyFor(Flavor flavor) {
+  BaselinePolicy p;
+  p.flavor = flavor;
+  switch (flavor) {
+    case Flavor::kIndexFs:
+      p.cache_dirs = true;
+      p.readdir_fanout = true;
+      break;
+    case Flavor::kCephFs:
+      p.cache_dirs = true;
+      p.cache_files = true;
+      p.readdir_fanout = false;
+      break;
+    case Flavor::kGluster:
+      p.server_resolve = true;
+      p.broadcast_dir_mutations = true;
+      p.mkdir_lock_rounds = true;
+      p.readdir_fanout = true;
+      break;
+    case Flavor::kLustreD1:
+      p.per_op_lock = true;
+      p.readdir_fanout = false;
+      break;
+    case Flavor::kLustreD2:
+      p.per_op_lock = true;
+      p.readdir_fanout = true;
+      break;
+  }
+  return p;
+}
+
+NsServer::Options ServerOptionsFor(Flavor flavor, std::uint32_t sid) {
+  NsServer::Options options;
+  options.store.sid = sid;
+  switch (flavor) {
+    case Flavor::kIndexFs:
+      // LevelDB-backed rows: LSM engine, WAL/flush traffic billed as SSD I/O.
+      options.store.backend = kv::KvBackend::kLsm;
+      options.charge_io = true;
+      options.io_device = core::DeviceProfile{60'000, 450e6};
+      break;
+    case Flavor::kCephFs:
+      // FileStore-era MDS journal: the synchronous disk journal on the
+      // mutation path dominates metadata latency (CephFS 0.94 creates sat
+      // around a millisecond on the paper's testbed).
+      options.store.backend = kv::KvBackend::kHash;
+      options.store.journal = true;
+      options.store.journal_device = core::DeviceProfile{900'000, 150e6};
+      break;
+    case Flavor::kGluster:
+      options.store.backend = kv::KvBackend::kHash;
+      break;
+    case Flavor::kLustreD1:
+    case Flavor::kLustreD2:
+      // ldiskfs MDT with an async-commit journal: a modest per-mutation
+      // journal cost, far below Ceph's synchronous journal.
+      options.store.backend = kv::KvBackend::kHash;
+      options.store.journal = true;
+      options.store.journal_device = core::DeviceProfile{40'000, 450e6};
+      break;
+  }
+  return options;
+}
+
+}  // namespace loco::baselines

@@ -1,0 +1,54 @@
+// Baseline flavors and their policies.
+//
+// Each baseline file system is the same client/server machinery configured
+// with the structural properties the paper attributes to it (§2, §5):
+//
+//   IndexFS   GIGA+-style full-split placement: every entry hashed by its
+//             full path; LSM (LevelDB-like) storage with whole-inode values
+//             and charged WAL/flush I/O; client lease cache of directory
+//             entries; readdir fans out to all partitions.
+//   CephFS    Directory-granular placement (entries live with their parent
+//             directory's server); mutations journaled to a disk-backed
+//             MDS journal; clients cache both directory and file inodes
+//             (caps); readdir is a single-server operation.
+//   Gluster   No metadata server: directories replicated on every brick,
+//             files hashed to one brick; directory mutations broadcast to
+//             all bricks (with lock/op/unlock rounds for mkdir); resolution
+//             happens server-side on the brick (chains are local); no
+//             client metadata cache.
+//   LustreD1  DNE1: each top-level subtree pinned to one MDT; per-component
+//             lookup RPCs (DLM locks are not cached across ops here) plus an
+//             intent-lock round trip on mutations.
+//   LustreD2  DNE2: striped directories — entries hashed across all MDTs —
+//             otherwise as D1.
+#pragma once
+
+#include <string_view>
+
+#include "baselines/ns_server.h"
+
+namespace loco::baselines {
+
+enum class Flavor { kIndexFs, kCephFs, kGluster, kLustreD1, kLustreD2 };
+
+std::string_view FlavorName(Flavor flavor) noexcept;
+
+struct BaselinePolicy {
+  Flavor flavor = Flavor::kIndexFs;
+  bool server_resolve = false;         // brick-local ACL chains (Gluster)
+  bool cache_dirs = false;             // client lease cache of directories
+  bool cache_files = false;            // client caches file attrs (Ceph caps)
+  bool broadcast_dir_mutations = false;  // dir mutations hit every server
+  bool mkdir_lock_rounds = false;      // lock/op/unlock broadcast rounds
+  bool per_op_lock = false;            // intent-lock RPC around mutations
+  bool readdir_fanout = true;          // entries spread across servers
+  std::uint64_t lease_ns = 30ull * 1'000'000'000;
+};
+
+BaselinePolicy PolicyFor(Flavor flavor);
+
+// Server-side configuration matching the flavor (storage engine, journal,
+// charged I/O).  `sid` seeds the uuids minted by that server.
+NsServer::Options ServerOptionsFor(Flavor flavor, std::uint32_t sid);
+
+}  // namespace loco::baselines

@@ -1,0 +1,40 @@
+// Generic baseline metadata server: an RpcHandler over one NsStore.
+//
+// Instantiated once per metadata node of every baseline file system; the
+// baseline's identity lives in its client-side policy (placement, broadcast,
+// caching), not here.  The server charges modeled device time for its
+// journal (CephFS/Lustre) and, when charge_io is set, for the storage I/O of
+// its KV backend (the LSM WAL/flush traffic of the IndexFS configuration).
+#pragma once
+
+#include <string>
+
+#include "baselines/ns_store.h"
+#include "net/rpc.h"
+
+namespace loco::baselines {
+
+class NsServer final : public net::RpcHandler {
+ public:
+  struct Options {
+    NsStore::Options store;
+    bool charge_io = false;            // bill KV io_ops/io_bytes as device time
+    core::DeviceProfile io_device;
+  };
+
+  explicit NsServer(const Options& options)
+      : options_(options), store_(options.store) {}
+
+  net::RpcResponse Handle(std::uint16_t opcode, std::string_view payload) override;
+
+  NsStore& store() noexcept { return store_; }
+  const NsStore& store() const noexcept { return store_; }
+
+ private:
+  net::RpcResponse Dispatch(std::uint16_t opcode, std::string_view payload);
+
+  Options options_;
+  NsStore store_;
+};
+
+}  // namespace loco::baselines

@@ -1,0 +1,311 @@
+#include "baselines/ns_store.h"
+
+#include <algorithm>
+
+#include "common/codec.h"
+#include "fs/path.h"
+#include "fs/wire.h"
+
+namespace loco::baselines {
+
+namespace {
+
+std::string RecordKey(const std::string& path) { return "N:" + path; }
+std::string ChildrenKey(const std::string& path) { return "C:" + path; }
+
+}  // namespace
+
+NsStore::NsStore(const Options& options) : options_(options) {
+  kv_ = std::move(kv::MakeKv(options.backend, kv::KvOptions{})).value();
+  // The root directory is seeded on every server: all baselines replicate
+  // or pin the root, and its attributes are immutable in this codebase.
+  fs::Attr root;
+  root.is_dir = true;
+  root.mode = 0777;
+  root.uuid = fs::kRootUuid;
+  (void)kv_->Put(RecordKey("/"), fs::Pack(root));
+}
+
+void NsStore::Journal(std::string_view tag, const std::string& path) {
+  if (!options_.journal) return;
+  // Serialize a journal record for real (CPU is measured by the simulator);
+  // the device time is accrued and drained by the RPC handler.
+  common::Writer w;
+  w.PutU64(journal_records_++);
+  w.PutBytes(tag);
+  w.PutBytes(path);
+  journal_cost_ += options_.journal_device.Cost(1, w.size());
+}
+
+common::Nanos NsStore::TakeJournalCost() {
+  const common::Nanos cost = journal_cost_;
+  journal_cost_ = 0;
+  return cost;
+}
+
+Status NsStore::PutRecord(const std::string& path, const fs::Attr& attr) {
+  return kv_->Put(RecordKey(path), fs::Pack(attr));
+}
+
+Result<fs::Attr> NsStore::GetRecord(const std::string& path) const {
+  std::string value;
+  LOCO_RETURN_IF_ERROR(kv_->Get(RecordKey(path), &value));
+  fs::Attr attr;
+  if (!fs::Unpack(value, attr)) return ErrStatus(ErrCode::kCorruption);
+  return attr;
+}
+
+Result<fs::Attr> NsStore::Get(const std::string& path) const {
+  return GetRecord(path);
+}
+
+bool NsStore::Contains(const std::string& path) const {
+  return kv_->Contains(RecordKey(path));
+}
+
+Status NsStore::AddChild(const std::string& parent, std::string_view name,
+                         bool is_dir) {
+  std::string value;
+  std::vector<fs::DirEntry> entries;
+  if (kv_->Get(ChildrenKey(parent), &value).ok()) {
+    common::Reader r(value);
+    entries = fs::DecodeEntries(r);
+  }
+  entries.push_back(fs::DirEntry{std::string(name), is_dir});
+  common::Writer w;
+  fs::EncodeEntries(w, entries);
+  return kv_->Put(ChildrenKey(parent), w.str());
+}
+
+Status NsStore::DropChild(const std::string& parent, std::string_view name) {
+  std::string value;
+  if (!kv_->Get(ChildrenKey(parent), &value).ok()) return OkStatus();
+  common::Reader r(value);
+  std::vector<fs::DirEntry> entries = fs::DecodeEntries(r);
+  const auto it = std::find_if(
+      entries.begin(), entries.end(),
+      [&](const fs::DirEntry& e) { return e.name == name; });
+  if (it == entries.end()) return OkStatus();
+  entries.erase(it);
+  if (entries.empty()) return kv_->Delete(ChildrenKey(parent));
+  common::Writer w;
+  fs::EncodeEntries(w, entries);
+  return kv_->Put(ChildrenKey(parent), w.str());
+}
+
+Status NsStore::Insert(const std::string& path, const fs::Attr& attr) {
+  if (Contains(path)) return ErrStatus(ErrCode::kExists);
+  LOCO_RETURN_IF_ERROR(PutRecord(path, attr));
+  LOCO_RETURN_IF_ERROR(AddChild(std::string(fs::ParentPath(path)),
+                                fs::BaseName(path), attr.is_dir));
+  Journal("insert", path);
+  return OkStatus();
+}
+
+Status NsStore::Remove(const std::string& path) {
+  if (!Contains(path)) return ErrStatus(ErrCode::kNotFound);
+  LOCO_RETURN_IF_ERROR(kv_->Delete(RecordKey(path)));
+  LOCO_RETURN_IF_ERROR(DropChild(std::string(fs::ParentPath(path)),
+                                 fs::BaseName(path)));
+  Journal("remove", path);
+  return OkStatus();
+}
+
+Status NsStore::Chmod(const std::string& path, const fs::Identity& who,
+                      std::uint32_t mode, std::uint64_t ts) {
+  LOCO_ASSIGN_OR_RETURN(fs::Attr attr, GetRecord(path));
+  if (who.uid != 0 && who.uid != attr.uid) return ErrStatus(ErrCode::kPermission);
+  attr.mode = mode;
+  attr.ctime = ts;
+  Journal("chmod", path);
+  return PutRecord(path, attr);
+}
+
+Status NsStore::Chown(const std::string& path, const fs::Identity& who,
+                      std::uint32_t uid, std::uint32_t gid, std::uint64_t ts) {
+  LOCO_ASSIGN_OR_RETURN(fs::Attr attr, GetRecord(path));
+  if (who.uid != 0 && !(who.uid == attr.uid && uid == attr.uid)) {
+    return ErrStatus(ErrCode::kPermission);
+  }
+  attr.uid = uid;
+  attr.gid = gid;
+  attr.ctime = ts;
+  Journal("chown", path);
+  return PutRecord(path, attr);
+}
+
+Status NsStore::Utimens(const std::string& path, const fs::Identity& who,
+                        std::uint64_t mtime, std::uint64_t atime) {
+  LOCO_ASSIGN_OR_RETURN(fs::Attr attr, GetRecord(path));
+  if (who.uid != 0 && who.uid != attr.uid &&
+      !fs::CheckPermission(who, attr.mode, attr.uid, attr.gid, fs::kModeWrite)) {
+    return ErrStatus(ErrCode::kPermission);
+  }
+  attr.mtime = mtime;
+  attr.atime = atime;
+  Journal("utimens", path);
+  return PutRecord(path, attr);
+}
+
+Result<std::pair<fs::Uuid, std::uint64_t>> NsStore::SetSize(
+    const std::string& path, const fs::Identity& who, std::uint64_t end,
+    bool truncate, std::uint64_t ts) {
+  LOCO_ASSIGN_OR_RETURN(fs::Attr attr, GetRecord(path));
+  if (attr.is_dir) return ErrStatus(ErrCode::kIsDir);
+  if (!fs::CheckPermission(who, attr.mode, attr.uid, attr.gid, fs::kModeWrite)) {
+    return ErrStatus(ErrCode::kPermission);
+  }
+  attr.size = truncate ? end : std::max(attr.size, end);
+  attr.mtime = ts;
+  Journal("setsize", path);
+  LOCO_RETURN_IF_ERROR(PutRecord(path, attr));
+  return std::make_pair(attr.uuid, attr.size);
+}
+
+Result<std::pair<fs::Uuid, std::uint64_t>> NsStore::SetAtime(
+    const std::string& path, const fs::Identity& who, std::uint64_t ts) {
+  LOCO_ASSIGN_OR_RETURN(fs::Attr attr, GetRecord(path));
+  if (attr.is_dir) return ErrStatus(ErrCode::kIsDir);
+  if (!fs::CheckPermission(who, attr.mode, attr.uid, attr.gid, fs::kModeRead)) {
+    return ErrStatus(ErrCode::kPermission);
+  }
+  attr.atime = ts;
+  Journal("setatime", path);
+  LOCO_RETURN_IF_ERROR(PutRecord(path, attr));
+  return std::make_pair(attr.uuid, attr.size);
+}
+
+Result<std::vector<fs::DirEntry>> NsStore::Children(const std::string& path) const {
+  std::string value;
+  std::vector<fs::DirEntry> entries;
+  if (kv_->Get(ChildrenKey(path), &value).ok()) {
+    common::Reader r(value);
+    entries = fs::DecodeEntries(r);
+  }
+  return entries;
+}
+
+bool NsStore::HasChildren(const std::string& path) const {
+  return kv_->Contains(ChildrenKey(path));
+}
+
+Status NsStore::ResolveAcl(const std::string& path, const fs::Identity& who,
+                           std::uint32_t want) const {
+  if (!fs::IsValidPath(path)) return ErrStatus(ErrCode::kInvalid);
+  for (const std::string& ancestor : fs::Ancestors(path)) {
+    LOCO_ASSIGN_OR_RETURN(fs::Attr attr, GetRecord(ancestor));
+    if (!attr.is_dir) return ErrStatus(ErrCode::kNotDir);
+    if (!fs::CheckPermission(who, attr.mode, attr.uid, attr.gid, fs::kModeExec)) {
+      return ErrStatus(ErrCode::kPermission);
+    }
+  }
+  LOCO_ASSIGN_OR_RETURN(fs::Attr attr, GetRecord(path));
+  if (want != 0 &&
+      !fs::CheckPermission(who, attr.mode, attr.uid, attr.gid, want)) {
+    return ErrStatus(ErrCode::kPermission);
+  }
+  return OkStatus();
+}
+
+Result<std::uint64_t> NsStore::MoveSubtree(const std::string& from,
+                                           const std::string& to) {
+  // Collect local records with prefix `from` ("N:" keys) and move them.
+  std::vector<kv::Entry> hits;
+  (void)kv_->ScanPrefix(RecordKey(from + "/"), 0, &hits);
+  std::string self;
+  const bool has_self = kv_->Get(RecordKey(from), &self).ok();
+  std::uint64_t moved = 0;
+
+  // Children lists move alongside ("C:" keys).
+  std::vector<kv::Entry> child_lists;
+  (void)kv_->ScanPrefix(ChildrenKey(from + "/"), 0, &child_lists);
+  std::string self_children;
+  const bool has_self_children = kv_->Get(ChildrenKey(from), &self_children).ok();
+
+  for (auto& [key, value] : hits) {
+    const std::string suffix = key.substr(RecordKey(from).size());
+    (void)kv_->Delete(key);
+    (void)kv_->Put(RecordKey(to) + suffix, value);
+    ++moved;
+  }
+  for (auto& [key, value] : child_lists) {
+    const std::string suffix = key.substr(ChildrenKey(from).size());
+    (void)kv_->Delete(key);
+    (void)kv_->Put(ChildrenKey(to) + suffix, value);
+  }
+  if (has_self) {
+    (void)kv_->Delete(RecordKey(from));
+    (void)kv_->Put(RecordKey(to), self);
+    ++moved;
+    (void)DropChild(std::string(fs::ParentPath(from)), fs::BaseName(from));
+    (void)AddChild(std::string(fs::ParentPath(to)), fs::BaseName(to), true);
+  }
+  if (has_self_children) {
+    (void)kv_->Delete(ChildrenKey(from));
+    (void)kv_->Put(ChildrenKey(to), self_children);
+  }
+  Journal("move", from);
+  return moved;
+}
+
+std::vector<std::pair<std::string, fs::Attr>> NsStore::Extract(
+    const std::string& from) {
+  std::vector<std::pair<std::string, fs::Attr>> out;
+  std::vector<kv::Entry> hits;
+  (void)kv_->ScanPrefix(RecordKey(from + "/"), 0, &hits);
+  for (auto& [key, value] : hits) {
+    fs::Attr attr;
+    if (!fs::Unpack(value, attr)) continue;
+    std::string path = key.substr(2);  // strip "N:"
+    (void)kv_->Delete(key);
+    (void)kv_->Delete(ChildrenKey(path));
+    out.emplace_back(std::move(path), attr);
+  }
+  std::string self;
+  if (kv_->Get(RecordKey(from), &self).ok()) {
+    fs::Attr attr;
+    if (fs::Unpack(self, attr)) {
+      (void)kv_->Delete(RecordKey(from));
+      (void)DropChild(std::string(fs::ParentPath(from)), fs::BaseName(from));
+      out.emplace_back(from, attr);
+    }
+  }
+  // Children-list fragments for the subtree can live here even when the
+  // corresponding records do not (each server lists the children *it*
+  // inserted).  Purge every local fragment under `from`.
+  std::vector<kv::Entry> lists;
+  (void)kv_->ScanPrefix(ChildrenKey(from + "/"), 0, &lists);
+  for (const auto& [key, value] : lists) {
+    (void)value;
+    (void)kv_->Delete(key);
+  }
+  (void)kv_->Delete(ChildrenKey(from));
+  if (!out.empty()) Journal("extract", from);
+  return out;
+}
+
+Status NsStore::Lock(const std::string& path, std::uint64_t owner) {
+  for (const auto& [p, o] : locks_) {
+    if (p == path && o != owner) return ErrStatus(ErrCode::kUnavailable);
+  }
+  locks_.emplace_back(path, owner);
+  return OkStatus();
+}
+
+Status NsStore::Unlock(const std::string& path, std::uint64_t owner) {
+  const auto it = std::find(locks_.begin(), locks_.end(),
+                            std::make_pair(path, owner));
+  if (it != locks_.end()) locks_.erase(it);
+  return OkStatus();
+}
+
+std::size_t NsStore::RecordCount() const {
+  std::size_t n = 0;
+  kv_->ForEach([&n](std::string_view key, std::string_view) {
+    n += key.size() >= 2 && key[0] == 'N';
+    return true;
+  });
+  return n;
+}
+
+}  // namespace loco::baselines

@@ -1,0 +1,120 @@
+// NsStore: the per-server namespace store shared by every baseline file
+// system (IndexFS-, CephFS-, Gluster- and Lustre-like services).
+//
+// Unlike LocoFS — whose whole point is to avoid this layout — a baseline
+// server keeps classical metadata records:
+//   * one serialized whole-inode record per path ("N:" + path): every field
+//     update is a deserialize / modify / reserialize round trip of the full
+//     value (the coupling penalty of §2.2.2);
+//   * one children list per directory ("C:" + path), maintained on whichever
+//     server inserts/removes the child (placement policy decides which
+//     server that is — it differs per baseline).
+//
+// An optional journal models CephFS/Lustre-style mutation logging: each
+// mutation serializes an op record (real CPU) and accrues modeled device
+// time, which the owning RPC handler reports via extra_service_ns.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "core/object_store.h"  // DeviceProfile
+#include "fs/types.h"
+#include "kvstore/kv.h"
+
+namespace loco::baselines {
+
+class NsStore {
+ public:
+  struct Options {
+    kv::KvBackend backend = kv::KvBackend::kHash;
+    bool journal = false;
+    core::DeviceProfile journal_device;  // applies when journal = true
+    std::uint32_t sid = 0;               // uuid high bits for records created here
+  };
+
+  explicit NsStore(const Options& options);
+
+  // Record access ------------------------------------------------------
+  Result<fs::Attr> Get(const std::string& path) const;
+  bool Contains(const std::string& path) const;
+
+  // Insert a record and add it to its parent's local children list.
+  // kExists if the path already has a record here.
+  Status Insert(const std::string& path, const fs::Attr& attr);
+
+  // Remove the record and its entry in the parent's local children list.
+  Status Remove(const std::string& path);
+
+  // Whole-record read-modify-write helpers (each pays full
+  // (de)serialization and a journal append).
+  Status Chmod(const std::string& path, const fs::Identity& who,
+               std::uint32_t mode, std::uint64_t ts);
+  Status Chown(const std::string& path, const fs::Identity& who,
+               std::uint32_t uid, std::uint32_t gid, std::uint64_t ts);
+  Status Utimens(const std::string& path, const fs::Identity& who,
+                 std::uint64_t mtime, std::uint64_t atime);
+  // size = max(old, end) or exact (truncate); mtime = ts.  Returns uuid and
+  // the new size.
+  Result<std::pair<fs::Uuid, std::uint64_t>> SetSize(const std::string& path,
+                                                     const fs::Identity& who,
+                                                     std::uint64_t end,
+                                                     bool truncate,
+                                                     std::uint64_t ts);
+  Result<std::pair<fs::Uuid, std::uint64_t>> SetAtime(const std::string& path,
+                                                      const fs::Identity& who,
+                                                      std::uint64_t ts);
+
+  // Directory content ----------------------------------------------------
+  Result<std::vector<fs::DirEntry>> Children(const std::string& path) const;
+  bool HasChildren(const std::string& path) const;
+
+  // Local ACL walk: exec on every ancestor record present here, `want` on
+  // the target.  Only meaningful on servers that hold the full chain
+  // (Gluster bricks, Lustre D1 MDTs); missing ancestors fail kNotFound.
+  Status ResolveAcl(const std::string& path, const fs::Identity& who,
+                    std::uint32_t want) const;
+
+  // Move every local record under `from` (inclusive) to `to`, fixing the
+  // parents' children lists.  Returns the number of records moved.
+  // Only valid when placement keeps the subtree on this server (Lustre D1).
+  Result<std::uint64_t> MoveSubtree(const std::string& from,
+                                    const std::string& to);
+
+  // Remove and return every local record under `from` (inclusive).  The
+  // relocation read side of a hash-placed directory rename: the client
+  // re-inserts each record at its new owner.
+  std::vector<std::pair<std::string, fs::Attr>> Extract(const std::string& from);
+
+  // Advisory per-path lock (Gluster lock/op/unlock rounds).
+  Status Lock(const std::string& path, std::uint64_t owner);
+  Status Unlock(const std::string& path, std::uint64_t owner);
+
+  // Virtual device time accrued by journal appends since the last call.
+  common::Nanos TakeJournalCost();
+
+  // Fresh uuid for a record created on this server.
+  fs::Uuid NextUuid() { return fs::Uuid::Make(options_.sid, next_fid_++); }
+
+  std::size_t RecordCount() const;
+  const kv::Kv& kv() const noexcept { return *kv_; }
+  kv::Kv& mutable_kv() noexcept { return *kv_; }
+
+ private:
+  Status PutRecord(const std::string& path, const fs::Attr& attr);
+  Result<fs::Attr> GetRecord(const std::string& path) const;
+  void Journal(std::string_view tag, const std::string& path);
+  Status AddChild(const std::string& parent, std::string_view name, bool is_dir);
+  Status DropChild(const std::string& parent, std::string_view name);
+
+  Options options_;
+  std::unique_ptr<kv::Kv> kv_;
+  std::uint64_t next_fid_ = 1;
+  common::Nanos journal_cost_ = 0;
+  std::uint64_t journal_records_ = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> locks_;
+};
+
+}  // namespace loco::baselines

@@ -1,0 +1,54 @@
+// Wire protocol of the baseline namespace servers.
+//
+// All four baseline services speak this dialect over their NsStore; what
+// differs between IndexFS/CephFS/Gluster/Lustre is *which server* each
+// request targets, whether requests are broadcast, and whether the `resolve`
+// flag asks the server to perform the full local ACL chain walk (possible
+// only when the server holds the whole chain, e.g. a Gluster brick).
+#pragma once
+
+#include <cstdint>
+
+namespace loco::baselines::proto {
+
+enum NsOp : std::uint16_t {
+  // [path] -> [Attr]
+  kNsGet = 100,
+  // [resolve u8, path, Attr, Identity] -> [Attr(with assigned uuid)]
+  // resolve=1: local ancestor-X + parent-W|X checks before insert.
+  kNsInsert = 101,
+  // [resolve u8, path, Identity, expect_dir u8, check_children u8] -> []
+  // resolve=1: ancestor-X chain; expect_dir mismatch -> kNotDir/kIsDir;
+  // check_children=1 -> kNotEmpty if the local children list is non-empty;
+  // resolve=1 additionally enforces parent-W (contract order).
+  kNsRemove = 102,
+  // [resolve u8, path, Identity, mode u32, ts u64] -> []
+  kNsChmod = 103,
+  // [resolve u8, path, Identity, uid u32, gid u32, ts u64] -> []
+  kNsChown = 104,
+  // [resolve u8, path, Identity, mtime u64, atime u64] -> []
+  kNsUtimens = 105,
+  // [resolve u8, path, Identity, end u64, trunc u8, ts u64] -> [uuid, size]
+  kNsSetSize = 106,
+  // [resolve u8, path, Identity, ts u64] -> [uuid, size]
+  kNsSetAtime = 107,
+  // [path] -> [entries] ; this server's children list for the directory
+  kNsChildren = 108,
+  // [path] -> [] or kNotEmpty
+  kNsHasChildren = 109,
+  // [path, Identity, want u32] -> [Attr] ; full local ACL chain walk
+  kNsResolve = 110,
+  // [resolve u8, path, Identity, want u32] -> [] ; permission probe on the
+  // record itself (plus chain when resolve=1)
+  kNsAccess = 111,
+  // [path] -> [count u32, (path, Attr)*] ; removes and returns every local
+  // record under `path` (inclusive) — the relocation read side of a
+  // hash-placed directory rename
+  kNsExtract = 112,
+  // [path, owner u64] -> [] or kUnavailable
+  kNsLock = 113,
+  // [path, owner u64] -> []
+  kNsUnlock = 114,
+};
+
+}  // namespace loco::baselines::proto

@@ -1,0 +1,144 @@
+#include "benchlib/deploy.h"
+
+namespace loco::bench {
+
+std::string_view SystemName(System system) noexcept {
+  switch (system) {
+    case System::kLocoC: return "LocoFS-C";
+    case System::kLocoNC: return "LocoFS-NC";
+    case System::kLocoCF: return "LocoFS-CF";
+    case System::kIndexFs: return "IndexFS";
+    case System::kCephFs: return "CephFS";
+    case System::kGluster: return "Gluster";
+    case System::kLustreD1: return "Lustre-D1";
+    case System::kLustreD2: return "Lustre-D2";
+  }
+  return "?";
+}
+
+bool IsLocoFs(System system) noexcept {
+  return system == System::kLocoC || system == System::kLocoNC ||
+         system == System::kLocoCF;
+}
+
+namespace {
+
+Deployment DeployLocoFs(System system, sim::SimCluster* cluster,
+                        const DeployOptions& options) {
+  Deployment d;
+  d.system = system;
+  const bool decoupled = system != System::kLocoCF;
+  const bool cache = system != System::kLocoNC;
+
+  auto dms = std::make_unique<core::DirectoryMetadataServer>(
+      core::DirectoryMetadataServer::Options{options.dms_backend, {}});
+  d.dms = dms.get();
+
+  std::vector<net::NodeId> fms_nodes;
+  for (int i = 0; i < options.metadata_servers; ++i) {
+    core::FileMetadataServer::Options fo;
+    fo.sid = static_cast<std::uint32_t>(i + 1);
+    fo.decoupled = decoupled;
+    auto fms = std::make_unique<core::FileMetadataServer>(fo);
+    d.fms.push_back(fms.get());
+
+    auto mux = std::make_unique<MuxHandler>();
+    mux->Route(32, 63, fms.get());
+    if (i == 0) mux->Route(1, 31, dms.get());  // DMS co-hosted on node 0
+    const net::NodeId id = cluster->AddServer(mux.get());
+    fms_nodes.push_back(id);
+    d.metadata_nodes.push_back(id);
+    d.muxes.push_back(std::move(mux));
+    d.handlers.push_back(std::move(fms));
+  }
+  d.handlers.push_back(std::move(dms));
+
+  for (int i = 0; i < options.object_servers; ++i) {
+    core::ObjectStoreServer::Options oo;
+    oo.device = options.object_device;
+    oo.retain_data = options.object_retain_data;
+    auto obj = std::make_unique<core::ObjectStoreServer>(oo);
+    d.object_nodes.push_back(cluster->AddServer(obj.get()));
+    d.handlers.push_back(std::move(obj));
+  }
+
+  const net::NodeId dms_node = d.metadata_nodes.front();
+  const std::vector<net::NodeId> object_nodes = d.object_nodes;
+  const std::uint64_t lease_ns = options.loco_lease_ns;
+  d.make_client = [dms_node, fms_nodes, object_nodes, cache,
+                   lease_ns](net::Channel& ch, fs::TimeFn now)
+      -> std::unique_ptr<fs::FileSystemClient> {
+    core::LocoClient::Config cfg;
+    cfg.dms = dms_node;
+    cfg.fms = fms_nodes;
+    cfg.object_stores = object_nodes;
+    cfg.cache_enabled = cache && lease_ns > 0;
+    cfg.lease_ns = lease_ns;
+    cfg.now = std::move(now);
+    return std::make_unique<core::LocoClient>(ch, cfg);
+  };
+  return d;
+}
+
+baselines::Flavor FlavorOf(System system) {
+  switch (system) {
+    case System::kIndexFs: return baselines::Flavor::kIndexFs;
+    case System::kCephFs: return baselines::Flavor::kCephFs;
+    case System::kGluster: return baselines::Flavor::kGluster;
+    case System::kLustreD1: return baselines::Flavor::kLustreD1;
+    case System::kLustreD2: return baselines::Flavor::kLustreD2;
+    default: break;
+  }
+  return baselines::Flavor::kIndexFs;
+}
+
+Deployment DeployBaseline(System system, sim::SimCluster* cluster,
+                          const DeployOptions& options) {
+  Deployment d;
+  d.system = system;
+  const baselines::Flavor flavor = FlavorOf(system);
+
+  std::vector<net::NodeId> nodes;
+  for (int i = 0; i < options.metadata_servers; ++i) {
+    auto server = std::make_unique<baselines::NsServer>(
+        baselines::ServerOptionsFor(flavor, static_cast<std::uint32_t>(i + 1)));
+    d.ns_servers.push_back(server.get());
+    const net::NodeId id = cluster->AddServer(server.get());
+    nodes.push_back(id);
+    d.metadata_nodes.push_back(id);
+    d.handlers.push_back(std::move(server));
+  }
+  for (int i = 0; i < options.object_servers; ++i) {
+    core::ObjectStoreServer::Options oo;
+    oo.device = options.object_device;
+    oo.retain_data = options.object_retain_data;
+    auto obj = std::make_unique<core::ObjectStoreServer>(oo);
+    d.object_nodes.push_back(cluster->AddServer(obj.get()));
+    d.handlers.push_back(std::move(obj));
+  }
+
+  const std::vector<net::NodeId> object_nodes = d.object_nodes;
+  std::uint64_t next_client_id = 1;
+  d.make_client = [flavor, nodes, object_nodes, next_client_id](
+                      net::Channel& ch, fs::TimeFn now) mutable
+      -> std::unique_ptr<fs::FileSystemClient> {
+    baselines::BaselineFsClient::Config cfg;
+    cfg.policy = baselines::PolicyFor(flavor);
+    cfg.servers = nodes;
+    cfg.object_stores = object_nodes;
+    cfg.now = std::move(now);
+    cfg.client_id = next_client_id++;
+    return std::make_unique<baselines::BaselineFsClient>(ch, cfg);
+  };
+  return d;
+}
+
+}  // namespace
+
+Deployment Deploy(System system, sim::SimCluster* cluster,
+                  const DeployOptions& options) {
+  return IsLocoFs(system) ? DeployLocoFs(system, cluster, options)
+                          : DeployBaseline(system, cluster, options);
+}
+
+}  // namespace loco::bench

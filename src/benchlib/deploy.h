@@ -1,0 +1,100 @@
+// Deployment of a file system onto a SimCluster (or, for tests, any node
+// registry): instantiates the metadata servers, object stores, and a client
+// factory for one of the evaluated systems.
+//
+// Node layout mirrors the paper's testbed: N metadata nodes plus dedicated
+// object/data nodes.  For LocoFS the single DMS is co-hosted on metadata
+// node 0 alongside that node's FMS (the paper's "one metadata server"
+// configuration runs both roles on the one node); a MuxHandler routes the
+// disjoint opcode ranges to the right service.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/client.h"
+#include "baselines/flavors.h"
+#include "core/client.h"
+#include "core/dms.h"
+#include "core/fms.h"
+#include "core/object_store.h"
+#include "fs/client.h"
+#include "sim/transport.h"
+
+namespace loco::bench {
+
+// The systems the paper evaluates (graph legends of Figs. 6-13).
+enum class System {
+  kLocoC,     // LocoFS with client cache
+  kLocoNC,    // LocoFS without client cache
+  kLocoCF,    // LocoFS with coupled file metadata (Fig. 11 ablation)
+  kIndexFs,
+  kCephFs,
+  kGluster,
+  kLustreD1,
+  kLustreD2,
+};
+
+std::string_view SystemName(System system) noexcept;
+bool IsLocoFs(System system) noexcept;
+
+// Routes disjoint opcode ranges to different handlers on one node.
+class MuxHandler final : public net::RpcHandler {
+ public:
+  void Route(std::uint16_t lo, std::uint16_t hi, net::RpcHandler* handler) {
+    routes_.push_back(Route_{lo, hi, handler});
+  }
+  net::RpcResponse Handle(std::uint16_t opcode, std::string_view payload) override {
+    for (const Route_& r : routes_) {
+      if (opcode >= r.lo && opcode <= r.hi) return r.handler->Handle(opcode, payload);
+    }
+    return net::RpcResponse{ErrCode::kUnsupported, {}};
+  }
+
+ private:
+  struct Route_ {
+    std::uint16_t lo, hi;
+    net::RpcHandler* handler;
+  };
+  std::vector<Route_> routes_;
+};
+
+// A deployed file system: owns every server-side object; hands out clients.
+struct Deployment {
+  System system;
+  std::vector<std::unique_ptr<net::RpcHandler>> handlers;  // all owned servers
+  std::vector<std::unique_ptr<MuxHandler>> muxes;
+  std::vector<net::NodeId> metadata_nodes;
+  std::vector<net::NodeId> object_nodes;
+
+  // Build one client-process library over a channel.
+  std::function<std::unique_ptr<fs::FileSystemClient>(net::Channel&, fs::TimeFn)>
+      make_client;
+
+  // Introspection (set for LocoFS deployments).
+  core::DirectoryMetadataServer* dms = nullptr;
+  std::vector<core::FileMetadataServer*> fms;
+  std::vector<baselines::NsServer*> ns_servers;
+};
+
+struct DeployOptions {
+  int metadata_servers = 1;
+  int object_servers = 2;
+  // LocoFS: DMS store backend (Fig. 14 compares kBTree vs kHash).
+  kv::KvBackend dms_backend = kv::KvBackend::kBTree;
+  // Object store device.
+  core::DeviceProfile object_device{60'000, 450e6};
+  // See ObjectStoreServer::Options::retain_data.
+  bool object_retain_data = true;
+  // LocoFS client d-inode lease duration (ns); 0 disables caching entirely
+  // even for System::kLocoC (ablation knob).
+  std::uint64_t loco_lease_ns = 30ull * 1'000'000'000;
+};
+
+// Deploy onto a simulated cluster (registers servers as SimCluster nodes).
+Deployment Deploy(System system, sim::SimCluster* cluster,
+                  const DeployOptions& options);
+
+}  // namespace loco::bench

@@ -1,0 +1,69 @@
+// mdtest-style workload harness over the simulator.
+//
+// Reproduces the paper's measurement methodology (§4.1.2): N client
+// processes, each working in its own directory subtree ("mdtest -u"),
+// drive one metadata operation type per phase; phases are barrier-separated
+// exactly like mdtest's MPI phases.  Latency and IOPS are virtual-time
+// measurements from the closed-loop drivers.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "benchlib/deploy.h"
+#include "common/histogram.h"
+#include "fs/types.h"
+#include "sim/client.h"
+
+namespace loco::bench {
+
+struct MdtestConfig {
+  System system = System::kLocoC;
+  int metadata_servers = 1;
+  int clients = 1;
+  int items_per_client = 1000;
+  // Depth of each client's working directory below its private root
+  // ("/cN/d1/.../dK"); 1 = files directly under /cN (mdtest default-ish).
+  int depth = 1;
+  std::vector<fs::FsOp> phases;
+  int readdir_repeat = 10;       // iterations of the readdir phase
+  std::uint64_t io_bytes = 4096; // write/read phase transfer size
+  sim::ClusterConfig cluster;
+  DeployOptions deploy;
+};
+
+struct PhaseResult {
+  fs::FsOp op;
+  std::uint64_t ops = 0;
+  std::uint64_t errors = 0;
+  double iops = 0;
+  common::Histogram latency;
+};
+
+struct MdtestResult {
+  std::vector<PhaseResult> phases;
+  std::uint64_t total_events = 0;  // simulator events processed
+
+  const PhaseResult* Phase(fs::FsOp op) const {
+    for (const PhaseResult& p : phases) {
+      if (p.op == op) return &p;
+    }
+    return nullptr;
+  }
+};
+
+MdtestResult RunMdtest(const MdtestConfig& config);
+
+// Table 3 methodology: sweep the client count and report the sweep plus the
+// count that maximizes IOPS for `op`.
+struct ClientSweepResult {
+  std::vector<std::pair<int, double>> sweep;  // (clients, iops)
+  int best_clients = 0;
+  double best_iops = 0;
+};
+
+ClientSweepResult FindOptimalClients(MdtestConfig base, fs::FsOp op,
+                                     const std::vector<int>& candidates);
+
+}  // namespace loco::bench

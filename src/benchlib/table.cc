@@ -1,0 +1,68 @@
+#include "benchlib/table.h"
+
+#include <algorithm>
+
+namespace loco::bench {
+
+void Table::Print() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      line += "  ";
+      line += cell;
+      line.append(widths[c] - cell.size() + (c + 1 < widths.size() ? 0 : 0), ' ');
+    }
+    std::printf("%s\n", line.c_str());
+  };
+  print_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += "  ";
+    rule.append(widths[c], '-');
+  }
+  std::printf("%s\n", rule.c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::Iops(double v) {
+  char buf[64];
+  if (v >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", v / 1e6);
+  } else if (v >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fK", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  }
+  return buf;
+}
+
+std::string Table::Micros(double nanos) {
+  char buf[64];
+  if (nanos >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", nanos / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fus", nanos / 1e3);
+  }
+  return buf;
+}
+
+void PrintBanner(const std::string& title, const std::string& subtitle) {
+  std::printf("\n==== %s ====\n", title.c_str());
+  if (!subtitle.empty()) std::printf("%s\n", subtitle.c_str());
+}
+
+}  // namespace loco::bench

@@ -1,0 +1,33 @@
+// Fixed-width console table for benchmark output: every bench binary prints
+// the rows/series of the paper figure it reproduces through this.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace loco::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void Print() const;
+
+  // Numeric formatting helpers.
+  static std::string Num(double v, int precision = 1);
+  static std::string Iops(double v);        // "123.4K" style
+  static std::string Micros(double nanos);  // ns -> "12.3us"
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Section banner: "==== Figure 6: ... ====".
+void PrintBanner(const std::string& title, const std::string& subtitle = {});
+
+}  // namespace loco::bench

@@ -1,0 +1,41 @@
+// Time utilities.
+//
+// The simulator keeps *virtual* nanoseconds (Nanos) for modeled network and
+// device time, while CpuTimer measures *real* CPU-side wall time of service
+// handlers so that software path length is observed, not scripted.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace loco::common {
+
+// Virtual time in nanoseconds since simulation start.
+using Nanos = std::int64_t;
+
+constexpr Nanos kMicro = 1'000;
+constexpr Nanos kMilli = 1'000'000;
+constexpr Nanos kSecond = 1'000'000'000;
+
+constexpr double ToMicros(Nanos n) noexcept { return static_cast<double>(n) / 1e3; }
+constexpr double ToMillis(Nanos n) noexcept { return static_cast<double>(n) / 1e6; }
+constexpr double ToSeconds(Nanos n) noexcept { return static_cast<double>(n) / 1e9; }
+
+// Monotonic real-time stopwatch (steady_clock).
+class CpuTimer {
+ public:
+  CpuTimer() : start_(Now()) {}
+  void Reset() { start_ = Now(); }
+  Nanos ElapsedNanos() const { return Now() - start_; }
+
+  static Nanos Now() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+ private:
+  Nanos start_;
+};
+
+}  // namespace loco::common

@@ -1,0 +1,128 @@
+// Fixed-width little-endian byte codec used for RPC framing, WAL records and
+// the serialized ("coupled") inode layout of the baseline file systems.
+//
+// Writer appends into a std::string; Reader consumes a string_view with
+// bounds checks and reports truncation through its ok() flag rather than
+// throwing, so corrupt frames surface as ErrCode::kCorruption at call sites.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace loco::common {
+
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(std::string* out) : out_(out ? out : &own_) {}
+
+  void PutU8(std::uint8_t v) { Raw(&v, 1); }
+  void PutU16(std::uint16_t v) { PutLE(v); }
+  void PutU32(std::uint32_t v) { PutLE(v); }
+  void PutU64(std::uint64_t v) { PutLE(v); }
+  void PutI64(std::int64_t v) { PutLE(static_cast<std::uint64_t>(v)); }
+
+  // Length-prefixed (u32) byte string.
+  void PutBytes(std::string_view s) {
+    PutU32(static_cast<std::uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+  // Raw bytes with no prefix (caller must know the length).
+  void PutRaw(std::string_view s) { Raw(s.data(), s.size()); }
+
+  const std::string& str() const { return *buf(); }
+  std::string Take() { return std::move(*buf()); }
+  std::size_t size() const { return buf()->size(); }
+
+ private:
+  template <typename T>
+  void PutLE(T v) {
+    char tmp[sizeof(T)];
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      tmp[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    }
+    Raw(tmp, sizeof(T));
+  }
+  void Raw(const void* p, std::size_t n) {
+    buf()->append(static_cast<const char*>(p), n);
+  }
+  std::string* buf() { return out_ ? out_ : &own_; }
+  const std::string* buf() const { return out_ ? out_ : &own_; }
+
+  std::string* out_ = nullptr;
+  std::string own_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool ok() const noexcept { return ok_; }
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool AtEnd() const noexcept { return ok_ && remaining() == 0; }
+
+  std::uint8_t GetU8() { return GetLE<std::uint8_t>(); }
+  std::uint16_t GetU16() { return GetLE<std::uint16_t>(); }
+  std::uint32_t GetU32() { return GetLE<std::uint32_t>(); }
+  std::uint64_t GetU64() { return GetLE<std::uint64_t>(); }
+  std::int64_t GetI64() { return static_cast<std::int64_t>(GetU64()); }
+
+  // Length-prefixed byte string; returns a view into the underlying buffer.
+  std::string_view GetBytes() {
+    std::uint32_t n = GetU32();
+    return GetRaw(n);
+  }
+  std::string GetString() { return std::string(GetBytes()); }
+
+  // n raw bytes with no prefix.
+  std::string_view GetRaw(std::size_t n) {
+    if (!ok_ || remaining() < n) {
+      ok_ = false;
+      return {};
+    }
+    std::string_view v = data_.substr(pos_, n);
+    pos_ += n;
+    return v;
+  }
+
+ private:
+  template <typename T>
+  T GetLE() {
+    if (!ok_ || remaining() < sizeof(T)) {
+      ok_ = false;
+      return T{};
+    }
+    T v{};
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v |
+          (static_cast<T>(static_cast<std::uint8_t>(data_[pos_ + i])) << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// In-place fixed-offset accessors: read/write a little-endian integer at a
+// byte offset inside an existing value buffer.  This is the primitive behind
+// LocoFS's "(de)serialization removal" (§3.3.3): with all fields fixed-length
+// a single field update touches sizeof(T) bytes of the stored value and never
+// re-encodes the rest.
+template <typename T>
+inline T LoadAt(std::string_view buf, std::size_t off) noexcept {
+  T v{};
+  if (off + sizeof(T) <= buf.size()) std::memcpy(&v, buf.data() + off, sizeof(T));
+  return v;
+}
+
+template <typename T>
+inline void StoreAt(std::string* buf, std::size_t off, T v) noexcept {
+  if (off + sizeof(T) <= buf->size()) std::memcpy(buf->data() + off, &v, sizeof(T));
+}
+
+}  // namespace loco::common

@@ -1,0 +1,59 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+namespace loco::common {
+
+namespace {
+
+inline std::uint64_t Load64(const char* p) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline std::uint64_t Load32(const char* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline std::uint64_t MulMix(std::uint64_t a, std::uint64_t b) noexcept {
+  __uint128_t r = static_cast<__uint128_t>(a) * b;
+  return static_cast<std::uint64_t>(r) ^ static_cast<std::uint64_t>(r >> 64);
+}
+
+}  // namespace
+
+std::uint64_t WyMix(std::string_view data, std::uint64_t seed) noexcept {
+  constexpr std::uint64_t kP0 = 0xa0761d6478bd642fULL;
+  constexpr std::uint64_t kP1 = 0xe7037ed1a0b428dbULL;
+  constexpr std::uint64_t kP2 = 0x8ebc6af09c88c6e3ULL;
+
+  const char* p = data.data();
+  std::size_t n = data.size();
+  std::uint64_t h = seed ^ kP0;
+
+  while (n >= 16) {
+    h = MulMix(Load64(p) ^ kP1, Load64(p + 8) ^ h);
+    p += 16;
+    n -= 16;
+  }
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  if (n >= 8) {
+    a = Load64(p);
+    b = Load64(p + n - 8);
+  } else if (n >= 4) {
+    a = Load32(p);
+    b = Load32(p + n - 4);
+  } else if (n > 0) {
+    a = (static_cast<std::uint64_t>(static_cast<std::uint8_t>(p[0])) << 16) |
+        (static_cast<std::uint64_t>(static_cast<std::uint8_t>(p[n >> 1])) << 8) |
+        static_cast<std::uint64_t>(static_cast<std::uint8_t>(p[n - 1]));
+  }
+  h = MulMix(a ^ kP1, b ^ h);
+  return MulMix(h ^ data.size(), kP2);
+}
+
+}  // namespace loco::common

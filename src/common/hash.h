@@ -1,0 +1,45 @@
+// Hash functions used across the KV stores and the consistent-hash ring.
+//
+// Two independent families are provided so that hash-table bucketing and
+// ring placement never correlate:
+//   * Fnv1a64   — bytewise FNV-1a, streaming-friendly, used for keys.
+//   * Mix64     — SplitMix64 finalizer, used to derive secondary hashes and
+//                 to seed deterministic RNG streams.
+//   * WyMix     — a wyhash-style 64-bit string hash with a seed, used by the
+//                 consistent-hash ring (seeded per virtual node).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace loco::common {
+
+// FNV-1a over an arbitrary byte string.
+constexpr std::uint64_t Fnv1a64(std::string_view data,
+                                std::uint64_t seed = 0xcbf29ce484222325ULL) noexcept {
+  std::uint64_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// SplitMix64 finalizer: a strong bijective mix of a 64-bit integer.
+constexpr std::uint64_t Mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Seeded string hash (wyhash-style multiply-mix over 8-byte lanes).
+std::uint64_t WyMix(std::string_view data, std::uint64_t seed) noexcept;
+
+// Combine two hashes (order-sensitive).
+constexpr std::uint64_t HashCombine(std::uint64_t a, std::uint64_t b) noexcept {
+  return Mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace loco::common

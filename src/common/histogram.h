@@ -1,0 +1,97 @@
+// Log-bucketed latency histogram (HdrHistogram-style, base-2 buckets with
+// linear sub-buckets).  Records virtual-time nanoseconds; supports mean and
+// arbitrary percentiles.  Not thread-safe: the simulator is single-threaded
+// and the real-transport integration tests merge per-thread instances.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace loco::common {
+
+class Histogram {
+ public:
+  static constexpr int kSubBits = 5;  // 32 linear sub-buckets per octave
+  static constexpr int kOctaves = 48; // covers up to ~2^48 ns (~3 days)
+
+  void Record(Nanos v) noexcept {
+    if (v < 0) v = 0;
+    ++count_;
+    sum_ += v;
+    max_ = std::max(max_, v);
+    min_ = count_ == 1 ? v : std::min(min_, v);
+    ++buckets_[BucketIndex(v)];
+  }
+
+  void Merge(const Histogram& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      min_ = other.min_;
+    } else {
+      min_ = std::min(min_, other.min_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    max_ = std::max(max_, other.max_);
+    for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  }
+
+  void Reset() noexcept { *this = Histogram(); }
+
+  std::uint64_t count() const noexcept { return count_; }
+  Nanos sum() const noexcept { return sum_; }
+  Nanos max() const noexcept { return max_; }
+  Nanos min() const noexcept { return count_ ? min_ : 0; }
+  double Mean() const noexcept {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  }
+
+  // Value at quantile q in [0,1]; returns an upper bound of the bucket.
+  Nanos Percentile(double q) const noexcept {
+    if (count_ == 0) return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      seen += buckets_[i];
+      if (seen >= rank) return BucketUpper(i);
+    }
+    return max_;
+  }
+
+ private:
+  static std::size_t BucketIndex(Nanos v) noexcept {
+    const std::uint64_t u = static_cast<std::uint64_t>(v);
+    if (u < (1ULL << kSubBits)) return static_cast<std::size_t>(u);
+    const int msb = 63 - __builtin_clzll(u);
+    const int octave = msb - kSubBits + 1;
+    const std::uint64_t sub = (u >> (msb - kSubBits)) & ((1ULL << kSubBits) - 1);
+    std::size_t idx = static_cast<std::size_t>(octave + 1) * (1ULL << kSubBits) +
+                      static_cast<std::size_t>(sub) -
+                      (1ULL << kSubBits);
+    return std::min(idx, kNumBuckets - 1);
+  }
+
+  static Nanos BucketUpper(std::size_t idx) noexcept {
+    if (idx < (1ULL << kSubBits)) return static_cast<Nanos>(idx);
+    const std::size_t octave = idx / (1ULL << kSubBits);
+    const std::size_t sub = idx % (1ULL << kSubBits);
+    const std::uint64_t base = 1ULL << (kSubBits + octave - 1);
+    const std::uint64_t step = base >> kSubBits;
+    return static_cast<Nanos>(base + (sub + 1) * step);
+  }
+
+  static constexpr std::size_t kNumBuckets = (kOctaves + 1) * (1ULL << kSubBits);
+
+  std::uint64_t count_ = 0;
+  Nanos sum_ = 0;
+  Nanos max_ = 0;
+  Nanos min_ = 0;
+  std::array<std::uint64_t, kNumBuckets> buckets_{};
+};
+
+}  // namespace loco::common

@@ -1,0 +1,42 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace loco::common {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void SetLogLevel(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void LogLine(LogLevel level, std::string_view msg) {
+  std::string line;
+  line.reserve(msg.size() + 16);
+  line += '[';
+  line += LevelName(level);
+  line += "] ";
+  line += msg;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace loco::common

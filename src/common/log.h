@@ -1,0 +1,36 @@
+// Minimal leveled logger.
+//
+// Logging defaults to kWarn so benchmark hot paths stay silent; tests raise
+// the level locally when debugging.  Thread-safe: each Log() call formats
+// into a local buffer and performs a single write.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace loco::common {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Process-wide log threshold.
+LogLevel GetLogLevel() noexcept;
+void SetLogLevel(LogLevel level) noexcept;
+
+// Emit one line: "[LEVEL] message\n" to stderr.
+void LogLine(LogLevel level, std::string_view msg);
+
+template <typename... Args>
+void Logf(LogLevel level, const char* fmt, Args... args) {
+  if (level < GetLogLevel()) return;
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  LogLine(level, buf);
+}
+
+#define LOCO_LOG_DEBUG(...) ::loco::common::Logf(::loco::common::LogLevel::kDebug, __VA_ARGS__)
+#define LOCO_LOG_INFO(...)  ::loco::common::Logf(::loco::common::LogLevel::kInfo, __VA_ARGS__)
+#define LOCO_LOG_WARN(...)  ::loco::common::Logf(::loco::common::LogLevel::kWarn, __VA_ARGS__)
+#define LOCO_LOG_ERROR(...) ::loco::common::Logf(::loco::common::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace loco::common

@@ -1,0 +1,34 @@
+#include "common/result.h"
+
+namespace loco {
+
+std::string_view ErrName(ErrCode code) noexcept {
+  switch (code) {
+    case ErrCode::kOk: return "kOk";
+    case ErrCode::kNotFound: return "kNotFound";
+    case ErrCode::kExists: return "kExists";
+    case ErrCode::kNotDir: return "kNotDir";
+    case ErrCode::kIsDir: return "kIsDir";
+    case ErrCode::kNotEmpty: return "kNotEmpty";
+    case ErrCode::kPermission: return "kPermission";
+    case ErrCode::kInvalid: return "kInvalid";
+    case ErrCode::kIo: return "kIo";
+    case ErrCode::kTimeout: return "kTimeout";
+    case ErrCode::kUnavailable: return "kUnavailable";
+    case ErrCode::kCorruption: return "kCorruption";
+    case ErrCode::kStale: return "kStale";
+    case ErrCode::kUnsupported: return "kUnsupported";
+  }
+  return "kUnknown";
+}
+
+std::string Status::ToString() const {
+  std::string out(ErrName(code_));
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace loco

@@ -1,0 +1,131 @@
+// Lightweight Status / Result<T> error handling for the LocoFS codebase.
+//
+// The project targets C++20 (no std::expected), so this header provides a
+// minimal, allocation-free substitute.  Error codes deliberately mirror the
+// POSIX errors a file system client would surface (ENOENT, EEXIST, ...) so
+// that service handlers can translate them onto the wire unambiguously.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace loco {
+
+// Error codes shared by every layer (KV stores, RPC, metadata services).
+enum class ErrCode : std::uint8_t {
+  kOk = 0,
+  kNotFound,       // ENOENT
+  kExists,         // EEXIST
+  kNotDir,         // ENOTDIR
+  kIsDir,          // EISDIR
+  kNotEmpty,       // ENOTEMPTY
+  kPermission,     // EACCES
+  kInvalid,        // EINVAL
+  kIo,             // EIO (storage / WAL failures)
+  kTimeout,        // RPC deadline exceeded
+  kUnavailable,    // server not reachable / not running
+  kCorruption,     // checksum or framing mismatch
+  kStale,          // lease or cached handle no longer valid
+  kUnsupported,    // operation not implemented by this service
+};
+
+// Human-readable name for an error code (stable, used in logs and tests).
+std::string_view ErrName(ErrCode code) noexcept;
+
+// A Status is an ErrCode plus an optional context message.
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept : code_(ErrCode::kOk) {}
+  explicit Status(ErrCode code, std::string msg = {})
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status Ok() noexcept { return Status(); }
+
+  bool ok() const noexcept { return code_ == ErrCode::kOk; }
+  ErrCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return msg_; }
+
+  // "kNotFound: /a/b missing" or "kOk".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrCode code_;
+  std::string msg_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+inline Status ErrStatus(ErrCode code, std::string msg = {}) {
+  return Status(code, std::move(msg));
+}
+
+// Result<T>: either a value or a non-kOk Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Intentionally implicit: lets handlers `return value;` / `return status;`.
+  Result(T value) : rep_(std::move(value)) {}
+  Result(Status status) : rep_(std::move(status)) {
+    assert(!std::get<Status>(rep_).ok() && "Result needs a failing Status");
+  }
+  Result(ErrCode code, std::string msg = {})
+      : rep_(Status(code, std::move(msg))) {}
+
+  bool ok() const noexcept { return std::holds_alternative<T>(rep_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  ErrCode code() const noexcept {
+    return ok() ? ErrCode::kOk : std::get<Status>(rep_).code();
+  }
+  Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(rep_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const& { return ok() ? value() : fallback; }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+// Propagate a failing Status out of the current function.
+#define LOCO_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::loco::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+// Evaluate a Result-returning expression, bind its value or propagate.
+#define LOCO_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto LOCO_CONCAT_(_res, __LINE__) = (expr); \
+  if (!LOCO_CONCAT_(_res, __LINE__).ok())     \
+    return LOCO_CONCAT_(_res, __LINE__).status(); \
+  lhs = std::move(LOCO_CONCAT_(_res, __LINE__)).value()
+
+#define LOCO_CONCAT_INNER_(a, b) a##b
+#define LOCO_CONCAT_(a, b) LOCO_CONCAT_INNER_(a, b)
+
+}  // namespace loco

@@ -1,0 +1,82 @@
+// Deterministic pseudo-random number generation.
+//
+// Every workload generator and the simulator derive their streams from
+// SplitMix64-seeded xoshiro256** instances, so a (seed, stream-id) pair fully
+// determines a run — required for the simulator determinism tests and for
+// reproducible benchmark tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/hash.h"
+
+namespace loco::common {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed) noexcept { Seed(seed); }
+
+  void Seed(std::uint64_t seed) noexcept {
+    // Expand the seed with SplitMix64 so nearby seeds give unrelated streams.
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      word = Mix64(x);
+    }
+  }
+
+  // Derive an independent sub-stream (e.g. one per simulated client).
+  Rng Fork(std::uint64_t stream_id) const noexcept {
+    return Rng(HashCombine(s_[0] ^ s_[3], stream_id));
+  }
+
+  std::uint64_t Next() noexcept {
+    const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound) with rejection to avoid modulo bias.
+  std::uint64_t Uniform(std::uint64_t bound) noexcept {
+    if (bound <= 1) return 0;
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+    std::uint64_t v;
+    do {
+      v = Next();
+    } while (v >= limit);
+    return v % bound;
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  std::uint64_t Range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  double NextDouble() noexcept {  // [0, 1)
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  bool Chance(double p) noexcept { return NextDouble() < p; }
+
+  // Random lowercase ASCII identifier of the given length.
+  std::string Name(std::size_t len) {
+    std::string s(len, 'a');
+    for (auto& c : s) c = static_cast<char>('a' + Uniform(26));
+    return s;
+  }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace loco::common

@@ -1,0 +1,505 @@
+#include "core/client.h"
+
+#include <algorithm>
+
+#include "core/layout.h"
+#include "core/proto.h"
+#include "fs/path.h"
+#include "fs/wire.h"
+
+namespace loco::core {
+
+namespace {
+
+// Decode an Attr-only response payload.
+Result<fs::Attr> AttrFrom(const net::RpcResponse& resp) {
+  if (!resp.ok()) return ErrStatus(resp.code);
+  fs::Attr attr;
+  if (!fs::Unpack(resp.payload, attr)) return ErrStatus(ErrCode::kCorruption);
+  return attr;
+}
+
+Status StatusFrom(const net::RpcResponse& resp) { return Status(resp.code); }
+
+}  // namespace
+
+LocoClient::LocoClient(net::Channel& channel, Config config)
+    : channel_(channel), cfg_(std::move(config)), ring_(cfg_.fms) {}
+
+void LocoClient::InvalidatePrefix(const std::string& path) {
+  const std::string prefix = path + "/";
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (it->first == path || it->first.rfind(prefix, 0) == 0) {
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+net::Task<Result<fs::Attr>> LocoClient::LookupDir(std::string path,
+                                                  std::uint32_t want,
+                                                  std::string shadow_name) {
+  if (cfg_.cache_enabled) {
+    const auto it = cache_.find(path);
+    if (it != cache_.end() && Now() < it->second.expires_at) {
+      ++cache_hits_;
+      const fs::Attr& attr = it->second.attr;
+      // Leased local evaluation of the permission bits; ancestor checks and
+      // the shadow check were covered when the lease was granted.
+      if (want != 0 &&
+          !fs::CheckPermission(identity_, attr.mode, attr.uid, attr.gid, want)) {
+        co_return ErrStatus(ErrCode::kPermission);
+      }
+      co_return attr;
+    }
+    ++cache_misses_;
+  }
+  net::RpcResponse resp =
+      co_await net::Call(channel_, cfg_.dms, proto::kDmsLookup,
+                         fs::Pack(path, identity_, want, shadow_name));
+  auto attr = AttrFrom(resp);
+  if (attr.ok() && cfg_.cache_enabled) {
+    cache_[path] = CacheEntry{*attr, Now() + cfg_.lease_ns};
+  }
+  co_return attr;
+}
+
+net::Task<Status> LocoClient::ClassifyMissingFile(std::string path) {
+  net::RpcResponse resp = co_await net::Call(
+      channel_, cfg_.dms, proto::kDmsStat, fs::Pack(path, identity_));
+  // If a directory exists at this path the file op mis-typed its target;
+  // other resolution failures (e.g. kPermission on an ancestor) are the
+  // authoritative answer and pass through.
+  if (resp.ok()) co_return ErrStatus(ErrCode::kIsDir);
+  if (resp.code == ErrCode::kNotFound) co_return ErrStatus(ErrCode::kNotFound);
+  co_return ErrStatus(resp.code);
+}
+
+// ----------------------------------------------------------------- mkdir --
+
+net::Task<Status> LocoClient::Mkdir(std::string path, std::uint32_t mode) {
+  net::RpcResponse resp =
+      co_await net::Call(channel_, cfg_.dms, proto::kDmsMkdir,
+                         fs::Pack(path, mode, identity_, Now()));
+  co_return StatusFrom(resp);
+}
+
+net::Task<Status> LocoClient::Rmdir(std::string path) {
+  if (!fs::IsValidPath(path) || path == "/") {
+    co_return ErrStatus(ErrCode::kInvalid);
+  }
+  auto dir = co_await LookupDir(path, 0, {});
+  if (!dir.ok()) {
+    if (dir.code() != ErrCode::kNotFound) co_return dir.status();
+    // Maybe a file: report kNotDir to match the contract.
+    auto parent = co_await LookupDir(std::string(fs::ParentPath(path)),
+                                   fs::kModeExec, {});
+    if (parent.ok()) {
+      net::RpcResponse probe = co_await net::Call(
+          channel_, FmsFor(parent->uuid, fs::BaseName(path)), proto::kFmsGetAttr,
+          fs::Pack(parent->uuid, std::string(fs::BaseName(path))));
+      if (probe.ok()) co_return ErrStatus(ErrCode::kNotDir);
+    }
+    co_return ErrStatus(ErrCode::kNotFound);
+  }
+  // Phase 2: every FMS must confirm no file of this directory lives there
+  // (the paper's rmdir fan-out, §4.2.1 observation 3).
+  std::vector<net::NodeId> fms = cfg_.fms;
+  auto checks = co_await net::CallMany(channel_, std::move(fms),
+                                       proto::kFmsCheckEmpty,
+                                       fs::Pack(dir->uuid));
+  for (const net::RpcResponse& check : checks) {
+    if (check.code == ErrCode::kNotEmpty) co_return ErrStatus(ErrCode::kNotEmpty);
+    if (!check.ok()) co_return ErrStatus(check.code);
+  }
+  // Phase 3: remove on the DMS (which re-checks subdirectory emptiness).
+  net::RpcResponse resp =
+      co_await net::Call(channel_, cfg_.dms, proto::kDmsRmdir,
+                         fs::Pack(path, identity_, std::uint8_t{1}));
+  if (resp.ok()) InvalidatePrefix(path);
+  co_return StatusFrom(resp);
+}
+
+net::Task<Result<std::vector<fs::DirEntry>>> LocoClient::Readdir(
+    std::string path) {
+  net::RpcResponse resp = co_await net::Call(
+      channel_, cfg_.dms, proto::kDmsReaddir, fs::Pack(path, identity_));
+  if (!resp.ok()) {
+    if (resp.code != ErrCode::kNotFound || path == "/") {
+      co_return ErrStatus(resp.code);
+    }
+    // Maybe a file path.
+    auto parent = co_await LookupDir(std::string(fs::ParentPath(path)),
+                                   fs::kModeExec, {});
+    if (parent.ok()) {
+      net::RpcResponse probe = co_await net::Call(
+          channel_, FmsFor(parent->uuid, fs::BaseName(path)), proto::kFmsGetAttr,
+          fs::Pack(parent->uuid, std::string(fs::BaseName(path))));
+      if (probe.ok()) co_return ErrStatus(ErrCode::kNotDir);
+    }
+    co_return ErrStatus(ErrCode::kNotFound);
+  }
+  fs::Attr dir_attr;
+  std::vector<fs::DirEntry> entries;
+  if (!fs::Unpack(resp.payload, dir_attr, entries)) {
+    co_return ErrStatus(ErrCode::kCorruption);
+  }
+  // Pull the file entries from every FMS (the paper's readdir fan-out).
+  std::vector<net::NodeId> fms = cfg_.fms;
+  auto responses = co_await net::CallMany(channel_, std::move(fms),
+                                          proto::kFmsReaddir,
+                                          fs::Pack(dir_attr.uuid));
+  for (const net::RpcResponse& r : responses) {
+    if (!r.ok()) co_return ErrStatus(r.code);
+    std::vector<fs::DirEntry> files;
+    if (!fs::Unpack(r.payload, files)) co_return ErrStatus(ErrCode::kCorruption);
+    entries.insert(entries.end(), std::make_move_iterator(files.begin()),
+                   std::make_move_iterator(files.end()));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const fs::DirEntry& a, const fs::DirEntry& b) {
+              return a.name < b.name;
+            });
+  co_return entries;
+}
+
+// ------------------------------------------------------------------ files --
+
+net::Task<Status> LocoClient::Create(std::string path, std::uint32_t mode) {
+  if (!fs::IsValidPath(path) || path == "/") {
+    co_return ErrStatus(ErrCode::kInvalid);
+  }
+  const std::string name(fs::BaseName(path));
+  auto parent = co_await LookupDir(std::string(fs::ParentPath(path)),
+                                   fs::kModeWrite | fs::kModeExec, name);
+  if (!parent.ok()) co_return parent.status();
+  net::RpcResponse resp = co_await net::Call(
+      channel_, FmsFor(parent->uuid, name), proto::kFmsCreate,
+      fs::Pack(parent->uuid, name, mode, identity_, Now()));
+  co_return StatusFrom(resp);
+}
+
+net::Task<Status> LocoClient::Unlink(std::string path) {
+  if (!fs::IsValidPath(path) || path == "/") {
+    co_return ErrStatus(ErrCode::kInvalid);
+  }
+  const std::string name(fs::BaseName(path));
+  auto parent = co_await LookupDir(std::string(fs::ParentPath(path)),
+                                   fs::kModeWrite | fs::kModeExec, {});
+  if (!parent.ok()) co_return parent.status();
+  net::RpcResponse resp =
+      co_await net::Call(channel_, FmsFor(parent->uuid, name), proto::kFmsRemove,
+                         fs::Pack(parent->uuid, name, identity_));
+  if (resp.code == ErrCode::kNotFound) co_return co_await ClassifyMissingFile(path);
+  co_return StatusFrom(resp);
+}
+
+net::Task<Result<fs::Attr>> LocoClient::StatFile(std::string path) {
+  if (!fs::IsValidPath(path) || path == "/") {
+    co_return ErrStatus(ErrCode::kInvalid);
+  }
+  const std::string name(fs::BaseName(path));
+  auto parent =
+      co_await LookupDir(std::string(fs::ParentPath(path)),
+                                   fs::kModeExec, {});
+  if (!parent.ok()) co_return parent.status();
+  net::RpcResponse resp =
+      co_await net::Call(channel_, FmsFor(parent->uuid, name), proto::kFmsGetAttr,
+                         fs::Pack(parent->uuid, name));
+  co_return AttrFrom(resp);
+}
+
+net::Task<Result<fs::Attr>> LocoClient::StatDir(std::string path) {
+  if (path == "/" || !cfg_.cache_enabled) {
+    net::RpcResponse resp = co_await net::Call(
+        channel_, cfg_.dms, proto::kDmsStat, fs::Pack(path, identity_));
+    co_return AttrFrom(resp);
+  }
+  co_return co_await LookupDir(std::move(path), 0, {});
+}
+
+net::Task<Result<fs::Attr>> LocoClient::Stat(std::string path) {
+  if (path == "/") co_return co_await StatDir(std::move(path));
+  auto file = co_await StatFile(path);
+  // Fall back to the DMS when no file exists — and also when the file's
+  // FMS is unreachable: the path may name a directory, which the (healthy)
+  // DMS can still resolve.
+  if (file.ok() || (file.code() != ErrCode::kNotFound &&
+                    file.code() != ErrCode::kUnavailable)) {
+    co_return file;
+  }
+  auto dir = co_await StatDir(std::move(path));
+  if (!dir.ok() && dir.code() == ErrCode::kNotFound &&
+      file.code() == ErrCode::kUnavailable) {
+    co_return file.status();  // genuinely unknown: report the outage
+  }
+  co_return dir;
+}
+
+net::Task<Status> LocoClient::ChmodFile(std::string path, std::uint32_t mode) {
+  const std::string name(fs::BaseName(path));
+  auto parent = co_await LookupDir(std::string(fs::ParentPath(path)),
+                                   fs::kModeExec, {});
+  if (!parent.ok()) co_return parent.status();
+  net::RpcResponse resp = co_await net::Call(
+      channel_, FmsFor(parent->uuid, name), proto::kFmsChmod,
+      fs::Pack(parent->uuid, name, identity_, mode, Now()));
+  co_return StatusFrom(resp);
+}
+
+net::Task<Status> LocoClient::Chmod(std::string path, std::uint32_t mode) {
+  if (!fs::IsValidPath(path)) co_return ErrStatus(ErrCode::kInvalid);
+  if (path != "/") {
+    Status file = co_await ChmodFile(path, mode);
+    if (file.code() != ErrCode::kNotFound) co_return file;
+  }
+  net::RpcResponse resp =
+      co_await net::Call(channel_, cfg_.dms, proto::kDmsChmod,
+                         fs::Pack(path, identity_, mode, Now()));
+  if (resp.ok()) InvalidatePrefix(path);
+  co_return StatusFrom(resp);
+}
+
+net::Task<Status> LocoClient::ChownFile(std::string path, std::uint32_t uid,
+                                        std::uint32_t gid) {
+  const std::string name(fs::BaseName(path));
+  auto parent = co_await LookupDir(std::string(fs::ParentPath(path)),
+                                   fs::kModeExec, {});
+  if (!parent.ok()) co_return parent.status();
+  net::RpcResponse resp = co_await net::Call(
+      channel_, FmsFor(parent->uuid, name), proto::kFmsChown,
+      fs::Pack(parent->uuid, name, identity_, uid, gid, Now()));
+  co_return StatusFrom(resp);
+}
+
+net::Task<Status> LocoClient::Chown(std::string path, std::uint32_t uid,
+                                    std::uint32_t gid) {
+  if (!fs::IsValidPath(path)) co_return ErrStatus(ErrCode::kInvalid);
+  if (path != "/") {
+    Status file = co_await ChownFile(path, uid, gid);
+    if (file.code() != ErrCode::kNotFound) co_return file;
+  }
+  net::RpcResponse resp =
+      co_await net::Call(channel_, cfg_.dms, proto::kDmsChown,
+                         fs::Pack(path, identity_, uid, gid, Now()));
+  if (resp.ok()) InvalidatePrefix(path);
+  co_return StatusFrom(resp);
+}
+
+net::Task<Status> LocoClient::AccessFile(std::string path, std::uint32_t want) {
+  const std::string name(fs::BaseName(path));
+  auto parent = co_await LookupDir(std::string(fs::ParentPath(path)),
+                                   fs::kModeExec, {});
+  if (!parent.ok()) co_return parent.status();
+  net::RpcResponse resp = co_await net::Call(
+      channel_, FmsFor(parent->uuid, name), proto::kFmsAccess,
+      fs::Pack(parent->uuid, name, identity_, want));
+  co_return StatusFrom(resp);
+}
+
+net::Task<Status> LocoClient::Access(std::string path, std::uint32_t want) {
+  if (!fs::IsValidPath(path)) co_return ErrStatus(ErrCode::kInvalid);
+  if (path != "/") {
+    Status file = co_await AccessFile(path, want);
+    if (file.code() != ErrCode::kNotFound) co_return file;
+  }
+  net::RpcResponse resp = co_await net::Call(
+      channel_, cfg_.dms, proto::kDmsAccess, fs::Pack(path, identity_, want));
+  co_return StatusFrom(resp);
+}
+
+net::Task<Status> LocoClient::Utimens(std::string path, std::uint64_t mtime,
+                                      std::uint64_t atime) {
+  if (!fs::IsValidPath(path)) co_return ErrStatus(ErrCode::kInvalid);
+  if (path != "/") {
+    const std::string name(fs::BaseName(path));
+    auto parent = co_await LookupDir(std::string(fs::ParentPath(path)),
+                                   fs::kModeExec, {});
+    if (!parent.ok()) co_return parent.status();
+    net::RpcResponse resp = co_await net::Call(
+        channel_, FmsFor(parent->uuid, name), proto::kFmsUtimens,
+        fs::Pack(parent->uuid, name, identity_, mtime, atime));
+    if (resp.code != ErrCode::kNotFound) co_return StatusFrom(resp);
+  }
+  net::RpcResponse resp =
+      co_await net::Call(channel_, cfg_.dms, proto::kDmsUtimens,
+                         fs::Pack(path, identity_, mtime, atime));
+  if (resp.ok()) InvalidatePrefix(path);
+  co_return StatusFrom(resp);
+}
+
+// ------------------------------------------------------------------- data --
+
+net::Task<Result<fs::Attr>> LocoClient::Open(std::string path) {
+  if (!fs::IsValidPath(path) || path == "/") {
+    co_return ErrStatus(path == "/" ? ErrCode::kIsDir : ErrCode::kInvalid);
+  }
+  const std::string name(fs::BaseName(path));
+  auto parent = co_await LookupDir(std::string(fs::ParentPath(path)),
+                                   fs::kModeExec, {});
+  if (!parent.ok()) co_return parent.status();
+  net::RpcResponse resp =
+      co_await net::Call(channel_, FmsFor(parent->uuid, name), proto::kFmsOpen,
+                         fs::Pack(parent->uuid, name, identity_));
+  if (resp.code == ErrCode::kNotFound) {
+    co_return co_await ClassifyMissingFile(path);
+  }
+  co_return AttrFrom(resp);
+}
+
+net::Task<Status> LocoClient::Close(std::string path) {
+  // LocoFS keeps no server-side open state: close is client-local.
+  (void)path;
+  co_return OkStatus();
+}
+
+net::Task<Status> LocoClient::Truncate(std::string path, std::uint64_t size) {
+  if (!fs::IsValidPath(path) || path == "/") {
+    co_return ErrStatus(path == "/" ? ErrCode::kIsDir : ErrCode::kInvalid);
+  }
+  const std::string name(fs::BaseName(path));
+  auto parent = co_await LookupDir(std::string(fs::ParentPath(path)),
+                                   fs::kModeExec, {});
+  if (!parent.ok()) co_return parent.status();
+  net::RpcResponse resp = co_await net::Call(
+      channel_, FmsFor(parent->uuid, name), proto::kFmsSetSize,
+      fs::Pack(parent->uuid, name, identity_, size, std::uint8_t{1}, Now()));
+  if (resp.code == ErrCode::kNotFound) co_return co_await ClassifyMissingFile(path);
+  if (!resp.ok()) co_return StatusFrom(resp);
+  fs::Uuid uuid;
+  std::uint64_t new_size = 0;
+  if (!fs::Unpack(resp.payload, uuid, new_size)) {
+    co_return ErrStatus(ErrCode::kCorruption);
+  }
+  net::RpcResponse obj = co_await net::Call(
+      channel_, ObjFor(uuid), proto::kObjTruncate, fs::Pack(uuid, size));
+  co_return StatusFrom(obj);
+}
+
+net::Task<Status> LocoClient::Write(std::string path, std::uint64_t offset,
+                                    std::string data) {
+  if (!fs::IsValidPath(path) || path == "/") {
+    co_return ErrStatus(path == "/" ? ErrCode::kIsDir : ErrCode::kInvalid);
+  }
+  const std::string name(fs::BaseName(path));
+  auto parent = co_await LookupDir(std::string(fs::ParentPath(path)),
+                                   fs::kModeExec, {});
+  if (!parent.ok()) co_return parent.status();
+  net::RpcResponse resp = co_await net::Call(
+      channel_, FmsFor(parent->uuid, name), proto::kFmsSetSize,
+      fs::Pack(parent->uuid, name, identity_, offset + data.size(),
+               std::uint8_t{0}, Now()));
+  if (resp.code == ErrCode::kNotFound) co_return co_await ClassifyMissingFile(path);
+  if (!resp.ok()) co_return StatusFrom(resp);
+  fs::Uuid uuid;
+  std::uint64_t new_size = 0;
+  if (!fs::Unpack(resp.payload, uuid, new_size)) {
+    co_return ErrStatus(ErrCode::kCorruption);
+  }
+  net::RpcResponse obj =
+      co_await net::Call(channel_, ObjFor(uuid), proto::kObjWrite,
+                         fs::Pack(uuid, offset, data));
+  co_return StatusFrom(obj);
+}
+
+net::Task<Result<std::string>> LocoClient::Read(std::string path,
+                                                std::uint64_t offset,
+                                                std::uint64_t length) {
+  if (!fs::IsValidPath(path) || path == "/") {
+    co_return ErrStatus(path == "/" ? ErrCode::kIsDir : ErrCode::kInvalid);
+  }
+  const std::string name(fs::BaseName(path));
+  auto parent = co_await LookupDir(std::string(fs::ParentPath(path)),
+                                   fs::kModeExec, {});
+  if (!parent.ok()) co_return parent.status();
+  net::RpcResponse resp = co_await net::Call(
+      channel_, FmsFor(parent->uuid, name), proto::kFmsSetAtime,
+      fs::Pack(parent->uuid, name, identity_, Now()));
+  if (resp.code == ErrCode::kNotFound) {
+    Status classified = co_await ClassifyMissingFile(path);
+    co_return classified;
+  }
+  if (!resp.ok()) co_return ErrStatus(resp.code);
+  fs::Uuid uuid;
+  std::uint64_t size = 0;
+  if (!fs::Unpack(resp.payload, uuid, size)) {
+    co_return ErrStatus(ErrCode::kCorruption);
+  }
+  if (offset >= size) co_return std::string();
+  const std::uint64_t n = std::min(length, size - offset);
+  net::RpcResponse obj =
+      co_await net::Call(channel_, ObjFor(uuid), proto::kObjRead,
+                         fs::Pack(uuid, offset, n, size));
+  if (!obj.ok()) co_return ErrStatus(obj.code);
+  std::string data;
+  if (!fs::Unpack(obj.payload, data)) co_return ErrStatus(ErrCode::kCorruption);
+  co_return data;
+}
+
+// ----------------------------------------------------------------- rename --
+
+net::Task<Status> LocoClient::Rename(std::string from, std::string to) {
+  if (!fs::IsValidPath(from) || !fs::IsValidPath(to) || from == "/" ||
+      to == "/") {
+    co_return ErrStatus(ErrCode::kInvalid);
+  }
+  if (from == to) co_return OkStatus();
+  if (to.size() > from.size() && to.compare(0, from.size(), from) == 0 &&
+      to[from.size()] == '/') {
+    co_return ErrStatus(ErrCode::kInvalid);
+  }
+
+  // Try f-rename first: read the raw fixed-layout parts from the source FMS.
+  const std::string from_name(fs::BaseName(from));
+  const std::string to_name(fs::BaseName(to));
+  auto src_parent = co_await LookupDir(std::string(fs::ParentPath(from)),
+                                       fs::kModeWrite | fs::kModeExec, {});
+  if (!src_parent.ok()) co_return src_parent.status();
+  net::RpcResponse raw = co_await net::Call(
+      channel_, FmsFor(src_parent->uuid, from_name), proto::kFmsReadRaw,
+      fs::Pack(src_parent->uuid, from_name));
+  if (raw.ok()) {
+    auto dst_parent = co_await LookupDir(std::string(fs::ParentPath(to)),
+                                         fs::kModeWrite | fs::kModeExec, {});
+    if (!dst_parent.ok()) co_return dst_parent.status();
+    // A directory at the destination shadows the file rename.
+    net::RpcResponse dir_probe = co_await net::Call(
+        channel_, cfg_.dms, proto::kDmsStat, fs::Pack(to, identity_));
+    if (dir_probe.ok()) co_return ErrStatus(ErrCode::kExists);
+    std::string access, content;
+    if (!fs::Unpack(raw.payload, access, content)) {
+      co_return ErrStatus(ErrCode::kCorruption);
+    }
+    net::RpcResponse ins = co_await net::Call(
+        channel_, FmsFor(dst_parent->uuid, to_name), proto::kFmsInsertRaw,
+        fs::Pack(dst_parent->uuid, to_name, access, content));
+    if (!ins.ok()) co_return StatusFrom(ins);
+    net::RpcResponse rm = co_await net::Call(
+        channel_, FmsFor(src_parent->uuid, from_name), proto::kFmsRemove,
+        fs::Pack(src_parent->uuid, from_name, identity_));
+    co_return StatusFrom(rm);
+  }
+  if (raw.code != ErrCode::kNotFound) co_return StatusFrom(raw);
+
+  // d-rename.  Source existence is verified first: a missing source
+  // dominates any destination-side condition.
+  net::RpcResponse src_probe = co_await net::Call(
+      channel_, cfg_.dms, proto::kDmsStat, fs::Pack(from, identity_));
+  if (!src_probe.ok()) co_return StatusFrom(src_probe);
+
+  // The destination must not exist as a file either.
+  auto dst_parent = co_await LookupDir(std::string(fs::ParentPath(to)), 0, {});
+  if (dst_parent.ok()) {
+    net::RpcResponse file_probe = co_await net::Call(
+        channel_, FmsFor(dst_parent->uuid, to_name), proto::kFmsGetAttr,
+        fs::Pack(dst_parent->uuid, to_name));
+    if (file_probe.ok()) co_return ErrStatus(ErrCode::kExists);
+  }
+  net::RpcResponse resp = co_await net::Call(
+      channel_, cfg_.dms, proto::kDmsRename, fs::Pack(from, to, identity_));
+  if (resp.ok()) InvalidatePrefix(from);
+  co_return StatusFrom(resp);
+}
+
+}  // namespace loco::core

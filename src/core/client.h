@@ -1,0 +1,122 @@
+// LocoClient ("LocoLib") — the LocoFS client library (§3.1).
+//
+// Routes directory operations to the single DMS, file-metadata operations to
+// FMS servers chosen by consistent hashing over (parent uuid + name), and
+// data to object-store servers chosen by file uuid.  Optionally keeps the
+// client directory-metadata cache of §3.2.2: d-inode entries only, guarded
+// by a lease (30 s by default); file inodes and dirents are never cached.
+//
+// Operation → RPC decomposition is documented in DESIGN.md §5.  Two known,
+// deliberate relaxations versus the strict single-node contract (both
+// inherent to the paper's design and documented in DESIGN.md):
+//   * on a cache hit the parent's ACL is evaluated from leased state, and
+//     the file/subdirectory shadow check is skipped;
+//   * a path that traverses *through a file* reports kNotFound rather than
+//     kNotDir (no server holds both namespaces).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/layout.h"
+#include "core/ring.h"
+#include "fs/client.h"
+#include "net/call.h"
+#include "net/rpc.h"
+
+namespace loco::core {
+
+class LocoClient final : public fs::FileSystemClient {
+ public:
+  struct Config {
+    net::NodeId dms = 0;
+    std::vector<net::NodeId> fms;
+    std::vector<net::NodeId> object_stores;
+    bool cache_enabled = true;                     // LocoFS-C vs LocoFS-NC
+    std::uint64_t lease_ns = 30ull * 1'000'000'000;  // 30 s (§3.2.2)
+    fs::TimeFn now;                                // operation timestamps
+  };
+
+  LocoClient(net::Channel& channel, Config config);
+
+  // fs::FileSystemClient ------------------------------------------------
+  net::Task<Status> Mkdir(std::string path, std::uint32_t mode) override;
+  net::Task<Status> Rmdir(std::string path) override;
+  net::Task<Result<std::vector<fs::DirEntry>>> Readdir(std::string path) override;
+  net::Task<Status> Create(std::string path, std::uint32_t mode) override;
+  net::Task<Status> Unlink(std::string path) override;
+  net::Task<Status> Rename(std::string from, std::string to) override;
+  net::Task<Result<fs::Attr>> Stat(std::string path) override;
+  net::Task<Status> Chmod(std::string path, std::uint32_t mode) override;
+  net::Task<Status> Chown(std::string path, std::uint32_t uid,
+                          std::uint32_t gid) override;
+  net::Task<Status> Access(std::string path, std::uint32_t want) override;
+  net::Task<Status> Utimens(std::string path, std::uint64_t mtime,
+                            std::uint64_t atime) override;
+  net::Task<Status> Truncate(std::string path, std::uint64_t size) override;
+  net::Task<Result<fs::Attr>> Open(std::string path) override;
+  net::Task<Status> Close(std::string path) override;
+  net::Task<Status> Write(std::string path, std::uint64_t offset,
+                          std::string data) override;
+  net::Task<Result<std::string>> Read(std::string path, std::uint64_t offset,
+                                      std::uint64_t length) override;
+
+  // Typed fast paths used by benchmarks (mdtest knows object types).
+  net::Task<Result<fs::Attr>> StatDir(std::string path) override;
+  net::Task<Result<fs::Attr>> StatFile(std::string path) override;
+  net::Task<Status> ChmodFile(std::string path, std::uint32_t mode);
+  net::Task<Status> ChownFile(std::string path, std::uint32_t uid,
+                              std::uint32_t gid);
+  net::Task<Status> AccessFile(std::string path, std::uint32_t want);
+
+  // The d-inode cache holds leases whose ancestor ACL checks were performed
+  // under the granting identity; an identity change invalidates them all.
+  void SetIdentity(fs::Identity id) noexcept override {
+    if (id.uid != identity_.uid || id.gid != identity_.gid) cache_.clear();
+    identity_ = id;
+  }
+
+  // Cache observability.
+  std::uint64_t cache_hits() const noexcept { return cache_hits_; }
+  std::uint64_t cache_misses() const noexcept { return cache_misses_; }
+  std::size_t cache_size() const noexcept { return cache_.size(); }
+  void DropCache() { cache_.clear(); }
+
+ private:
+  struct CacheEntry {
+    fs::Attr attr;
+    std::uint64_t expires_at = 0;
+  };
+
+  std::uint64_t Now() const { return cfg_.now ? cfg_.now() : 0; }
+
+  // Resolve a directory (usually a parent): serve from the lease cache when
+  // possible, otherwise one DMS Lookup RPC.  `want` permission bits are
+  // evaluated either locally (hit) or by the DMS (miss); `shadow_name`
+  // triggers the subdirectory shadow check on the uncached path.
+  net::Task<Result<fs::Attr>> LookupDir(std::string path, std::uint32_t want,
+                                        std::string shadow_name);
+
+  // Distinguish kNotFound vs kIsDir/kNotDir after an FMS miss by consulting
+  // the DMS (keeps client-visible error codes faithful to the contract).
+  net::Task<Status> ClassifyMissingFile(std::string path);
+
+  void InvalidatePrefix(const std::string& path);
+
+  net::NodeId FmsFor(fs::Uuid dir_uuid, std::string_view name) const {
+    return ring_.Locate(FileKey(dir_uuid, name));
+  }
+  net::NodeId ObjFor(fs::Uuid uuid) const {
+    return cfg_.object_stores[uuid.raw() % cfg_.object_stores.size()];
+  }
+
+  net::Channel& channel_;
+  Config cfg_;
+  HashRing ring_;
+  std::unordered_map<std::string, CacheEntry> cache_;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+};
+
+}  // namespace loco::core

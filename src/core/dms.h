@@ -1,0 +1,66 @@
+// Directory Metadata Server (DMS) — §3.1, §3.2.
+//
+// A single DMS holds every directory inode, keyed by full path in a B+-tree
+// KV (Kyoto Cabinet tree-DB stand-in), so:
+//   * any directory is located with one local get (flattened tree);
+//   * ancestor ACL checks for a whole path are local gets, never RPCs;
+//   * a directory rename is an ordered range move (§3.4.3).
+// Sub-directory dirent lists are concatenated values keyed by the owning
+// directory's uuid in a separate hash KV (§3.2.1).
+//
+// Handlers are synchronous and single-threaded by contract (the simulator
+// serializes per-server; the in-process transport locks per server).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/layout.h"
+#include "kvstore/kv.h"
+#include "net/rpc.h"
+
+namespace loco::core {
+
+class DirectoryMetadataServer final : public net::RpcHandler {
+ public:
+  struct Options {
+    // Backend for the d-inode store: kBTree enables the rename range-move
+    // optimization; kHash is the Fig. 14 comparison point.
+    kv::KvBackend backend = kv::KvBackend::kBTree;
+    kv::KvOptions kv;
+  };
+
+  DirectoryMetadataServer() : DirectoryMetadataServer(Options{}) {}
+  explicit DirectoryMetadataServer(const Options& options);
+
+  net::RpcResponse Handle(std::uint16_t opcode, std::string_view payload) override;
+
+  // Store introspection for tests and benchmarks.
+  const kv::Kv& dir_kv() const noexcept { return *dirs_; }
+  const kv::Kv& dirent_kv() const noexcept { return *dirents_; }
+  kv::Kv& mutable_dir_kv() noexcept { return *dirs_; }
+  std::size_t DirCount() const { return dirs_->Size(); }
+
+ private:
+  // Resolve `path` as a directory: exec on every ancestor, `want` bits on
+  // the target.  Returns the target's attributes.
+  Result<fs::Attr> ResolveDir(std::string_view path, const fs::Identity& who,
+                              std::uint32_t want) const;
+
+  net::RpcResponse Mkdir(std::string_view payload);
+  net::RpcResponse Rmdir(std::string_view payload);
+  net::RpcResponse Lookup(std::string_view payload);
+  net::RpcResponse Stat(std::string_view payload);
+  net::RpcResponse Readdir(std::string_view payload);
+  net::RpcResponse Chmod(std::string_view payload);
+  net::RpcResponse Chown(std::string_view payload);
+  net::RpcResponse Utimens(std::string_view payload);
+  net::RpcResponse Access(std::string_view payload);
+  net::RpcResponse Rename(std::string_view payload);
+
+  std::unique_ptr<kv::Kv> dirs_;     // full path -> 48-byte d-inode
+  std::unique_ptr<kv::Kv> dirents_;  // dir uuid -> concatenated subdir names
+  std::uint64_t next_fid_ = 2;
+};
+
+}  // namespace loco::core

@@ -1,0 +1,521 @@
+#include "core/fms.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "common/codec.h"
+#include "core/proto.h"
+#include "fs/wire.h"
+
+namespace loco::core {
+
+namespace {
+
+net::RpcResponse Fail(ErrCode code) { return net::RpcResponse{code, {}}; }
+net::RpcResponse Ok() { return net::RpcResponse{}; }
+net::RpcResponse OkPayload(std::string payload) {
+  return net::RpcResponse{ErrCode::kOk, std::move(payload)};
+}
+net::RpcResponse BadRequest() { return Fail(ErrCode::kCorruption); }
+
+}  // namespace
+
+FileMetadataServer::FileMetadataServer(const Options& options)
+    : options_(options) {
+  // Per-store subdirectories keep the WALs of the co-located stores apart.
+  auto sub_options = [&](const char* name) {
+    kv::KvOptions opt = options_.kv;
+    if (!opt.dir.empty()) {
+      opt.dir += "/";
+      opt.dir += name;
+      std::error_code ec;
+      std::filesystem::create_directories(opt.dir, ec);
+    }
+    return opt;
+  };
+  if (options_.decoupled) {
+    access_ = std::move(kv::MakeKv(options_.backend, sub_options("access"))).value();
+    content_ =
+        std::move(kv::MakeKv(options_.backend, sub_options("content"))).value();
+  } else {
+    coupled_ =
+        std::move(kv::MakeKv(options_.backend, sub_options("coupled"))).value();
+  }
+  dirents_ = std::move(kv::MakeKv(kv::KvBackend::kHash, sub_options("dirents")))
+                 .value();
+  // Recover the fid allocator from the content parts (uuid field) so a
+  // restarted server never reissues a live fid.
+  std::uint64_t max_fid = 0;
+  auto scan = [&max_fid](std::string_view, std::string_view value) {
+    const fs::Uuid uuid(
+        common::LoadAt<std::uint64_t>(value, ContentPartLayout::kUuid));
+    max_fid = std::max(max_fid, uuid.fid());
+    return true;
+  };
+  if (options_.decoupled) {
+    content_->ForEach(scan);
+  } else {
+    coupled_->ForEach([&max_fid](std::string_view, std::string_view value) {
+      CoupledInode inode;
+      if (CoupledInode::Deserialize(value, &inode)) {
+        max_fid = std::max(max_fid, inode.attr.uuid.fid());
+      }
+      return true;
+    });
+  }
+  next_fid_ = max_fid + 1;
+}
+
+std::size_t FileMetadataServer::FileCount() const {
+  return options_.decoupled ? access_->Size() : coupled_->Size();
+}
+
+kv::KvStats FileMetadataServer::StoreStats() const {
+  kv::KvStats total = dirents_->stats();
+  auto add = [&total](const kv::KvStats& s) {
+    total.gets += s.gets;
+    total.puts += s.puts;
+    total.deletes += s.deletes;
+    total.patches += s.patches;
+    total.scans += s.scans;
+    total.scan_items += s.scan_items;
+    total.bytes_read += s.bytes_read;
+    total.bytes_written += s.bytes_written;
+    total.io_ops += s.io_ops;
+    total.io_bytes += s.io_bytes;
+  };
+  if (options_.decoupled) {
+    add(access_->stats());
+    add(content_->stats());
+  } else {
+    add(coupled_->stats());
+  }
+  return total;
+}
+
+Result<fs::Attr> FileMetadataServer::GetAttrInternal(const std::string& key) const {
+  if (options_.decoupled) {
+    std::string access, content;
+    LOCO_RETURN_IF_ERROR(access_->Get(key, &access));
+    LOCO_RETURN_IF_ERROR(content_->Get(key, &content));
+    return ParseFileParts(access, content);
+  }
+  std::string value;
+  LOCO_RETURN_IF_ERROR(coupled_->Get(key, &value));
+  CoupledInode inode;
+  if (!CoupledInode::Deserialize(value, &inode)) {
+    return ErrStatus(ErrCode::kCorruption);
+  }
+  return inode.attr;
+}
+
+net::RpcResponse FileMetadataServer::Handle(std::uint16_t opcode,
+                                            std::string_view payload) {
+  switch (opcode) {
+    case proto::kFmsCreate: return Create(payload);
+    case proto::kFmsRemove: return Remove(payload);
+    case proto::kFmsGetAttr: return GetAttr(payload);
+    case proto::kFmsOpen: return Open(payload);
+    case proto::kFmsChmod: return Chmod(payload);
+    case proto::kFmsChown: return Chown(payload);
+    case proto::kFmsUtimens: return Utimens(payload);
+    case proto::kFmsAccess: return Access(payload);
+    case proto::kFmsSetSize: return SetSize(payload);
+    case proto::kFmsSetAtime: return SetAtime(payload);
+    case proto::kFmsReaddir: return Readdir(payload);
+    case proto::kFmsCheckEmpty: return CheckEmpty(payload);
+    case proto::kFmsReadRaw: return ReadRaw(payload);
+    case proto::kFmsInsertRaw: return InsertRaw(payload);
+    default: return Fail(ErrCode::kUnsupported);
+  }
+}
+
+Status FileMetadataServer::AppendToDirent(fs::Uuid dir_uuid,
+                                          std::string_view name) {
+  const std::string key = DirentKey(dir_uuid);
+  std::string value;
+  (void)dirents_->Get(key, &value);
+  AppendDirent(&value, name);
+  return dirents_->Put(key, value);
+}
+
+void FileMetadataServer::RemoveFromDirent(fs::Uuid dir_uuid,
+                                          std::string_view name) {
+  const std::string key = DirentKey(dir_uuid);
+  std::string value;
+  if (!dirents_->Get(key, &value).ok()) return;
+  if (RemoveDirent(&value, name)) {
+    if (value.empty()) {
+      (void)dirents_->Delete(key);
+    } else {
+      (void)dirents_->Put(key, value);
+    }
+  }
+}
+
+net::RpcResponse FileMetadataServer::Create(std::string_view payload) {
+  fs::Uuid dir_uuid;
+  std::string name;
+  std::uint32_t mode = 0;
+  fs::Identity who;
+  std::uint64_t ts = 0;
+  if (!fs::Unpack(payload, dir_uuid, name, mode, who, ts)) return BadRequest();
+  const std::string key = FileKey(dir_uuid, name);
+  const fs::Uuid uuid = fs::Uuid::Make(options_.sid, next_fid_++);
+
+  if (options_.decoupled) {
+    if (access_->Contains(key)) return Fail(ErrCode::kExists);
+    (void)access_->Put(key, AccessPartLayout::Make(ts, mode, who.uid, who.gid));
+    (void)content_->Put(key, ContentPartLayout::Make(ts, ts, 0, 4096, uuid));
+  } else {
+    if (coupled_->Contains(key)) return Fail(ErrCode::kExists);
+    CoupledInode inode;
+    inode.attr.ctime = inode.attr.mtime = inode.attr.atime = ts;
+    inode.attr.mode = mode;
+    inode.attr.uid = who.uid;
+    inode.attr.gid = who.gid;
+    inode.attr.block_size = 4096;
+    inode.attr.uuid = uuid;
+    inode.name = name;
+    (void)coupled_->Put(key, inode.Serialize());
+  }
+  if (!AppendToDirent(dir_uuid, name).ok()) return Fail(ErrCode::kIo);
+  return OkPayload(fs::Pack(uuid));
+}
+
+net::RpcResponse FileMetadataServer::Remove(std::string_view payload) {
+  fs::Uuid dir_uuid;
+  std::string name;
+  fs::Identity who;
+  if (!fs::Unpack(payload, dir_uuid, name, who)) return BadRequest();
+  const std::string key = FileKey(dir_uuid, name);
+  auto attr = GetAttrInternal(key);
+  if (!attr.ok()) return Fail(attr.code());
+  if (options_.decoupled) {
+    (void)access_->Delete(key);
+    (void)content_->Delete(key);
+  } else {
+    (void)coupled_->Delete(key);
+  }
+  RemoveFromDirent(dir_uuid, name);
+  return OkPayload(fs::Pack(attr->uuid));
+}
+
+net::RpcResponse FileMetadataServer::GetAttr(std::string_view payload) {
+  fs::Uuid dir_uuid;
+  std::string name;
+  if (!fs::Unpack(payload, dir_uuid, name)) return BadRequest();
+  auto attr = GetAttrInternal(FileKey(dir_uuid, name));
+  if (!attr.ok()) return Fail(attr.code());
+  return OkPayload(fs::Pack(*attr));
+}
+
+net::RpcResponse FileMetadataServer::Open(std::string_view payload) {
+  fs::Uuid dir_uuid;
+  std::string name;
+  fs::Identity who;
+  if (!fs::Unpack(payload, dir_uuid, name, who)) return BadRequest();
+  auto attr = GetAttrInternal(FileKey(dir_uuid, name));
+  if (!attr.ok()) return Fail(attr.code());
+  if (!fs::CheckPermission(who, attr->mode, attr->uid, attr->gid,
+                           fs::kModeRead)) {
+    return Fail(ErrCode::kPermission);
+  }
+  return OkPayload(fs::Pack(*attr));
+}
+
+net::RpcResponse FileMetadataServer::Chmod(std::string_view payload) {
+  fs::Uuid dir_uuid;
+  std::string name;
+  fs::Identity who;
+  std::uint32_t mode = 0;
+  std::uint64_t ts = 0;
+  if (!fs::Unpack(payload, dir_uuid, name, who, mode, ts)) return BadRequest();
+  const std::string key = FileKey(dir_uuid, name);
+
+  if (options_.decoupled) {
+    // Access-part only (Table 1): read 24 bytes, patch 12.
+    std::string access;
+    if (!access_->Get(key, &access).ok()) return Fail(ErrCode::kNotFound);
+    const std::uint32_t owner =
+        common::LoadAt<std::uint32_t>(access, AccessPartLayout::kUid);
+    if (who.uid != 0 && who.uid != owner) return Fail(ErrCode::kPermission);
+    std::string patch(12, '\0');
+    common::StoreAt<std::uint64_t>(&patch, 0, ts);
+    common::StoreAt<std::uint32_t>(&patch, 8, mode);
+    (void)access_->PatchValue(key, AccessPartLayout::kCtime, patch);
+    return Ok();
+  }
+  std::string value;
+  if (!coupled_->Get(key, &value).ok()) return Fail(ErrCode::kNotFound);
+  CoupledInode inode;
+  if (!CoupledInode::Deserialize(value, &inode)) return Fail(ErrCode::kCorruption);
+  if (who.uid != 0 && who.uid != inode.attr.uid) return Fail(ErrCode::kPermission);
+  inode.attr.mode = mode;
+  inode.attr.ctime = ts;
+  (void)coupled_->Put(key, inode.Serialize());
+  return Ok();
+}
+
+net::RpcResponse FileMetadataServer::Chown(std::string_view payload) {
+  fs::Uuid dir_uuid;
+  std::string name;
+  fs::Identity who;
+  std::uint32_t uid = 0, gid = 0;
+  std::uint64_t ts = 0;
+  if (!fs::Unpack(payload, dir_uuid, name, who, uid, gid, ts)) return BadRequest();
+  const std::string key = FileKey(dir_uuid, name);
+
+  if (options_.decoupled) {
+    std::string access;
+    if (!access_->Get(key, &access).ok()) return Fail(ErrCode::kNotFound);
+    const std::uint32_t owner =
+        common::LoadAt<std::uint32_t>(access, AccessPartLayout::kUid);
+    if (who.uid != 0 && !(who.uid == owner && uid == owner)) {
+      return Fail(ErrCode::kPermission);
+    }
+    std::string ids(8, '\0');
+    common::StoreAt<std::uint32_t>(&ids, 0, uid);
+    common::StoreAt<std::uint32_t>(&ids, 4, gid);
+    (void)access_->PatchValue(key, AccessPartLayout::kUid, ids);
+    std::string ctime(8, '\0');
+    common::StoreAt<std::uint64_t>(&ctime, 0, ts);
+    (void)access_->PatchValue(key, AccessPartLayout::kCtime, ctime);
+    return Ok();
+  }
+  std::string value;
+  if (!coupled_->Get(key, &value).ok()) return Fail(ErrCode::kNotFound);
+  CoupledInode inode;
+  if (!CoupledInode::Deserialize(value, &inode)) return Fail(ErrCode::kCorruption);
+  if (who.uid != 0 && !(who.uid == inode.attr.uid && uid == inode.attr.uid)) {
+    return Fail(ErrCode::kPermission);
+  }
+  inode.attr.uid = uid;
+  inode.attr.gid = gid;
+  inode.attr.ctime = ts;
+  (void)coupled_->Put(key, inode.Serialize());
+  return Ok();
+}
+
+net::RpcResponse FileMetadataServer::Utimens(std::string_view payload) {
+  fs::Uuid dir_uuid;
+  std::string name;
+  fs::Identity who;
+  std::uint64_t mtime = 0, atime = 0;
+  if (!fs::Unpack(payload, dir_uuid, name, who, mtime, atime)) return BadRequest();
+  const std::string key = FileKey(dir_uuid, name);
+  auto attr = GetAttrInternal(key);
+  if (!attr.ok()) return Fail(attr.code());
+  if (who.uid != 0 && who.uid != attr->uid &&
+      !fs::CheckPermission(who, attr->mode, attr->uid, attr->gid,
+                           fs::kModeWrite)) {
+    return Fail(ErrCode::kPermission);
+  }
+  if (options_.decoupled) {
+    std::string times(16, '\0');
+    common::StoreAt<std::uint64_t>(&times, 0, mtime);
+    common::StoreAt<std::uint64_t>(&times, 8, atime);
+    (void)content_->PatchValue(key, ContentPartLayout::kMtime, times);
+    return Ok();
+  }
+  std::string value;
+  (void)coupled_->Get(key, &value);
+  CoupledInode inode;
+  if (!CoupledInode::Deserialize(value, &inode)) return Fail(ErrCode::kCorruption);
+  inode.attr.mtime = mtime;
+  inode.attr.atime = atime;
+  (void)coupled_->Put(key, inode.Serialize());
+  return Ok();
+}
+
+net::RpcResponse FileMetadataServer::Access(std::string_view payload) {
+  fs::Uuid dir_uuid;
+  std::string name;
+  fs::Identity who;
+  std::uint32_t want = 0;
+  if (!fs::Unpack(payload, dir_uuid, name, who, want)) return BadRequest();
+  const std::string key = FileKey(dir_uuid, name);
+  if (options_.decoupled) {
+    // Access part alone answers permission queries (Table 1).
+    std::string access;
+    if (!access_->Get(key, &access).ok()) return Fail(ErrCode::kNotFound);
+    const auto mode = common::LoadAt<std::uint32_t>(access, AccessPartLayout::kMode);
+    const auto uid = common::LoadAt<std::uint32_t>(access, AccessPartLayout::kUid);
+    const auto gid = common::LoadAt<std::uint32_t>(access, AccessPartLayout::kGid);
+    if (!fs::CheckPermission(who, mode, uid, gid, want)) {
+      return Fail(ErrCode::kPermission);
+    }
+    return Ok();
+  }
+  auto attr = GetAttrInternal(key);
+  if (!attr.ok()) return Fail(attr.code());
+  if (!fs::CheckPermission(who, attr->mode, attr->uid, attr->gid, want)) {
+    return Fail(ErrCode::kPermission);
+  }
+  return Ok();
+}
+
+net::RpcResponse FileMetadataServer::SetSize(std::string_view payload) {
+  fs::Uuid dir_uuid;
+  std::string name;
+  fs::Identity who;
+  std::uint64_t end = 0;
+  std::uint8_t truncate = 0;
+  std::uint64_t ts = 0;
+  if (!fs::Unpack(payload, dir_uuid, name, who, end, truncate, ts)) {
+    return BadRequest();
+  }
+  const std::string key = FileKey(dir_uuid, name);
+
+  if (options_.decoupled) {
+    std::string access;
+    if (!access_->Get(key, &access).ok()) return Fail(ErrCode::kNotFound);
+    const auto mode = common::LoadAt<std::uint32_t>(access, AccessPartLayout::kMode);
+    const auto uid = common::LoadAt<std::uint32_t>(access, AccessPartLayout::kUid);
+    const auto gid = common::LoadAt<std::uint32_t>(access, AccessPartLayout::kGid);
+    if (!fs::CheckPermission(who, mode, uid, gid, fs::kModeWrite)) {
+      return Fail(ErrCode::kPermission);
+    }
+    // Content part: read only the size and uuid fields, patch mtime + size.
+    std::string size_bytes, uuid_bytes;
+    (void)content_->ReadValueAt(key, ContentPartLayout::kFileSize, 8, &size_bytes);
+    (void)content_->ReadValueAt(key, ContentPartLayout::kUuid, 8, &uuid_bytes);
+    const std::uint64_t old_size = common::LoadAt<std::uint64_t>(size_bytes, 0);
+    const std::uint64_t new_size = truncate ? end : std::max(old_size, end);
+    std::string mtime(8, '\0');
+    common::StoreAt<std::uint64_t>(&mtime, 0, ts);
+    (void)content_->PatchValue(key, ContentPartLayout::kMtime, mtime);
+    std::string size_patch(8, '\0');
+    common::StoreAt<std::uint64_t>(&size_patch, 0, new_size);
+    (void)content_->PatchValue(key, ContentPartLayout::kFileSize, size_patch);
+    return OkPayload(fs::Pack(fs::Uuid(common::LoadAt<std::uint64_t>(uuid_bytes, 0)),
+                              new_size));
+  }
+
+  std::string value;
+  if (!coupled_->Get(key, &value).ok()) return Fail(ErrCode::kNotFound);
+  CoupledInode inode;
+  if (!CoupledInode::Deserialize(value, &inode)) return Fail(ErrCode::kCorruption);
+  if (!fs::CheckPermission(who, inode.attr.mode, inode.attr.uid, inode.attr.gid,
+                           fs::kModeWrite)) {
+    return Fail(ErrCode::kPermission);
+  }
+  const std::uint64_t new_size =
+      truncate ? end : std::max(inode.attr.size, end);
+  inode.attr.size = new_size;
+  inode.attr.mtime = ts;
+  // Coupled mode keeps per-block indexing metadata (what §3.3.2 removes):
+  // maintain one index entry per block of the new size.
+  const std::uint64_t blocks =
+      (new_size + inode.attr.block_size - 1) / inode.attr.block_size;
+  inode.block_index.resize(blocks);
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    inode.block_index[b] = inode.attr.uuid.raw() ^ b;
+  }
+  (void)coupled_->Put(key, inode.Serialize());
+  return OkPayload(fs::Pack(inode.attr.uuid, new_size));
+}
+
+net::RpcResponse FileMetadataServer::SetAtime(std::string_view payload) {
+  fs::Uuid dir_uuid;
+  std::string name;
+  fs::Identity who;
+  std::uint64_t ts = 0;
+  if (!fs::Unpack(payload, dir_uuid, name, who, ts)) return BadRequest();
+  const std::string key = FileKey(dir_uuid, name);
+
+  if (options_.decoupled) {
+    std::string access;
+    if (!access_->Get(key, &access).ok()) return Fail(ErrCode::kNotFound);
+    const auto mode = common::LoadAt<std::uint32_t>(access, AccessPartLayout::kMode);
+    const auto uid = common::LoadAt<std::uint32_t>(access, AccessPartLayout::kUid);
+    const auto gid = common::LoadAt<std::uint32_t>(access, AccessPartLayout::kGid);
+    if (!fs::CheckPermission(who, mode, uid, gid, fs::kModeRead)) {
+      return Fail(ErrCode::kPermission);
+    }
+    std::string atime(8, '\0');
+    common::StoreAt<std::uint64_t>(&atime, 0, ts);
+    (void)content_->PatchValue(key, ContentPartLayout::kAtime, atime);
+    std::string size_bytes, uuid_bytes;
+    (void)content_->ReadValueAt(key, ContentPartLayout::kFileSize, 8, &size_bytes);
+    (void)content_->ReadValueAt(key, ContentPartLayout::kUuid, 8, &uuid_bytes);
+    return OkPayload(fs::Pack(fs::Uuid(common::LoadAt<std::uint64_t>(uuid_bytes, 0)),
+                              common::LoadAt<std::uint64_t>(size_bytes, 0)));
+  }
+
+  std::string value;
+  if (!coupled_->Get(key, &value).ok()) return Fail(ErrCode::kNotFound);
+  CoupledInode inode;
+  if (!CoupledInode::Deserialize(value, &inode)) return Fail(ErrCode::kCorruption);
+  if (!fs::CheckPermission(who, inode.attr.mode, inode.attr.uid, inode.attr.gid,
+                           fs::kModeRead)) {
+    return Fail(ErrCode::kPermission);
+  }
+  inode.attr.atime = ts;
+  (void)coupled_->Put(key, inode.Serialize());
+  return OkPayload(fs::Pack(inode.attr.uuid, inode.attr.size));
+}
+
+net::RpcResponse FileMetadataServer::Readdir(std::string_view payload) {
+  fs::Uuid dir_uuid;
+  if (!fs::Unpack(payload, dir_uuid)) return BadRequest();
+  std::string value;
+  (void)dirents_->Get(DirentKey(dir_uuid), &value);
+  std::vector<fs::DirEntry> entries;
+  for (std::string& name : ParseDirentList(value)) {
+    entries.push_back(fs::DirEntry{std::move(name), false});
+  }
+  return OkPayload(fs::Pack(entries));
+}
+
+net::RpcResponse FileMetadataServer::CheckEmpty(std::string_view payload) {
+  fs::Uuid dir_uuid;
+  if (!fs::Unpack(payload, dir_uuid)) return BadRequest();
+  std::string value;
+  if (dirents_->Get(DirentKey(dir_uuid), &value).ok() &&
+      !ParseDirentList(value).empty()) {
+    return Fail(ErrCode::kNotEmpty);
+  }
+  return Ok();
+}
+
+net::RpcResponse FileMetadataServer::ReadRaw(std::string_view payload) {
+  fs::Uuid dir_uuid;
+  std::string name;
+  if (!fs::Unpack(payload, dir_uuid, name)) return BadRequest();
+  const std::string key = FileKey(dir_uuid, name);
+  if (options_.decoupled) {
+    std::string access, content;
+    if (!access_->Get(key, &access).ok()) return Fail(ErrCode::kNotFound);
+    (void)content_->Get(key, &content);
+    return OkPayload(fs::Pack(access, content));
+  }
+  // Coupled mode relocation moves the serialized inode in the "access" slot.
+  std::string value;
+  if (!coupled_->Get(key, &value).ok()) return Fail(ErrCode::kNotFound);
+  return OkPayload(fs::Pack(value, std::string()));
+}
+
+net::RpcResponse FileMetadataServer::InsertRaw(std::string_view payload) {
+  fs::Uuid dir_uuid;
+  std::string name, access, content;
+  if (!fs::Unpack(payload, dir_uuid, name, access, content)) return BadRequest();
+  const std::string key = FileKey(dir_uuid, name);
+  if (options_.decoupled) {
+    if (access_->Contains(key)) return Fail(ErrCode::kExists);
+    (void)access_->Put(key, access);
+    (void)content_->Put(key, content);
+  } else {
+    if (coupled_->Contains(key)) return Fail(ErrCode::kExists);
+    // Rewrite the embedded name so readback stays consistent.
+    CoupledInode inode;
+    if (!CoupledInode::Deserialize(access, &inode)) return Fail(ErrCode::kCorruption);
+    inode.name = name;
+    (void)coupled_->Put(key, inode.Serialize());
+  }
+  if (!AppendToDirent(dir_uuid, name).ok()) return Fail(ErrCode::kIo);
+  return Ok();
+}
+
+}  // namespace loco::core

@@ -1,0 +1,87 @@
+// File Metadata Server (FMS) — §3.1, §3.3.
+//
+// Holds file inodes keyed by (parent directory uuid + name); clients place
+// files onto FMS servers with a consistent-hash ring over that key.  Two
+// storage modes:
+//
+//   * Decoupled (default, "LocoFS-DF"): the inode is split into a 24-byte
+//     access part and a 40-byte content part, each its own KV value with
+//     fixed field offsets — single-field updates are byte patches and no
+//     (de)serialization happens (§3.3.1/§3.3.3).
+//   * Coupled ("LocoFS-CF", the Fig. 11 ablation): one variable-length
+//     serialized value per inode, including the name and the per-block index
+//     list §3.3.2 removes; every update deserializes, modifies, and
+//     reserializes the whole record.
+//
+// File dirent lists (names of this directory's files that hash to this
+// server) are concatenated values keyed by directory uuid (§3.2.1).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/layout.h"
+#include "kvstore/kv.h"
+#include "net/rpc.h"
+
+namespace loco::core {
+
+class FileMetadataServer final : public net::RpcHandler {
+ public:
+  struct Options {
+    std::uint32_t sid = 0;   // this server's id (high bits of file uuids)
+    bool decoupled = true;   // DF (true) vs CF (false)
+    kv::KvBackend backend = kv::KvBackend::kHash;
+    kv::KvOptions kv;
+  };
+
+  explicit FileMetadataServer(const Options& options);
+
+  net::RpcResponse Handle(std::uint16_t opcode, std::string_view payload) override;
+
+  std::size_t FileCount() const;
+  bool decoupled() const noexcept { return options_.decoupled; }
+  // Aggregate KV statistics across this server's stores.
+  kv::KvStats StoreStats() const;
+  // Per-store introspection (Table 1 access-matrix test): which metadata
+  // region an operation touched is visible in these stores' counters.
+  // access/content are only present in decoupled mode; coupled only in CF.
+  const kv::Kv* access_kv() const noexcept { return access_.get(); }
+  const kv::Kv* content_kv() const noexcept { return content_.get(); }
+  const kv::Kv* coupled_kv() const noexcept { return coupled_.get(); }
+  const kv::Kv& dirent_kv() const noexcept { return *dirents_; }
+
+ private:
+  // Read the full Attr of a file (mode-independent helper).
+  Result<fs::Attr> GetAttrInternal(const std::string& key) const;
+
+  net::RpcResponse Create(std::string_view payload);
+  net::RpcResponse Remove(std::string_view payload);
+  net::RpcResponse GetAttr(std::string_view payload);
+  net::RpcResponse Open(std::string_view payload);
+  net::RpcResponse Chmod(std::string_view payload);
+  net::RpcResponse Chown(std::string_view payload);
+  net::RpcResponse Utimens(std::string_view payload);
+  net::RpcResponse Access(std::string_view payload);
+  net::RpcResponse SetSize(std::string_view payload);
+  net::RpcResponse SetAtime(std::string_view payload);
+  net::RpcResponse Readdir(std::string_view payload);
+  net::RpcResponse CheckEmpty(std::string_view payload);
+  net::RpcResponse ReadRaw(std::string_view payload);
+  net::RpcResponse InsertRaw(std::string_view payload);
+
+  Status AppendToDirent(fs::Uuid dir_uuid, std::string_view name);
+  void RemoveFromDirent(fs::Uuid dir_uuid, std::string_view name);
+
+  Options options_;
+  // Decoupled mode stores.
+  std::unique_ptr<kv::Kv> access_;   // key -> access part (24 B)
+  std::unique_ptr<kv::Kv> content_;  // key -> content part (40 B)
+  // Coupled mode store.
+  std::unique_ptr<kv::Kv> coupled_;  // key -> serialized whole inode
+  // Both modes.
+  std::unique_ptr<kv::Kv> dirents_;  // dir uuid -> concatenated file names
+  std::uint64_t next_fid_ = 1;
+};
+
+}  // namespace loco::core

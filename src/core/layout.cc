@@ -1,0 +1,45 @@
+#include "core/layout.h"
+
+namespace loco::core {
+
+std::vector<std::string> ParseDirentList(std::string_view value) {
+  std::vector<std::string> names;
+  common::Reader r(value);
+  while (r.ok() && r.remaining() > 0) {
+    std::string_view name = r.GetBytes();
+    if (!r.ok()) break;
+    names.emplace_back(name);
+  }
+  return names;
+}
+
+void AppendDirent(std::string* value, std::string_view name) {
+  common::Writer w(value);
+  w.PutBytes(name);
+}
+
+bool RemoveDirent(std::string* value, std::string_view name) {
+  common::Reader r(*value);
+  while (r.ok() && r.remaining() > 0) {
+    const std::size_t start = value->size() - r.remaining();
+    std::string_view candidate = r.GetBytes();
+    if (!r.ok()) break;
+    if (candidate == name) {
+      value->erase(start, 4 + candidate.size());  // length prefix + bytes
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DirentListContains(std::string_view value, std::string_view name) {
+  common::Reader r(value);
+  while (r.ok() && r.remaining() > 0) {
+    std::string_view candidate = r.GetBytes();
+    if (!r.ok()) break;
+    if (candidate == name) return true;
+  }
+  return false;
+}
+
+}  // namespace loco::core

@@ -1,0 +1,63 @@
+// Object store: file data as fixed-size blocks addressed by (uuid, block)
+// (§3.3.2 — data indexing via arithmetic on uuid + block number, no index
+// metadata in the inode).
+//
+// Device I/O is modeled: handlers report the storage time of each request
+// through RpcResponse::extra_service_ns so the simulator charges it on the
+// virtual clock (the host has no spinning disks to measure).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/clock.h"
+#include "kvstore/kv.h"
+#include "net/rpc.h"
+
+namespace loco::core {
+
+// Storage device profile used to charge virtual time for block I/O.
+struct DeviceProfile {
+  common::Nanos per_io_ns = 60'000;  // command/seek overhead per request
+  double bytes_per_sec = 450e6;      // sequential throughput
+
+  common::Nanos Cost(std::uint64_t io_ops, std::uint64_t io_bytes) const noexcept {
+    const double transfer_s =
+        bytes_per_sec > 0 ? static_cast<double>(io_bytes) / bytes_per_sec : 0;
+    return static_cast<common::Nanos>(io_ops) * per_io_ns +
+           static_cast<common::Nanos>(transfer_s * 1e9);
+  }
+};
+
+class ObjectStoreServer final : public net::RpcHandler {
+ public:
+  struct Options {
+    std::size_t block_bytes = 64 * 1024;
+    DeviceProfile device;
+    // When false, block payloads are accounted (device + network time) but
+    // not stored, and reads return zero-filled buffers.  Benchmarks that
+    // push many GiB through the store use this to keep host memory flat;
+    // correctness tests keep it true.
+    bool retain_data = true;
+  };
+
+  ObjectStoreServer() : ObjectStoreServer(Options{}) {}
+  explicit ObjectStoreServer(const Options& options);
+
+  net::RpcResponse Handle(std::uint16_t opcode, std::string_view payload) override;
+
+  std::size_t BlockCount() const { return blocks_->Size(); }
+  std::size_t block_bytes() const noexcept { return options_.block_bytes; }
+
+ private:
+  net::RpcResponse Write(std::string_view payload);
+  net::RpcResponse Read(std::string_view payload);
+  net::RpcResponse Truncate(std::string_view payload);
+
+  static std::string BlockKey(std::uint64_t uuid, std::uint64_t block);
+
+  Options options_;
+  std::unique_ptr<kv::Kv> blocks_;
+};
+
+}  // namespace loco::core

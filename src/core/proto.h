@@ -1,0 +1,89 @@
+// LocoFS wire protocol: opcode registry and payload layouts.
+//
+// Payloads are flat field tuples encoded with fs::Pack / fs::Unpack; the
+// layout of each message is documented next to its opcode.  All requests
+// that mutate or check permissions carry the caller Identity and (where the
+// contract requires a timestamp) the client's clock reading.
+#pragma once
+
+#include <cstdint>
+
+namespace loco::core::proto {
+
+// --------------------------- DMS (Directory Metadata Server) ---------------
+enum DmsOp : std::uint16_t {
+  // [path, mode u32, Identity, ts u64] -> []
+  kDmsMkdir = 1,
+  // [path, Identity, check_files u8] -> [] ; check_files=1 requires the
+  // caller to have already verified FMS emptiness (protocol contract).
+  kDmsRmdir = 2,
+  // Lookup a directory for use as a parent: checks exec on ancestors and
+  // `want` bits on the target; optionally rejects when `shadow_name` exists
+  // as a subdirectory (namespace unification on the uncached path).
+  // [path, Identity, want u32, shadow_name] -> [Attr]
+  kDmsLookup = 3,
+  // [path, Identity] -> [Attr]
+  kDmsStat = 4,
+  // [path, Identity] -> [Attr of dir, entries] (subdirectories only)
+  kDmsReaddir = 5,
+  // [path, Identity, mode u32, ts u64] -> []
+  kDmsChmod = 6,
+  // [path, Identity, uid u32, gid u32, ts u64] -> []
+  kDmsChown = 7,
+  // [path, Identity, mtime u64, atime u64] -> []
+  kDmsUtimens = 8,
+  // [path, Identity, want u32] -> []
+  kDmsAccess = 9,
+  // Directory rename: relocates the whole subtree of d-inodes (B+-tree range
+  // move, §3.4.3).  [from, to, Identity] -> [moved u64]
+  kDmsRename = 10,
+};
+
+// ------------------------------ FMS (File Metadata Server) -----------------
+enum FmsOp : std::uint16_t {
+  // [dir_uuid, name, mode u32, Identity, ts u64] -> [file_uuid]
+  kFmsCreate = 32,
+  // [dir_uuid, name, Identity] -> [file_uuid]  (caller already holds parent-W)
+  kFmsRemove = 33,
+  // [dir_uuid, name] -> [Attr]
+  kFmsGetAttr = 34,
+  // [dir_uuid, name, Identity] -> [Attr] ; requires read permission
+  kFmsOpen = 35,
+  // [dir_uuid, name, Identity, mode u32, ts u64] -> []
+  kFmsChmod = 36,
+  // [dir_uuid, name, Identity, uid u32, gid u32, ts u64] -> []
+  kFmsChown = 37,
+  // [dir_uuid, name, Identity, mtime u64, atime u64] -> []
+  kFmsUtimens = 38,
+  // [dir_uuid, name, Identity, want u32] -> []
+  kFmsAccess = 39,
+  // Write-path metadata update: size = max(size, end) (or exact when
+  // truncate u8 = 1), mtime = ts.  [dir_uuid, name, Identity, end u64,
+  // truncate u8, ts u64] -> [file_uuid, new_size u64]
+  kFmsSetSize = 40,
+  // Read-path: atime = ts.  [dir_uuid, name, Identity, ts u64]
+  //   -> [file_uuid, size u64]
+  kFmsSetAtime = 41,
+  // [dir_uuid] -> [entries] ; file entries hashed to this server
+  kFmsReaddir = 42,
+  // [dir_uuid] -> [] ; kNotEmpty if any file of this directory lives here
+  kFmsCheckEmpty = 43,
+  // Relocation support for f-rename: raw fixed-layout parts move between
+  // servers without interpretation.
+  // [dir_uuid, name] -> [access_raw, content_raw]
+  kFmsReadRaw = 44,
+  // [dir_uuid, name, access_raw, content_raw] -> []
+  kFmsInsertRaw = 45,
+};
+
+// ----------------------------------- Object store --------------------------
+enum ObjOp : std::uint16_t {
+  // [uuid, offset u64, data] -> []
+  kObjWrite = 64,
+  // [uuid, offset u64, length u64, size_hint u64] -> [data]
+  kObjRead = 65,
+  // [uuid, size u64] -> [] ; drop blocks beyond size
+  kObjTruncate = 66,
+};
+
+}  // namespace loco::core::proto

@@ -1,0 +1,35 @@
+#include "core/ring.h"
+
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace loco::core {
+
+HashRing::HashRing(std::vector<net::NodeId> servers, int vnodes_per_server)
+    : servers_(std::move(servers)) {
+  points_.reserve(servers_.size() * static_cast<std::size_t>(vnodes_per_server));
+  for (const net::NodeId server : servers_) {
+    for (int v = 0; v < vnodes_per_server; ++v) {
+      char token[8];
+      const std::uint32_t s = server;
+      const std::uint32_t vn = static_cast<std::uint32_t>(v);
+      std::memcpy(token, &s, 4);
+      std::memcpy(token + 4, &vn, 4);
+      points_.push_back(Point{
+          common::WyMix(std::string_view(token, sizeof(token)), 0x51a9),
+          server});
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+net::NodeId HashRing::Locate(std::string_view key) const noexcept {
+  if (points_.empty()) return net::kInvalidNode;
+  const std::uint64_t h = common::WyMix(key, 0xfeed);
+  auto it = std::lower_bound(points_.begin(), points_.end(), Point{h, 0});
+  if (it == points_.end()) it = points_.begin();  // wrap around
+  return it->server;
+}
+
+}  // namespace loco::core

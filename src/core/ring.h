@@ -1,0 +1,38 @@
+// Consistent-hash ring placing file metadata onto FMS servers (§3.1).
+//
+// Keys are (directory_uuid + file_name); each server contributes a number of
+// virtual nodes so load stays balanced, and adding/removing a server only
+// relocates the keys adjacent to its virtual nodes.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "net/rpc.h"
+
+namespace loco::core {
+
+class HashRing {
+ public:
+  explicit HashRing(std::vector<net::NodeId> servers, int vnodes_per_server = 64);
+
+  // Owning server for a key.  Ring must be non-empty.
+  net::NodeId Locate(std::string_view key) const noexcept;
+
+  const std::vector<net::NodeId>& servers() const noexcept { return servers_; }
+  bool empty() const noexcept { return points_.size() == 0; }
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    net::NodeId server;
+    bool operator<(const Point& other) const noexcept { return hash < other.hash; }
+  };
+
+  std::vector<net::NodeId> servers_;
+  std::vector<Point> points_;  // sorted by hash
+};
+
+}  // namespace loco::core

@@ -1,0 +1,76 @@
+// Abstract file-system client interface.
+//
+// LocoFS's LocoLib and every baseline client implement this API as coroutines
+// over a net::Channel, so the same workload generators, property tests and
+// benchmarks drive all of them interchangeably.  All paths follow the
+// semantics contract in fs/types.h.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "fs/types.h"
+#include "net/task.h"
+
+namespace loco::fs {
+
+// Supplies operation timestamps (virtual time under simulation, wall clock
+// under the in-process transport).
+using TimeFn = std::function<std::uint64_t()>;
+
+class FileSystemClient {
+ public:
+  virtual ~FileSystemClient() = default;
+
+  // --- namespace operations -------------------------------------------
+  virtual net::Task<Status> Mkdir(std::string path, std::uint32_t mode) = 0;
+  virtual net::Task<Status> Rmdir(std::string path) = 0;
+  virtual net::Task<Result<std::vector<DirEntry>>> Readdir(std::string path) = 0;
+  virtual net::Task<Status> Create(std::string path, std::uint32_t mode) = 0;
+  virtual net::Task<Status> Unlink(std::string path) = 0;
+  virtual net::Task<Status> Rename(std::string from, std::string to) = 0;
+
+  // --- attribute operations -------------------------------------------
+  virtual net::Task<Result<Attr>> Stat(std::string path) = 0;
+  // Typed stat fast paths: benchmark workloads (mdtest) know the object
+  // type, letting implementations skip type discovery.  Defaults delegate
+  // to the generic Stat.
+  virtual net::Task<Result<Attr>> StatFile(std::string path) {
+    co_return co_await Stat(std::move(path));
+  }
+  virtual net::Task<Result<Attr>> StatDir(std::string path) {
+    co_return co_await Stat(std::move(path));
+  }
+  virtual net::Task<Status> Chmod(std::string path, std::uint32_t mode) = 0;
+  virtual net::Task<Status> Chown(std::string path, std::uint32_t uid,
+                                  std::uint32_t gid) = 0;
+  virtual net::Task<Status> Access(std::string path, std::uint32_t want) = 0;
+  virtual net::Task<Status> Utimens(std::string path, std::uint64_t mtime,
+                                    std::uint64_t atime) = 0;
+  virtual net::Task<Status> Truncate(std::string path, std::uint64_t size) = 0;
+
+  // --- data operations --------------------------------------------------
+  // Open performs the permission check and returns current attributes
+  // (LocoFS: one access-part read); Close releases client state.
+  virtual net::Task<Result<Attr>> Open(std::string path) = 0;
+  virtual net::Task<Status> Close(std::string path) = 0;
+  virtual net::Task<Status> Write(std::string path, std::uint64_t offset,
+                                  std::string data) = 0;
+  virtual net::Task<Result<std::string>> Read(std::string path,
+                                              std::uint64_t offset,
+                                              std::uint64_t length) = 0;
+
+  // Caller identity attached to subsequent operations.  A client instance
+  // models one user process; implementations may discard identity-scoped
+  // state (e.g. permission-bearing leases) when the identity changes.
+  virtual void SetIdentity(Identity id) noexcept { identity_ = id; }
+  const Identity& identity() const noexcept { return identity_; }
+
+ protected:
+  Identity identity_;
+};
+
+}  // namespace loco::fs

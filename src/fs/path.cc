@@ -1,0 +1,72 @@
+#include "fs/path.h"
+
+namespace loco::fs {
+
+bool IsValidPath(std::string_view path) noexcept {
+  if (path.empty() || path.front() != '/') return false;
+  if (path.size() == 1) return true;  // root
+  if (path.back() == '/') return false;
+  std::size_t start = 1;
+  while (start <= path.size()) {
+    const std::size_t end = path.find('/', start);
+    const std::string_view comp =
+        path.substr(start, end == std::string_view::npos ? end : end - start);
+    if (comp.empty() || comp == "." || comp == "..") return false;
+    if (end == std::string_view::npos) break;
+    start = end + 1;
+  }
+  return true;
+}
+
+std::string_view ParentPath(std::string_view path) noexcept {
+  if (path.size() <= 1) return "/";
+  const std::size_t slash = path.rfind('/');
+  if (slash == 0) return path.substr(0, 1);
+  return path.substr(0, slash);
+}
+
+std::string_view BaseName(std::string_view path) noexcept {
+  if (path.size() <= 1) return {};
+  return path.substr(path.rfind('/') + 1);
+}
+
+std::string JoinPath(std::string_view dir, std::string_view name) {
+  std::string out(dir);
+  if (out.empty() || out.back() != '/') out.push_back('/');
+  out.append(name);
+  return out;
+}
+
+std::vector<std::string_view> SplitPath(std::string_view path) {
+  std::vector<std::string_view> out;
+  if (path.size() <= 1) return out;
+  std::size_t start = 1;
+  while (start < path.size()) {
+    std::size_t end = path.find('/', start);
+    if (end == std::string_view::npos) end = path.size();
+    out.push_back(path.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> Ancestors(std::string_view path) {
+  std::vector<std::string> out;
+  if (path.size() <= 1) return out;
+  out.emplace_back("/");
+  std::size_t pos = path.find('/', 1);
+  while (pos != std::string_view::npos) {
+    out.emplace_back(path.substr(0, pos));
+    pos = path.find('/', pos + 1);
+  }
+  return out;
+}
+
+std::size_t PathDepth(std::string_view path) noexcept {
+  if (path.size() <= 1) return 0;
+  std::size_t depth = 0;
+  for (char c : path) depth += (c == '/');
+  return depth;
+}
+
+}  // namespace loco::fs

@@ -1,0 +1,33 @@
+// Path manipulation for absolute, normalized POSIX-style paths.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace loco::fs {
+
+// True for "/", "/a", "/a/b" — absolute, no empty components, no "." / "..",
+// no trailing slash (except the root itself).
+bool IsValidPath(std::string_view path) noexcept;
+
+// Parent of a valid path ("/a/b" -> "/a", "/a" -> "/").  Root's parent is
+// itself.
+std::string_view ParentPath(std::string_view path) noexcept;
+
+// Final component ("/a/b" -> "b").  Empty for the root.
+std::string_view BaseName(std::string_view path) noexcept;
+
+// "/a" + "b" -> "/a/b"; handles the root ("/" + "b" -> "/b").
+std::string JoinPath(std::string_view dir, std::string_view name);
+
+// Components of "/a/b/c" -> {"a", "b", "c"}; empty for the root.
+std::vector<std::string_view> SplitPath(std::string_view path);
+
+// Every proper ancestor from the root down: "/a/b/c" -> {"/", "/a", "/a/b"}.
+std::vector<std::string> Ancestors(std::string_view path);
+
+// Number of components (root = 0, "/a" = 1, "/a/b" = 2).
+std::size_t PathDepth(std::string_view path) noexcept;
+
+}  // namespace loco::fs

@@ -1,0 +1,274 @@
+#include "fs/ref_model.h"
+
+#include <algorithm>
+
+#include "fs/path.h"
+
+namespace loco::fs {
+
+RefModel::RefModel() : root_(std::make_unique<Node>()) {
+  root_->attr.is_dir = true;
+  root_->attr.mode = 0777;
+  root_->attr.uid = 0;
+  root_->attr.gid = 0;
+  root_->attr.uuid = kRootUuid;
+}
+
+Result<RefModel::Node*> RefModel::Resolve(const Identity& who,
+                                          std::string_view path) const {
+  if (!IsValidPath(path)) return ErrStatus(ErrCode::kInvalid, std::string(path));
+  Node* node = root_.get();
+  for (std::string_view comp : SplitPath(path)) {
+    if (!node->attr.is_dir) return ErrStatus(ErrCode::kNotDir);
+    if (!CheckPermission(who, node->attr.mode, node->attr.uid, node->attr.gid,
+                         kModeExec)) {
+      return ErrStatus(ErrCode::kPermission);
+    }
+    const auto it = node->children.find(comp);
+    if (it == node->children.end()) return ErrStatus(ErrCode::kNotFound);
+    node = it->second.get();
+  }
+  return node;
+}
+
+Result<RefModel::Node*> RefModel::ResolveParent(const Identity& who,
+                                                std::string_view path,
+                                                std::uint32_t want) const {
+  if (!IsValidPath(path) || path == "/") {
+    return ErrStatus(ErrCode::kInvalid, std::string(path));
+  }
+  LOCO_ASSIGN_OR_RETURN(Node * parent, Resolve(who, ParentPath(path)));
+  if (!parent->attr.is_dir) return ErrStatus(ErrCode::kNotDir);
+  if (!CheckPermission(who, parent->attr.mode, parent->attr.uid,
+                       parent->attr.gid, want)) {
+    return ErrStatus(ErrCode::kPermission);
+  }
+  return parent;
+}
+
+Status RefModel::Mkdir(const Identity& who, std::string_view path,
+                       std::uint32_t mode, std::uint64_t ts) {
+  LOCO_ASSIGN_OR_RETURN(Node * parent,
+                        ResolveParent(who, path, kModeWrite | kModeExec));
+  const std::string_view name = BaseName(path);
+  if (parent->children.contains(name)) return ErrStatus(ErrCode::kExists);
+  auto node = std::make_unique<Node>();
+  node->attr.is_dir = true;
+  node->attr.mode = mode;
+  node->attr.uid = who.uid;
+  node->attr.gid = who.gid;
+  node->attr.ctime = node->attr.mtime = node->attr.atime = ts;
+  node->attr.uuid = Uuid::Make(0, next_fid_++);
+  parent->children.emplace(std::string(name), std::move(node));
+  return OkStatus();
+}
+
+Status RefModel::Create(const Identity& who, std::string_view path,
+                        std::uint32_t mode, std::uint64_t ts) {
+  LOCO_ASSIGN_OR_RETURN(Node * parent,
+                        ResolveParent(who, path, kModeWrite | kModeExec));
+  const std::string_view name = BaseName(path);
+  if (parent->children.contains(name)) return ErrStatus(ErrCode::kExists);
+  auto node = std::make_unique<Node>();
+  node->attr.is_dir = false;
+  node->attr.mode = mode;
+  node->attr.uid = who.uid;
+  node->attr.gid = who.gid;
+  node->attr.ctime = node->attr.mtime = node->attr.atime = ts;
+  node->attr.block_size = 4096;
+  node->attr.uuid = Uuid::Make(0, next_fid_++);
+  parent->children.emplace(std::string(name), std::move(node));
+  return OkStatus();
+}
+
+Status RefModel::Rmdir(const Identity& who, std::string_view path) {
+  // Contract order (see fs/types.h): existence and emptiness are verified
+  // before the parent write-permission check — this matches the phase
+  // structure of distributed implementations (emptiness is a fan-out that
+  // precedes the parent-mutating phase).
+  if (!IsValidPath(path) || path == "/") return ErrStatus(ErrCode::kInvalid);
+  LOCO_ASSIGN_OR_RETURN(Node * node, Resolve(who, path));
+  if (!node->attr.is_dir) return ErrStatus(ErrCode::kNotDir);
+  if (!node->children.empty()) return ErrStatus(ErrCode::kNotEmpty);
+  LOCO_ASSIGN_OR_RETURN(Node * parent, Resolve(who, ParentPath(path)));
+  if (!CheckPermission(who, parent->attr.mode, parent->attr.uid,
+                       parent->attr.gid, kModeWrite)) {
+    return ErrStatus(ErrCode::kPermission);
+  }
+  parent->children.erase(parent->children.find(BaseName(path)));
+  return OkStatus();
+}
+
+Status RefModel::Unlink(const Identity& who, std::string_view path) {
+  LOCO_ASSIGN_OR_RETURN(Node * parent,
+                        ResolveParent(who, path, kModeWrite | kModeExec));
+  const auto it = parent->children.find(BaseName(path));
+  if (it == parent->children.end()) return ErrStatus(ErrCode::kNotFound);
+  if (it->second->attr.is_dir) return ErrStatus(ErrCode::kIsDir);
+  parent->children.erase(it);
+  return OkStatus();
+}
+
+Result<std::vector<DirEntry>> RefModel::Readdir(const Identity& who,
+                                                std::string_view path) const {
+  LOCO_ASSIGN_OR_RETURN(Node * node, Resolve(who, path));
+  if (!node->attr.is_dir) return ErrStatus(ErrCode::kNotDir);
+  if (!CheckPermission(who, node->attr.mode, node->attr.uid, node->attr.gid,
+                       kModeRead)) {
+    return ErrStatus(ErrCode::kPermission);
+  }
+  std::vector<DirEntry> entries;
+  entries.reserve(node->children.size());
+  for (const auto& [name, child] : node->children) {
+    entries.push_back(DirEntry{name, child->attr.is_dir});
+  }
+  return entries;
+}
+
+Result<Attr> RefModel::Stat(const Identity& who, std::string_view path) const {
+  LOCO_ASSIGN_OR_RETURN(Node * node, Resolve(who, path));
+  return node->attr;
+}
+
+Status RefModel::Chmod(const Identity& who, std::string_view path,
+                       std::uint32_t mode, std::uint64_t ts) {
+  LOCO_ASSIGN_OR_RETURN(Node * node, Resolve(who, path));
+  if (who.uid != 0 && who.uid != node->attr.uid) {
+    return ErrStatus(ErrCode::kPermission);
+  }
+  node->attr.mode = mode;
+  node->attr.ctime = ts;
+  return OkStatus();
+}
+
+Status RefModel::Chown(const Identity& who, std::string_view path,
+                       std::uint32_t uid, std::uint32_t gid, std::uint64_t ts) {
+  LOCO_ASSIGN_OR_RETURN(Node * node, Resolve(who, path));
+  // Only root may change the owner; the owner may change the group.
+  if (who.uid != 0 &&
+      !(who.uid == node->attr.uid && uid == node->attr.uid)) {
+    return ErrStatus(ErrCode::kPermission);
+  }
+  node->attr.uid = uid;
+  node->attr.gid = gid;
+  node->attr.ctime = ts;
+  return OkStatus();
+}
+
+Status RefModel::Access(const Identity& who, std::string_view path,
+                        std::uint32_t want) const {
+  LOCO_ASSIGN_OR_RETURN(Node * node, Resolve(who, path));
+  if (!CheckPermission(who, node->attr.mode, node->attr.uid, node->attr.gid,
+                       want)) {
+    return ErrStatus(ErrCode::kPermission);
+  }
+  return OkStatus();
+}
+
+Status RefModel::Utimens(const Identity& who, std::string_view path,
+                         std::uint64_t mtime, std::uint64_t atime) {
+  LOCO_ASSIGN_OR_RETURN(Node * node, Resolve(who, path));
+  if (who.uid != 0 && who.uid != node->attr.uid &&
+      !MayWrite(who, node->attr)) {
+    return ErrStatus(ErrCode::kPermission);
+  }
+  node->attr.mtime = mtime;
+  node->attr.atime = atime;
+  return OkStatus();
+}
+
+Status RefModel::Truncate(const Identity& who, std::string_view path,
+                          std::uint64_t size, std::uint64_t ts) {
+  LOCO_ASSIGN_OR_RETURN(Node * node, Resolve(who, path));
+  if (node->attr.is_dir) return ErrStatus(ErrCode::kIsDir);
+  if (!MayWrite(who, node->attr)) return ErrStatus(ErrCode::kPermission);
+  node->data.resize(size, '\0');
+  node->attr.size = size;
+  node->attr.mtime = ts;
+  return OkStatus();
+}
+
+Result<Attr> RefModel::Open(const Identity& who, std::string_view path) const {
+  LOCO_ASSIGN_OR_RETURN(Node * node, Resolve(who, path));
+  if (node->attr.is_dir) return ErrStatus(ErrCode::kIsDir);
+  if (!CheckPermission(who, node->attr.mode, node->attr.uid, node->attr.gid,
+                       kModeRead)) {
+    return ErrStatus(ErrCode::kPermission);
+  }
+  return node->attr;
+}
+
+Status RefModel::Write(const Identity& who, std::string_view path,
+                       std::uint64_t offset, std::string_view data,
+                       std::uint64_t ts) {
+  LOCO_ASSIGN_OR_RETURN(Node * node, Resolve(who, path));
+  if (node->attr.is_dir) return ErrStatus(ErrCode::kIsDir);
+  if (!MayWrite(who, node->attr)) return ErrStatus(ErrCode::kPermission);
+  if (offset + data.size() > node->data.size()) {
+    node->data.resize(offset + data.size(), '\0');
+  }
+  node->data.replace(static_cast<std::size_t>(offset), data.size(), data);
+  node->attr.size = node->data.size();
+  node->attr.mtime = ts;
+  return OkStatus();
+}
+
+Result<std::string> RefModel::Read(const Identity& who, std::string_view path,
+                                   std::uint64_t offset, std::uint64_t length,
+                                   std::uint64_t ts) {
+  LOCO_ASSIGN_OR_RETURN(Node * node, Resolve(who, path));
+  if (node->attr.is_dir) return ErrStatus(ErrCode::kIsDir);
+  if (!CheckPermission(who, node->attr.mode, node->attr.uid, node->attr.gid,
+                       kModeRead)) {
+    return ErrStatus(ErrCode::kPermission);
+  }
+  node->attr.atime = ts;
+  if (offset >= node->data.size()) return std::string();
+  const std::size_t n = std::min<std::size_t>(
+      length, node->data.size() - static_cast<std::size_t>(offset));
+  return node->data.substr(static_cast<std::size_t>(offset), n);
+}
+
+Status RefModel::Rename(const Identity& who, std::string_view from,
+                        std::string_view to) {
+  if (!IsValidPath(from) || !IsValidPath(to) || from == "/" || to == "/") {
+    return ErrStatus(ErrCode::kInvalid);
+  }
+  // Destination must not live inside the source subtree.
+  if (to.size() > from.size() && to.substr(0, from.size()) == from &&
+      to[from.size()] == '/') {
+    return ErrStatus(ErrCode::kInvalid);
+  }
+  if (from == to) return OkStatus();
+  LOCO_ASSIGN_OR_RETURN(Node * src_parent,
+                        ResolveParent(who, from, kModeWrite | kModeExec));
+  const auto src_it = src_parent->children.find(BaseName(from));
+  if (src_it == src_parent->children.end()) return ErrStatus(ErrCode::kNotFound);
+  LOCO_ASSIGN_OR_RETURN(Node * dst_parent,
+                        ResolveParent(who, to, kModeWrite | kModeExec));
+  if (dst_parent->children.contains(BaseName(to))) {
+    return ErrStatus(ErrCode::kExists);
+  }
+  std::unique_ptr<Node> moved = std::move(src_it->second);
+  src_parent->children.erase(src_it);
+  dst_parent->children.emplace(std::string(BaseName(to)), std::move(moved));
+  return OkStatus();
+}
+
+
+std::size_t RefModel::NodeCount() const {
+  std::size_t n = 0;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    ++n;
+    for (const auto& [name, child] : node->children) {
+      (void)name;
+      stack.push_back(child.get());
+    }
+  }
+  return n;
+}
+
+}  // namespace loco::fs

@@ -1,0 +1,84 @@
+// In-memory reference file system — the oracle for property tests.
+//
+// Implements the semantics contract of fs/types.h directly on a tree of
+// nodes, synchronously.  Property tests replay a random operation sequence
+// against a service under test and against this model and require identical
+// observable results (status codes, attributes, listings, data).
+//
+// Timestamp rules (every service must match):
+//   mkdir/create : ctime = mtime = atime = ts
+//   chmod/chown  : ctime = ts
+//   write/truncate: mtime = ts (size updated)
+//   utimens      : mtime/atime as given
+//   read         : atime = ts
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "fs/types.h"
+
+namespace loco::fs {
+
+class RefModel {
+ public:
+  RefModel();
+
+  Status Mkdir(const Identity& who, std::string_view path, std::uint32_t mode,
+               std::uint64_t ts);
+  Status Rmdir(const Identity& who, std::string_view path);
+  Result<std::vector<DirEntry>> Readdir(const Identity& who,
+                                        std::string_view path) const;
+  Status Create(const Identity& who, std::string_view path, std::uint32_t mode,
+                std::uint64_t ts);
+  Status Unlink(const Identity& who, std::string_view path);
+  Status Rename(const Identity& who, std::string_view from, std::string_view to);
+  Result<Attr> Stat(const Identity& who, std::string_view path) const;
+  Status Chmod(const Identity& who, std::string_view path, std::uint32_t mode,
+               std::uint64_t ts);
+  Status Chown(const Identity& who, std::string_view path, std::uint32_t uid,
+               std::uint32_t gid, std::uint64_t ts);
+  Status Access(const Identity& who, std::string_view path,
+                std::uint32_t want) const;
+  Status Utimens(const Identity& who, std::string_view path, std::uint64_t mtime,
+                 std::uint64_t atime);
+  Status Truncate(const Identity& who, std::string_view path, std::uint64_t size,
+                  std::uint64_t ts);
+  Result<Attr> Open(const Identity& who, std::string_view path) const;
+  Status Write(const Identity& who, std::string_view path, std::uint64_t offset,
+               std::string_view data, std::uint64_t ts);
+  Result<std::string> Read(const Identity& who, std::string_view path,
+                           std::uint64_t offset, std::uint64_t length,
+                           std::uint64_t ts);
+
+  // Total number of live nodes (including the root); test hook.
+  std::size_t NodeCount() const;
+
+ private:
+  struct Node {
+    Attr attr;
+    std::map<std::string, std::unique_ptr<Node>, std::less<>> children;
+    std::string data;  // file content
+  };
+
+  // Walk to the node at `path`, enforcing execute permission on every
+  // ancestor directory.  nullptr payload + status on failure.
+  Result<Node*> Resolve(const Identity& who, std::string_view path) const;
+  // Resolve the parent directory of `path` (which must be a valid non-root
+  // path) and additionally require `want` permission on it.
+  Result<Node*> ResolveParent(const Identity& who, std::string_view path,
+                              std::uint32_t want) const;
+
+  static bool MayWrite(const Identity& who, const Attr& attr) {
+    return CheckPermission(who, attr.mode, attr.uid, attr.gid, kModeWrite);
+  }
+
+  std::unique_ptr<Node> root_;
+  std::uint64_t next_fid_ = 2;
+};
+
+}  // namespace loco::fs

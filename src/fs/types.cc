@@ -1,0 +1,29 @@
+#include "fs/types.h"
+
+namespace loco::fs {
+
+std::string_view FsOpName(FsOp op) noexcept {
+  switch (op) {
+    case FsOp::kMkdir: return "mkdir";
+    case FsOp::kRmdir: return "rmdir";
+    case FsOp::kReaddir: return "readdir";
+    case FsOp::kCreate: return "touch";
+    case FsOp::kUnlink: return "rm";
+    case FsOp::kStatFile: return "file-stat";
+    case FsOp::kStatDir: return "dir-stat";
+    case FsOp::kChmod: return "chmod";
+    case FsOp::kChown: return "chown";
+    case FsOp::kAccess: return "access";
+    case FsOp::kTruncate: return "truncate";
+    case FsOp::kUtimens: return "utimens";
+    case FsOp::kRename: return "rename";
+    case FsOp::kOpen: return "open";
+    case FsOp::kClose: return "close";
+    case FsOp::kWrite: return "write";
+    case FsOp::kRead: return "read";
+    case FsOp::kCount_: break;
+  }
+  return "?";
+}
+
+}  // namespace loco::fs

@@ -1,0 +1,135 @@
+// Common file-system types shared by LocoFS and every baseline service.
+//
+// Semantics contract (all services and the reference model implement this):
+//   * Paths are absolute, '/'-separated, normalized (no ".", "..", no
+//     trailing slash except the root "/").  The root directory always exists.
+//   * mkdir/create require the parent to exist and be a directory, the name
+//     to be free, and the caller to have write permission on the parent and
+//     execute (search) permission on every ancestor.
+//   * rmdir requires an empty directory; unlink requires a file.
+//   * rename: source must exist, destination must not; renaming a directory
+//     moves its whole subtree.
+//   * Permission checks are POSIX-style (owner/group/other bits); uid 0
+//     bypasses all checks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace loco::fs {
+
+// Universally unique file/directory id: [16-bit server id | 48-bit file id].
+// Children are indexed by their parent's uuid, so renames never relocate
+// them (§3.4.2); data blocks are indexed by (uuid, block) (§3.3.2).
+class Uuid {
+ public:
+  constexpr Uuid() = default;
+  constexpr explicit Uuid(std::uint64_t raw) : raw_(raw) {}
+  static constexpr Uuid Make(std::uint32_t sid, std::uint64_t fid) {
+    return Uuid((static_cast<std::uint64_t>(sid) << 48) |
+                (fid & ((std::uint64_t{1} << 48) - 1)));
+  }
+
+  constexpr std::uint64_t raw() const noexcept { return raw_; }
+  constexpr std::uint32_t sid() const noexcept {
+    return static_cast<std::uint32_t>(raw_ >> 48);
+  }
+  constexpr std::uint64_t fid() const noexcept {
+    return raw_ & ((std::uint64_t{1} << 48) - 1);
+  }
+
+  friend constexpr bool operator==(Uuid a, Uuid b) noexcept {
+    return a.raw_ == b.raw_;
+  }
+  friend constexpr bool operator<(Uuid a, Uuid b) noexcept {
+    return a.raw_ < b.raw_;
+  }
+
+ private:
+  std::uint64_t raw_ = 0;
+};
+
+constexpr Uuid kRootUuid = Uuid::Make(0xffff, 1);
+
+// POSIX-ish permission bits (subset).
+constexpr std::uint32_t kModeRead = 4;
+constexpr std::uint32_t kModeWrite = 2;
+constexpr std::uint32_t kModeExec = 1;
+constexpr std::uint32_t kDefaultDirMode = 0755;
+constexpr std::uint32_t kDefaultFileMode = 0644;
+
+// Caller identity attached to every operation.
+struct Identity {
+  std::uint32_t uid = 1000;
+  std::uint32_t gid = 1000;
+};
+
+// True if `who` may perform `want` (mask of kMode*) on an object owned by
+// (uid, gid) with permission bits `mode`.
+constexpr bool CheckPermission(const Identity& who, std::uint32_t mode,
+                               std::uint32_t uid, std::uint32_t gid,
+                               std::uint32_t want) noexcept {
+  if (who.uid == 0) return true;
+  std::uint32_t bits;
+  if (who.uid == uid) {
+    bits = (mode >> 6) & 7;
+  } else if (who.gid == gid) {
+    bits = (mode >> 3) & 7;
+  } else {
+    bits = mode & 7;
+  }
+  return (bits & want) == want;
+}
+
+// Full attribute set returned by stat.  The access/content grouping follows
+// the paper's Table 1 (LocoFS stores the two groups as separate KV values).
+struct Attr {
+  // Access region.
+  std::uint64_t ctime = 0;
+  std::uint32_t mode = 0;
+  std::uint32_t uid = 0;
+  std::uint32_t gid = 0;
+  // Content region.
+  std::uint64_t mtime = 0;
+  std::uint64_t atime = 0;
+  std::uint64_t size = 0;
+  std::uint32_t block_size = 0;
+  // Identity.
+  Uuid uuid;
+  bool is_dir = false;
+};
+
+struct DirEntry {
+  std::string name;
+  bool is_dir = false;
+};
+
+// Logical operation kinds — used for workload specs and per-op statistics
+// (the wire opcodes are service-specific and live with each service).
+enum class FsOp : int {
+  kMkdir = 0,
+  kRmdir,
+  kReaddir,
+  kCreate,   // mdtest "touch"
+  kUnlink,   // mdtest "rm"
+  kStatFile,
+  kStatDir,
+  kChmod,
+  kChown,
+  kAccess,
+  kTruncate,
+  kUtimens,
+  kRename,
+  kOpen,
+  kClose,
+  kWrite,
+  kRead,
+  kCount_,
+};
+
+constexpr int kFsOpCount = static_cast<int>(FsOp::kCount_);
+
+std::string_view FsOpName(FsOp op) noexcept;
+
+}  // namespace loco::fs

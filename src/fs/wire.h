@@ -1,0 +1,131 @@
+// Wire encoding of the shared FS structures (Attr, DirEntry lists, caller
+// identity).  Service-specific request layouts build on these helpers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/codec.h"
+#include "fs/types.h"
+
+namespace loco::fs {
+
+inline void EncodeAttr(common::Writer& w, const Attr& attr) {
+  w.PutU64(attr.ctime);
+  w.PutU32(attr.mode);
+  w.PutU32(attr.uid);
+  w.PutU32(attr.gid);
+  w.PutU64(attr.mtime);
+  w.PutU64(attr.atime);
+  w.PutU64(attr.size);
+  w.PutU32(attr.block_size);
+  w.PutU64(attr.uuid.raw());
+  w.PutU8(attr.is_dir ? 1 : 0);
+}
+
+inline Attr DecodeAttr(common::Reader& r) {
+  Attr attr;
+  attr.ctime = r.GetU64();
+  attr.mode = r.GetU32();
+  attr.uid = r.GetU32();
+  attr.gid = r.GetU32();
+  attr.mtime = r.GetU64();
+  attr.atime = r.GetU64();
+  attr.size = r.GetU64();
+  attr.block_size = r.GetU32();
+  attr.uuid = Uuid(r.GetU64());
+  attr.is_dir = r.GetU8() != 0;
+  return attr;
+}
+
+inline void EncodeIdentity(common::Writer& w, const Identity& id) {
+  w.PutU32(id.uid);
+  w.PutU32(id.gid);
+}
+
+inline Identity DecodeIdentity(common::Reader& r) {
+  Identity id;
+  id.uid = r.GetU32();
+  id.gid = r.GetU32();
+  return id;
+}
+
+inline void EncodeEntries(common::Writer& w, const std::vector<DirEntry>& entries) {
+  w.PutU32(static_cast<std::uint32_t>(entries.size()));
+  for (const DirEntry& e : entries) {
+    w.PutBytes(e.name);
+    w.PutU8(e.is_dir ? 1 : 0);
+  }
+}
+
+inline std::vector<DirEntry> DecodeEntries(common::Reader& r) {
+  std::vector<DirEntry> entries;
+  const std::uint32_t n = r.GetU32();
+  entries.reserve(n);
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    DirEntry e;
+    e.name = r.GetString();
+    e.is_dir = r.GetU8() != 0;
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+// ---------------------------------------------------------------------------
+// Variadic Pack/Unpack: every RPC request/response payload in the codebase is
+// a flat field tuple encoded with these helpers, so each message needs no
+// hand-written struct codec.
+// ---------------------------------------------------------------------------
+
+inline void PackOne(common::Writer& w, std::uint8_t v) { w.PutU8(v); }
+inline void PackOne(common::Writer& w, std::uint16_t v) { w.PutU16(v); }
+inline void PackOne(common::Writer& w, std::uint32_t v) { w.PutU32(v); }
+inline void PackOne(common::Writer& w, std::uint64_t v) { w.PutU64(v); }
+inline void PackOne(common::Writer& w, std::string_view v) { w.PutBytes(v); }
+inline void PackOne(common::Writer& w, const std::string& v) { w.PutBytes(v); }
+inline void PackOne(common::Writer& w, const Identity& v) { EncodeIdentity(w, v); }
+inline void PackOne(common::Writer& w, const Attr& v) { EncodeAttr(w, v); }
+inline void PackOne(common::Writer& w, Uuid v) { w.PutU64(v.raw()); }
+inline void PackOne(common::Writer& w, const std::vector<DirEntry>& v) {
+  EncodeEntries(w, v);
+}
+inline void PackOne(common::Writer& w, const std::vector<std::string>& v) {
+  w.PutU32(static_cast<std::uint32_t>(v.size()));
+  for (const std::string& s : v) w.PutBytes(s);
+}
+
+inline void UnpackOne(common::Reader& r, std::uint8_t& v) { v = r.GetU8(); }
+inline void UnpackOne(common::Reader& r, std::uint16_t& v) { v = r.GetU16(); }
+inline void UnpackOne(common::Reader& r, std::uint32_t& v) { v = r.GetU32(); }
+inline void UnpackOne(common::Reader& r, std::uint64_t& v) { v = r.GetU64(); }
+inline void UnpackOne(common::Reader& r, std::string& v) { v = r.GetString(); }
+inline void UnpackOne(common::Reader& r, Identity& v) { v = DecodeIdentity(r); }
+inline void UnpackOne(common::Reader& r, Attr& v) { v = DecodeAttr(r); }
+inline void UnpackOne(common::Reader& r, Uuid& v) { v = Uuid(r.GetU64()); }
+inline void UnpackOne(common::Reader& r, std::vector<DirEntry>& v) {
+  v = DecodeEntries(r);
+}
+inline void UnpackOne(common::Reader& r, std::vector<std::string>& v) {
+  const std::uint32_t n = r.GetU32();
+  v.clear();
+  v.reserve(n);
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) v.emplace_back(r.GetBytes());
+}
+
+template <typename... Args>
+std::string Pack(const Args&... args) {
+  common::Writer w;
+  (PackOne(w, args), ...);
+  return w.Take();
+}
+
+// Strict decode: every field present and no trailing bytes.
+template <typename... Args>
+[[nodiscard]] bool Unpack(std::string_view payload, Args&... args) {
+  common::Reader r(payload);
+  (UnpackOne(r, args), ...);
+  return r.ok() && r.AtEnd();
+}
+
+}  // namespace loco::fs

@@ -1,0 +1,89 @@
+// LsmKV: log-structured merge tree, the LevelDB stand-in behind the IndexFS
+// baseline and the raw-KV reference lines of Fig. 1 / Fig. 9.
+//
+// Structure: an ordered memtable absorbing writes (backed by a WAL when
+// persistence is enabled), flushed into immutable sorted runs guarded by
+// bloom filters, with full-merge compaction once the run count exceeds
+// KvOptions::max_runs.  Deletes are tombstones until compaction.
+//
+// Unlike HashKV / BTreeKV, values are immutable once written: PatchValue
+// degrades to read-modify-write of the whole value — exactly the "large
+// value update" penalty §3.3 of the paper attributes to LSM-backed inodes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kvstore/kv.h"
+#include "kvstore/wal.h"
+
+namespace loco::kv {
+
+// Split-block bloom filter sized at ~10 bits/key.
+class BloomFilter {
+ public:
+  void Build(const std::vector<std::string>& keys);
+  bool MayContain(std::string_view key) const noexcept;
+  std::size_t SizeBytes() const noexcept { return bits_.size() * 8; }
+
+ private:
+  std::vector<std::uint64_t> bits_;
+  std::size_t nbits_ = 0;
+};
+
+class LsmKV final : public Kv {
+ public:
+  explicit LsmKV(const KvOptions& options = {});
+  ~LsmKV() override = default;
+
+  // Load persisted runs, replay the WAL into the memtable.
+  Status Open();
+
+  Status Put(std::string_view key, std::string_view value) override;
+  Status Get(std::string_view key, std::string* value) const override;
+  Status Delete(std::string_view key) override;
+  std::size_t Size() const override;
+  Status ScanPrefix(std::string_view prefix, std::size_t limit,
+                    std::vector<Entry>* out) const override;
+  void ForEach(const std::function<bool(std::string_view, std::string_view)>& fn)
+      const override;
+  bool Ordered() const noexcept override { return true; }
+
+  // Force a memtable flush (tests / shutdown).
+  Status Flush();
+
+  std::size_t RunCount() const noexcept { return runs_.size(); }
+  std::size_t MemtableBytes() const noexcept { return memtable_bytes_; }
+
+ private:
+  struct Run {
+    std::uint64_t seq = 0;
+    std::vector<std::string> keys;                 // sorted
+    std::vector<std::optional<std::string>> vals;  // nullopt = tombstone
+    BloomFilter bloom;
+  };
+
+  Status Write(std::string_view key, std::optional<std::string_view> value);
+  Status MaybeFlush();
+  Status Compact();
+  Status PersistRun(const Run& run);
+  Status LoadRuns();
+  std::string RunPath(std::uint64_t seq) const;
+
+  // Newest-wins merged view of [prefix-range or everything].
+  void MergedView(std::string_view lo, std::string_view hi,
+                  std::map<std::string, std::optional<std::string>>* out) const;
+
+  KvOptions options_;
+  std::map<std::string, std::optional<std::string>> memtable_;
+  std::size_t memtable_bytes_ = 0;
+  std::vector<Run> runs_;  // oldest first
+  std::uint64_t next_seq_ = 1;
+  Wal wal_;
+  bool replaying_ = false;
+};
+
+}  // namespace loco::kv

@@ -1,0 +1,45 @@
+// Shared WAL record encoding for the mutation log of HashKV / BTreeKV and
+// the LSM write path.  One record per logical mutation:
+//   put:    [kOpPut][bytes key][bytes value]
+//   delete: [kOpDelete][bytes key]
+//   patch:  [kOpPatch][bytes key][u64 offset][bytes patch]
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/codec.h"
+
+namespace loco::kv::walrec {
+
+constexpr std::uint8_t kOpPut = 1;
+constexpr std::uint8_t kOpDelete = 2;
+constexpr std::uint8_t kOpPatch = 3;
+
+inline std::string EncodePut(std::string_view key, std::string_view value) {
+  common::Writer w;
+  w.PutU8(kOpPut);
+  w.PutBytes(key);
+  w.PutBytes(value);
+  return w.Take();
+}
+
+inline std::string EncodeDelete(std::string_view key) {
+  common::Writer w;
+  w.PutU8(kOpDelete);
+  w.PutBytes(key);
+  return w.Take();
+}
+
+inline std::string EncodePatch(std::string_view key, std::uint64_t offset,
+                               std::string_view patch) {
+  common::Writer w;
+  w.PutU8(kOpPatch);
+  w.PutBytes(key);
+  w.PutU64(offset);
+  w.PutBytes(patch);
+  return w.Take();
+}
+
+}  // namespace loco::kv::walrec

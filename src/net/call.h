@@ -1,0 +1,104 @@
+// Awaitable RPC calls over net::Channel.
+//
+//   RpcResponse r  = co_await Call(ch, server, opcode, payload);
+//   auto responses = co_await CallMany(ch, servers, opcode, payload);
+//
+// Both awaiters handle the completed-inline case (synchronous transports)
+// without suspending, and the deferred case (simulator) by resuming the
+// awaiting coroutine from the completion callback.
+#pragma once
+
+#include <atomic>
+#include <coroutine>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/rpc.h"
+
+namespace loco::net {
+
+class CallAwaiter {
+ public:
+  CallAwaiter(Channel& channel, NodeId server, std::uint16_t opcode,
+              std::string payload)
+      : channel_(channel),
+        server_(server),
+        opcode_(opcode),
+        payload_(std::move(payload)) {}
+
+  bool await_ready() const noexcept { return false; }
+
+  bool await_suspend(std::coroutine_handle<> h) {
+    waiting_ = h;
+    channel_.CallAsync(server_, opcode_, std::move(payload_),
+                       [this](RpcResponse resp) {
+                         response_ = std::move(resp);
+                         // If the awaiting coroutine already committed to
+                         // suspension, we own its resumption.
+                         if (latch_.exchange(true, std::memory_order_acq_rel)) {
+                           waiting_.resume();
+                         }
+                       });
+    // If the callback already fired (inline completion), do not suspend.
+    return !latch_.exchange(true, std::memory_order_acq_rel);
+  }
+
+  RpcResponse await_resume() noexcept { return std::move(response_); }
+
+ private:
+  Channel& channel_;
+  NodeId server_;
+  std::uint16_t opcode_;
+  std::string payload_;
+  std::coroutine_handle<> waiting_;
+  RpcResponse response_;
+  std::atomic<bool> latch_{false};
+};
+
+class CallManyAwaiter {
+ public:
+  CallManyAwaiter(Channel& channel, std::vector<NodeId> servers,
+                  std::uint16_t opcode, std::string payload)
+      : channel_(channel),
+        servers_(std::move(servers)),
+        opcode_(opcode),
+        payload_(std::move(payload)) {}
+
+  bool await_ready() const noexcept { return false; }
+
+  bool await_suspend(std::coroutine_handle<> h) {
+    waiting_ = h;
+    channel_.CallManyAsync(servers_, opcode_, std::move(payload_),
+                           [this](std::vector<RpcResponse> resp) {
+                             responses_ = std::move(resp);
+                             if (latch_.exchange(true, std::memory_order_acq_rel)) {
+                               waiting_.resume();
+                             }
+                           });
+    return !latch_.exchange(true, std::memory_order_acq_rel);
+  }
+
+  std::vector<RpcResponse> await_resume() noexcept { return std::move(responses_); }
+
+ private:
+  Channel& channel_;
+  std::vector<NodeId> servers_;
+  std::uint16_t opcode_;
+  std::string payload_;
+  std::coroutine_handle<> waiting_;
+  std::vector<RpcResponse> responses_;
+  std::atomic<bool> latch_{false};
+};
+
+inline CallAwaiter Call(Channel& channel, NodeId server, std::uint16_t opcode,
+                        std::string payload) {
+  return CallAwaiter(channel, server, opcode, std::move(payload));
+}
+
+inline CallManyAwaiter CallMany(Channel& channel, std::vector<NodeId> servers,
+                                std::uint16_t opcode, std::string payload) {
+  return CallManyAwaiter(channel, std::move(servers), opcode, std::move(payload));
+}
+
+}  // namespace loco::net

@@ -1,0 +1,38 @@
+#include "net/inproc.h"
+
+#include <thread>
+
+namespace loco::net {
+
+void InProcTransport::Register(NodeId id, RpcHandler* handler) {
+  auto& server = servers_[id];
+  if (!server) server = std::make_unique<Server>();
+  server->handler = handler;
+}
+
+void InProcTransport::CallAsync(NodeId server, std::uint16_t opcode,
+                                std::string payload,
+                                std::function<void(RpcResponse)> done) {
+  const auto it = servers_.find(server);
+  if (it == servers_.end() || it->second->handler == nullptr) {
+    done(RpcResponse{ErrCode::kUnavailable, {}});
+    return;
+  }
+  const common::Nanos rtt = rtt_.load(std::memory_order_relaxed);
+  if (rtt > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(rtt / 2));
+  RpcResponse resp;
+  {
+    std::scoped_lock lock(it->second->mu);
+    it->second->calls.fetch_add(1, std::memory_order_relaxed);
+    resp = it->second->handler->Handle(opcode, payload);
+  }
+  if (rtt > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(rtt / 2));
+  done(std::move(resp));
+}
+
+std::uint64_t InProcTransport::CallCount(NodeId server) const {
+  const auto it = servers_.find(server);
+  return it == servers_.end() ? 0 : it->second->calls.load(std::memory_order_relaxed);
+}
+
+}  // namespace loco::net

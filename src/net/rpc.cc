@@ -1,0 +1,33 @@
+#include "net/rpc.h"
+
+#include <memory>
+
+namespace loco::net {
+
+void Channel::CallManyAsync(const std::vector<NodeId>& servers,
+                            std::uint16_t opcode, std::string payload,
+                            std::function<void(std::vector<RpcResponse>)> done) {
+  // Generic fan-out: issue sequentially, collect in order.  Correct for any
+  // transport (including ones that complete synchronously inside CallAsync).
+  struct State {
+    std::vector<RpcResponse> responses;
+    std::size_t pending = 0;
+    std::function<void(std::vector<RpcResponse>)> done;
+  };
+  auto state = std::make_shared<State>();
+  state->responses.resize(servers.size());
+  state->pending = servers.size();
+  state->done = std::move(done);
+  if (servers.empty()) {
+    state->done(std::move(state->responses));
+    return;
+  }
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    CallAsync(servers[i], opcode, payload, [state, i](RpcResponse resp) {
+      state->responses[i] = std::move(resp);
+      if (--state->pending == 0) state->done(std::move(state->responses));
+    });
+  }
+}
+
+}  // namespace loco::net

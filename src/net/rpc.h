@@ -1,0 +1,70 @@
+// RPC core types.
+//
+// Every metadata service (LocoFS's DMS/FMS and all baseline services) is an
+// RpcHandler: a request handler keyed by (opcode, payload bytes).  Clients
+// reach servers through a Channel.  Two Channel implementations exist:
+//
+//   * net::InProcTransport — executes handlers on the calling thread (or
+//     with real injected latency), used by the examples and the
+//     multi-threaded integration tests;
+//   * sim::SimTransport    — schedules the exchange on the discrete-event
+//     simulator's virtual clock, used by every paper experiment.
+//
+// Channel is deliberately asynchronous (completion callback) so the same
+// client code — written as coroutines over Channel — runs unchanged on both.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+
+namespace loco::net {
+
+// Identifies a server node within a cluster.
+using NodeId = std::uint32_t;
+
+constexpr NodeId kInvalidNode = ~NodeId{0};
+
+struct RpcResponse {
+  ErrCode code = ErrCode::kOk;
+  std::string payload;
+  // Virtual time the handler spent on modeled hardware the host cannot
+  // execute (storage device I/O, journal flushes).  The simulator adds this
+  // to the service time; the in-process transport ignores it.
+  common::Nanos extra_service_ns = 0;
+
+  bool ok() const noexcept { return code == ErrCode::kOk; }
+};
+
+// Server-side request handler.
+class RpcHandler {
+ public:
+  virtual ~RpcHandler() = default;
+  virtual RpcResponse Handle(std::uint16_t opcode, std::string_view payload) = 0;
+};
+
+// Client-side capability to issue calls.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  // Issue one call; `done` is invoked exactly once with the response.
+  // `done` MAY be invoked before CallAsync returns (synchronous transports).
+  virtual void CallAsync(NodeId server, std::uint16_t opcode, std::string payload,
+                         std::function<void(RpcResponse)> done) = 0;
+
+  // Issue the same call to many servers concurrently; `done` receives the
+  // responses in `servers` order once all have completed.  The default
+  // implementation issues them back-to-back; the simulator overlaps them in
+  // virtual time (one round trip total, as a real client would).
+  virtual void CallManyAsync(const std::vector<NodeId>& servers,
+                             std::uint16_t opcode, std::string payload,
+                             std::function<void(std::vector<RpcResponse>)> done);
+};
+
+}  // namespace loco::net

@@ -1,0 +1,127 @@
+// Minimal coroutine Task<T> with symmetric transfer.
+//
+// File-system client logic (LocoFS's LocoLib and the baseline clients) is
+// written once as Task coroutines over net::Channel.  Under the in-process
+// transport every co_await completes inline, so the coroutine never actually
+// suspends and behaves like a plain function call; under the simulator the
+// awaits suspend and are resumed by the event loop in virtual-time order.
+//
+// Tasks are lazy (started when first awaited, or by StartTask) and
+// single-consumer.  Exceptions escaping a task terminate: the codebase
+// reports errors through loco::Status, never by throwing across RPC frames.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <functional>
+#include <optional>
+#include <utility>
+
+namespace loco::net {
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(Handle h) const noexcept {
+      // Resume whoever awaited us; detached tasks resume a no-op.
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  struct promise_type {
+    std::optional<T> value;
+    std::coroutine_handle<> continuation;
+
+    Task get_return_object() { return Task(Handle::from_promise(*this)); }
+    std::suspend_always initial_suspend() const noexcept { return {}; }
+    FinalAwaiter final_suspend() const noexcept { return {}; }
+    void return_value(T v) { value.emplace(std::move(v)); }
+    [[noreturn]] void unhandled_exception() { std::terminate(); }
+  };
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      if (handle_) handle_.destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool Done() const noexcept { return handle_ && handle_.done(); }
+
+  struct Awaiter {
+    Handle handle;
+    bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) const noexcept {
+      handle.promise().continuation = cont;
+      return handle;  // symmetric transfer: start the child immediately
+    }
+    T await_resume() const {
+      assert(handle.promise().value.has_value());
+      return std::move(*handle.promise().value);
+    }
+  };
+
+  // Awaiting a Task starts it and yields its result.  rvalue-only: the
+  // awaiting expression keeps the Task (and its frame) alive until resume.
+  Awaiter operator co_await() && noexcept { return Awaiter{handle_}; }
+
+ private:
+  explicit Task(Handle h) noexcept : handle_(h) {}
+  Handle handle_;
+};
+
+namespace detail {
+
+// Fire-and-forget root coroutine used to launch a Task from non-coroutine
+// code.  Its frame frees itself at completion (suspend_never in final).
+struct Detached {
+  struct promise_type {
+    Detached get_return_object() const noexcept { return {}; }
+    std::suspend_never initial_suspend() const noexcept { return {}; }
+    std::suspend_never final_suspend() const noexcept { return {}; }
+    void return_void() const noexcept {}
+    [[noreturn]] void unhandled_exception() const { std::terminate(); }
+  };
+};
+
+template <typename T, typename Done>
+Detached RunDetached(Task<T> task, Done done) {
+  done(co_await std::move(task));
+}
+
+}  // namespace detail
+
+// Launch `task` from ordinary code; `done(result)` fires at completion —
+// inline if the task never suspends (in-process transport), later from the
+// event loop otherwise.
+template <typename T, typename Done>
+void StartTask(Task<T> task, Done done) {
+  detail::RunDetached(std::move(task), std::move(done));
+}
+
+// Convenience for tests and the real-transport client facade: run a task
+// that is known to complete without suspending (in-process transport) and
+// return its value.  Aborts if the task would actually need to wait.
+template <typename T>
+T RunInline(Task<T> task) {
+  std::optional<T> out;
+  StartTask(std::move(task), [&out](T v) { out.emplace(std::move(v)); });
+  assert(out.has_value() && "RunInline task suspended on a non-inline transport");
+  return std::move(*out);
+}
+
+}  // namespace loco::net

@@ -1,0 +1,146 @@
+// Closed-loop simulated client driver and run statistics.
+//
+// A ClosedLoopClient owns one SimChannel (one client process) and replays
+// operations from an OpSource back-to-back: the next op is issued as soon as
+// the previous completes, plus the client-side CPU cost of issuing (which
+// inflates under client-node oversubscription).  This is the mdtest process
+// model used by every throughput experiment.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/histogram.h"
+#include "net/task.h"
+#include "sim/transport.h"
+
+namespace loco::sim {
+
+// Aggregated results of a simulated run, shared by all clients of the run.
+class RunStats {
+ public:
+  void Record(int op_type, Nanos latency, ErrCode code) {
+    auto& slot = per_type_[op_type];
+    slot.latency.Record(latency);
+    if (code != ErrCode::kOk) ++slot.errors;
+    ++total_ops_;
+  }
+
+  void NoteIssue(Nanos now) {
+    if (first_issue_ < 0) first_issue_ = now;
+  }
+  void NoteCompletion(Nanos now) { last_completion_ = now; }
+
+  const common::Histogram& Latency(int op_type) const {
+    static const common::Histogram kEmpty;
+    const auto it = per_type_.find(op_type);
+    return it == per_type_.end() ? kEmpty : it->second.latency;
+  }
+  std::uint64_t Errors(int op_type) const {
+    const auto it = per_type_.find(op_type);
+    return it == per_type_.end() ? 0 : it->second.errors;
+  }
+  std::uint64_t TotalErrors() const {
+    std::uint64_t n = 0;
+    for (const auto& [t, s] : per_type_) {
+      (void)t;
+      n += s.errors;
+    }
+    return n;
+  }
+
+  std::uint64_t total_ops() const noexcept { return total_ops_; }
+  Nanos makespan() const noexcept {
+    return first_issue_ < 0 ? 0 : last_completion_ - first_issue_;
+  }
+  // Completed operations per second of virtual time.
+  double Throughput() const noexcept {
+    const Nanos span = makespan();
+    return span > 0 ? static_cast<double>(total_ops_) /
+                          common::ToSeconds(span)
+                    : 0.0;
+  }
+
+ private:
+  struct PerType {
+    common::Histogram latency;
+    std::uint64_t errors = 0;
+  };
+  std::map<int, PerType> per_type_;
+  std::uint64_t total_ops_ = 0;
+  Nanos first_issue_ = -1;
+  Nanos last_completion_ = 0;
+};
+
+class ClosedLoopClient {
+ public:
+  struct Op {
+    net::Task<Status> task;
+    int type = 0;
+  };
+  // Produces the next operation bound to this client's channel, or nullopt
+  // when the client's workload is exhausted.
+  using OpSource = std::function<std::optional<Op>(net::Channel&)>;
+
+  // Owns a fresh channel.
+  ClosedLoopClient(SimCluster* cluster, OpSource source, RunStats* stats)
+      : cluster_(cluster),
+        owned_channel_(cluster->NewClientChannel()),
+        channel_(owned_channel_.get()),
+        source_(std::move(source)),
+        stats_(stats) {}
+
+  // Borrows `channel` (caller keeps it alive): lets one client process's
+  // channel — and the FS-client state built over it, e.g. lease caches —
+  // persist across multiple workload phases.
+  ClosedLoopClient(SimCluster* cluster, SimChannel* channel, OpSource source,
+                   RunStats* stats)
+      : cluster_(cluster),
+        channel_(channel),
+        source_(std::move(source)),
+        stats_(stats) {}
+
+  // Schedule this client's first op at Now() + stagger.
+  void Start(Nanos stagger = 0) {
+    cluster_->sim()->Schedule(stagger, [this] { IssueNext(); });
+  }
+
+  bool Finished() const noexcept { return finished_; }
+  net::Channel& channel() noexcept { return *channel_; }
+
+ private:
+  void IssueNext() {
+    auto op = source_(*channel_);
+    if (!op.has_value()) {
+      finished_ = true;
+      return;
+    }
+    Simulation* sim = cluster_->sim();
+    stats_->NoteIssue(sim->Now());
+    const Nanos t0 = sim->Now();
+    const int type = op->type;
+    // Client CPU to marshal and issue (inflated under oversubscription).
+    // Tasks are move-only; std::function requires copyable captures, so the
+    // task crosses the scheduling boundary behind a shared_ptr.
+    auto task = std::make_shared<net::Task<Status>>(std::move(op->task));
+    sim->Schedule(channel_->IssueCost(), [this, sim, t0, type, task]() {
+      net::StartTask(std::move(*task), [this, sim, t0, type](Status status) {
+        stats_->Record(type, sim->Now() - t0, status.code());
+        stats_->NoteCompletion(sim->Now());
+        IssueNext();
+      });
+    });
+  }
+
+  SimCluster* cluster_;
+  std::unique_ptr<SimChannel> owned_channel_;
+  SimChannel* channel_;
+  OpSource source_;
+  RunStats* stats_;
+  bool finished_ = false;
+};
+
+}  // namespace loco::sim

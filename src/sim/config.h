@@ -1,0 +1,111 @@
+// Cluster, network, server and device cost models for the simulator.
+//
+// Defaults reproduce the paper's testbed (Table 2): 1 GbE with a measured
+// round-trip time of 0.174 ms, metadata servers with 8 cores, clients on
+// beefy 24-core nodes.  Every knob is a plain struct field so benchmarks can
+// sweep them; ClusterConfig::Describe() prints the active configuration in
+// every bench header (the Table 2 reproduction).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+
+namespace loco::sim {
+
+using common::Nanos;
+
+// Network latency/bandwidth model (per direction).
+struct NetConfig {
+  // Round-trip time between any two nodes.  Paper Fig. 6 normalizes to a
+  // measured RTT of 0.174 ms on their 1 GbE fabric.
+  Nanos rtt = 174 * common::kMicro;
+  // Link bandwidth in bits per second (1 GbE).
+  double bandwidth_bps = 1e9;
+  // Per-message fixed software cost on the sender (syscall + NIC doorbell).
+  Nanos per_message_ns = 2 * common::kMicro;
+
+  // One-way latency for a message of `bytes` payload.
+  Nanos OneWay(std::size_t bytes) const noexcept {
+    const double transfer_s =
+        bandwidth_bps > 0 ? static_cast<double>(bytes) * 8.0 / bandwidth_bps : 0;
+    return rtt / 2 + per_message_ns +
+           static_cast<Nanos>(transfer_s * 1e9);
+  }
+};
+
+// How a SimServer converts handler execution into virtual service time.
+enum class ServiceTimeMode {
+  // Measure the handler's real CPU time each call (default: software path
+  // length is observed, not scripted).
+  kMeasured,
+  // Charge `fixed_service_ns` regardless (determinism tests).
+  kFixed,
+};
+
+struct ServerConfig {
+  // Parallel service slots (the paper's metadata nodes have 8 cores).
+  int slots = 8;
+  // Per-request fixed CPU cost: RPC decode, kernel TCP stack, dispatch.
+  // This is the dominant per-op server cost on the paper's 1 GbE / 2.5 GHz
+  // Opteron testbed (their 100K-IOPS single-server LocoFS implies ~80 us of
+  // busy time per op across 8 cores, of which the KV work itself is only a
+  // few us) and the honest source of the "raw KV vs FS metadata" gap: the
+  // raw KV is benchmarked in-process with no RPC.
+  Nanos fixed_request_ns = 25 * common::kMicro;
+  // Scale factor applied to measured handler CPU time, to map this host's
+  // single modern core onto the paper's slower per-core testbed.
+  double cpu_scale = 4.0;
+  ServiceTimeMode mode = ServiceTimeMode::kMeasured;
+  Nanos fixed_service_ns = 10 * common::kMicro;
+  // Bound on the request queue; 0 = unbounded.  Overflow yields kUnavailable.
+  std::size_t max_queue = 0;
+};
+
+// Client-side cost model.
+struct ClientConfig {
+  // Fixed CPU cost to issue one operation (marshalling, syscalls).
+  Nanos per_op_ns = 4 * common::kMicro;
+  // Extra per-op cost for every open connection the client maintains —
+  // models the "more network connections slow down the client" effect the
+  // paper reports for touch latency at higher server counts (§4.2.1): their
+  // single-client touch latency grew by ~2 RTT from 1 to 16 servers.
+  Nanos per_connection_ns = 15 * common::kMicro;
+  // One-time cost to open a connection to a server it has not talked to.
+  Nanos connection_setup_ns = 200 * common::kMicro;
+  // How many client processes share one physical client node (Table 2: 48
+  // hyper-threads per client node).  Beyond that, added clients contend.
+  int slots_per_client_node = 48;
+};
+
+// Storage device cost model (Fig. 14 runs the DMS store on HDD vs SSD).
+struct DeviceModel {
+  std::string name = "ssd";
+  Nanos per_io_ns = 60 * common::kMicro;   // seek / command overhead
+  double bytes_per_sec = 450e6;            // sequential throughput
+
+  Nanos Cost(std::uint64_t io_ops, std::uint64_t io_bytes) const noexcept {
+    const double transfer_s = bytes_per_sec > 0
+        ? static_cast<double>(io_bytes) / bytes_per_sec : 0;
+    return static_cast<Nanos>(io_ops) * per_io_ns +
+           static_cast<Nanos>(transfer_s * 1e9);
+  }
+
+  static DeviceModel Ssd() { return DeviceModel{"ssd", 60 * common::kMicro, 450e6}; }
+  static DeviceModel Hdd() {
+    return DeviceModel{"hdd", 8 * common::kMilli, 150e6};
+  }
+};
+
+struct ClusterConfig {
+  NetConfig net;
+  ServerConfig server;
+  ClientConfig client;
+  std::uint64_t seed = 42;
+
+  // Human-readable dump, printed by every bench (Table 2 stand-in).
+  std::string Describe() const;
+};
+
+}  // namespace loco::sim

@@ -1,0 +1,59 @@
+#include "sim/server.h"
+
+namespace loco::sim {
+
+void SimServer::Enqueue(std::uint16_t opcode, std::string payload,
+                        Completion done) {
+  if (config_.max_queue != 0 && queue_.size() >= config_.max_queue) {
+    done(net::RpcResponse{ErrCode::kUnavailable, {}});
+    return;
+  }
+  Pending pending{opcode, std::move(payload), std::move(done), sim_->Now()};
+  if (free_slots_ > 0) {
+    --free_slots_;
+    StartService(std::move(pending));
+  } else {
+    queue_.push_back(std::move(pending));
+  }
+}
+
+void SimServer::StartService(Pending pending) {
+  queue_wait_.Record(sim_->Now() - pending.enqueued_at);
+
+  // Execute the handler for real and measure its CPU cost.
+  common::CpuTimer timer;
+  net::RpcResponse resp = handler_->Handle(pending.opcode, pending.payload);
+  const Nanos measured = timer.ElapsedNanos();
+
+  Nanos service = config_.fixed_request_ns;
+  if (config_.mode == ServiceTimeMode::kMeasured) {
+    service += static_cast<Nanos>(static_cast<double>(measured) * config_.cpu_scale);
+  } else {
+    service += config_.fixed_service_ns;
+  }
+  service += resp.extra_service_ns;
+  if (extra_fn_) service += extra_fn_();
+
+  service_.Record(service);
+  busy_ += service;
+  ++served_;
+
+  // Deliver the response and free the slot at virtual completion time.
+  sim_->Schedule(service, [this, resp = std::move(resp),
+                           done = std::move(pending.done)]() mutable {
+    done(std::move(resp));
+    OnSlotFree();
+  });
+}
+
+void SimServer::OnSlotFree() {
+  if (!queue_.empty()) {
+    Pending next = std::move(queue_.front());
+    queue_.pop_front();
+    StartService(std::move(next));
+  } else {
+    ++free_slots_;
+  }
+}
+
+}  // namespace loco::sim

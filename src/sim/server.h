@@ -1,0 +1,71 @@
+// SimServer: queueing model of one metadata/data server.
+//
+// A server owns an RpcHandler and `slots` parallel service slots with a
+// shared FIFO queue.  At dequeue the handler executes *for real* (mutating
+// its real KV stores); its measured CPU time — scaled by ServerConfig — plus
+// the fixed per-request cost becomes the virtual service time.  Completion
+// is delivered via callback at the virtual completion instant.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "common/histogram.h"
+#include "net/rpc.h"
+#include "sim/config.h"
+#include "sim/simulation.h"
+
+namespace loco::sim {
+
+class SimServer {
+ public:
+  using Completion = std::function<void(net::RpcResponse)>;
+
+  SimServer(Simulation* simulation, net::NodeId id, net::RpcHandler* handler,
+            const ServerConfig& config)
+      : sim_(simulation), id_(id), handler_(handler), config_(config),
+        free_slots_(config.slots) {}
+
+  net::NodeId id() const noexcept { return id_; }
+
+  // Called at request-arrival virtual time.
+  void Enqueue(std::uint16_t opcode, std::string payload, Completion done);
+
+  // Per-request extra service time provider (e.g. the transport charges
+  // connection-state overhead proportional to connected clients).
+  void SetExtraServiceFn(std::function<Nanos()> fn) { extra_fn_ = std::move(fn); }
+
+  std::uint64_t requests_served() const noexcept { return served_; }
+  const common::Histogram& queue_wait() const noexcept { return queue_wait_; }
+  const common::Histogram& service_time() const noexcept { return service_; }
+  // Total virtual busy time across slots (for utilization reporting).
+  Nanos busy_time() const noexcept { return busy_; }
+
+ private:
+  struct Pending {
+    std::uint16_t opcode;
+    std::string payload;
+    Completion done;
+    Nanos enqueued_at;
+  };
+
+  void StartService(Pending pending);
+  void OnSlotFree();
+
+  Simulation* sim_;
+  net::NodeId id_;
+  net::RpcHandler* handler_;
+  ServerConfig config_;
+  int free_slots_;
+  std::deque<Pending> queue_;
+  std::uint64_t served_ = 0;
+  Nanos busy_ = 0;
+  std::function<Nanos()> extra_fn_;
+  common::Histogram queue_wait_;
+  common::Histogram service_;
+};
+
+}  // namespace loco::sim

@@ -1,0 +1,95 @@
+// Discrete-event simulation core: a virtual clock and an event queue.
+//
+// The simulator substitutes for the paper's 16-node Ethernet cluster
+// (DESIGN.md §2).  Events are closures ordered by (virtual time, insertion
+// sequence); the sequence tie-break makes runs bit-for-bit deterministic for
+// a given seed and schedule, which the determinism tests assert.
+//
+// Single-threaded by design: handlers run inline inside events, so service
+// code needs no locking in simulation mode.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace loco::sim {
+
+using common::Nanos;
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  Nanos Now() const noexcept { return now_; }
+
+  // Schedule `fn` to run at Now() + delay (delay < 0 clamps to now).
+  void Schedule(Nanos delay, std::function<void()> fn) {
+    ScheduleAt(now_ + (delay > 0 ? delay : 0), std::move(fn));
+  }
+
+  // Schedule `fn` at an absolute virtual time (>= Now()).
+  void ScheduleAt(Nanos when, std::function<void()> fn) {
+    if (when < now_) when = now_;
+    queue_.push(Event{when, next_seq_++, std::move(fn)});
+  }
+
+  // Run events until the queue drains.  Returns the number processed.
+  std::uint64_t Run() {
+    std::uint64_t n = 0;
+    while (!queue_.empty()) {
+      Step();
+      ++n;
+    }
+    return n;
+  }
+
+  // Run events with time <= deadline; stops with the clock at the deadline
+  // (or at the last event, whichever is later processed).
+  std::uint64_t RunUntil(Nanos deadline) {
+    std::uint64_t n = 0;
+    while (!queue_.empty() && queue_.top().when <= deadline) {
+      Step();
+      ++n;
+    }
+    if (now_ < deadline) now_ = deadline;
+    return n;
+  }
+
+  bool Empty() const noexcept { return queue_.empty(); }
+  std::uint64_t EventsProcessed() const noexcept { return processed_; }
+
+ private:
+  struct Event {
+    Nanos when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+
+    // priority_queue is a max-heap: invert so the earliest (when, seq) wins.
+    bool operator<(const Event& other) const noexcept {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  void Step() {
+    // Moving out of the queue requires a mutable top; copy the closure.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.when;
+    ++processed_;
+    ev.fn();
+  }
+
+  Nanos now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event> queue_;
+};
+
+}  // namespace loco::sim

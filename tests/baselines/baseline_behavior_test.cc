@@ -1,0 +1,269 @@
+// Directed tests pinning the structural behaviour of each baseline: which
+// servers an operation touches and how many RPCs it costs.  These counts are
+// what drive the paper's latency/throughput contrasts, so they are asserted,
+// not just assumed.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "baselines/client.h"
+#include "baselines/flavors.h"
+#include "baselines/ns_server.h"
+#include "core/object_store.h"
+#include "net/inproc.h"
+#include "net/task.h"
+
+namespace loco::baselines {
+namespace {
+
+constexpr int kServers = 4;
+
+struct Fixture {
+  explicit Fixture(Flavor flavor) {
+    BaselineFsClient::Config cfg;
+    cfg.policy = PolicyFor(flavor);
+    for (int i = 0; i < kServers; ++i) {
+      servers.push_back(std::make_unique<NsServer>(
+          ServerOptionsFor(flavor, static_cast<std::uint32_t>(i + 1))));
+      transport.Register(static_cast<net::NodeId>(i), servers.back().get());
+      cfg.servers.push_back(static_cast<net::NodeId>(i));
+    }
+    obj = std::make_unique<core::ObjectStoreServer>();
+    transport.Register(100, obj.get());
+    cfg.object_stores.push_back(100);
+    cfg.now = [this] { return clock; };
+    cfg.client_id = 1;
+    client = std::make_unique<BaselineFsClient>(transport, cfg);
+  }
+
+  std::uint64_t TotalCalls() const {
+    std::uint64_t n = 0;
+    for (int i = 0; i < kServers; ++i) {
+      n += transport.CallCount(static_cast<net::NodeId>(i));
+    }
+    return n;
+  }
+  std::uint64_t ServersTouched() const {
+    std::uint64_t n = 0;
+    for (int i = 0; i < kServers; ++i) {
+      n += transport.CallCount(static_cast<net::NodeId>(i)) > 0;
+    }
+    return n;
+  }
+
+  std::uint64_t clock = 1;
+  net::InProcTransport transport;
+  std::vector<std::unique_ptr<NsServer>> servers;
+  std::unique_ptr<core::ObjectStoreServer> obj;
+  std::unique_ptr<BaselineFsClient> client;
+};
+
+TEST(GlusterBehavior, MkdirBroadcastsWithLockRounds) {
+  Fixture fx(Flavor::kGluster);
+  const std::uint64_t before = fx.TotalCalls();
+  ASSERT_TRUE(net::RunInline(fx.client->Mkdir("/d", 0755)).ok());
+  // lock round + insert round + unlock round, each to all servers.
+  EXPECT_EQ(fx.TotalCalls() - before, 3u * kServers);
+  // Directory exists on every brick.
+  for (const auto& s : fx.servers) EXPECT_TRUE(s->store().Contains("/d"));
+}
+
+TEST(GlusterBehavior, CreatePaysLookupEverywherePlusInsert) {
+  Fixture fx(Flavor::kGluster);
+  ASSERT_TRUE(net::RunInline(fx.client->Mkdir("/d", 0755)).ok());
+  const std::uint64_t before = fx.TotalCalls();
+  ASSERT_TRUE(net::RunInline(fx.client->Create("/d/f", 0644)).ok());
+  // Parent revalidation round + DHT lookup-everywhere round (kServers RPCs
+  // each) + the create on the hash brick, which resolves the chain locally.
+  EXPECT_EQ(fx.TotalCalls() - before, 2u * kServers + 1);
+  int holders = 0;
+  for (const auto& s : fx.servers) holders += s->store().Contains("/d/f");
+  EXPECT_EQ(holders, 1);  // files are not replicated
+}
+
+TEST(GlusterBehavior, DirChmodBroadcasts) {
+  Fixture fx(Flavor::kGluster);
+  ASSERT_TRUE(net::RunInline(fx.client->Mkdir("/d", 0755)).ok());
+  ASSERT_TRUE(net::RunInline(fx.client->Chmod("/d", 0700)).ok());
+  for (const auto& s : fx.servers) {
+    auto attr = s->store().Get("/d");
+    ASSERT_TRUE(attr.ok());
+    EXPECT_EQ(attr->mode, 0700u);
+  }
+}
+
+TEST(CephBehavior, ReaddirIsSingleServer) {
+  Fixture fx(Flavor::kCephFs);
+  ASSERT_TRUE(net::RunInline(fx.client->Mkdir("/d", 0755)).ok());
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(net::RunInline(
+        fx.client->Create("/d/f" + std::to_string(i), 0644)).ok());
+  }
+  const std::uint64_t before = fx.TotalCalls();
+  auto entries = net::RunInline(fx.client->Readdir("/d"));
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 12u);
+  // Warm cache: resolution is local; the children list is one RPC.
+  EXPECT_EQ(fx.TotalCalls() - before, 1u);
+}
+
+TEST(CephBehavior, EntriesColocateWithDirectory) {
+  Fixture fx(Flavor::kCephFs);
+  ASSERT_TRUE(net::RunInline(fx.client->Mkdir("/d", 0755)).ok());
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(net::RunInline(
+        fx.client->Create("/d/g" + std::to_string(i), 0644)).ok());
+  }
+  int holders = 0;
+  for (const auto& s : fx.servers) {
+    holders += s->store().Contains("/d/g0");
+  }
+  EXPECT_EQ(holders, 1);
+  // All 12 files are on the same server.
+  for (const auto& s : fx.servers) {
+    if (!s->store().Contains("/d/g0")) continue;
+    for (int i = 0; i < 12; ++i) {
+      EXPECT_TRUE(s->store().Contains("/d/g" + std::to_string(i)));
+    }
+  }
+}
+
+TEST(CephBehavior, StatServedFromCapCache) {
+  Fixture fx(Flavor::kCephFs);
+  ASSERT_TRUE(net::RunInline(fx.client->Mkdir("/d", 0755)).ok());
+  ASSERT_TRUE(net::RunInline(fx.client->Create("/d/f", 0644)).ok());
+  ASSERT_TRUE(net::RunInline(fx.client->Stat("/d/f")).ok());  // fills cache
+  const std::uint64_t before = fx.TotalCalls();
+  ASSERT_TRUE(net::RunInline(fx.client->Stat("/d/f")).ok());
+  EXPECT_EQ(fx.TotalCalls() - before, 0u);  // both d- and f-inode cached
+}
+
+TEST(IndexFsBehavior, ReaddirFansOutToAllPartitions) {
+  Fixture fx(Flavor::kIndexFs);
+  ASSERT_TRUE(net::RunInline(fx.client->Mkdir("/d", 0755)).ok());
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(net::RunInline(
+        fx.client->Create("/d/f" + std::to_string(i), 0644)).ok());
+  }
+  // Files spread over servers (GIGA+ full split).
+  int holders = 0;
+  for (const auto& s : fx.servers) holders += s->store().RecordCount() > 1;
+  EXPECT_GT(holders, 1);
+  const std::uint64_t before = fx.TotalCalls();
+  auto entries = net::RunInline(fx.client->Readdir("/d"));
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 32u);
+  EXPECT_EQ(fx.TotalCalls() - before, static_cast<std::uint64_t>(kServers));
+}
+
+TEST(IndexFsBehavior, WarmCreateIsOneRpc) {
+  Fixture fx(Flavor::kIndexFs);
+  ASSERT_TRUE(net::RunInline(fx.client->Mkdir("/d", 0755)).ok());
+  ASSERT_TRUE(net::RunInline(fx.client->Create("/d/warm0", 0644)).ok());
+  const std::uint64_t before = fx.TotalCalls();
+  ASSERT_TRUE(net::RunInline(fx.client->Create("/d/warm1", 0644)).ok());
+  EXPECT_EQ(fx.TotalCalls() - before, 1u);  // parent lease cached
+}
+
+TEST(IndexFsBehavior, ColdStatWalksComponents) {
+  Fixture fx(Flavor::kIndexFs);
+  ASSERT_TRUE(net::RunInline(fx.client->Mkdir("/a", 0755)).ok());
+  ASSERT_TRUE(net::RunInline(fx.client->Mkdir("/a/b", 0755)).ok());
+  ASSERT_TRUE(net::RunInline(fx.client->Create("/a/b/f", 0644)).ok());
+  fx.client->SetIdentity(fs::Identity{1000, 1001});  // drops the lease cache
+  fx.client->SetIdentity(fs::Identity{1000, 1000});
+  const std::uint64_t before = fx.TotalCalls();
+  ASSERT_TRUE(net::RunInline(fx.client->Stat("/a/b/f")).ok());
+  // /a, /a/b, /a/b/f — one lookup per component (root is known).
+  EXPECT_EQ(fx.TotalCalls() - before, 3u);
+}
+
+TEST(LustreBehavior, D1PinsSubtreeToOneMdt) {
+  Fixture fx(Flavor::kLustreD1);
+  ASSERT_TRUE(net::RunInline(fx.client->Mkdir("/top", 0755)).ok());
+  ASSERT_TRUE(net::RunInline(fx.client->Mkdir("/top/sub", 0755)).ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(net::RunInline(
+        fx.client->Create("/top/sub/f" + std::to_string(i), 0644)).ok());
+  }
+  int holders = 0;
+  for (const auto& s : fx.servers) {
+    holders += s->store().Contains("/top/sub/f0");
+  }
+  EXPECT_EQ(holders, 1);
+  // Everything under /top is on the same MDT.
+  for (const auto& s : fx.servers) {
+    if (!s->store().Contains("/top")) continue;
+    EXPECT_TRUE(s->store().Contains("/top/sub"));
+    EXPECT_TRUE(s->store().Contains("/top/sub/f3"));
+  }
+}
+
+TEST(LustreBehavior, D2StripesEntriesAcrossMdts) {
+  Fixture fx(Flavor::kLustreD2);
+  ASSERT_TRUE(net::RunInline(fx.client->Mkdir("/top", 0755)).ok());
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(net::RunInline(
+        fx.client->Create("/top/f" + std::to_string(i), 0644)).ok());
+  }
+  int holders = 0;
+  for (const auto& s : fx.servers) holders += s->store().RecordCount() > 1;
+  EXPECT_GT(holders, 1);
+}
+
+TEST(LustreBehavior, CreatePaysResolveLockInsertUnlock) {
+  Fixture fx(Flavor::kLustreD1);
+  ASSERT_TRUE(net::RunInline(fx.client->Mkdir("/top", 0755)).ok());
+  const std::uint64_t before = fx.TotalCalls();
+  ASSERT_TRUE(net::RunInline(fx.client->Create("/top/f", 0644)).ok());
+  // resolve /top + lock + insert + unlock = 4 RPCs (no client cache).
+  EXPECT_EQ(fx.TotalCalls() - before, 4u);
+}
+
+TEST(LustreBehavior, NoClientCacheMeansRepeatedLookups) {
+  Fixture fx(Flavor::kLustreD1);
+  ASSERT_TRUE(net::RunInline(fx.client->Mkdir("/top", 0755)).ok());
+  ASSERT_TRUE(net::RunInline(fx.client->Create("/top/f", 0644)).ok());
+  const std::uint64_t first = fx.TotalCalls();
+  ASSERT_TRUE(net::RunInline(fx.client->Stat("/top/f")).ok());
+  const std::uint64_t second = fx.TotalCalls();
+  ASSERT_TRUE(net::RunInline(fx.client->Stat("/top/f")).ok());
+  // Identical cost both times: nothing was cached.
+  EXPECT_EQ(fx.TotalCalls() - second, second - first);
+}
+
+TEST(RenameBehavior, HashPlacementRelocatesSubtree) {
+  Fixture fx(Flavor::kIndexFs);
+  ASSERT_TRUE(net::RunInline(fx.client->Mkdir("/a", 0755)).ok());
+  ASSERT_TRUE(net::RunInline(fx.client->Mkdir("/a/sub", 0755)).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(net::RunInline(
+        fx.client->Create("/a/sub/f" + std::to_string(i), 0644)).ok());
+  }
+  ASSERT_TRUE(net::RunInline(fx.client->Rename("/a", "/b")).ok());
+  EXPECT_EQ(net::RunInline(fx.client->Stat("/a/sub/f0")).code(),
+            ErrCode::kNotFound);
+  auto st = net::RunInline(fx.client->Stat("/b/sub/f0"));
+  ASSERT_TRUE(st.ok());
+  auto entries = net::RunInline(fx.client->Readdir("/b/sub"));
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 10u);
+}
+
+TEST(RenameBehavior, GlusterDirRenameKeepsReplicasConsistent) {
+  Fixture fx(Flavor::kGluster);
+  ASSERT_TRUE(net::RunInline(fx.client->Mkdir("/a", 0755)).ok());
+  ASSERT_TRUE(net::RunInline(fx.client->Create("/a/f", 0644)).ok());
+  ASSERT_TRUE(net::RunInline(fx.client->Rename("/a", "/b")).ok());
+  for (const auto& s : fx.servers) {
+    EXPECT_TRUE(s->store().Contains("/b"));
+    EXPECT_FALSE(s->store().Contains("/a"));
+  }
+  int file_holders = 0;
+  for (const auto& s : fx.servers) file_holders += s->store().Contains("/b/f");
+  EXPECT_EQ(file_holders, 1);
+}
+
+}  // namespace
+}  // namespace loco::baselines

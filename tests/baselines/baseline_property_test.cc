@@ -1,0 +1,76 @@
+// Property test: every baseline file system must satisfy the same oracle
+// contract as LocoFS — they differ in cost structure, not in correctness.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "baselines/client.h"
+#include "baselines/flavors.h"
+#include "baselines/ns_server.h"
+#include "core/object_store.h"
+#include "fs/ref_model.h"
+#include "net/inproc.h"
+#include "support/oracle_runner.h"
+
+namespace loco::baselines {
+namespace {
+
+using BaselineParam = std::pair<Flavor, std::uint64_t>;
+
+class BaselinePropertyTest : public ::testing::TestWithParam<BaselineParam> {
+ protected:
+  void SetUp() override {
+    BaselineFsClient::Config cfg;
+    cfg.policy = PolicyFor(GetParam().first);
+    for (int i = 0; i < 4; ++i) {
+      servers_.push_back(std::make_unique<NsServer>(
+          ServerOptionsFor(GetParam().first, static_cast<std::uint32_t>(i + 1))));
+      transport_.Register(static_cast<net::NodeId>(i), servers_.back().get());
+      cfg.servers.push_back(static_cast<net::NodeId>(i));
+    }
+    obj_ = std::make_unique<core::ObjectStoreServer>();
+    transport_.Register(100, obj_.get());
+    cfg.object_stores.push_back(100);
+    cfg.now = [this] { return clock_; };
+    cfg.client_id = 7;
+    client_ = std::make_unique<BaselineFsClient>(transport_, cfg);
+  }
+
+  net::InProcTransport transport_;
+  std::vector<std::unique_ptr<NsServer>> servers_;
+  std::unique_ptr<core::ObjectStoreServer> obj_;
+  std::unique_ptr<BaselineFsClient> client_;
+  fs::RefModel ref_;
+  std::uint64_t clock_ = 0;
+};
+
+TEST_P(BaselinePropertyTest, RandomOpsMatchReferenceModel) {
+  testing_support::OracleRunnerOptions options;
+  options.seed =
+      GetParam().second + static_cast<std::uint64_t>(GetParam().first);
+  testing_support::RunOracleComparison(*client_, ref_, &clock_, options);
+}
+
+std::vector<BaselineParam> AllBaselineParams() {
+  std::vector<BaselineParam> params;
+  for (Flavor flavor : {Flavor::kIndexFs, Flavor::kCephFs, Flavor::kGluster,
+                        Flavor::kLustreD1, Flavor::kLustreD2}) {
+    for (std::uint64_t seed : {5000, 9001}) params.emplace_back(flavor, seed);
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFlavors, BaselinePropertyTest,
+                         ::testing::ValuesIn(AllBaselineParams()),
+                         [](const ::testing::TestParamInfo<BaselineParam>& info) {
+                           std::string name(FlavorName(info.param.first));
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name + "_seed" +
+                                  std::to_string(info.param.second);
+                         });
+
+}  // namespace
+}  // namespace loco::baselines

@@ -1,0 +1,193 @@
+#include "baselines/ns_store.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/proto.h"
+#include "baselines/ns_server.h"
+#include "baselines/flavors.h"
+#include "fs/wire.h"
+
+namespace loco::baselines {
+namespace {
+
+const fs::Identity kAlice{1000, 1000};
+const fs::Identity kBob{2000, 2000};
+
+fs::Attr DirAttr(std::uint32_t mode = 0755) {
+  fs::Attr attr;
+  attr.is_dir = true;
+  attr.mode = mode;
+  attr.uid = 1000;
+  attr.gid = 1000;
+  return attr;
+}
+
+fs::Attr FileAttr(std::uint32_t mode = 0644) {
+  fs::Attr attr;
+  attr.mode = mode;
+  attr.uid = 1000;
+  attr.gid = 1000;
+  attr.block_size = 4096;
+  return attr;
+}
+
+NsStore::Options Plain() { return NsStore::Options{}; }
+
+TEST(NsStoreTest, RootIsSeeded) {
+  NsStore store(Plain());
+  auto root = store.Get("/");
+  ASSERT_TRUE(root.ok());
+  EXPECT_TRUE(root->is_dir);
+  EXPECT_EQ(root->mode, 0777u);
+}
+
+TEST(NsStoreTest, InsertGetRemove) {
+  NsStore store(Plain());
+  ASSERT_TRUE(store.Insert("/a", DirAttr()).ok());
+  EXPECT_EQ(store.Insert("/a", DirAttr()).code(), ErrCode::kExists);
+  EXPECT_TRUE(store.Contains("/a"));
+  ASSERT_TRUE(store.Remove("/a").ok());
+  EXPECT_EQ(store.Remove("/a").code(), ErrCode::kNotFound);
+}
+
+TEST(NsStoreTest, ChildrenListMaintained) {
+  NsStore store(Plain());
+  ASSERT_TRUE(store.Insert("/d", DirAttr()).ok());
+  ASSERT_TRUE(store.Insert("/d/x", FileAttr()).ok());
+  ASSERT_TRUE(store.Insert("/d/sub", DirAttr()).ok());
+  auto children = store.Children("/d");
+  ASSERT_TRUE(children.ok());
+  EXPECT_EQ(children->size(), 2u);
+  EXPECT_TRUE(store.HasChildren("/d"));
+  ASSERT_TRUE(store.Remove("/d/x").ok());
+  ASSERT_TRUE(store.Remove("/d/sub").ok());
+  EXPECT_FALSE(store.HasChildren("/d"));
+}
+
+TEST(NsStoreTest, WholeRecordUpdates) {
+  NsStore store(Plain());
+  ASSERT_TRUE(store.Insert("/f", FileAttr()).ok());
+  ASSERT_TRUE(store.Chmod("/f", kAlice, 0600, 9).ok());
+  EXPECT_EQ(store.Chmod("/f", kBob, 0600, 10).code(), ErrCode::kPermission);
+  auto attr = store.Get("/f");
+  EXPECT_EQ(attr->mode, 0600u);
+  EXPECT_EQ(attr->ctime, 9u);
+  auto size = store.SetSize("/f", kAlice, 100, false, 11);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(size->second, 100u);
+  auto shrink = store.SetSize("/f", kAlice, 40, true, 12);
+  EXPECT_EQ(shrink->second, 40u);
+  auto atime = store.SetAtime("/f", kAlice, 13);
+  ASSERT_TRUE(atime.ok());
+  EXPECT_EQ(store.Get("/f")->atime, 13u);
+}
+
+TEST(NsStoreTest, ResolveAclWalksChain) {
+  NsStore store(Plain());
+  ASSERT_TRUE(store.Insert("/a", DirAttr(0700)).ok());
+  ASSERT_TRUE(store.Insert("/a/b", DirAttr(0755)).ok());
+  EXPECT_TRUE(store.ResolveAcl("/a/b", kAlice, fs::kModeWrite).ok());
+  EXPECT_EQ(store.ResolveAcl("/a/b", kBob, 0).code(), ErrCode::kPermission);
+  EXPECT_EQ(store.ResolveAcl("/a/missing", kAlice, 0).code(),
+            ErrCode::kNotFound);
+  ASSERT_TRUE(store.Insert("/file", FileAttr()).ok());
+  EXPECT_EQ(store.ResolveAcl("/file/below", kAlice, 0).code(),
+            ErrCode::kNotDir);
+}
+
+TEST(NsStoreTest, ExtractRemovesSubtree) {
+  NsStore store(Plain());
+  ASSERT_TRUE(store.Insert("/a", DirAttr()).ok());
+  ASSERT_TRUE(store.Insert("/a/b", DirAttr()).ok());
+  ASSERT_TRUE(store.Insert("/a/b/f", FileAttr()).ok());
+  ASSERT_TRUE(store.Insert("/other", DirAttr()).ok());
+  auto extracted = store.Extract("/a");
+  EXPECT_EQ(extracted.size(), 3u);
+  EXPECT_FALSE(store.Contains("/a"));
+  EXPECT_FALSE(store.Contains("/a/b/f"));
+  EXPECT_TRUE(store.Contains("/other"));
+  // Parent list no longer mentions /a.
+  auto children = store.Children("/");
+  bool found = false;
+  for (const auto& e : *children) found |= (e.name == "a");
+  EXPECT_FALSE(found);
+}
+
+TEST(NsStoreTest, MoveSubtreeRelabelsLocally) {
+  NsStore store(Plain());
+  ASSERT_TRUE(store.Insert("/a", DirAttr()).ok());
+  ASSERT_TRUE(store.Insert("/a/f", FileAttr()).ok());
+  auto moved = store.MoveSubtree("/a", "/b");
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(*moved, 2u);
+  EXPECT_TRUE(store.Contains("/b"));
+  EXPECT_TRUE(store.Contains("/b/f"));
+  EXPECT_FALSE(store.Contains("/a"));
+  auto children = store.Children("/b");
+  ASSERT_EQ(children->size(), 1u);
+  EXPECT_EQ((*children)[0].name, "f");
+}
+
+TEST(NsStoreTest, LockConflictsBetweenOwners) {
+  NsStore store(Plain());
+  ASSERT_TRUE(store.Lock("/p", 1).ok());
+  ASSERT_TRUE(store.Lock("/p", 1).ok());  // re-entrant for same owner
+  EXPECT_EQ(store.Lock("/p", 2).code(), ErrCode::kUnavailable);
+  ASSERT_TRUE(store.Unlock("/p", 1).ok());
+  ASSERT_TRUE(store.Unlock("/p", 1).ok());
+  EXPECT_TRUE(store.Lock("/p", 2).ok());
+}
+
+TEST(NsStoreTest, JournalCostAccrues) {
+  NsStore::Options options;
+  options.journal = true;
+  options.journal_device = core::DeviceProfile{100'000, 100e6};
+  NsStore store(options);
+  EXPECT_EQ(store.TakeJournalCost(), 0);
+  ASSERT_TRUE(store.Insert("/a", DirAttr()).ok());
+  const common::Nanos cost = store.TakeJournalCost();
+  EXPECT_GE(cost, 100'000);
+  EXPECT_EQ(store.TakeJournalCost(), 0);  // drained
+}
+
+TEST(NsStoreTest, UuidAssignmentUsesSid) {
+  NsStore::Options options;
+  options.sid = 9;
+  NsStore store(options);
+  const fs::Uuid u1 = store.NextUuid();
+  const fs::Uuid u2 = store.NextUuid();
+  EXPECT_EQ(u1.sid(), 9u);
+  EXPECT_NE(u1.fid(), u2.fid());
+}
+
+TEST(NsServerTest, JournalBilledAsExtraServiceTime) {
+  NsServer ceph(ServerOptionsFor(Flavor::kCephFs, 1));
+  fs::Attr attr = DirAttr();
+  auto resp = ceph.Handle(proto::kNsInsert,
+                          fs::Pack(std::uint8_t{0}, std::string("/j"), attr,
+                                   kAlice));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_GT(resp.extra_service_ns, 0);
+
+  NsServer gluster(ServerOptionsFor(Flavor::kGluster, 1));
+  auto resp2 = gluster.Handle(proto::kNsInsert,
+                              fs::Pack(std::uint8_t{0}, std::string("/j"), attr,
+                                       kAlice));
+  ASSERT_TRUE(resp2.ok());
+  EXPECT_EQ(resp2.extra_service_ns, 0);
+}
+
+TEST(NsServerTest, IndexFsChargesLsmIo) {
+  NsServer indexfs(ServerOptionsFor(Flavor::kIndexFs, 1));
+  fs::Attr attr = FileAttr();
+  auto resp = indexfs.Handle(proto::kNsInsert,
+                             fs::Pack(std::uint8_t{0}, std::string("/f"), attr,
+                                      kAlice));
+  ASSERT_TRUE(resp.ok());
+  // The LSM's WAL record is accounted even in memory mode, so the insert is
+  // billed device time.
+  EXPECT_GT(resp.extra_service_ns, 0);
+}
+
+}  // namespace
+}  // namespace loco::baselines

@@ -1,0 +1,135 @@
+// Deployment-layer tests: opcode muxing, node layout, and client wiring for
+// both LocoFS and baseline deployments.
+#include "benchlib/deploy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/proto.h"
+#include "fs/wire.h"
+#include "net/task.h"
+#include "sim/simulation.h"
+
+namespace loco::bench {
+namespace {
+
+class EchoHandler final : public net::RpcHandler {
+ public:
+  explicit EchoHandler(std::string tag) : tag_(std::move(tag)) {}
+  net::RpcResponse Handle(std::uint16_t, std::string_view payload) override {
+    return net::RpcResponse{ErrCode::kOk, tag_ + ":" + std::string(payload)};
+  }
+
+ private:
+  std::string tag_;
+};
+
+TEST(MuxHandlerTest, RoutesByOpcodeRange) {
+  EchoHandler low("low"), high("high");
+  MuxHandler mux;
+  mux.Route(1, 31, &low);
+  mux.Route(32, 63, &high);
+  EXPECT_EQ(mux.Handle(1, "a").payload, "low:a");
+  EXPECT_EQ(mux.Handle(31, "b").payload, "low:b");
+  EXPECT_EQ(mux.Handle(32, "c").payload, "high:c");
+  EXPECT_EQ(mux.Handle(63, "d").payload, "high:d");
+  EXPECT_EQ(mux.Handle(64, "e").code, ErrCode::kUnsupported);
+  EXPECT_EQ(mux.Handle(0, "f").code, ErrCode::kUnsupported);
+}
+
+TEST(DeployTest, LocoFsLayout) {
+  sim::Simulation simulation;
+  sim::SimCluster cluster(&simulation, sim::ClusterConfig{});
+  DeployOptions options;
+  options.metadata_servers = 4;
+  options.object_servers = 2;
+  Deployment d = Deploy(System::kLocoC, &cluster, options);
+  EXPECT_EQ(d.metadata_nodes.size(), 4u);
+  EXPECT_EQ(d.object_nodes.size(), 2u);
+  EXPECT_EQ(cluster.server_count(), 6u);
+  ASSERT_NE(d.dms, nullptr);
+  EXPECT_EQ(d.fms.size(), 4u);
+  EXPECT_TRUE(d.ns_servers.empty());
+  // The DMS is co-hosted on metadata node 0: a DMS opcode sent to node 0
+  // must reach it; the same opcode on node 1 must be unsupported.
+  const std::string stat =
+      fs::Pack(std::string("/"), fs::Identity{0, 0});
+  EXPECT_TRUE(d.muxes[0]->Handle(core::proto::kDmsStat, stat).ok());
+  EXPECT_EQ(d.muxes[1]->Handle(core::proto::kDmsStat, stat).code,
+            ErrCode::kUnsupported);
+  // Every metadata node serves FMS opcodes.
+  for (auto& mux : d.muxes) {
+    EXPECT_NE(mux->Handle(core::proto::kFmsCheckEmpty,
+                          fs::Pack(fs::Uuid::Make(1, 1)))
+                  .code,
+              ErrCode::kUnsupported);
+  }
+}
+
+TEST(DeployTest, BaselineLayout) {
+  sim::Simulation simulation;
+  sim::SimCluster cluster(&simulation, sim::ClusterConfig{});
+  DeployOptions options;
+  options.metadata_servers = 3;
+  Deployment d = Deploy(System::kCephFs, &cluster, options);
+  EXPECT_EQ(d.metadata_nodes.size(), 3u);
+  EXPECT_EQ(d.ns_servers.size(), 3u);
+  EXPECT_EQ(d.dms, nullptr);
+  EXPECT_TRUE(d.fms.empty());
+}
+
+TEST(DeployTest, ClientFactoryProducesWorkingClients) {
+  sim::Simulation simulation;
+  sim::SimCluster cluster(&simulation, sim::ClusterConfig{});
+  DeployOptions options;
+  options.metadata_servers = 2;
+  for (System system : {System::kLocoC, System::kGluster}) {
+    sim::Simulation local_sim;
+    sim::SimCluster local_cluster(&local_sim, sim::ClusterConfig{});
+    Deployment d = Deploy(system, &local_cluster, options);
+    auto channel = local_cluster.NewClientChannel();
+    std::uint64_t clock = 0;
+    auto client = d.make_client(*channel, [&clock] { return ++clock; });
+    Status status = ErrStatus(ErrCode::kTimeout);
+    local_sim.Schedule(0, [&] {
+      net::StartTask(client->Mkdir("/x", 0755),
+                     [&status](Status st) { status = st; });
+    });
+    local_sim.Run();
+    EXPECT_TRUE(status.ok()) << SystemName(system);
+  }
+}
+
+TEST(DeployTest, SystemNamesAndClassification) {
+  EXPECT_EQ(SystemName(System::kLocoC), "LocoFS-C");
+  EXPECT_EQ(SystemName(System::kLustreD2), "Lustre-D2");
+  EXPECT_TRUE(IsLocoFs(System::kLocoCF));
+  EXPECT_FALSE(IsLocoFs(System::kIndexFs));
+}
+
+TEST(DeployTest, LeaseKnobDisablesCache) {
+  sim::Simulation simulation;
+  sim::SimCluster cluster(&simulation, sim::ClusterConfig{});
+  DeployOptions options;
+  options.metadata_servers = 1;
+  options.loco_lease_ns = 0;  // ablation: cache fully off even for kLocoC
+  Deployment d = Deploy(System::kLocoC, &cluster, options);
+  auto channel = cluster.NewClientChannel();
+  std::uint64_t clock = 0;
+  auto client = d.make_client(*channel, [&clock] { return ++clock; });
+  auto* loco = dynamic_cast<core::LocoClient*>(client.get());
+  ASSERT_NE(loco, nullptr);
+  // Drive two creates in the same dir: without a cache both must miss.
+  simulation.Schedule(0, [&] {
+    net::StartTask(loco->Mkdir("/d", 0755), [&](Status) {
+      net::StartTask(loco->Create("/d/a", 0644), [&](Status) {
+        net::StartTask(loco->Create("/d/b", 0644), [](Status) {});
+      });
+    });
+  });
+  simulation.Run();
+  EXPECT_EQ(loco->cache_hits(), 0u);
+  EXPECT_EQ(loco->cache_size(), 0u);
+}
+
+}  // namespace
+}  // namespace loco::bench

@@ -1,0 +1,128 @@
+// End-to-end harness tests: every evaluated system runs the mdtest workload
+// error-free under the simulator, and key paper-shape relations hold on a
+// small configuration.
+#include "benchlib/mdtest.h"
+
+#include <gtest/gtest.h>
+
+namespace loco::bench {
+namespace {
+
+MdtestConfig SmallConfig(System system, int servers, int clients) {
+  MdtestConfig cfg;
+  cfg.system = system;
+  cfg.metadata_servers = servers;
+  cfg.clients = clients;
+  cfg.items_per_client = 50;
+  cfg.phases = {fs::FsOp::kMkdir,   fs::FsOp::kCreate,  fs::FsOp::kOpen,
+                fs::FsOp::kStatFile, fs::FsOp::kStatDir, fs::FsOp::kChmod,
+                fs::FsOp::kChown,   fs::FsOp::kAccess,  fs::FsOp::kUtimens,
+                fs::FsOp::kWrite,   fs::FsOp::kRead,    fs::FsOp::kTruncate,
+                fs::FsOp::kReaddir, fs::FsOp::kUnlink,  fs::FsOp::kRmdir};
+  return cfg;
+}
+
+class MdtestAllSystemsTest : public ::testing::TestWithParam<System> {};
+
+TEST_P(MdtestAllSystemsTest, RunsErrorFree) {
+  const MdtestResult result = RunMdtest(SmallConfig(GetParam(), 4, 3));
+  ASSERT_EQ(result.phases.size(), 15u);
+  for (const PhaseResult& phase : result.phases) {
+    EXPECT_EQ(phase.errors, 0u) << fs::FsOpName(phase.op);
+    EXPECT_GT(phase.ops, 0u) << fs::FsOpName(phase.op);
+    EXPECT_GT(phase.iops, 0.0) << fs::FsOpName(phase.op);
+    EXPECT_GT(phase.latency.Mean(), 0.0) << fs::FsOpName(phase.op);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystems, MdtestAllSystemsTest,
+    ::testing::Values(System::kLocoC, System::kLocoNC, System::kLocoCF,
+                      System::kIndexFs, System::kCephFs, System::kGluster,
+                      System::kLustreD1, System::kLustreD2),
+    [](const ::testing::TestParamInfo<System>& info) {
+      std::string name(SystemName(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(MdtestShapeTest, LocoCreateLatencyBeatsBaselines) {
+  // Single client, warm cache: LocoFS-C create is ~1 RTT; every baseline
+  // pays more (Fig. 6's headline relation).
+  const double loco =
+      RunMdtest(SmallConfig(System::kLocoC, 4, 1)).Phase(fs::FsOp::kCreate)
+          ->latency.Mean();
+  for (System baseline : {System::kCephFs, System::kGluster, System::kLustreD1}) {
+    const double other =
+        RunMdtest(SmallConfig(baseline, 4, 1)).Phase(fs::FsOp::kCreate)
+            ->latency.Mean();
+    EXPECT_GT(other, loco) << SystemName(baseline);
+  }
+}
+
+TEST(MdtestShapeTest, CacheRemovesDmsRoundTrip) {
+  const double with_cache =
+      RunMdtest(SmallConfig(System::kLocoC, 4, 1)).Phase(fs::FsOp::kCreate)
+          ->latency.Mean();
+  const double without_cache =
+      RunMdtest(SmallConfig(System::kLocoNC, 4, 1)).Phase(fs::FsOp::kCreate)
+          ->latency.Mean();
+  // NC pays the extra DMS round trip on every create.
+  EXPECT_GT(without_cache, with_cache * 1.5);
+}
+
+TEST(MdtestShapeTest, GlusterMkdirWorstAndGrowsWithServers) {
+  const double loco4 =
+      RunMdtest(SmallConfig(System::kLocoC, 4, 1)).Phase(fs::FsOp::kMkdir)
+          ->latency.Mean();
+  const double gluster4 =
+      RunMdtest(SmallConfig(System::kGluster, 4, 1)).Phase(fs::FsOp::kMkdir)
+          ->latency.Mean();
+  EXPECT_GT(gluster4, 2.0 * loco4);
+}
+
+TEST(MdtestShapeTest, ThroughputScalesWithFmsServers) {
+  // LocoFS-C file create throughput grows with metadata servers when enough
+  // clients apply pressure.  Slow fixed-time servers make the single-server
+  // case clearly saturated at this small client count.
+  MdtestConfig cfg = SmallConfig(System::kLocoC, 1, 24);
+  cfg.items_per_client = 80;
+  cfg.phases = {fs::FsOp::kCreate};
+  cfg.cluster.server.mode = sim::ServiceTimeMode::kFixed;
+  cfg.cluster.server.fixed_service_ns = 100 * common::kMicro;
+  cfg.cluster.server.slots = 2;
+  const double one = RunMdtest(cfg).Phase(fs::FsOp::kCreate)->iops;
+  cfg.metadata_servers = 8;
+  const double eight = RunMdtest(cfg).Phase(fs::FsOp::kCreate)->iops;
+  EXPECT_GT(eight, 1.5 * one);
+}
+
+TEST(MdtestShapeTest, DeterministicAcrossRuns) {
+  // Determinism holds under the fixed service-time mode (measured mode
+  // deliberately samples real handler CPU time).
+  MdtestConfig cfg = SmallConfig(System::kLocoC, 2, 4);
+  cfg.cluster.server.mode = sim::ServiceTimeMode::kFixed;
+  const MdtestResult a = RunMdtest(cfg);
+  const MdtestResult b = RunMdtest(cfg);
+  ASSERT_EQ(a.phases.size(), b.phases.size());
+  for (std::size_t i = 0; i < a.phases.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.phases[i].iops, b.phases[i].iops);
+    EXPECT_EQ(a.phases[i].latency.sum(), b.phases[i].latency.sum());
+  }
+  EXPECT_EQ(a.total_events, b.total_events);
+}
+
+TEST(MdtestShapeTest, FindOptimalClientsReturnsInteriorOrEdge) {
+  MdtestConfig cfg = SmallConfig(System::kLocoC, 2, 1);
+  cfg.items_per_client = 30;
+  const ClientSweepResult sweep =
+      FindOptimalClients(cfg, fs::FsOp::kCreate, {1, 4, 16});
+  ASSERT_EQ(sweep.sweep.size(), 3u);
+  EXPECT_GT(sweep.best_iops, 0.0);
+  EXPECT_GT(sweep.best_clients, 0);
+}
+
+}  // namespace
+}  // namespace loco::bench

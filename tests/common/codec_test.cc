@@ -1,0 +1,103 @@
+#include "common/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace loco::common {
+namespace {
+
+TEST(CodecTest, RoundTripsAllWidths) {
+  Writer w;
+  w.PutU8(0xab);
+  w.PutU16(0xbeef);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutI64(-42);
+  w.PutBytes("hello");
+
+  Reader r(w.str());
+  EXPECT_EQ(r.GetU8(), 0xab);
+  EXPECT_EQ(r.GetU16(), 0xbeef);
+  EXPECT_EQ(r.GetU32(), 0xdeadbeefu);
+  EXPECT_EQ(r.GetU64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.GetI64(), -42);
+  EXPECT_EQ(r.GetBytes(), "hello");
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(CodecTest, LittleEndianLayout) {
+  Writer w;
+  w.PutU32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(static_cast<std::uint8_t>(w.str()[0]), 0x04);
+  EXPECT_EQ(static_cast<std::uint8_t>(w.str()[3]), 0x01);
+}
+
+TEST(CodecTest, TruncatedReadSetsNotOk) {
+  Writer w;
+  w.PutU16(7);
+  Reader r(w.str());
+  (void)r.GetU32();  // asks for more than available
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CodecTest, TruncatedBytesSetsNotOk) {
+  Writer w;
+  w.PutU32(100);  // claims 100 bytes follow
+  w.PutRaw("abc");
+  Reader r(w.str());
+  (void)r.GetBytes();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CodecTest, ReadsAfterFailureStayFailed) {
+  Reader r("x");
+  (void)r.GetU64();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.GetU8(), 0);  // all subsequent reads yield zero
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CodecTest, EmptyBytesRoundTrip) {
+  Writer w;
+  w.PutBytes("");
+  Reader r(w.str());
+  EXPECT_EQ(r.GetBytes(), "");
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(CodecTest, WriterIntoExternalBuffer) {
+  std::string out = "prefix:";
+  Writer w(&out);
+  w.PutU8(1);
+  EXPECT_EQ(out.size(), 8u);
+  EXPECT_EQ(out.substr(0, 7), "prefix:");
+}
+
+TEST(CodecTest, FixedOffsetLoadStore) {
+  std::string buf(16, '\0');
+  StoreAt<std::uint32_t>(&buf, 4, 0xcafebabe);
+  StoreAt<std::uint64_t>(&buf, 8, 77);
+  EXPECT_EQ(LoadAt<std::uint32_t>(buf, 4), 0xcafebabeu);
+  EXPECT_EQ(LoadAt<std::uint64_t>(buf, 8), 77u);
+  // Out-of-range store is a no-op; out-of-range load returns zero.
+  StoreAt<std::uint64_t>(&buf, 12, 1);
+  EXPECT_EQ(LoadAt<std::uint64_t>(buf, 12), 0u);
+}
+
+TEST(CodecTest, MaxValuesSurvive) {
+  Writer w;
+  w.PutU64(std::numeric_limits<std::uint64_t>::max());
+  w.PutI64(std::numeric_limits<std::int64_t>::min());
+  Reader r(w.str());
+  EXPECT_EQ(r.GetU64(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(r.GetI64(), std::numeric_limits<std::int64_t>::min());
+}
+
+}  // namespace
+}  // namespace loco::common

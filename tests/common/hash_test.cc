@@ -1,0 +1,69 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace loco::common {
+namespace {
+
+TEST(HashTest, Fnv1aMatchesKnownVector) {
+  // Standard FNV-1a 64-bit test vectors.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(HashTest, Mix64IsBijectiveOnSamples) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 10000; ++i) outputs.insert(Mix64(i));
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(HashTest, WyMixSeedChangesOutput) {
+  EXPECT_NE(WyMix("hello", 1), WyMix("hello", 2));
+  EXPECT_EQ(WyMix("hello", 7), WyMix("hello", 7));
+}
+
+TEST(HashTest, WyMixHandlesAllLengthClasses) {
+  // 0, 1-3, 4-7, 8-15, 16+ byte inputs all hash without collisions among
+  // close variants.
+  std::set<std::uint64_t> outputs;
+  std::string s;
+  for (int len = 0; len <= 40; ++len) {
+    outputs.insert(WyMix(s, 42));
+    s.push_back(static_cast<char>('a' + (len % 26)));
+  }
+  EXPECT_EQ(outputs.size(), 41u);
+}
+
+TEST(HashTest, WyMixAvalanchesOnSingleByteChange) {
+  const std::uint64_t a = WyMix("directory/file_000001", 0);
+  const std::uint64_t b = WyMix("directory/file_000002", 0);
+  // At least a quarter of the bits should flip for adjacent names.
+  EXPECT_GE(__builtin_popcountll(a ^ b), 16);
+}
+
+TEST(HashTest, HashCombineOrderSensitive) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+TEST(HashTest, BucketsAreBalanced) {
+  // Hashing sequential file names into 16 buckets (the paper's max server
+  // count) must not skew badly — this is what consistent placement relies on.
+  constexpr int kServers = 16;
+  constexpr int kFiles = 16000;
+  int counts[kServers] = {};
+  for (int i = 0; i < kFiles; ++i) {
+    std::string name = "uuid-4242/file_" + std::to_string(i);
+    ++counts[WyMix(name, 0) % kServers];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, kFiles / kServers / 2);
+    EXPECT_LT(c, kFiles / kServers * 2);
+  }
+}
+
+}  // namespace
+}  // namespace loco::common

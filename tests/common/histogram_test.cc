@@ -1,0 +1,92 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace loco::common {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(0.5), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.Mean(), 1000.0);
+  EXPECT_EQ(h.min(), 1000);
+  EXPECT_EQ(h.max(), 1000);
+  // Bucketed percentile is within one sub-bucket (~3%) of the true value.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.5)), 1000.0, 1000.0 * 0.05);
+}
+
+TEST(HistogramTest, MeanExact) {
+  Histogram h;
+  for (Nanos v : {100, 200, 300}) h.Record(v);
+  EXPECT_DOUBLE_EQ(h.Mean(), 200.0);
+}
+
+TEST(HistogramTest, PercentilesMonotone) {
+  Histogram h;
+  for (int i = 1; i <= 10000; ++i) h.Record(i * 100);
+  Nanos prev = 0;
+  for (double q : {0.1, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    const Nanos p = h.Percentile(q);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+  // Median of 100..1000000 uniform: about 500000 with <5% bucket error.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.5)), 500000.0, 500000.0 * 0.05);
+}
+
+TEST(HistogramTest, LargeValuesDoNotOverflowBuckets) {
+  Histogram h;
+  h.Record(Nanos{1} << 50);  // beyond the top octave: clamps to last bucket
+  h.Record(0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GE(h.Percentile(1.0), h.Percentile(0.0));
+}
+
+TEST(HistogramTest, NegativeClampsToZero) {
+  Histogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.Record(100);
+  for (int i = 0; i < 100; ++i) b.Record(10000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_DOUBLE_EQ(a.Mean(), (100.0 * 100 + 10000.0 * 100) / 200);
+  EXPECT_EQ(a.min(), 100);
+  EXPECT_EQ(a.max(), 10000);
+}
+
+TEST(HistogramTest, MergeWithEmptyIsIdentity) {
+  Histogram a, b;
+  a.Record(500);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.min(), 500);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(42);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace loco::common

@@ -1,0 +1,84 @@
+#include "common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace loco {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrCode::kOk);
+  EXPECT_EQ(s.ToString(), "kOk");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = ErrStatus(ErrCode::kNotFound, "/a/b");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrCode::kNotFound);
+  EXPECT_EQ(s.message(), "/a/b");
+  EXPECT_EQ(s.ToString(), "kNotFound: /a/b");
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(ErrStatus(ErrCode::kIo, "x"), ErrStatus(ErrCode::kIo, "y"));
+  EXPECT_FALSE(ErrStatus(ErrCode::kIo) == OkStatus());
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(ErrCode::kUnsupported); ++c) {
+    EXPECT_NE(ErrName(static_cast<ErrCode>(c)), "kUnknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.code(), ErrCode::kOk);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(ErrCode::kTimeout, "deadline");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), ErrCode::kTimeout);
+  EXPECT_EQ(r.status().message(), "deadline");
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string(1000, 'x'));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s.size(), 1000u);
+}
+
+Status FailingHelper() { return ErrStatus(ErrCode::kInvalid); }
+
+Status UsesReturnIfError() {
+  LOCO_RETURN_IF_ERROR(FailingHelper());
+  return OkStatus();
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(UsesReturnIfError().code(), ErrCode::kInvalid);
+}
+
+Result<int> GivesSeven() { return 7; }
+
+Status UsesAssignOrReturn(int* out) {
+  LOCO_ASSIGN_OR_RETURN(int v, GivesSeven());
+  *out = v;
+  return OkStatus();
+}
+
+TEST(ResultTest, AssignOrReturnBinds) {
+  int v = 0;
+  ASSERT_TRUE(UsesAssignOrReturn(&v).ok());
+  EXPECT_EQ(v, 7);
+}
+
+}  // namespace
+}  // namespace loco

@@ -1,0 +1,90 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace loco::common {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, ForkGivesIndependentStreams) {
+  Rng base(99);
+  Rng c1 = base.Fork(1);
+  Rng c2 = base.Fork(2);
+  EXPECT_NE(c1.Next(), c2.Next());
+  // Forking is a pure function of (state, id): repeatable.
+  Rng base2(99);
+  Rng c1again = base2.Fork(1);
+  Rng c1ref = Rng(99).Fork(1);
+  EXPECT_EQ(c1again.Next(), c1ref.Next());
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.Uniform(17), 17u);
+  EXPECT_EQ(r.Uniform(0), 0u);
+  EXPECT_EQ(r.Uniform(1), 0u);
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng r(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng r(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    const auto v = r.Range(10, 12);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 12u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng r(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, ChanceMatchesProbability) {
+  Rng r(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.Chance(0.25);
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+TEST(RngTest, NameHasRequestedShape) {
+  Rng r(1);
+  const std::string n = r.Name(12);
+  EXPECT_EQ(n.size(), 12u);
+  for (char c : n) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+}
+
+}  // namespace
+}  // namespace loco::common

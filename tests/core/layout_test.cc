@@ -1,0 +1,142 @@
+#include "core/layout.h"
+
+#include <gtest/gtest.h>
+
+namespace loco::core {
+namespace {
+
+TEST(LayoutTest, DirInodeRoundTrip) {
+  fs::Attr attr;
+  attr.ctime = 100;
+  attr.mode = 0711;
+  attr.uid = 5;
+  attr.gid = 6;
+  attr.uuid = fs::Uuid::Make(3, 77);
+  attr.mtime = 200;
+  attr.atime = 300;
+  const std::string v = DirInodeLayout::Make(attr);
+  EXPECT_EQ(v.size(), DirInodeLayout::kSize);
+  const fs::Attr out = DirInodeLayout::Parse(v);
+  EXPECT_EQ(out.ctime, 100u);
+  EXPECT_EQ(out.mode, 0711u);
+  EXPECT_EQ(out.uid, 5u);
+  EXPECT_EQ(out.gid, 6u);
+  EXPECT_EQ(out.uuid, attr.uuid);
+  EXPECT_EQ(out.mtime, 200u);
+  EXPECT_EQ(out.atime, 300u);
+  EXPECT_TRUE(out.is_dir);
+}
+
+TEST(LayoutTest, DirInodeFieldPatchAtFixedOffset) {
+  fs::Attr attr;
+  attr.mode = 0755;
+  std::string v = DirInodeLayout::Make(attr);
+  common::StoreAt<std::uint32_t>(&v, DirInodeLayout::kMode, 0700);
+  EXPECT_EQ(DirInodeLayout::Parse(v).mode, 0700u);
+}
+
+TEST(LayoutTest, FilePartsRoundTrip) {
+  const std::string access = AccessPartLayout::Make(11, 0640, 1000, 1001);
+  const std::string content =
+      ContentPartLayout::Make(22, 33, 4096, 512, fs::Uuid::Make(2, 9));
+  EXPECT_EQ(access.size(), AccessPartLayout::kSize);
+  EXPECT_EQ(content.size(), ContentPartLayout::kSize);
+  const fs::Attr attr = ParseFileParts(access, content);
+  EXPECT_EQ(attr.ctime, 11u);
+  EXPECT_EQ(attr.mode, 0640u);
+  EXPECT_EQ(attr.uid, 1000u);
+  EXPECT_EQ(attr.gid, 1001u);
+  EXPECT_EQ(attr.mtime, 22u);
+  EXPECT_EQ(attr.atime, 33u);
+  EXPECT_EQ(attr.size, 4096u);
+  EXPECT_EQ(attr.block_size, 512u);
+  EXPECT_EQ(attr.uuid, fs::Uuid::Make(2, 9));
+  EXPECT_FALSE(attr.is_dir);
+}
+
+TEST(LayoutTest, FixedPartsAreSmall) {
+  // The decoupled design rests on values being tens of bytes (§3.3.1).
+  EXPECT_LE(AccessPartLayout::kSize, 32u);
+  EXPECT_LE(ContentPartLayout::kSize, 48u);
+  EXPECT_LE(DirInodeLayout::kSize, 64u);
+}
+
+TEST(LayoutTest, CoupledInodeRoundTrip) {
+  CoupledInode inode;
+  inode.attr.ctime = 1;
+  inode.attr.mode = 0644;
+  inode.attr.size = 8192;
+  inode.attr.block_size = 4096;
+  inode.attr.uuid = fs::Uuid::Make(4, 44);
+  inode.name = "data.bin";
+  inode.block_index = {7, 8};
+  const std::string v = inode.Serialize();
+  CoupledInode out;
+  ASSERT_TRUE(CoupledInode::Deserialize(v, &out));
+  EXPECT_EQ(out.attr.size, 8192u);
+  EXPECT_EQ(out.name, "data.bin");
+  EXPECT_EQ(out.block_index, (std::vector<std::uint64_t>{7, 8}));
+  EXPECT_FALSE(out.attr.is_dir);
+}
+
+TEST(LayoutTest, CoupledInodeRejectsTruncation) {
+  CoupledInode inode;
+  inode.name = "x";
+  const std::string v = inode.Serialize();
+  CoupledInode out;
+  EXPECT_FALSE(CoupledInode::Deserialize(v.substr(0, v.size() - 1), &out));
+  EXPECT_FALSE(CoupledInode::Deserialize(v + "extra", &out));
+}
+
+TEST(LayoutTest, CoupledValueLargerThanDecoupledParts) {
+  // The Fig. 11 premise: the coupled value is strictly bigger than either
+  // decoupled part, and grows with the block index.
+  CoupledInode inode;
+  inode.name = "some_file_name.dat";
+  inode.block_index.assign(256, 42);
+  EXPECT_GT(inode.Serialize().size(),
+            AccessPartLayout::kSize + ContentPartLayout::kSize);
+}
+
+TEST(LayoutTest, FileKeyEmbedsUuidAndName) {
+  const std::string key = FileKey(fs::Uuid::Make(1, 2), "file.txt");
+  EXPECT_EQ(key.size(), 8u + 8u);
+  EXPECT_EQ(common::LoadAt<std::uint64_t>(key, 0), fs::Uuid::Make(1, 2).raw());
+  EXPECT_EQ(key.substr(8), "file.txt");
+  EXPECT_EQ(DirentKey(fs::Uuid::Make(1, 2)), key.substr(0, 8));
+}
+
+TEST(LayoutTest, DirentListAppendRemove) {
+  std::string list;
+  AppendDirent(&list, "aa");
+  AppendDirent(&list, "b");
+  AppendDirent(&list, "ccc");
+  EXPECT_EQ(ParseDirentList(list),
+            (std::vector<std::string>{"aa", "b", "ccc"}));
+  EXPECT_TRUE(DirentListContains(list, "b"));
+  EXPECT_FALSE(DirentListContains(list, "zz"));
+  EXPECT_TRUE(RemoveDirent(&list, "b"));
+  EXPECT_EQ(ParseDirentList(list), (std::vector<std::string>{"aa", "ccc"}));
+  EXPECT_FALSE(RemoveDirent(&list, "b"));
+  EXPECT_TRUE(RemoveDirent(&list, "aa"));
+  EXPECT_TRUE(RemoveDirent(&list, "ccc"));
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(LayoutTest, DirentListDuplicateNamesRemoveOne) {
+  std::string list;
+  AppendDirent(&list, "x");
+  AppendDirent(&list, "x");
+  EXPECT_TRUE(RemoveDirent(&list, "x"));
+  EXPECT_EQ(ParseDirentList(list), (std::vector<std::string>{"x"}));
+}
+
+TEST(LayoutTest, EmptyDirentList) {
+  std::string list;
+  EXPECT_TRUE(ParseDirentList(list).empty());
+  EXPECT_FALSE(DirentListContains(list, "a"));
+  EXPECT_FALSE(RemoveDirent(&list, "a"));
+}
+
+}  // namespace
+}  // namespace loco::core

@@ -1,0 +1,76 @@
+// Property test: the full LocoFS stack vs the in-memory reference model,
+// parameterized over client cache on/off and decoupled/coupled file
+// metadata.  The shared generator lives in tests/support/oracle_runner.h.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/client.h"
+#include "core/dms.h"
+#include "core/fms.h"
+#include "core/object_store.h"
+#include "fs/ref_model.h"
+#include "net/inproc.h"
+#include "support/oracle_runner.h"
+
+namespace loco::core {
+namespace {
+
+struct Param {
+  bool cache;
+  bool decoupled;
+  std::uint64_t seed;
+};
+
+class LocoFsPropertyTest : public ::testing::TestWithParam<Param> {
+ protected:
+  void SetUp() override {
+    transport_.Register(0, &dms_);
+    LocoClient::Config cfg;
+    cfg.dms = 0;
+    for (int i = 0; i < 4; ++i) {
+      FileMetadataServer::Options fo;
+      fo.sid = static_cast<std::uint32_t>(i + 1);
+      fo.decoupled = GetParam().decoupled;
+      fms_.push_back(std::make_unique<FileMetadataServer>(fo));
+      transport_.Register(1 + static_cast<net::NodeId>(i), fms_.back().get());
+      cfg.fms.push_back(1 + static_cast<net::NodeId>(i));
+    }
+    objs_.push_back(std::make_unique<ObjectStoreServer>());
+    transport_.Register(100, objs_.back().get());
+    cfg.object_stores.push_back(100);
+    cfg.cache_enabled = GetParam().cache;
+    cfg.now = [this] { return clock_; };
+    client_ = std::make_unique<LocoClient>(transport_, cfg);
+  }
+
+  net::InProcTransport transport_;
+  DirectoryMetadataServer dms_;
+  std::vector<std::unique_ptr<FileMetadataServer>> fms_;
+  std::vector<std::unique_ptr<ObjectStoreServer>> objs_;
+  std::unique_ptr<LocoClient> client_;
+  fs::RefModel ref_;
+  std::uint64_t clock_ = 0;
+};
+
+TEST_P(LocoFsPropertyTest, RandomOpsMatchReferenceModel) {
+  testing_support::OracleRunnerOptions options;
+  options.seed = GetParam().seed + GetParam().cache * 2 + GetParam().decoupled;
+  testing_support::RunOracleComparison(*client_, ref_, &clock_, options);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, LocoFsPropertyTest,
+    ::testing::Values(Param{true, true, 1234}, Param{true, false, 1234},
+                      Param{false, true, 1234}, Param{false, false, 1234},
+                      Param{true, true, 777}, Param{true, false, 777},
+                      Param{false, true, 777}, Param{false, false, 777}),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return std::string(info.param.cache ? "cache" : "nocache") + "_" +
+             (info.param.decoupled ? "decoupled" : "coupled") + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace loco::core

@@ -1,0 +1,82 @@
+#include "core/ring.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "core/layout.h"
+
+namespace loco::core {
+namespace {
+
+TEST(HashRingTest, SingleServerGetsEverything) {
+  HashRing ring({7});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(ring.Locate("key" + std::to_string(i)), 7u);
+  }
+}
+
+TEST(HashRingTest, Deterministic) {
+  HashRing a({0, 1, 2, 3});
+  HashRing b({0, 1, 2, 3});
+  for (int i = 0; i < 1000; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    EXPECT_EQ(a.Locate(key), b.Locate(key));
+  }
+}
+
+TEST(HashRingTest, BalancedAcross16Servers) {
+  std::vector<net::NodeId> servers;
+  for (net::NodeId s = 0; s < 16; ++s) servers.push_back(s);
+  HashRing ring(servers, /*vnodes_per_server=*/128);
+  std::map<net::NodeId, int> counts;
+  constexpr int kKeys = 32000;
+  for (int i = 0; i < kKeys; ++i) {
+    counts[ring.Locate(FileKey(fs::Uuid::Make(0, 42), "file_" + std::to_string(i)))]++;
+  }
+  EXPECT_EQ(counts.size(), 16u);
+  for (const auto& [server, n] : counts) {
+    EXPECT_GT(n, kKeys / 16 / 2) << "server " << server;
+    EXPECT_LT(n, kKeys / 16 * 2) << "server " << server;
+  }
+}
+
+TEST(HashRingTest, AddingServerMovesFewKeys) {
+  std::vector<net::NodeId> eight, nine;
+  for (net::NodeId s = 0; s < 8; ++s) eight.push_back(s);
+  nine = eight;
+  nine.push_back(8);
+  HashRing before(eight, 128);
+  HashRing after(nine, 128);
+  int moved = 0;
+  constexpr int kKeys = 10000;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    if (before.Locate(key) != after.Locate(key)) ++moved;
+  }
+  // Consistent hashing: ~1/9 of keys move; a modulo scheme would move ~8/9.
+  EXPECT_LT(moved, kKeys / 4);
+  EXPECT_GT(moved, kKeys / 40);
+}
+
+TEST(HashRingTest, FilesOfOneDirectorySpread) {
+  // The consistent-hash key includes the name, so one directory's files
+  // spread over all servers (load balance, at the price of readdir fan-out).
+  std::vector<net::NodeId> servers{0, 1, 2, 3};
+  HashRing ring(servers);
+  std::map<net::NodeId, int> counts;
+  for (int i = 0; i < 4000; ++i) {
+    counts[ring.Locate(FileKey(fs::kRootUuid, "f" + std::to_string(i)))]++;
+  }
+  EXPECT_EQ(counts.size(), 4u);
+}
+
+TEST(HashRingTest, EmptyRing) {
+  HashRing ring({});
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.Locate("k"), net::kInvalidNode);
+}
+
+}  // namespace
+}  // namespace loco::core

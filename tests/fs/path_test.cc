@@ -1,0 +1,80 @@
+#include "fs/path.h"
+
+#include <gtest/gtest.h>
+
+namespace loco::fs {
+namespace {
+
+TEST(PathTest, ValidPaths) {
+  EXPECT_TRUE(IsValidPath("/"));
+  EXPECT_TRUE(IsValidPath("/a"));
+  EXPECT_TRUE(IsValidPath("/a/b/c"));
+  EXPECT_TRUE(IsValidPath("/with-dash/under_score/file.txt"));
+}
+
+TEST(PathTest, InvalidPaths) {
+  EXPECT_FALSE(IsValidPath(""));
+  EXPECT_FALSE(IsValidPath("a"));
+  EXPECT_FALSE(IsValidPath("a/b"));
+  EXPECT_FALSE(IsValidPath("/a/"));
+  EXPECT_FALSE(IsValidPath("//"));
+  EXPECT_FALSE(IsValidPath("/a//b"));
+  EXPECT_FALSE(IsValidPath("/."));
+  EXPECT_FALSE(IsValidPath("/.."));
+  EXPECT_FALSE(IsValidPath("/a/./b"));
+  EXPECT_FALSE(IsValidPath("/a/../b"));
+}
+
+TEST(PathTest, ParentPath) {
+  EXPECT_EQ(ParentPath("/a/b/c"), "/a/b");
+  EXPECT_EQ(ParentPath("/a"), "/");
+  EXPECT_EQ(ParentPath("/"), "/");
+}
+
+TEST(PathTest, BaseName) {
+  EXPECT_EQ(BaseName("/a/b/c"), "c");
+  EXPECT_EQ(BaseName("/a"), "a");
+  EXPECT_EQ(BaseName("/"), "");
+}
+
+TEST(PathTest, JoinPath) {
+  EXPECT_EQ(JoinPath("/", "a"), "/a");
+  EXPECT_EQ(JoinPath("/a", "b"), "/a/b");
+  EXPECT_EQ(JoinPath("/a/b", "c.txt"), "/a/b/c.txt");
+}
+
+TEST(PathTest, JoinInvertsParentBase) {
+  for (const char* p : {"/x", "/x/y", "/deep/er/path/name"}) {
+    EXPECT_EQ(JoinPath(ParentPath(p), BaseName(p)), p);
+  }
+}
+
+TEST(PathTest, SplitPath) {
+  EXPECT_TRUE(SplitPath("/").empty());
+  const auto parts = SplitPath("/a/bb/ccc");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "bb");
+  EXPECT_EQ(parts[2], "ccc");
+}
+
+TEST(PathTest, Ancestors) {
+  EXPECT_TRUE(Ancestors("/").empty());
+  const auto anc1 = Ancestors("/a");
+  ASSERT_EQ(anc1.size(), 1u);
+  EXPECT_EQ(anc1[0], "/");
+  const auto anc3 = Ancestors("/a/b/c");
+  ASSERT_EQ(anc3.size(), 3u);
+  EXPECT_EQ(anc3[0], "/");
+  EXPECT_EQ(anc3[1], "/a");
+  EXPECT_EQ(anc3[2], "/a/b");
+}
+
+TEST(PathTest, PathDepth) {
+  EXPECT_EQ(PathDepth("/"), 0u);
+  EXPECT_EQ(PathDepth("/a"), 1u);
+  EXPECT_EQ(PathDepth("/a/b/c/d"), 4u);
+}
+
+}  // namespace
+}  // namespace loco::fs

@@ -1,0 +1,196 @@
+#include "fs/ref_model.h"
+
+#include <gtest/gtest.h>
+
+namespace loco::fs {
+namespace {
+
+const Identity kAlice{1000, 1000};
+const Identity kBob{2000, 2000};
+const Identity kRoot{0, 0};
+
+class RefModelTest : public ::testing::Test {
+ protected:
+  RefModel fs_;
+};
+
+TEST_F(RefModelTest, RootExists) {
+  auto st = fs_.Stat(kAlice, "/");
+  ASSERT_TRUE(st.ok());
+  EXPECT_TRUE(st->is_dir);
+  EXPECT_EQ(fs_.NodeCount(), 1u);
+}
+
+TEST_F(RefModelTest, MkdirAndStat) {
+  ASSERT_TRUE(fs_.Mkdir(kAlice, "/d", 0755, 10).ok());
+  auto st = fs_.Stat(kAlice, "/d");
+  ASSERT_TRUE(st.ok());
+  EXPECT_TRUE(st->is_dir);
+  EXPECT_EQ(st->mode, 0755u);
+  EXPECT_EQ(st->uid, 1000u);
+  EXPECT_EQ(st->ctime, 10u);
+  EXPECT_EQ(st->mtime, 10u);
+}
+
+TEST_F(RefModelTest, MkdirErrors) {
+  EXPECT_EQ(fs_.Mkdir(kAlice, "/a/b", 0755, 1).code(), ErrCode::kNotFound);
+  EXPECT_EQ(fs_.Mkdir(kAlice, "/", 0755, 1).code(), ErrCode::kInvalid);
+  EXPECT_EQ(fs_.Mkdir(kAlice, "bad", 0755, 1).code(), ErrCode::kInvalid);
+  ASSERT_TRUE(fs_.Mkdir(kAlice, "/a", 0755, 1).ok());
+  EXPECT_EQ(fs_.Mkdir(kAlice, "/a", 0755, 2).code(), ErrCode::kExists);
+  ASSERT_TRUE(fs_.Create(kAlice, "/f", 0644, 3).ok());
+  EXPECT_EQ(fs_.Mkdir(kAlice, "/f/x", 0755, 4).code(), ErrCode::kNotDir);
+}
+
+TEST_F(RefModelTest, CreateUnlink) {
+  ASSERT_TRUE(fs_.Mkdir(kAlice, "/d", 0755, 1).ok());
+  ASSERT_TRUE(fs_.Create(kAlice, "/d/f", 0644, 2).ok());
+  EXPECT_EQ(fs_.Create(kAlice, "/d/f", 0644, 3).code(), ErrCode::kExists);
+  auto st = fs_.Stat(kAlice, "/d/f");
+  ASSERT_TRUE(st.ok());
+  EXPECT_FALSE(st->is_dir);
+  EXPECT_EQ(st->block_size, 4096u);
+  EXPECT_EQ(fs_.Unlink(kAlice, "/d").code(), ErrCode::kIsDir);
+  ASSERT_TRUE(fs_.Unlink(kAlice, "/d/f").ok());
+  EXPECT_EQ(fs_.Stat(kAlice, "/d/f").code(), ErrCode::kNotFound);
+  EXPECT_EQ(fs_.Unlink(kAlice, "/d/f").code(), ErrCode::kNotFound);
+}
+
+TEST_F(RefModelTest, RmdirSemantics) {
+  ASSERT_TRUE(fs_.Mkdir(kAlice, "/d", 0755, 1).ok());
+  ASSERT_TRUE(fs_.Create(kAlice, "/d/f", 0644, 2).ok());
+  EXPECT_EQ(fs_.Rmdir(kAlice, "/d").code(), ErrCode::kNotEmpty);
+  ASSERT_TRUE(fs_.Unlink(kAlice, "/d/f").ok());
+  ASSERT_TRUE(fs_.Rmdir(kAlice, "/d").ok());
+  EXPECT_EQ(fs_.Rmdir(kAlice, "/d").code(), ErrCode::kNotFound);
+  ASSERT_TRUE(fs_.Create(kAlice, "/f", 0644, 3).ok());
+  EXPECT_EQ(fs_.Rmdir(kAlice, "/f").code(), ErrCode::kNotDir);
+}
+
+TEST_F(RefModelTest, ReaddirListsSorted) {
+  ASSERT_TRUE(fs_.Mkdir(kAlice, "/d", 0755, 1).ok());
+  ASSERT_TRUE(fs_.Create(kAlice, "/d/zz", 0644, 2).ok());
+  ASSERT_TRUE(fs_.Mkdir(kAlice, "/d/aa", 0755, 3).ok());
+  auto entries = fs_.Readdir(kAlice, "/d");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 2u);
+  EXPECT_EQ((*entries)[0].name, "aa");
+  EXPECT_TRUE((*entries)[0].is_dir);
+  EXPECT_EQ((*entries)[1].name, "zz");
+  EXPECT_FALSE((*entries)[1].is_dir);
+}
+
+TEST_F(RefModelTest, PermissionEnforcement) {
+  ASSERT_TRUE(fs_.Mkdir(kAlice, "/priv", 0700, 1).ok());
+  // Bob cannot search or write inside Alice's 0700 dir.
+  EXPECT_EQ(fs_.Create(kBob, "/priv/f", 0644, 2).code(), ErrCode::kPermission);
+  EXPECT_EQ(fs_.Readdir(kBob, "/priv").code(), ErrCode::kPermission);
+  // Root can.
+  EXPECT_TRUE(fs_.Create(kRoot, "/priv/f", 0644, 3).ok());
+  // Stat of a child requires exec on ancestors.
+  EXPECT_EQ(fs_.Stat(kBob, "/priv/f").code(), ErrCode::kPermission);
+}
+
+TEST_F(RefModelTest, ChmodChownRules) {
+  ASSERT_TRUE(fs_.Create(kAlice, "/f", 0644, 1).ok());
+  EXPECT_EQ(fs_.Chmod(kBob, "/f", 0777, 2).code(), ErrCode::kPermission);
+  ASSERT_TRUE(fs_.Chmod(kAlice, "/f", 0600, 3).ok());
+  auto st = fs_.Stat(kAlice, "/f");
+  EXPECT_EQ(st->mode, 0600u);
+  EXPECT_EQ(st->ctime, 3u);
+  // Owner may change group, not owner.
+  EXPECT_TRUE(fs_.Chown(kAlice, "/f", 1000, 555, 4).ok());
+  EXPECT_EQ(fs_.Chown(kAlice, "/f", 2000, 555, 5).code(), ErrCode::kPermission);
+  EXPECT_TRUE(fs_.Chown(kRoot, "/f", 2000, 555, 6).ok());
+  EXPECT_EQ(fs_.Stat(kRoot, "/f")->uid, 2000u);
+}
+
+TEST_F(RefModelTest, AccessChecks) {
+  ASSERT_TRUE(fs_.Create(kAlice, "/f", 0640, 1).ok());
+  EXPECT_TRUE(fs_.Access(kAlice, "/f", kModeRead | kModeWrite).ok());
+  EXPECT_EQ(fs_.Access(kBob, "/f", kModeRead).code(), ErrCode::kPermission);
+  const Identity groupie{3000, 1000};
+  EXPECT_TRUE(fs_.Access(groupie, "/f", kModeRead).ok());
+  EXPECT_EQ(fs_.Access(groupie, "/f", kModeWrite).code(), ErrCode::kPermission);
+}
+
+TEST_F(RefModelTest, WriteReadTruncate) {
+  ASSERT_TRUE(fs_.Create(kAlice, "/f", 0644, 1).ok());
+  ASSERT_TRUE(fs_.Write(kAlice, "/f", 0, "hello world", 2).ok());
+  auto st = fs_.Stat(kAlice, "/f");
+  EXPECT_EQ(st->size, 11u);
+  EXPECT_EQ(st->mtime, 2u);
+  auto data = fs_.Read(kAlice, "/f", 6, 100, 3);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "world");
+  EXPECT_EQ(fs_.Stat(kAlice, "/f")->atime, 3u);
+  // Sparse write extends with zeros.
+  ASSERT_TRUE(fs_.Write(kAlice, "/f", 20, "X", 4).ok());
+  EXPECT_EQ(fs_.Stat(kAlice, "/f")->size, 21u);
+  auto hole = fs_.Read(kAlice, "/f", 11, 9, 5);
+  EXPECT_EQ(*hole, std::string(9, '\0'));
+  ASSERT_TRUE(fs_.Truncate(kAlice, "/f", 5, 6).ok());
+  EXPECT_EQ(fs_.Stat(kAlice, "/f")->size, 5u);
+  EXPECT_EQ(*fs_.Read(kAlice, "/f", 0, 100, 7), "hello");
+  // Read past EOF yields empty.
+  EXPECT_EQ(*fs_.Read(kAlice, "/f", 50, 10, 8), "");
+}
+
+TEST_F(RefModelTest, OpenSemantics) {
+  ASSERT_TRUE(fs_.Mkdir(kAlice, "/d", 0755, 1).ok());
+  EXPECT_EQ(fs_.Open(kAlice, "/d").code(), ErrCode::kIsDir);
+  ASSERT_TRUE(fs_.Create(kAlice, "/f", 0200, 2).ok());  // write-only
+  EXPECT_EQ(fs_.Open(kAlice, "/f").code(), ErrCode::kPermission);
+  ASSERT_TRUE(fs_.Chmod(kAlice, "/f", 0644, 3).ok());
+  EXPECT_TRUE(fs_.Open(kAlice, "/f").ok());
+}
+
+TEST_F(RefModelTest, RenameFile) {
+  ASSERT_TRUE(fs_.Mkdir(kAlice, "/a", 0755, 1).ok());
+  ASSERT_TRUE(fs_.Mkdir(kAlice, "/b", 0755, 2).ok());
+  ASSERT_TRUE(fs_.Create(kAlice, "/a/f", 0644, 3).ok());
+  ASSERT_TRUE(fs_.Write(kAlice, "/a/f", 0, "data", 4).ok());
+  ASSERT_TRUE(fs_.Rename(kAlice, "/a/f", "/b/g").ok());
+  EXPECT_EQ(fs_.Stat(kAlice, "/a/f").code(), ErrCode::kNotFound);
+  EXPECT_EQ(*fs_.Read(kAlice, "/b/g", 0, 10, 5), "data");
+}
+
+TEST_F(RefModelTest, RenameDirectoryMovesSubtree) {
+  ASSERT_TRUE(fs_.Mkdir(kAlice, "/a", 0755, 1).ok());
+  ASSERT_TRUE(fs_.Mkdir(kAlice, "/a/sub", 0755, 2).ok());
+  ASSERT_TRUE(fs_.Create(kAlice, "/a/sub/f", 0644, 3).ok());
+  ASSERT_TRUE(fs_.Rename(kAlice, "/a", "/renamed").ok());
+  EXPECT_TRUE(fs_.Stat(kAlice, "/renamed/sub/f").ok());
+  EXPECT_EQ(fs_.Stat(kAlice, "/a").code(), ErrCode::kNotFound);
+}
+
+TEST_F(RefModelTest, RenameErrors) {
+  ASSERT_TRUE(fs_.Mkdir(kAlice, "/a", 0755, 1).ok());
+  ASSERT_TRUE(fs_.Mkdir(kAlice, "/b", 0755, 2).ok());
+  EXPECT_EQ(fs_.Rename(kAlice, "/missing", "/x").code(), ErrCode::kNotFound);
+  EXPECT_EQ(fs_.Rename(kAlice, "/a", "/b").code(), ErrCode::kExists);
+  EXPECT_EQ(fs_.Rename(kAlice, "/a", "/a/inside").code(), ErrCode::kInvalid);
+  EXPECT_EQ(fs_.Rename(kAlice, "/", "/x").code(), ErrCode::kInvalid);
+  EXPECT_TRUE(fs_.Rename(kAlice, "/a", "/a").ok());  // no-op
+}
+
+TEST_F(RefModelTest, UtimensSetsTimes) {
+  ASSERT_TRUE(fs_.Create(kAlice, "/f", 0644, 1).ok());
+  ASSERT_TRUE(fs_.Utimens(kAlice, "/f", 777, 888).ok());
+  auto st = fs_.Stat(kAlice, "/f");
+  EXPECT_EQ(st->mtime, 777u);
+  EXPECT_EQ(st->atime, 888u);
+  EXPECT_EQ(fs_.Utimens(kBob, "/f", 1, 1).code(), ErrCode::kPermission);
+}
+
+TEST_F(RefModelTest, NodeCountTracksTree) {
+  ASSERT_TRUE(fs_.Mkdir(kAlice, "/a", 0755, 1).ok());
+  ASSERT_TRUE(fs_.Mkdir(kAlice, "/a/b", 0755, 2).ok());
+  ASSERT_TRUE(fs_.Create(kAlice, "/a/b/f", 0644, 3).ok());
+  EXPECT_EQ(fs_.NodeCount(), 4u);
+  ASSERT_TRUE(fs_.Unlink(kAlice, "/a/b/f").ok());
+  EXPECT_EQ(fs_.NodeCount(), 3u);
+}
+
+}  // namespace
+}  // namespace loco::fs

@@ -1,0 +1,72 @@
+#include "fs/types.h"
+
+#include <gtest/gtest.h>
+
+namespace loco::fs {
+namespace {
+
+TEST(UuidTest, PacksSidAndFid) {
+  const Uuid u = Uuid::Make(0x1234, 0x0000ab'cdef0123ULL);
+  EXPECT_EQ(u.sid(), 0x1234u);
+  EXPECT_EQ(u.fid(), 0x0000ab'cdef0123ULL);
+}
+
+TEST(UuidTest, FidMaskedTo48Bits) {
+  const Uuid u = Uuid::Make(1, ~std::uint64_t{0});
+  EXPECT_EQ(u.fid(), (std::uint64_t{1} << 48) - 1);
+  EXPECT_EQ(u.sid(), 1u);
+}
+
+TEST(UuidTest, Comparisons) {
+  EXPECT_EQ(Uuid::Make(1, 2), Uuid::Make(1, 2));
+  EXPECT_LT(Uuid::Make(0, 5), Uuid::Make(1, 0));
+}
+
+TEST(UuidTest, RootUuidIsReserved) {
+  EXPECT_EQ(kRootUuid.sid(), 0xffffu);
+  EXPECT_EQ(kRootUuid.fid(), 1u);
+}
+
+TEST(PermissionTest, OwnerBits) {
+  const Identity owner{1000, 1000};
+  EXPECT_TRUE(CheckPermission(owner, 0700, 1000, 1000, kModeRead | kModeWrite | kModeExec));
+  EXPECT_FALSE(CheckPermission(owner, 0077, 1000, 1000, kModeRead));
+}
+
+TEST(PermissionTest, GroupBits) {
+  const Identity member{2000, 1000};  // different uid, same gid
+  EXPECT_TRUE(CheckPermission(member, 0070, 1000, 1000, kModeRead | kModeWrite | kModeExec));
+  EXPECT_FALSE(CheckPermission(member, 0707, 1000, 1000, kModeRead));
+}
+
+TEST(PermissionTest, OtherBits) {
+  const Identity other{2000, 2000};
+  EXPECT_TRUE(CheckPermission(other, 0007, 1000, 1000, kModeExec));
+  EXPECT_FALSE(CheckPermission(other, 0770, 1000, 1000, kModeRead));
+}
+
+TEST(PermissionTest, RootBypasses) {
+  const Identity root{0, 0};
+  EXPECT_TRUE(CheckPermission(root, 0000, 1000, 1000, kModeRead | kModeWrite | kModeExec));
+}
+
+TEST(PermissionTest, CompoundWantRequiresAllBits) {
+  const Identity owner{1000, 1000};
+  EXPECT_TRUE(CheckPermission(owner, 0600, 1000, 1000, kModeRead | kModeWrite));
+  EXPECT_FALSE(CheckPermission(owner, 0400, 1000, 1000, kModeRead | kModeWrite));
+}
+
+TEST(PermissionTest, OwnerClassTakesPrecedenceOverGroup) {
+  // uid matches: owner bits used even if group bits would allow more.
+  const Identity owner{1000, 1000};
+  EXPECT_FALSE(CheckPermission(owner, 0070, 1000, 1000, kModeRead));
+}
+
+TEST(FsOpTest, AllOpsNamed) {
+  for (int i = 0; i < kFsOpCount; ++i) {
+    EXPECT_NE(FsOpName(static_cast<FsOp>(i)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace loco::fs

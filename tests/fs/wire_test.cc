@@ -1,0 +1,80 @@
+#include "fs/wire.h"
+
+#include <gtest/gtest.h>
+
+namespace loco::fs {
+namespace {
+
+TEST(WireTest, AttrRoundTrip) {
+  Attr attr;
+  attr.ctime = 111;
+  attr.mode = 0751;
+  attr.uid = 42;
+  attr.gid = 43;
+  attr.mtime = 222;
+  attr.atime = 333;
+  attr.size = 1 << 30;
+  attr.block_size = 4096;
+  attr.uuid = Uuid::Make(7, 99);
+  attr.is_dir = true;
+
+  common::Writer w;
+  EncodeAttr(w, attr);
+  common::Reader r(w.str());
+  const Attr out = DecodeAttr(r);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(out.ctime, attr.ctime);
+  EXPECT_EQ(out.mode, attr.mode);
+  EXPECT_EQ(out.uid, attr.uid);
+  EXPECT_EQ(out.gid, attr.gid);
+  EXPECT_EQ(out.mtime, attr.mtime);
+  EXPECT_EQ(out.atime, attr.atime);
+  EXPECT_EQ(out.size, attr.size);
+  EXPECT_EQ(out.block_size, attr.block_size);
+  EXPECT_EQ(out.uuid, attr.uuid);
+  EXPECT_EQ(out.is_dir, attr.is_dir);
+}
+
+TEST(WireTest, IdentityRoundTrip) {
+  common::Writer w;
+  EncodeIdentity(w, Identity{12, 34});
+  common::Reader r(w.str());
+  const Identity id = DecodeIdentity(r);
+  EXPECT_EQ(id.uid, 12u);
+  EXPECT_EQ(id.gid, 34u);
+}
+
+TEST(WireTest, EntriesRoundTrip) {
+  std::vector<DirEntry> entries{{"alpha", true}, {"beta.txt", false}, {"", false}};
+  common::Writer w;
+  EncodeEntries(w, entries);
+  common::Reader r(w.str());
+  const auto out = DecodeEntries(r);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].name, "alpha");
+  EXPECT_TRUE(out[0].is_dir);
+  EXPECT_EQ(out[1].name, "beta.txt");
+  EXPECT_FALSE(out[1].is_dir);
+  EXPECT_EQ(out[2].name, "");
+}
+
+TEST(WireTest, EmptyEntriesRoundTrip) {
+  common::Writer w;
+  EncodeEntries(w, {});
+  common::Reader r(w.str());
+  EXPECT_TRUE(DecodeEntries(r).empty());
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(WireTest, TruncatedEntriesStopCleanly) {
+  common::Writer w;
+  w.PutU32(5);  // claims 5 entries, provides none
+  common::Reader r(w.str());
+  const auto out = DecodeEntries(r);
+  EXPECT_TRUE(out.empty() || out.size() < 5);
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace loco::fs

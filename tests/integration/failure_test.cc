@@ -1,0 +1,123 @@
+// Failure injection: unreachable servers and overloaded queues must surface
+// as clean errors, never hangs or crashes.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "benchlib/mdtest.h"
+#include "core/client.h"
+#include "core/dms.h"
+#include "core/fms.h"
+#include "core/proto.h"
+#include "fs/wire.h"
+#include "net/inproc.h"
+#include "net/task.h"
+
+namespace loco::core {
+namespace {
+
+TEST(FailureTest, UnreachableFmsYieldsUnavailable) {
+  net::InProcTransport transport;
+  DirectoryMetadataServer dms;
+  transport.Register(0, &dms);
+  FileMetadataServer::Options options;
+  options.sid = 1;
+  FileMetadataServer fms(options);
+  transport.Register(1, &fms);
+
+  LocoClient::Config cfg;
+  cfg.dms = 0;
+  cfg.fms = {1, 2};  // node 2 was never registered (dead server)
+  cfg.object_stores = {100};
+  std::uint64_t clock = 1;
+  cfg.now = [&clock] { return clock++; };
+  LocoClient client(transport, cfg);
+
+  ASSERT_TRUE(net::RunInline(client.Mkdir("/d", 0755)).ok());
+  // Create enough files that some hash onto the dead node.
+  int unavailable = 0, ok = 0;
+  for (int i = 0; i < 40; ++i) {
+    const Status st =
+        net::RunInline(client.Create("/d/f" + std::to_string(i), 0644));
+    if (st.ok()) {
+      ++ok;
+    } else if (st.code() == ErrCode::kUnavailable) {
+      ++unavailable;
+    } else {
+      FAIL() << st.ToString();
+    }
+  }
+  EXPECT_GT(ok, 0);
+  EXPECT_GT(unavailable, 0);
+
+  // Directory-only operations keep working: the DMS is healthy.
+  EXPECT_TRUE(net::RunInline(client.Mkdir("/d2", 0755)).ok());
+  EXPECT_TRUE(net::RunInline(client.Stat("/d")).ok());
+  // The rmdir fan-out must report the dead FMS rather than wrongly
+  // declaring the directory empty.
+  EXPECT_EQ(net::RunInline(client.Rmdir("/d2")).code(), ErrCode::kUnavailable);
+}
+
+TEST(FailureTest, UnreachableDmsFailsDirectoryOps) {
+  net::InProcTransport transport;
+  FileMetadataServer::Options options;
+  options.sid = 1;
+  FileMetadataServer fms(options);
+  transport.Register(1, &fms);
+
+  LocoClient::Config cfg;
+  cfg.dms = 0;  // never registered
+  cfg.fms = {1};
+  cfg.object_stores = {100};
+  cfg.now = [] { return std::uint64_t{1}; };
+  LocoClient client(transport, cfg);
+
+  EXPECT_EQ(net::RunInline(client.Mkdir("/d", 0755)).code(),
+            ErrCode::kUnavailable);
+  EXPECT_EQ(net::RunInline(client.Create("/f", 0644)).code(),
+            ErrCode::kUnavailable);
+}
+
+TEST(FailureTest, OverloadedServerQueueRejectsAndClientsSurface) {
+  // Bounded server queues drop excess load with kUnavailable; the mdtest
+  // harness must count those as errors, not wedge.
+  bench::MdtestConfig cfg;
+  cfg.system = bench::System::kLocoC;
+  cfg.metadata_servers = 1;
+  cfg.clients = 60;
+  cfg.items_per_client = 30;
+  cfg.phases = {fs::FsOp::kCreate};
+  cfg.cluster.server.mode = sim::ServiceTimeMode::kFixed;
+  cfg.cluster.server.fixed_service_ns = 2 * common::kMilli;  // very slow
+  cfg.cluster.server.slots = 1;
+  cfg.cluster.server.max_queue = 4;  // tiny queue: overload guaranteed
+  const bench::MdtestResult result = bench::RunMdtest(cfg);
+  const bench::PhaseResult* phase = result.Phase(fs::FsOp::kCreate);
+  ASSERT_NE(phase, nullptr);
+  EXPECT_EQ(phase->ops, 60u * 30u);  // every op completed (ok or error)
+  EXPECT_GT(phase->errors, 0u);      // and overload was visible
+}
+
+TEST(FailureTest, CorruptPayloadRejectedNotCrashed) {
+  DirectoryMetadataServer dms;
+  // Garbage bytes for every opcode: the server must answer kCorruption (or
+  // kUnsupported), never crash or corrupt state.
+  for (std::uint16_t op = 1; op <= 10; ++op) {
+    const net::RpcResponse resp = dms.Handle(op, "\x01\x02garbage");
+    EXPECT_FALSE(resp.ok()) << op;
+  }
+  FileMetadataServer::Options options;
+  options.sid = 1;
+  FileMetadataServer fms(options);
+  for (std::uint16_t op = 32; op <= 45; ++op) {
+    const net::RpcResponse resp = fms.Handle(op, "zz");
+    EXPECT_FALSE(resp.ok()) << op;
+  }
+  // State unharmed: the root is still resolvable.
+  const net::RpcResponse stat = dms.Handle(
+      proto::kDmsStat, fs::Pack(std::string("/"), fs::Identity{0, 0}));
+  EXPECT_TRUE(stat.ok());
+}
+
+}  // namespace
+}  // namespace loco::core

@@ -1,0 +1,226 @@
+#include "kvstore/btree_kv.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "common/rng.h"
+
+namespace loco::kv {
+namespace {
+
+KvOptions SmallOrder() {
+  KvOptions opt;
+  opt.btree_order = 4;  // force deep trees and frequent splits/merges
+  return opt;
+}
+
+TEST(BTreeKVTest, PutGetDelete) {
+  BTreeKV kv;
+  ASSERT_TRUE(kv.Put("k", "v").ok());
+  std::string v;
+  ASSERT_TRUE(kv.Get("k", &v).ok());
+  EXPECT_EQ(v, "v");
+  ASSERT_TRUE(kv.Delete("k").ok());
+  EXPECT_EQ(kv.Get("k", &v).code(), ErrCode::kNotFound);
+  EXPECT_EQ(kv.Delete("k").code(), ErrCode::kNotFound);
+}
+
+TEST(BTreeKVTest, SplitsGrowHeight) {
+  BTreeKV kv(SmallOrder());
+  EXPECT_EQ(kv.Height(), 1u);
+  for (int i = 0; i < 100; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "%04d", i);
+    ASSERT_TRUE(kv.Put(key, "v").ok());
+    ASSERT_TRUE(kv.CheckInvariants()) << "after insert " << i;
+  }
+  EXPECT_GT(kv.Height(), 2u);
+  EXPECT_EQ(kv.Size(), 100u);
+}
+
+TEST(BTreeKVTest, DeletionRebalancesDownToEmpty) {
+  BTreeKV kv(SmallOrder());
+  for (int i = 0; i < 200; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "%04d", i);
+    ASSERT_TRUE(kv.Put(key, std::to_string(i)).ok());
+  }
+  // Delete in an interleaved order to exercise borrow-left/right and merges.
+  for (int round = 0; round < 4; ++round) {
+    for (int i = round; i < 200; i += 4) {
+      char key[16];
+      std::snprintf(key, sizeof(key), "%04d", i);
+      ASSERT_TRUE(kv.Delete(key).ok()) << key;
+      ASSERT_TRUE(kv.CheckInvariants()) << "after delete " << key;
+    }
+  }
+  EXPECT_EQ(kv.Size(), 0u);
+  EXPECT_EQ(kv.Height(), 1u);
+}
+
+TEST(BTreeKVTest, OrderedFullScan) {
+  BTreeKV kv(SmallOrder());
+  common::Rng rng(7);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 500; ++i) {
+    const std::string k = rng.Name(8);
+    ASSERT_TRUE(kv.Put(k, k + "!").ok());
+    model[k] = k + "!";
+  }
+  std::vector<std::string> keys;
+  kv.ForEach([&](std::string_view k, std::string_view v) {
+    keys.emplace_back(k);
+    EXPECT_EQ(v, std::string(k) + "!");
+    return true;
+  });
+  ASSERT_EQ(keys.size(), model.size());
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(BTreeKVTest, ScanPrefixReturnsExactlyMatching) {
+  BTreeKV kv(SmallOrder());
+  ASSERT_TRUE(kv.Put("/a/a", "1").ok());
+  ASSERT_TRUE(kv.Put("/a/b", "2").ok());
+  ASSERT_TRUE(kv.Put("/a/b/c", "3").ok());
+  ASSERT_TRUE(kv.Put("/ab", "4").ok());  // shares bytes but not the prefix "/a/"
+  ASSERT_TRUE(kv.Put("/b", "5").ok());
+  std::vector<Entry> out;
+  ASSERT_TRUE(kv.ScanPrefix("/a/", 0, &out).ok());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].first, "/a/a");
+  EXPECT_EQ(out[1].first, "/a/b");
+  EXPECT_EQ(out[2].first, "/a/b/c");
+}
+
+TEST(BTreeKVTest, ScanPrefixSubLinear) {
+  // The ordered scan must not visit entries outside the prefix range — the
+  // property Fig. 14's rename optimization depends on.
+  BTreeKV kv;
+  for (int i = 0; i < 10000; ++i) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "dir%05d", i);
+    ASSERT_TRUE(kv.Put(key, "v").ok());
+  }
+  kv.ResetStats();
+  std::vector<Entry> out;
+  ASSERT_TRUE(kv.ScanPrefix("dir00042", 0, &out).ok());
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_LE(kv.stats().scan_items, 2u);
+}
+
+TEST(BTreeKVTest, ScanRangeBounds) {
+  BTreeKV kv(SmallOrder());
+  for (char c = 'a'; c <= 'z'; ++c) {
+    ASSERT_TRUE(kv.Put(std::string(1, c), "v").ok());
+  }
+  std::vector<Entry> out;
+  ASSERT_TRUE(kv.ScanRange("d", "g", 0, &out).ok());
+  ASSERT_EQ(out.size(), 3u);  // d, e, f
+  EXPECT_EQ(out.front().first, "d");
+  EXPECT_EQ(out.back().first, "f");
+  out.clear();
+  ASSERT_TRUE(kv.ScanRange("x", "", 0, &out).ok());  // unbounded hi
+  EXPECT_EQ(out.size(), 3u);                         // x, y, z
+  out.clear();
+  ASSERT_TRUE(kv.ScanRange("a", "z", 5, &out).ok());  // limit
+  EXPECT_EQ(out.size(), 5u);
+}
+
+TEST(BTreeKVTest, ScanPrefixAll0xFF) {
+  BTreeKV kv;
+  const std::string hot(3, '\xff');
+  ASSERT_TRUE(kv.Put(hot + "x", "1").ok());
+  ASSERT_TRUE(kv.Put("aaa", "2").ok());
+  std::vector<Entry> out;
+  ASSERT_TRUE(kv.ScanPrefix(hot, 0, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].second, "1");
+}
+
+TEST(BTreeKVTest, PatchValueInPlace) {
+  BTreeKV kv;
+  ASSERT_TRUE(kv.Put("inode", "0000000000").ok());
+  ASSERT_TRUE(kv.PatchValue("inode", 8, "zz").ok());
+  std::string v;
+  ASSERT_TRUE(kv.Get("inode", &v).ok());
+  EXPECT_EQ(v, "00000000zz");
+  EXPECT_EQ(kv.PatchValue("inode", 9, "zz").code(), ErrCode::kInvalid);
+  EXPECT_EQ(kv.PatchValue("nope", 0, "z").code(), ErrCode::kNotFound);
+}
+
+TEST(BTreeKVTest, RandomizedAgainstModel) {
+  BTreeKV kv(SmallOrder());
+  std::map<std::string, std::string> model;
+  common::Rng rng(99);
+  for (int i = 0; i < 20000; ++i) {
+    const std::string key = "k" + std::to_string(rng.Uniform(800));
+    const int action = static_cast<int>(rng.Uniform(3));
+    if (action == 0) {
+      const std::string val = rng.Name(rng.Range(0, 24));
+      ASSERT_TRUE(kv.Put(key, val).ok());
+      model[key] = val;
+    } else if (action == 1) {
+      const Status s = kv.Delete(key);
+      EXPECT_EQ(s.ok(), model.erase(key) > 0) << key;
+    } else {
+      std::string v;
+      const Status s = kv.Get(key, &v);
+      const auto it = model.find(key);
+      if (it == model.end()) {
+        EXPECT_EQ(s.code(), ErrCode::kNotFound);
+      } else {
+        ASSERT_TRUE(s.ok());
+        EXPECT_EQ(v, it->second);
+      }
+    }
+    if (i % 1000 == 0) {
+      ASSERT_TRUE(kv.CheckInvariants()) << "iteration " << i;
+    }
+  }
+  EXPECT_EQ(kv.Size(), model.size());
+  ASSERT_TRUE(kv.CheckInvariants());
+}
+
+TEST(BTreeKVTest, PersistenceRecovery) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("btreekv_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  KvOptions opt;
+  opt.dir = dir.string();
+  {
+    BTreeKV kv(opt);
+    ASSERT_TRUE(kv.Open().ok());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(kv.Put("key" + std::to_string(i), std::to_string(i)).ok());
+    }
+    ASSERT_TRUE(kv.Delete("key50").ok());
+    ASSERT_TRUE(kv.PatchValue("key51", 0, "X").ok());
+  }
+  BTreeKV kv(opt);
+  ASSERT_TRUE(kv.Open().ok());
+  EXPECT_EQ(kv.Size(), 99u);
+  std::string v;
+  EXPECT_EQ(kv.Get("key50", &v).code(), ErrCode::kNotFound);
+  ASSERT_TRUE(kv.Get("key51", &v).ok());
+  EXPECT_EQ(v, "X1");
+  EXPECT_TRUE(kv.CheckInvariants());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(BTreeKVTest, LargeSequentialInsertKeepsInvariants) {
+  BTreeKV kv;
+  for (int i = 0; i < 50000; ++i) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "%08d", i);
+    ASSERT_TRUE(kv.Put(key, "v").ok());
+  }
+  EXPECT_EQ(kv.Size(), 50000u);
+  ASSERT_TRUE(kv.CheckInvariants());
+}
+
+}  // namespace
+}  // namespace loco::kv

@@ -1,0 +1,185 @@
+#include "kvstore/lsm_kv.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "common/rng.h"
+
+namespace loco::kv {
+namespace {
+
+KvOptions TinyMemtable() {
+  KvOptions opt;
+  opt.memtable_bytes = 256;  // force frequent flushes
+  opt.max_runs = 3;          // force frequent compactions
+  return opt;
+}
+
+TEST(LsmKVTest, PutGetDelete) {
+  LsmKV kv;
+  ASSERT_TRUE(kv.Open().ok());
+  ASSERT_TRUE(kv.Put("k", "v").ok());
+  std::string v;
+  ASSERT_TRUE(kv.Get("k", &v).ok());
+  EXPECT_EQ(v, "v");
+  ASSERT_TRUE(kv.Delete("k").ok());
+  EXPECT_EQ(kv.Get("k", &v).code(), ErrCode::kNotFound);
+  EXPECT_EQ(kv.Delete("k").code(), ErrCode::kNotFound);
+}
+
+TEST(LsmKVTest, GetReadsThroughRuns) {
+  LsmKV kv(TinyMemtable());
+  ASSERT_TRUE(kv.Open().ok());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(kv.Put("key" + std::to_string(i), "val" + std::to_string(i)).ok());
+  }
+  EXPECT_GE(kv.RunCount(), 1u);
+  std::string v;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(kv.Get("key" + std::to_string(i), &v).ok()) << i;
+    EXPECT_EQ(v, "val" + std::to_string(i));
+  }
+}
+
+TEST(LsmKVTest, NewestValueWinsAcrossRuns) {
+  LsmKV kv(TinyMemtable());
+  ASSERT_TRUE(kv.Open().ok());
+  ASSERT_TRUE(kv.Put("hot", "v1").ok());
+  ASSERT_TRUE(kv.Flush().ok());
+  ASSERT_TRUE(kv.Put("hot", "v2").ok());
+  ASSERT_TRUE(kv.Flush().ok());
+  ASSERT_TRUE(kv.Put("hot", "v3").ok());
+  std::string v;
+  ASSERT_TRUE(kv.Get("hot", &v).ok());
+  EXPECT_EQ(v, "v3");
+}
+
+TEST(LsmKVTest, TombstoneShadowsOlderRuns) {
+  LsmKV kv(TinyMemtable());
+  ASSERT_TRUE(kv.Open().ok());
+  ASSERT_TRUE(kv.Put("x", "1").ok());
+  ASSERT_TRUE(kv.Flush().ok());
+  ASSERT_TRUE(kv.Delete("x").ok());
+  ASSERT_TRUE(kv.Flush().ok());
+  std::string v;
+  EXPECT_EQ(kv.Get("x", &v).code(), ErrCode::kNotFound);
+  // After a full compaction the tombstone is dropped but stays deleted.
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(kv.Put("fill" + std::to_string(i), "y").ok());
+  EXPECT_EQ(kv.Get("x", &v).code(), ErrCode::kNotFound);
+}
+
+TEST(LsmKVTest, CompactionBoundsRunCount) {
+  LsmKV kv(TinyMemtable());
+  ASSERT_TRUE(kv.Open().ok());
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(kv.Put("key" + std::to_string(i % 50), std::to_string(i)).ok());
+  }
+  EXPECT_LE(kv.RunCount(), TinyMemtable().max_runs + 1);
+  EXPECT_EQ(kv.Size(), 50u);
+}
+
+TEST(LsmKVTest, ScanPrefixMergesRunsAndMemtable) {
+  LsmKV kv(TinyMemtable());
+  ASSERT_TRUE(kv.Open().ok());
+  ASSERT_TRUE(kv.Put("a/1", "old").ok());
+  ASSERT_TRUE(kv.Put("a/2", "two").ok());
+  ASSERT_TRUE(kv.Flush().ok());
+  ASSERT_TRUE(kv.Put("a/1", "new").ok());  // shadow in memtable
+  ASSERT_TRUE(kv.Put("a/3", "three").ok());
+  ASSERT_TRUE(kv.Delete("a/2").ok());
+  std::vector<Entry> out;
+  ASSERT_TRUE(kv.ScanPrefix("a/", 0, &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].first, "a/1");
+  EXPECT_EQ(out[0].second, "new");
+  EXPECT_EQ(out[1].first, "a/3");
+}
+
+TEST(LsmKVTest, PatchValueIsReadModifyWrite) {
+  LsmKV kv;
+  ASSERT_TRUE(kv.Open().ok());
+  ASSERT_TRUE(kv.Put("inode", "AAAABBBB").ok());
+  const std::uint64_t writes_before = kv.stats().bytes_written;
+  ASSERT_TRUE(kv.PatchValue("inode", 0, "XX").ok());
+  std::string v;
+  ASSERT_TRUE(kv.Get("inode", &v).ok());
+  EXPECT_EQ(v, "XXAABBBB");
+  // The whole value was rewritten — the LSM large-value penalty (§3.3).
+  EXPECT_GE(kv.stats().bytes_written - writes_before, 8u);
+}
+
+TEST(LsmKVTest, PersistenceAcrossReopen) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("lsmkv_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  KvOptions opt = TinyMemtable();
+  opt.dir = dir.string();
+  {
+    LsmKV kv(opt);
+    ASSERT_TRUE(kv.Open().ok());
+    for (int i = 0; i < 300; ++i) {
+      ASSERT_TRUE(kv.Put("key" + std::to_string(i), "v" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE(kv.Delete("key7").ok());
+    // Unflushed tail lives only in the WAL.
+    ASSERT_TRUE(kv.Put("tail", "wal-only").ok());
+  }
+  LsmKV kv(opt);
+  ASSERT_TRUE(kv.Open().ok());
+  std::string v;
+  ASSERT_TRUE(kv.Get("key299", &v).ok());
+  EXPECT_EQ(v, "v299");
+  ASSERT_TRUE(kv.Get("tail", &v).ok());
+  EXPECT_EQ(v, "wal-only");
+  EXPECT_EQ(kv.Get("key7", &v).code(), ErrCode::kNotFound);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(LsmKVTest, RandomizedAgainstModel) {
+  LsmKV kv(TinyMemtable());
+  ASSERT_TRUE(kv.Open().ok());
+  std::map<std::string, std::string> model;
+  common::Rng rng(31337);
+  for (int i = 0; i < 8000; ++i) {
+    const std::string key = "k" + std::to_string(rng.Uniform(300));
+    if (rng.Chance(0.65)) {
+      const std::string val = rng.Name(rng.Range(0, 32));
+      ASSERT_TRUE(kv.Put(key, val).ok());
+      model[key] = val;
+    } else {
+      const Status s = kv.Delete(key);
+      EXPECT_EQ(s.ok(), model.erase(key) > 0);
+    }
+  }
+  EXPECT_EQ(kv.Size(), model.size());
+  std::string v;
+  for (const auto& [key, val] : model) {
+    ASSERT_TRUE(kv.Get(key, &v).ok()) << key;
+    EXPECT_EQ(v, val);
+  }
+}
+
+TEST(LsmKVTest, BloomFilterRejectsAbsentKeys) {
+  BloomFilter bloom;
+  std::vector<std::string> keys;
+  for (int i = 0; i < 1000; ++i) keys.push_back("present" + std::to_string(i));
+  bloom.Build(keys);
+  for (const auto& k : keys) EXPECT_TRUE(bloom.MayContain(k));
+  int false_positives = 0;
+  for (int i = 0; i < 1000; ++i) {
+    false_positives += bloom.MayContain("absent" + std::to_string(i));
+  }
+  EXPECT_LT(false_positives, 30);  // ~1% expected at 10 bits/key, k=6
+}
+
+TEST(LsmKVTest, EmptyBloomRejectsEverything) {
+  BloomFilter bloom;
+  EXPECT_FALSE(bloom.MayContain("anything"));
+}
+
+}  // namespace
+}  // namespace loco::kv

@@ -1,0 +1,138 @@
+#include "net/inproc.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/call.h"
+#include "net/task.h"
+
+namespace loco::net {
+namespace {
+
+class EchoHandler final : public RpcHandler {
+ public:
+  RpcResponse Handle(std::uint16_t opcode, std::string_view payload) override {
+    ++calls;
+    return RpcResponse{ErrCode::kOk,
+                       std::to_string(opcode) + ":" + std::string(payload)};
+  }
+  std::atomic<int> calls{0};
+};
+
+// Handler that increments a shared counter non-atomically; the per-server
+// mutex in InProcTransport must make this safe.
+class CounterHandler final : public RpcHandler {
+ public:
+  RpcResponse Handle(std::uint16_t, std::string_view) override {
+    const int v = value;          // deliberately racy without the lock
+    std::this_thread::yield();
+    value = v + 1;
+    return RpcResponse{};
+  }
+  int value = 0;
+};
+
+TEST(InProcTest, RoutesToRegisteredHandler) {
+  InProcTransport transport;
+  EchoHandler h0, h1;
+  transport.Register(0, &h0);
+  transport.Register(1, &h1);
+
+  RpcResponse resp;
+  transport.CallAsync(1, 42, "hello", [&](RpcResponse r) { resp = std::move(r); });
+  EXPECT_TRUE(resp.ok());
+  EXPECT_EQ(resp.payload, "42:hello");
+  EXPECT_EQ(h0.calls, 0);
+  EXPECT_EQ(h1.calls, 1);
+}
+
+TEST(InProcTest, UnknownServerIsUnavailable) {
+  InProcTransport transport;
+  RpcResponse resp;
+  transport.CallAsync(9, 1, "", [&](RpcResponse r) { resp = std::move(r); });
+  EXPECT_EQ(resp.code, ErrCode::kUnavailable);
+}
+
+TEST(InProcTest, CompletesInline) {
+  InProcTransport transport;
+  EchoHandler h;
+  transport.Register(0, &h);
+  bool fired = false;
+  transport.CallAsync(0, 1, "x", [&](RpcResponse) { fired = true; });
+  EXPECT_TRUE(fired);  // done ran before CallAsync returned
+}
+
+TEST(InProcTest, CoroutineClientRunsInline) {
+  InProcTransport transport;
+  EchoHandler h;
+  transport.Register(0, &h);
+  auto op = [](Channel& ch) -> Task<std::string> {
+    RpcResponse a = co_await Call(ch, 0, 7, "a");
+    RpcResponse b = co_await Call(ch, 0, 8, "b");
+    co_return a.payload + "|" + b.payload;
+  };
+  EXPECT_EQ(RunInline(op(transport)), "7:a|8:b");
+}
+
+TEST(InProcTest, CallManyCollectsInServerOrder) {
+  InProcTransport transport;
+  EchoHandler h0, h1, h2;
+  transport.Register(0, &h0);
+  transport.Register(1, &h1);
+  transport.Register(2, &h2);
+  std::vector<RpcResponse> out;
+  transport.CallManyAsync({2, 0, 1}, 5, "p",
+                          [&](std::vector<RpcResponse> r) { out = std::move(r); });
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].payload, "5:p");
+  EXPECT_EQ(h0.calls, 1);
+  EXPECT_EQ(h1.calls, 1);
+  EXPECT_EQ(h2.calls, 1);
+}
+
+TEST(InProcTest, CallCountTracksPerServer) {
+  InProcTransport transport;
+  EchoHandler h;
+  transport.Register(3, &h);
+  for (int i = 0; i < 5; ++i) {
+    transport.CallAsync(3, 1, "", [](RpcResponse) {});
+  }
+  EXPECT_EQ(transport.CallCount(3), 5u);
+  EXPECT_EQ(transport.CallCount(99), 0u);
+}
+
+TEST(InProcTest, PerServerMutexSerializesConcurrentClients) {
+  InProcTransport transport;
+  CounterHandler h;
+  transport.Register(0, &h);
+  constexpr int kThreads = 8;
+  constexpr int kCallsPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&transport] {
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        transport.CallAsync(0, 1, "", [](RpcResponse) {});
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.value, kThreads * kCallsPerThread);
+}
+
+TEST(InProcTest, InjectedLatencyIsObservable) {
+  InProcTransport transport;
+  EchoHandler h;
+  transport.Register(0, &h);
+  transport.SetRoundTripLatency(2 * common::kMilli);
+  common::CpuTimer timer;
+  transport.CallAsync(0, 1, "", [](RpcResponse) {});
+  EXPECT_GE(timer.ElapsedNanos(), 2 * common::kMilli - common::kMilli / 2);
+}
+
+}  // namespace
+}  // namespace loco::net

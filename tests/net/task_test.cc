@@ -1,0 +1,166 @@
+#include "net/task.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/call.h"
+#include "net/rpc.h"
+
+namespace loco::net {
+namespace {
+
+Task<int> Immediate(int v) { co_return v; }
+
+Task<int> Nested(int v) {
+  const int a = co_await Immediate(v);
+  const int b = co_await Immediate(a + 1);
+  co_return a + b;
+}
+
+Task<int> DeeplyNested(int depth) {
+  if (depth == 0) co_return 1;
+  co_return 1 + co_await DeeplyNested(depth - 1);
+}
+
+TEST(TaskTest, RunInlineImmediate) {
+  EXPECT_EQ(RunInline(Immediate(7)), 7);
+}
+
+TEST(TaskTest, NestedAwaits) {
+  EXPECT_EQ(RunInline(Nested(10)), 21);  // 10 + 11
+}
+
+TEST(TaskTest, DeepNestingViaSymmetricTransfer) {
+  EXPECT_EQ(RunInline(DeeplyNested(5000)), 5001);
+}
+
+TEST(TaskTest, StartTaskInvokesDoneInlineForSynchronousTask) {
+  bool fired = false;
+  StartTask(Immediate(3), [&](int v) {
+    fired = true;
+    EXPECT_EQ(v, 3);
+  });
+  EXPECT_TRUE(fired);
+}
+
+TEST(TaskTest, MoveOnlyResults) {
+  auto make = []() -> Task<std::string> { co_return std::string(100, 'x'); };
+  EXPECT_EQ(RunInline(make()).size(), 100u);
+}
+
+// A channel that records calls and lets the test complete them later —
+// exercises the deferred (simulator-like) path of the awaiters.
+class DeferredChannel final : public Channel {
+ public:
+  void CallAsync(NodeId server, std::uint16_t opcode, std::string payload,
+                 std::function<void(RpcResponse)> done) override {
+    pending_.push_back({server, opcode, std::move(payload), std::move(done)});
+  }
+
+  struct PendingCall {
+    NodeId server;
+    std::uint16_t opcode;
+    std::string payload;
+    std::function<void(RpcResponse)> done;
+  };
+  std::vector<PendingCall> pending_;
+};
+
+// A channel that completes inside CallAsync (inproc-like).
+class EchoChannel final : public Channel {
+ public:
+  void CallAsync(NodeId server, std::uint16_t opcode, std::string payload,
+                 std::function<void(RpcResponse)> done) override {
+    (void)server;
+    (void)opcode;
+    done(RpcResponse{ErrCode::kOk, std::move(payload)});
+  }
+};
+
+Task<std::string> CallTwice(Channel& ch) {
+  RpcResponse a = co_await Call(ch, 0, 1, "first");
+  RpcResponse b = co_await Call(ch, 0, 2, "second");
+  co_return a.payload + "+" + b.payload;
+}
+
+TEST(TaskTest, AwaitInlineCompletion) {
+  EchoChannel ch;
+  EXPECT_EQ(RunInline(CallTwice(ch)), "first+second");
+}
+
+TEST(TaskTest, AwaitDeferredCompletion) {
+  DeferredChannel ch;
+  std::string result;
+  StartTask(CallTwice(ch), [&](std::string s) { result = std::move(s); });
+  // First call issued but not completed: coroutine suspended.
+  ASSERT_EQ(ch.pending_.size(), 1u);
+  EXPECT_TRUE(result.empty());
+  ch.pending_[0].done(RpcResponse{ErrCode::kOk, "ONE"});
+  // Resuming issues the second call.
+  ASSERT_EQ(ch.pending_.size(), 2u);
+  EXPECT_TRUE(result.empty());
+  ch.pending_[1].done(RpcResponse{ErrCode::kOk, "TWO"});
+  EXPECT_EQ(result, "ONE+TWO");
+}
+
+Task<std::size_t> FanOut(Channel& ch) {
+  // Codebase rule: never build a braced-init-list temporary inside a
+  // co_await expression — its initializer_list backing array would have to
+  // live across the suspension point, which GCC rejects ("array used as
+  // initializer").  Materialize containers in a separate statement.
+  std::vector<NodeId> servers{0, 1, 2};
+  auto responses = co_await CallMany(ch, std::move(servers), 9, "ping");
+  co_return responses.size();
+}
+
+TEST(TaskTest, CallManyInline) {
+  EchoChannel ch;
+  EXPECT_EQ(RunInline(FanOut(ch)), 3u);
+}
+
+TEST(TaskTest, CallManyDeferredCompletesWhenAllDone) {
+  DeferredChannel ch;
+  std::size_t result = 0;
+  bool fired = false;
+  StartTask(FanOut(ch), [&](std::size_t n) {
+    result = n;
+    fired = true;
+  });
+  ASSERT_EQ(ch.pending_.size(), 3u);
+  ch.pending_[0].done(RpcResponse{});
+  ch.pending_[2].done(RpcResponse{});
+  EXPECT_FALSE(fired);
+  ch.pending_[1].done(RpcResponse{});
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(result, 3u);
+}
+
+TEST(TaskTest, CallManyEmptyServerList) {
+  EchoChannel ch;
+  auto task = [](Channel& c) -> Task<std::size_t> {
+    auto r = co_await CallMany(c, std::vector<NodeId>{}, 1, "x");
+    co_return r.size();
+  };
+  EXPECT_EQ(RunInline(task(ch)), 0u);
+}
+
+TEST(TaskTest, ErrorCodePropagatesThroughAwait) {
+  class FailChannel final : public Channel {
+   public:
+    void CallAsync(NodeId, std::uint16_t, std::string,
+                   std::function<void(RpcResponse)> done) override {
+      done(RpcResponse{ErrCode::kTimeout, {}});
+    }
+  } ch;
+  auto task = [](Channel& c) -> Task<ErrCode> {
+    RpcResponse r = co_await Call(c, 0, 1, "");
+    co_return r.code;
+  };
+  EXPECT_EQ(RunInline(task(ch)), ErrCode::kTimeout);
+}
+
+}  // namespace
+}  // namespace loco::net

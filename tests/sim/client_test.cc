@@ -1,0 +1,140 @@
+#include "sim/client.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/call.h"
+
+namespace loco::sim {
+namespace {
+
+class EchoHandler final : public net::RpcHandler {
+ public:
+  net::RpcResponse Handle(std::uint16_t, std::string_view payload) override {
+    return net::RpcResponse{ErrCode::kOk, std::string(payload)};
+  }
+};
+
+ClusterConfig DeterministicConfig() {
+  ClusterConfig cfg;
+  cfg.net.rtt = 100 * common::kMicro;
+  cfg.net.bandwidth_bps = 0;
+  cfg.net.per_message_ns = 0;
+  cfg.server.slots = 2;
+  cfg.server.fixed_request_ns = 0;
+  cfg.server.mode = ServiceTimeMode::kFixed;
+  cfg.server.fixed_service_ns = 20 * common::kMicro;
+  cfg.client.per_op_ns = 1 * common::kMicro;
+  cfg.client.per_connection_ns = 0;
+  cfg.client.connection_setup_ns = 0;
+  return cfg;
+}
+
+net::Task<Status> PingOp(net::Channel& ch, net::NodeId server) {
+  net::RpcResponse r = co_await net::Call(ch, server, 1, "ping");
+  co_return Status(r.code);
+}
+
+struct Fixture {
+  explicit Fixture(int n_clients, int ops_per_client,
+                   ClusterConfig cfg = DeterministicConfig()) {
+    cluster = std::make_unique<SimCluster>(&sim, cfg);
+    server_id = cluster->AddServer(&handler);
+    cluster->server(server_id)->SetExtraServiceFn(nullptr);
+    for (int c = 0; c < n_clients; ++c) {
+      auto source = [this, remaining = ops_per_client](
+                        net::Channel& ch) mutable
+          -> std::optional<ClosedLoopClient::Op> {
+        if (remaining-- <= 0) return std::nullopt;
+        return ClosedLoopClient::Op{PingOp(ch, server_id), /*type=*/0};
+      };
+      clients.push_back(std::make_unique<ClosedLoopClient>(
+          cluster.get(), std::move(source), &stats));
+    }
+    for (auto& c : clients) c->Start();
+  }
+
+  Simulation sim;
+  EchoHandler handler;
+  std::unique_ptr<SimCluster> cluster;
+  net::NodeId server_id = 0;
+  RunStats stats;
+  std::vector<std::unique_ptr<ClosedLoopClient>> clients;
+};
+
+TEST(ClosedLoopClientTest, SingleClientRunsAllOps) {
+  Fixture f(1, 10);
+  f.sim.Run();
+  EXPECT_EQ(f.stats.total_ops(), 10u);
+  EXPECT_TRUE(f.clients[0]->Finished());
+  EXPECT_EQ(f.stats.TotalErrors(), 0u);
+  // Per-op: 1us issue + 100us RTT + 20us service = 121us.
+  EXPECT_EQ(f.stats.Latency(0).min(), 121 * common::kMicro);
+  EXPECT_EQ(f.stats.Latency(0).max(), 121 * common::kMicro);
+}
+
+TEST(ClosedLoopClientTest, ThroughputReflectsServerCapacity) {
+  // With many clients the 2-slot / 20us server is the bottleneck:
+  // capacity = 2 slots / 20us = 100k IOPS.
+  Fixture f(20, 100);
+  f.sim.Run();
+  EXPECT_EQ(f.stats.total_ops(), 2000u);
+  EXPECT_NEAR(f.stats.Throughput(), 100'000.0, 7'000.0);
+}
+
+TEST(ClosedLoopClientTest, LatencyGrowsWithQueueing) {
+  Fixture light(1, 50);
+  light.sim.Run();
+  Fixture heavy(50, 50);
+  heavy.sim.Run();
+  EXPECT_GT(heavy.stats.Latency(0).Mean(), 2 * light.stats.Latency(0).Mean());
+}
+
+TEST(ClosedLoopClientTest, DeterministicAcrossRuns) {
+  Fixture a(8, 50);
+  a.sim.Run();
+  Fixture b(8, 50);
+  b.sim.Run();
+  EXPECT_EQ(a.stats.total_ops(), b.stats.total_ops());
+  EXPECT_EQ(a.stats.makespan(), b.stats.makespan());
+  EXPECT_EQ(a.sim.EventsProcessed(), b.sim.EventsProcessed());
+  EXPECT_EQ(a.stats.Latency(0).Mean(), b.stats.Latency(0).Mean());
+}
+
+TEST(ClosedLoopClientTest, StaggeredStart) {
+  Fixture f(1, 1);
+  // Replace the auto-started client list with a fresh staggered one.
+  RunStats stats;
+  auto source = [&f, issued = false](net::Channel& ch) mutable
+      -> std::optional<ClosedLoopClient::Op> {
+    if (issued) return std::nullopt;
+    issued = true;
+    return ClosedLoopClient::Op{PingOp(ch, f.server_id), 0};
+  };
+  ClosedLoopClient late(f.cluster.get(), std::move(source), &stats);
+  late.Start(5 * common::kMilli);
+  f.sim.Run();
+  EXPECT_EQ(stats.total_ops(), 1u);
+  EXPECT_GE(stats.makespan(), 0);
+}
+
+TEST(RunStatsTest, RecordsPerTypeHistograms) {
+  RunStats stats;
+  stats.NoteIssue(0);
+  stats.Record(1, 100, ErrCode::kOk);
+  stats.Record(1, 200, ErrCode::kOk);
+  stats.Record(2, 1000, ErrCode::kNotFound);
+  stats.NoteCompletion(2000);
+  EXPECT_EQ(stats.total_ops(), 3u);
+  EXPECT_EQ(stats.Latency(1).count(), 2u);
+  EXPECT_EQ(stats.Latency(2).count(), 1u);
+  EXPECT_EQ(stats.Errors(2), 1u);
+  EXPECT_EQ(stats.TotalErrors(), 1u);
+  EXPECT_EQ(stats.makespan(), 2000);
+  EXPECT_EQ(stats.Latency(99).count(), 0u);
+}
+
+}  // namespace
+}  // namespace loco::sim

@@ -1,0 +1,196 @@
+#include "sim/server.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace loco::sim {
+namespace {
+
+class NullHandler final : public net::RpcHandler {
+ public:
+  net::RpcResponse Handle(std::uint16_t opcode, std::string_view payload) override {
+    ++calls;
+    return net::RpcResponse{ErrCode::kOk, std::string(payload) + "/" +
+                                              std::to_string(opcode)};
+  }
+  int calls = 0;
+};
+
+ServerConfig FixedConfig(int slots, Nanos service) {
+  ServerConfig cfg;
+  cfg.slots = slots;
+  cfg.mode = ServiceTimeMode::kFixed;
+  cfg.fixed_service_ns = service;
+  cfg.fixed_request_ns = 0;
+  return cfg;
+}
+
+TEST(SimServerTest, SingleRequestCompletesAfterServiceTime) {
+  Simulation sim;
+  NullHandler handler;
+  SimServer server(&sim, 0, &handler, FixedConfig(1, 1000));
+  Nanos done_at = -1;
+  std::string payload_out;
+  sim.Schedule(0, [&] {
+    server.Enqueue(7, "req", [&](net::RpcResponse r) {
+      done_at = sim.Now();
+      payload_out = r.payload;
+    });
+  });
+  sim.Run();
+  EXPECT_EQ(done_at, 1000);
+  EXPECT_EQ(payload_out, "req/7");
+  EXPECT_EQ(server.requests_served(), 1u);
+}
+
+TEST(SimServerTest, FifoWithOneSlot) {
+  Simulation sim;
+  NullHandler handler;
+  SimServer server(&sim, 0, &handler, FixedConfig(1, 1000));
+  std::vector<Nanos> completions;
+  sim.Schedule(0, [&] {
+    for (int i = 0; i < 3; ++i) {
+      server.Enqueue(0, "", [&](net::RpcResponse) {
+        completions.push_back(sim.Now());
+      });
+    }
+  });
+  sim.Run();
+  EXPECT_EQ(completions, (std::vector<Nanos>{1000, 2000, 3000}));
+}
+
+TEST(SimServerTest, SlotsServeInParallel) {
+  Simulation sim;
+  NullHandler handler;
+  SimServer server(&sim, 0, &handler, FixedConfig(4, 1000));
+  std::vector<Nanos> completions;
+  sim.Schedule(0, [&] {
+    for (int i = 0; i < 8; ++i) {
+      server.Enqueue(0, "", [&](net::RpcResponse) {
+        completions.push_back(sim.Now());
+      });
+    }
+  });
+  sim.Run();
+  ASSERT_EQ(completions.size(), 8u);
+  // First four finish together at t=1000, next four at t=2000.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(completions[static_cast<std::size_t>(i)], 1000);
+  for (int i = 4; i < 8; ++i) EXPECT_EQ(completions[static_cast<std::size_t>(i)], 2000);
+}
+
+TEST(SimServerTest, QueueWaitRecorded) {
+  Simulation sim;
+  NullHandler handler;
+  SimServer server(&sim, 0, &handler, FixedConfig(1, 1000));
+  sim.Schedule(0, [&] {
+    server.Enqueue(0, "", [](net::RpcResponse) {});
+    server.Enqueue(0, "", [](net::RpcResponse) {});
+  });
+  sim.Run();
+  EXPECT_EQ(server.queue_wait().count(), 2u);
+  EXPECT_EQ(server.queue_wait().min(), 0);
+  EXPECT_EQ(server.queue_wait().max(), 1000);
+}
+
+TEST(SimServerTest, FixedRequestCostAdds) {
+  Simulation sim;
+  NullHandler handler;
+  ServerConfig cfg = FixedConfig(1, 1000);
+  cfg.fixed_request_ns = 500;
+  SimServer server(&sim, 0, &handler, cfg);
+  Nanos done_at = -1;
+  sim.Schedule(0, [&] {
+    server.Enqueue(0, "", [&](net::RpcResponse) { done_at = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(done_at, 1500);
+}
+
+TEST(SimServerTest, ExtraServiceFnCharges) {
+  Simulation sim;
+  NullHandler handler;
+  SimServer server(&sim, 0, &handler, FixedConfig(1, 1000));
+  server.SetExtraServiceFn([] { return Nanos{250}; });
+  Nanos done_at = -1;
+  sim.Schedule(0, [&] {
+    server.Enqueue(0, "", [&](net::RpcResponse) { done_at = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(done_at, 1250);
+}
+
+TEST(SimServerTest, HandlerExtraServiceNsCharges) {
+  class DeviceHandler final : public net::RpcHandler {
+   public:
+    net::RpcResponse Handle(std::uint16_t, std::string_view) override {
+      net::RpcResponse r;
+      r.extra_service_ns = 7000;  // modeled device I/O
+      return r;
+    }
+  } handler;
+  Simulation sim;
+  SimServer server(&sim, 0, &handler, FixedConfig(1, 1000));
+  Nanos done_at = -1;
+  sim.Schedule(0, [&] {
+    server.Enqueue(0, "", [&](net::RpcResponse) { done_at = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(done_at, 8000);
+}
+
+TEST(SimServerTest, BoundedQueueRejectsOverflow) {
+  Simulation sim;
+  NullHandler handler;
+  ServerConfig cfg = FixedConfig(1, 1000);
+  cfg.max_queue = 2;
+  SimServer server(&sim, 0, &handler, cfg);
+  int rejected = 0, accepted = 0;
+  sim.Schedule(0, [&] {
+    for (int i = 0; i < 5; ++i) {
+      server.Enqueue(0, "", [&](net::RpcResponse r) {
+        if (r.code == ErrCode::kUnavailable) {
+          ++rejected;
+        } else {
+          ++accepted;
+        }
+      });
+    }
+  });
+  sim.Run();
+  // 1 in service + 2 queued accepted; 2 rejected immediately.
+  EXPECT_EQ(accepted, 3);
+  EXPECT_EQ(rejected, 2);
+}
+
+TEST(SimServerTest, MeasuredModeProducesPositiveServiceTime) {
+  Simulation sim;
+  NullHandler handler;
+  ServerConfig cfg;
+  cfg.slots = 1;
+  cfg.mode = ServiceTimeMode::kMeasured;
+  cfg.fixed_request_ns = 100;
+  cfg.cpu_scale = 2.0;
+  SimServer server(&sim, 0, &handler, cfg);
+  Nanos done_at = -1;
+  sim.Schedule(0, [&] {
+    server.Enqueue(0, "", [&](net::RpcResponse) { done_at = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_GE(done_at, 100);  // at least the fixed cost
+  EXPECT_EQ(server.service_time().count(), 1u);
+}
+
+TEST(SimServerTest, BusyTimeAccumulates) {
+  Simulation sim;
+  NullHandler handler;
+  SimServer server(&sim, 0, &handler, FixedConfig(2, 1000));
+  sim.Schedule(0, [&] {
+    for (int i = 0; i < 4; ++i) server.Enqueue(0, "", [](net::RpcResponse) {});
+  });
+  sim.Run();
+  EXPECT_EQ(server.busy_time(), 4000);
+}
+
+}  // namespace
+}  // namespace loco::sim

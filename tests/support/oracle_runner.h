@@ -1,0 +1,222 @@
+// Shared property-test driver: replays a random operation stream against a
+// FileSystemClient under test and the in-memory reference model, requiring
+// identical observable behaviour (status codes, attributes, listings, data).
+//
+// Generator constraints (deliberate; DESIGN.md §6):
+//   * directory and file name pools are disjoint;
+//   * paths are only built under known directory paths.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "fs/client.h"
+#include "fs/path.h"
+#include "fs/ref_model.h"
+#include "net/task.h"
+
+namespace loco::testing_support {
+
+struct OracleRunnerOptions {
+  int steps = 4000;
+  std::uint64_t seed = 1234;
+};
+
+inline void ExpectSameAttr(const Result<fs::Attr>& got,
+                           const Result<fs::Attr>& want,
+                           const std::string& context) {
+  ASSERT_EQ(got.code(), want.code()) << context;
+  if (!got.ok()) return;
+  EXPECT_EQ(got->is_dir, want->is_dir) << context;
+  EXPECT_EQ(got->mode, want->mode) << context;
+  EXPECT_EQ(got->uid, want->uid) << context;
+  EXPECT_EQ(got->gid, want->gid) << context;
+  EXPECT_EQ(got->size, want->size) << context;
+  EXPECT_EQ(got->ctime, want->ctime) << context;
+  EXPECT_EQ(got->mtime, want->mtime) << context;
+  EXPECT_EQ(got->atime, want->atime) << context;
+}
+
+// `clock` is the shared timestamp source the client's TimeFn must read.
+inline void RunOracleComparison(fs::FileSystemClient& client,
+                                fs::RefModel& ref, std::uint64_t* clock,
+                                const OracleRunnerOptions& options = {}) {
+  common::Rng rng(options.seed);
+
+  const std::vector<std::string> dir_names = {"d0", "d1", "d2", "d3", "d4"};
+  const std::vector<std::string> file_names = {"f0", "f1", "f2",
+                                               "f3", "f4", "f5"};
+  const fs::Identity alice{1000, 1000};
+  const fs::Identity bob{2000, 2000};
+  const fs::Identity root{0, 0};
+
+  std::vector<std::string> dirs = {"/"};
+  auto random_dir = [&] { return dirs[rng.Uniform(dirs.size())]; };
+  auto random_dir_path = [&] {
+    return fs::JoinPath(random_dir(), dir_names[rng.Uniform(dir_names.size())]);
+  };
+  auto random_file_path = [&] {
+    return fs::JoinPath(random_dir(),
+                        file_names[rng.Uniform(file_names.size())]);
+  };
+
+  for (int step = 0; step < options.steps; ++step) {
+    ++*clock;
+    const fs::Identity who =
+        rng.Chance(0.8) ? alice : (rng.Chance(0.8) ? bob : root);
+    client.SetIdentity(who);
+    const std::string ctx = "step " + std::to_string(step);
+    const std::uint64_t ts = *clock;
+
+    const int action = static_cast<int>(rng.Uniform(100));
+    if (action < 14) {
+      const std::string path = random_dir_path();
+      const std::uint32_t mode = rng.Chance(0.85) ? 0755 : 0700;
+      const Status got = net::RunInline(client.Mkdir(path, mode));
+      const Status want = ref.Mkdir(who, path, mode, ts);
+      ASSERT_EQ(got.code(), want.code()) << ctx << " mkdir " << path;
+      if (want.ok()) dirs.push_back(path);
+    } else if (action < 32) {
+      const std::string path = random_file_path();
+      const std::uint32_t mode = rng.Chance(0.8) ? 0644 : 0600;
+      const Status got = net::RunInline(client.Create(path, mode));
+      const Status want = ref.Create(who, path, mode, ts);
+      ASSERT_EQ(got.code(), want.code()) << ctx << " create " << path;
+    } else if (action < 40) {
+      const std::string path =
+          rng.Chance(0.85) ? random_file_path() : random_dir_path();
+      const Status got = net::RunInline(client.Unlink(path));
+      const Status want = ref.Unlink(who, path);
+      ASSERT_EQ(got.code(), want.code()) << ctx << " unlink " << path;
+    } else if (action < 46) {
+      const std::string path =
+          rng.Chance(0.85) ? random_dir_path() : random_file_path();
+      const Status got = net::RunInline(client.Rmdir(path));
+      const Status want = ref.Rmdir(who, path);
+      ASSERT_EQ(got.code(), want.code()) << ctx << " rmdir " << path;
+      if (want.ok()) dirs.erase(std::find(dirs.begin(), dirs.end(), path));
+    } else if (action < 56) {
+      const std::string path =
+          rng.Chance(0.5) ? random_file_path() : random_dir_path();
+      ExpectSameAttr(net::RunInline(client.Stat(path)), ref.Stat(who, path),
+                     ctx + " stat " + path);
+    } else if (action < 61) {
+      const std::string path =
+          rng.Chance(0.7) ? random_dir() : random_dir_path();
+      auto got = net::RunInline(client.Readdir(path));
+      auto want = ref.Readdir(who, path);
+      ASSERT_EQ(got.code(), want.code()) << ctx << " readdir " << path;
+      if (want.ok()) {
+        ASSERT_EQ(got->size(), want->size()) << ctx << " readdir " << path;
+        for (std::size_t i = 0; i < want->size(); ++i) {
+          EXPECT_EQ((*got)[i].name, (*want)[i].name) << ctx;
+          EXPECT_EQ((*got)[i].is_dir, (*want)[i].is_dir) << ctx;
+        }
+      }
+    } else if (action < 66) {
+      const std::string path =
+          rng.Chance(0.7) ? random_file_path() : random_dir_path();
+      const std::uint32_t mode = rng.Chance(0.5) ? 0600 : 0755;
+      const Status got = net::RunInline(client.Chmod(path, mode));
+      const Status want = ref.Chmod(who, path, mode, ts);
+      ASSERT_EQ(got.code(), want.code()) << ctx << " chmod " << path;
+    } else if (action < 69) {
+      const std::string path = random_file_path();
+      const Status got = net::RunInline(client.Chown(path, who.uid, 77));
+      const Status want = ref.Chown(who, path, who.uid, 77, ts);
+      ASSERT_EQ(got.code(), want.code()) << ctx << " chown " << path;
+    } else if (action < 73) {
+      const std::string path =
+          rng.Chance(0.6) ? random_file_path() : random_dir_path();
+      const std::uint32_t want_bits =
+          rng.Chance(0.5) ? fs::kModeRead : (fs::kModeRead | fs::kModeWrite);
+      const Status got = net::RunInline(client.Access(path, want_bits));
+      const Status want = ref.Access(who, path, want_bits);
+      ASSERT_EQ(got.code(), want.code()) << ctx << " access " << path;
+    } else if (action < 76) {
+      const std::string path =
+          rng.Chance(0.7) ? random_file_path() : random_dir_path();
+      const std::uint64_t mtime = rng.Uniform(1000);
+      const std::uint64_t atime = rng.Uniform(1000);
+      const Status got = net::RunInline(client.Utimens(path, mtime, atime));
+      const Status want = ref.Utimens(who, path, mtime, atime);
+      ASSERT_EQ(got.code(), want.code()) << ctx << " utimens " << path;
+    } else if (action < 80) {
+      const std::string path = random_file_path();
+      const std::uint64_t size = rng.Uniform(3000);
+      const Status got = net::RunInline(client.Truncate(path, size));
+      const Status want = ref.Truncate(who, path, size, ts);
+      ASSERT_EQ(got.code(), want.code()) << ctx << " truncate " << path;
+    } else if (action < 86) {
+      const std::string path = random_file_path();
+      const std::uint64_t offset = rng.Uniform(2000);
+      const std::string data = rng.Name(rng.Range(1, 200));
+      const Status got = net::RunInline(client.Write(path, offset, data));
+      const Status want = ref.Write(who, path, offset, data, ts);
+      ASSERT_EQ(got.code(), want.code()) << ctx << " write " << path;
+    } else if (action < 92) {
+      const std::string path = random_file_path();
+      const std::uint64_t offset = rng.Uniform(2500);
+      const std::uint64_t length = rng.Range(1, 300);
+      auto got = net::RunInline(client.Read(path, offset, length));
+      auto want = ref.Read(who, path, offset, length, ts);
+      ASSERT_EQ(got.code(), want.code()) << ctx << " read " << path;
+      if (want.ok()) {
+        EXPECT_EQ(*got, *want) << ctx << " read " << path;
+      }
+    } else if (action < 96) {
+      const std::string path = random_file_path();
+      auto got = net::RunInline(client.Open(path));
+      auto want = ref.Open(who, path);
+      ExpectSameAttr(got, want, ctx + " open " + path);
+      if (got.ok()) {
+        EXPECT_TRUE(net::RunInline(client.Close(path)).ok());
+      }
+    } else if (action < 98) {
+      const std::string from = random_file_path();
+      const std::string to = random_file_path();
+      const Status got = net::RunInline(client.Rename(from, to));
+      const Status want = ref.Rename(who, from, to);
+      ASSERT_EQ(got.code(), want.code())
+          << ctx << " rename " << from << " -> " << to;
+    } else {
+      const std::string from = random_dir_path();
+      const std::string to = random_dir_path();
+      const Status got = net::RunInline(client.Rename(from, to));
+      const Status want = ref.Rename(who, from, to);
+      ASSERT_EQ(got.code(), want.code())
+          << ctx << " d-rename " << from << " -> " << to;
+      if (want.ok() && from != to) {
+        for (std::string& d : dirs) {
+          if (d == from) {
+            d = to;
+          } else if (d.size() > from.size() &&
+                     d.compare(0, from.size(), from) == 0 &&
+                     d[from.size()] == '/') {
+            d = to + d.substr(from.size());
+          }
+        }
+      }
+    }
+  }
+
+  // Final audit: every known directory must list identically on both sides.
+  client.SetIdentity(root);
+  for (const std::string& dir : dirs) {
+    auto got = net::RunInline(client.Readdir(dir));
+    auto want = ref.Readdir(root, dir);
+    ASSERT_EQ(got.code(), want.code()) << "audit " << dir;
+    if (!want.ok()) continue;
+    ASSERT_EQ(got->size(), want->size()) << "audit " << dir;
+    for (std::size_t i = 0; i < want->size(); ++i) {
+      EXPECT_EQ((*got)[i].name, (*want)[i].name) << "audit " << dir;
+    }
+  }
+}
+
+}  // namespace loco::testing_support
