@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl01_lease.dir/bench/abl01_lease.cc.o"
+  "CMakeFiles/abl01_lease.dir/bench/abl01_lease.cc.o.d"
+  "bench/abl01_lease"
+  "bench/abl01_lease.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl01_lease.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

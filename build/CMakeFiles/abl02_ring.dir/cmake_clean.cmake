@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl02_ring.dir/bench/abl02_ring.cc.o"
+  "CMakeFiles/abl02_ring.dir/bench/abl02_ring.cc.o.d"
+  "bench/abl02_ring"
+  "bench/abl02_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl02_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

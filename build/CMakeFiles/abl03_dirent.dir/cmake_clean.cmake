@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl03_dirent.dir/bench/abl03_dirent.cc.o"
+  "CMakeFiles/abl03_dirent.dir/bench/abl03_dirent.cc.o.d"
+  "bench/abl03_dirent"
+  "bench/abl03_dirent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl03_dirent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig00_kv_valuesize.dir/bench/fig00_kv_valuesize.cc.o"
+  "CMakeFiles/fig00_kv_valuesize.dir/bench/fig00_kv_valuesize.cc.o.d"
+  "bench/fig00_kv_valuesize"
+  "bench/fig00_kv_valuesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig00_kv_valuesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

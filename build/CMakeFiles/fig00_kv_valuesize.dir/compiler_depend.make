@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig00_kv_valuesize.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_gap.dir/bench/fig01_gap.cc.o"
+  "CMakeFiles/fig01_gap.dir/bench/fig01_gap.cc.o.d"
+  "bench/fig01_gap"
+  "bench/fig01_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

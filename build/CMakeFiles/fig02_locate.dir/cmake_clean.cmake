@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_locate.dir/bench/fig02_locate.cc.o"
+  "CMakeFiles/fig02_locate.dir/bench/fig02_locate.cc.o.d"
+  "bench/fig02_locate"
+  "bench/fig02_locate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_locate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_latency.dir/bench/fig06_latency.cc.o"
+  "CMakeFiles/fig06_latency.dir/bench/fig06_latency.cc.o.d"
+  "bench/fig06_latency"
+  "bench/fig06_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_bridge.dir/bench/fig09_bridge.cc.o"
+  "CMakeFiles/fig09_bridge.dir/bench/fig09_bridge.cc.o.d"
+  "bench/fig09_bridge"
+  "bench/fig09_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

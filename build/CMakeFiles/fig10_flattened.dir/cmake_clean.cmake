@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_flattened.dir/bench/fig10_flattened.cc.o"
+  "CMakeFiles/fig10_flattened.dir/bench/fig10_flattened.cc.o.d"
+  "bench/fig10_flattened"
+  "bench/fig10_flattened.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_flattened.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_flattened.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_decoupled.dir/bench/fig11_decoupled.cc.o"
+  "CMakeFiles/fig11_decoupled.dir/bench/fig11_decoupled.cc.o.d"
+  "bench/fig11_decoupled"
+  "bench/fig11_decoupled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_decoupled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

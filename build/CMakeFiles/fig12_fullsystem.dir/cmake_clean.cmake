@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_fullsystem.dir/bench/fig12_fullsystem.cc.o"
+  "CMakeFiles/fig12_fullsystem.dir/bench/fig12_fullsystem.cc.o.d"
+  "bench/fig12_fullsystem"
+  "bench/fig12_fullsystem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_fullsystem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig13_depth.cc" "CMakeFiles/fig13_depth.dir/bench/fig13_depth.cc.o" "gcc" "CMakeFiles/fig13_depth.dir/bench/fig13_depth.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchlib/CMakeFiles/loco_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/loco_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/loco_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/loco_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/loco_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/loco_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/loco_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/loco_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_depth.dir/bench/fig13_depth.cc.o"
+  "CMakeFiles/fig13_depth.dir/bench/fig13_depth.cc.o.d"
+  "bench/fig13_depth"
+  "bench/fig13_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_rename.dir/bench/fig14_rename.cc.o"
+  "CMakeFiles/fig14_rename.dir/bench/fig14_rename.cc.o.d"
+  "bench/fig14_rename"
+  "bench/fig14_rename.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_rename.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

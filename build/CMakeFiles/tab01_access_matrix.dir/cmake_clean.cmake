@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_access_matrix.dir/bench/tab01_access_matrix.cc.o"
+  "CMakeFiles/tab01_access_matrix.dir/bench/tab01_access_matrix.cc.o.d"
+  "bench/tab01_access_matrix"
+  "bench/tab01_access_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_access_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_clients.dir/bench/tab03_clients.cc.o"
+  "CMakeFiles/tab03_clients.dir/bench/tab03_clients.cc.o.d"
+  "bench/tab03_clients"
+  "bench/tab03_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_checkpoint.dir/hpc_checkpoint.cpp.o"
+  "CMakeFiles/hpc_checkpoint.dir/hpc_checkpoint.cpp.o.d"
+  "hpc_checkpoint"
+  "hpc_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loco_shell.dir/loco_shell.cpp.o"
+  "CMakeFiles/loco_shell.dir/loco_shell.cpp.o.d"
+  "loco_shell"
+  "loco_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loco_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/small_file_ingest.dir/small_file_ingest.cpp.o"
+  "CMakeFiles/small_file_ingest.dir/small_file_ingest.cpp.o.d"
+  "small_file_ingest"
+  "small_file_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/small_file_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

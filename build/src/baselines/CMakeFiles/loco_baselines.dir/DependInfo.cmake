@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/client.cc" "src/baselines/CMakeFiles/loco_baselines.dir/client.cc.o" "gcc" "src/baselines/CMakeFiles/loco_baselines.dir/client.cc.o.d"
+  "/root/repo/src/baselines/flavors.cc" "src/baselines/CMakeFiles/loco_baselines.dir/flavors.cc.o" "gcc" "src/baselines/CMakeFiles/loco_baselines.dir/flavors.cc.o.d"
+  "/root/repo/src/baselines/ns_server.cc" "src/baselines/CMakeFiles/loco_baselines.dir/ns_server.cc.o" "gcc" "src/baselines/CMakeFiles/loco_baselines.dir/ns_server.cc.o.d"
+  "/root/repo/src/baselines/ns_store.cc" "src/baselines/CMakeFiles/loco_baselines.dir/ns_store.cc.o" "gcc" "src/baselines/CMakeFiles/loco_baselines.dir/ns_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/loco_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/loco_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/loco_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/loco_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/loco_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loco_baselines.dir/client.cc.o"
+  "CMakeFiles/loco_baselines.dir/client.cc.o.d"
+  "CMakeFiles/loco_baselines.dir/flavors.cc.o"
+  "CMakeFiles/loco_baselines.dir/flavors.cc.o.d"
+  "CMakeFiles/loco_baselines.dir/ns_server.cc.o"
+  "CMakeFiles/loco_baselines.dir/ns_server.cc.o.d"
+  "CMakeFiles/loco_baselines.dir/ns_store.cc.o"
+  "CMakeFiles/loco_baselines.dir/ns_store.cc.o.d"
+  "libloco_baselines.a"
+  "libloco_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loco_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

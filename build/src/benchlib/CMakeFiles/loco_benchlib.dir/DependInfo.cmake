@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchlib/deploy.cc" "src/benchlib/CMakeFiles/loco_benchlib.dir/deploy.cc.o" "gcc" "src/benchlib/CMakeFiles/loco_benchlib.dir/deploy.cc.o.d"
+  "/root/repo/src/benchlib/mdtest.cc" "src/benchlib/CMakeFiles/loco_benchlib.dir/mdtest.cc.o" "gcc" "src/benchlib/CMakeFiles/loco_benchlib.dir/mdtest.cc.o.d"
+  "/root/repo/src/benchlib/table.cc" "src/benchlib/CMakeFiles/loco_benchlib.dir/table.cc.o" "gcc" "src/benchlib/CMakeFiles/loco_benchlib.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/loco_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/loco_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/loco_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/loco_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/loco_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/loco_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/loco_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

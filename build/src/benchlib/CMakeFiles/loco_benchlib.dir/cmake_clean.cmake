@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loco_benchlib.dir/deploy.cc.o"
+  "CMakeFiles/loco_benchlib.dir/deploy.cc.o.d"
+  "CMakeFiles/loco_benchlib.dir/mdtest.cc.o"
+  "CMakeFiles/loco_benchlib.dir/mdtest.cc.o.d"
+  "CMakeFiles/loco_benchlib.dir/table.cc.o"
+  "CMakeFiles/loco_benchlib.dir/table.cc.o.d"
+  "libloco_benchlib.a"
+  "libloco_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loco_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

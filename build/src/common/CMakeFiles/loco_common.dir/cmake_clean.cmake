@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loco_common.dir/hash.cc.o"
+  "CMakeFiles/loco_common.dir/hash.cc.o.d"
+  "CMakeFiles/loco_common.dir/log.cc.o"
+  "CMakeFiles/loco_common.dir/log.cc.o.d"
+  "CMakeFiles/loco_common.dir/result.cc.o"
+  "CMakeFiles/loco_common.dir/result.cc.o.d"
+  "libloco_common.a"
+  "libloco_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loco_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/client.cc" "src/core/CMakeFiles/loco_core.dir/client.cc.o" "gcc" "src/core/CMakeFiles/loco_core.dir/client.cc.o.d"
+  "/root/repo/src/core/dms.cc" "src/core/CMakeFiles/loco_core.dir/dms.cc.o" "gcc" "src/core/CMakeFiles/loco_core.dir/dms.cc.o.d"
+  "/root/repo/src/core/fms.cc" "src/core/CMakeFiles/loco_core.dir/fms.cc.o" "gcc" "src/core/CMakeFiles/loco_core.dir/fms.cc.o.d"
+  "/root/repo/src/core/layout.cc" "src/core/CMakeFiles/loco_core.dir/layout.cc.o" "gcc" "src/core/CMakeFiles/loco_core.dir/layout.cc.o.d"
+  "/root/repo/src/core/object_store.cc" "src/core/CMakeFiles/loco_core.dir/object_store.cc.o" "gcc" "src/core/CMakeFiles/loco_core.dir/object_store.cc.o.d"
+  "/root/repo/src/core/ring.cc" "src/core/CMakeFiles/loco_core.dir/ring.cc.o" "gcc" "src/core/CMakeFiles/loco_core.dir/ring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/loco_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/loco_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/loco_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/loco_fs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loco_core.dir/client.cc.o"
+  "CMakeFiles/loco_core.dir/client.cc.o.d"
+  "CMakeFiles/loco_core.dir/dms.cc.o"
+  "CMakeFiles/loco_core.dir/dms.cc.o.d"
+  "CMakeFiles/loco_core.dir/fms.cc.o"
+  "CMakeFiles/loco_core.dir/fms.cc.o.d"
+  "CMakeFiles/loco_core.dir/layout.cc.o"
+  "CMakeFiles/loco_core.dir/layout.cc.o.d"
+  "CMakeFiles/loco_core.dir/object_store.cc.o"
+  "CMakeFiles/loco_core.dir/object_store.cc.o.d"
+  "CMakeFiles/loco_core.dir/ring.cc.o"
+  "CMakeFiles/loco_core.dir/ring.cc.o.d"
+  "libloco_core.a"
+  "libloco_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loco_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/path.cc" "src/fs/CMakeFiles/loco_fs.dir/path.cc.o" "gcc" "src/fs/CMakeFiles/loco_fs.dir/path.cc.o.d"
+  "/root/repo/src/fs/ref_model.cc" "src/fs/CMakeFiles/loco_fs.dir/ref_model.cc.o" "gcc" "src/fs/CMakeFiles/loco_fs.dir/ref_model.cc.o.d"
+  "/root/repo/src/fs/types.cc" "src/fs/CMakeFiles/loco_fs.dir/types.cc.o" "gcc" "src/fs/CMakeFiles/loco_fs.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/loco_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/loco_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

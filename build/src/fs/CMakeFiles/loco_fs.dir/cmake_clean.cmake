@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loco_fs.dir/path.cc.o"
+  "CMakeFiles/loco_fs.dir/path.cc.o.d"
+  "CMakeFiles/loco_fs.dir/ref_model.cc.o"
+  "CMakeFiles/loco_fs.dir/ref_model.cc.o.d"
+  "CMakeFiles/loco_fs.dir/types.cc.o"
+  "CMakeFiles/loco_fs.dir/types.cc.o.d"
+  "libloco_fs.a"
+  "libloco_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loco_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kvstore/btree_kv.cc" "src/kvstore/CMakeFiles/loco_kv.dir/btree_kv.cc.o" "gcc" "src/kvstore/CMakeFiles/loco_kv.dir/btree_kv.cc.o.d"
+  "/root/repo/src/kvstore/hash_kv.cc" "src/kvstore/CMakeFiles/loco_kv.dir/hash_kv.cc.o" "gcc" "src/kvstore/CMakeFiles/loco_kv.dir/hash_kv.cc.o.d"
+  "/root/repo/src/kvstore/kv.cc" "src/kvstore/CMakeFiles/loco_kv.dir/kv.cc.o" "gcc" "src/kvstore/CMakeFiles/loco_kv.dir/kv.cc.o.d"
+  "/root/repo/src/kvstore/lsm_kv.cc" "src/kvstore/CMakeFiles/loco_kv.dir/lsm_kv.cc.o" "gcc" "src/kvstore/CMakeFiles/loco_kv.dir/lsm_kv.cc.o.d"
+  "/root/repo/src/kvstore/wal.cc" "src/kvstore/CMakeFiles/loco_kv.dir/wal.cc.o" "gcc" "src/kvstore/CMakeFiles/loco_kv.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/loco_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loco_kv.dir/btree_kv.cc.o"
+  "CMakeFiles/loco_kv.dir/btree_kv.cc.o.d"
+  "CMakeFiles/loco_kv.dir/hash_kv.cc.o"
+  "CMakeFiles/loco_kv.dir/hash_kv.cc.o.d"
+  "CMakeFiles/loco_kv.dir/kv.cc.o"
+  "CMakeFiles/loco_kv.dir/kv.cc.o.d"
+  "CMakeFiles/loco_kv.dir/lsm_kv.cc.o"
+  "CMakeFiles/loco_kv.dir/lsm_kv.cc.o.d"
+  "CMakeFiles/loco_kv.dir/wal.cc.o"
+  "CMakeFiles/loco_kv.dir/wal.cc.o.d"
+  "libloco_kv.a"
+  "libloco_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loco_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

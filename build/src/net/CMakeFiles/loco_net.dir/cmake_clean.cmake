@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loco_net.dir/inproc.cc.o"
+  "CMakeFiles/loco_net.dir/inproc.cc.o.d"
+  "CMakeFiles/loco_net.dir/rpc.cc.o"
+  "CMakeFiles/loco_net.dir/rpc.cc.o.d"
+  "libloco_net.a"
+  "libloco_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loco_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libloco_net.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loco_sim.dir/server.cc.o"
+  "CMakeFiles/loco_sim.dir/server.cc.o.d"
+  "CMakeFiles/loco_sim.dir/transport.cc.o"
+  "CMakeFiles/loco_sim.dir/transport.cc.o.d"
+  "libloco_sim.a"
+  "libloco_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loco_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/dms_test.cc.o"
+  "CMakeFiles/core_test.dir/dms_test.cc.o.d"
+  "CMakeFiles/core_test.dir/fms_test.cc.o"
+  "CMakeFiles/core_test.dir/fms_test.cc.o.d"
+  "CMakeFiles/core_test.dir/layout_test.cc.o"
+  "CMakeFiles/core_test.dir/layout_test.cc.o.d"
+  "CMakeFiles/core_test.dir/locofs_test.cc.o"
+  "CMakeFiles/core_test.dir/locofs_test.cc.o.d"
+  "CMakeFiles/core_test.dir/ring_test.cc.o"
+  "CMakeFiles/core_test.dir/ring_test.cc.o.d"
+  "CMakeFiles/core_test.dir/table1_test.cc.o"
+  "CMakeFiles/core_test.dir/table1_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/locofs_property_test.cc" "tests/core/CMakeFiles/locofs_property_test.dir/locofs_property_test.cc.o" "gcc" "tests/core/CMakeFiles/locofs_property_test.dir/locofs_property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/loco_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/loco_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/loco_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/loco_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/loco_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

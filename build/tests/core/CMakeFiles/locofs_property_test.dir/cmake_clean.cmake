@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locofs_property_test.dir/locofs_property_test.cc.o"
+  "CMakeFiles/locofs_property_test.dir/locofs_property_test.cc.o.d"
+  "locofs_property_test"
+  "locofs_property_test.pdb"
+  "locofs_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locofs_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fs/path_test.cc" "tests/fs/CMakeFiles/fs_test.dir/path_test.cc.o" "gcc" "tests/fs/CMakeFiles/fs_test.dir/path_test.cc.o.d"
+  "/root/repo/tests/fs/ref_model_test.cc" "tests/fs/CMakeFiles/fs_test.dir/ref_model_test.cc.o" "gcc" "tests/fs/CMakeFiles/fs_test.dir/ref_model_test.cc.o.d"
+  "/root/repo/tests/fs/types_test.cc" "tests/fs/CMakeFiles/fs_test.dir/types_test.cc.o" "gcc" "tests/fs/CMakeFiles/fs_test.dir/types_test.cc.o.d"
+  "/root/repo/tests/fs/wire_test.cc" "tests/fs/CMakeFiles/fs_test.dir/wire_test.cc.o" "gcc" "tests/fs/CMakeFiles/fs_test.dir/wire_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fs/CMakeFiles/loco_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/loco_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/loco_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

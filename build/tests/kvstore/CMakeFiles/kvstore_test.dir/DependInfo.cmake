@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kvstore/btree_kv_test.cc" "tests/kvstore/CMakeFiles/kvstore_test.dir/btree_kv_test.cc.o" "gcc" "tests/kvstore/CMakeFiles/kvstore_test.dir/btree_kv_test.cc.o.d"
+  "/root/repo/tests/kvstore/hash_kv_test.cc" "tests/kvstore/CMakeFiles/kvstore_test.dir/hash_kv_test.cc.o" "gcc" "tests/kvstore/CMakeFiles/kvstore_test.dir/hash_kv_test.cc.o.d"
+  "/root/repo/tests/kvstore/kv_conformance_test.cc" "tests/kvstore/CMakeFiles/kvstore_test.dir/kv_conformance_test.cc.o" "gcc" "tests/kvstore/CMakeFiles/kvstore_test.dir/kv_conformance_test.cc.o.d"
+  "/root/repo/tests/kvstore/lsm_kv_test.cc" "tests/kvstore/CMakeFiles/kvstore_test.dir/lsm_kv_test.cc.o" "gcc" "tests/kvstore/CMakeFiles/kvstore_test.dir/lsm_kv_test.cc.o.d"
+  "/root/repo/tests/kvstore/wal_test.cc" "tests/kvstore/CMakeFiles/kvstore_test.dir/wal_test.cc.o" "gcc" "tests/kvstore/CMakeFiles/kvstore_test.dir/wal_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kvstore/CMakeFiles/loco_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/loco_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/client_test.cc" "tests/sim/CMakeFiles/sim_test.dir/client_test.cc.o" "gcc" "tests/sim/CMakeFiles/sim_test.dir/client_test.cc.o.d"
+  "/root/repo/tests/sim/server_test.cc" "tests/sim/CMakeFiles/sim_test.dir/server_test.cc.o" "gcc" "tests/sim/CMakeFiles/sim_test.dir/server_test.cc.o.d"
+  "/root/repo/tests/sim/simulation_test.cc" "tests/sim/CMakeFiles/sim_test.dir/simulation_test.cc.o" "gcc" "tests/sim/CMakeFiles/sim_test.dir/simulation_test.cc.o.d"
+  "/root/repo/tests/sim/transport_test.cc" "tests/sim/CMakeFiles/sim_test.dir/transport_test.cc.o" "gcc" "tests/sim/CMakeFiles/sim_test.dir/transport_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/loco_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/loco_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/loco_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
