@@ -7,7 +7,8 @@
 // longer leases buy nothing more.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  loco::bench::MetricsDump metrics_dump(argc, argv);
   using namespace loco::bench;
   const sim::ClusterConfig cluster = PaperCluster();
   PrintClusterBanner("Ablation: d-inode lease duration",

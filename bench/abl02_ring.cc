@@ -7,12 +7,14 @@
 #include <cstdio>
 #include <vector>
 
+#include "benchlib/deploy.h"
 #include "benchlib/table.h"
 #include "common/hash.h"
 #include "core/layout.h"
 #include "core/ring.h"
 
-int main() {
+int main(int argc, char** argv) {
+  loco::bench::MetricsDump metrics_dump(argc, argv);
   using namespace loco;
   using bench::Table;
 

@@ -10,13 +10,15 @@
 #include <cstdio>
 #include <string>
 
+#include "benchlib/deploy.h"
 #include "benchlib/table.h"
 #include "common/clock.h"
 #include "core/fms.h"
 #include "core/proto.h"
 #include "fs/wire.h"
 
-int main() {
+int main(int argc, char** argv) {
+  loco::bench::MetricsDump metrics_dump(argc, argv);
   using namespace loco;
   using bench::Table;
 

@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 
+#include "benchlib/deploy.h"
 #include "common/rng.h"
 #include "kvstore/kv.h"
 
@@ -76,4 +77,13 @@ BENCHMARK(BM_KvPatch16)->Apply(ValueSizeArgs)->ArgNames({"backend", "vsize"});
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so --metrics-out is stripped before
+// benchmark::Initialize rejects it as an unrecognized argument.
+int main(int argc, char** argv) {
+  loco::bench::MetricsDump metrics_dump(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -20,7 +20,8 @@ int ClientsFor(System system, int servers) {
 }  // namespace
 }  // namespace loco::bench
 
-int main() {
+int main(int argc, char** argv) {
+  loco::bench::MetricsDump metrics_dump(argc, argv);
   using namespace loco::bench;
   const sim::ClusterConfig cluster = PaperCluster();
   PrintClusterBanner("Figure 1: FS metadata vs raw KV store",

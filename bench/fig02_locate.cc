@@ -70,7 +70,8 @@ Trace LocateDeepFile(System system) {
 }  // namespace
 }  // namespace loco::bench
 
-int main() {
+int main(int argc, char** argv) {
+  loco::bench::MetricsDump metrics_dump(argc, argv);
   using namespace loco::bench;
   PrintBanner("Figure 2: locating a depth-4 file across 4 metadata servers",
               "stat /l1/l2/l3/file6 from a fresh client; latency in RTTs");

@@ -43,7 +43,8 @@ void RunOp(fs::FsOp op, const char* figure_label) {
 }  // namespace
 }  // namespace loco::bench
 
-int main() {
+int main(int argc, char** argv) {
+  loco::bench::MetricsDump metrics_dump(argc, argv);
   using namespace loco::bench;
   PrintClusterBanner("Figure 6: touch/mkdir latency vs #metadata servers",
                      "single-client mdtest; Y = latency / RTT",

@@ -41,7 +41,8 @@ double OpLatency(System system, fs::FsOp op, const sim::ClusterConfig& cluster) 
 }  // namespace
 }  // namespace loco::bench
 
-int main() {
+int main(int argc, char** argv) {
+  loco::bench::MetricsDump metrics_dump(argc, argv);
   using namespace loco::bench;
   using loco::fs::FsOp;
   const sim::ClusterConfig cluster = PaperCluster();

@@ -44,7 +44,8 @@ struct Cell {
 }  // namespace
 }  // namespace loco::bench
 
-int main() {
+int main(int argc, char** argv) {
+  loco::bench::MetricsDump metrics_dump(argc, argv);
   using namespace loco::bench;
   using loco::fs::FsOp;
   const sim::ClusterConfig cluster = PaperCluster();

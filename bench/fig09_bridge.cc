@@ -25,7 +25,8 @@ double CreateIops(System system, int servers, int clients,
 }  // namespace
 }  // namespace loco::bench
 
-int main() {
+int main(int argc, char** argv) {
+  loco::bench::MetricsDump metrics_dump(argc, argv);
   using namespace loco::bench;
   const sim::ClusterConfig cluster = PaperCluster();
   PrintClusterBanner("Figure 9: bridging the KV gap",

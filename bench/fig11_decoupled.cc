@@ -52,7 +52,8 @@ double OpIops(System system, loco::fs::FsOp op,
 }  // namespace
 }  // namespace loco::bench
 
-int main() {
+int main(int argc, char** argv) {
+  loco::bench::MetricsDump metrics_dump(argc, argv);
   using namespace loco::bench;
   using loco::fs::FsOp;
   const sim::ClusterConfig cluster = SoftwarePathCluster();

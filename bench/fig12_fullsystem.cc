@@ -42,7 +42,8 @@ IoLatency Measure(System system, std::uint64_t io_bytes,
 }  // namespace
 }  // namespace loco::bench
 
-int main() {
+int main(int argc, char** argv) {
+  loco::bench::MetricsDump metrics_dump(argc, argv);
   using namespace loco::bench;
   const sim::ClusterConfig cluster = PaperCluster();
   PrintClusterBanner("Figure 12: full-system read/write latency vs I/O size",

@@ -87,7 +87,8 @@ RenameCost TimeRename(DirectoryMetadataServer* dms, const std::string& from,
 }  // namespace
 }  // namespace loco::bench
 
-int main() {
+int main(int argc, char** argv) {
+  loco::bench::MetricsDump metrics_dump(argc, argv);
   using namespace loco::bench;
   PrintBanner("Figure 14: directory rename overhead",
               "rename subtrees of N dirs out of a ~1.1M-dir DMS population "

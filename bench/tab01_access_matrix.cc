@@ -81,7 +81,8 @@ const char* Mark(bool b) { return b ? "*" : ""; }
 }  // namespace
 }  // namespace loco::bench
 
-int main() {
+int main(int argc, char** argv) {
+  loco::bench::MetricsDump metrics_dump(argc, argv);
   using namespace loco::bench;
   PrintBanner("Table 1: metadata regions touched per operation",
               "measured from per-store KV counters on a LocoFS deployment "

@@ -8,7 +8,8 @@
 // per-request efficiency.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  loco::bench::MetricsDump metrics_dump(argc, argv);
   using namespace loco::bench;
   const sim::ClusterConfig cluster = PaperCluster();
   PrintClusterBanner("Table 3: optimal #clients per configuration",

@@ -5,7 +5,7 @@
 //   touch <path>            rm <path>            mv <from> <to>
 //   write <path> <text>     cat <path>           stat <path>
 //   chmod <octal> <path>    su <uid> <gid>       cache
-//   help                    quit
+//   stats [json]            help                 quit
 //
 // Reads from stdin; EOF exits, so it is safe to pipe a script in:
 //   printf 'mkdir /a\ntouch /a/f\nls /a\n' | ./build/examples/loco_shell
@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "core/client.h"
 #include "core/dms.h"
 #include "core/fms.h"
@@ -70,7 +71,7 @@ int main() {
 
     if (cmd == "help") {
       std::printf(
-          "mkdir rmdir ls touch rm mv write cat stat chmod su cache quit\n");
+          "mkdir rmdir ls touch rm mv write cat stat chmod su cache stats quit\n");
     } else if (cmd == "mkdir" || cmd == "rmdir" || cmd == "touch" ||
                cmd == "rm") {
       std::string path;
@@ -145,6 +146,15 @@ int main() {
                   client.cache_size(),
                   static_cast<unsigned long long>(client.cache_hits()),
                   static_cast<unsigned long long>(client.cache_misses()));
+    } else if (cmd == "stats") {
+      // Process-wide metrics: per-opcode RPC counters/latencies, per-server
+      // op counters, KV gauges, client cache counters.  `stats json` emits
+      // the machine-readable form benches write via --metrics-out.
+      std::string format;
+      in >> format;
+      auto& registry = common::MetricsRegistry::Default();
+      std::printf("%s\n", format == "json" ? registry.ToJson().c_str()
+                                           : registry.ToText().c_str());
     } else {
       std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
     }

@@ -19,8 +19,11 @@ net::RpcResponse BadRequest() { return Fail(ErrCode::kCorruption); }
 
 net::RpcResponse NsServer::Handle(std::uint16_t opcode,
                                   std::string_view payload) {
+  const common::ServerOpCounters::PerOp& m = op_metrics_.For(opcode);
+  m.calls->Add();
   const kv::KvStats before = store_.kv().stats();
   net::RpcResponse resp = Dispatch(opcode, payload);
+  if (resp.code != ErrCode::kOk) m.errors->Add();
   resp.extra_service_ns += store_.TakeJournalCost();
   if (options_.charge_io) {
     const kv::KvStats delta = store_.kv().stats() - before;

@@ -8,8 +8,10 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "baselines/ns_store.h"
+#include "common/metrics.h"
 #include "net/rpc.h"
 
 namespace loco::baselines {
@@ -23,7 +25,13 @@ class NsServer final : public net::RpcHandler {
   };
 
   explicit NsServer(const Options& options)
-      : options_(options), store_(options.store) {}
+      : options_(options), store_(options.store),
+        op_metrics_(&common::MetricsRegistry::Default(),
+                    "server.ns" + std::to_string(options.store.sid)),
+        kv_gauges_(kv::RegisterKvStatsGauges(
+            &common::MetricsRegistry::Default(),
+            "server.ns" + std::to_string(options.store.sid) + ".kv",
+            [this] { return store_.kv().stats(); })) {}
 
   net::RpcResponse Handle(std::uint16_t opcode, std::string_view payload) override;
 
@@ -35,6 +43,8 @@ class NsServer final : public net::RpcHandler {
 
   Options options_;
   NsStore store_;
+  common::ServerOpCounters op_metrics_;
+  std::vector<common::MetricsRegistry::GaugeHandle> kv_gauges_;
 };
 
 }  // namespace loco::baselines

@@ -1,5 +1,10 @@
 #include "benchlib/deploy.h"
 
+#include <cstdio>
+#include <cstring>
+
+#include "common/metrics.h"
+
 namespace loco::bench {
 
 std::string_view SystemName(System system) noexcept {
@@ -139,6 +144,50 @@ Deployment Deploy(System system, sim::SimCluster* cluster,
                   const DeployOptions& options) {
   return IsLocoFs(system) ? DeployLocoFs(system, cluster, options)
                           : DeployBaseline(system, cluster, options);
+}
+
+std::string MetricsOutPath(int& argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--metrics-out") == 0 && i + 1 < argc) {
+      path = argv[++i];
+      continue;
+    }
+    if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+      path = arg + 14;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  return path;
+}
+
+bool WriteMetricsJson(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "metrics: cannot open %s\n", path.c_str());
+    return false;
+  }
+  // Pre-register the always-relevant families so consumers can rely on the
+  // keys existing (at zero) even in binaries that never build a client.
+  auto& registry = common::MetricsRegistry::Default();
+  registry.GetCounter("client.cache.hits");
+  registry.GetCounter("client.cache.misses");
+  registry.GetCounter("client.cache.invalidations");
+  const std::string json = registry.ToJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size() &&
+                  std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  if (ok) std::fprintf(stderr, "metrics: wrote %s\n", path.c_str());
+  return ok;
+}
+
+MetricsDump::~MetricsDump() {
+  if (!path_.empty()) WriteMetricsJson(path_);
 }
 
 }  // namespace loco::bench

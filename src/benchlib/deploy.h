@@ -97,4 +97,34 @@ struct DeployOptions {
 Deployment Deploy(System system, sim::SimCluster* cluster,
                   const DeployOptions& options);
 
+// ---------------------------------------------------------------------------
+// Metrics exposition for benchmark binaries.
+//
+// Every bench accepts `--metrics-out <file>.json` (or `--metrics-out=...`)
+// and, when given, writes the process-wide MetricsRegistry as JSON on exit:
+// per-opcode RPC counters and latency histograms, per-server op counters,
+// KV-store gauges, and client cache statistics.
+
+// Extract the flag from argv (removing it, so downstream argument parsers
+// such as google-benchmark never see it).  Returns "" when absent.
+std::string MetricsOutPath(int& argc, char** argv);
+
+// Serialize common::MetricsRegistry::Default() to `path`; false on I/O error.
+bool WriteMetricsJson(const std::string& path);
+
+// Scope guard a bench main() creates first thing: parses the flag and dumps
+// the registry when the run finishes.
+class MetricsDump {
+ public:
+  MetricsDump(int& argc, char** argv) : path_(MetricsOutPath(argc, argv)) {}
+  ~MetricsDump();
+  MetricsDump(const MetricsDump&) = delete;
+  MetricsDump& operator=(const MetricsDump&) = delete;
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
 }  // namespace loco::bench

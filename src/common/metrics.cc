@@ -1,0 +1,356 @@
+#include "common/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <unordered_map>
+
+namespace loco::common {
+
+namespace {
+
+// Append a minimally-escaped JSON string ("name" characters are tame, but
+// never emit broken JSON even for a hostile name).
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendU64(std::string* out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+void AppendI64(std::string* out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  *out += buf;
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  *out += buf;
+}
+
+}  // namespace
+
+void MetricsRegistry::GaugeHandle::Release() noexcept {
+  if (registry_ != nullptr) {
+    registry_->UnregisterGauge(name_, gen_);
+    registry_ = nullptr;
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+MetricsRegistry::Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsRegistry::LatencyHistogram& MetricsRegistry::GetHistogram(
+    std::string_view name, std::string_view unit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<LatencyHistogram>(std::string(unit)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsRegistry::GaugeHandle MetricsRegistry::RegisterGauge(
+    std::string_view name, GaugeFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t gen = next_gen_++;
+  gauges_[std::string(name)] = Gauge{std::move(fn), gen};
+  return GaugeHandle(this, std::string(name), gen);
+}
+
+void MetricsRegistry::UnregisterGauge(const std::string& name,
+                                      std::uint64_t gen) noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  // Only remove our own registration: a newer owner may have replaced it.
+  if (it != gauges_.end() && it->second.gen == gen) gauges_.erase(it);
+}
+
+std::uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+double MetricsRegistry::GaugeValue(std::string_view name) const {
+  GaugeFn fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = gauges_.find(name);
+    if (it == gauges_.end()) return 0;
+    fn = it->second.fn;
+  }
+  return fn ? fn() : 0;  // evaluated outside the lock (fn may re-enter)
+}
+
+bool MetricsRegistry::HasGauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gauges_.find(name) != gauges_.end();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  // Copy the maps' contents under the lock, evaluate gauge callbacks and
+  // snapshot histograms outside it (callbacks may read objects that
+  // themselves record metrics).
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, GaugeFn>> gauges;
+  std::vector<std::pair<std::string, const LatencyHistogram*>> hists;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters.reserve(counters_.size());
+    for (const auto& [name, counter] : counters_) {
+      counters.emplace_back(name, counter->value());
+    }
+    gauges.reserve(gauges_.size());
+    for (const auto& [name, gauge] : gauges_) gauges.emplace_back(name, gauge.fn);
+    hists.reserve(histograms_.size());
+    for (const auto& [name, hist] : histograms_) {
+      hists.emplace_back(name, hist.get());
+    }
+  }
+
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ": ";
+    AppendU64(&out, value);
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, fn] : gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ": ";
+    AppendDouble(&out, fn ? fn() : 0);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : hists) {
+    const Histogram snap = hist->Snapshot();
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ": {\"unit\": ";
+    AppendJsonString(&out, hist->unit());
+    out += ", \"count\": ";
+    AppendU64(&out, snap.count());
+    out += ", \"sum\": ";
+    AppendI64(&out, snap.sum());
+    out += ", \"min\": ";
+    AppendI64(&out, snap.min());
+    out += ", \"max\": ";
+    AppendI64(&out, snap.max());
+    out += ", \"mean\": ";
+    AppendDouble(&out, snap.Mean());
+    out += ", \"p50\": ";
+    AppendI64(&out, snap.Percentile(0.50));
+    out += ", \"p90\": ";
+    AppendI64(&out, snap.Percentile(0.90));
+    out += ", \"p99\": ";
+    AppendI64(&out, snap.Percentile(0.99));
+    out += ", \"p999\": ";
+    AppendI64(&out, snap.Percentile(0.999));
+    out += "}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+std::string MetricsRegistry::ToText() const {
+  std::string json_unused;  // keep structure identical to ToJson's snapshot
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, GaugeFn>> gauges;
+  std::vector<std::pair<std::string, const LatencyHistogram*>> hists;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, counter] : counters_) {
+      counters.emplace_back(name, counter->value());
+    }
+    for (const auto& [name, gauge] : gauges_) gauges.emplace_back(name, gauge.fn);
+    for (const auto& [name, hist] : histograms_) {
+      hists.emplace_back(name, hist.get());
+    }
+  }
+  std::string out;
+  char buf[256];
+  for (const auto& [name, value] : counters) {
+    std::snprintf(buf, sizeof(buf), "%s %" PRIu64 "\n", name.c_str(), value);
+    out += buf;
+  }
+  for (const auto& [name, fn] : gauges) {
+    std::snprintf(buf, sizeof(buf), "%s %.6g\n", name.c_str(), fn ? fn() : 0.0);
+    out += buf;
+  }
+  for (const auto& [name, hist] : hists) {
+    const Histogram snap = hist->Snapshot();
+    std::snprintf(buf, sizeof(buf),
+                  "%s{unit=%s} count=%" PRIu64 " mean=%.6g p50=%" PRId64
+                  " p99=%" PRId64 " max=%" PRId64 "\n",
+                  name.c_str(), hist->unit().c_str(), snap.count(),
+                  snap.Mean(), snap.Percentile(0.50), snap.Percentile(0.99),
+                  snap.max());
+    out += buf;
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+std::string_view RpcOpName(std::uint16_t opcode) {
+  // Mirrors core/proto.h (DMS 1-10, FMS 32-45, object store 64-66) and
+  // baselines/proto.h (NS 100-114); the opcode spaces are globally disjoint.
+  switch (opcode) {
+    case 1: return "DmsMkdir";
+    case 2: return "DmsRmdir";
+    case 3: return "DmsLookup";
+    case 4: return "DmsStat";
+    case 5: return "DmsReaddir";
+    case 6: return "DmsChmod";
+    case 7: return "DmsChown";
+    case 8: return "DmsUtimens";
+    case 9: return "DmsAccess";
+    case 10: return "DmsRename";
+    case 32: return "FmsCreate";
+    case 33: return "FmsRemove";
+    case 34: return "FmsGetAttr";
+    case 35: return "FmsOpen";
+    case 36: return "FmsChmod";
+    case 37: return "FmsChown";
+    case 38: return "FmsUtimens";
+    case 39: return "FmsAccess";
+    case 40: return "FmsSetSize";
+    case 41: return "FmsSetAtime";
+    case 42: return "FmsReaddir";
+    case 43: return "FmsCheckEmpty";
+    case 44: return "FmsReadRaw";
+    case 45: return "FmsInsertRaw";
+    case 64: return "ObjWrite";
+    case 65: return "ObjRead";
+    case 66: return "ObjTruncate";
+    case 100: return "NsGet";
+    case 101: return "NsInsert";
+    case 102: return "NsRemove";
+    case 103: return "NsChmod";
+    case 104: return "NsChown";
+    case 105: return "NsUtimens";
+    case 106: return "NsSetSize";
+    case 107: return "NsSetAtime";
+    case 108: return "NsChildren";
+    case 109: return "NsHasChildren";
+    case 110: return "NsResolve";
+    case 111: return "NsAccess";
+    case 112: return "NsExtract";
+    case 113: return "NsLock";
+    case 114: return "NsUnlock";
+    default: break;
+  }
+  // Intern unknown opcodes so the returned view never dangles.
+  static std::mutex mu;
+  static std::unordered_map<std::uint16_t, std::string>* interned =
+      new std::unordered_map<std::uint16_t, std::string>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = interned->find(opcode);
+  if (it == interned->end()) {
+    it = interned->emplace(opcode, "op" + std::to_string(opcode)).first;
+  }
+  return it->second;
+}
+
+RpcMetricsTable::RpcMetricsTable(MetricsRegistry* registry,
+                                 std::string transport,
+                                 std::string latency_unit)
+    : registry_(registry), transport_(std::move(transport)),
+      unit_(std::move(latency_unit)) {}
+
+const RpcMetricsTable::PerOp& RpcMetricsTable::For(std::uint16_t opcode) {
+  const std::size_t slot = opcode < kSlots ? opcode : 0;
+  if (const PerOp* cached = slots_[slot].load(std::memory_order_acquire)) {
+    return *cached;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const PerOp* cached = slots_[slot].load(std::memory_order_acquire)) {
+    return *cached;
+  }
+  const std::string base =
+      "rpc." + transport_ + "." + std::string(RpcOpName(opcode)) + ".";
+  auto per_op = std::make_unique<PerOp>();
+  per_op->calls = &registry_->GetCounter(base + "calls");
+  per_op->errors = &registry_->GetCounter(base + "errors");
+  per_op->bytes_sent = &registry_->GetCounter(base + "bytes_sent");
+  per_op->bytes_received = &registry_->GetCounter(base + "bytes_received");
+  per_op->latency = &registry_->GetHistogram(base + "latency", unit_);
+  const PerOp* raw = per_op.get();
+  owned_.push_back(std::move(per_op));
+  slots_[slot].store(raw, std::memory_order_release);
+  return *raw;
+}
+
+ServerOpCounters::ServerOpCounters(MetricsRegistry* registry,
+                                   std::string prefix)
+    : registry_(registry), prefix_(std::move(prefix)) {}
+
+const ServerOpCounters::PerOp& ServerOpCounters::For(std::uint16_t opcode) {
+  const std::size_t slot = opcode < kSlots ? opcode : 0;
+  if (const PerOp* cached = slots_[slot].load(std::memory_order_acquire)) {
+    return *cached;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const PerOp* cached = slots_[slot].load(std::memory_order_acquire)) {
+    return *cached;
+  }
+  const std::string base =
+      prefix_ + "." + std::string(RpcOpName(opcode)) + ".";
+  auto per_op = std::make_unique<PerOp>();
+  per_op->calls = &registry_->GetCounter(base + "calls");
+  per_op->errors = &registry_->GetCounter(base + "errors");
+  const PerOp* raw = per_op.get();
+  owned_.push_back(std::move(per_op));
+  slots_[slot].store(raw, std::memory_order_release);
+  return *raw;
+}
+
+}  // namespace loco::common

@@ -1,0 +1,228 @@
+// Process-wide metrics: named counters, gauges, and latency histograms with
+// a JSON/text exposition API (see docs/METRICS.md for the naming and label
+// conventions).
+//
+// Design constraints, in order:
+//   * increments on the hot path are cheap — counters are relaxed atomics,
+//     histogram records take one uncontended mutex (the simulator is
+//     single-threaded; the in-process transport is the only concurrent user);
+//   * metric objects have stable addresses for the registry's lifetime, so
+//     call sites resolve a name once and keep the pointer;
+//   * gauges are read-at-exposition callbacks registered with an RAII handle
+//     (servers come and go per test/bench run; a destroyed owner must never
+//     leave a dangling callback behind).  Re-registering a name replaces the
+//     previous gauge; each handle only removes its own generation.
+//
+// `MetricsRegistry::Default()` is the process-global instance every
+// transport, server, and client records into; tests that need isolation
+// instantiate their own registry.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/histogram.h"
+
+namespace loco::common {
+
+class MetricsRegistry {
+ public:
+  // Monotonic counter.  Relaxed atomic: totals are exact, ordering between
+  // counters is not promised (exposition is a racy snapshot by design).
+  class Counter {
+   public:
+    void Add(std::uint64_t n = 1) noexcept {
+      value_.fetch_add(n, std::memory_order_relaxed);
+    }
+    std::uint64_t value() const noexcept {
+      return value_.load(std::memory_order_relaxed);
+    }
+
+   private:
+    friend class MetricsRegistry;
+    void Reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+    std::atomic<std::uint64_t> value_{0};
+  };
+
+  // Thread-safe wrapper over common::Histogram.  `unit` documents what the
+  // recorded values mean (e.g. "virtual_ns" vs "wall_ns") and is carried
+  // into the exposition output.
+  class LatencyHistogram {
+   public:
+    explicit LatencyHistogram(std::string unit) : unit_(std::move(unit)) {}
+
+    void Record(Nanos v) noexcept {
+      std::lock_guard<std::mutex> lock(mu_);
+      hist_.Record(v);
+    }
+    Histogram Snapshot() const {
+      std::lock_guard<std::mutex> lock(mu_);
+      return hist_;
+    }
+    const std::string& unit() const noexcept { return unit_; }
+
+   private:
+    friend class MetricsRegistry;
+    void Reset() noexcept {
+      std::lock_guard<std::mutex> lock(mu_);
+      hist_.Reset();
+    }
+    std::string unit_;
+    mutable std::mutex mu_;
+    Histogram hist_;
+  };
+
+  using GaugeFn = std::function<double()>;
+
+  // RAII registration of a callback gauge.  Destroying (or moving-from) the
+  // handle unregisters the gauge unless another registration has replaced it
+  // in the meantime.
+  class GaugeHandle {
+   public:
+    GaugeHandle() = default;
+    GaugeHandle(GaugeHandle&& other) noexcept { *this = std::move(other); }
+    GaugeHandle& operator=(GaugeHandle&& other) noexcept {
+      if (this != &other) {
+        Release();
+        registry_ = other.registry_;
+        name_ = std::move(other.name_);
+        gen_ = other.gen_;
+        other.registry_ = nullptr;
+      }
+      return *this;
+    }
+    GaugeHandle(const GaugeHandle&) = delete;
+    GaugeHandle& operator=(const GaugeHandle&) = delete;
+    ~GaugeHandle() { Release(); }
+
+   private:
+    friend class MetricsRegistry;
+    GaugeHandle(MetricsRegistry* registry, std::string name, std::uint64_t gen)
+        : registry_(registry), name_(std::move(name)), gen_(gen) {}
+    void Release() noexcept;
+
+    MetricsRegistry* registry_ = nullptr;
+    std::string name_;
+    std::uint64_t gen_ = 0;
+  };
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-global registry.
+  static MetricsRegistry& Default();
+
+  // Find-or-create.  Returned references stay valid for the registry's
+  // lifetime; Reset() zeroes values but never invalidates them.
+  Counter& GetCounter(std::string_view name);
+  LatencyHistogram& GetHistogram(std::string_view name,
+                                 std::string_view unit = "ns");
+
+  [[nodiscard]] GaugeHandle RegisterGauge(std::string_view name, GaugeFn fn);
+
+  // Snapshot accessors (tests / tooling).
+  std::uint64_t CounterValue(std::string_view name) const;
+  double GaugeValue(std::string_view name) const;  // 0 when absent
+  bool HasGauge(std::string_view name) const;
+
+  // Exposition.  JSON: {"counters":{..},"gauges":{..},"histograms":{..}}
+  // with histogram records carrying unit/count/sum/min/max/mean and the
+  // p50/p90/p99/p999 quantiles.  Text: one "name value" line per metric.
+  std::string ToJson() const;
+  std::string ToText() const;
+
+  // Zero every counter and histogram.  Gauges are owner-computed and are
+  // left alone.
+  void Reset();
+
+ private:
+  friend class GaugeHandle;
+
+  struct Gauge {
+    GaugeFn fn;
+    std::uint64_t gen = 0;
+  };
+
+  void UnregisterGauge(const std::string& name, std::uint64_t gen) noexcept;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
+      histograms_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::uint64_t next_gen_ = 1;
+};
+
+using Counter = MetricsRegistry::Counter;
+using LatencyHistogram = MetricsRegistry::LatencyHistogram;
+
+// Human-readable opcode label used in RPC metric names ("DmsMkdir",
+// "FmsCreate", "ObjWrite", "NsGet", ...).  Opcodes are globally disjoint
+// across the core and baseline protocols; unknown values format as "op<N>".
+// The returned view points into a static table (or a leaked interned string
+// for unknown opcodes) and is valid forever.
+std::string_view RpcOpName(std::uint16_t opcode);
+
+// Per-opcode RPC metric bundle for one transport, resolved once and cached
+// (lock-free lookup after first use).  Metric names follow the convention
+//   rpc.<transport>.<OpName>.{calls,errors,bytes_sent,bytes_received,latency}
+class RpcMetricsTable {
+ public:
+  struct PerOp {
+    Counter* calls = nullptr;
+    Counter* errors = nullptr;
+    Counter* bytes_sent = nullptr;
+    Counter* bytes_received = nullptr;
+    LatencyHistogram* latency = nullptr;
+  };
+
+  RpcMetricsTable(MetricsRegistry* registry, std::string transport,
+                  std::string latency_unit);
+
+  const PerOp& For(std::uint16_t opcode);
+
+ private:
+  static constexpr std::size_t kSlots = 256;  // all live opcodes are < 256
+
+  MetricsRegistry* registry_;
+  std::string transport_;
+  std::string unit_;
+  std::mutex mu_;  // guards slot creation only
+  std::array<std::atomic<const PerOp*>, kSlots> slots_{};
+  std::vector<std::unique_ptr<PerOp>> owned_;
+};
+
+// Per-opcode {calls, errors} counter bundle for one server family, e.g.
+// prefix "server.dms" yields server.dms.DmsMkdir.calls / .errors.
+class ServerOpCounters {
+ public:
+  struct PerOp {
+    Counter* calls = nullptr;
+    Counter* errors = nullptr;
+  };
+
+  ServerOpCounters(MetricsRegistry* registry, std::string prefix);
+
+  const PerOp& For(std::uint16_t opcode);
+
+ private:
+  static constexpr std::size_t kSlots = 256;
+
+  MetricsRegistry* registry_;
+  std::string prefix_;
+  std::mutex mu_;
+  std::array<std::atomic<const PerOp*>, kSlots> slots_{};
+  std::vector<std::unique_ptr<PerOp>> owned_;
+};
+
+}  // namespace loco::common

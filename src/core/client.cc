@@ -31,9 +31,27 @@ void LocoClient::InvalidatePrefix(const std::string& path) {
   for (auto it = cache_.begin(); it != cache_.end();) {
     if (it->first == path || it->first.rfind(prefix, 0) == 0) {
       it = cache_.erase(it);
+      metric_invalidations_->Add();
     } else {
       ++it;
     }
+  }
+}
+
+void LocoClient::ClearCache() noexcept {
+  metric_invalidations_->Add(cache_.size());
+  cache_.clear();
+}
+
+void LocoClient::NoteSubdir(std::string_view parent, std::string_view name,
+                            bool present) {
+  if (!cfg_.cache_enabled) return;
+  const auto it = cache_.find(std::string(parent));
+  if (it == cache_.end()) return;
+  if (present) {
+    it->second.subdirs.emplace(name);
+  } else {
+    it->second.subdirs.erase(std::string(name));
   }
 }
 
@@ -44,23 +62,40 @@ net::Task<Result<fs::Attr>> LocoClient::LookupDir(std::string path,
     const auto it = cache_.find(path);
     if (it != cache_.end() && Now() < it->second.expires_at) {
       ++cache_hits_;
+      metric_hits_->Add();
       const fs::Attr& attr = it->second.attr;
-      // Leased local evaluation of the permission bits; ancestor checks and
-      // the shadow check were covered when the lease was granted.
+      // Leased local evaluation, same order as the DMS: permission bits
+      // first, then the subdirectory shadow check against the leased name
+      // set (ancestor checks were covered when the lease was granted).
       if (want != 0 &&
           !fs::CheckPermission(identity_, attr.mode, attr.uid, attr.gid, want)) {
         co_return ErrStatus(ErrCode::kPermission);
       }
+      if (!shadow_name.empty() &&
+          it->second.subdirs.count(shadow_name) != 0) {
+        co_return ErrStatus(ErrCode::kExists);
+      }
       co_return attr;
     }
     ++cache_misses_;
+    metric_misses_->Add();
   }
   net::RpcResponse resp =
       co_await net::Call(channel_, cfg_.dms, proto::kDmsLookup,
                          fs::Pack(path, identity_, want, shadow_name));
-  auto attr = AttrFrom(resp);
-  if (attr.ok() && cfg_.cache_enabled) {
-    cache_[path] = CacheEntry{*attr, Now() + cfg_.lease_ns};
+  if (!resp.ok()) co_return ErrStatus(resp.code);
+  fs::Attr attr;
+  std::vector<std::string> subdirs;
+  if (!fs::Unpack(resp.payload, attr, subdirs)) {
+    co_return ErrStatus(ErrCode::kCorruption);
+  }
+  if (cfg_.cache_enabled) {
+    CacheEntry& entry = cache_[path];
+    entry.attr = attr;
+    entry.expires_at = Now() + cfg_.lease_ns;
+    entry.subdirs.clear();
+    entry.subdirs.insert(std::make_move_iterator(subdirs.begin()),
+                         std::make_move_iterator(subdirs.end()));
   }
   co_return attr;
 }
@@ -82,6 +117,10 @@ net::Task<Status> LocoClient::Mkdir(std::string path, std::uint32_t mode) {
   net::RpcResponse resp =
       co_await net::Call(channel_, cfg_.dms, proto::kDmsMkdir,
                          fs::Pack(path, mode, identity_, Now()));
+  if (resp.ok()) {
+    // Keep any live lease on the parent shadow-accurate.
+    NoteSubdir(fs::ParentPath(path), fs::BaseName(path), true);
+  }
   co_return StatusFrom(resp);
 }
 
@@ -117,7 +156,10 @@ net::Task<Status> LocoClient::Rmdir(std::string path) {
   net::RpcResponse resp =
       co_await net::Call(channel_, cfg_.dms, proto::kDmsRmdir,
                          fs::Pack(path, identity_, std::uint8_t{1}));
-  if (resp.ok()) InvalidatePrefix(path);
+  if (resp.ok()) {
+    InvalidatePrefix(path);
+    NoteSubdir(fs::ParentPath(path), fs::BaseName(path), false);
+  }
   co_return StatusFrom(resp);
 }
 
@@ -250,14 +292,25 @@ net::Task<Status> LocoClient::ChmodFile(std::string path, std::uint32_t mode) {
 
 net::Task<Status> LocoClient::Chmod(std::string path, std::uint32_t mode) {
   if (!fs::IsValidPath(path)) co_return ErrStatus(ErrCode::kInvalid);
+  // Same fallback policy as Stat: consult the DMS when no file exists and
+  // also when the file's FMS is unreachable — the path may name a directory
+  // the (healthy) DMS can still serve.
+  Status file = ErrStatus(ErrCode::kNotFound);
   if (path != "/") {
-    Status file = co_await ChmodFile(path, mode);
-    if (file.code() != ErrCode::kNotFound) co_return file;
+    file = co_await ChmodFile(path, mode);
+    if (file.code() != ErrCode::kNotFound &&
+        file.code() != ErrCode::kUnavailable) {
+      co_return file;
+    }
   }
   net::RpcResponse resp =
       co_await net::Call(channel_, cfg_.dms, proto::kDmsChmod,
                          fs::Pack(path, identity_, mode, Now()));
   if (resp.ok()) InvalidatePrefix(path);
+  if (resp.code == ErrCode::kNotFound &&
+      file.code() == ErrCode::kUnavailable) {
+    co_return file;  // genuinely unknown: report the outage
+  }
   co_return StatusFrom(resp);
 }
 
@@ -276,14 +329,22 @@ net::Task<Status> LocoClient::ChownFile(std::string path, std::uint32_t uid,
 net::Task<Status> LocoClient::Chown(std::string path, std::uint32_t uid,
                                     std::uint32_t gid) {
   if (!fs::IsValidPath(path)) co_return ErrStatus(ErrCode::kInvalid);
+  Status file = ErrStatus(ErrCode::kNotFound);
   if (path != "/") {
-    Status file = co_await ChownFile(path, uid, gid);
-    if (file.code() != ErrCode::kNotFound) co_return file;
+    file = co_await ChownFile(path, uid, gid);
+    if (file.code() != ErrCode::kNotFound &&
+        file.code() != ErrCode::kUnavailable) {
+      co_return file;
+    }
   }
   net::RpcResponse resp =
       co_await net::Call(channel_, cfg_.dms, proto::kDmsChown,
                          fs::Pack(path, identity_, uid, gid, Now()));
   if (resp.ok()) InvalidatePrefix(path);
+  if (resp.code == ErrCode::kNotFound &&
+      file.code() == ErrCode::kUnavailable) {
+    co_return file;  // genuinely unknown: report the outage
+  }
   co_return StatusFrom(resp);
 }
 
@@ -300,32 +361,49 @@ net::Task<Status> LocoClient::AccessFile(std::string path, std::uint32_t want) {
 
 net::Task<Status> LocoClient::Access(std::string path, std::uint32_t want) {
   if (!fs::IsValidPath(path)) co_return ErrStatus(ErrCode::kInvalid);
+  Status file = ErrStatus(ErrCode::kNotFound);
   if (path != "/") {
-    Status file = co_await AccessFile(path, want);
-    if (file.code() != ErrCode::kNotFound) co_return file;
+    file = co_await AccessFile(path, want);
+    if (file.code() != ErrCode::kNotFound &&
+        file.code() != ErrCode::kUnavailable) {
+      co_return file;
+    }
   }
   net::RpcResponse resp = co_await net::Call(
       channel_, cfg_.dms, proto::kDmsAccess, fs::Pack(path, identity_, want));
+  if (resp.code == ErrCode::kNotFound &&
+      file.code() == ErrCode::kUnavailable) {
+    co_return file;  // genuinely unknown: report the outage
+  }
   co_return StatusFrom(resp);
 }
 
 net::Task<Status> LocoClient::Utimens(std::string path, std::uint64_t mtime,
                                       std::uint64_t atime) {
   if (!fs::IsValidPath(path)) co_return ErrStatus(ErrCode::kInvalid);
+  Status file = ErrStatus(ErrCode::kNotFound);
   if (path != "/") {
     const std::string name(fs::BaseName(path));
     auto parent = co_await LookupDir(std::string(fs::ParentPath(path)),
                                    fs::kModeExec, {});
     if (!parent.ok()) co_return parent.status();
-    net::RpcResponse resp = co_await net::Call(
+    net::RpcResponse fresp = co_await net::Call(
         channel_, FmsFor(parent->uuid, name), proto::kFmsUtimens,
         fs::Pack(parent->uuid, name, identity_, mtime, atime));
-    if (resp.code != ErrCode::kNotFound) co_return StatusFrom(resp);
+    if (fresp.code != ErrCode::kNotFound &&
+        fresp.code != ErrCode::kUnavailable) {
+      co_return StatusFrom(fresp);
+    }
+    file = StatusFrom(fresp);
   }
   net::RpcResponse resp =
       co_await net::Call(channel_, cfg_.dms, proto::kDmsUtimens,
                          fs::Pack(path, identity_, mtime, atime));
   if (resp.ok()) InvalidatePrefix(path);
+  if (resp.code == ErrCode::kNotFound &&
+      file.code() == ErrCode::kUnavailable) {
+    co_return file;  // genuinely unknown: report the outage
+  }
   co_return StatusFrom(resp);
 }
 
@@ -498,7 +576,11 @@ net::Task<Status> LocoClient::Rename(std::string from, std::string to) {
   }
   net::RpcResponse resp = co_await net::Call(
       channel_, cfg_.dms, proto::kDmsRename, fs::Pack(from, to, identity_));
-  if (resp.ok()) InvalidatePrefix(from);
+  if (resp.ok()) {
+    InvalidatePrefix(from);
+    NoteSubdir(fs::ParentPath(from), from_name, false);
+    NoteSubdir(fs::ParentPath(to), to_name, true);
+  }
   co_return StatusFrom(resp);
 }
 

@@ -9,16 +9,19 @@
 // Operation → RPC decomposition is documented in DESIGN.md §5.  Two known,
 // deliberate relaxations versus the strict single-node contract (both
 // inherent to the paper's design and documented in DESIGN.md):
-//   * on a cache hit the parent's ACL is evaluated from leased state, and
-//     the file/subdirectory shadow check is skipped;
+//   * on a cache hit the parent's ACL and the subdirectory shadow check are
+//     evaluated from leased state (the lease carries the parent's subdir
+//     names) rather than re-validated at the DMS;
 //   * a path that traverses *through a file* reports kNotFound rather than
 //     kNotDir (no server holds both namespaces).
 #pragma once
 
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "common/metrics.h"
 #include "core/layout.h"
 #include "core/ring.h"
 #include "fs/client.h"
@@ -73,7 +76,7 @@ class LocoClient final : public fs::FileSystemClient {
   // The d-inode cache holds leases whose ancestor ACL checks were performed
   // under the granting identity; an identity change invalidates them all.
   void SetIdentity(fs::Identity id) noexcept override {
-    if (id.uid != identity_.uid || id.gid != identity_.gid) cache_.clear();
+    if (id.uid != identity_.uid || id.gid != identity_.gid) ClearCache();
     identity_ = id;
   }
 
@@ -81,12 +84,16 @@ class LocoClient final : public fs::FileSystemClient {
   std::uint64_t cache_hits() const noexcept { return cache_hits_; }
   std::uint64_t cache_misses() const noexcept { return cache_misses_; }
   std::size_t cache_size() const noexcept { return cache_.size(); }
-  void DropCache() { cache_.clear(); }
+  void DropCache() { ClearCache(); }
 
  private:
   struct CacheEntry {
     fs::Attr attr;
     std::uint64_t expires_at = 0;
+    // Subdirectory names of this directory as of lease grant, maintained
+    // locally across Mkdir/Rmdir/Rename so cache-hit parents still enforce
+    // the file/subdirectory shadow check.
+    std::unordered_set<std::string> subdirs;
   };
 
   std::uint64_t Now() const { return cfg_.now ? cfg_.now() : 0; }
@@ -103,6 +110,10 @@ class LocoClient final : public fs::FileSystemClient {
   net::Task<Status> ClassifyMissingFile(std::string path);
 
   void InvalidatePrefix(const std::string& path);
+  void ClearCache() noexcept;
+  // Erase `name` from / insert it into the cached subdir set of `parent`
+  // (no-op when the parent holds no lease).
+  void NoteSubdir(std::string_view parent, std::string_view name, bool present);
 
   net::NodeId FmsFor(fs::Uuid dir_uuid, std::string_view name) const {
     return ring_.Locate(FileKey(dir_uuid, name));
@@ -117,6 +128,14 @@ class LocoClient final : public fs::FileSystemClient {
   std::unordered_map<std::string, CacheEntry> cache_;
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
+  // Process-wide counterparts of the per-instance counters above.
+  common::Counter* metric_hits_ = &common::MetricsRegistry::Default()
+                                       .GetCounter("client.cache.hits");
+  common::Counter* metric_misses_ = &common::MetricsRegistry::Default()
+                                         .GetCounter("client.cache.misses");
+  common::Counter* metric_invalidations_ =
+      &common::MetricsRegistry::Default().GetCounter(
+          "client.cache.invalidations");
 };
 
 }  // namespace loco::core

@@ -51,6 +51,10 @@ DirectoryMetadataServer::DirectoryMetadataServer(const Options& options) {
   });
   next_fid_ = max_fid + 1;
 
+  kv_gauges_ = kv::RegisterKvStatsGauges(
+      &common::MetricsRegistry::Default(), "server.dms.kv",
+      [this] { return dirs_->stats() + dirents_->stats(); });
+
   // The root directory always exists.
   if (!dirs_->Contains("/")) {
     fs::Attr root;
@@ -88,6 +92,15 @@ Result<fs::Attr> DirectoryMetadataServer::ResolveDir(std::string_view path,
 
 net::RpcResponse DirectoryMetadataServer::Handle(std::uint16_t opcode,
                                                  std::string_view payload) {
+  const common::ServerOpCounters::PerOp& m = op_metrics_.For(opcode);
+  m.calls->Add();
+  net::RpcResponse resp = Dispatch(opcode, payload);
+  if (resp.code != ErrCode::kOk) m.errors->Add();
+  return resp;
+}
+
+net::RpcResponse DirectoryMetadataServer::Dispatch(std::uint16_t opcode,
+                                                   std::string_view payload) {
   switch (opcode) {
     case proto::kDmsMkdir: return Mkdir(payload);
     case proto::kDmsRmdir: return Rmdir(payload);
@@ -132,7 +145,12 @@ net::RpcResponse DirectoryMetadataServer::Mkdir(std::string_view payload) {
   std::string dirent_value;
   (void)dirents_->Get(dirent_key, &dirent_value);
   AppendDirent(&dirent_value, fs::BaseName(path));
-  if (!dirents_->Put(dirent_key, dirent_value).ok()) return Fail(ErrCode::kIo);
+  if (!dirents_->Put(dirent_key, dirent_value).ok()) {
+    // Roll back the d-inode: without its dirent entry the directory would be
+    // invisible to Readdir yet block any future mkdir of the same path.
+    (void)dirs_->Delete(path);
+    return Fail(ErrCode::kIo);
+  }
   return Ok();
 }
 
@@ -180,14 +198,16 @@ net::RpcResponse DirectoryMetadataServer::Lookup(std::string_view payload) {
   if (!fs::Unpack(payload, path, who, want, shadow_name)) return BadRequest();
   auto attr = ResolveDir(path, who, want);
   if (!attr.ok()) return Fail(attr.code());
-  if (!shadow_name.empty()) {
-    std::string dirent_value;
-    if (dirents_->Get(DirentKey(attr->uuid), &dirent_value).ok() &&
-        DirentListContains(dirent_value, shadow_name)) {
-      return Fail(ErrCode::kExists);
-    }
+  std::string dirent_value;
+  (void)dirents_->Get(DirentKey(attr->uuid), &dirent_value);
+  std::vector<std::string> names = ParseDirentList(dirent_value);
+  if (!shadow_name.empty() &&
+      std::find(names.begin(), names.end(), shadow_name) != names.end()) {
+    return Fail(ErrCode::kExists);
   }
-  return OkPayload(fs::Pack(*attr));
+  // The reply carries the subdirectory names so the client can keep
+  // enforcing the shadow check locally for the lease lifetime (§3.2.2).
+  return OkPayload(fs::Pack(*attr, names));
 }
 
 net::RpcResponse DirectoryMetadataServer::Stat(std::string_view payload) {

@@ -14,7 +14,9 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "common/metrics.h"
 #include "core/layout.h"
 #include "kvstore/kv.h"
 #include "net/rpc.h"
@@ -47,6 +49,8 @@ class DirectoryMetadataServer final : public net::RpcHandler {
   Result<fs::Attr> ResolveDir(std::string_view path, const fs::Identity& who,
                               std::uint32_t want) const;
 
+  net::RpcResponse Dispatch(std::uint16_t opcode, std::string_view payload);
+
   net::RpcResponse Mkdir(std::string_view payload);
   net::RpcResponse Rmdir(std::string_view payload);
   net::RpcResponse Lookup(std::string_view payload);
@@ -61,6 +65,12 @@ class DirectoryMetadataServer final : public net::RpcHandler {
   std::unique_ptr<kv::Kv> dirs_;     // full path -> 48-byte d-inode
   std::unique_ptr<kv::Kv> dirents_;  // dir uuid -> concatenated subdir names
   std::uint64_t next_fid_ = 2;
+
+  common::ServerOpCounters op_metrics_{&common::MetricsRegistry::Default(),
+                                       "server.dms"};
+  // server.dms.kv.* gauges aggregating both stores (RAII: unregistered with
+  // the server).
+  std::vector<common::MetricsRegistry::GaugeHandle> kv_gauges_;
 };
 
 }  // namespace loco::core

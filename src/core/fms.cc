@@ -22,7 +22,9 @@ net::RpcResponse BadRequest() { return Fail(ErrCode::kCorruption); }
 }  // namespace
 
 FileMetadataServer::FileMetadataServer(const Options& options)
-    : options_(options) {
+    : options_(options),
+      op_metrics_(&common::MetricsRegistry::Default(),
+                  "server.fms" + std::to_string(options.sid)) {
   // Per-store subdirectories keep the WALs of the co-located stores apart.
   auto sub_options = [&](const char* name) {
     kv::KvOptions opt = options_.kv;
@@ -65,6 +67,11 @@ FileMetadataServer::FileMetadataServer(const Options& options)
     });
   }
   next_fid_ = max_fid + 1;
+
+  kv_gauges_ = kv::RegisterKvStatsGauges(
+      &common::MetricsRegistry::Default(),
+      "server.fms" + std::to_string(options_.sid) + ".kv",
+      [this] { return StoreStats(); });
 }
 
 std::size_t FileMetadataServer::FileCount() const {
@@ -73,23 +80,10 @@ std::size_t FileMetadataServer::FileCount() const {
 
 kv::KvStats FileMetadataServer::StoreStats() const {
   kv::KvStats total = dirents_->stats();
-  auto add = [&total](const kv::KvStats& s) {
-    total.gets += s.gets;
-    total.puts += s.puts;
-    total.deletes += s.deletes;
-    total.patches += s.patches;
-    total.scans += s.scans;
-    total.scan_items += s.scan_items;
-    total.bytes_read += s.bytes_read;
-    total.bytes_written += s.bytes_written;
-    total.io_ops += s.io_ops;
-    total.io_bytes += s.io_bytes;
-  };
   if (options_.decoupled) {
-    add(access_->stats());
-    add(content_->stats());
+    total = total + access_->stats() + content_->stats();
   } else {
-    add(coupled_->stats());
+    total = total + coupled_->stats();
   }
   return total;
 }
@@ -112,6 +106,15 @@ Result<fs::Attr> FileMetadataServer::GetAttrInternal(const std::string& key) con
 
 net::RpcResponse FileMetadataServer::Handle(std::uint16_t opcode,
                                             std::string_view payload) {
+  const common::ServerOpCounters::PerOp& m = op_metrics_.For(opcode);
+  m.calls->Add();
+  net::RpcResponse resp = Dispatch(opcode, payload);
+  if (resp.code != ErrCode::kOk) m.errors->Add();
+  return resp;
+}
+
+net::RpcResponse FileMetadataServer::Dispatch(std::uint16_t opcode,
+                                              std::string_view payload) {
   switch (opcode) {
     case proto::kFmsCreate: return Create(payload);
     case proto::kFmsRemove: return Remove(payload);
@@ -166,8 +169,19 @@ net::RpcResponse FileMetadataServer::Create(std::string_view payload) {
 
   if (options_.decoupled) {
     if (access_->Contains(key)) return Fail(ErrCode::kExists);
-    (void)access_->Put(key, AccessPartLayout::Make(ts, mode, who.uid, who.gid));
-    (void)content_->Put(key, ContentPartLayout::Make(ts, ts, 0, 4096, uuid));
+    // Content part before access part: the access part is the existence
+    // marker (Contains and GetAttrInternal consult it first), so an
+    // interrupted create must never leave an access part whose content
+    // read then errors.
+    if (!content_->Put(key, ContentPartLayout::Make(ts, ts, 0, 4096, uuid))
+             .ok()) {
+      return Fail(ErrCode::kIo);
+    }
+    if (!access_->Put(key, AccessPartLayout::Make(ts, mode, who.uid, who.gid))
+             .ok()) {
+      (void)content_->Delete(key);
+      return Fail(ErrCode::kIo);
+    }
   } else {
     if (coupled_->Contains(key)) return Fail(ErrCode::kExists);
     CoupledInode inode;
@@ -178,9 +192,19 @@ net::RpcResponse FileMetadataServer::Create(std::string_view payload) {
     inode.attr.block_size = 4096;
     inode.attr.uuid = uuid;
     inode.name = name;
-    (void)coupled_->Put(key, inode.Serialize());
+    if (!coupled_->Put(key, inode.Serialize()).ok()) return Fail(ErrCode::kIo);
   }
-  if (!AppendToDirent(dir_uuid, name).ok()) return Fail(ErrCode::kIo);
+  if (!AppendToDirent(dir_uuid, name).ok()) {
+    // Roll back the inode: a file absent from its dirent list would survive
+    // as an orphan invisible to Readdir yet blocking future creates.
+    if (options_.decoupled) {
+      (void)access_->Delete(key);
+      (void)content_->Delete(key);
+    } else {
+      (void)coupled_->Delete(key);
+    }
+    return Fail(ErrCode::kIo);
+  }
   return OkPayload(fs::Pack(uuid));
 }
 
@@ -504,17 +528,31 @@ net::RpcResponse FileMetadataServer::InsertRaw(std::string_view payload) {
   const std::string key = FileKey(dir_uuid, name);
   if (options_.decoupled) {
     if (access_->Contains(key)) return Fail(ErrCode::kExists);
-    (void)access_->Put(key, access);
-    (void)content_->Put(key, content);
+    // Same write order as Create: content part first, access part (the
+    // existence marker) last, so a failure in between strands no file whose
+    // GetAttr would then error.
+    if (!content_->Put(key, content).ok()) return Fail(ErrCode::kIo);
+    if (!access_->Put(key, access).ok()) {
+      (void)content_->Delete(key);
+      return Fail(ErrCode::kIo);
+    }
   } else {
     if (coupled_->Contains(key)) return Fail(ErrCode::kExists);
     // Rewrite the embedded name so readback stays consistent.
     CoupledInode inode;
     if (!CoupledInode::Deserialize(access, &inode)) return Fail(ErrCode::kCorruption);
     inode.name = name;
-    (void)coupled_->Put(key, inode.Serialize());
+    if (!coupled_->Put(key, inode.Serialize()).ok()) return Fail(ErrCode::kIo);
   }
-  if (!AppendToDirent(dir_uuid, name).ok()) return Fail(ErrCode::kIo);
+  if (!AppendToDirent(dir_uuid, name).ok()) {
+    if (options_.decoupled) {
+      (void)access_->Delete(key);
+      (void)content_->Delete(key);
+    } else {
+      (void)coupled_->Delete(key);
+    }
+    return Fail(ErrCode::kIo);
+  }
   return Ok();
 }
 

@@ -19,7 +19,9 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "common/metrics.h"
 #include "core/layout.h"
 #include "kvstore/kv.h"
 #include "net/rpc.h"
@@ -55,6 +57,8 @@ class FileMetadataServer final : public net::RpcHandler {
   // Read the full Attr of a file (mode-independent helper).
   Result<fs::Attr> GetAttrInternal(const std::string& key) const;
 
+  net::RpcResponse Dispatch(std::uint16_t opcode, std::string_view payload);
+
   net::RpcResponse Create(std::string_view payload);
   net::RpcResponse Remove(std::string_view payload);
   net::RpcResponse GetAttr(std::string_view payload);
@@ -82,6 +86,10 @@ class FileMetadataServer final : public net::RpcHandler {
   // Both modes.
   std::unique_ptr<kv::Kv> dirents_;  // dir uuid -> concatenated file names
   std::uint64_t next_fid_ = 1;
+
+  // server.fms<sid>.* op counters and server.fms<sid>.kv.* gauges.
+  common::ServerOpCounters op_metrics_;
+  std::vector<common::MetricsRegistry::GaugeHandle> kv_gauges_;
 };
 
 }  // namespace loco::core

@@ -27,6 +27,15 @@ std::string ObjectStoreServer::BlockKey(std::uint64_t uuid, std::uint64_t block)
 
 net::RpcResponse ObjectStoreServer::Handle(std::uint16_t opcode,
                                            std::string_view payload) {
+  const common::ServerOpCounters::PerOp& m = op_metrics_.For(opcode);
+  m.calls->Add();
+  net::RpcResponse resp = Dispatch(opcode, payload);
+  if (resp.code != ErrCode::kOk) m.errors->Add();
+  return resp;
+}
+
+net::RpcResponse ObjectStoreServer::Dispatch(std::uint16_t opcode,
+                                             std::string_view payload) {
   switch (opcode) {
     case proto::kObjWrite: return Write(payload);
     case proto::kObjRead: return Read(payload);

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "kvstore/kv.h"
 #include "net/rpc.h"
 
@@ -50,6 +51,8 @@ class ObjectStoreServer final : public net::RpcHandler {
   std::size_t block_bytes() const noexcept { return options_.block_bytes; }
 
  private:
+  net::RpcResponse Dispatch(std::uint16_t opcode, std::string_view payload);
+
   net::RpcResponse Write(std::string_view payload);
   net::RpcResponse Read(std::string_view payload);
   net::RpcResponse Truncate(std::string_view payload);
@@ -58,6 +61,10 @@ class ObjectStoreServer final : public net::RpcHandler {
 
   Options options_;
   std::unique_ptr<kv::Kv> blocks_;
+  // Object stores are fungible replicas: all instances share one
+  // "server.obj" metric family (per-instance split adds nothing here).
+  common::ServerOpCounters op_metrics_{&common::MetricsRegistry::Default(),
+                                       "server.obj"};
 };
 
 }  // namespace loco::core

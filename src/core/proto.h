@@ -19,8 +19,10 @@ enum DmsOp : std::uint16_t {
   kDmsRmdir = 2,
   // Lookup a directory for use as a parent: checks exec on ancestors and
   // `want` bits on the target; optionally rejects when `shadow_name` exists
-  // as a subdirectory (namespace unification on the uncached path).
-  // [path, Identity, want u32, shadow_name] -> [Attr]
+  // as a subdirectory (namespace unification).  The reply carries the
+  // subdirectory names so lease holders keep enforcing the shadow check
+  // locally for the lease lifetime.
+  // [path, Identity, want u32, shadow_name] -> [Attr, subdir_names]
   kDmsLookup = 3,
   // [path, Identity] -> [Attr]
   kDmsStat = 4,

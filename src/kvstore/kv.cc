@@ -41,6 +41,38 @@ std::string_view KvBackendName(KvBackend backend) noexcept {
   return "?";
 }
 
+std::vector<common::MetricsRegistry::GaugeHandle> RegisterKvStatsGauges(
+    common::MetricsRegistry* registry, const std::string& prefix,
+    std::function<KvStats()> fn) {
+  // One shared snapshot closure; each gauge projects a single field.
+  const auto shared = std::make_shared<std::function<KvStats()>>(std::move(fn));
+  struct Field {
+    const char* name;
+    std::uint64_t KvStats::*member;
+  };
+  static constexpr Field kFields[] = {
+      {"gets", &KvStats::gets},
+      {"puts", &KvStats::puts},
+      {"deletes", &KvStats::deletes},
+      {"patches", &KvStats::patches},
+      {"scans", &KvStats::scans},
+      {"scan_items", &KvStats::scan_items},
+      {"bytes_read", &KvStats::bytes_read},
+      {"bytes_written", &KvStats::bytes_written},
+      {"io_ops", &KvStats::io_ops},
+      {"io_bytes", &KvStats::io_bytes},
+  };
+  std::vector<common::MetricsRegistry::GaugeHandle> handles;
+  handles.reserve(std::size(kFields));
+  for (const Field& field : kFields) {
+    handles.push_back(registry->RegisterGauge(
+        prefix + "." + field.name, [shared, member = field.member] {
+          return static_cast<double>((*shared)().*member);
+        }));
+  }
+  return handles;
+}
+
 Result<std::unique_ptr<Kv>> MakeKv(KvBackend backend, const KvOptions& options) {
   switch (backend) {
     case KvBackend::kHash: {

@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 
 namespace loco::kv {
@@ -49,6 +50,15 @@ struct KvStats {
     d.bytes_read -= rhs.bytes_read; d.bytes_written -= rhs.bytes_written;
     d.io_ops -= rhs.io_ops; d.io_bytes -= rhs.io_bytes;
     return d;
+  }
+
+  KvStats operator+(const KvStats& rhs) const noexcept {
+    KvStats s = *this;
+    s.gets += rhs.gets; s.puts += rhs.puts; s.deletes += rhs.deletes;
+    s.patches += rhs.patches; s.scans += rhs.scans; s.scan_items += rhs.scan_items;
+    s.bytes_read += rhs.bytes_read; s.bytes_written += rhs.bytes_written;
+    s.io_ops += rhs.io_ops; s.io_bytes += rhs.io_bytes;
+    return s;
   }
 };
 
@@ -127,5 +137,13 @@ std::string_view KvBackendName(KvBackend backend) noexcept;
 
 // Create a store; opens/recovers persistent state if options.dir is set.
 Result<std::unique_ptr<Kv>> MakeKv(KvBackend backend, const KvOptions& options = {});
+
+// Register one callback gauge per KvStats field under `prefix` (e.g. prefix
+// "server.dms.kv" yields server.dms.kv.gets, .puts, ...).  `fn` is evaluated
+// at exposition time and may aggregate several stores.  The returned handles
+// keep the gauges alive; dropping them unregisters.
+std::vector<common::MetricsRegistry::GaugeHandle> RegisterKvStatsGauges(
+    common::MetricsRegistry* registry, const std::string& prefix,
+    std::function<KvStats()> fn);
 
 }  // namespace loco::kv

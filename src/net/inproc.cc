@@ -13,8 +13,14 @@ void InProcTransport::Register(NodeId id, RpcHandler* handler) {
 void InProcTransport::CallAsync(NodeId server, std::uint16_t opcode,
                                 std::string payload,
                                 std::function<void(RpcResponse)> done) {
+  const common::RpcMetricsTable::PerOp& m = metrics_.For(opcode);
+  m.calls->Add();
+  m.bytes_sent->Add(payload.size());
+  const common::CpuTimer timer;
   const auto it = servers_.find(server);
   if (it == servers_.end() || it->second->handler == nullptr) {
+    m.errors->Add();
+    m.latency->Record(timer.ElapsedNanos());
     done(RpcResponse{ErrCode::kUnavailable, {}});
     return;
   }
@@ -27,6 +33,9 @@ void InProcTransport::CallAsync(NodeId server, std::uint16_t opcode,
     resp = it->second->handler->Handle(opcode, payload);
   }
   if (rtt > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(rtt / 2));
+  if (resp.code != ErrCode::kOk) m.errors->Add();
+  m.bytes_received->Add(resp.payload.size());
+  m.latency->Record(timer.ElapsedNanos());
   done(std::move(resp));
 }
 

@@ -17,6 +17,7 @@
 #include <unordered_map>
 
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "net/rpc.h"
 
 namespace loco::net {
@@ -47,6 +48,10 @@ class InProcTransport final : public Channel {
 
   std::unordered_map<NodeId, std::unique_ptr<Server>> servers_;
   std::atomic<common::Nanos> rtt_{0};
+  // Per-opcode RPC metrics, measured in wall-clock time (this transport runs
+  // handlers inline on real threads).
+  common::RpcMetricsTable metrics_{&common::MetricsRegistry::Default(),
+                                   "inproc", "wall_ns"};
 };
 
 }  // namespace loco::net

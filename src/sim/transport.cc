@@ -38,6 +38,21 @@ void SimChannel::CallAsync(net::NodeId server, std::uint16_t opcode,
   Simulation* sim = cluster_->sim();
   const NetConfig& net_cfg = cluster_->config().net;
 
+  // Virtual-time RPC metrics: latency is issue-to-delivery on the sim clock;
+  // bytes include the 16-byte framing header modeled below.
+  const common::RpcMetricsTable::PerOp* m =
+      &cluster_->rpc_metrics().For(opcode);
+  m->calls->Add();
+  m->bytes_sent->Add(payload.size() + 16);
+  const Nanos issued_at = sim->Now();
+  done = [m, sim, issued_at,
+          inner = std::move(done)](net::RpcResponse resp) mutable {
+    if (!resp.ok()) m->errors->Add();
+    m->bytes_received->Add(resp.payload.size() + 16);
+    m->latency->Record(sim->Now() - issued_at);
+    inner(std::move(resp));
+  };
+
   Nanos send_delay = 0;
   if (connections_.insert(server).second) {
     // First contact: TCP connect handshake plus any oversubscription.

@@ -12,6 +12,7 @@
 #include <set>
 #include <vector>
 
+#include "common/metrics.h"
 #include "net/rpc.h"
 #include "sim/config.h"
 #include "sim/server.h"
@@ -67,6 +68,10 @@ class SimCluster {
 
   int total_clients() const noexcept { return total_clients_; }
 
+  // Per-opcode RPC metrics shared by every channel of this cluster, measured
+  // in virtual time (request issue to response delivery on the sim clock).
+  common::RpcMetricsTable& rpc_metrics() noexcept { return rpc_metrics_; }
+
   // Connection bookkeeping (driven by SimChannel).
   void NoteConnection(net::NodeId server);
   std::uint64_t connections_to(net::NodeId server) const {
@@ -82,6 +87,8 @@ class SimCluster {
   int client_nodes_;
   std::vector<int> clients_per_node_;
   int total_clients_ = 0;
+  common::RpcMetricsTable rpc_metrics_{&common::MetricsRegistry::Default(),
+                                       "sim", "virtual_ns"};
 };
 
 }  // namespace loco::sim

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+
+#include "common/metrics.h"
 #include "core/proto.h"
 #include "fs/wire.h"
 #include "net/task.h"
@@ -129,6 +133,62 @@ TEST(DeployTest, LeaseKnobDisablesCache) {
   simulation.Run();
   EXPECT_EQ(loco->cache_hits(), 0u);
   EXPECT_EQ(loco->cache_size(), 0u);
+}
+
+TEST(MetricsOutTest, FlagParsingRemovesFlagAndKeepsOtherArgs) {
+  char prog[] = "bench";
+  char keep1[] = "--foo";
+  char flag[] = "--metrics-out";
+  char path[] = "/tmp/m.json";
+  char keep2[] = "bar";
+  char* argv[] = {prog, keep1, flag, path, keep2, nullptr};
+  int argc = 5;
+  EXPECT_EQ(MetricsOutPath(argc, argv), "/tmp/m.json");
+  ASSERT_EQ(argc, 3);
+  EXPECT_STREQ(argv[0], "bench");
+  EXPECT_STREQ(argv[1], "--foo");
+  EXPECT_STREQ(argv[2], "bar");
+  EXPECT_EQ(argv[3], nullptr);
+}
+
+TEST(MetricsOutTest, EqualsFormAndAbsentFlag) {
+  {
+    char prog[] = "bench";
+    char flag[] = "--metrics-out=out.json";
+    char* argv[] = {prog, flag, nullptr};
+    int argc = 2;
+    EXPECT_EQ(MetricsOutPath(argc, argv), "out.json");
+    EXPECT_EQ(argc, 1);
+  }
+  {
+    char prog[] = "bench";
+    char other[] = "--benchmark_filter=x";
+    char* argv[] = {prog, other, nullptr};
+    int argc = 2;
+    EXPECT_EQ(MetricsOutPath(argc, argv), "");
+    EXPECT_EQ(argc, 2);
+    EXPECT_STREQ(argv[1], "--benchmark_filter=x");
+  }
+}
+
+TEST(MetricsOutTest, WriteMetricsJsonEmitsRegistryDump) {
+  // Touch a metric so the dump is non-trivial, then round-trip via a file.
+  common::MetricsRegistry::Default()
+      .GetCounter("test.deploy.metrics_out")
+      .Add(3);
+  const std::string path =
+      ::testing::TempDir() + "/deploy_metrics_out_test.json";
+  ASSERT_TRUE(WriteMetricsJson(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.deploy.metrics_out\": 3"), std::string::npos);
+  EXPECT_FALSE(WriteMetricsJson("/nonexistent-dir/x/y.json"));
 }
 
 }  // namespace

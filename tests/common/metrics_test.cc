@@ -1,0 +1,212 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace loco::common {
+namespace {
+
+TEST(MetricsRegistryTest, CounterFindOrCreate) {
+  MetricsRegistry reg;
+  MetricsRegistry::Counter& a = reg.GetCounter("foo");
+  MetricsRegistry::Counter& b = reg.GetCounter("foo");
+  EXPECT_EQ(&a, &b);
+  a.Add();
+  b.Add(4);
+  EXPECT_EQ(reg.CounterValue("foo"), 5u);
+  EXPECT_EQ(reg.CounterValue("missing"), 0u);
+}
+
+TEST(MetricsRegistryTest, CounterConcurrentIncrements) {
+  MetricsRegistry reg;
+  MetricsRegistry::Counter& c = reg.GetCounter("hits");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.Add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), 40000u);
+}
+
+TEST(MetricsRegistryTest, HistogramRecordAndSnapshot) {
+  MetricsRegistry reg;
+  auto& h = reg.GetHistogram("lat", "virtual_ns");
+  EXPECT_EQ(h.unit(), "virtual_ns");
+  h.Record(100);
+  h.Record(300);
+  const Histogram snap = h.Snapshot();
+  EXPECT_EQ(snap.count(), 2u);
+  EXPECT_EQ(snap.sum(), 400);
+  EXPECT_EQ(snap.min(), 100);
+  EXPECT_EQ(snap.max(), 300);
+  // Same name returns the same histogram regardless of unit argument.
+  auto& again = reg.GetHistogram("lat");
+  EXPECT_EQ(&again, &h);
+  EXPECT_EQ(again.unit(), "virtual_ns");
+}
+
+TEST(MetricsRegistryTest, GaugeCallbackAndRaiiUnregister) {
+  MetricsRegistry reg;
+  double value = 7.5;
+  {
+    auto handle = reg.RegisterGauge("g", [&value] { return value; });
+    EXPECT_TRUE(reg.HasGauge("g"));
+    EXPECT_DOUBLE_EQ(reg.GaugeValue("g"), 7.5);
+    value = 9.0;
+    EXPECT_DOUBLE_EQ(reg.GaugeValue("g"), 9.0);
+  }
+  EXPECT_FALSE(reg.HasGauge("g"));
+  EXPECT_DOUBLE_EQ(reg.GaugeValue("g"), 0.0);
+}
+
+TEST(MetricsRegistryTest, GaugeReplacementSurvivesOldOwnerDeath) {
+  // A server being torn down must not remove a gauge that a newer server
+  // re-registered under the same name.
+  MetricsRegistry reg;
+  auto first = reg.RegisterGauge("kv.puts", [] { return 1.0; });
+  auto second = reg.RegisterGauge("kv.puts", [] { return 2.0; });
+  EXPECT_DOUBLE_EQ(reg.GaugeValue("kv.puts"), 2.0);
+  first = MetricsRegistry::GaugeHandle();  // old owner dies
+  EXPECT_TRUE(reg.HasGauge("kv.puts"));
+  EXPECT_DOUBLE_EQ(reg.GaugeValue("kv.puts"), 2.0);
+  second = MetricsRegistry::GaugeHandle();
+  EXPECT_FALSE(reg.HasGauge("kv.puts"));
+}
+
+TEST(MetricsRegistryTest, GaugeHandleMoveTransfersOwnership) {
+  MetricsRegistry reg;
+  auto a = reg.RegisterGauge("g", [] { return 1.0; });
+  MetricsRegistry::GaugeHandle b = std::move(a);
+  a = MetricsRegistry::GaugeHandle();  // moved-from handle must be inert
+  EXPECT_TRUE(reg.HasGauge("g"));
+  b = MetricsRegistry::GaugeHandle();
+  EXPECT_FALSE(reg.HasGauge("g"));
+}
+
+TEST(MetricsRegistryTest, ResetZeroesCountersAndHistogramsKeepsGauges) {
+  MetricsRegistry reg;
+  MetricsRegistry::Counter& c = reg.GetCounter("c");
+  c.Add(10);
+  auto& h = reg.GetHistogram("h");
+  h.Record(50);
+  auto g = reg.RegisterGauge("g", [] { return 3.0; });
+  reg.Reset();
+  EXPECT_EQ(c.value(), 0u);  // same object, zeroed — reference stays valid
+  EXPECT_EQ(h.Snapshot().count(), 0u);
+  EXPECT_DOUBLE_EQ(reg.GaugeValue("g"), 3.0);
+}
+
+TEST(MetricsRegistryTest, JsonExpositionFormat) {
+  MetricsRegistry reg;
+  reg.GetCounter("client.cache.hits").Add(3);
+  auto& h = reg.GetHistogram("rpc.sim.DmsMkdir.latency", "virtual_ns");
+  h.Record(1000);
+  h.Record(2000);
+  auto g = reg.RegisterGauge("server.dms.kv.puts", [] { return 12.0; });
+  const std::string json = reg.ToJson();
+
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"client.cache.hits\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"server.dms.kv.puts\": 12"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"rpc.sim.DmsMkdir.latency\""), std::string::npos);
+  EXPECT_NE(json.find("\"unit\": \"virtual_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\": 3000"), std::string::npos);
+  for (const char* field : {"\"min\"", "\"max\"", "\"mean\"", "\"p50\"",
+                            "\"p90\"", "\"p99\"", "\"p999\""}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+
+  // Balanced braces and quotes — cheap structural sanity without a parser.
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char ch = json[i];
+    if (in_string) {
+      if (ch == '\\') {
+        ++i;
+      } else if (ch == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (ch == '"') in_string = true;
+    if (ch == '{') ++depth;
+    if (ch == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(MetricsRegistryTest, JsonEscapesHostileNames) {
+  MetricsRegistry reg;
+  reg.GetCounter("weird\"name\\with\nstuff").Add(1);
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("weird\\\"name\\\\with\\nstuff"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, TextExposition) {
+  MetricsRegistry reg;
+  reg.GetCounter("a.calls").Add(2);
+  auto g = reg.RegisterGauge("b.gauge", [] { return 1.5; });
+  reg.GetHistogram("c.latency", "wall_ns").Record(500);
+  const std::string text = reg.ToText();
+  EXPECT_NE(text.find("a.calls 2"), std::string::npos);
+  EXPECT_NE(text.find("b.gauge 1.5"), std::string::npos);
+  EXPECT_NE(text.find("c.latency{unit=wall_ns} count=1"), std::string::npos);
+}
+
+TEST(RpcOpNameTest, KnownAndUnknownOpcodes) {
+  EXPECT_EQ(RpcOpName(1), "DmsMkdir");
+  EXPECT_EQ(RpcOpName(3), "DmsLookup");
+  EXPECT_EQ(RpcOpName(32), "FmsCreate");
+  EXPECT_EQ(RpcOpName(64), "ObjWrite");
+  EXPECT_EQ(RpcOpName(100), "NsGet");
+  const std::string_view unknown = RpcOpName(200);
+  EXPECT_EQ(unknown, "op200");
+  // Interned: stable across calls.
+  EXPECT_EQ(RpcOpName(200).data(), unknown.data());
+}
+
+TEST(RpcMetricsTableTest, PerOpBundlesAreCachedAndNamed) {
+  MetricsRegistry reg;
+  RpcMetricsTable table(&reg, "sim", "virtual_ns");
+  const auto& mkdir_ops = table.For(1);
+  const auto& again = table.For(1);
+  EXPECT_EQ(&mkdir_ops, &again);
+  mkdir_ops.calls->Add();
+  mkdir_ops.errors->Add();
+  mkdir_ops.bytes_sent->Add(64);
+  mkdir_ops.bytes_received->Add(32);
+  mkdir_ops.latency->Record(1500);
+  EXPECT_EQ(reg.CounterValue("rpc.sim.DmsMkdir.calls"), 1u);
+  EXPECT_EQ(reg.CounterValue("rpc.sim.DmsMkdir.errors"), 1u);
+  EXPECT_EQ(reg.CounterValue("rpc.sim.DmsMkdir.bytes_sent"), 64u);
+  EXPECT_EQ(reg.CounterValue("rpc.sim.DmsMkdir.bytes_received"), 32u);
+  EXPECT_EQ(mkdir_ops.latency->Snapshot().count(), 1u);
+  EXPECT_EQ(mkdir_ops.latency->unit(), "virtual_ns");
+}
+
+TEST(ServerOpCountersTest, PerOpCountersAreNamedByPrefix) {
+  MetricsRegistry reg;
+  ServerOpCounters ops(&reg, "server.dms");
+  ops.For(1).calls->Add(2);
+  ops.For(1).errors->Add();
+  EXPECT_EQ(reg.CounterValue("server.dms.DmsMkdir.calls"), 2u);
+  EXPECT_EQ(reg.CounterValue("server.dms.DmsMkdir.errors"), 1u);
+}
+
+TEST(MetricsRegistryTest, DefaultIsSingleton) {
+  EXPECT_EQ(&MetricsRegistry::Default(), &MetricsRegistry::Default());
+}
+
+}  // namespace
+}  // namespace loco::common

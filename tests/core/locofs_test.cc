@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "core/client.h"
 #include "core/dms.h"
 #include "core/fms.h"
@@ -352,6 +353,98 @@ TEST(LocoFsTest, FilesDistributeAcrossFmsServers) {
   std::size_t total = 0;
   for (const auto& server : fx.fms) total += server->FileCount();
   EXPECT_EQ(total, 200u);
+}
+
+TEST(LocoFsTest, CreateShadowedBySubdirRejectedWithWarmLease) {
+  // Regression: the cache-hit path of LookupDir used to skip the shadow
+  // check entirely, so a warm lease on /d let Create("/d/sub") overlay an
+  // existing subdirectory.  The lease now carries the parent's subdir names
+  // and enforces the check locally, without spending a DMS RPC.
+  LocoFixture fx(4, /*cache=*/true);
+  ASSERT_TRUE(net::RunInline(fx.client->Mkdir("/d", 0755)).ok());
+  ASSERT_TRUE(net::RunInline(fx.client->Mkdir("/d/sub", 0755)).ok());
+  // Cold: the DMS rejects the shadowed create.
+  EXPECT_EQ(net::RunInline(fx.client->Create("/d/sub", 0644)).code(),
+            ErrCode::kExists);
+  // Warm the lease on /d with a successful create...
+  ASSERT_TRUE(net::RunInline(fx.client->Create("/d/ok", 0644)).ok());
+  const std::uint64_t dms_before = fx.transport.CallCount(kDms);
+  const std::uint64_t hits_before = fx.client->cache_hits();
+  // ...then the shadowed create must still be rejected, from the lease alone.
+  EXPECT_EQ(net::RunInline(fx.client->Create("/d/sub", 0644)).code(),
+            ErrCode::kExists);
+  EXPECT_EQ(fx.transport.CallCount(kDms), dms_before);
+  EXPECT_EQ(fx.client->cache_hits(), hits_before + 1);
+}
+
+TEST(LocoFsTest, LeaseShadowSetTracksMkdirAndRmdir) {
+  // Directories made or removed *after* the lease grant must still shadow
+  // (or stop shadowing) file creates served from the cache.
+  LocoFixture fx(2, /*cache=*/true);
+  ASSERT_TRUE(net::RunInline(fx.client->Mkdir("/d", 0755)).ok());
+  ASSERT_TRUE(net::RunInline(fx.client->Create("/d/a", 0644)).ok());  // lease
+  ASSERT_TRUE(net::RunInline(fx.client->Mkdir("/d/sub", 0755)).ok());
+  EXPECT_EQ(net::RunInline(fx.client->Create("/d/sub", 0644)).code(),
+            ErrCode::kExists);
+  ASSERT_TRUE(net::RunInline(fx.client->Rmdir("/d/sub")).ok());
+  EXPECT_TRUE(net::RunInline(fx.client->Create("/d/sub", 0644)).ok());
+}
+
+TEST(LocoFsTest, RenameMovesShadowBetweenCachedParents) {
+  LocoFixture fx(2, /*cache=*/true);
+  ASSERT_TRUE(net::RunInline(fx.client->Mkdir("/src", 0755)).ok());
+  ASSERT_TRUE(net::RunInline(fx.client->Mkdir("/dst", 0755)).ok());
+  ASSERT_TRUE(net::RunInline(fx.client->Mkdir("/src/d", 0755)).ok());
+  // Warm leases on both parents.
+  ASSERT_TRUE(net::RunInline(fx.client->Create("/src/x", 0644)).ok());
+  ASSERT_TRUE(net::RunInline(fx.client->Create("/dst/y", 0644)).ok());
+  ASSERT_TRUE(net::RunInline(fx.client->Rename("/src/d", "/dst/d2")).ok());
+  // The old name no longer shadows; the new one does, cache-served.
+  EXPECT_TRUE(net::RunInline(fx.client->Create("/src/d", 0644)).ok());
+  EXPECT_EQ(net::RunInline(fx.client->Create("/dst/d2", 0644)).code(),
+            ErrCode::kExists);
+}
+
+TEST(LocoFsTest, DirectoryOpsFallBackToDmsWhenFmsUnavailable) {
+  // Chmod/Chown/Access/Utimens on a directory must reach the DMS even when
+  // every FMS is down (the file-first probe returns kUnavailable, not
+  // kNotFound), matching Stat's fallback policy.
+  LocoFixture fx(2, /*cache=*/false);
+  ASSERT_TRUE(net::RunInline(fx.client->Mkdir("/d", 0755)).ok());
+  for (std::size_t i = 0; i < fx.fms.size(); ++i) {
+    fx.transport.Register(kFmsBase + static_cast<net::NodeId>(i), nullptr);
+  }
+  fx.clock = 7;
+  EXPECT_TRUE(net::RunInline(fx.client->Chmod("/d", 0700)).ok());
+  EXPECT_TRUE(net::RunInline(fx.client->Chown("/d", 1000, 42)).ok());
+  EXPECT_TRUE(net::RunInline(fx.client->Access("/d", fs::kModeRead)).ok());
+  EXPECT_TRUE(net::RunInline(fx.client->Utimens("/d", 11, 12)).ok());
+  auto st = net::RunInline(fx.client->Stat("/d"));
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->mode, 0700u);
+  EXPECT_EQ(st->gid, 42u);
+  EXPECT_EQ(st->mtime, 11u);
+  // A path unknown to the DMS is genuinely unresolvable while the FMS ring
+  // is down: report the outage rather than a confident kNotFound.
+  EXPECT_EQ(net::RunInline(fx.client->Chmod("/ghost", 0700)).code(),
+            ErrCode::kUnavailable);
+  EXPECT_EQ(net::RunInline(fx.client->Utimens("/ghost", 1, 2)).code(),
+            ErrCode::kUnavailable);
+}
+
+TEST(LocoFsTest, CacheCountersFlowIntoMetricsRegistry) {
+  auto& reg = common::MetricsRegistry::Default();
+  const std::uint64_t hits0 = reg.CounterValue("client.cache.hits");
+  const std::uint64_t misses0 = reg.CounterValue("client.cache.misses");
+  const std::uint64_t inval0 = reg.CounterValue("client.cache.invalidations");
+  LocoFixture fx(2, /*cache=*/true);
+  ASSERT_TRUE(net::RunInline(fx.client->Mkdir("/d", 0755)).ok());
+  ASSERT_TRUE(net::RunInline(fx.client->Create("/d/a", 0644)).ok());  // miss
+  ASSERT_TRUE(net::RunInline(fx.client->Create("/d/b", 0644)).ok());  // hit
+  ASSERT_TRUE(net::RunInline(fx.client->Chmod("/d", 0700)).ok());  // invalidate
+  EXPECT_GE(reg.CounterValue("client.cache.hits") - hits0, 1u);
+  EXPECT_GE(reg.CounterValue("client.cache.misses") - misses0, 1u);
+  EXPECT_GE(reg.CounterValue("client.cache.invalidations") - inval0, 1u);
 }
 
 }  // namespace

@@ -3,7 +3,8 @@
 // identical observable behaviour (status codes, attributes, listings, data).
 //
 // Generator constraints (deliberate; DESIGN.md §6):
-//   * directory and file name pools are disjoint;
+//   * directory and file name pools are disjoint (though Create sometimes
+//     targets a directory name to exercise the shadow check);
 //   * paths are only built under known directory paths.
 #pragma once
 
@@ -82,11 +83,25 @@ inline void RunOracleComparison(fs::FileSystemClient& client,
       ASSERT_EQ(got.code(), want.code()) << ctx << " mkdir " << path;
       if (want.ok()) dirs.push_back(path);
     } else if (action < 32) {
-      const std::string path = random_file_path();
+      // Mostly file names; occasionally a directory name so the run
+      // exercises the file/subdirectory shadow check — including on warm
+      // leases when the client cache is enabled.
+      const bool dir_name = rng.Chance(0.1);
+      const std::string path = dir_name ? random_dir_path()
+                                        : random_file_path();
       const std::uint32_t mode = rng.Chance(0.8) ? 0644 : 0600;
       const Status got = net::RunInline(client.Create(path, mode));
       const Status want = ref.Create(who, path, mode, ts);
       ASSERT_EQ(got.code(), want.code()) << ctx << " create " << path;
+      if (dir_name && want.ok()) {
+        // The name was free, so a file now occupies it.  Remove it again:
+        // the DMS cannot see FMS file names, so a lingering file under a
+        // directory-pool name would make a later Mkdir of the same path
+        // diverge from the model (documented relaxation, DESIGN.md §6).
+        const Status got_u = net::RunInline(client.Unlink(path));
+        ASSERT_EQ(got_u.code(), ref.Unlink(who, path).code())
+            << ctx << " cleanup " << path;
+      }
     } else if (action < 40) {
       const std::string path =
           rng.Chance(0.85) ? random_file_path() : random_dir_path();
