@@ -1,0 +1,90 @@
+// Shared scaffolding for the standalone metadata daemons (locofs_dmsd,
+// locofs_fmsd, locofs_osd).  Each daemon builds one RpcHandler, then hands it
+// to RunDaemon, which binds a net::TcpServer, prints the bound address on
+// stdout (tests and scripts parse this line to learn an ephemeral port),
+// and blocks until SIGINT/SIGTERM.  On shutdown the final metrics snapshot
+// is optionally written to --metrics-out.
+#pragma once
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/metrics.h"
+#include "net/tcp.h"
+
+namespace loco::daemons {
+
+// `--flag value` and `--flag=value` forms; advances *i past a consumed
+// separate-argument value.
+inline bool FlagValue(int argc, char** argv, int* i, const char* flag,
+                      std::string* out) {
+  const std::string_view arg = argv[*i];
+  const std::size_t flag_len = std::strlen(flag);
+  if (arg == flag) {
+    if (*i + 1 >= argc) return false;
+    *out = argv[++*i];
+    return true;
+  }
+  if (arg.size() > flag_len + 1 && arg.substr(0, flag_len) == flag &&
+      arg[flag_len] == '=') {
+    *out = std::string(arg.substr(flag_len + 1));
+    return true;
+  }
+  return false;
+}
+
+namespace internal {
+inline volatile std::sig_atomic_t g_stop = 0;
+inline void OnSignal(int) { g_stop = 1; }
+}  // namespace internal
+
+// Serve `handler` on `listen_spec` ("host:port", port 0 = ephemeral) until
+// SIGINT/SIGTERM.  Returns the process exit code.
+inline int RunDaemon(const char* name, net::RpcHandler* handler,
+                     const std::string& listen_spec,
+                     const std::string& metrics_out) {
+  net::TcpServer::Options options;
+  if (!listen_spec.empty() &&
+      !net::ParseHostPort(listen_spec, &options.host, &options.port)) {
+    std::fprintf(stderr, "%s: bad --listen spec '%s' (want host:port)\n", name,
+                 listen_spec.c_str());
+    return 2;
+  }
+
+  // Install handlers before announcing the address: a supervisor may signal
+  // us the instant it has parsed the "listening" line.
+  std::signal(SIGINT, internal::OnSignal);
+  std::signal(SIGTERM, internal::OnSignal);
+
+  net::TcpServer server(handler, options);
+  if (Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "%s: failed to listen on %s:%u\n", name,
+                 options.host.c_str(), unsigned(options.port));
+    return 1;
+  }
+  std::printf("%s: listening on %s:%u\n", name, server.host().c_str(),
+              unsigned(server.port()));
+  std::fflush(stdout);
+  while (!internal::g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Stop();
+
+  if (!metrics_out.empty()) {
+    if (std::FILE* f = std::fopen(metrics_out.c_str(), "w")) {
+      const std::string json = common::MetricsRegistry::Default().ToJson();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "%s: cannot write metrics to %s\n", name,
+                   metrics_out.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace loco::daemons

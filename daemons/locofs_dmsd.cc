@@ -1,0 +1,42 @@
+// Directory Metadata Server daemon.
+//
+//   locofs_dmsd [--listen host:port] [--backend btree|hash]
+//               [--metrics-out file.json]
+#include <cstdio>
+#include <string>
+
+#include "core/dms.h"
+#include "daemon_main.h"
+
+int main(int argc, char** argv) {
+  using namespace loco;
+
+  std::string listen = "127.0.0.1:0";
+  std::string backend = "btree";
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    if (daemons::FlagValue(argc, argv, &i, "--listen", &listen)) continue;
+    if (daemons::FlagValue(argc, argv, &i, "--backend", &backend)) continue;
+    if (daemons::FlagValue(argc, argv, &i, "--metrics-out", &metrics_out)) continue;
+    std::fprintf(stderr,
+                 "locofs_dmsd: unknown argument '%s'\n"
+                 "usage: locofs_dmsd [--listen host:port] [--backend btree|hash]"
+                 " [--metrics-out file.json]\n",
+                 argv[i]);
+    return 2;
+  }
+
+  core::DirectoryMetadataServer::Options options;
+  if (backend == "btree") {
+    options.backend = kv::KvBackend::kBTree;
+  } else if (backend == "hash") {
+    options.backend = kv::KvBackend::kHash;
+  } else {
+    std::fprintf(stderr, "locofs_dmsd: bad --backend '%s' (btree|hash)\n",
+                 backend.c_str());
+    return 2;
+  }
+
+  core::DirectoryMetadataServer server(options);
+  return daemons::RunDaemon("locofs_dmsd", &server, listen, metrics_out);
+}

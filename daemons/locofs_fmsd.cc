@@ -1,0 +1,53 @@
+// File Metadata Server daemon.
+//
+//   locofs_fmsd [--listen host:port] [--sid N] [--coupled]
+//               [--metrics-out file.json]
+//
+// --sid must match this server's position in the client's FMS list (it seeds
+// the high bits of the file uuids this server mints).
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/fms.h"
+#include "daemon_main.h"
+
+int main(int argc, char** argv) {
+  using namespace loco;
+
+  std::string listen = "127.0.0.1:0";
+  std::string sid_str = "1";
+  std::string metrics_out;
+  bool decoupled = true;
+  for (int i = 1; i < argc; ++i) {
+    if (daemons::FlagValue(argc, argv, &i, "--listen", &listen)) continue;
+    if (daemons::FlagValue(argc, argv, &i, "--sid", &sid_str)) continue;
+    if (daemons::FlagValue(argc, argv, &i, "--metrics-out", &metrics_out)) continue;
+    if (std::strcmp(argv[i], "--coupled") == 0) {
+      decoupled = false;
+      continue;
+    }
+    std::fprintf(stderr,
+                 "locofs_fmsd: unknown argument '%s'\n"
+                 "usage: locofs_fmsd [--listen host:port] [--sid N] [--coupled]"
+                 " [--metrics-out file.json]\n",
+                 argv[i]);
+    return 2;
+  }
+
+  std::uint32_t sid = 0;
+  const char* begin = sid_str.data();
+  const char* end = begin + sid_str.size();
+  if (auto [p, ec] = std::from_chars(begin, end, sid);
+      ec != std::errc{} || p != end) {
+    std::fprintf(stderr, "locofs_fmsd: bad --sid '%s'\n", sid_str.c_str());
+    return 2;
+  }
+
+  core::FileMetadataServer::Options options;
+  options.sid = sid;
+  options.decoupled = decoupled;
+  core::FileMetadataServer server(options);
+  return daemons::RunDaemon("locofs_fmsd", &server, listen, metrics_out);
+}

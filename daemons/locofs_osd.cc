@@ -1,0 +1,56 @@
+// Object store daemon.
+//
+//   locofs_osd [--listen host:port] [--block-bytes N] [--no-retain]
+//              [--metrics-out file.json]
+//
+// --no-retain accounts block payloads without storing them (reads return
+// zeros); use it for metadata-only benchmarks that push a lot of data.
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/object_store.h"
+#include "daemon_main.h"
+
+int main(int argc, char** argv) {
+  using namespace loco;
+
+  std::string listen = "127.0.0.1:0";
+  std::string block_str;
+  std::string metrics_out;
+  bool retain = true;
+  for (int i = 1; i < argc; ++i) {
+    if (daemons::FlagValue(argc, argv, &i, "--listen", &listen)) continue;
+    if (daemons::FlagValue(argc, argv, &i, "--block-bytes", &block_str)) continue;
+    if (daemons::FlagValue(argc, argv, &i, "--metrics-out", &metrics_out)) continue;
+    if (std::strcmp(argv[i], "--no-retain") == 0) {
+      retain = false;
+      continue;
+    }
+    std::fprintf(stderr,
+                 "locofs_osd: unknown argument '%s'\n"
+                 "usage: locofs_osd [--listen host:port] [--block-bytes N]"
+                 " [--no-retain] [--metrics-out file.json]\n",
+                 argv[i]);
+    return 2;
+  }
+
+  core::ObjectStoreServer::Options options;
+  options.retain_data = retain;
+  if (!block_str.empty()) {
+    std::size_t block_bytes = 0;
+    const char* begin = block_str.data();
+    const char* end = begin + block_str.size();
+    if (auto [p, ec] = std::from_chars(begin, end, block_bytes);
+        ec != std::errc{} || p != end || block_bytes == 0) {
+      std::fprintf(stderr, "locofs_osd: bad --block-bytes '%s'\n",
+                   block_str.c_str());
+      return 2;
+    }
+    options.block_bytes = block_bytes;
+  }
+
+  core::ObjectStoreServer server(options);
+  return daemons::RunDaemon("locofs_osd", &server, listen, metrics_out);
+}

@@ -1,4 +1,7 @@
-// loco_shell: an interactive shell over an in-process LocoFS deployment.
+// loco_shell: an interactive shell over a LocoFS deployment — in-process by
+// default, or against running daemons over TCP with --connect.
+//
+//   loco_shell [--connect dms=h:p,fms=h:p[,fms=h:p...],osd=h:p[,osd=h:p...]]
 //
 // Commands:
 //   mkdir <path>            rmdir <path>         ls <path>
@@ -10,12 +13,15 @@
 // Reads from stdin; EOF exits, so it is safe to pipe a script in:
 //   printf 'mkdir /a\ntouch /a/f\nls /a\n' | ./build/examples/loco_shell
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "benchlib/deploy.h"
+#include "common/clock.h"
 #include "common/metrics.h"
 #include "core/client.h"
 #include "core/dms.h"
@@ -34,32 +40,78 @@ void PrintStatus(const Status& st) {
 
 }  // namespace
 
-int main() {
-  net::InProcTransport transport;
-  core::DirectoryMetadataServer dms;
-  transport.Register(0, &dms);
-  std::vector<std::unique_ptr<core::FileMetadataServer>> fms;
-  std::vector<net::NodeId> fms_nodes;
-  for (int i = 0; i < 4; ++i) {
-    core::FileMetadataServer::Options options;
-    options.sid = static_cast<std::uint32_t>(i + 1);
-    fms.push_back(std::make_unique<core::FileMetadataServer>(options));
-    transport.Register(1 + static_cast<net::NodeId>(i), fms.back().get());
-    fms_nodes.push_back(1 + static_cast<net::NodeId>(i));
+int main(int argc, char** argv) {
+  std::string connect;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--connect" && i + 1 < argc) {
+      connect = argv[++i];
+    } else if (arg.rfind("--connect=", 0) == 0) {
+      connect = std::string(arg.substr(std::strlen("--connect=")));
+    } else {
+      std::fprintf(stderr,
+                   "usage: loco_shell [--connect dms=h:p,fms=h:p,osd=h:p]\n");
+      return 2;
+    }
   }
-  core::ObjectStoreServer object_store;
-  transport.Register(100, &object_store);
+
+  // In-process deployment state (unused in --connect mode, but the objects
+  // must outlive the command loop either way).
+  net::InProcTransport transport;
+  std::unique_ptr<core::DirectoryMetadataServer> dms;
+  std::vector<std::unique_ptr<core::FileMetadataServer>> fms;
+  std::unique_ptr<core::ObjectStoreServer> object_store;
+  bench::RemoteDeployment remote;
 
   std::uint64_t clock = 0;
-  core::LocoClient::Config cfg;
-  cfg.dms = 0;
-  cfg.fms = fms_nodes;
-  cfg.object_stores = {100};
-  cfg.now = [&clock] { return ++clock; };
-  core::LocoClient client(transport, cfg);
+  std::unique_ptr<fs::FileSystemClient> client_owner;
+  if (!connect.empty()) {
+    auto endpoints = bench::ParseConnectSpec(connect);
+    if (!endpoints.ok()) {
+      std::fprintf(stderr, "loco_shell: %s\n",
+                   endpoints.status().ToString().c_str());
+      return 2;
+    }
+    auto deployment = bench::ConnectRemote(*endpoints);
+    if (!deployment.ok()) {
+      std::fprintf(stderr, "loco_shell: %s\n",
+                   deployment.status().ToString().c_str());
+      return 2;
+    }
+    remote = std::move(*deployment);
+    client_owner = remote.MakeClient(
+        [] { return static_cast<std::uint64_t>(common::CpuTimer::Now()); });
+    std::printf("LocoFS shell — connected to dms=%s, %zu fms, %zu osd over "
+                "TCP; 'help' for commands\n",
+                endpoints->dms.c_str(), endpoints->fms.size(),
+                endpoints->object_stores.size());
+  } else {
+    dms = std::make_unique<core::DirectoryMetadataServer>();
+    transport.Register(0, dms.get());
+    std::vector<net::NodeId> fms_nodes;
+    for (int i = 0; i < 4; ++i) {
+      core::FileMetadataServer::Options options;
+      options.sid = static_cast<std::uint32_t>(i + 1);
+      fms.push_back(std::make_unique<core::FileMetadataServer>(options));
+      transport.Register(1 + static_cast<net::NodeId>(i), fms.back().get());
+      fms_nodes.push_back(1 + static_cast<net::NodeId>(i));
+    }
+    object_store = std::make_unique<core::ObjectStoreServer>();
+    transport.Register(100, object_store.get());
+
+    core::LocoClient::Config cfg;
+    cfg.dms = 0;
+    cfg.fms = fms_nodes;
+    cfg.object_stores = {100};
+    cfg.now = [&clock] { return ++clock; };
+    client_owner = std::make_unique<core::LocoClient>(transport, cfg);
+    std::printf("LocoFS shell — 1 DMS + 4 FMS in-process; 'help' for commands\n");
+  }
+
+  fs::FileSystemClient& client = *client_owner;
+  auto* loco = dynamic_cast<core::LocoClient*>(client_owner.get());
   client.SetIdentity(fs::Identity{1000, 1000});
 
-  std::printf("LocoFS shell — 1 DMS + 4 FMS in-process; 'help' for commands\n");
   std::string line;
   while (std::printf("loco> "), std::fflush(stdout),
          std::getline(std::cin, line)) {
@@ -142,10 +194,14 @@ int main() {
       client.SetIdentity(fs::Identity{uid, gid});
       std::printf("identity now uid=%u gid=%u\n", uid, gid);
     } else if (cmd == "cache") {
-      std::printf("d-inode cache: %zu entries, %llu hits, %llu misses\n",
-                  client.cache_size(),
-                  static_cast<unsigned long long>(client.cache_hits()),
-                  static_cast<unsigned long long>(client.cache_misses()));
+      if (loco) {
+        std::printf("d-inode cache: %zu entries, %llu hits, %llu misses\n",
+                    loco->cache_size(),
+                    static_cast<unsigned long long>(loco->cache_hits()),
+                    static_cast<unsigned long long>(loco->cache_misses()));
+      } else {
+        std::printf("cache stats unavailable for this client type\n");
+      }
     } else if (cmd == "stats") {
       // Process-wide metrics: per-opcode RPC counters/latencies, per-server
       // op counters, KV gauges, client cache counters.  `stats json` emits

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the full build + ctest suite, then the socket-heavy
+# net and integration suites again under ASan+UBSan (LOCO_SANITIZE=ON).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j >/dev/null
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "== tier-1: ASan+UBSan pass (net + integration) =="
+cmake -B build-asan -S . -DLOCO_SANITIZE=ON >/dev/null
+cmake --build build-asan -j --target net_test integration_test \
+  locofs_dmsd locofs_fmsd locofs_osd >/dev/null
+./build-asan/tests/net/net_test
+./build-asan/tests/integration/integration_test
+
+echo "tier1: OK"

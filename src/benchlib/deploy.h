@@ -21,6 +21,7 @@
 #include "core/fms.h"
 #include "core/object_store.h"
 #include "fs/client.h"
+#include "net/tcp.h"
 #include "sim/transport.h"
 
 namespace loco::bench {
@@ -96,6 +97,44 @@ struct DeployOptions {
 // Deploy onto a simulated cluster (registers servers as SimCluster nodes).
 Deployment Deploy(System system, sim::SimCluster* cluster,
                   const DeployOptions& options);
+
+// ---------------------------------------------------------------------------
+// Remote (TCP) deployments — connect to already-running daemons instead of
+// instantiating servers in this process (docs/NET.md).
+
+// Daemon addresses for one LocoFS deployment, each a "host:port" string.
+struct RemoteEndpoints {
+  std::string dms;
+  std::vector<std::string> fms;
+  std::vector<std::string> object_stores;
+};
+
+// Parse a `--connect` spec: comma-separated `role=host:port` entries with
+// roles dms / fms / osd in any order, e.g.
+//   dms=127.0.0.1:9000,fms=127.0.0.1:9001,fms=127.0.0.1:9002,osd=127.0.0.1:9100
+// Requires exactly one dms and at least one each of fms and osd.
+Result<RemoteEndpoints> ParseConnectSpec(std::string_view spec);
+
+struct RemoteOptions {
+  bool cache_enabled = true;
+  std::uint64_t lease_ns = 30ull * 1'000'000'000;
+  net::TcpChannelOptions channel;
+};
+
+// A client-side view of a remote deployment: the TCP channel with every
+// daemon registered (dms = node 0, fms = 1..N in list order — match each
+// daemon's --sid — object stores = 1000+i) plus the matching client config.
+struct RemoteDeployment {
+  std::unique_ptr<net::TcpChannel> channel;
+  core::LocoClient::Config config;
+
+  // Build a client-process library over `channel` (one per logical client;
+  // `now` supplies operation timestamps, e.g. wall-clock nanoseconds).
+  std::unique_ptr<fs::FileSystemClient> MakeClient(fs::TimeFn now) const;
+};
+
+Result<RemoteDeployment> ConnectRemote(const RemoteEndpoints& endpoints,
+                                       const RemoteOptions& options = {});
 
 // ---------------------------------------------------------------------------
 // Metrics exposition for benchmark binaries.

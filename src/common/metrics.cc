@@ -96,10 +96,23 @@ MetricsRegistry::GaugeHandle MetricsRegistry::RegisterGauge(
 
 void MetricsRegistry::UnregisterGauge(const std::string& name,
                                       std::uint64_t gen) noexcept {
+  GaugeFn fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = gauges_.find(name);
+    // Only our own registration matters: a newer owner may have replaced it.
+    if (it == gauges_.end() || it->second.gen != gen) return;
+    fn = it->second.fn;
+  }
+  // Capture the final value outside the lock (the callback may re-enter the
+  // registry); the owner is still alive while its handle is being released.
+  const double final_value = fn ? fn() : 0;
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = gauges_.find(name);
-  // Only remove our own registration: a newer owner may have replaced it.
-  if (it != gauges_.end() && it->second.gen == gen) gauges_.erase(it);
+  if (it != gauges_.end() && it->second.gen == gen) {
+    gauges_.erase(it);
+    retired_gauges_[name] = final_value;
+  }
 }
 
 std::uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
@@ -124,12 +137,24 @@ bool MetricsRegistry::HasGauge(std::string_view name) const {
   return gauges_.find(name) != gauges_.end();
 }
 
+double MetricsRegistry::RetiredGaugeValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = retired_gauges_.find(name);
+  return it == retired_gauges_.end() ? 0 : it->second;
+}
+
+bool MetricsRegistry::HasRetiredGauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retired_gauges_.find(name) != retired_gauges_.end();
+}
+
 std::string MetricsRegistry::ToJson() const {
   // Copy the maps' contents under the lock, evaluate gauge callbacks and
   // snapshot histograms outside it (callbacks may read objects that
   // themselves record metrics).
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, GaugeFn>> gauges;
+  std::vector<std::pair<std::string, double>> retired;
   std::vector<std::pair<std::string, const LatencyHistogram*>> hists;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -139,6 +164,10 @@ std::string MetricsRegistry::ToJson() const {
     }
     gauges.reserve(gauges_.size());
     for (const auto& [name, gauge] : gauges_) gauges.emplace_back(name, gauge.fn);
+    for (const auto& [name, value] : retired_gauges_) {
+      // A live re-registration shadows the retired final value.
+      if (gauges_.find(name) == gauges_.end()) retired.emplace_back(name, value);
+    }
     hists.reserve(histograms_.size());
     for (const auto& [name, hist] : histograms_) {
       hists.emplace_back(name, hist.get());
@@ -162,6 +191,13 @@ std::string MetricsRegistry::ToJson() const {
     AppendJsonString(&out, name);
     out += ": ";
     AppendDouble(&out, fn ? fn() : 0);
+  }
+  for (const auto& [name, value] : retired) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ": ";
+    AppendDouble(&out, value);
   }
   out += "\n  },\n  \"histograms\": {";
   first = true;
@@ -197,9 +233,9 @@ std::string MetricsRegistry::ToJson() const {
 }
 
 std::string MetricsRegistry::ToText() const {
-  std::string json_unused;  // keep structure identical to ToJson's snapshot
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, GaugeFn>> gauges;
+  std::vector<std::pair<std::string, double>> retired;
   std::vector<std::pair<std::string, const LatencyHistogram*>> hists;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -207,6 +243,9 @@ std::string MetricsRegistry::ToText() const {
       counters.emplace_back(name, counter->value());
     }
     for (const auto& [name, gauge] : gauges_) gauges.emplace_back(name, gauge.fn);
+    for (const auto& [name, value] : retired_gauges_) {
+      if (gauges_.find(name) == gauges_.end()) retired.emplace_back(name, value);
+    }
     for (const auto& [name, hist] : histograms_) {
       hists.emplace_back(name, hist.get());
     }
@@ -219,6 +258,10 @@ std::string MetricsRegistry::ToText() const {
   }
   for (const auto& [name, fn] : gauges) {
     std::snprintf(buf, sizeof(buf), "%s %.6g\n", name.c_str(), fn ? fn() : 0.0);
+    out += buf;
+  }
+  for (const auto& [name, value] : retired) {
+    std::snprintf(buf, sizeof(buf), "%s %.6g\n", name.c_str(), value);
     out += buf;
   }
   for (const auto& [name, hist] : hists) {
@@ -238,6 +281,7 @@ void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, hist] : histograms_) hist->Reset();
+  retired_gauges_.clear();
 }
 
 std::string_view RpcOpName(std::uint16_t opcode) {

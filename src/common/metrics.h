@@ -11,7 +11,11 @@
 //   * gauges are read-at-exposition callbacks registered with an RAII handle
 //     (servers come and go per test/bench run; a destroyed owner must never
 //     leave a dangling callback behind).  Re-registering a name replaces the
-//     previous gauge; each handle only removes its own generation.
+//     previous gauge; each handle only removes its own generation.  When the
+//     last registration of a name is released its final value is *retired*:
+//     kept as a plain number and merged into the exposition output, so
+//     end-of-run --metrics-out dumps still show KV statistics after the
+//     deployment that owned them has been destroyed.
 //
 // `MetricsRegistry::Default()` is the process-global instance every
 // transport, server, and client records into; tests that need isolation
@@ -130,19 +134,24 @@ class MetricsRegistry {
 
   [[nodiscard]] GaugeHandle RegisterGauge(std::string_view name, GaugeFn fn);
 
-  // Snapshot accessors (tests / tooling).
+  // Snapshot accessors (tests / tooling).  GaugeValue/HasGauge see live
+  // registrations only; retired final values have their own accessors.
   std::uint64_t CounterValue(std::string_view name) const;
   double GaugeValue(std::string_view name) const;  // 0 when absent
   bool HasGauge(std::string_view name) const;
+  double RetiredGaugeValue(std::string_view name) const;  // 0 when absent
+  bool HasRetiredGauge(std::string_view name) const;
 
   // Exposition.  JSON: {"counters":{..},"gauges":{..},"histograms":{..}}
   // with histogram records carrying unit/count/sum/min/max/mean and the
-  // p50/p90/p99/p999 quantiles.  Text: one "name value" line per metric.
+  // p50/p90/p99/p999 quantiles; "gauges" merges live registrations with
+  // retired final values (a live gauge shadows its retired predecessor).
+  // Text: one "name value" line per metric.
   std::string ToJson() const;
   std::string ToText() const;
 
-  // Zero every counter and histogram.  Gauges are owner-computed and are
-  // left alone.
+  // Zero every counter and histogram and drop retired gauge values.  Live
+  // gauges are owner-computed and are left alone.
   void Reset();
 
  private:
@@ -153,6 +162,8 @@ class MetricsRegistry {
     std::uint64_t gen = 0;
   };
 
+  // Capture the gauge's final value, then remove the registration (both only
+  // when `gen` is still the current one — a replaced gauge retires nothing).
   void UnregisterGauge(const std::string& name, std::uint64_t gen) noexcept;
 
   mutable std::mutex mu_;
@@ -160,6 +171,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
       histograms_;
   std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, double, std::less<>> retired_gauges_;
   std::uint64_t next_gen_ = 1;
 };
 

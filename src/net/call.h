@@ -6,6 +6,12 @@
 // Both awaiters handle the completed-inline case (synchronous transports)
 // without suspending, and the deferred case (simulator) by resuming the
 // awaiting coroutine from the completion callback.
+//
+// Every call carries a CallMeta.  Callers that do not pass one get a fresh
+// trace id stamped here, so each client-visible operation's RPCs share a
+// correlation id end to end (transports that speak a wire format put it in
+// the frame header; see net/wire.h).  CallMany shares one meta — and thus
+// one trace id — across every leg of the fan-out.
 #pragma once
 
 #include <atomic>
@@ -21,25 +27,27 @@ namespace loco::net {
 class CallAwaiter {
  public:
   CallAwaiter(Channel& channel, NodeId server, std::uint16_t opcode,
-              std::string payload)
+              std::string payload, CallMeta meta = {})
       : channel_(channel),
         server_(server),
         opcode_(opcode),
-        payload_(std::move(payload)) {}
+        payload_(std::move(payload)),
+        meta_(meta) {}
 
   bool await_ready() const noexcept { return false; }
 
   bool await_suspend(std::coroutine_handle<> h) {
     waiting_ = h;
-    channel_.CallAsync(server_, opcode_, std::move(payload_),
-                       [this](RpcResponse resp) {
-                         response_ = std::move(resp);
-                         // If the awaiting coroutine already committed to
-                         // suspension, we own its resumption.
-                         if (latch_.exchange(true, std::memory_order_acq_rel)) {
-                           waiting_.resume();
-                         }
-                       });
+    if (meta_.trace_id == 0) meta_.trace_id = NextTraceId();
+    channel_.CallAsyncMeta(server_, opcode_, std::move(payload_), meta_,
+                           [this](RpcResponse resp) {
+                             response_ = std::move(resp);
+                             // If the awaiting coroutine already committed to
+                             // suspension, we own its resumption.
+                             if (latch_.exchange(true, std::memory_order_acq_rel)) {
+                               waiting_.resume();
+                             }
+                           });
     // If the callback already fired (inline completion), do not suspend.
     return !latch_.exchange(true, std::memory_order_acq_rel);
   }
@@ -51,6 +59,7 @@ class CallAwaiter {
   NodeId server_;
   std::uint16_t opcode_;
   std::string payload_;
+  CallMeta meta_;
   std::coroutine_handle<> waiting_;
   RpcResponse response_;
   std::atomic<bool> latch_{false};
@@ -59,23 +68,25 @@ class CallAwaiter {
 class CallManyAwaiter {
  public:
   CallManyAwaiter(Channel& channel, std::vector<NodeId> servers,
-                  std::uint16_t opcode, std::string payload)
+                  std::uint16_t opcode, std::string payload, CallMeta meta = {})
       : channel_(channel),
         servers_(std::move(servers)),
         opcode_(opcode),
-        payload_(std::move(payload)) {}
+        payload_(std::move(payload)),
+        meta_(meta) {}
 
   bool await_ready() const noexcept { return false; }
 
   bool await_suspend(std::coroutine_handle<> h) {
     waiting_ = h;
-    channel_.CallManyAsync(servers_, opcode_, std::move(payload_),
-                           [this](std::vector<RpcResponse> resp) {
-                             responses_ = std::move(resp);
-                             if (latch_.exchange(true, std::memory_order_acq_rel)) {
-                               waiting_.resume();
-                             }
-                           });
+    if (meta_.trace_id == 0) meta_.trace_id = NextTraceId();
+    channel_.CallManyAsyncMeta(servers_, opcode_, std::move(payload_), meta_,
+                               [this](std::vector<RpcResponse> resp) {
+                                 responses_ = std::move(resp);
+                                 if (latch_.exchange(true, std::memory_order_acq_rel)) {
+                                   waiting_.resume();
+                                 }
+                               });
     return !latch_.exchange(true, std::memory_order_acq_rel);
   }
 
@@ -86,19 +97,22 @@ class CallManyAwaiter {
   std::vector<NodeId> servers_;
   std::uint16_t opcode_;
   std::string payload_;
+  CallMeta meta_;
   std::coroutine_handle<> waiting_;
   std::vector<RpcResponse> responses_;
   std::atomic<bool> latch_{false};
 };
 
 inline CallAwaiter Call(Channel& channel, NodeId server, std::uint16_t opcode,
-                        std::string payload) {
-  return CallAwaiter(channel, server, opcode, std::move(payload));
+                        std::string payload, CallMeta meta = {}) {
+  return CallAwaiter(channel, server, opcode, std::move(payload), meta);
 }
 
 inline CallManyAwaiter CallMany(Channel& channel, std::vector<NodeId> servers,
-                                std::uint16_t opcode, std::string payload) {
-  return CallManyAwaiter(channel, std::move(servers), opcode, std::move(payload));
+                                std::uint16_t opcode, std::string payload,
+                                CallMeta meta = {}) {
+  return CallManyAwaiter(channel, std::move(servers), opcode,
+                         std::move(payload), meta);
 }
 
 }  // namespace loco::net

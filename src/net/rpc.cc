@@ -1,20 +1,37 @@
 #include "net/rpc.h"
 
+#include <atomic>
 #include <memory>
 
 namespace loco::net {
 
-void Channel::CallManyAsync(const std::vector<NodeId>& servers,
-                            std::uint16_t opcode, std::string payload,
-                            std::function<void(std::vector<RpcResponse>)> done) {
-  // Generic fan-out: issue sequentially, collect in order.  Correct for any
-  // transport (including ones that complete synchronously inside CallAsync).
-  struct State {
-    std::vector<RpcResponse> responses;
-    std::size_t pending = 0;
-    std::function<void(std::vector<RpcResponse>)> done;
-  };
-  auto state = std::make_shared<State>();
+std::uint64_t NextTraceId() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Channel::CallAsyncMeta(NodeId server, std::uint16_t opcode,
+                            std::string payload, const CallMeta& meta,
+                            std::function<void(RpcResponse)> done) {
+  (void)meta;  // transports without a wire representation drop the metadata
+  CallAsync(server, opcode, std::move(payload), std::move(done));
+}
+
+namespace {
+
+// Shared fan-out state: issue sequentially, collect in order.  Correct for
+// any transport (including ones that complete synchronously inside the
+// per-server call).
+struct FanOutState {
+  std::vector<RpcResponse> responses;
+  std::size_t pending = 0;
+  std::function<void(std::vector<RpcResponse>)> done;
+};
+
+template <typename Issue>
+void FanOut(const std::vector<NodeId>& servers, Issue issue,
+            std::function<void(std::vector<RpcResponse>)> done) {
+  auto state = std::make_shared<FanOutState>();
   state->responses.resize(servers.size());
   state->pending = servers.size();
   state->done = std::move(done);
@@ -23,11 +40,38 @@ void Channel::CallManyAsync(const std::vector<NodeId>& servers,
     return;
   }
   for (std::size_t i = 0; i < servers.size(); ++i) {
-    CallAsync(servers[i], opcode, payload, [state, i](RpcResponse resp) {
+    issue(servers[i], [state, i](RpcResponse resp) {
       state->responses[i] = std::move(resp);
       if (--state->pending == 0) state->done(std::move(state->responses));
     });
   }
+}
+
+}  // namespace
+
+void Channel::CallManyAsync(const std::vector<NodeId>& servers,
+                            std::uint16_t opcode, std::string payload,
+                            std::function<void(std::vector<RpcResponse>)> done) {
+  FanOut(
+      servers,
+      [this, opcode, &payload](NodeId server,
+                               std::function<void(RpcResponse)> leg_done) {
+        CallAsync(server, opcode, payload, std::move(leg_done));
+      },
+      std::move(done));
+}
+
+void Channel::CallManyAsyncMeta(
+    const std::vector<NodeId>& servers, std::uint16_t opcode,
+    std::string payload, const CallMeta& meta,
+    std::function<void(std::vector<RpcResponse>)> done) {
+  FanOut(
+      servers,
+      [this, opcode, &payload, &meta](NodeId server,
+                                      std::function<void(RpcResponse)> leg_done) {
+        CallAsyncMeta(server, opcode, payload, meta, std::move(leg_done));
+      },
+      std::move(done));
 }
 
 }  // namespace loco::net

@@ -2,16 +2,18 @@
 //
 // Every metadata service (LocoFS's DMS/FMS and all baseline services) is an
 // RpcHandler: a request handler keyed by (opcode, payload bytes).  Clients
-// reach servers through a Channel.  Two Channel implementations exist:
+// reach servers through a Channel.  Three Channel implementations exist:
 //
 //   * net::InProcTransport — executes handlers on the calling thread (or
 //     with real injected latency), used by the examples and the
 //     multi-threaded integration tests;
 //   * sim::SimTransport    — schedules the exchange on the discrete-event
-//     simulator's virtual clock, used by every paper experiment.
+//     simulator's virtual clock, used by every paper experiment;
+//   * net::TcpChannel      — real sockets against net::TcpServer daemons
+//     (see net/tcp.h and docs/NET.md).
 //
 // Channel is deliberately asynchronous (completion callback) so the same
-// client code — written as coroutines over Channel — runs unchanged on both.
+// client code — written as coroutines over Channel — runs unchanged on all.
 #pragma once
 
 #include <cstdint>
@@ -48,6 +50,23 @@ class RpcHandler {
   virtual RpcResponse Handle(std::uint16_t opcode, std::string_view payload) = 0;
 };
 
+// Per-call metadata carried alongside a request.  Transports that speak a
+// real wire format (net::TcpChannel) put the trace id in the frame header
+// and enforce the deadline; the in-process and simulated transports ignore
+// both fields.
+struct CallMeta {
+  // Correlates every RPC issued on behalf of one client operation (the
+  // ROADMAP tracing groundwork).  0 means "unassigned": net::Call stamps a
+  // fresh process-unique id, so by the time a transport sees the meta the id
+  // is always set.
+  std::uint64_t trace_id = 0;
+  // Per-call deadline; 0 selects the transport's default.
+  common::Nanos deadline_ns = 0;
+};
+
+// Process-unique, monotonically increasing trace id (never returns 0).
+std::uint64_t NextTraceId() noexcept;
+
 // Client-side capability to issue calls.
 class Channel {
  public:
@@ -58,6 +77,13 @@ class Channel {
   virtual void CallAsync(NodeId server, std::uint16_t opcode, std::string payload,
                          std::function<void(RpcResponse)> done) = 0;
 
+  // CallAsync with per-call metadata.  The default forwards to CallAsync,
+  // dropping the meta — correct for transports with no wire representation
+  // for it.  This is what the net::Call awaiters invoke.
+  virtual void CallAsyncMeta(NodeId server, std::uint16_t opcode,
+                             std::string payload, const CallMeta& meta,
+                             std::function<void(RpcResponse)> done);
+
   // Issue the same call to many servers concurrently; `done` receives the
   // responses in `servers` order once all have completed.  The default
   // implementation issues them back-to-back; the simulator overlaps them in
@@ -65,6 +91,14 @@ class Channel {
   virtual void CallManyAsync(const std::vector<NodeId>& servers,
                              std::uint16_t opcode, std::string payload,
                              std::function<void(std::vector<RpcResponse>)> done);
+
+  // Fan-out variant that shares one CallMeta (same trace id, same deadline)
+  // across every leg; routed through CallAsyncMeta so metadata-aware
+  // transports see it per call.
+  void CallManyAsyncMeta(const std::vector<NodeId>& servers,
+                         std::uint16_t opcode, std::string payload,
+                         const CallMeta& meta,
+                         std::function<void(std::vector<RpcResponse>)> done);
 };
 
 }  // namespace loco::net

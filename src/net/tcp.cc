@@ -1,0 +1,553 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace loco::net {
+
+namespace {
+
+constexpr std::size_t kIoChunk = 64 * 1024;
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+// Wait for `events` on `fd` until the absolute steady-clock deadline.
+// Returns >0 when ready, 0 on deadline, <0 on poll error.
+int PollUntil(int fd, short events, common::Nanos deadline_abs) {
+  for (;;) {
+    const common::Nanos remaining = deadline_abs - common::CpuTimer::Now();
+    if (remaining <= 0) return 0;
+    struct pollfd pfd{fd, events, 0};
+    // Round up so a sub-millisecond remainder still waits.
+    const int timeout_ms =
+        static_cast<int>(std::min<common::Nanos>((remaining + common::kMilli - 1) /
+                                                     common::kMilli,
+                                                 60'000));
+    const int n = ::poll(&pfd, 1, timeout_ms);
+    if (n > 0) return n;
+    if (n < 0 && errno != EINTR) return -1;
+  }
+}
+
+// One non-blocking connect attempt within the deadline; -1 on failure.
+int ConnectOnce(const std::string& host, std::uint16_t port,
+                common::Nanos deadline_abs) {
+  struct addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  struct addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), service.c_str(), &hints, &res) != 0) {
+    return -1;
+  }
+  int fd = -1;
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (!SetNonBlocking(fd)) {
+      ::close(fd);
+      fd = -1;
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    if (errno == EINPROGRESS && PollUntil(fd, POLLOUT, deadline_abs) > 0) {
+      int err = 0;
+      socklen_t len = sizeof(err);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) == 0 && err == 0) {
+        break;
+      }
+    }
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd >= 0 && IsSelfConnected(fd)) {
+    ::close(fd);
+    return -1;
+  }
+  if (fd >= 0) SetNoDelay(fd);
+  return fd;
+}
+
+// Write all of `data` before the deadline.
+Status SendAll(int fd, std::string_view data, common::Nanos deadline_abs) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const int r = PollUntil(fd, POLLOUT, deadline_abs);
+      if (r == 0) return ErrStatus(ErrCode::kTimeout, "send deadline");
+      if (r < 0) return ErrStatus(ErrCode::kUnavailable, "poll failed");
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return ErrStatus(ErrCode::kUnavailable, "peer closed during send");
+  }
+  return OkStatus();
+}
+
+// Read until one complete frame is available.  `got_any` reports whether any
+// response bytes arrived before a failure (reused-connection retry guard).
+Status RecvFrame(int fd, wire::FrameReader* reader, wire::Frame* out,
+                 common::Nanos deadline_abs, bool* got_any) {
+  char buf[kIoChunk];
+  for (;;) {
+    if (auto frame = reader->Next()) {
+      *out = std::move(*frame);
+      return OkStatus();
+    }
+    if (!reader->status().ok()) return reader->status();
+    const int r = PollUntil(fd, POLLIN, deadline_abs);
+    if (r == 0) return ErrStatus(ErrCode::kTimeout, "receive deadline");
+    if (r < 0) return ErrStatus(ErrCode::kUnavailable, "poll failed");
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      *got_any = true;
+      reader->Append(std::string_view(buf, static_cast<std::size_t>(n)));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      continue;
+    }
+    return ErrStatus(ErrCode::kUnavailable, "peer disconnected mid-stream");
+  }
+}
+
+}  // namespace
+
+bool ParseHostPort(std::string_view spec, std::string* host,
+                   std::uint16_t* port) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 == spec.size()) {
+    return false;
+  }
+  const std::string_view port_str = spec.substr(colon + 1);
+  unsigned value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(port_str.data(), port_str.data() + port_str.size(), value);
+  if (ec != std::errc{} || ptr != port_str.data() + port_str.size() ||
+      value > 65535) {
+    return false;
+  }
+  *host = std::string(spec.substr(0, colon));
+  *port = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+// TCP simultaneous open lets a connect() to a loopback port with no
+// listener succeed by connecting the socket to itself when the kernel
+// happens to pick the destination port as the ephemeral source port.
+// Such a socket echoes every request back verbatim as a "response".
+bool IsSelfConnected(int fd) {
+  struct sockaddr_storage local{};
+  struct sockaddr_storage peer{};
+  socklen_t local_len = sizeof(local);
+  socklen_t peer_len = sizeof(peer);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&local),
+                    &local_len) != 0 ||
+      ::getpeername(fd, reinterpret_cast<struct sockaddr*>(&peer),
+                    &peer_len) != 0) {
+    return false;
+  }
+  return local_len == peer_len && std::memcmp(&local, &peer, local_len) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// TcpServer
+// ---------------------------------------------------------------------------
+
+struct TcpServer::Conn {
+  explicit Conn(int fd_in, std::uint32_t max_payload)
+      : fd(fd_in), reader(max_payload) {}
+  int fd;
+  wire::FrameReader reader;
+  std::string out;          // pending response bytes
+  std::size_t out_pos = 0;  // bytes of `out` already written
+};
+
+TcpServer::TcpServer(RpcHandler* handler, Options options)
+    : handler_(handler), options_(std::move(options)) {}
+
+TcpServer::~TcpServer() { Stop(); }
+
+Status TcpServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return ErrStatus(ErrCode::kInvalid, "server already running");
+  }
+  struct addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE | AI_NUMERICSERV;
+  struct addrinfo* res = nullptr;
+  const std::string service = std::to_string(options_.port);
+  if (::getaddrinfo(options_.host.c_str(), service.c_str(), &hints, &res) != 0) {
+    return ErrStatus(ErrCode::kInvalid, "cannot resolve " + options_.host);
+  }
+  int fd = -1;
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+        ::listen(fd, options_.backlog) == 0 && SetNonBlocking(fd)) {
+      break;
+    }
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    return ErrStatus(ErrCode::kUnavailable,
+                     "cannot bind " + options_.host + ":" +
+                         std::to_string(options_.port));
+  }
+  // Recover the kernel-assigned port for port=0 binds.
+  struct sockaddr_storage addr{};
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &addr_len) ==
+      0) {
+    if (addr.ss_family == AF_INET) {
+      port_ = ntohs(reinterpret_cast<struct sockaddr_in*>(&addr)->sin_port);
+    } else if (addr.ss_family == AF_INET6) {
+      port_ = ntohs(reinterpret_cast<struct sockaddr_in6*>(&addr)->sin6_port);
+    }
+  }
+  if (::pipe(wake_fds_) != 0 || !SetNonBlocking(wake_fds_[0]) ||
+      !SetNonBlocking(wake_fds_[1])) {
+    ::close(fd);
+    for (int& w : wake_fds_) {
+      if (w >= 0) ::close(w);
+      w = -1;
+    }
+    return ErrStatus(ErrCode::kIo, "cannot create wake pipe");
+  }
+  listen_fd_ = fd;
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread(&TcpServer::Loop, this);
+  return OkStatus();
+}
+
+void TcpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_.store(true, std::memory_order_release);
+  const char byte = 0;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  for (int& w : wake_fds_) {
+    if (w >= 0) ::close(w);
+    w = -1;
+  }
+}
+
+bool TcpServer::DrainFrames(Conn* conn) {
+  while (auto frame = conn->reader.Next()) {
+    if (frame->header.type != wire::FrameType::kRequest) return false;
+    const common::RpcMetricsTable::PerOp& m = metrics_.For(frame->header.opcode);
+    m.calls->Add();
+    m.bytes_received->Add(frame->payload.size());
+    const common::CpuTimer timer;
+    const RpcResponse resp =
+        handler_->Handle(frame->header.opcode, frame->payload);
+    if (!resp.ok()) m.errors->Add();
+    m.bytes_sent->Add(resp.payload.size());
+    m.latency->Record(timer.ElapsedNanos());
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    wire::FrameHeader reply;
+    reply.type = wire::FrameType::kResponse;
+    reply.opcode = frame->header.opcode;
+    reply.request_id = frame->header.request_id;
+    reply.trace_id = frame->header.trace_id;
+    reply.code = resp.code;
+    conn->out += wire::EncodeFrame(reply, resp.payload);
+  }
+  // A framing violation is unrecoverable: drop the connection.
+  return conn->reader.status().ok();
+}
+
+bool TcpServer::FlushWrites(Conn* conn) {
+  while (conn->out_pos < conn->out.size()) {
+    const ssize_t n = ::send(conn->fd, conn->out.data() + conn->out_pos,
+                             conn->out.size() - conn->out_pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_pos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  conn->out.clear();
+  conn->out_pos = 0;
+  return true;
+}
+
+void TcpServer::Loop() {
+  std::vector<std::unique_ptr<Conn>> conns;
+  std::vector<struct pollfd> pfds;
+  char buf[kIoChunk];
+  while (!stop_.load(std::memory_order_acquire)) {
+    pfds.clear();
+    pfds.push_back({listen_fd_, POLLIN, 0});
+    pfds.push_back({wake_fds_[0], POLLIN, 0});
+    for (const auto& conn : conns) {
+      short events = POLLIN;
+      if (conn->out_pos < conn->out.size()) events |= POLLOUT;
+      pfds.push_back({conn->fd, events, 0});
+    }
+    if (::poll(pfds.data(), pfds.size(), -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (pfds[1].revents != 0) {
+      while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    // Conns accepted below were not in this poll round; only the first
+    // `polled` entries of `conns` have a matching pollfd.
+    const std::size_t polled = pfds.size() - 2;
+    if (pfds[0].revents & POLLIN) {
+      for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        if (!SetNonBlocking(fd)) {
+          ::close(fd);
+          continue;
+        }
+        SetNoDelay(fd);
+        conns.push_back(
+            std::make_unique<Conn>(fd, options_.max_payload_bytes));
+      }
+    }
+    for (std::size_t i = 0; i < polled && i < conns.size();) {
+      Conn* conn = conns[i].get();
+      const short revents = pfds[2 + i].revents;
+      bool alive = true;
+      if (revents & (POLLIN | POLLHUP | POLLERR)) {
+        for (;;) {
+          const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+          if (n > 0) {
+            conn->reader.Append(
+                std::string_view(buf, static_cast<std::size_t>(n)));
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          if (n < 0 && errno == EINTR) continue;
+          alive = false;  // orderly close or hard error
+          break;
+        }
+        if (alive) alive = DrainFrames(conn);
+      }
+      if (alive && (conn->out_pos < conn->out.size())) alive = FlushWrites(conn);
+      if (alive) {
+        ++i;
+      } else {
+        ::close(conn->fd);
+        conns[i] = std::move(conns.back());
+        conns.pop_back();
+        // pfds is stale after the swap; rebuild on the next iteration.
+        break;
+      }
+    }
+  }
+  for (const auto& conn : conns) ::close(conn->fd);
+}
+
+// ---------------------------------------------------------------------------
+// TcpChannel
+// ---------------------------------------------------------------------------
+
+TcpChannel::TcpChannel(TcpChannelOptions options) : options_(options) {}
+
+TcpChannel::~TcpChannel() { DisconnectAll(); }
+
+void TcpChannel::Register(NodeId id, std::string host, std::uint16_t port) {
+  auto ep = std::make_unique<Endpoint>();
+  ep->host = std::move(host);
+  ep->port = port;
+  endpoints_[id] = std::move(ep);
+}
+
+bool TcpChannel::Register(NodeId id, std::string_view host_port) {
+  std::string host;
+  std::uint16_t port = 0;
+  if (!ParseHostPort(host_port, &host, &port)) return false;
+  Register(id, std::move(host), port);
+  return true;
+}
+
+void TcpChannel::DisconnectAll() {
+  for (auto& [id, ep] : endpoints_) {
+    std::scoped_lock lock(ep->mu);
+    for (int fd : ep->idle) ::close(fd);
+    ep->idle.clear();
+  }
+}
+
+int TcpChannel::PopIdle(Endpoint& ep) {
+  std::scoped_lock lock(ep.mu);
+  if (ep.idle.empty()) return -1;
+  const int fd = ep.idle.back();
+  ep.idle.pop_back();
+  return fd;
+}
+
+void TcpChannel::PushIdle(Endpoint& ep, int fd) {
+  std::scoped_lock lock(ep.mu);
+  ep.idle.push_back(fd);
+}
+
+int TcpChannel::Connect(const Endpoint& ep, common::Nanos deadline_abs,
+                        bool* timed_out) {
+  *timed_out = false;
+  common::Nanos backoff = options_.connect_backoff_ns;
+  for (int attempt = 0; attempt < options_.connect_attempts; ++attempt) {
+    const common::Nanos now = common::CpuTimer::Now();
+    if (now >= deadline_abs) {
+      *timed_out = true;
+      return -1;
+    }
+    const common::Nanos attempt_deadline =
+        std::min(deadline_abs, now + options_.connect_timeout_ns);
+    const int fd = ConnectOnce(ep.host, ep.port, attempt_deadline);
+    if (fd >= 0) return fd;
+    if (attempt + 1 < options_.connect_attempts) {
+      const common::Nanos sleep_ns =
+          std::min(backoff, deadline_abs - common::CpuTimer::Now());
+      if (sleep_ns > 0) {
+        std::this_thread::sleep_for(std::chrono::nanoseconds(sleep_ns));
+      }
+      backoff *= 2;
+    }
+  }
+  return -1;
+}
+
+RpcResponse TcpChannel::DoCall(Endpoint& ep, std::uint16_t opcode,
+                               std::string_view payload, const CallMeta& meta) {
+  const common::RpcMetricsTable::PerOp& m = metrics_.For(opcode);
+  m.calls->Add();
+  m.bytes_sent->Add(payload.size());
+  const common::CpuTimer timer;
+  const auto fail = [&](ErrCode code) {
+    m.errors->Add();
+    m.latency->Record(timer.ElapsedNanos());
+    return RpcResponse{code, {}};
+  };
+  if (payload.size() > options_.max_payload_bytes) return fail(ErrCode::kInvalid);
+  const common::Nanos deadline_ns =
+      meta.deadline_ns > 0 ? meta.deadline_ns : options_.call_deadline_ns;
+  const common::Nanos deadline_abs = common::CpuTimer::Now() + deadline_ns;
+
+  // Attempt 0 may reuse a pooled connection the server has silently closed;
+  // when it fails before any response byte arrives, attempt 1 retries once
+  // on a fresh connection.  A fresh-connection failure is authoritative.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    bool pooled = false;
+    int fd = -1;
+    if (attempt == 0) {
+      fd = PopIdle(ep);
+      pooled = fd >= 0;
+    }
+    if (fd < 0) {
+      bool timed_out = false;
+      fd = Connect(ep, deadline_abs, &timed_out);
+      if (fd < 0) {
+        return fail(timed_out ? ErrCode::kTimeout : ErrCode::kUnavailable);
+      }
+    }
+    wire::FrameHeader header;
+    header.type = wire::FrameType::kRequest;
+    header.opcode = opcode;
+    header.request_id = ep.next_request_id.fetch_add(1, std::memory_order_relaxed);
+    header.trace_id = meta.trace_id != 0 ? meta.trace_id : NextTraceId();
+    const std::string frame = wire::EncodeFrame(header, payload);
+
+    Status st = SendAll(fd, frame, deadline_abs);
+    if (!st.ok()) {
+      ::close(fd);
+      if (pooled && st.code() == ErrCode::kUnavailable) continue;
+      return fail(st.code());
+    }
+    wire::FrameReader reader(options_.max_payload_bytes);
+    wire::Frame resp_frame;
+    bool got_any = false;
+    st = RecvFrame(fd, &reader, &resp_frame, deadline_abs, &got_any);
+    if (!st.ok()) {
+      ::close(fd);
+      if (pooled && !got_any && st.code() == ErrCode::kUnavailable) continue;
+      return fail(st.code());
+    }
+    if (resp_frame.header.type != wire::FrameType::kResponse ||
+        resp_frame.header.request_id != header.request_id) {
+      ::close(fd);
+      return fail(ErrCode::kCorruption);
+    }
+    // Only a fully-drained connection is safe to reuse: stray buffered bytes
+    // would desynchronize the next call on it.
+    if (reader.buffered() == 0) {
+      PushIdle(ep, fd);
+    } else {
+      ::close(fd);
+    }
+    RpcResponse resp{resp_frame.header.code, std::move(resp_frame.payload)};
+    if (!resp.ok()) m.errors->Add();
+    m.bytes_received->Add(resp.payload.size());
+    m.latency->Record(timer.ElapsedNanos());
+    return resp;
+  }
+  return fail(ErrCode::kUnavailable);  // unreachable
+}
+
+void TcpChannel::CallAsync(NodeId server, std::uint16_t opcode,
+                           std::string payload,
+                           std::function<void(RpcResponse)> done) {
+  CallAsyncMeta(server, opcode, std::move(payload), CallMeta{}, std::move(done));
+}
+
+void TcpChannel::CallAsyncMeta(NodeId server, std::uint16_t opcode,
+                               std::string payload, const CallMeta& meta,
+                               std::function<void(RpcResponse)> done) {
+  const auto it = endpoints_.find(server);
+  if (it == endpoints_.end()) {
+    const common::RpcMetricsTable::PerOp& m = metrics_.For(opcode);
+    m.calls->Add();
+    m.errors->Add();
+    done(RpcResponse{ErrCode::kUnavailable, {}});
+    return;
+  }
+  done(DoCall(*it->second, opcode, payload, meta));
+}
+
+}  // namespace loco::net

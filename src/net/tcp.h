@@ -1,0 +1,168 @@
+// Real TCP transport (docs/NET.md).
+//
+// TcpServer hosts one RpcHandler behind a poll()-driven event loop: frames
+// are decoded incrementally (net/wire.h), the handler runs inline on the
+// single loop thread — the same one-request-at-a-time contract every service
+// is written against — and responses are written back with the request's
+// correlation and trace ids echoed.  Malformed streams drop the connection;
+// they never crash the daemon or wedge the loop.
+//
+// TcpChannel is the client side: a net::Channel whose NodeIds map to
+// host:port endpoints.  It keeps a pool of idle connections per endpoint
+// (concurrent callers each get their own socket), enforces a per-call
+// deadline, retries refused connects a bounded number of times with
+// exponential backoff, and surfaces failures exactly like the in-process
+// transport does — kUnavailable for unreachable/dead peers, kTimeout for an
+// expired deadline, kCorruption for framing violations — so the client-side
+// FMS-outage fallbacks work unchanged over real sockets.  Calls complete
+// inline (the transport blocks the calling thread), which keeps
+// net::RunInline-driven code working.
+//
+// Both sides record per-opcode metrics through common::RpcMetricsTable:
+// rpc.tcp.* on the channel (round-trip view) and rpc.tcp_server.* on the
+// server (service view), both in wall-clock nanoseconds.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "net/rpc.h"
+#include "net/wire.h"
+
+namespace loco::net {
+
+// Split "host:port" ("127.0.0.1:9000"); false on malformed input.
+bool ParseHostPort(std::string_view spec, std::string* host,
+                   std::uint16_t* port);
+
+// True when a connected socket's local and peer addresses are identical —
+// the TCP simultaneous-open self-connection a loopback connect() to a dead
+// port in the ephemeral range can produce.  Such a socket echoes every
+// request back verbatim; the channel treats it as a connection failure.
+bool IsSelfConnected(int fd);
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+class TcpServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;  // 0 = kernel-assigned; read port() after Start
+    int backlog = 128;
+    std::uint32_t max_payload_bytes = wire::kMaxPayloadBytes;
+  };
+
+  explicit TcpServer(RpcHandler* handler) : TcpServer(handler, Options{}) {}
+  TcpServer(RpcHandler* handler, Options options);
+  ~TcpServer();
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  // Bind, listen and spawn the event-loop thread.  One Start per instance.
+  Status Start();
+  // Close the listening socket and every connection, then join the loop.
+  // Idempotent; also run by the destructor.
+  void Stop();
+
+  bool running() const noexcept { return running_.load(std::memory_order_acquire); }
+  std::uint16_t port() const noexcept { return port_; }
+  const std::string& host() const noexcept { return options_.host; }
+  // Requests dispatched to the handler so far (tests / daemonstats).
+  std::uint64_t requests_served() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Conn;
+
+  void Loop();
+  // Decode and dispatch every complete frame buffered on `conn`; returns
+  // false when the connection must be dropped (framing violation).
+  bool DrainFrames(Conn* conn);
+  // Flush pending response bytes; returns false on a dead peer.
+  bool FlushWrites(Conn* conn);
+
+  RpcHandler* handler_;
+  Options options_;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: Stop() wakes the poll loop
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::uint16_t port_ = 0;
+  std::atomic<std::uint64_t> requests_{0};
+  common::RpcMetricsTable metrics_{&common::MetricsRegistry::Default(),
+                                   "tcp_server", "wall_ns"};
+};
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+struct TcpChannelOptions {
+  // Default per-call deadline (send + receive, including connect time);
+  // CallMeta::deadline_ns overrides per call.
+  common::Nanos call_deadline_ns = 5 * common::kSecond;
+  // Bounded retry on connect failure: total attempts per call.
+  int connect_attempts = 3;
+  // Backoff before attempt N+1; doubles each retry.
+  common::Nanos connect_backoff_ns = 20 * common::kMilli;
+  // Cap on a single connect() wait (also bounded by the call deadline).
+  common::Nanos connect_timeout_ns = common::kSecond;
+  std::uint32_t max_payload_bytes = wire::kMaxPayloadBytes;
+};
+
+class TcpChannel final : public Channel {
+ public:
+  explicit TcpChannel(TcpChannelOptions options = {});
+  ~TcpChannel() override;
+
+  // Map `id` to an endpoint.  Like InProcTransport::Register: perform all
+  // registrations before serving traffic.
+  void Register(NodeId id, std::string host, std::uint16_t port);
+  // Same, from a "host:port" spec; false on malformed input.
+  bool Register(NodeId id, std::string_view host_port);
+
+  void CallAsync(NodeId server, std::uint16_t opcode, std::string payload,
+                 std::function<void(RpcResponse)> done) override;
+  void CallAsyncMeta(NodeId server, std::uint16_t opcode, std::string payload,
+                     const CallMeta& meta,
+                     std::function<void(RpcResponse)> done) override;
+
+  // Drop every pooled idle connection (tests; forces fresh connects).
+  void DisconnectAll();
+
+ private:
+  struct Endpoint {
+    std::string host;
+    std::uint16_t port = 0;
+    std::mutex mu;
+    std::vector<int> idle;  // pooled connected sockets
+    std::atomic<std::uint64_t> next_request_id{1};
+  };
+
+  RpcResponse DoCall(Endpoint& ep, std::uint16_t opcode,
+                     std::string_view payload, const CallMeta& meta);
+  // Connect with bounded retry + exponential backoff; -1 on failure
+  // (`timed_out` reports whether the call deadline, not the peer, gave up).
+  int Connect(const Endpoint& ep, common::Nanos deadline_abs, bool* timed_out);
+  int PopIdle(Endpoint& ep);
+  void PushIdle(Endpoint& ep, int fd);
+
+  TcpChannelOptions options_;
+  std::unordered_map<NodeId, std::unique_ptr<Endpoint>> endpoints_;
+  common::RpcMetricsTable metrics_{&common::MetricsRegistry::Default(),
+                                   "tcp", "wall_ns"};
+};
+
+}  // namespace loco::net

@@ -1,0 +1,74 @@
+#include "net/wire.h"
+
+#include "common/codec.h"
+
+namespace loco::net::wire {
+
+std::string EncodeFrame(const FrameHeader& header, std::string_view payload) {
+  common::Writer w;
+  w.PutU32(kMagic);
+  w.PutU8(kVersion);
+  w.PutU8(static_cast<std::uint8_t>(header.type));
+  w.PutU16(header.opcode);
+  w.PutU64(header.request_id);
+  w.PutU64(header.trace_id);
+  w.PutU8(static_cast<std::uint8_t>(header.code));
+  w.PutU32(static_cast<std::uint32_t>(payload.size()));
+  w.PutRaw(payload);
+  return w.Take();
+}
+
+Status DecodeHeader(std::string_view bytes, FrameHeader* out) {
+  common::Reader r(bytes);
+  const std::uint32_t magic = r.GetU32();
+  const std::uint8_t version = r.GetU8();
+  const std::uint8_t type = r.GetU8();
+  out->opcode = r.GetU16();
+  out->request_id = r.GetU64();
+  out->trace_id = r.GetU64();
+  const std::uint8_t code = r.GetU8();
+  out->payload_len = r.GetU32();
+  if (!r.ok()) return ErrStatus(ErrCode::kCorruption, "short frame header");
+  if (magic != kMagic) return ErrStatus(ErrCode::kCorruption, "bad frame magic");
+  if (version != kVersion) {
+    return ErrStatus(ErrCode::kCorruption, "unsupported frame version");
+  }
+  if (type != static_cast<std::uint8_t>(FrameType::kRequest) &&
+      type != static_cast<std::uint8_t>(FrameType::kResponse)) {
+    return ErrStatus(ErrCode::kCorruption, "bad frame type");
+  }
+  if (code > static_cast<std::uint8_t>(ErrCode::kUnsupported)) {
+    return ErrStatus(ErrCode::kCorruption, "bad frame error code");
+  }
+  out->type = static_cast<FrameType>(type);
+  out->code = static_cast<ErrCode>(code);
+  return OkStatus();
+}
+
+std::optional<Frame> FrameReader::Next() {
+  if (!status_.ok()) return std::nullopt;
+  if (buffered() < kHeaderBytes) return std::nullopt;
+  FrameHeader header;
+  status_ = DecodeHeader(std::string_view(buf_).substr(pos_), &header);
+  if (!status_.ok()) return std::nullopt;
+  if (header.payload_len > max_payload_) {
+    status_ = ErrStatus(ErrCode::kCorruption, "frame payload over cap");
+    return std::nullopt;
+  }
+  if (buffered() < kHeaderBytes + header.payload_len) return std::nullopt;
+  Frame frame;
+  frame.header = header;
+  frame.payload = buf_.substr(pos_ + kHeaderBytes, header.payload_len);
+  pos_ += kHeaderBytes + header.payload_len;
+  // Reclaim consumed bytes once nothing useful remains before pos_.
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > (64u << 10)) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  return frame;
+}
+
+}  // namespace loco::net::wire

@@ -1,0 +1,88 @@
+// TCP wire format: length-prefixed binary frames shared by the client and
+// server sides of net::TcpChannel / net::TcpServer (docs/NET.md).
+//
+// Every message is one frame:
+//
+//   offset  size  field
+//        0     4  magic       0x4C4F434Fu ("LOCO"), little-endian
+//        4     1  version     kVersion (currently 1)
+//        5     1  type        1 = request, 2 = response
+//        6     2  opcode      RPC opcode (core/proto.h, baselines/proto.h)
+//        8     8  request id  per-connection correlation id; echoed verbatim
+//       16     8  trace id    per-operation id threaded through net::Call
+//       24     1  code        ErrCode of a response; 0 in requests
+//       25     4  payload len bytes that follow the header
+//       29     …  payload     opcode-specific bytes (fs::Pack tuples)
+//
+// All integers are little-endian (common::Writer/Reader).  Decoding is
+// defensive: bad magic, unknown version, an out-of-range error code or a
+// payload length above the negotiated cap surface as ErrCode::kCorruption,
+// never as a crash or an unbounded allocation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace loco::net::wire {
+
+inline constexpr std::uint32_t kMagic = 0x4C4F434Fu;  // "LOCO"
+inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 29;
+// Default cap on a single frame's payload.  Far above any legitimate
+// metadata message; guards the peer against hostile length fields.
+inline constexpr std::uint32_t kMaxPayloadBytes = 64u << 20;
+
+enum class FrameType : std::uint8_t { kRequest = 1, kResponse = 2 };
+
+struct FrameHeader {
+  FrameType type = FrameType::kRequest;
+  std::uint16_t opcode = 0;
+  std::uint64_t request_id = 0;
+  std::uint64_t trace_id = 0;
+  ErrCode code = ErrCode::kOk;  // responses only; requests carry kOk
+  std::uint32_t payload_len = 0;
+};
+
+// Serialize one complete frame (header.payload_len is taken from `payload`,
+// not from the struct).  The caller must keep payload within the peer's cap.
+std::string EncodeFrame(const FrameHeader& header, std::string_view payload);
+
+// Decode the fixed header from `bytes` (which must hold >= kHeaderBytes).
+// kCorruption on bad magic / unsupported version / invalid type or code.
+Status DecodeHeader(std::string_view bytes, FrameHeader* out);
+
+struct Frame {
+  FrameHeader header;
+  std::string payload;
+};
+
+// Incremental frame extractor over a byte stream.  Feed arbitrary chunks
+// with Append(); Next() yields complete frames in order and std::nullopt
+// while more bytes are needed.  The first framing violation (bad header,
+// oversized payload) latches status() to an error and Next() stays empty —
+// a corrupt stream cannot resynchronize and the connection must be dropped.
+class FrameReader {
+ public:
+  explicit FrameReader(std::uint32_t max_payload = kMaxPayloadBytes)
+      : max_payload_(max_payload) {}
+
+  void Append(std::string_view bytes) { buf_.append(bytes); }
+
+  std::optional<Frame> Next();
+
+  const Status& status() const noexcept { return status_; }
+  // Bytes received but not yet consumed by a completed frame.
+  std::size_t buffered() const noexcept { return buf_.size() - pos_; }
+
+ private:
+  std::uint32_t max_payload_;
+  std::string buf_;
+  std::size_t pos_ = 0;
+  Status status_;
+};
+
+}  // namespace loco::net::wire

@@ -191,5 +191,53 @@ TEST(MetricsOutTest, WriteMetricsJsonEmitsRegistryDump) {
   EXPECT_FALSE(WriteMetricsJson("/nonexistent-dir/x/y.json"));
 }
 
+TEST(ConnectSpecTest, ParsesRolesInAnyOrder) {
+  auto eps = ParseConnectSpec(
+      "fms=127.0.0.1:9001,osd=127.0.0.1:9100,dms=127.0.0.1:9000,"
+      "fms=127.0.0.1:9002");
+  ASSERT_TRUE(eps.ok()) << eps.status().ToString();
+  EXPECT_EQ(eps->dms, "127.0.0.1:9000");
+  ASSERT_EQ(eps->fms.size(), 2u);
+  EXPECT_EQ(eps->fms[0], "127.0.0.1:9001");
+  EXPECT_EQ(eps->fms[1], "127.0.0.1:9002");
+  ASSERT_EQ(eps->object_stores.size(), 1u);
+  EXPECT_EQ(eps->object_stores[0], "127.0.0.1:9100");
+}
+
+TEST(ConnectSpecTest, RejectsMalformedSpecs) {
+  // Missing roles.
+  EXPECT_EQ(ParseConnectSpec("").code(), ErrCode::kInvalid);
+  EXPECT_EQ(ParseConnectSpec("dms=1.2.3.4:1").code(), ErrCode::kInvalid);
+  EXPECT_EQ(ParseConnectSpec("dms=h:1,fms=h:2").code(), ErrCode::kInvalid);
+  EXPECT_EQ(ParseConnectSpec("fms=h:2,osd=h:3").code(), ErrCode::kInvalid);
+  // Duplicate dms.
+  EXPECT_EQ(ParseConnectSpec("dms=h:1,dms=h:2,fms=h:3,osd=h:4").code(),
+            ErrCode::kInvalid);
+  // Bad role / bad address / missing '='.
+  EXPECT_EQ(ParseConnectSpec("dms=h:1,fms=h:2,osd=h:3,mds=h:4").code(),
+            ErrCode::kInvalid);
+  EXPECT_EQ(ParseConnectSpec("dms=h,fms=h:2,osd=h:3").code(),
+            ErrCode::kInvalid);
+  EXPECT_EQ(ParseConnectSpec("dms,fms=h:2,osd=h:3").code(), ErrCode::kInvalid);
+}
+
+TEST(ConnectSpecTest, ConnectRemoteAssignsStableNodeIds) {
+  auto eps = ParseConnectSpec(
+      "dms=127.0.0.1:9000,fms=127.0.0.1:9001,fms=127.0.0.1:9002,"
+      "osd=127.0.0.1:9100,osd=127.0.0.1:9101");
+  ASSERT_TRUE(eps.ok());
+  auto deployment = ConnectRemote(*eps);
+  ASSERT_TRUE(deployment.ok()) << deployment.status().ToString();
+  EXPECT_EQ(deployment->config.dms, 0u);
+  EXPECT_EQ(deployment->config.fms, (std::vector<net::NodeId>{1, 2}));
+  EXPECT_EQ(deployment->config.object_stores,
+            (std::vector<net::NodeId>{1000, 1001}));
+  EXPECT_NE(deployment->channel, nullptr);
+  // No daemon is running: clients built from this deployment surface
+  // kUnavailable rather than hanging (covered by the TCP e2e suite).
+  auto client = deployment->MakeClient([] { return std::uint64_t{1}; });
+  EXPECT_NE(client, nullptr);
+}
+
 }  // namespace
 }  // namespace loco::bench

@@ -208,5 +208,53 @@ TEST(MetricsRegistryTest, DefaultIsSingleton) {
   EXPECT_EQ(&MetricsRegistry::Default(), &MetricsRegistry::Default());
 }
 
+TEST(MetricsRegistryTest, ReleasedGaugeRetiresItsFinalValue) {
+  MetricsRegistry reg;
+  {
+    double v = 41.0;
+    auto handle = reg.RegisterGauge("kv.size", [&v] { return v; });
+    v = 42.0;
+    EXPECT_FALSE(reg.HasRetiredGauge("kv.size"));
+  }
+  // Live accessors keep their existing semantics: the gauge is gone.
+  EXPECT_FALSE(reg.HasGauge("kv.size"));
+  EXPECT_EQ(reg.GaugeValue("kv.size"), 0.0);
+  // But the final value survived for end-of-run exposition.
+  EXPECT_TRUE(reg.HasRetiredGauge("kv.size"));
+  EXPECT_EQ(reg.RetiredGaugeValue("kv.size"), 42.0);
+  EXPECT_NE(reg.ToJson().find("\"kv.size\": 42"), std::string::npos);
+  EXPECT_NE(reg.ToText().find("kv.size 42"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, LiveReRegistrationShadowsRetiredValue) {
+  MetricsRegistry reg;
+  { auto old_handle = reg.RegisterGauge("g", [] { return 1.0; }); }
+  ASSERT_EQ(reg.RetiredGaugeValue("g"), 1.0);
+
+  auto handle = reg.RegisterGauge("g", [] { return 7.0; });
+  // Exposition shows the live gauge, once, not the stale retired value.
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"g\": 7"), std::string::npos);
+  EXPECT_EQ(json.find("\"g\": 1"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ReplacedGaugeDoesNotRetireOnOldHandleRelease) {
+  MetricsRegistry reg;
+  auto first = reg.RegisterGauge("g", [] { return 1.0; });
+  auto second = reg.RegisterGauge("g", [] { return 2.0; });  // replaces
+  first = MetricsRegistry::GaugeHandle();  // stale generation: no effect
+  EXPECT_FALSE(reg.HasRetiredGauge("g"));
+  EXPECT_EQ(reg.GaugeValue("g"), 2.0);
+}
+
+TEST(MetricsRegistryTest, ResetDropsRetiredGauges) {
+  MetricsRegistry reg;
+  { auto handle = reg.RegisterGauge("g", [] { return 5.0; }); }
+  ASSERT_TRUE(reg.HasRetiredGauge("g"));
+  reg.Reset();
+  EXPECT_FALSE(reg.HasRetiredGauge("g"));
+  EXPECT_EQ(reg.RetiredGaugeValue("g"), 0.0);
+}
+
 }  // namespace
 }  // namespace loco::common

@@ -1,0 +1,188 @@
+// Wire-format robustness: framing roundtrips, truncated/corrupt streams, and
+// hostile length fields must all surface as clean errors (never hangs or UB).
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace loco::net::wire {
+namespace {
+
+FrameHeader RequestHeader(std::uint16_t opcode, std::uint64_t request_id,
+                          std::uint64_t trace_id) {
+  FrameHeader h;
+  h.type = FrameType::kRequest;
+  h.opcode = opcode;
+  h.request_id = request_id;
+  h.trace_id = trace_id;
+  return h;
+}
+
+TEST(WireTest, EncodeDecodeRoundtrip) {
+  const std::string payload = "hello payload";
+  const std::string bytes = EncodeFrame(RequestHeader(42, 7, 99), payload);
+  ASSERT_EQ(bytes.size(), kHeaderBytes + payload.size());
+
+  FrameHeader decoded;
+  ASSERT_TRUE(DecodeHeader(bytes, &decoded).ok());
+  EXPECT_EQ(decoded.type, FrameType::kRequest);
+  EXPECT_EQ(decoded.opcode, 42);
+  EXPECT_EQ(decoded.request_id, 7u);
+  EXPECT_EQ(decoded.trace_id, 99u);
+  EXPECT_EQ(decoded.code, ErrCode::kOk);
+  EXPECT_EQ(decoded.payload_len, payload.size());
+}
+
+TEST(WireTest, ResponseCarriesErrorCode) {
+  FrameHeader h;
+  h.type = FrameType::kResponse;
+  h.opcode = 3;
+  h.request_id = 1;
+  h.code = ErrCode::kNotFound;
+  const std::string bytes = EncodeFrame(h, "");
+
+  FrameReader reader;
+  reader.Append(bytes);
+  auto frame = reader.Next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->header.code, ErrCode::kNotFound);
+  EXPECT_EQ(frame->header.type, FrameType::kResponse);
+  EXPECT_TRUE(frame->payload.empty());
+}
+
+TEST(WireTest, DecodeRejectsBadMagic) {
+  std::string bytes = EncodeFrame(RequestHeader(1, 1, 1), "");
+  bytes[0] ^= 0xFF;
+  FrameHeader h;
+  EXPECT_EQ(DecodeHeader(bytes, &h).code(), ErrCode::kCorruption);
+}
+
+TEST(WireTest, DecodeRejectsBadVersion) {
+  std::string bytes = EncodeFrame(RequestHeader(1, 1, 1), "");
+  bytes[4] = char(kVersion + 1);
+  FrameHeader h;
+  EXPECT_EQ(DecodeHeader(bytes, &h).code(), ErrCode::kCorruption);
+}
+
+TEST(WireTest, DecodeRejectsBadType) {
+  std::string bytes = EncodeFrame(RequestHeader(1, 1, 1), "");
+  bytes[5] = 9;
+  FrameHeader h;
+  EXPECT_EQ(DecodeHeader(bytes, &h).code(), ErrCode::kCorruption);
+}
+
+TEST(WireTest, DecodeRejectsOutOfRangeErrCode) {
+  std::string bytes = EncodeFrame(RequestHeader(1, 1, 1), "");
+  bytes[24] = char(0x7F);  // far past kUnsupported
+  FrameHeader h;
+  EXPECT_EQ(DecodeHeader(bytes, &h).code(), ErrCode::kCorruption);
+}
+
+TEST(WireTest, ReaderWaitsOnTruncatedHeader) {
+  const std::string bytes = EncodeFrame(RequestHeader(5, 2, 3), "abc");
+  FrameReader reader;
+  reader.Append(std::string_view(bytes).substr(0, kHeaderBytes - 1));
+  EXPECT_FALSE(reader.Next().has_value());
+  EXPECT_TRUE(reader.status().ok());  // incomplete, not corrupt
+
+  reader.Append(std::string_view(bytes).substr(kHeaderBytes - 1));
+  auto frame = reader.Next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, "abc");
+}
+
+TEST(WireTest, ReaderWaitsOnTruncatedPayload) {
+  const std::string bytes = EncodeFrame(RequestHeader(5, 2, 3), "abcdef");
+  FrameReader reader;
+  reader.Append(std::string_view(bytes).substr(0, bytes.size() - 2));
+  EXPECT_FALSE(reader.Next().has_value());
+  EXPECT_TRUE(reader.status().ok());
+  EXPECT_EQ(reader.buffered(), bytes.size() - 2);
+
+  reader.Append(std::string_view(bytes).substr(bytes.size() - 2));
+  auto frame = reader.Next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, "abcdef");
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(WireTest, ReaderFeedByteAtATime) {
+  const std::string bytes =
+      EncodeFrame(RequestHeader(64, 77, 88), std::string(100, 'x'));
+  FrameReader reader;
+  for (std::size_t i = 0; i < bytes.size() - 1; ++i) {
+    reader.Append(std::string_view(&bytes[i], 1));
+    EXPECT_FALSE(reader.Next().has_value());
+    ASSERT_TRUE(reader.status().ok());
+  }
+  reader.Append(std::string_view(&bytes[bytes.size() - 1], 1));
+  auto frame = reader.Next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->header.opcode, 64);
+  EXPECT_EQ(frame->payload.size(), 100u);
+}
+
+TEST(WireTest, ReaderExtractsBackToBackFrames) {
+  const std::string bytes = EncodeFrame(RequestHeader(1, 1, 9), "one") +
+                            EncodeFrame(RequestHeader(2, 2, 9), "two") +
+                            EncodeFrame(RequestHeader(3, 3, 9), "three");
+  FrameReader reader;
+  reader.Append(bytes);
+  auto a = reader.Next();
+  auto b = reader.Next();
+  auto c = reader.Next();
+  ASSERT_TRUE(a && b && c);
+  EXPECT_EQ(a->payload, "one");
+  EXPECT_EQ(b->payload, "two");
+  EXPECT_EQ(c->payload, "three");
+  EXPECT_FALSE(reader.Next().has_value());
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(WireTest, OversizedPayloadLengthLatchesCorruption) {
+  // A hostile length field must fail fast, not allocate 4 GiB or wait for
+  // bytes that will never come.
+  FrameHeader h = RequestHeader(1, 1, 1);
+  std::string bytes = EncodeFrame(h, "");
+  // Patch payload_len (offset 25, little-endian u32) to max.
+  bytes[25] = char(0xFF);
+  bytes[26] = char(0xFF);
+  bytes[27] = char(0xFF);
+  bytes[28] = char(0xFF);
+
+  FrameReader reader(/*max_payload=*/1024);
+  reader.Append(bytes);
+  EXPECT_FALSE(reader.Next().has_value());
+  EXPECT_EQ(reader.status().code(), ErrCode::kCorruption);
+  // Latched: even appending valid frames afterwards yields nothing.
+  reader.Append(EncodeFrame(RequestHeader(2, 2, 2), "ok"));
+  EXPECT_FALSE(reader.Next().has_value());
+  EXPECT_EQ(reader.status().code(), ErrCode::kCorruption);
+}
+
+TEST(WireTest, CorruptHeaderMidStreamLatches) {
+  FrameReader reader;
+  reader.Append(EncodeFrame(RequestHeader(1, 1, 1), "good"));
+  std::string bad = EncodeFrame(RequestHeader(2, 2, 2), "bad");
+  bad[0] ^= 0xFF;
+  reader.Append(bad);
+
+  auto good = reader.Next();
+  ASSERT_TRUE(good.has_value());
+  EXPECT_EQ(good->payload, "good");
+  EXPECT_FALSE(reader.Next().has_value());
+  EXPECT_EQ(reader.status().code(), ErrCode::kCorruption);
+}
+
+TEST(WireTest, EmptyPayloadRoundtrip) {
+  FrameReader reader;
+  reader.Append(EncodeFrame(RequestHeader(10, 1, 0), ""));
+  auto frame = reader.Next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_TRUE(frame->payload.empty());
+  EXPECT_EQ(frame->header.payload_len, 0u);
+}
+
+}  // namespace
+}  // namespace loco::net::wire
