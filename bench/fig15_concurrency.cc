@@ -1,0 +1,299 @@
+// Figure 15 (extension): metadata-service concurrency — aggregate create +
+// stat throughput as the server-side dispatch pool grows.
+//
+// The paper's Table 2 testbed gives every metadata server a journaling SSD;
+// LocoFS's throughput scaling (Fig. 8) relies on servers overlapping many
+// clients' journal commits.  This bench reproduces that effect end-to-end on
+// one host: a DMS and an FMS run behind real loopback net::TcpServers whose
+// handlers are wrapped to charge a ~60 us modeled journal-commit per
+// mutation (core::DeviceProfile, the same SSD profile the simulator uses).
+// TcpServer charges RpcResponse::extra_service_ns by sleeping on the worker
+// thread, so with --workers 1 commits serialize and with --workers 4 they
+// overlap — the real-time analogue of the simulator's virtual-time device
+// accounting, and measurable even on a single-core host.
+//
+// Clients: K threads share one pipelined net::TcpChannel (requests are
+// correlated by request id, so up to --depth calls ride each connection);
+// each thread drives its own fs::FileSystemClient through mkdir + create +
+// stat phases.
+//
+// Output: a table on stdout and a JSON record (--out, default
+// BENCH_concurrency.json) with aggregate ops/s per worker count and the
+// 4-vs-1 speedup.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/dms.h"
+#include "core/fms.h"
+#include "core/object_store.h"
+#include "core/proto.h"
+#include "net/task.h"
+#include "net/tcp.h"
+
+namespace loco::bench {
+namespace {
+
+// Adds the modeled metadata-journal commit to every mutating response.
+// Reads stay device-free (LocoFS serves them from the in-memory KV).
+class JournalChargeHandler final : public net::RpcHandler {
+ public:
+  JournalChargeHandler(net::RpcHandler* inner, core::DeviceProfile device)
+      : inner_(inner), device_(device) {}
+
+  net::RpcResponse Handle(std::uint16_t opcode,
+                          std::string_view payload) override {
+    net::RpcResponse resp = inner_->Handle(opcode, payload);
+    if (IsMutation(opcode)) {
+      // One journal append of ~200 B of metadata per mutation.
+      resp.extra_service_ns += device_.Cost(1, 200);
+    }
+    return resp;
+  }
+
+ private:
+  static bool IsMutation(std::uint16_t opcode) {
+    switch (opcode) {
+      case core::proto::kDmsMkdir:
+      case core::proto::kDmsRmdir:
+      case core::proto::kDmsRename:
+      case core::proto::kFmsCreate:
+      case core::proto::kFmsRemove:
+      case core::proto::kFmsSetSize:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  net::RpcHandler* inner_;
+  core::DeviceProfile device_;
+};
+
+struct RunResult {
+  int workers;
+  double create_ops_per_sec;
+  double stat_ops_per_sec;
+  double aggregate_ops_per_sec;
+};
+
+double Seconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+std::string HostPort(const net::TcpServer& server) {
+  return server.host() + ":" + std::to_string(server.port());
+}
+
+// One full deployment + workload at a given worker count.
+RunResult RunOnce(int workers, int clients, int files_per_client,
+                  std::uint32_t depth) {
+  // Fresh servers per run: stores start empty and counters measure one
+  // configuration only.
+  core::DirectoryMetadataServer dms;
+  core::FileMetadataServer::Options fms_options;
+  fms_options.sid = 1;
+  core::FileMetadataServer fms(fms_options);
+  core::ObjectStoreServer osd{core::ObjectStoreServer::Options{}};
+
+  const core::DeviceProfile journal{60'000, 450e6};  // Table 2 metadata SSD
+  JournalChargeHandler dms_charged(&dms, journal);
+  JournalChargeHandler fms_charged(&fms, journal);
+  net::SerialHandler osd_serial(&osd);  // OSD is not thread-safe
+
+  net::TcpServer::Options server_options;
+  server_options.workers = workers;
+  net::TcpServer dms_server(&dms_charged, server_options);
+  net::TcpServer fms_server(&fms_charged, server_options);
+  net::TcpServer osd_server(&osd_serial, server_options);
+  if (!dms_server.Start().ok() || !fms_server.Start().ok() ||
+      !osd_server.Start().ok()) {
+    std::fprintf(stderr, "fig15: failed to start loopback servers\n");
+    std::exit(1);
+  }
+
+  RemoteEndpoints endpoints;
+  endpoints.dms = HostPort(dms_server);
+  endpoints.fms.push_back(HostPort(fms_server));
+  endpoints.object_stores.push_back(HostPort(osd_server));
+  RemoteOptions remote_options;
+  remote_options.channel.max_pipeline = depth;
+  auto deployment = ConnectRemote(endpoints, remote_options);
+  if (!deployment.ok()) {
+    std::fprintf(stderr, "fig15: ConnectRemote failed: %s\n",
+                 deployment.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  std::atomic<std::uint64_t> clock{0};
+  auto make_client = [&] {
+    auto client = deployment->MakeClient(
+        [&clock] { return clock.fetch_add(1, std::memory_order_relaxed) + 1; });
+    client->SetIdentity(fs::Identity{1000, 1000});
+    return client;
+  };
+
+  // Per-thread working directories, created serially (setup, not measured).
+  {
+    auto setup = make_client();
+    for (int c = 0; c < clients; ++c) {
+      const Status s =
+          net::RunInline(setup->Mkdir("/t" + std::to_string(c), 0755));
+      if (!s.ok()) {
+        std::fprintf(stderr, "fig15: setup mkdir failed: %s\n",
+                     s.ToString().c_str());
+        std::exit(1);
+      }
+    }
+  }
+
+  auto run_phase = [&](bool create_phase) {
+    std::atomic<int> errors{0};
+    std::vector<std::thread> threads;
+    const auto start = std::chrono::steady_clock::now();
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        auto client = make_client();
+        const std::string dir = "/t" + std::to_string(c) + "/";
+        for (int i = 0; i < files_per_client; ++i) {
+          const std::string path = dir + "f" + std::to_string(i);
+          const Status s =
+              create_phase
+                  ? net::RunInline(client->Create(path, 0644))
+                  : net::RunInline(client->StatFile(path)).status();
+          if (!s.ok()) errors.fetch_add(1);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    const double elapsed = Seconds(std::chrono::steady_clock::now() - start);
+    if (errors.load() != 0) {
+      std::fprintf(stderr, "fig15: %d %s ops failed\n", errors.load(),
+                   create_phase ? "create" : "stat");
+      std::exit(1);
+    }
+    return static_cast<double>(clients) * files_per_client / elapsed;
+  };
+
+  RunResult result;
+  result.workers = workers;
+  result.create_ops_per_sec = run_phase(/*create_phase=*/true);
+  result.stat_ops_per_sec = run_phase(/*create_phase=*/false);
+  result.aggregate_ops_per_sec =
+      2.0 * clients * files_per_client /
+      (clients * files_per_client / result.create_ops_per_sec +
+       clients * files_per_client / result.stat_ops_per_sec);
+
+  dms_server.Stop();
+  fms_server.Stop();
+  osd_server.Stop();
+  return result;
+}
+
+}  // namespace
+}  // namespace loco::bench
+
+int main(int argc, char** argv) {
+  using namespace loco;
+  bench::MetricsDump metrics(argc, argv);
+
+  std::string out = "BENCH_concurrency.json";
+  int clients = 8;
+  int files_per_client = 250;
+  std::uint32_t depth = 16;
+  // --flag value / --flag=value forms.
+  auto flag = [&](int* i, const char* name, std::string* value) {
+    const std::string_view arg = argv[*i];
+    const std::size_t len = std::strlen(name);
+    if (arg == name && *i + 1 < argc) {
+      *value = argv[++*i];
+      return true;
+    }
+    if (arg.size() > len + 1 && arg.substr(0, len) == name &&
+        arg[len] == '=') {
+      *value = std::string(arg.substr(len + 1));
+      return true;
+    }
+    return false;
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (flag(&i, "--out", &value)) {
+      out = value;
+    } else if (flag(&i, "--clients", &value)) {
+      clients = std::atoi(value.c_str());
+    } else if (flag(&i, "--files", &value)) {
+      files_per_client = std::atoi(value.c_str());
+    } else if (flag(&i, "--depth", &value)) {
+      depth = static_cast<std::uint32_t>(std::atoi(value.c_str()));
+    } else {
+      std::fprintf(stderr,
+                   "fig15_concurrency: unknown argument '%s'\n"
+                   "usage: fig15_concurrency [--out file.json] [--clients K]"
+                   " [--files N] [--depth D] [--metrics-out file.json]\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+  if (clients < 1 || files_per_client < 1 || depth < 1) {
+    std::fprintf(stderr, "fig15_concurrency: bad flag value\n");
+    return 2;
+  }
+
+  bench::PrintBanner("Fig. 15 (extension): metadata concurrency",
+                     "create+stat throughput vs server worker count, "
+                     "loopback TCP, 60us modeled journal commit");
+  std::printf("clients=%d files/client=%d pipeline depth=%u\n\n", clients,
+              files_per_client, depth);
+
+  const int sweep[] = {1, 2, 4};
+  std::vector<bench::RunResult> results;
+  bench::Table table({"workers", "create/s", "stat/s", "aggregate/s"});
+  for (int workers : sweep) {
+    results.push_back(
+        bench::RunOnce(workers, clients, files_per_client, depth));
+    const auto& r = results.back();
+    table.AddRow({std::to_string(r.workers),
+                  bench::Table::Num(r.create_ops_per_sec, 0),
+                  bench::Table::Num(r.stat_ops_per_sec, 0),
+                  bench::Table::Num(r.aggregate_ops_per_sec, 0)});
+  }
+  table.Print();
+
+  const double speedup =
+      results.back().aggregate_ops_per_sec / results.front().aggregate_ops_per_sec;
+  std::printf("\naggregate speedup, 4 workers vs 1: %.2fx\n", speedup);
+
+  if (std::FILE* f = std::fopen(out.c_str(), "w")) {
+    std::fprintf(f,
+                 "{\n  \"benchmark\": \"fig15_concurrency\",\n"
+                 "  \"clients\": %d,\n  \"files_per_client\": %d,\n"
+                 "  \"pipeline_depth\": %u,\n"
+                 "  \"journal_commit_us\": 60,\n  \"results\": [\n",
+                 clients, files_per_client, depth);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      std::fprintf(f,
+                   "    {\"workers\": %d, \"create_ops_per_sec\": %.0f, "
+                   "\"stat_ops_per_sec\": %.0f, \"aggregate_ops_per_sec\": "
+                   "%.0f}%s\n",
+                   r.workers, r.create_ops_per_sec, r.stat_ops_per_sec,
+                   r.aggregate_ops_per_sec,
+                   i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"speedup_4_vs_1\": %.2f\n}\n", speedup);
+    std::fclose(f);
+    std::printf("wrote %s\n", out.c_str());
+  } else {
+    std::fprintf(stderr, "fig15: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -3,9 +3,12 @@
 // to RunDaemon, which binds a net::TcpServer, prints the bound address on
 // stdout (tests and scripts parse this line to learn an ephemeral port),
 // and blocks until SIGINT/SIGTERM.  On shutdown the final metrics snapshot
-// is optionally written to --metrics-out.
+// is optionally written to --metrics-out; it includes the retired
+// rpc.tcp_server.* gauges, so the worker count the daemon ran with is
+// recorded in the dump.
 #pragma once
 
+#include <charconv>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -41,12 +44,36 @@ inline volatile std::sig_atomic_t g_stop = 0;
 inline void OnSignal(int) { g_stop = 1; }
 }  // namespace internal
 
-// Serve `handler` on `listen_spec` ("host:port", port 0 = ephemeral) until
-// SIGINT/SIGTERM.  Returns the process exit code.
+// Parse a --workers value into a dispatch-pool size.  An empty string (flag
+// not given) selects hardware_concurrency; "0" serves inline on the event
+// loop (the pre-pool single-threaded mode).
+inline bool ParseWorkers(const char* name, const std::string& str, int* out) {
+  if (str.empty()) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    *out = hw != 0 ? static_cast<int>(hw) : 1;
+    return true;
+  }
+  int workers = -1;
+  const char* begin = str.data();
+  const char* end = begin + str.size();
+  if (auto [p, ec] = std::from_chars(begin, end, workers);
+      ec != std::errc{} || p != end || workers < 0) {
+    std::fprintf(stderr, "%s: bad --workers '%s' (want an integer >= 0)\n",
+                 name, str.c_str());
+    return false;
+  }
+  *out = workers;
+  return true;
+}
+
+// Serve `handler` on `listen_spec` ("host:port", port 0 = ephemeral) with a
+// `workers`-thread dispatch pool (0 = inline) until SIGINT/SIGTERM.  Returns
+// the process exit code.
 inline int RunDaemon(const char* name, net::RpcHandler* handler,
                      const std::string& listen_spec,
-                     const std::string& metrics_out) {
+                     const std::string& metrics_out, int workers) {
   net::TcpServer::Options options;
+  options.workers = workers;
   if (!listen_spec.empty() &&
       !net::ParseHostPort(listen_spec, &options.host, &options.port)) {
     std::fprintf(stderr, "%s: bad --listen spec '%s' (want host:port)\n", name,
@@ -65,8 +92,9 @@ inline int RunDaemon(const char* name, net::RpcHandler* handler,
                  options.host.c_str(), unsigned(options.port));
     return 1;
   }
-  std::printf("%s: listening on %s:%u\n", name, server.host().c_str(),
-              unsigned(server.port()));
+  std::printf("%s: listening on %s:%u (%d workers)\n", name,
+              server.host().c_str(), unsigned(server.port()),
+              server.workers());
   std::fflush(stdout);
   while (!internal::g_stop) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));

@@ -1,7 +1,10 @@
 // Directory Metadata Server daemon.
 //
-//   locofs_dmsd [--listen host:port] [--backend btree|hash]
+//   locofs_dmsd [--listen host:port] [--backend btree|hash] [--workers N]
 //               [--metrics-out file.json]
+//
+// --workers sizes the request dispatch pool (default: hardware concurrency;
+// 0 serves inline on the event loop).
 #include <cstdio>
 #include <string>
 
@@ -14,17 +17,22 @@ int main(int argc, char** argv) {
   std::string listen = "127.0.0.1:0";
   std::string backend = "btree";
   std::string metrics_out;
+  std::string workers_str;
   for (int i = 1; i < argc; ++i) {
     if (daemons::FlagValue(argc, argv, &i, "--listen", &listen)) continue;
     if (daemons::FlagValue(argc, argv, &i, "--backend", &backend)) continue;
     if (daemons::FlagValue(argc, argv, &i, "--metrics-out", &metrics_out)) continue;
+    if (daemons::FlagValue(argc, argv, &i, "--workers", &workers_str)) continue;
     std::fprintf(stderr,
                  "locofs_dmsd: unknown argument '%s'\n"
                  "usage: locofs_dmsd [--listen host:port] [--backend btree|hash]"
-                 " [--metrics-out file.json]\n",
+                 " [--workers N] [--metrics-out file.json]\n",
                  argv[i]);
     return 2;
   }
+
+  int workers = 0;
+  if (!daemons::ParseWorkers("locofs_dmsd", workers_str, &workers)) return 2;
 
   core::DirectoryMetadataServer::Options options;
   if (backend == "btree") {
@@ -38,5 +46,6 @@ int main(int argc, char** argv) {
   }
 
   core::DirectoryMetadataServer server(options);
-  return daemons::RunDaemon("locofs_dmsd", &server, listen, metrics_out);
+  return daemons::RunDaemon("locofs_dmsd", &server, listen, metrics_out,
+                            workers);
 }

@@ -1,10 +1,11 @@
 // File Metadata Server daemon.
 //
-//   locofs_fmsd [--listen host:port] [--sid N] [--coupled]
+//   locofs_fmsd [--listen host:port] [--sid N] [--coupled] [--workers N]
 //               [--metrics-out file.json]
 //
 // --sid must match this server's position in the client's FMS list (it seeds
-// the high bits of the file uuids this server mints).
+// the high bits of the file uuids this server mints).  --workers sizes the
+// request dispatch pool (default: hardware concurrency; 0 serves inline).
 #include <charconv>
 #include <cstdio>
 #include <cstring>
@@ -19,11 +20,13 @@ int main(int argc, char** argv) {
   std::string listen = "127.0.0.1:0";
   std::string sid_str = "1";
   std::string metrics_out;
+  std::string workers_str;
   bool decoupled = true;
   for (int i = 1; i < argc; ++i) {
     if (daemons::FlagValue(argc, argv, &i, "--listen", &listen)) continue;
     if (daemons::FlagValue(argc, argv, &i, "--sid", &sid_str)) continue;
     if (daemons::FlagValue(argc, argv, &i, "--metrics-out", &metrics_out)) continue;
+    if (daemons::FlagValue(argc, argv, &i, "--workers", &workers_str)) continue;
     if (std::strcmp(argv[i], "--coupled") == 0) {
       decoupled = false;
       continue;
@@ -31,10 +34,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "locofs_fmsd: unknown argument '%s'\n"
                  "usage: locofs_fmsd [--listen host:port] [--sid N] [--coupled]"
-                 " [--metrics-out file.json]\n",
+                 " [--workers N] [--metrics-out file.json]\n",
                  argv[i]);
     return 2;
   }
+
+  int workers = 0;
+  if (!daemons::ParseWorkers("locofs_fmsd", workers_str, &workers)) return 2;
 
   std::uint32_t sid = 0;
   const char* begin = sid_str.data();
@@ -49,5 +55,6 @@ int main(int argc, char** argv) {
   options.sid = sid;
   options.decoupled = decoupled;
   core::FileMetadataServer server(options);
-  return daemons::RunDaemon("locofs_fmsd", &server, listen, metrics_out);
+  return daemons::RunDaemon("locofs_fmsd", &server, listen, metrics_out,
+                            workers);
 }

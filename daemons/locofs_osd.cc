@@ -1,10 +1,14 @@
 // Object store daemon.
 //
 //   locofs_osd [--listen host:port] [--block-bytes N] [--no-retain]
-//              [--metrics-out file.json]
+//              [--workers N] [--metrics-out file.json]
 //
 // --no-retain accounts block payloads without storing them (reads return
 // zeros); use it for metadata-only benchmarks that push a lot of data.
+// --workers sizes the request dispatch pool (default: hardware concurrency;
+// 0 serves inline).  ObjectStoreServer is not internally thread-safe, so a
+// pooled OSD serializes its handler with net::SerialHandler — the pool still
+// overlaps decode/writeback with execution.
 #include <charconv>
 #include <cstdio>
 #include <cstring>
@@ -19,11 +23,13 @@ int main(int argc, char** argv) {
   std::string listen = "127.0.0.1:0";
   std::string block_str;
   std::string metrics_out;
+  std::string workers_str;
   bool retain = true;
   for (int i = 1; i < argc; ++i) {
     if (daemons::FlagValue(argc, argv, &i, "--listen", &listen)) continue;
     if (daemons::FlagValue(argc, argv, &i, "--block-bytes", &block_str)) continue;
     if (daemons::FlagValue(argc, argv, &i, "--metrics-out", &metrics_out)) continue;
+    if (daemons::FlagValue(argc, argv, &i, "--workers", &workers_str)) continue;
     if (std::strcmp(argv[i], "--no-retain") == 0) {
       retain = false;
       continue;
@@ -31,10 +37,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "locofs_osd: unknown argument '%s'\n"
                  "usage: locofs_osd [--listen host:port] [--block-bytes N]"
-                 " [--no-retain] [--metrics-out file.json]\n",
+                 " [--no-retain] [--workers N] [--metrics-out file.json]\n",
                  argv[i]);
     return 2;
   }
+
+  int workers = 0;
+  if (!daemons::ParseWorkers("locofs_osd", workers_str, &workers)) return 2;
 
   core::ObjectStoreServer::Options options;
   options.retain_data = retain;
@@ -52,5 +61,7 @@ int main(int argc, char** argv) {
   }
 
   core::ObjectStoreServer server(options);
-  return daemons::RunDaemon("locofs_osd", &server, listen, metrics_out);
+  net::SerialHandler serialized(&server);
+  return daemons::RunDaemon("locofs_osd", &serialized, listen, metrics_out,
+                            workers);
 }

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the full build + ctest suite, then the socket-heavy
-# net and integration suites again under ASan+UBSan (LOCO_SANITIZE=ON).
+# net and integration suites again under ASan+UBSan (LOCO_SANITIZE=ON), then
+# the concurrency-heavy suites under ThreadSanitizer (LOCO_SANITIZE=tsan).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,5 +16,13 @@ cmake --build build-asan -j --target net_test integration_test \
   locofs_dmsd locofs_fmsd locofs_osd >/dev/null
 ./build-asan/tests/net/net_test
 ./build-asan/tests/integration/integration_test
+
+echo "== tier-1: TSan pass (worker pool, striped KV, concurrent handlers) =="
+cmake -B build-tsan -S . -DLOCO_SANITIZE=tsan >/dev/null
+cmake --build build-tsan -j --target net_test striped_kv_test \
+  core_concurrency_test >/dev/null
+./build-tsan/tests/net/net_test
+./build-tsan/tests/kvstore/striped_kv_test
+./build-tsan/tests/core/core_concurrency_test
 
 echo "tier1: OK"

@@ -1,0 +1,62 @@
+// Striped lock table: a fixed array of mutexes addressed by 64-bit keys.
+//
+// The metadata services serialize work at entity granularity (a directory's
+// dirent list, one file's read-modify-write) without a lock per entity:
+// Mix64(key) picks one of `slots` mutexes, so unrelated keys contend only on
+// hash collisions.  LockPair acquires two slots in index order (a key pair
+// mapping to one slot takes it once), which makes multi-entity operations
+// (rmdir touching parent + target) deadlock-free against each other.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace loco::common {
+
+class LockTable {
+ public:
+  explicit LockTable(std::size_t slots = 64) : mus_(slots ? slots : 1) {}
+  LockTable(const LockTable&) = delete;
+  LockTable& operator=(const LockTable&) = delete;
+
+  // Holds one or two slot locks for a scope.
+  class Guard {
+   public:
+    Guard() = default;
+    Guard(Guard&&) = default;
+    Guard& operator=(Guard&&) = default;
+
+   private:
+    friend class LockTable;
+    std::unique_lock<std::mutex> first_;
+    std::unique_lock<std::mutex> second_;  // empty for single-key guards
+  };
+
+  [[nodiscard]] Guard Lock(std::uint64_t key) {
+    Guard g;
+    g.first_ = std::unique_lock(mus_[SlotOf(key)]);
+    return g;
+  }
+
+  [[nodiscard]] Guard LockPair(std::uint64_t a, std::uint64_t b) {
+    std::size_t sa = SlotOf(a);
+    std::size_t sb = SlotOf(b);
+    if (sa > sb) std::swap(sa, sb);
+    Guard g;
+    g.first_ = std::unique_lock(mus_[sa]);
+    if (sb != sa) g.second_ = std::unique_lock(mus_[sb]);
+    return g;
+  }
+
+ private:
+  std::size_t SlotOf(std::uint64_t key) const noexcept {
+    return Mix64(key) % mus_.size();
+  }
+
+  std::vector<std::mutex> mus_;
+};
+
+}  // namespace loco::common

@@ -5,9 +5,11 @@
 #include <utility>
 
 #include "common/codec.h"
+#include "common/hash.h"
 #include "core/proto.h"
 #include "fs/path.h"
 #include "fs/wire.h"
+#include "kvstore/striped_kv.h"
 
 namespace loco::core {
 
@@ -23,6 +25,12 @@ net::RpcResponse BadRequest() { return Fail(ErrCode::kCorruption); }
 // Server id used in directory uuids (the root reserves 0xffff).
 constexpr std::uint32_t kDmsSid = 0xfffe;
 
+// Lock-table key for a directory path.  Paths (not uuids) name directories
+// here so a lock taken before resolution still guards the right directory.
+std::uint64_t PathLockKey(std::string_view path) {
+  return common::WyMix(path, 0xfeed);
+}
+
 }  // namespace
 
 DirectoryMetadataServer::DirectoryMetadataServer(const Options& options) {
@@ -36,8 +44,12 @@ DirectoryMetadataServer::DirectoryMetadataServer(const Options& options) {
     std::filesystem::create_directories(dirs_opt.dir, ec);
     std::filesystem::create_directories(dirents_opt.dir, ec);
   }
-  dirs_ = std::move(kv::MakeKv(options.backend, dirs_opt)).value();
-  dirents_ = std::move(kv::MakeKv(kv::KvBackend::kHash, dirents_opt)).value();
+  dirs_ = std::move(kv::MakeStripedKv(options.backend, dirs_opt,
+                                      options.kv_stripes))
+              .value();
+  dirents_ = std::move(kv::MakeStripedKv(kv::KvBackend::kHash, dirents_opt,
+                                         options.kv_stripes))
+                 .value();
   // Recover the uuid allocator: it must never reissue a live fid.
   std::uint64_t max_fid = 1;
   dirents_->ForEach([&max_fid](std::string_view key, std::string_view) {
@@ -101,6 +113,13 @@ net::RpcResponse DirectoryMetadataServer::Handle(std::uint16_t opcode,
 
 net::RpcResponse DirectoryMetadataServer::Dispatch(std::uint16_t opcode,
                                                    std::string_view payload) {
+  // Rename rewrites path keys across a whole subtree; no per-directory lock
+  // covers that, so it excludes every other handler.
+  if (opcode == proto::kDmsRename) {
+    std::unique_lock ns(ns_mu_);
+    return Rename(payload);
+  }
+  std::shared_lock ns(ns_mu_);
   switch (opcode) {
     case proto::kDmsMkdir: return Mkdir(payload);
     case proto::kDmsRmdir: return Rmdir(payload);
@@ -124,8 +143,12 @@ net::RpcResponse DirectoryMetadataServer::Mkdir(std::string_view payload) {
   if (!fs::Unpack(payload, path, mode, who, ts)) return BadRequest();
   if (!fs::IsValidPath(path) || path == "/") return Fail(ErrCode::kInvalid);
 
-  auto parent = ResolveDir(fs::ParentPath(path), who,
-                           fs::kModeWrite | fs::kModeExec);
+  // Serialize against sibling mkdirs and a concurrent rmdir of the parent:
+  // existence check, d-inode put, and dirent append are one critical
+  // section per parent directory.
+  const std::string parent_path(fs::ParentPath(path));
+  const auto guard = dir_locks_.Lock(PathLockKey(parent_path));
+  auto parent = ResolveDir(parent_path, who, fs::kModeWrite | fs::kModeExec);
   if (!parent.ok()) return Fail(parent.code());
   if (dirs_->Contains(path)) return Fail(ErrCode::kExists);
 
@@ -135,7 +158,8 @@ net::RpcResponse DirectoryMetadataServer::Mkdir(std::string_view payload) {
   attr.uid = who.uid;
   attr.gid = who.gid;
   attr.ctime = attr.mtime = attr.atime = ts;
-  attr.uuid = fs::Uuid::Make(kDmsSid, next_fid_++);
+  attr.uuid = fs::Uuid::Make(
+      kDmsSid, next_fid_.fetch_add(1, std::memory_order_relaxed));
   if (!dirs_->Put(path, DirInodeLayout::Make(attr)).ok()) {
     return Fail(ErrCode::kIo);
   }
@@ -160,6 +184,13 @@ net::RpcResponse DirectoryMetadataServer::Rmdir(std::string_view payload) {
   std::uint8_t files_checked = 0;
   if (!fs::Unpack(payload, path, who, files_checked)) return BadRequest();
   if (!fs::IsValidPath(path) || path == "/") return Fail(ErrCode::kInvalid);
+
+  // Lock the parent (its dirent list shrinks) and the target (a concurrent
+  // mkdir inside it locks the same slot as its parent); LockPair orders the
+  // two slots, so overlapping rmdirs cannot deadlock.
+  const std::string parent_lock_path(fs::ParentPath(path));
+  const auto guard =
+      dir_locks_.LockPair(PathLockKey(parent_lock_path), PathLockKey(path));
 
   // Contract order: existence/emptiness before the parent write check.
   auto attr_or = ResolveDir(path, who, 0);
@@ -257,6 +288,9 @@ net::RpcResponse DirectoryMetadataServer::Chown(std::string_view payload) {
   std::uint32_t uid = 0, gid = 0;
   std::uint64_t ts = 0;
   if (!fs::Unpack(payload, path, who, uid, gid, ts)) return BadRequest();
+  // Chown writes two separate patches (uid/gid, then ctime); keep the pair
+  // atomic against a concurrent chown of the same directory.
+  const auto guard = dir_locks_.Lock(PathLockKey(path));
   auto attr = ResolveDir(path, who, 0);
   if (!attr.ok()) return Fail(attr.code());
   if (who.uid != 0 && !(who.uid == attr->uid && uid == attr->uid)) {

@@ -8,13 +8,22 @@
 // Sub-directory dirent lists are concatenated values keyed by the owning
 // directory's uuid in a separate hash KV (§3.2.1).
 //
-// Handlers are synchronous and single-threaded by contract (the simulator
-// serializes per-server; the in-process transport locks per server).
+// Concurrency: handlers may run on many TcpServer workers at once.  A
+// shared/exclusive namespace lock isolates Rename — which rewrites path keys
+// across a whole subtree — from every other handler; mutations that touch a
+// directory's dirent list or its children's existence (Mkdir, Rmdir)
+// serialize on a striped lock table keyed by the directory path's hash; the
+// remaining single-key attribute ops rely on the lock-striped KV stores
+// (kvstore/striped_kv.h).
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
+
+#include "common/lock_table.h"
 
 #include "common/metrics.h"
 #include "core/layout.h"
@@ -30,6 +39,8 @@ class DirectoryMetadataServer final : public net::RpcHandler {
     // optimization; kHash is the Fig. 14 comparison point.
     kv::KvBackend backend = kv::KvBackend::kBTree;
     kv::KvOptions kv;
+    // Lock stripes per store (thread safety under multi-worker servers).
+    std::size_t kv_stripes = 16;
   };
 
   DirectoryMetadataServer() : DirectoryMetadataServer(Options{}) {}
@@ -64,7 +75,14 @@ class DirectoryMetadataServer final : public net::RpcHandler {
 
   std::unique_ptr<kv::Kv> dirs_;     // full path -> 48-byte d-inode
   std::unique_ptr<kv::Kv> dirents_;  // dir uuid -> concatenated subdir names
-  std::uint64_t next_fid_ = 2;
+  std::atomic<std::uint64_t> next_fid_{2};
+
+  // Rename takes this exclusively (it moves path keys under every other
+  // handler's feet); all other handlers take it shared.
+  mutable std::shared_mutex ns_mu_;
+  // Per-directory serialization for dirent-list updates and child
+  // create/remove, keyed by the directory path's hash.
+  common::LockTable dir_locks_{64};
 
   common::ServerOpCounters op_metrics_{&common::MetricsRegistry::Default(),
                                        "server.dms"};

@@ -5,8 +5,10 @@
 #include <utility>
 
 #include "common/codec.h"
+#include "common/hash.h"
 #include "core/proto.h"
 #include "fs/wire.h"
+#include "kvstore/striped_kv.h"
 
 namespace loco::core {
 
@@ -18,6 +20,11 @@ net::RpcResponse OkPayload(std::string payload) {
   return net::RpcResponse{ErrCode::kOk, std::move(payload)};
 }
 net::RpcResponse BadRequest() { return Fail(ErrCode::kCorruption); }
+
+// Lock-table key for a file's (dir_uuid + name) KV key.
+std::uint64_t FileLockKey(std::string_view key) {
+  return common::WyMix(key, 0xfeed);
+}
 
 }  // namespace
 
@@ -37,14 +44,22 @@ FileMetadataServer::FileMetadataServer(const Options& options)
     return opt;
   };
   if (options_.decoupled) {
-    access_ = std::move(kv::MakeKv(options_.backend, sub_options("access"))).value();
-    content_ =
-        std::move(kv::MakeKv(options_.backend, sub_options("content"))).value();
+    access_ = std::move(kv::MakeStripedKv(options_.backend, sub_options("access"),
+                                          options_.kv_stripes))
+                  .value();
+    content_ = std::move(kv::MakeStripedKv(options_.backend,
+                                           sub_options("content"),
+                                           options_.kv_stripes))
+                   .value();
   } else {
-    coupled_ =
-        std::move(kv::MakeKv(options_.backend, sub_options("coupled"))).value();
+    coupled_ = std::move(kv::MakeStripedKv(options_.backend,
+                                           sub_options("coupled"),
+                                           options_.kv_stripes))
+                   .value();
   }
-  dirents_ = std::move(kv::MakeKv(kv::KvBackend::kHash, sub_options("dirents")))
+  dirents_ = std::move(kv::MakeStripedKv(kv::KvBackend::kHash,
+                                         sub_options("dirents"),
+                                         options_.kv_stripes))
                  .value();
   // Recover the fid allocator from the content parts (uuid field) so a
   // restarted server never reissues a live fid.
@@ -165,7 +180,11 @@ net::RpcResponse FileMetadataServer::Create(std::string_view payload) {
   std::uint64_t ts = 0;
   if (!fs::Unpack(payload, dir_uuid, name, mode, who, ts)) return BadRequest();
   const std::string key = FileKey(dir_uuid, name);
-  const fs::Uuid uuid = fs::Uuid::Make(options_.sid, next_fid_++);
+  const fs::Uuid uuid = fs::Uuid::Make(
+      options_.sid, next_fid_.fetch_add(1, std::memory_order_relaxed));
+  // Serialize against same-directory creates/removes: the existence check,
+  // the inode puts, and the dirent-list RMW must be one atomic step.
+  const auto guard = dir_locks_.Lock(dir_uuid.raw());
 
   if (options_.decoupled) {
     if (access_->Contains(key)) return Fail(ErrCode::kExists);
@@ -214,6 +233,7 @@ net::RpcResponse FileMetadataServer::Remove(std::string_view payload) {
   fs::Identity who;
   if (!fs::Unpack(payload, dir_uuid, name, who)) return BadRequest();
   const std::string key = FileKey(dir_uuid, name);
+  const auto guard = dir_locks_.Lock(dir_uuid.raw());
   auto attr = GetAttrInternal(key);
   if (!attr.ok()) return Fail(attr.code());
   if (options_.decoupled) {
@@ -257,6 +277,7 @@ net::RpcResponse FileMetadataServer::Chmod(std::string_view payload) {
   std::uint64_t ts = 0;
   if (!fs::Unpack(payload, dir_uuid, name, who, mode, ts)) return BadRequest();
   const std::string key = FileKey(dir_uuid, name);
+  const auto guard = file_locks_.Lock(FileLockKey(key));
 
   if (options_.decoupled) {
     // Access-part only (Table 1): read 24 bytes, patch 12.
@@ -290,6 +311,7 @@ net::RpcResponse FileMetadataServer::Chown(std::string_view payload) {
   std::uint64_t ts = 0;
   if (!fs::Unpack(payload, dir_uuid, name, who, uid, gid, ts)) return BadRequest();
   const std::string key = FileKey(dir_uuid, name);
+  const auto guard = file_locks_.Lock(FileLockKey(key));
 
   if (options_.decoupled) {
     std::string access;
@@ -329,6 +351,7 @@ net::RpcResponse FileMetadataServer::Utimens(std::string_view payload) {
   std::uint64_t mtime = 0, atime = 0;
   if (!fs::Unpack(payload, dir_uuid, name, who, mtime, atime)) return BadRequest();
   const std::string key = FileKey(dir_uuid, name);
+  const auto guard = file_locks_.Lock(FileLockKey(key));
   auto attr = GetAttrInternal(key);
   if (!attr.ok()) return Fail(attr.code());
   if (who.uid != 0 && who.uid != attr->uid &&
@@ -391,6 +414,9 @@ net::RpcResponse FileMetadataServer::SetSize(std::string_view payload) {
     return BadRequest();
   }
   const std::string key = FileKey(dir_uuid, name);
+  // Read-modify-write of the size field: serialize per file so concurrent
+  // extending writes never regress the size.
+  const auto guard = file_locks_.Lock(FileLockKey(key));
 
   if (options_.decoupled) {
     std::string access;
@@ -448,6 +474,7 @@ net::RpcResponse FileMetadataServer::SetAtime(std::string_view payload) {
   std::uint64_t ts = 0;
   if (!fs::Unpack(payload, dir_uuid, name, who, ts)) return BadRequest();
   const std::string key = FileKey(dir_uuid, name);
+  const auto guard = file_locks_.Lock(FileLockKey(key));
 
   if (options_.decoupled) {
     std::string access;
@@ -526,6 +553,7 @@ net::RpcResponse FileMetadataServer::InsertRaw(std::string_view payload) {
   std::string name, access, content;
   if (!fs::Unpack(payload, dir_uuid, name, access, content)) return BadRequest();
   const std::string key = FileKey(dir_uuid, name);
+  const auto guard = dir_locks_.Lock(dir_uuid.raw());
   if (options_.decoupled) {
     if (access_->Contains(key)) return Fail(ErrCode::kExists);
     // Same write order as Create: content part first, access part (the

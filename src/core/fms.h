@@ -15,11 +15,21 @@
 //
 // File dirent lists (names of this directory's files that hash to this
 // server) are concatenated values keyed by directory uuid (§3.2.1).
+//
+// Concurrency: handlers may run on many TcpServer workers at once.  Create,
+// Remove and InsertRaw serialize per directory (a lock table keyed by
+// dir_uuid guards the dirent-list read-modify-write and the existence
+// check); attribute updates that read-modify-write one inode serialize per
+// file key; everything else relies on the lock-striped KV stores
+// (kvstore/striped_kv.h).
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "common/lock_table.h"
 
 #include "common/metrics.h"
 #include "core/layout.h"
@@ -35,6 +45,8 @@ class FileMetadataServer final : public net::RpcHandler {
     bool decoupled = true;   // DF (true) vs CF (false)
     kv::KvBackend backend = kv::KvBackend::kHash;
     kv::KvOptions kv;
+    // Lock stripes per store (thread safety under multi-worker servers).
+    std::size_t kv_stripes = 16;
   };
 
   explicit FileMetadataServer(const Options& options);
@@ -85,7 +97,13 @@ class FileMetadataServer final : public net::RpcHandler {
   std::unique_ptr<kv::Kv> coupled_;  // key -> serialized whole inode
   // Both modes.
   std::unique_ptr<kv::Kv> dirents_;  // dir uuid -> concatenated file names
-  std::uint64_t next_fid_ = 1;
+  std::atomic<std::uint64_t> next_fid_{1};
+
+  // Per-directory serialization (dirent list + existence checks), keyed by
+  // dir_uuid; per-file serialization for inode read-modify-writes, keyed by
+  // the file key's hash.
+  common::LockTable dir_locks_{64};
+  common::LockTable file_locks_{128};
 
   // server.fms<sid>.* op counters and server.fms<sid>.kv.* gauges.
   common::ServerOpCounters op_metrics_;

@@ -124,8 +124,10 @@ class Kv {
   // to a full scan (hash mode) — the distinction Fig. 14 measures.
   virtual bool Ordered() const noexcept = 0;
 
-  virtual const KvStats& stats() const noexcept { return stats_; }
-  void ResetStats() noexcept { stats_ = KvStats{}; }
+  // Snapshot of the operation counters.  Returned by value: striped stores
+  // aggregate their shards under lock, so a reference would dangle or race.
+  virtual KvStats stats() const noexcept { return stats_; }
+  virtual void ResetStats() noexcept { stats_ = KvStats{}; }
 
  protected:
   mutable KvStats stats_;

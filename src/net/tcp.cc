@@ -14,6 +14,7 @@
 #include <charconv>
 #include <chrono>
 #include <cstring>
+#include <map>
 #include <thread>
 
 namespace loco::net {
@@ -185,12 +186,20 @@ bool IsSelfConnected(int fd) {
 // ---------------------------------------------------------------------------
 
 struct TcpServer::Conn {
-  explicit Conn(int fd_in, std::uint32_t max_payload)
-      : fd(fd_in), reader(max_payload) {}
+  explicit Conn(int fd_in, std::uint64_t id_in, std::uint32_t max_payload)
+      : fd(fd_in), id(id_in), reader(max_payload) {}
   int fd;
+  std::uint64_t id;
   wire::FrameReader reader;
   std::string out;          // pending response bytes
   std::size_t out_pos = 0;  // bytes of `out` already written
+  bool dead = false;        // write side failed; remove on the next pass
+  // Worker mode: responses must leave in decode order even though workers
+  // finish in any order.
+  std::uint64_t next_seq = 0;    // assigned to the next decoded frame
+  std::uint64_t next_flush = 0;  // next seq allowed into `out`
+  std::uint64_t inflight = 0;    // dispatched, not yet delivered
+  std::map<std::uint64_t, std::string> done;  // finished out-of-order
 };
 
 TcpServer::TcpServer(RpcHandler* handler, Options options)
@@ -252,8 +261,34 @@ Status TcpServer::Start() {
   }
   listen_fd_ = fd;
   stop_.store(false, std::memory_order_release);
+  queue_stop_ = false;
+  queue_.clear();
+  completions_.clear();
+  busy_.clear();
   running_.store(true, std::memory_order_release);
+  // Fully populate busy_ before any worker indexes into it, and spawn the
+  // poll loop last so it never observes a half-built pool.
+  for (int i = 0; i < options_.workers; ++i) busy_.emplace_back(false);
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back(&TcpServer::WorkerMain, this,
+                          static_cast<std::size_t>(i));
+  }
   thread_ = std::thread(&TcpServer::Loop, this);
+  auto& reg = common::MetricsRegistry::Default();
+  gauges_.push_back(reg.RegisterGauge(
+      "rpc.tcp_server.workers",
+      [this] { return static_cast<double>(options_.workers); }));
+  gauges_.push_back(reg.RegisterGauge("rpc.tcp_server.queue_depth", [this] {
+    std::scoped_lock lock(queue_mu_);
+    return static_cast<double>(queue_.size());
+  }));
+  for (std::size_t i = 0; i < busy_.size(); ++i) {
+    gauges_.push_back(reg.RegisterGauge(
+        "rpc.tcp_server.worker" + std::to_string(i) + ".busy",
+        [this, i] {
+          return busy_[i].load(std::memory_order_relaxed) ? 1.0 : 0.0;
+        }));
+  }
   return OkStatus();
 }
 
@@ -263,34 +298,66 @@ void TcpServer::Stop() {
   const char byte = 0;
   [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
   if (thread_.joinable()) thread_.join();
+  {
+    std::scoped_lock lock(queue_mu_);
+    queue_stop_ = true;
+    queue_.clear();  // undelivered requests are dropped, like their conns
+  }
+  queue_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
   if (listen_fd_ >= 0) ::close(listen_fd_);
   listen_fd_ = -1;
   for (int& w : wake_fds_) {
     if (w >= 0) ::close(w);
     w = -1;
   }
+  // Releasing the handles retires the final gauge values into the registry,
+  // so end-of-run --metrics-out dumps still carry the worker count.
+  gauges_.clear();
+}
+
+std::string TcpServer::Execute(const wire::FrameHeader& req,
+                               std::string_view payload) {
+  const common::RpcMetricsTable::PerOp& m = metrics_.For(req.opcode);
+  m.calls->Add();
+  m.bytes_received->Add(payload.size());
+  const common::CpuTimer timer;
+  const RpcResponse resp = handler_->Handle(req.opcode, payload);
+  if (resp.extra_service_ns > 0) {
+    // Charge modeled device time (journal flushes, object I/O) in real time,
+    // the wall-clock analogue of the simulator's virtual-time accounting.
+    std::this_thread::sleep_for(std::chrono::nanoseconds(resp.extra_service_ns));
+  }
+  if (!resp.ok()) m.errors->Add();
+  m.bytes_sent->Add(resp.payload.size());
+  m.latency->Record(timer.ElapsedNanos());
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  wire::FrameHeader reply;
+  reply.type = wire::FrameType::kResponse;
+  reply.opcode = req.opcode;
+  reply.request_id = req.request_id;
+  reply.trace_id = req.trace_id;
+  reply.code = resp.code;
+  return wire::EncodeFrame(reply, resp.payload);
 }
 
 bool TcpServer::DrainFrames(Conn* conn) {
   while (auto frame = conn->reader.Next()) {
     if (frame->header.type != wire::FrameType::kRequest) return false;
-    const common::RpcMetricsTable::PerOp& m = metrics_.For(frame->header.opcode);
-    m.calls->Add();
-    m.bytes_received->Add(frame->payload.size());
-    const common::CpuTimer timer;
-    const RpcResponse resp =
-        handler_->Handle(frame->header.opcode, frame->payload);
-    if (!resp.ok()) m.errors->Add();
-    m.bytes_sent->Add(resp.payload.size());
-    m.latency->Record(timer.ElapsedNanos());
-    requests_.fetch_add(1, std::memory_order_relaxed);
-    wire::FrameHeader reply;
-    reply.type = wire::FrameType::kResponse;
-    reply.opcode = frame->header.opcode;
-    reply.request_id = frame->header.request_id;
-    reply.trace_id = frame->header.trace_id;
-    reply.code = resp.code;
-    conn->out += wire::EncodeFrame(reply, resp.payload);
+    if (options_.workers == 0) {
+      conn->out += Execute(frame->header, frame->payload);
+    } else {
+      ++conn->inflight;
+      {
+        std::scoped_lock lock(queue_mu_);
+        queue_.push_back(Work{conn->id, conn->next_seq++, frame->header,
+                              std::move(frame->payload)});
+      }
+      queue_cv_.notify_one();
+    }
   }
   // A framing violation is unrecoverable: drop the connection.
   return conn->reader.status().ok();
@@ -313,9 +380,57 @@ bool TcpServer::FlushWrites(Conn* conn) {
   return true;
 }
 
+void TcpServer::WorkerMain(std::size_t index) {
+  for (;;) {
+    Work w;
+    {
+      std::unique_lock lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return queue_stop_ || !queue_.empty(); });
+      if (queue_stop_) return;
+      w = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    busy_[index].store(true, std::memory_order_relaxed);
+    std::string bytes = Execute(w.header, w.payload);
+    busy_[index].store(false, std::memory_order_relaxed);
+    {
+      std::scoped_lock lock(comp_mu_);
+      completions_.push_back(Completion{w.conn_id, w.seq, std::move(bytes)});
+    }
+    // Wake the loop to deliver; a full pipe is fine (the loop is awake).
+    const char byte = 0;
+    [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
+  }
+}
+
+void TcpServer::DeliverCompletions(
+    const std::unordered_map<std::uint64_t, Conn*>& by_id) {
+  std::vector<Completion> batch;
+  {
+    std::scoped_lock lock(comp_mu_);
+    batch.swap(completions_);
+  }
+  for (Completion& c : batch) {
+    const auto it = by_id.find(c.conn_id);
+    if (it == by_id.end()) continue;  // connection dropped meanwhile
+    Conn* conn = it->second;
+    --conn->inflight;
+    conn->done.emplace(c.seq, std::move(c.bytes));
+    while (!conn->done.empty() &&
+           conn->done.begin()->first == conn->next_flush) {
+      conn->out += std::move(conn->done.begin()->second);
+      conn->done.erase(conn->done.begin());
+      ++conn->next_flush;
+    }
+    if (!conn->dead && !FlushWrites(conn)) conn->dead = true;
+  }
+}
+
 void TcpServer::Loop() {
   std::vector<std::unique_ptr<Conn>> conns;
+  std::unordered_map<std::uint64_t, Conn*> by_id;
   std::vector<struct pollfd> pfds;
+  std::uint64_t next_conn_id = 1;
   char buf[kIoChunk];
   while (!stop_.load(std::memory_order_acquire)) {
     pfds.clear();
@@ -334,6 +449,7 @@ void TcpServer::Loop() {
       while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
       }
     }
+    if (options_.workers > 0) DeliverCompletions(by_id);
     // Conns accepted below were not in this poll round; only the first
     // `polled` entries of `conns` have a matching pollfd.
     const std::size_t polled = pfds.size() - 2;
@@ -346,15 +462,16 @@ void TcpServer::Loop() {
           continue;
         }
         SetNoDelay(fd);
-        conns.push_back(
-            std::make_unique<Conn>(fd, options_.max_payload_bytes));
+        conns.push_back(std::make_unique<Conn>(fd, next_conn_id++,
+                                               options_.max_payload_bytes));
+        by_id[conns.back()->id] = conns.back().get();
       }
     }
     for (std::size_t i = 0; i < polled && i < conns.size();) {
       Conn* conn = conns[i].get();
       const short revents = pfds[2 + i].revents;
-      bool alive = true;
-      if (revents & (POLLIN | POLLHUP | POLLERR)) {
+      bool alive = !conn->dead;
+      if (alive && (revents & (POLLIN | POLLHUP | POLLERR))) {
         for (;;) {
           const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
           if (n > 0) {
@@ -374,6 +491,7 @@ void TcpServer::Loop() {
         ++i;
       } else {
         ::close(conn->fd);
+        by_id.erase(conn->id);
         conns[i] = std::move(conns.back());
         conns.pop_back();
         // pfds is stale after the swap; rebuild on the next iteration.
@@ -388,7 +506,12 @@ void TcpServer::Loop() {
 // TcpChannel
 // ---------------------------------------------------------------------------
 
-TcpChannel::TcpChannel(TcpChannelOptions options) : options_(options) {}
+TcpChannel::PipeConn::~PipeConn() { ::close(fd); }
+
+TcpChannel::TcpChannel(TcpChannelOptions options)
+    : options_(options),
+      pipeline_depth_(&common::MetricsRegistry::Default().GetHistogram(
+          "rpc.tcp.pipeline_depth", "requests")) {}
 
 TcpChannel::~TcpChannel() { DisconnectAll(); }
 
@@ -410,22 +533,10 @@ bool TcpChannel::Register(NodeId id, std::string_view host_port) {
 void TcpChannel::DisconnectAll() {
   for (auto& [id, ep] : endpoints_) {
     std::scoped_lock lock(ep->mu);
-    for (int fd : ep->idle) ::close(fd);
-    ep->idle.clear();
+    // Dropping the endpoint's references closes idle sockets immediately;
+    // in-flight calls hold their own reference until they finish.
+    ep->conns.clear();
   }
-}
-
-int TcpChannel::PopIdle(Endpoint& ep) {
-  std::scoped_lock lock(ep.mu);
-  if (ep.idle.empty()) return -1;
-  const int fd = ep.idle.back();
-  ep.idle.pop_back();
-  return fd;
-}
-
-void TcpChannel::PushIdle(Endpoint& ep, int fd) {
-  std::scoped_lock lock(ep.mu);
-  ep.idle.push_back(fd);
 }
 
 int TcpChannel::Connect(const Endpoint& ep, common::Nanos deadline_abs,
@@ -454,6 +565,130 @@ int TcpChannel::Connect(const Endpoint& ep, common::Nanos deadline_abs,
   return -1;
 }
 
+std::shared_ptr<TcpChannel::PipeConn> TcpChannel::AcquireConn(
+    Endpoint& ep, common::Nanos deadline_abs, bool* reused, ErrCode* err) {
+  {
+    std::scoped_lock lock(ep.mu);
+    std::erase_if(ep.conns, [](const std::shared_ptr<PipeConn>& c) {
+      return c->dead.load(std::memory_order_acquire);
+    });
+    std::shared_ptr<PipeConn> pick;
+    std::uint32_t low = 0;
+    for (const auto& c : ep.conns) {
+      const std::uint32_t n = c->inflight.load(std::memory_order_relaxed);
+      if (n >= options_.max_pipeline) continue;
+      if (!pick || n < low) {
+        pick = c;
+        low = n;
+      }
+    }
+    if (pick) {
+      pick->inflight.fetch_add(1, std::memory_order_relaxed);
+      *reused = true;
+      return pick;
+    }
+  }
+  bool timed_out = false;
+  const int fd = Connect(ep, deadline_abs, &timed_out);
+  if (fd < 0) {
+    *err = timed_out ? ErrCode::kTimeout : ErrCode::kUnavailable;
+    return nullptr;
+  }
+  auto conn = std::make_shared<PipeConn>(fd, options_.max_payload_bytes);
+  conn->inflight.store(1, std::memory_order_relaxed);
+  *reused = false;
+  std::scoped_lock lock(ep.mu);
+  ep.conns.push_back(conn);
+  return conn;
+}
+
+void TcpChannel::FailConnLocked(PipeConn& conn, ErrCode code) {
+  if (conn.broken == ErrCode::kOk) conn.broken = code;
+  conn.dead.store(true, std::memory_order_release);
+  for (auto& [rid, w] : conn.waiting) {
+    w->done = true;
+    w->fail = conn.broken;
+  }
+  conn.waiting.clear();
+  conn.cv.notify_all();
+}
+
+bool TcpChannel::RegisterWaiter(PipeConn& conn, std::uint64_t request_id,
+                                Waiter* w) {
+  std::scoped_lock lock(conn.mu);
+  if (conn.broken != ErrCode::kOk) return false;
+  conn.waiting.emplace(request_id, w);
+  pipeline_depth_->Record(static_cast<common::Nanos>(conn.waiting.size()));
+  return true;
+}
+
+void TcpChannel::AwaitWaiter(PipeConn& conn, std::uint64_t request_id,
+                             Waiter& w, common::Nanos deadline_abs) {
+  std::unique_lock lock(conn.mu);
+  for (;;) {
+    if (w.done) return;
+    if (conn.broken != ErrCode::kOk) {
+      w.done = true;
+      w.fail = conn.broken;
+      return;
+    }
+    if (common::CpuTimer::Now() >= deadline_abs) {
+      // Leave the request outstanding on the wire; the conn stays usable and
+      // the eventual response is discarded by whoever reads it.
+      conn.waiting.erase(request_id);
+      w.done = true;
+      w.fail = ErrCode::kTimeout;
+      return;
+    }
+    if (!conn.reader_active) {
+      // No one is reading: take the reader role for one frame.
+      conn.reader_active = true;
+      lock.unlock();
+      wire::Frame frame;
+      bool got_any = false;
+      const Status st =
+          RecvFrame(conn.fd, &conn.reader, &frame, deadline_abs, &got_any);
+      lock.lock();
+      conn.reader_active = false;
+      if (!st.ok()) {
+        if (st.code() == ErrCode::kTimeout) {
+          // Our deadline, not the connection's fault: step aside so a waiter
+          // with a later deadline can take over the read.
+          conn.waiting.erase(request_id);
+          if (!w.done) {
+            w.done = true;
+            w.fail = ErrCode::kTimeout;
+          }
+          conn.cv.notify_all();
+          return;
+        }
+        FailConnLocked(conn, st.code());
+        continue;  // loop top reports broken / done
+      }
+      if (frame.header.type != wire::FrameType::kResponse) {
+        FailConnLocked(conn, ErrCode::kCorruption);
+        continue;
+      }
+      const auto it = conn.waiting.find(frame.header.request_id);
+      if (it == conn.waiting.end()) {
+        // Response to a call that already timed out: drop it, keep reading.
+        continue;
+      }
+      Waiter* target = it->second;
+      conn.waiting.erase(it);
+      target->frame = std::move(frame);
+      target->done = true;
+      conn.cv.notify_all();
+      continue;
+    }
+    // Another waiter is reading; wake on dispatch or to re-check the
+    // deadline (the active reader may have a later one than ours).
+    const common::Nanos remaining = deadline_abs - common::CpuTimer::Now();
+    conn.cv.wait_for(lock, std::chrono::nanoseconds(std::clamp<common::Nanos>(
+                               remaining, 0, 50 * common::kMilli)));
+  }
+}
+
 RpcResponse TcpChannel::DoCall(Endpoint& ep, std::uint16_t opcode,
                                std::string_view payload, const CallMeta& meta) {
   const common::RpcMetricsTable::PerOp& m = metrics_.For(opcode);
@@ -470,64 +705,154 @@ RpcResponse TcpChannel::DoCall(Endpoint& ep, std::uint16_t opcode,
       meta.deadline_ns > 0 ? meta.deadline_ns : options_.call_deadline_ns;
   const common::Nanos deadline_abs = common::CpuTimer::Now() + deadline_ns;
 
-  // Attempt 0 may reuse a pooled connection the server has silently closed;
-  // when it fails before any response byte arrives, attempt 1 retries once
-  // on a fresh connection.  A fresh-connection failure is authoritative.
+  // Attempt 0 may share a pooled connection the server has silently closed;
+  // when it fails before any response reached this call, attempt 1 retries
+  // once on a fresh connection.  A fresh-connection failure is authoritative.
   for (int attempt = 0; attempt < 2; ++attempt) {
-    bool pooled = false;
-    int fd = -1;
-    if (attempt == 0) {
-      fd = PopIdle(ep);
-      pooled = fd >= 0;
-    }
-    if (fd < 0) {
-      bool timed_out = false;
-      fd = Connect(ep, deadline_abs, &timed_out);
-      if (fd < 0) {
-        return fail(timed_out ? ErrCode::kTimeout : ErrCode::kUnavailable);
-      }
-    }
+    bool reused = false;
+    ErrCode conn_err = ErrCode::kUnavailable;
+    const std::shared_ptr<PipeConn> conn =
+        AcquireConn(ep, deadline_abs, &reused, &conn_err);
+    if (!conn) return fail(conn_err);
     wire::FrameHeader header;
     header.type = wire::FrameType::kRequest;
     header.opcode = opcode;
     header.request_id = ep.next_request_id.fetch_add(1, std::memory_order_relaxed);
     header.trace_id = meta.trace_id != 0 ? meta.trace_id : NextTraceId();
+    Waiter waiter;
+    if (!RegisterWaiter(*conn, header.request_id, &waiter)) {
+      conn->inflight.fetch_sub(1, std::memory_order_relaxed);
+      if (attempt == 0 && reused) continue;  // conn died under us
+      return fail(ErrCode::kUnavailable);
+    }
     const std::string frame = wire::EncodeFrame(header, payload);
-
-    Status st = SendAll(fd, frame, deadline_abs);
+    Status st;
+    {
+      std::scoped_lock wlock(conn->write_mu);
+      st = SendAll(conn->fd, frame, deadline_abs);
+    }
     if (!st.ok()) {
-      ::close(fd);
-      if (pooled && st.code() == ErrCode::kUnavailable) continue;
+      // A partially-sent frame desynchronizes every call on the stream.
+      std::unique_lock lock(conn->mu);
+      FailConnLocked(*conn, st.code());
+      lock.unlock();
+      conn->inflight.fetch_sub(1, std::memory_order_relaxed);
+      if (attempt == 0 && reused && st.code() == ErrCode::kUnavailable) continue;
       return fail(st.code());
     }
-    wire::FrameReader reader(options_.max_payload_bytes);
-    wire::Frame resp_frame;
-    bool got_any = false;
-    st = RecvFrame(fd, &reader, &resp_frame, deadline_abs, &got_any);
-    if (!st.ok()) {
-      ::close(fd);
-      if (pooled && !got_any && st.code() == ErrCode::kUnavailable) continue;
-      return fail(st.code());
+    AwaitWaiter(*conn, header.request_id, waiter, deadline_abs);
+    conn->inflight.fetch_sub(1, std::memory_order_relaxed);
+    if (waiter.fail != ErrCode::kOk) {
+      if (attempt == 0 && reused && waiter.fail == ErrCode::kUnavailable) {
+        continue;
+      }
+      return fail(waiter.fail);
     }
-    if (resp_frame.header.type != wire::FrameType::kResponse ||
-        resp_frame.header.request_id != header.request_id) {
-      ::close(fd);
-      return fail(ErrCode::kCorruption);
-    }
-    // Only a fully-drained connection is safe to reuse: stray buffered bytes
-    // would desynchronize the next call on it.
-    if (reader.buffered() == 0) {
-      PushIdle(ep, fd);
-    } else {
-      ::close(fd);
-    }
-    RpcResponse resp{resp_frame.header.code, std::move(resp_frame.payload)};
+    RpcResponse resp{waiter.frame.header.code, std::move(waiter.frame.payload)};
     if (!resp.ok()) m.errors->Add();
     m.bytes_received->Add(resp.payload.size());
     m.latency->Record(timer.ElapsedNanos());
     return resp;
   }
   return fail(ErrCode::kUnavailable);  // unreachable
+}
+
+std::vector<RpcResponse> TcpChannel::CallPipelined(
+    NodeId server,
+    const std::vector<std::pair<std::uint16_t, std::string>>& calls,
+    const CallMeta& meta) {
+  std::vector<RpcResponse> out(calls.size());
+  for (RpcResponse& r : out) r.code = ErrCode::kUnavailable;
+  if (calls.empty()) return out;
+  const common::CpuTimer timer;
+  for (const auto& [opcode, payload] : calls) {
+    const common::RpcMetricsTable::PerOp& m = metrics_.For(opcode);
+    m.calls->Add();
+    m.bytes_sent->Add(payload.size());
+  }
+  const auto finish = [&] {
+    const common::Nanos elapsed = timer.ElapsedNanos();
+    for (std::size_t i = 0; i < calls.size(); ++i) {
+      const common::RpcMetricsTable::PerOp& m = metrics_.For(calls[i].first);
+      if (out[i].code != ErrCode::kOk) m.errors->Add();
+      m.bytes_received->Add(out[i].payload.size());
+      m.latency->Record(elapsed);
+    }
+  };
+  const auto it = endpoints_.find(server);
+  if (it == endpoints_.end()) {
+    finish();
+    return out;
+  }
+  Endpoint& ep = *it->second;
+  const common::Nanos deadline_ns =
+      meta.deadline_ns > 0 ? meta.deadline_ns : options_.call_deadline_ns;
+  const common::Nanos deadline_abs = common::CpuTimer::Now() + deadline_ns;
+  bool reused = false;
+  ErrCode conn_err = ErrCode::kUnavailable;
+  const std::shared_ptr<PipeConn> conn =
+      AcquireConn(ep, deadline_abs, &reused, &conn_err);
+  if (!conn) {
+    for (RpcResponse& r : out) r.code = conn_err;
+    finish();
+    return out;
+  }
+  // AcquireConn reserved one slot; reserve the rest of the burst.
+  conn->inflight.fetch_add(static_cast<std::uint32_t>(calls.size()) - 1,
+                           std::memory_order_relaxed);
+  const std::uint64_t trace_id =
+      meta.trace_id != 0 ? meta.trace_id : NextTraceId();
+  std::vector<Waiter> waiters(calls.size());
+  std::vector<std::uint64_t> rids(calls.size(), 0);
+  std::vector<bool> registered(calls.size(), false);
+  std::string burst;
+  for (std::size_t i = 0; i < calls.size(); ++i) {
+    if (calls[i].second.size() > options_.max_payload_bytes) {
+      waiters[i].done = true;
+      waiters[i].fail = ErrCode::kInvalid;
+      continue;
+    }
+    wire::FrameHeader header;
+    header.type = wire::FrameType::kRequest;
+    header.opcode = calls[i].first;
+    header.request_id =
+        ep.next_request_id.fetch_add(1, std::memory_order_relaxed);
+    header.trace_id = trace_id;
+    if (!RegisterWaiter(*conn, header.request_id, &waiters[i])) {
+      waiters[i].done = true;
+      waiters[i].fail = ErrCode::kUnavailable;
+      continue;
+    }
+    rids[i] = header.request_id;
+    registered[i] = true;
+    burst += wire::EncodeFrame(header, calls[i].second);
+  }
+  if (!burst.empty()) {
+    Status st;
+    {
+      std::scoped_lock wlock(conn->write_mu);
+      st = SendAll(conn->fd, burst, deadline_abs);
+    }
+    if (!st.ok()) {
+      std::scoped_lock lock(conn->mu);
+      FailConnLocked(*conn, st.code());
+    }
+  }
+  for (std::size_t i = 0; i < calls.size(); ++i) {
+    if (registered[i]) AwaitWaiter(*conn, rids[i], waiters[i], deadline_abs);
+  }
+  conn->inflight.fetch_sub(static_cast<std::uint32_t>(calls.size()),
+                           std::memory_order_relaxed);
+  for (std::size_t i = 0; i < calls.size(); ++i) {
+    if (waiters[i].fail != ErrCode::kOk) {
+      out[i].code = waiters[i].fail;
+    } else {
+      out[i].code = waiters[i].frame.header.code;
+      out[i].payload = std::move(waiters[i].frame.payload);
+    }
+  }
+  finish();
+  return out;
 }
 
 void TcpChannel::CallAsync(NodeId server, std::uint16_t opcode,

@@ -1,35 +1,52 @@
 // Real TCP transport (docs/NET.md).
 //
-// TcpServer hosts one RpcHandler behind a poll()-driven event loop: frames
-// are decoded incrementally (net/wire.h), the handler runs inline on the
-// single loop thread — the same one-request-at-a-time contract every service
-// is written against — and responses are written back with the request's
-// correlation and trace ids echoed.  Malformed streams drop the connection;
-// they never crash the daemon or wedge the loop.
+// TcpServer hosts one RpcHandler behind a poll()-driven event loop.  Frames
+// are decoded incrementally (net/wire.h) on the loop thread; with
+// Options::workers == 0 the handler runs inline on that thread (the original
+// single-threaded mode), with workers > 0 decoded requests are dispatched to
+// a pool of worker threads and may execute in any order — even requests from
+// the same connection.  Responses are still written back **in decode order
+// per connection** (a per-connection sequence number reorders completions),
+// so a pipelining client can match responses positionally as well as by the
+// echoed request id.  Handlers behind a multi-worker server must be
+// thread-safe (DMS/FMS are; wrap others in net::SerialHandler).  A handler's
+// RpcResponse::extra_service_ns (modeled device time) is charged by sleeping
+// before the response is released, mirroring the simulator's virtual-time
+// accounting.  Malformed streams drop the connection; they never crash the
+// daemon or wedge the loop.
 //
 // TcpChannel is the client side: a net::Channel whose NodeIds map to
-// host:port endpoints.  It keeps a pool of idle connections per endpoint
-// (concurrent callers each get their own socket), enforces a per-call
-// deadline, retries refused connects a bounded number of times with
-// exponential backoff, and surfaces failures exactly like the in-process
-// transport does — kUnavailable for unreachable/dead peers, kTimeout for an
-// expired deadline, kCorruption for framing violations — so the client-side
-// FMS-outage fallbacks work unchanged over real sockets.  Calls complete
-// inline (the transport blocks the calling thread), which keeps
-// net::RunInline-driven code working.
+// host:port endpoints.  Each endpoint keeps a small set of connections and
+// **pipelines** up to Options::max_pipeline concurrent calls on each one,
+// correlating responses by the wire header's request id (responses may
+// arrive out of order).  Waiting callers share the receive side
+// leader/follower style: one caller reads frames and hands each to its
+// waiter; when it completes (or its deadline expires) another waiter takes
+// over the read.  The channel enforces a per-call deadline, retries refused
+// connects a bounded number of times with exponential backoff, and surfaces
+// failures exactly like the in-process transport does — kUnavailable for
+// unreachable/dead peers, kTimeout for an expired deadline, kCorruption for
+// framing violations — so the client-side FMS-outage fallbacks work
+// unchanged over real sockets.  Calls complete inline (the transport blocks
+// the calling thread), which keeps net::RunInline-driven code working.
 //
 // Both sides record per-opcode metrics through common::RpcMetricsTable:
 // rpc.tcp.* on the channel (round-trip view) and rpc.tcp_server.* on the
-// server (service view), both in wall-clock nanoseconds.
+// server (service view), both in wall-clock nanoseconds.  The server also
+// exposes rpc.tcp_server.workers / .queue_depth / .worker<i>.busy gauges and
+// the channel records the rpc.tcp.pipeline_depth histogram (docs/METRICS.md).
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/clock.h"
@@ -49,6 +66,22 @@ bool ParseHostPort(std::string_view spec, std::string* host,
 // request back verbatim; the channel treats it as a connection failure.
 bool IsSelfConnected(int fd);
 
+// Adapter that serializes Handle() calls with a mutex, for handlers that are
+// not internally thread-safe behind a multi-worker TcpServer (e.g. the
+// object-store server).
+class SerialHandler final : public RpcHandler {
+ public:
+  explicit SerialHandler(RpcHandler* inner) : inner_(inner) {}
+  RpcResponse Handle(std::uint16_t opcode, std::string_view payload) override {
+    std::scoped_lock lock(mu_);
+    return inner_->Handle(opcode, payload);
+  }
+
+ private:
+  RpcHandler* inner_;
+  std::mutex mu_;
+};
+
 // ---------------------------------------------------------------------------
 // Server
 // ---------------------------------------------------------------------------
@@ -60,6 +93,9 @@ class TcpServer {
     std::uint16_t port = 0;  // 0 = kernel-assigned; read port() after Start
     int backlog = 128;
     std::uint32_t max_payload_bytes = wire::kMaxPayloadBytes;
+    // Worker threads executing handler calls.  0 = run handlers inline on
+    // the loop thread; N > 0 requires a thread-safe handler.
+    int workers = 0;
   };
 
   explicit TcpServer(RpcHandler* handler) : TcpServer(handler, Options{}) {}
@@ -68,39 +104,76 @@ class TcpServer {
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
 
-  // Bind, listen and spawn the event-loop thread.  One Start per instance.
+  // Bind, listen and spawn the event-loop (and worker) threads.  One Start
+  // per instance.
   Status Start();
-  // Close the listening socket and every connection, then join the loop.
-  // Idempotent; also run by the destructor.
+  // Close the listening socket and every connection, then join the loop and
+  // the workers (queued-but-unstarted requests are dropped).  Idempotent;
+  // also run by the destructor.
   void Stop();
 
   bool running() const noexcept { return running_.load(std::memory_order_acquire); }
   std::uint16_t port() const noexcept { return port_; }
   const std::string& host() const noexcept { return options_.host; }
-  // Requests dispatched to the handler so far (tests / daemonstats).
+  int workers() const noexcept { return options_.workers; }
+  // Requests executed by the handler so far (tests / daemon stats).
   std::uint64_t requests_served() const noexcept {
     return requests_.load(std::memory_order_relaxed);
   }
 
  private:
   struct Conn;
+  // One decoded request headed for the worker pool.
+  struct Work {
+    std::uint64_t conn_id = 0;
+    std::uint64_t seq = 0;  // per-connection decode order
+    wire::FrameHeader header;
+    std::string payload;
+  };
+  // One encoded response headed back to the loop thread.
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    std::uint64_t seq = 0;
+    std::string bytes;
+  };
 
   void Loop();
-  // Decode and dispatch every complete frame buffered on `conn`; returns
-  // false when the connection must be dropped (framing violation).
+  void WorkerMain(std::size_t index);
+  // Run the handler for one request: metrics, execution, extra_service_ns
+  // charge, response encoding.
+  std::string Execute(const wire::FrameHeader& req, std::string_view payload);
+  // Decode every complete frame buffered on `conn` and execute (inline mode)
+  // or enqueue (worker mode) each; returns false when the connection must be
+  // dropped (framing violation).
   bool DrainFrames(Conn* conn);
   // Flush pending response bytes; returns false on a dead peer.
   bool FlushWrites(Conn* conn);
+  // Move finished worker results into their connections' output buffers in
+  // per-connection decode order.
+  void DeliverCompletions(
+      const std::unordered_map<std::uint64_t, Conn*>& by_id);
 
   RpcHandler* handler_;
   Options options_;
   int listen_fd_ = -1;
-  int wake_fds_[2] = {-1, -1};  // self-pipe: Stop() wakes the poll loop
+  int wake_fds_[2] = {-1, -1};  // self-pipe: Stop()/workers wake the poll loop
   std::thread thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
   std::uint16_t port_ = 0;
   std::atomic<std::uint64_t> requests_{0};
+
+  // Worker pool (empty in inline mode).
+  std::vector<std::thread> workers_;
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Work> queue_;
+  bool queue_stop_ = false;
+  std::mutex comp_mu_;
+  std::vector<Completion> completions_;
+  std::deque<std::atomic<bool>> busy_;  // one flag per worker (gauges)
+  std::vector<common::MetricsRegistry::GaugeHandle> gauges_;
+
   common::RpcMetricsTable metrics_{&common::MetricsRegistry::Default(),
                                    "tcp_server", "wall_ns"};
 };
@@ -120,6 +193,9 @@ struct TcpChannelOptions {
   // Cap on a single connect() wait (also bounded by the call deadline).
   common::Nanos connect_timeout_ns = common::kSecond;
   std::uint32_t max_payload_bytes = wire::kMaxPayloadBytes;
+  // Outstanding calls multiplexed on one connection before the channel opens
+  // another.
+  std::uint32_t max_pipeline = 32;
 };
 
 class TcpChannel final : public Channel {
@@ -139,15 +215,53 @@ class TcpChannel final : public Channel {
                      const CallMeta& meta,
                      std::function<void(RpcResponse)> done) override;
 
-  // Drop every pooled idle connection (tests; forces fresh connects).
+  // Issue every (opcode, payload) in `calls` back-to-back on one pipelined
+  // connection and wait for all responses; results are in `calls` order
+  // (matched by request id — the server may complete them out of order).
+  // The whole burst shares one CallMeta (trace id + deadline).  Unlike
+  // single calls, bursts never retry on a stale pooled connection.
+  std::vector<RpcResponse> CallPipelined(
+      NodeId server,
+      const std::vector<std::pair<std::uint16_t, std::string>>& calls,
+      const CallMeta& meta = {});
+
+  // Drop every pooled connection (tests; forces fresh connects).  Calls in
+  // flight keep their connection alive until they complete.
   void DisconnectAll();
 
  private:
+  // One caller blocked on a pipelined response.
+  struct Waiter {
+    wire::Frame frame;
+    bool done = false;
+    ErrCode fail = ErrCode::kOk;
+  };
+
+  // A connection multiplexing many concurrent calls.  Shared by reference
+  // count: the endpoint list holds one reference, every active call another;
+  // the socket closes when the last reference drops.
+  struct PipeConn {
+    PipeConn(int fd_in, std::uint32_t max_payload)
+        : fd(fd_in), reader(max_payload) {}
+    ~PipeConn();
+
+    const int fd;
+    std::atomic<bool> dead{false};       // failed; skipped and pruned
+    std::atomic<std::uint32_t> inflight{0};  // reservations (load balancing)
+    std::mutex write_mu;  // serializes request bytes onto the socket
+    std::mutex mu;        // guards everything below
+    std::condition_variable cv;
+    wire::FrameReader reader;  // touched only by the active reader
+    std::unordered_map<std::uint64_t, Waiter*> waiting;
+    bool reader_active = false;  // some waiter is blocked in recv
+    ErrCode broken = ErrCode::kOk;  // terminal failure code
+  };
+
   struct Endpoint {
     std::string host;
     std::uint16_t port = 0;
     std::mutex mu;
-    std::vector<int> idle;  // pooled connected sockets
+    std::vector<std::shared_ptr<PipeConn>> conns;
     std::atomic<std::uint64_t> next_request_id{1};
   };
 
@@ -156,13 +270,29 @@ class TcpChannel final : public Channel {
   // Connect with bounded retry + exponential backoff; -1 on failure
   // (`timed_out` reports whether the call deadline, not the peer, gave up).
   int Connect(const Endpoint& ep, common::Nanos deadline_abs, bool* timed_out);
-  int PopIdle(Endpoint& ep);
-  void PushIdle(Endpoint& ep, int fd);
+  // Pick (or dial) a connection and reserve one inflight slot on it.
+  // `reused` reports whether the connection predates this call — only those
+  // are eligible for the stale-connection retry.  nullptr on connect
+  // failure, with *err set.
+  std::shared_ptr<PipeConn> AcquireConn(Endpoint& ep,
+                                        common::Nanos deadline_abs,
+                                        bool* reused, ErrCode* err);
+  // Add `w` to the conn's waiter table under `request_id`; false when the
+  // connection is already broken.
+  bool RegisterWaiter(PipeConn& conn, std::uint64_t request_id, Waiter* w);
+  // Block until `w` completes or `deadline_abs` passes, acting as the
+  // connection's frame reader whenever no other waiter is.
+  void AwaitWaiter(PipeConn& conn, std::uint64_t request_id, Waiter& w,
+                   common::Nanos deadline_abs);
+  // Mark the connection dead and fail every registered waiter (conn.mu held).
+  static void FailConnLocked(PipeConn& conn, ErrCode code);
 
   TcpChannelOptions options_;
   std::unordered_map<NodeId, std::unique_ptr<Endpoint>> endpoints_;
   common::RpcMetricsTable metrics_{&common::MetricsRegistry::Default(),
                                    "tcp", "wall_ns"};
+  // Waiters outstanding on the connection at each call issue (docs/METRICS.md).
+  common::LatencyHistogram* pipeline_depth_;
 };
 
 }  // namespace loco::net
