@@ -106,13 +106,12 @@ RunResult RunOnce(int workers, int clients, int files_per_client,
   const core::DeviceProfile journal{60'000, 450e6};  // Table 2 metadata SSD
   JournalChargeHandler dms_charged(&dms, journal);
   JournalChargeHandler fms_charged(&fms, journal);
-  net::SerialHandler osd_serial(&osd);  // OSD is not thread-safe
 
   net::TcpServer::Options server_options;
   server_options.workers = workers;
   net::TcpServer dms_server(&dms_charged, server_options);
   net::TcpServer fms_server(&fms_charged, server_options);
-  net::TcpServer osd_server(&osd_serial, server_options);
+  net::TcpServer osd_server(&osd, server_options);
   if (!dms_server.Start().ok() || !fms_server.Start().ok() ||
       !osd_server.Start().ok()) {
     std::fprintf(stderr, "fig15: failed to start loopback servers\n");

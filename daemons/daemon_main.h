@@ -12,10 +12,12 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "common/metrics.h"
+#include "net/fault.h"
 #include "net/tcp.h"
 
 namespace loco::daemons {
@@ -66,13 +68,29 @@ inline bool ParseWorkers(const char* name, const std::string& str, int* out) {
   return true;
 }
 
-// Serve `handler` on `listen_spec` ("host:port", port 0 = ephemeral) with a
-// `workers`-thread dispatch pool (0 = inline) until SIGINT/SIGTERM.  Returns
-// the process exit code.
+// Parse a --fault-spec value into a process fault injector.  An empty spec
+// (flag not given) leaves *out null; a malformed spec is reported and
+// rejected.
+inline bool ParseFaultSpec(const char* name, const std::string& spec,
+                           std::unique_ptr<net::FaultInjector>* out) {
+  if (spec.empty()) return true;
+  auto parsed = net::FaultSpec::Parse(spec);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s: bad --fault-spec '%s': %s\n", name, spec.c_str(),
+                 parsed.status().message().c_str());
+    return false;
+  }
+  *out = std::make_unique<net::FaultInjector>(*parsed);
+  return true;
+}
+
+// Serve `handler` on `listen_spec` ("host:port", port 0 = ephemeral) until
+// SIGINT/SIGTERM, with caller-prepared server options (worker pool size,
+// fault injector, dedup window).  Returns the process exit code.
 inline int RunDaemon(const char* name, net::RpcHandler* handler,
                      const std::string& listen_spec,
-                     const std::string& metrics_out, int workers) {
-  net::TcpServer::Options options;
+                     const std::string& metrics_out, int workers,
+                     net::TcpServer::Options options) {
   options.workers = workers;
   if (!listen_spec.empty() &&
       !net::ParseHostPort(listen_spec, &options.host, &options.port)) {
@@ -113,6 +131,14 @@ inline int RunDaemon(const char* name, net::RpcHandler* handler,
     }
   }
   return 0;
+}
+
+// Back-compat overload with default server options.
+inline int RunDaemon(const char* name, net::RpcHandler* handler,
+                     const std::string& listen_spec,
+                     const std::string& metrics_out, int workers) {
+  return RunDaemon(name, handler, listen_spec, metrics_out, workers,
+                   net::TcpServer::Options{});
 }
 
 }  // namespace loco::daemons

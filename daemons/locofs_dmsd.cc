@@ -1,15 +1,25 @@
 // Directory Metadata Server daemon.
 //
 //   locofs_dmsd [--listen host:port] [--backend btree|hash] [--workers N]
+//               [--store-dir dir] [--fault-spec spec]
 //               [--metrics-out file.json]
 //
 // --workers sizes the request dispatch pool (default: hardware concurrency;
-// 0 serves inline on the event loop).
+// 0 serves inline on the event loop).  --store-dir persists both KV stores
+// (WAL per stripe) so a restarted daemon recovers its namespace; --fault-spec
+// arms the deterministic fault plane (grammar in net/fault.h).  Idempotent
+// mutations are always served through a dedup window, so a client retry of
+// an applied Mkdir/Rename replays the cached response instead of
+// double-applying.
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "core/dms.h"
+#include "core/proto.h"
 #include "daemon_main.h"
+#include "kvstore/faulty_kv.h"
+#include "net/dedup.h"
 
 int main(int argc, char** argv) {
   using namespace loco;
@@ -18,21 +28,28 @@ int main(int argc, char** argv) {
   std::string backend = "btree";
   std::string metrics_out;
   std::string workers_str;
+  std::string store_dir;
+  std::string fault_spec;
   for (int i = 1; i < argc; ++i) {
     if (daemons::FlagValue(argc, argv, &i, "--listen", &listen)) continue;
     if (daemons::FlagValue(argc, argv, &i, "--backend", &backend)) continue;
     if (daemons::FlagValue(argc, argv, &i, "--metrics-out", &metrics_out)) continue;
     if (daemons::FlagValue(argc, argv, &i, "--workers", &workers_str)) continue;
+    if (daemons::FlagValue(argc, argv, &i, "--store-dir", &store_dir)) continue;
+    if (daemons::FlagValue(argc, argv, &i, "--fault-spec", &fault_spec)) continue;
     std::fprintf(stderr,
                  "locofs_dmsd: unknown argument '%s'\n"
                  "usage: locofs_dmsd [--listen host:port] [--backend btree|hash]"
-                 " [--workers N] [--metrics-out file.json]\n",
+                 " [--workers N] [--store-dir dir] [--fault-spec spec]"
+                 " [--metrics-out file.json]\n",
                  argv[i]);
     return 2;
   }
 
   int workers = 0;
   if (!daemons::ParseWorkers("locofs_dmsd", workers_str, &workers)) return 2;
+  std::unique_ptr<net::FaultInjector> fault;
+  if (!daemons::ParseFaultSpec("locofs_dmsd", fault_spec, &fault)) return 2;
 
   core::DirectoryMetadataServer::Options options;
   if (backend == "btree") {
@@ -44,8 +61,18 @@ int main(int argc, char** argv) {
                  backend.c_str());
     return 2;
   }
+  options.kv.dir = store_dir;
+  if (fault) {
+    options.kv_decorator = [&fault](std::unique_ptr<kv::Kv> inner) {
+      return std::make_unique<kv::FaultyKv>(std::move(inner), fault.get());
+    };
+  }
 
   core::DirectoryMetadataServer server(options);
+  net::DedupWindow dedup(core::proto::IdempotentReplayOps());
+  net::TcpServer::Options server_options;
+  server_options.fault = fault.get();
+  server_options.dedup = &dedup;
   return daemons::RunDaemon("locofs_dmsd", &server, listen, metrics_out,
-                            workers);
+                            workers, server_options);
 }

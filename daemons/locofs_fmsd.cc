@@ -1,18 +1,27 @@
 // File Metadata Server daemon.
 //
 //   locofs_fmsd [--listen host:port] [--sid N] [--coupled] [--workers N]
+//               [--store-dir dir] [--fault-spec spec]
 //               [--metrics-out file.json]
 //
 // --sid must match this server's position in the client's FMS list (it seeds
 // the high bits of the file uuids this server mints).  --workers sizes the
 // request dispatch pool (default: hardware concurrency; 0 serves inline).
+// --store-dir persists the inode and dirent stores so a restarted daemon
+// recovers its files; --fault-spec arms the deterministic fault plane
+// (grammar in net/fault.h).  Idempotent mutations are always served through
+// a dedup window (retries replay instead of double-applying).
 #include <charconv>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "core/fms.h"
+#include "core/proto.h"
 #include "daemon_main.h"
+#include "kvstore/faulty_kv.h"
+#include "net/dedup.h"
 
 int main(int argc, char** argv) {
   using namespace loco;
@@ -21,12 +30,16 @@ int main(int argc, char** argv) {
   std::string sid_str = "1";
   std::string metrics_out;
   std::string workers_str;
+  std::string store_dir;
+  std::string fault_spec;
   bool decoupled = true;
   for (int i = 1; i < argc; ++i) {
     if (daemons::FlagValue(argc, argv, &i, "--listen", &listen)) continue;
     if (daemons::FlagValue(argc, argv, &i, "--sid", &sid_str)) continue;
     if (daemons::FlagValue(argc, argv, &i, "--metrics-out", &metrics_out)) continue;
     if (daemons::FlagValue(argc, argv, &i, "--workers", &workers_str)) continue;
+    if (daemons::FlagValue(argc, argv, &i, "--store-dir", &store_dir)) continue;
+    if (daemons::FlagValue(argc, argv, &i, "--fault-spec", &fault_spec)) continue;
     if (std::strcmp(argv[i], "--coupled") == 0) {
       decoupled = false;
       continue;
@@ -34,13 +47,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "locofs_fmsd: unknown argument '%s'\n"
                  "usage: locofs_fmsd [--listen host:port] [--sid N] [--coupled]"
-                 " [--workers N] [--metrics-out file.json]\n",
+                 " [--workers N] [--store-dir dir] [--fault-spec spec]"
+                 " [--metrics-out file.json]\n",
                  argv[i]);
     return 2;
   }
 
   int workers = 0;
   if (!daemons::ParseWorkers("locofs_fmsd", workers_str, &workers)) return 2;
+  std::unique_ptr<net::FaultInjector> fault;
+  if (!daemons::ParseFaultSpec("locofs_fmsd", fault_spec, &fault)) return 2;
 
   std::uint32_t sid = 0;
   const char* begin = sid_str.data();
@@ -54,7 +70,17 @@ int main(int argc, char** argv) {
   core::FileMetadataServer::Options options;
   options.sid = sid;
   options.decoupled = decoupled;
+  options.kv.dir = store_dir;
+  if (fault) {
+    options.kv_decorator = [&fault](std::unique_ptr<kv::Kv> inner) {
+      return std::make_unique<kv::FaultyKv>(std::move(inner), fault.get());
+    };
+  }
   core::FileMetadataServer server(options);
+  net::DedupWindow dedup(core::proto::IdempotentReplayOps());
+  net::TcpServer::Options server_options;
+  server_options.fault = fault.get();
+  server_options.dedup = &dedup;
   return daemons::RunDaemon("locofs_fmsd", &server, listen, metrics_out,
-                            workers);
+                            workers, server_options);
 }

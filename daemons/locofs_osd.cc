@@ -1,21 +1,26 @@
 // Object store daemon.
 //
 //   locofs_osd [--listen host:port] [--block-bytes N] [--no-retain]
-//              [--workers N] [--metrics-out file.json]
+//              [--workers N] [--store-dir dir] [--fault-spec spec]
+//              [--metrics-out file.json]
 //
 // --no-retain accounts block payloads without storing them (reads return
 // zeros); use it for metadata-only benchmarks that push a lot of data.
 // --workers sizes the request dispatch pool (default: hardware concurrency;
-// 0 serves inline).  ObjectStoreServer is not internally thread-safe, so a
-// pooled OSD serializes its handler with net::SerialHandler — the pool still
-// overlaps decode/writeback with execution.
+// 0 serves inline).  ObjectStoreServer is thread-safe (striped block table,
+// per-object locks), so it runs bare behind the pool.  --store-dir persists
+// the block table across restarts; --fault-spec arms the deterministic
+// fault plane (grammar in net/fault.h).
 #include <charconv>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "core/object_store.h"
+#include "core/proto.h"
 #include "daemon_main.h"
+#include "net/dedup.h"
 
 int main(int argc, char** argv) {
   using namespace loco;
@@ -24,12 +29,16 @@ int main(int argc, char** argv) {
   std::string block_str;
   std::string metrics_out;
   std::string workers_str;
+  std::string store_dir;
+  std::string fault_spec;
   bool retain = true;
   for (int i = 1; i < argc; ++i) {
     if (daemons::FlagValue(argc, argv, &i, "--listen", &listen)) continue;
     if (daemons::FlagValue(argc, argv, &i, "--block-bytes", &block_str)) continue;
     if (daemons::FlagValue(argc, argv, &i, "--metrics-out", &metrics_out)) continue;
     if (daemons::FlagValue(argc, argv, &i, "--workers", &workers_str)) continue;
+    if (daemons::FlagValue(argc, argv, &i, "--store-dir", &store_dir)) continue;
+    if (daemons::FlagValue(argc, argv, &i, "--fault-spec", &fault_spec)) continue;
     if (std::strcmp(argv[i], "--no-retain") == 0) {
       retain = false;
       continue;
@@ -37,16 +46,20 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "locofs_osd: unknown argument '%s'\n"
                  "usage: locofs_osd [--listen host:port] [--block-bytes N]"
-                 " [--no-retain] [--workers N] [--metrics-out file.json]\n",
+                 " [--no-retain] [--workers N] [--store-dir dir]"
+                 " [--fault-spec spec] [--metrics-out file.json]\n",
                  argv[i]);
     return 2;
   }
 
   int workers = 0;
   if (!daemons::ParseWorkers("locofs_osd", workers_str, &workers)) return 2;
+  std::unique_ptr<net::FaultInjector> fault;
+  if (!daemons::ParseFaultSpec("locofs_osd", fault_spec, &fault)) return 2;
 
   core::ObjectStoreServer::Options options;
   options.retain_data = retain;
+  options.kv.dir = store_dir;
   if (!block_str.empty()) {
     std::size_t block_bytes = 0;
     const char* begin = block_str.data();
@@ -61,7 +74,10 @@ int main(int argc, char** argv) {
   }
 
   core::ObjectStoreServer server(options);
-  net::SerialHandler serialized(&server);
-  return daemons::RunDaemon("locofs_osd", &serialized, listen, metrics_out,
-                            workers);
+  net::DedupWindow dedup(core::proto::IdempotentReplayOps());
+  net::TcpServer::Options server_options;
+  server_options.fault = fault.get();
+  server_options.dedup = &dedup;
+  return daemons::RunDaemon("locofs_osd", &server, listen, metrics_out,
+                            workers, server_options);
 }

@@ -10,12 +10,13 @@ cmake -B build -S . >/dev/null
 cmake --build build -j >/dev/null
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "== tier-1: ASan+UBSan pass (net + integration) =="
+echo "== tier-1: ASan+UBSan pass (net + integration + chaos) =="
 cmake -B build-asan -S . -DLOCO_SANITIZE=ON >/dev/null
-cmake --build build-asan -j --target net_test integration_test \
-  locofs_dmsd locofs_fmsd locofs_osd >/dev/null
+cmake --build build-asan -j --target net_test integration_test chaos_test \
+  locofs_dmsd locofs_fmsd locofs_osd loco_fsck >/dev/null
 ./build-asan/tests/net/net_test
 ./build-asan/tests/integration/integration_test
+./build-asan/tests/integration/chaos_test
 
 echo "== tier-1: TSan pass (worker pool, striped KV, concurrent handlers) =="
 cmake -B build-tsan -S . -DLOCO_SANITIZE=tsan >/dev/null

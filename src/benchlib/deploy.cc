@@ -201,7 +201,7 @@ std::unique_ptr<fs::FileSystemClient> RemoteDeployment::MakeClient(
     fs::TimeFn now) const {
   core::LocoClient::Config cfg = config;
   cfg.now = std::move(now);
-  return std::make_unique<core::LocoClient>(*channel, cfg);
+  return std::make_unique<core::LocoClient>(rpc(), cfg);
 }
 
 Result<RemoteDeployment> ConnectRemote(const RemoteEndpoints& endpoints,
@@ -231,6 +231,10 @@ Result<RemoteDeployment> ConnectRemote(const RemoteEndpoints& endpoints,
   }
   d.config.cache_enabled = options.cache_enabled && options.lease_ns > 0;
   d.config.lease_ns = options.lease_ns;
+  if (options.resilience) {
+    d.resilient = std::make_unique<net::ResilientChannel>(
+        d.channel.get(), options.resilience_options);
+  }
   return d;
 }
 

@@ -21,6 +21,7 @@
 #include "core/fms.h"
 #include "core/object_store.h"
 #include "fs/client.h"
+#include "net/resilience.h"
 #include "net/tcp.h"
 #include "sim/transport.h"
 
@@ -119,6 +120,13 @@ struct RemoteOptions {
   bool cache_enabled = true;
   std::uint64_t lease_ns = 30ull * 1'000'000'000;
   net::TcpChannelOptions channel;
+  // Client resilience layer (net/resilience.h): retry with full-jitter
+  // backoff plus a per-endpoint circuit breaker, wrapped around the TCP
+  // channel.  Safe by default because the daemons deduplicate idempotent
+  // mutations server-side (net::DedupWindow) — a retried Create/Mkdir
+  // replays the cached response instead of double-applying.
+  bool resilience = true;
+  net::ResilienceOptions resilience_options;
 };
 
 // A client-side view of a remote deployment: the TCP channel with every
@@ -126,9 +134,18 @@ struct RemoteOptions {
 // daemon's --sid — object stores = 1000+i) plus the matching client config.
 struct RemoteDeployment {
   std::unique_ptr<net::TcpChannel> channel;
+  // Present when RemoteOptions::resilience is on; wraps *channel.
+  std::unique_ptr<net::ResilientChannel> resilient;
   core::LocoClient::Config config;
 
-  // Build a client-process library over `channel` (one per logical client;
+  // The channel clients should issue calls on (the resilient wrapper when
+  // enabled, the bare TCP channel otherwise).
+  net::Channel& rpc() const noexcept {
+    return resilient ? static_cast<net::Channel&>(*resilient)
+                     : static_cast<net::Channel&>(*channel);
+  }
+
+  // Build a client-process library over rpc() (one per logical client;
   // `now` supplies operation timestamps, e.g. wall-clock nanoseconds).
   std::unique_ptr<fs::FileSystemClient> MakeClient(fs::TimeFn now) const;
 };

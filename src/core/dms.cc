@@ -50,6 +50,10 @@ DirectoryMetadataServer::DirectoryMetadataServer(const Options& options) {
   dirents_ = std::move(kv::MakeStripedKv(kv::KvBackend::kHash, dirents_opt,
                                          options.kv_stripes))
                  .value();
+  if (options.kv_decorator) {
+    dirs_ = options.kv_decorator(std::move(dirs_));
+    dirents_ = options.kv_decorator(std::move(dirents_));
+  }
   // Recover the uuid allocator: it must never reissue a live fid.
   std::uint64_t max_fid = 1;
   dirents_->ForEach([&max_fid](std::string_view key, std::string_view) {
@@ -131,6 +135,10 @@ net::RpcResponse DirectoryMetadataServer::Dispatch(std::uint16_t opcode,
     case proto::kDmsUtimens: return Utimens(payload);
     case proto::kDmsAccess: return Access(payload);
     case proto::kDmsRename: return Rename(payload);
+    case proto::kDmsScanDirs: return ScanDirs();
+    case proto::kDmsScanDirents: return ScanDirents();
+    case proto::kDmsRepairDirent: return RepairDirent(payload);
+    case proto::kDmsDropDirents: return DropDirents(payload);
     default: return Fail(ErrCode::kUnsupported);
   }
 }
@@ -390,6 +398,63 @@ net::RpcResponse DirectoryMetadataServer::Rename(std::string_view payload) {
   AppendDirent(&dst_dirents, fs::BaseName(to));
   (void)dirents_->Put(dst_key, dst_dirents);
   return OkPayload(fs::Pack(moved));
+}
+
+// ----------------------------------------------------- fsck / admin surface --
+
+net::RpcResponse DirectoryMetadataServer::ScanDirs() {
+  // Full d-inode inventory for loco_fsck.  Like any online scan the snapshot
+  // is racy against concurrent mutations; fsck runs against a quiesced
+  // cluster.
+  std::vector<std::string> entries;
+  dirs_->ForEach([&entries](std::string_view key, std::string_view value) {
+    entries.push_back(
+        fs::Pack(std::string(key), DirInodeLayout::Parse(value).uuid));
+    return true;
+  });
+  return OkPayload(fs::Pack(entries));
+}
+
+net::RpcResponse DirectoryMetadataServer::ScanDirents() {
+  std::vector<std::string> entries;
+  dirents_->ForEach([&entries](std::string_view key, std::string_view value) {
+    const fs::Uuid uuid(common::LoadAt<std::uint64_t>(key, 0));
+    entries.push_back(fs::Pack(uuid, ParseDirentList(value)));
+    return true;
+  });
+  return OkPayload(fs::Pack(entries));
+}
+
+net::RpcResponse DirectoryMetadataServer::RepairDirent(std::string_view payload) {
+  std::string dir_path, name;
+  std::uint8_t add = 0;
+  if (!fs::Unpack(payload, dir_path, name, add)) return BadRequest();
+  if (!fs::IsValidPath(dir_path) || name.empty()) return Fail(ErrCode::kInvalid);
+
+  const auto guard = dir_locks_.Lock(PathLockKey(dir_path));
+  std::string value;
+  if (!dirs_->Get(dir_path, &value).ok()) return Fail(ErrCode::kNotFound);
+  const fs::Attr attr = DirInodeLayout::Parse(value);
+  const std::string dirent_key = DirentKey(attr.uuid);
+  std::string dirent_value;
+  (void)dirents_->Get(dirent_key, &dirent_value);
+  if (add != 0) {
+    if (DirentListContains(dirent_value, name)) return Ok();
+    AppendDirent(&dirent_value, name);
+  } else {
+    if (!RemoveDirent(&dirent_value, name)) return Ok();
+  }
+  if (!dirents_->Put(dirent_key, dirent_value).ok()) return Fail(ErrCode::kIo);
+  return Ok();
+}
+
+net::RpcResponse DirectoryMetadataServer::DropDirents(std::string_view payload) {
+  fs::Uuid uuid;
+  if (!fs::Unpack(payload, uuid)) return BadRequest();
+  // Only reasonable against a uuid whose d-inode is gone (rmdir crash
+  // leftovers); fsck verifies that before asking.
+  (void)dirents_->Delete(DirentKey(uuid));
+  return Ok();
 }
 
 }  // namespace loco::core

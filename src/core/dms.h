@@ -18,6 +18,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <shared_mutex>
 #include <string>
@@ -41,6 +42,9 @@ class DirectoryMetadataServer final : public net::RpcHandler {
     kv::KvOptions kv;
     // Lock stripes per store (thread safety under multi-worker servers).
     std::size_t kv_stripes = 16;
+    // Post-construction wrapper applied to each store (fault injection:
+    // daemons install kv::FaultyKv here when --fault-spec arms KV faults).
+    std::function<std::unique_ptr<kv::Kv>(std::unique_ptr<kv::Kv>)> kv_decorator;
   };
 
   DirectoryMetadataServer() : DirectoryMetadataServer(Options{}) {}
@@ -72,6 +76,11 @@ class DirectoryMetadataServer final : public net::RpcHandler {
   net::RpcResponse Utimens(std::string_view payload);
   net::RpcResponse Access(std::string_view payload);
   net::RpcResponse Rename(std::string_view payload);
+  // fsck / admin surface (tools/loco_fsck).
+  net::RpcResponse ScanDirs();
+  net::RpcResponse ScanDirents();
+  net::RpcResponse RepairDirent(std::string_view payload);
+  net::RpcResponse DropDirents(std::string_view payload);
 
   std::unique_ptr<kv::Kv> dirs_;     // full path -> 48-byte d-inode
   std::unique_ptr<kv::Kv> dirents_;  // dir uuid -> concatenated subdir names

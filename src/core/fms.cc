@@ -61,6 +61,12 @@ FileMetadataServer::FileMetadataServer(const Options& options)
                                          sub_options("dirents"),
                                          options_.kv_stripes))
                  .value();
+  if (options_.kv_decorator) {
+    if (access_) access_ = options_.kv_decorator(std::move(access_));
+    if (content_) content_ = options_.kv_decorator(std::move(content_));
+    if (coupled_) coupled_ = options_.kv_decorator(std::move(coupled_));
+    dirents_ = options_.kv_decorator(std::move(dirents_));
+  }
   // Recover the fid allocator from the content parts (uuid field) so a
   // restarted server never reissues a live fid.
   std::uint64_t max_fid = 0;
@@ -145,6 +151,10 @@ net::RpcResponse FileMetadataServer::Dispatch(std::uint16_t opcode,
     case proto::kFmsCheckEmpty: return CheckEmpty(payload);
     case proto::kFmsReadRaw: return ReadRaw(payload);
     case proto::kFmsInsertRaw: return InsertRaw(payload);
+    case proto::kFmsScanFiles: return ScanFiles();
+    case proto::kFmsScanDirents: return ScanDirents();
+    case proto::kFmsRepairDirent: return RepairDirent(payload);
+    case proto::kFmsPurgeFile: return PurgeFile(payload);
     default: return Fail(ErrCode::kUnsupported);
   }
 }
@@ -582,6 +592,85 @@ net::RpcResponse FileMetadataServer::InsertRaw(std::string_view payload) {
     return Fail(ErrCode::kIo);
   }
   return Ok();
+}
+
+// ----------------------------------------------------- fsck / admin surface --
+
+net::RpcResponse FileMetadataServer::ScanFiles() {
+  // Full file-inode inventory for loco_fsck: (parent uuid, name, file uuid)
+  // per inode hashed to this server.  Racy against concurrent mutations like
+  // any online scan; fsck runs against a quiesced cluster.
+  std::vector<std::string> entries;
+  auto emit = [&entries](std::string_view key, fs::Uuid file_uuid) {
+    if (key.size() < 8) return;
+    const fs::Uuid dir_uuid(common::LoadAt<std::uint64_t>(key, 0));
+    entries.push_back(
+        fs::Pack(dir_uuid, std::string(key.substr(8)), file_uuid));
+  };
+  if (options_.decoupled) {
+    content_->ForEach([&](std::string_view key, std::string_view value) {
+      emit(key, fs::Uuid(common::LoadAt<std::uint64_t>(
+                    value, ContentPartLayout::kUuid)));
+      return true;
+    });
+  } else {
+    coupled_->ForEach([&](std::string_view key, std::string_view value) {
+      CoupledInode inode;
+      if (CoupledInode::Deserialize(value, &inode)) emit(key, inode.attr.uuid);
+      return true;
+    });
+  }
+  return OkPayload(fs::Pack(entries));
+}
+
+net::RpcResponse FileMetadataServer::ScanDirents() {
+  std::vector<std::string> entries;
+  dirents_->ForEach([&entries](std::string_view key, std::string_view value) {
+    const fs::Uuid dir_uuid(common::LoadAt<std::uint64_t>(key, 0));
+    entries.push_back(fs::Pack(dir_uuid, ParseDirentList(value)));
+    return true;
+  });
+  return OkPayload(fs::Pack(entries));
+}
+
+net::RpcResponse FileMetadataServer::RepairDirent(std::string_view payload) {
+  fs::Uuid dir_uuid;
+  std::string name;
+  std::uint8_t add = 0;
+  if (!fs::Unpack(payload, dir_uuid, name, add)) return BadRequest();
+  if (name.empty()) return Fail(ErrCode::kInvalid);
+  const auto guard = dir_locks_.Lock(dir_uuid.raw());
+  if (add != 0) {
+    std::string value;
+    (void)dirents_->Get(DirentKey(dir_uuid), &value);
+    if (DirentListContains(value, name)) return Ok();
+    if (!AppendToDirent(dir_uuid, name).ok()) return Fail(ErrCode::kIo);
+  } else {
+    RemoveFromDirent(dir_uuid, name);
+  }
+  return Ok();
+}
+
+net::RpcResponse FileMetadataServer::PurgeFile(std::string_view payload) {
+  fs::Uuid dir_uuid;
+  std::string name;
+  if (!fs::Unpack(payload, dir_uuid, name)) return BadRequest();
+  const std::string key = FileKey(dir_uuid, name);
+  const auto guard = dir_locks_.Lock(dir_uuid.raw());
+  // Unconditional drop of both inode parts plus the dirent entry — the
+  // repair action for orphaned inodes and stale rename intermediates.  If no
+  // inode exists the uuid in the reply is zero and only the dirent (if any)
+  // goes away, which keeps a replayed purge idempotent.
+  auto attr = GetAttrInternal(key);
+  const fs::Uuid uuid = attr.ok() ? attr->uuid : fs::Uuid(0);
+  if (options_.decoupled) {
+    (void)access_->Delete(key);
+    (void)content_->Delete(key);
+  } else {
+    (void)coupled_->Delete(key);
+  }
+  RemoveFromDirent(dir_uuid, name);
+  return OkPayload(fs::Pack(uuid));
 }
 
 }  // namespace loco::core

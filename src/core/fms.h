@@ -25,6 +25,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -47,6 +48,9 @@ class FileMetadataServer final : public net::RpcHandler {
     kv::KvOptions kv;
     // Lock stripes per store (thread safety under multi-worker servers).
     std::size_t kv_stripes = 16;
+    // Post-construction wrapper applied to each store (fault injection:
+    // daemons install kv::FaultyKv here when --fault-spec arms KV faults).
+    std::function<std::unique_ptr<kv::Kv>(std::unique_ptr<kv::Kv>)> kv_decorator;
   };
 
   explicit FileMetadataServer(const Options& options);
@@ -85,6 +89,11 @@ class FileMetadataServer final : public net::RpcHandler {
   net::RpcResponse CheckEmpty(std::string_view payload);
   net::RpcResponse ReadRaw(std::string_view payload);
   net::RpcResponse InsertRaw(std::string_view payload);
+  // fsck / admin surface (tools/loco_fsck).
+  net::RpcResponse ScanFiles();
+  net::RpcResponse ScanDirents();
+  net::RpcResponse RepairDirent(std::string_view payload);
+  net::RpcResponse PurgeFile(std::string_view payload);
 
   Status AppendToDirent(fs::Uuid dir_uuid, std::string_view name);
   void RemoveFromDirent(fs::Uuid dir_uuid, std::string_view name);

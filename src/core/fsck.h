@@ -1,0 +1,123 @@
+// loco_fsck — offline namespace consistency checker and repairer.
+//
+// LocoFS accepts transient crash states rather than paying for distributed
+// transactions (§3.4): an interrupted create may leave a dirent entry with
+// no inode (file-less dirent), an interrupted remove an inode with no dirent
+// (orphan), an interrupted f-rename the same uuid at two FMS keys, and a
+// kill -9'd client data objects no inode references.  This runner scans the
+// DMS, every FMS, and every object store through their fsck/admin RPCs
+// (core/proto.h), cross-checks the invariants below, and optionally repairs
+// violations using the same idempotent admin mutations.
+//
+// Invariants checked (and the repair applied with --repair):
+//   I1  every d-inode path except "/" has a parent d-inode
+//         -> recreate the missing parent (root-owned, mode 0755)
+//   I2  every name in a DMS dirent list names a live child d-inode
+//         -> remove the dangling name
+//   I3  every DMS dirent list is keyed by a live directory uuid
+//         -> drop the whole list
+//   I4  every d-inode except "/" appears in its parent's dirent list
+//         -> re-add the missing name
+//   I5  every file inode's parent directory uuid is live
+//         -> purge the file inode and its data objects
+//   I6  every file inode appears in its FMS dirent list
+//         -> re-add the missing name
+//   I7  every name in an FMS dirent list has a file inode on that server
+//         -> remove the dangling name (purge it when the directory is dead)
+//   I8  a file uuid exists at exactly one (server, dir, name)
+//         -> keep one deterministic winner, purge the other keys (stale
+//            f-rename intermediates; data objects are NOT purged — the
+//            surviving inode references them)
+//   I9  every object-store uuid is referenced by some file inode
+//         -> purge the leaked object's blocks
+//
+// Repairs can cascade (purging a duplicate may orphan a dirent entry), so a
+// repairing run iterates scan→repair until a scan is clean, up to a bounded
+// number of passes.  The cluster must be quiesced: scans are per-server
+// snapshots with no cross-server atomicity, exactly like any offline fsck.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "fs/types.h"
+#include "net/rpc.h"
+
+namespace loco::core {
+
+enum class FsckFindingType : std::uint8_t {
+  kMissingParent,     // I1: d-inode whose parent path has no d-inode
+  kDanglingDmsDirent, // I2: DMS dirent name without a child d-inode
+  kDeadDirentList,    // I3: DMS dirent list keyed by a dead uuid
+  kOrphanDir,         // I4: d-inode missing from its parent's dirent list
+  kOrphanFile,        // I5: file inode under a dead directory uuid
+  kMissingFmsDirent,  // I6: file inode missing from its FMS dirent list
+  kDanglingFmsDirent, // I7: FMS dirent name without a file inode
+  kDuplicateUuid,     // I8: same file uuid at more than one FMS key
+  kLeakedObject,      // I9: object data no file inode references
+};
+
+const char* FsckFindingName(FsckFindingType type) noexcept;
+
+struct FsckFinding {
+  FsckFindingType type;
+  // Repair coordinates: which server (index into Config::fms /
+  // Config::object_stores; unused for DMS findings) and which key.
+  std::size_t server = 0;
+  std::string path;       // DMS findings: directory path
+  std::string name;       // dirent / file name
+  fs::Uuid dir_uuid{0};   // FMS findings: parent directory uuid
+  fs::Uuid file_uuid{0};  // file / object uuid
+
+  std::string Describe() const;
+};
+
+struct FsckReport {
+  std::vector<FsckFinding> findings;  // from the final scan
+  std::uint64_t repairs = 0;          // repair RPCs applied (all passes)
+  std::uint32_t passes = 0;           // scan passes performed
+
+  bool clean() const noexcept { return findings.empty(); }
+};
+
+class FsckRunner {
+ public:
+  struct Config {
+    net::NodeId dms = 0;
+    std::vector<net::NodeId> fms;
+    std::vector<net::NodeId> object_stores;
+  };
+  struct Options {
+    bool repair = false;     // false = report only (dry run)
+    std::uint32_t max_passes = 5;
+  };
+
+  FsckRunner(net::Channel& channel, Config config);
+
+  // Scan (and with options.repair, iteratively repair) the cluster.  Errors
+  // only on RPC/scan failure — findings are data, not errors.
+  Result<FsckReport> Run(const Options& options);
+
+ private:
+  struct Snapshot;
+
+  Result<Snapshot> Scan();
+  std::vector<FsckFinding> Analyze(const Snapshot& snap) const;
+  // Applies every finding's repair; returns the number of repair RPCs.
+  Result<std::uint64_t> Repair(const std::vector<FsckFinding>& findings);
+
+  // Blocking call helper over the async channel.
+  Result<std::string> Call(net::NodeId node, std::uint16_t opcode,
+                           std::string payload);
+
+  net::NodeId ObjFor(fs::Uuid uuid) const {
+    return config_.object_stores[uuid.raw() % config_.object_stores.size()];
+  }
+
+  net::Channel& channel_;
+  Config config_;
+};
+
+}  // namespace loco::core

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
+#include <map>
 
 #include "common/codec.h"
 #include "core/proto.h"
 #include "fs/wire.h"
+#include "kvstore/striped_kv.h"
 
 namespace loco::core {
 
@@ -14,9 +17,22 @@ net::RpcResponse Fail(ErrCode code) { return net::RpcResponse{code, {}}; }
 net::RpcResponse BadRequest() { return Fail(ErrCode::kCorruption); }
 }  // namespace
 
+namespace {
+const kv::KvOptions& EnsureStoreDir(const kv::KvOptions& kv) {
+  if (!kv.dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(kv.dir, ec);
+  }
+  return kv;
+}
+}  // namespace
+
 ObjectStoreServer::ObjectStoreServer(const Options& options)
     : options_(options),
-      blocks_(std::move(kv::MakeKv(kv::KvBackend::kHash, kv::KvOptions{})).value()) {}
+      blocks_(std::move(kv::MakeStripedKv(kv::KvBackend::kHash,
+                                          EnsureStoreDir(options.kv),
+                                          options.kv_stripes))
+                  .value()) {}
 
 std::string ObjectStoreServer::BlockKey(std::uint64_t uuid, std::uint64_t block) {
   std::string key(16, '\0');
@@ -40,6 +56,8 @@ net::RpcResponse ObjectStoreServer::Dispatch(std::uint16_t opcode,
     case proto::kObjWrite: return Write(payload);
     case proto::kObjRead: return Read(payload);
     case proto::kObjTruncate: return Truncate(payload);
+    case proto::kObjScanObjects: return ScanObjects();
+    case proto::kObjPurge: return Purge(payload);
     default: return Fail(ErrCode::kUnsupported);
   }
 }
@@ -59,6 +77,10 @@ net::RpcResponse ObjectStoreServer::Write(std::string_view payload) {
     return resp;
   }
 
+  // Serialize against concurrent writers/truncators of the same object; the
+  // per-block Put alone would make the partial-block read-modify-write lose
+  // updates under overlap.
+  const common::LockTable::Guard guard = object_locks_.Lock(uuid.raw());
   std::uint64_t pos = offset;
   std::size_t consumed = 0;
   std::uint64_t touched_blocks = 0;
@@ -137,6 +159,7 @@ net::RpcResponse ObjectStoreServer::Truncate(std::string_view payload) {
   const std::uint64_t bs = options_.block_bytes;
   const std::uint64_t keep_blocks = (size + bs - 1) / bs;
 
+  const common::LockTable::Guard guard = object_locks_.Lock(uuid.raw());
   // Trim the partial tail block, then drop everything beyond it.  The block
   // table is scanned (object stores track per-object block sets; a hash scan
   // stands in for that index).
@@ -164,6 +187,43 @@ net::RpcResponse ObjectStoreServer::Truncate(std::string_view payload) {
   net::RpcResponse resp;
   resp.extra_service_ns =
       options_.device.Cost(doomed.size() + 1, 0);
+  return resp;
+}
+
+net::RpcResponse ObjectStoreServer::ScanObjects() {
+  // fsck inventory: every object uuid present plus its block count.  The
+  // snapshot is racy against concurrent writes, like any online scan; fsck
+  // runs against a quiesced cluster.
+  std::map<std::uint64_t, std::uint64_t> counts;
+  blocks_->ForEach([&](std::string_view key, std::string_view) {
+    if (key.size() == 16) ++counts[common::LoadAt<std::uint64_t>(key, 0)];
+    return true;
+  });
+  std::vector<std::string> entries;
+  entries.reserve(counts.size());
+  for (const auto& [uuid, blocks] : counts) {
+    entries.push_back(fs::Pack(uuid, blocks));
+  }
+  net::RpcResponse resp;
+  resp.payload = fs::Pack(entries);
+  return resp;
+}
+
+net::RpcResponse ObjectStoreServer::Purge(std::string_view payload) {
+  fs::Uuid uuid;
+  if (!fs::Unpack(payload, uuid)) return BadRequest();
+  const common::LockTable::Guard guard = object_locks_.Lock(uuid.raw());
+  std::vector<std::string> doomed;
+  blocks_->ForEach([&](std::string_view key, std::string_view) {
+    if (key.size() == 16 && common::LoadAt<std::uint64_t>(key, 0) == uuid.raw()) {
+      doomed.emplace_back(key);
+    }
+    return true;
+  });
+  for (const std::string& key : doomed) (void)blocks_->Delete(key);
+  net::RpcResponse resp;
+  resp.payload = fs::Pack(static_cast<std::uint64_t>(doomed.size()));
+  resp.extra_service_ns = options_.device.Cost(doomed.size() + 1, 0);
   return resp;
 }
 

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/clock.h"
+#include "common/lock_table.h"
 #include "common/metrics.h"
 #include "kvstore/kv.h"
 #include "net/rpc.h"
@@ -30,6 +31,11 @@ struct DeviceProfile {
   }
 };
 
+// Thread-safe: the block table is a striped KV and multi-block mutations
+// (partial-block read-modify-write, truncate) take a per-object lock, so the
+// OSD runs bare behind a multi-worker TcpServer.  Reads are lock-free — a
+// read racing a write may see a mix of old and new blocks, which is the same
+// guarantee a POSIX client gets for concurrent unlocked I/O.
 class ObjectStoreServer final : public net::RpcHandler {
  public:
   struct Options {
@@ -40,6 +46,10 @@ class ObjectStoreServer final : public net::RpcHandler {
     // push many GiB through the store use this to keep host memory flat;
     // correctness tests keep it true.
     bool retain_data = true;
+    // Block-table persistence (kv.dir = on-disk striped store recovered on
+    // restart; empty = memory only, as before).
+    kv::KvOptions kv;
+    std::size_t kv_stripes = 16;
   };
 
   ObjectStoreServer() : ObjectStoreServer(Options{}) {}
@@ -56,11 +66,14 @@ class ObjectStoreServer final : public net::RpcHandler {
   net::RpcResponse Write(std::string_view payload);
   net::RpcResponse Read(std::string_view payload);
   net::RpcResponse Truncate(std::string_view payload);
+  net::RpcResponse ScanObjects();
+  net::RpcResponse Purge(std::string_view payload);
 
   static std::string BlockKey(std::uint64_t uuid, std::uint64_t block);
 
   Options options_;
   std::unique_ptr<kv::Kv> blocks_;
+  common::LockTable object_locks_;  // keyed by uuid: serializes RMW/truncate
   // Object stores are fungible replicas: all instances share one
   // "server.obj" metric family (per-instance split adds nothing here).
   common::ServerOpCounters op_metrics_{&common::MetricsRegistry::Default(),

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace loco::core::proto {
 
@@ -39,6 +40,19 @@ enum DmsOp : std::uint16_t {
   // Directory rename: relocates the whole subtree of d-inodes (B+-tree range
   // move, §3.4.3).  [from, to, Identity] -> [moved u64]
   kDmsRename = 10,
+
+  // -- fsck / admin (loco_fsck; unauthenticated, run against a quiesced
+  //    cluster like any offline consistency checker) --
+  // [] -> [entries] ; entry = Pack(path, uuid) for every d-inode
+  kDmsScanDirs = 20,
+  // [] -> [entries] ; entry = Pack(dir_uuid, names) for every dirent list
+  kDmsScanDirents = 21,
+  // Add (add=1) or remove (add=0) `name` in the dirent list of the directory
+  // at `dir_path`.  [dir_path, name, add u8] -> []
+  kDmsRepairDirent = 22,
+  // Drop the whole dirent list keyed by a uuid whose d-inode no longer
+  // exists (rmdir crash leftovers).  [dir_uuid] -> []
+  kDmsDropDirents = 23,
 };
 
 // ------------------------------ FMS (File Metadata Server) -----------------
@@ -76,6 +90,17 @@ enum FmsOp : std::uint16_t {
   kFmsReadRaw = 44,
   // [dir_uuid, name, access_raw, content_raw] -> []
   kFmsInsertRaw = 45,
+
+  // -- fsck / admin --
+  // [] -> [entries] ; entry = Pack(dir_uuid, name, file_uuid) per file inode
+  kFmsScanFiles = 56,
+  // [] -> [entries] ; entry = Pack(dir_uuid, names) per dirent list
+  kFmsScanDirents = 57,
+  // [dir_uuid, name, add u8] -> [] ; fix one dirent entry
+  kFmsRepairDirent = 58,
+  // Unconditionally drop a file inode (both parts) and its dirent entry.
+  // [dir_uuid, name] -> [file_uuid]
+  kFmsPurgeFile = 59,
 };
 
 // ----------------------------------- Object store --------------------------
@@ -86,6 +111,26 @@ enum ObjOp : std::uint16_t {
   kObjRead = 65,
   // [uuid, size u64] -> [] ; drop blocks beyond size
   kObjTruncate = 66,
+
+  // -- fsck / admin --
+  // [] -> [entries] ; entry = Pack(uuid u64, blocks u64) per stored object
+  kObjScanObjects = 80,
+  // [uuid] -> [deleted_blocks u64] ; drop every block of an object
+  kObjPurge = 81,
 };
+
+// Mutations eligible for the server-side idempotent-replay window
+// (net::DedupWindow): a retried or duplicated delivery must apply exactly
+// once and return the cached response.  Reads are naturally idempotent and
+// excluded.  One shared list keeps the daemons simple; opcodes a given
+// server never handles simply never match.
+inline std::vector<std::uint16_t> IdempotentReplayOps() {
+  return {kDmsMkdir,   kDmsRmdir,     kDmsChmod,    kDmsChown,
+          kDmsUtimens, kDmsRename,    kDmsRepairDirent, kDmsDropDirents,
+          kFmsCreate,  kFmsRemove,    kFmsChmod,    kFmsChown,
+          kFmsUtimens, kFmsSetSize,   kFmsSetAtime, kFmsInsertRaw,
+          kFmsRepairDirent, kFmsPurgeFile,
+          kObjWrite,   kObjTruncate,  kObjPurge};
+}
 
 }  // namespace loco::core::proto

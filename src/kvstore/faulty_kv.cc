@@ -1,0 +1,5 @@
+#include "kvstore/faulty_kv.h"
+
+// Header-only implementation; this TU anchors the vtable.
+
+namespace loco::kv {}  // namespace loco::kv

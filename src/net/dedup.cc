@@ -1,0 +1,57 @@
+#include "net/dedup.h"
+
+#include "common/hash.h"
+
+namespace loco::net {
+
+DedupWindow::DedupWindow(std::vector<std::uint16_t> opcodes, Options options)
+    : opcodes_(opcodes.begin(), opcodes.end()),
+      options_(options),
+      replays_(&common::MetricsRegistry::Default().GetCounter(
+          "rpc.tcp_server.dedup.replays")) {}
+
+std::uint64_t DedupWindow::Key(const wire::FrameHeader& header,
+                               std::string_view payload) noexcept {
+  const std::uint64_t seed =
+      header.trace_id ^ (std::uint64_t{header.opcode} * 0x9e3779b97f4a7c15ULL);
+  return common::WyMix(payload, seed);
+}
+
+DedupWindow::Outcome DedupWindow::Begin(std::uint64_t key, ErrCode* code,
+                                        std::string* payload) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    auto [it, inserted] = entries_.try_emplace(key);
+    if (inserted) return Outcome::kExecute;
+    if (it->second.done) {
+      *code = it->second.code;
+      *payload = it->second.payload;
+      replays_->Add();
+      return Outcome::kReplay;
+    }
+    // The owner is still executing this key.  Wait for its completion —
+    // returning early would let the caller re-run the handler concurrently,
+    // which is exactly the double-apply this window exists to prevent.  The
+    // loop re-probes after waking: if the entry was evicted in between, the
+    // cached response is gone and the only option left is to execute.
+    cv_.wait(lock);
+  }
+}
+
+void DedupWindow::Complete(std::uint64_t key, ErrCode code,
+                           std::string_view payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;  // evicted under pathological pressure
+  it->second.done = true;
+  it->second.code = code;
+  it->second.payload.assign(payload.data(), payload.size());
+  completed_.push_back(key);
+  while (completed_.size() > options_.capacity) {
+    entries_.erase(completed_.front());
+    completed_.pop_front();
+  }
+  cv_.notify_all();
+}
+
+}  // namespace loco::net

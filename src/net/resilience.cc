@@ -1,0 +1,134 @@
+#include "net/resilience.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace loco::net {
+
+namespace {
+
+bool Retryable(ErrCode code) noexcept {
+  return code == ErrCode::kUnavailable || code == ErrCode::kTimeout;
+}
+
+}  // namespace
+
+ResilientChannel::ResilientChannel(Channel* inner, ResilienceOptions options)
+    : inner_(inner), options_(options), rng_(options.seed) {
+  auto& reg = common::MetricsRegistry::Default();
+  retries_ = &reg.GetCounter("rpc.resilient.retries");
+  fast_fails_ = &reg.GetCounter("rpc.resilient.fast_fails");
+  breaker_opens_ = &reg.GetCounter("rpc.resilient.breaker_opens");
+}
+
+void ResilientChannel::CallAsync(NodeId server, std::uint16_t opcode,
+                                 std::string payload,
+                                 std::function<void(RpcResponse)> done) {
+  // Stamp the trace id here so every retry below shares it — the server's
+  // dedup window keys on it.
+  CallMeta meta;
+  meta.trace_id = NextTraceId();
+  CallAsyncMeta(server, opcode, std::move(payload), meta, std::move(done));
+}
+
+void ResilientChannel::CallAsyncMeta(NodeId server, std::uint16_t opcode,
+                                     std::string payload, const CallMeta& meta,
+                                     std::function<void(RpcResponse)> done) {
+  CallMeta attempt_meta = meta;
+  if (attempt_meta.trace_id == 0) attempt_meta.trace_id = NextTraceId();
+  RpcResponse last{ErrCode::kUnavailable, {}};
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    const Admit admit = AdmitCall(server);
+    if (admit == Admit::kFastFail) {
+      fast_fails_->Add();
+      last = RpcResponse{ErrCode::kUnavailable, {}};
+    } else {
+      if (attempt > 0) retries_->Add();
+      RpcResponse resp;
+      bool got = false;
+      // All project transports complete inline (tcp blocks the caller), so
+      // the response is available when CallAsyncMeta returns.
+      inner_->CallAsyncMeta(server, opcode, payload, attempt_meta,
+                            [&](RpcResponse r) {
+                              resp = std::move(r);
+                              got = true;
+                            });
+      if (!got) {
+        // A transport that completes asynchronously cannot be retried safely
+        // from here; pass its eventual response through untouched.
+        inner_->CallAsyncMeta(server, opcode, std::move(payload), attempt_meta,
+                              std::move(done));
+        return;
+      }
+      const bool failed = Retryable(resp.code);
+      RecordOutcome(server, !failed, admit == Admit::kProbe);
+      if (!failed) {
+        done(std::move(resp));
+        return;
+      }
+      last = std::move(resp);
+    }
+    if (attempt + 1 < options_.max_attempts) {
+      const common::Nanos sleep_ns = JitterBackoff(attempt);
+      if (sleep_ns > 0) {
+        std::this_thread::sleep_for(std::chrono::nanoseconds(sleep_ns));
+      }
+    }
+  }
+  done(std::move(last));
+}
+
+ResilientChannel::Admit ResilientChannel::AdmitCall(NodeId server) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Breaker& b = breakers_[server];
+  if (b.open_until == 0) return Admit::kAllow;
+  const common::Nanos now = common::CpuTimer::Now();
+  if (now < b.open_until) return Admit::kFastFail;
+  // Open interval elapsed: admit exactly one probe; everyone else keeps
+  // failing fast until the probe reports.
+  if (b.probing) return Admit::kFastFail;
+  b.probing = true;
+  return Admit::kProbe;
+}
+
+void ResilientChannel::RecordOutcome(NodeId server, bool success,
+                                     bool was_probe) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Breaker& b = breakers_[server];
+  if (was_probe) b.probing = false;
+  if (success) {
+    b.consecutive_failures = 0;
+    b.open_until = 0;
+    return;
+  }
+  ++b.consecutive_failures;
+  if (was_probe || b.consecutive_failures >= options_.breaker_threshold) {
+    if (b.open_until == 0) breaker_opens_->Add();
+    b.open_until = common::CpuTimer::Now() + options_.breaker_open_ns;
+  }
+}
+
+common::Nanos ResilientChannel::JitterBackoff(int attempt) {
+  common::Nanos ceiling = options_.backoff_base_ns;
+  for (int i = 0; i < attempt && ceiling < options_.backoff_cap_ns; ++i) {
+    ceiling *= 2;
+  }
+  ceiling = std::min(ceiling, options_.backoff_cap_ns);
+  if (ceiling <= 0) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<common::Nanos>(
+      rng_.Uniform(static_cast<std::uint64_t>(ceiling) + 1));
+}
+
+BreakerState ResilientChannel::breaker_state(NodeId server) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = breakers_.find(server);
+  if (it == breakers_.end() || it->second.open_until == 0) {
+    return BreakerState::kClosed;
+  }
+  return common::CpuTimer::Now() < it->second.open_until ? BreakerState::kOpen
+                                                         : BreakerState::kHalfOpen;
+}
+
+}  // namespace loco::net

@@ -1,0 +1,89 @@
+// Client-side resilience: retry with full-jitter backoff plus a per-endpoint
+// circuit breaker with half-open probes.
+//
+// ResilientChannel decorates any inline-completing Channel (net::TcpChannel,
+// net::InProcTransport).  Every call keeps ONE trace id across all attempts
+// — net::Call stamps it before the channel sees the meta, and CallAsync
+// stamps one here — so the server-side dedup window (net/dedup.h) recognizes
+// a retried mutation and replays the cached response instead of applying it
+// twice.  That makes retry safe for mutations, not just reads.
+//
+// Failure handling per endpoint:
+//   * kUnavailable / kTimeout are retryable (the peer may be restarting);
+//     anything else came from a live server and is returned immediately.
+//   * `breaker_threshold` consecutive retryable failures open the breaker:
+//     calls fail fast with kUnavailable without touching the wire, so a
+//     stampede of doomed connects never piles onto a dead daemon.
+//   * After `breaker_open_ns` the breaker goes half-open: exactly one probe
+//     call is let through; success closes the breaker, failure re-opens it.
+//
+// Metrics: rpc.resilient.retries, rpc.resilient.fast_fails,
+// rpc.resilient.breaker_opens.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "net/rpc.h"
+
+namespace loco::net {
+
+struct ResilienceOptions {
+  // Total tries per call (1 = no retry).
+  int max_attempts = 3;
+  // Full-jitter backoff before attempt N+1: sleep uniform in
+  // [0, min(cap, base * 2^N)].
+  common::Nanos backoff_base_ns = 5 * common::kMilli;
+  common::Nanos backoff_cap_ns = 200 * common::kMilli;
+  // Consecutive retryable failures that open the breaker.
+  int breaker_threshold = 5;
+  // How long an open breaker fails fast before probing.
+  common::Nanos breaker_open_ns = 500 * common::kMilli;
+  // Seed for the deterministic jitter stream.
+  std::uint64_t seed = 0x5eed;
+};
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+class ResilientChannel final : public Channel {
+ public:
+  // `inner` must complete calls inline (all project transports do) and must
+  // outlive this channel.
+  ResilientChannel(Channel* inner, ResilienceOptions options = {});
+
+  void CallAsync(NodeId server, std::uint16_t opcode, std::string payload,
+                 std::function<void(RpcResponse)> done) override;
+  void CallAsyncMeta(NodeId server, std::uint16_t opcode, std::string payload,
+                     const CallMeta& meta,
+                     std::function<void(RpcResponse)> done) override;
+
+  BreakerState breaker_state(NodeId server);
+
+ private:
+  struct Breaker {
+    int consecutive_failures = 0;
+    common::Nanos open_until = 0;  // CpuTimer::Now() scale; 0 = closed
+    bool probing = false;          // a half-open probe is in flight
+  };
+
+  // Admission decision made before an attempt touches the wire.
+  enum class Admit { kAllow, kProbe, kFastFail };
+  Admit AdmitCall(NodeId server);
+  void RecordOutcome(NodeId server, bool success, bool was_probe);
+  common::Nanos JitterBackoff(int attempt);
+
+  Channel* inner_;
+  const ResilienceOptions options_;
+  std::mutex mu_;  // guards breakers_ and rng_
+  std::unordered_map<NodeId, Breaker> breakers_;
+  common::Rng rng_;
+  common::Counter* retries_;
+  common::Counter* fast_fails_;
+  common::Counter* breaker_opens_;
+};
+
+}  // namespace loco::net

@@ -13,9 +13,12 @@
 #include <cerrno>
 #include <charconv>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <thread>
+
+#include "common/rng.h"
 
 namespace loco::net {
 
@@ -325,7 +328,30 @@ std::string TcpServer::Execute(const wire::FrameHeader& req,
   m.calls->Add();
   m.bytes_received->Add(payload.size());
   const common::CpuTimer timer;
-  const RpcResponse resp = handler_->Handle(req.opcode, payload);
+  RpcResponse resp;
+  bool replayed = false;
+  std::uint64_t dedup_key = 0;
+  bool dedup_owner = false;
+  if (options_.dedup != nullptr && options_.dedup->Eligible(req.opcode)) {
+    // Idempotent replay: a retried or duplicated mutation must not apply
+    // twice.  The first arrival executes; later arrivals (including ones
+    // racing the first) get the cached response verbatim.
+    dedup_key = DedupWindow::Key(req, payload);
+    ErrCode cached_code = ErrCode::kOk;
+    std::string cached;
+    if (options_.dedup->Begin(dedup_key, &cached_code, &cached) ==
+        DedupWindow::Outcome::kReplay) {
+      resp.code = cached_code;
+      resp.payload = std::move(cached);
+      replayed = true;
+    } else {
+      dedup_owner = true;
+    }
+  }
+  if (!replayed) {
+    resp = handler_->Handle(req.opcode, payload);
+    if (dedup_owner) options_.dedup->Complete(dedup_key, resp.code, resp.payload);
+  }
   if (resp.extra_service_ns > 0) {
     // Charge modeled device time (journal flushes, object I/O) in real time,
     // the wall-clock analogue of the simulator's virtual-time accounting.
@@ -347,16 +373,39 @@ std::string TcpServer::Execute(const wire::FrameHeader& req,
 bool TcpServer::DrainFrames(Conn* conn) {
   while (auto frame = conn->reader.Next()) {
     if (frame->header.type != wire::FrameType::kRequest) return false;
-    if (options_.workers == 0) {
-      conn->out += Execute(frame->header, frame->payload);
-    } else {
-      ++conn->inflight;
-      {
-        std::scoped_lock lock(queue_mu_);
-        queue_.push_back(Work{conn->id, conn->next_seq++, frame->header,
-                              std::move(frame->payload)});
+    int copies = 1;
+    common::Nanos delay_ns = 0;
+    if (options_.fault != nullptr) {
+      const FaultInjector::FrameFate fate = options_.fault->OnServerFrame();
+      if (fate.crash) {
+        // Simulate kill -9 between a KV write and its successor: no atexit
+        // handlers, no stdio flush, connections torn mid-stream.
+        std::_Exit(137);
       }
-      queue_cv_.notify_one();
+      if (fate.reset) return false;
+      if (fate.drop) continue;
+      if (fate.dup) copies = 2;
+      delay_ns = fate.delay_ns;
+    }
+    for (int copy = 0; copy < copies; ++copy) {
+      if (options_.workers == 0) {
+        if (delay_ns > 0) {
+          std::this_thread::sleep_for(std::chrono::nanoseconds(delay_ns));
+        }
+        if (!AppendResponse(conn, Execute(frame->header, frame->payload))) {
+          return false;
+        }
+      } else {
+        ++conn->inflight;
+        {
+          std::scoped_lock lock(queue_mu_);
+          queue_.push_back(Work{conn->id, conn->next_seq++, frame->header,
+                                copy + 1 < copies ? frame->payload
+                                                  : std::move(frame->payload),
+                                delay_ns});
+        }
+        queue_cv_.notify_one();
+      }
     }
   }
   // A framing violation is unrecoverable: drop the connection.
@@ -380,6 +429,19 @@ bool TcpServer::FlushWrites(Conn* conn) {
   return true;
 }
 
+bool TcpServer::AppendResponse(Conn* conn, std::string&& bytes) {
+  if (options_.fault != nullptr && options_.fault->ShortWriteResponse()) {
+    // Torn response: deliver only the first half of the frame, push what the
+    // socket accepts, then let the caller drop the connection.  The client
+    // observes a desynchronized stream and must treat the call as failed.
+    conn->out.append(bytes.data(), bytes.size() / 2);
+    FlushWrites(conn);
+    return false;
+  }
+  conn->out += bytes;
+  return true;
+}
+
 void TcpServer::WorkerMain(std::size_t index) {
   for (;;) {
     Work w;
@@ -391,6 +453,9 @@ void TcpServer::WorkerMain(std::size_t index) {
       queue_.pop_front();
     }
     busy_[index].store(true, std::memory_order_relaxed);
+    if (w.delay_ns > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(w.delay_ns));
+    }
     std::string bytes = Execute(w.header, w.payload);
     busy_[index].store(false, std::memory_order_relaxed);
     {
@@ -418,7 +483,9 @@ void TcpServer::DeliverCompletions(
     conn->done.emplace(c.seq, std::move(c.bytes));
     while (!conn->done.empty() &&
            conn->done.begin()->first == conn->next_flush) {
-      conn->out += std::move(conn->done.begin()->second);
+      if (!AppendResponse(conn, std::move(conn->done.begin()->second))) {
+        conn->dead = true;
+      }
       conn->done.erase(conn->done.begin());
       ++conn->next_flush;
     }
@@ -554,8 +621,16 @@ int TcpChannel::Connect(const Endpoint& ep, common::Nanos deadline_abs,
     const int fd = ConnectOnce(ep.host, ep.port, attempt_deadline);
     if (fd >= 0) return fd;
     if (attempt + 1 < options_.connect_attempts) {
+      // Full jitter (sleep uniform in [0, backoff]): after a daemon restart
+      // every blocked client retries at once, and synchronized exponential
+      // backoff would keep them colliding in lockstep.
+      static std::atomic<std::uint64_t> jitter_stream{0};
+      thread_local common::Rng jitter_rng(common::Mix64(
+          0x6a177e5 + jitter_stream.fetch_add(1, std::memory_order_relaxed)));
+      const common::Nanos jittered = static_cast<common::Nanos>(
+          jitter_rng.Uniform(static_cast<std::uint64_t>(backoff) + 1));
       const common::Nanos sleep_ns =
-          std::min(backoff, deadline_abs - common::CpuTimer::Now());
+          std::min(jittered, deadline_abs - common::CpuTimer::Now());
       if (sleep_ns > 0) {
         std::this_thread::sleep_for(std::chrono::nanoseconds(sleep_ns));
       }
@@ -701,6 +776,10 @@ RpcResponse TcpChannel::DoCall(Endpoint& ep, std::uint16_t opcode,
     return RpcResponse{code, {}};
   };
   if (payload.size() > options_.max_payload_bytes) return fail(ErrCode::kInvalid);
+  if (options_.fault != nullptr) {
+    const common::Nanos stall = options_.fault->OnClientSend();
+    if (stall > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(stall));
+  }
   const common::Nanos deadline_ns =
       meta.deadline_ns > 0 ? meta.deadline_ns : options_.call_deadline_ns;
   const common::Nanos deadline_abs = common::CpuTimer::Now() + deadline_ns;

@@ -9,7 +9,7 @@
 // per connection** (a per-connection sequence number reorders completions),
 // so a pipelining client can match responses positionally as well as by the
 // echoed request id.  Handlers behind a multi-worker server must be
-// thread-safe (DMS/FMS are; wrap others in net::SerialHandler).  A handler's
+// thread-safe (DMS, FMS, and the object store all are).  A handler's
 // RpcResponse::extra_service_ns (modeled device time) is charged by sleeping
 // before the response is released, mirroring the simulator's virtual-time
 // accounting.  Malformed streams drop the connection; they never crash the
@@ -51,6 +51,8 @@
 
 #include "common/clock.h"
 #include "common/metrics.h"
+#include "net/dedup.h"
+#include "net/fault.h"
 #include "net/rpc.h"
 #include "net/wire.h"
 
@@ -66,22 +68,6 @@ bool ParseHostPort(std::string_view spec, std::string* host,
 // request back verbatim; the channel treats it as a connection failure.
 bool IsSelfConnected(int fd);
 
-// Adapter that serializes Handle() calls with a mutex, for handlers that are
-// not internally thread-safe behind a multi-worker TcpServer (e.g. the
-// object-store server).
-class SerialHandler final : public RpcHandler {
- public:
-  explicit SerialHandler(RpcHandler* inner) : inner_(inner) {}
-  RpcResponse Handle(std::uint16_t opcode, std::string_view payload) override {
-    std::scoped_lock lock(mu_);
-    return inner_->Handle(opcode, payload);
-  }
-
- private:
-  RpcHandler* inner_;
-  std::mutex mu_;
-};
-
 // ---------------------------------------------------------------------------
 // Server
 // ---------------------------------------------------------------------------
@@ -96,6 +82,14 @@ class TcpServer {
     // Worker threads executing handler calls.  0 = run handlers inline on
     // the loop thread; N > 0 requires a thread-safe handler.
     int workers = 0;
+    // Optional fault plane (--fault-spec): decoded request frames may be
+    // dropped, duplicated, delayed, or answered with a torn response, and the
+    // process may _exit mid-stream.  Not owned; must outlive the server.
+    FaultInjector* fault = nullptr;
+    // Optional idempotent-replay window: eligible mutations executed once,
+    // duplicates answered from the cached response.  Not owned; shared by a
+    // daemon across restarts of its server object.
+    DedupWindow* dedup = nullptr;
   };
 
   explicit TcpServer(RpcHandler* handler) : TcpServer(handler, Options{}) {}
@@ -129,6 +123,7 @@ class TcpServer {
     std::uint64_t seq = 0;  // per-connection decode order
     wire::FrameHeader header;
     std::string payload;
+    common::Nanos delay_ns = 0;  // injected stall before service
   };
   // One encoded response headed back to the loop thread.
   struct Completion {
@@ -148,6 +143,10 @@ class TcpServer {
   bool DrainFrames(Conn* conn);
   // Flush pending response bytes; returns false on a dead peer.
   bool FlushWrites(Conn* conn);
+  // Queue one encoded response on `conn`, applying the injected short-write
+  // fault (truncate mid-frame, flush what fits, then drop the connection).
+  // Returns false when the connection must be dropped.
+  bool AppendResponse(Conn* conn, std::string&& bytes);
   // Move finished worker results into their connections' output buffers in
   // per-connection decode order.
   void DeliverCompletions(
@@ -196,6 +195,9 @@ struct TcpChannelOptions {
   // Outstanding calls multiplexed on one connection before the channel opens
   // another.
   std::uint32_t max_pipeline = 32;
+  // Optional client-side fault plane: stalls requests before they are sent
+  // (the delay=/delay_ms= knobs of the spec).  Not owned.
+  FaultInjector* fault = nullptr;
 };
 
 class TcpChannel final : public Channel {

@@ -1,0 +1,426 @@
+// Chaos integration test: kill -9 real daemons mid-workload, restart them
+// from their --store-dir, repair with the real loco_fsck binary, and verify
+// the namespace (ISSUE 4 acceptance; failure model in docs/FAULTS.md).
+//
+// Each test drives a storm of mkdir/create/write/rename/unlink operations
+// through the resilient remote client, SIGKILLs one daemon mid-storm (or
+// lets a --fault-spec crash_after= daemon kill itself), keeps issuing
+// operations against the degraded cluster, restarts the dead process on the
+// same port with the same store directory, runs `loco_fsck --repair`, and
+// then asserts:
+//   * loco_fsck exits 0 (repaired to clean) and a second dry run exits 0;
+//   * every operation the client saw commit is still visible;
+//   * the surviving namespace is fully readable.
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "benchlib/deploy.h"
+#include "common/clock.h"
+#include "fs/client.h"
+#include "net/task.h"
+#include "net/tcp.h"
+
+#if defined(LOCO_DAEMON_DIR) && defined(LOCO_TOOL_DIR)
+
+namespace loco {
+namespace {
+
+std::uint64_t WallClockNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// One managed daemon process: binary, stable flags, learned port.
+struct Daemon {
+  std::string binary;
+  std::vector<std::string> args;  // everything but --listen
+  std::uint16_t port = 0;         // 0 until first spawn
+  pid_t pid = -1;
+
+  bool alive() const { return pid > 0; }
+};
+
+// Spawn `d` (first time on a kernel-assigned port, restarts on the learned
+// one); parses the "listening on host:port" banner.  False on failure.
+bool Spawn(Daemon* d) {
+  int out_pipe[2];
+  if (::pipe(out_pipe) != 0) return false;
+  const std::string listen_addr =
+      "127.0.0.1:" + std::to_string(static_cast<unsigned>(d->port));
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    return false;
+  }
+  if (pid == 0) {
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(d->binary.c_str()));
+    static const std::string listen_flag = "--listen";
+    argv.push_back(const_cast<char*>(listen_flag.c_str()));
+    argv.push_back(const_cast<char*>(listen_addr.c_str()));
+    for (const std::string& a : d->args) {
+      argv.push_back(const_cast<char*>(a.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execv(d->binary.c_str(), argv.data());
+    _exit(127);
+  }
+  ::close(out_pipe[1]);
+  std::string line;
+  char ch;
+  while (line.size() < 256 && ::read(out_pipe[0], &ch, 1) == 1 && ch != '\n') {
+    line.push_back(ch);
+  }
+  ::close(out_pipe[0]);
+  const std::size_t colon = line.rfind(':');
+  std::uint16_t port = 0;
+  if (colon != std::string::npos) {
+    port = static_cast<std::uint16_t>(
+        std::strtoul(line.c_str() + colon + 1, nullptr, 10));
+  }
+  if (port == 0 || (d->port != 0 && port != d->port)) {
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+    return false;
+  }
+  d->port = port;
+  d->pid = pid;
+  return true;
+}
+
+void Kill9(Daemon* d) {
+  if (!d->alive()) return;
+  ::kill(d->pid, SIGKILL);
+  ::waitpid(d->pid, nullptr, 0);
+  d->pid = -1;
+}
+
+// Reap a daemon expected to have exited on its own (crash_after=).  Returns
+// the exit status, or -1 on timeout.
+int AwaitSelfExit(Daemon* d, int timeout_ms) {
+  for (int waited = 0; waited < timeout_ms; waited += 20) {
+    int wstatus = 0;
+    const pid_t r = ::waitpid(d->pid, &wstatus, WNOHANG);
+    if (r == d->pid) {
+      d->pid = -1;
+      return WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -2;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return -1;
+}
+
+class ChaosCluster {
+ public:
+  // `fms2_fault_spec` optionally arms the fault plane on the second FMS.
+  explicit ChaosCluster(const std::string& tag,
+                        const std::string& fms2_fault_spec = "") {
+    store_root_ = ::testing::TempDir() + "loco_chaos_" + tag + "_" +
+                  std::to_string(static_cast<unsigned>(::getpid()));
+    std::string cleanup = "rm -rf '" + store_root_ + "'";
+    (void)std::system(cleanup.c_str());
+    ::mkdir(store_root_.c_str(), 0755);
+
+    const std::string daemon_dir = LOCO_DAEMON_DIR;
+    dms_.binary = daemon_dir + "/locofs_dmsd";
+    dms_.args = {"--store-dir", store_root_ + "/dms", "--workers", "2"};
+    for (int i = 0; i < 2; ++i) {
+      Daemon fms;
+      fms.binary = daemon_dir + "/locofs_fmsd";
+      fms.args = {"--sid",        std::to_string(i + 1),
+                  "--store-dir",  store_root_ + "/fms" + std::to_string(i + 1),
+                  "--workers",    "2"};
+      if (i == 1 && !fms2_fault_spec.empty()) {
+        fms.args.push_back("--fault-spec");
+        fms.args.push_back(fms2_fault_spec);
+      }
+      fms_.push_back(std::move(fms));
+    }
+    osd_.binary = daemon_dir + "/locofs_osd";
+    osd_.args = {"--store-dir", store_root_ + "/osd", "--workers", "2"};
+  }
+
+  ~ChaosCluster() {
+    Kill9(&dms_);
+    for (auto& f : fms_) Kill9(&f);
+    Kill9(&osd_);
+  }
+
+  bool BinariesPresent() const {
+    return ::access(dms_.binary.c_str(), X_OK) == 0 &&
+           ::access(fms_[0].binary.c_str(), X_OK) == 0 &&
+           ::access(osd_.binary.c_str(), X_OK) == 0 &&
+           ::access(FsckBinary().c_str(), X_OK) == 0;
+  }
+
+  bool StartAll() {
+    if (!Spawn(&dms_)) return false;
+    for (auto& f : fms_) {
+      if (!Spawn(&f)) return false;
+    }
+    return Spawn(&osd_);
+  }
+
+  std::string ConnectSpec() const {
+    std::string spec = "dms=127.0.0.1:" + std::to_string(dms_.port);
+    for (const auto& f : fms_) {
+      spec += ",fms=127.0.0.1:" + std::to_string(f.port);
+    }
+    spec += ",osd=127.0.0.1:" + std::to_string(osd_.port);
+    return spec;
+  }
+
+  // A resilient client tuned for fast failure detection (the storm keeps
+  // running while a daemon is down; 5 s default deadlines would stall it).
+  Result<bench::RemoteDeployment> Connect() {
+    auto endpoints = bench::ParseConnectSpec(ConnectSpec());
+    if (!endpoints.ok()) return endpoints.status();
+    bench::RemoteOptions options;
+    options.channel.call_deadline_ns = 500 * common::kMilli;
+    options.channel.connect_attempts = 1;
+    options.resilience_options.max_attempts = 2;
+    options.resilience_options.backoff_base_ns = common::kMilli;
+    options.resilience_options.backoff_cap_ns = 10 * common::kMilli;
+    options.resilience_options.breaker_threshold = 10;
+    options.resilience_options.breaker_open_ns = 100 * common::kMilli;
+    return bench::ConnectRemote(*endpoints, options);
+  }
+
+  std::string FsckBinary() const {
+    return std::string(LOCO_TOOL_DIR) + "/loco_fsck";
+  }
+
+  // Runs loco_fsck against the cluster; returns its exit code (-1 on spawn
+  // failure).
+  int RunFsck(bool repair) {
+    const std::string binary = FsckBinary();
+    const std::string connect = ConnectSpec();
+    const pid_t pid = ::fork();
+    if (pid < 0) return -1;
+    if (pid == 0) {
+      const char* mode = repair ? "--repair" : "--dry-run";
+      ::execl(binary.c_str(), binary.c_str(), "--connect", connect.c_str(),
+              mode, static_cast<char*>(nullptr));
+      _exit(127);
+    }
+    int wstatus = 0;
+    if (::waitpid(pid, &wstatus, 0) != pid) return -1;
+    return WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1;
+  }
+
+  Daemon& dms() { return dms_; }
+  Daemon& fms(int i) { return fms_[static_cast<std::size_t>(i)]; }
+  Daemon& osd() { return osd_; }
+
+ private:
+  std::string store_root_;
+  Daemon dms_;
+  std::vector<Daemon> fms_;
+  Daemon osd_;
+};
+
+// Retry `op` until it reports success or ~5 s elapse (post-restart calls may
+// fail while stale pooled connections drain and breakers half-open).
+bool Eventually(const std::function<bool()>& op) {
+  for (int i = 0; i < 100; ++i) {
+    if (op()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return false;
+}
+
+struct StormResult {
+  std::vector<std::string> committed_dirs;
+  std::vector<std::string> committed_files;
+  int failures = 0;
+};
+
+// Issue `ops` operations: a rotating mix of mkdir, create, write, rename and
+// unlink.  Paths whose mutation reported success are recorded; failures are
+// tolerated (a daemon may be down).  `kill_at` (when >= 0) fires `on_kill`
+// after that many operations.
+StormResult RunStorm(fs::FileSystemClient& client, int ops, int kill_at,
+                     const std::function<void()>& on_kill) {
+  StormResult result;
+  int dir_seq = 0;
+  for (int i = 0; i < ops; ++i) {
+    if (i == kill_at) on_kill();
+    switch (i % 5) {
+      case 0: {
+        const std::string dir = "/storm" + std::to_string(dir_seq++);
+        if (net::RunInline(client.Mkdir(dir, 0755)).ok()) {
+          result.committed_dirs.push_back(dir);
+        } else {
+          ++result.failures;
+        }
+        break;
+      }
+      case 1:
+      case 2: {
+        if (result.committed_dirs.empty()) break;
+        const std::string path =
+            result.committed_dirs.back() + "/f" + std::to_string(i);
+        if (net::RunInline(client.Create(path, 0644)).ok()) {
+          result.committed_files.push_back(path);
+        } else {
+          ++result.failures;
+        }
+        break;
+      }
+      case 3: {
+        if (result.committed_files.empty()) break;
+        const std::string& path = result.committed_files.back();
+        if (!net::RunInline(client.Write(path, 0, "chaos-bytes")).ok()) {
+          ++result.failures;
+        }
+        break;
+      }
+      default: {
+        // Rename a committed file within its directory, tracking the new
+        // name on success (file renames exercise the f-rename raw-move).
+        if (result.committed_files.empty()) break;
+        std::string& path = result.committed_files.back();
+        const std::string to = path + "r";
+        if (net::RunInline(client.Rename(path, to)).ok()) {
+          path = to;
+        } else {
+          ++result.failures;
+        }
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+// Shared body: storm, kill one daemon mid-storm, restart it, fsck --repair,
+// verify every committed path, fsck dry run must be clean.
+void RunKillRestartScenario(const std::string& tag,
+                            const std::function<Daemon&(ChaosCluster&)>& pick) {
+  ChaosCluster cluster(tag);
+  if (!cluster.BinariesPresent()) {
+    GTEST_SKIP() << "daemon or loco_fsck binaries not built";
+  }
+  ASSERT_TRUE(cluster.StartAll());
+
+  auto deployment = cluster.Connect();
+  ASSERT_TRUE(deployment.ok()) << deployment.status().ToString();
+  auto client = deployment->MakeClient(WallClockNs);
+  client->SetIdentity(fs::Identity{1000, 1000});
+
+  Daemon& victim = pick(cluster);
+  const StormResult storm =
+      RunStorm(*client, /*ops=*/120, /*kill_at=*/60, [&] { Kill9(&victim); });
+  ASSERT_FALSE(storm.committed_dirs.empty());
+  ASSERT_FALSE(storm.committed_files.empty());
+
+  // Restart the victim on its old port with its old store directory.
+  ASSERT_TRUE(Spawn(&victim)) << tag << ": restart failed";
+
+  // The cluster must be quiescent for fsck; drop stale client connections.
+  deployment->channel->DisconnectAll();
+
+  // Wait until the restarted daemon answers, then repair.
+  ASSERT_TRUE(Eventually([&] {
+    return net::RunInline(client->Stat("/")).ok();
+  })) << tag << ": cluster did not come back";
+  ASSERT_EQ(cluster.RunFsck(/*repair=*/true), 0) << tag;
+
+  // Every mutation the client saw commit is still there.
+  for (const std::string& dir : storm.committed_dirs) {
+    EXPECT_TRUE(Eventually([&] {
+      return net::RunInline(client->Stat(dir)).ok();
+    })) << dir;
+  }
+  for (const std::string& path : storm.committed_files) {
+    EXPECT_TRUE(Eventually([&] {
+      return net::RunInline(client->StatFile(path)).ok();
+    })) << path;
+  }
+
+  // And the second, read-only pass finds nothing left to repair.
+  EXPECT_EQ(cluster.RunFsck(/*repair=*/false), 0) << tag;
+}
+
+TEST(ChaosTest, DmsKillRestartFsckClean) {
+  RunKillRestartScenario("dms",
+                         [](ChaosCluster& c) -> Daemon& { return c.dms(); });
+}
+
+TEST(ChaosTest, FmsKillRestartFsckClean) {
+  RunKillRestartScenario("fms",
+                         [](ChaosCluster& c) -> Daemon& { return c.fms(0); });
+}
+
+TEST(ChaosTest, OsdKillRestartFsckClean) {
+  RunKillRestartScenario("osd",
+                         [](ChaosCluster& c) -> Daemon& { return c.osd(); });
+}
+
+TEST(ChaosTest, FaultSpecCrashAfterSelfCrashAndRecovery) {
+  // The second FMS is armed to _exit(137) after 40 decoded frames — a
+  // deterministic kill -9 between KV writes, driven by --fault-spec.
+  ChaosCluster cluster("crash", "crash_after=40,seed=7");
+  if (!cluster.BinariesPresent()) {
+    GTEST_SKIP() << "daemon or loco_fsck binaries not built";
+  }
+  ASSERT_TRUE(cluster.StartAll());
+
+  auto deployment = cluster.Connect();
+  ASSERT_TRUE(deployment.ok()) << deployment.status().ToString();
+  auto client = deployment->MakeClient(WallClockNs);
+  client->SetIdentity(fs::Identity{1000, 1000});
+
+  // Enough traffic to trip the crash counter on FMS 2 (placement spreads
+  // files across both FMS).
+  const StormResult storm = RunStorm(*client, /*ops=*/200, -1, [] {});
+  ASSERT_FALSE(storm.committed_files.empty());
+
+  const int exit_code = AwaitSelfExit(&cluster.fms(1), /*timeout_ms=*/5000);
+  ASSERT_EQ(exit_code, 137) << "fms2 did not self-crash via --fault-spec";
+
+  ASSERT_TRUE(Spawn(&cluster.fms(1))) << "restart failed";
+  deployment->channel->DisconnectAll();
+  ASSERT_TRUE(Eventually([&] {
+    return net::RunInline(client->Stat("/")).ok();
+  }));
+
+  ASSERT_EQ(cluster.RunFsck(/*repair=*/true), 0);
+  EXPECT_EQ(cluster.RunFsck(/*repair=*/false), 0);
+
+  for (const std::string& dir : storm.committed_dirs) {
+    EXPECT_TRUE(Eventually([&] {
+      return net::RunInline(client->Stat(dir)).ok();
+    })) << dir;
+  }
+}
+
+}  // namespace
+}  // namespace loco
+
+#else  // !defined(LOCO_DAEMON_DIR) || !defined(LOCO_TOOL_DIR)
+
+TEST(ChaosTest, DISABLED_RequiresDaemonAndToolDirs) {}
+
+#endif

@@ -1,0 +1,257 @@
+// net::ResilientChannel — retry, circuit breaker, half-open probes, and
+// end-to-end exactly-once mutation replay against a faulty TcpServer with a
+// DedupWindow (docs/FAULTS.md).
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "net/dedup.h"
+#include "net/fault.h"
+#include "net/resilience.h"
+#include "net/tcp.h"
+
+namespace loco::net {
+namespace {
+
+constexpr std::uint16_t kEchoOp = 42;
+
+// Inner channel whose outcomes are scripted per attempt (kOk echoes the
+// payload back).  Completes inline like every project transport.
+class ScriptedChannel final : public Channel {
+ public:
+  void CallAsync(NodeId server, std::uint16_t opcode, std::string payload,
+                 std::function<void(RpcResponse)> done) override {
+    CallAsyncMeta(server, opcode, std::move(payload), CallMeta{},
+                  std::move(done));
+  }
+
+  void CallAsyncMeta(NodeId server, std::uint16_t opcode, std::string payload,
+                     const CallMeta& meta,
+                     std::function<void(RpcResponse)> done) override {
+    (void)server;
+    (void)opcode;
+    ++attempts;
+    trace_ids.push_back(meta.trace_id);
+    RpcResponse resp;
+    if (!script.empty()) {
+      resp.code = script.front();
+      script.pop_front();
+    }
+    if (resp.ok()) resp.payload = std::move(payload);
+    done(std::move(resp));
+  }
+
+  std::deque<ErrCode> script;  // per-attempt outcome; exhausted = kOk
+  int attempts = 0;
+  std::vector<std::uint64_t> trace_ids;
+};
+
+ResilienceOptions FastOptions() {
+  ResilienceOptions options;
+  options.backoff_base_ns = 1;  // keep test wall-clock flat
+  options.backoff_cap_ns = 1;
+  return options;
+}
+
+RpcResponse BlockingCall(Channel& channel, NodeId server, std::string payload) {
+  RpcResponse out;
+  channel.CallAsync(server, kEchoOp, std::move(payload),
+                    [&out](RpcResponse resp) { out = std::move(resp); });
+  return out;
+}
+
+TEST(ResilientChannelTest, RetriesRetryableFailuresUntilSuccess) {
+  ScriptedChannel inner;
+  inner.script = {ErrCode::kUnavailable, ErrCode::kTimeout, ErrCode::kOk};
+  ResilientChannel channel(&inner, FastOptions());
+
+  const RpcResponse resp = BlockingCall(channel, 7, "hello");
+  EXPECT_TRUE(resp.ok());
+  EXPECT_EQ(resp.payload, "hello");
+  EXPECT_EQ(inner.attempts, 3);
+}
+
+TEST(ResilientChannelTest, GivesUpAfterMaxAttempts) {
+  ScriptedChannel inner;
+  inner.script = {ErrCode::kUnavailable, ErrCode::kUnavailable,
+                  ErrCode::kUnavailable, ErrCode::kUnavailable};
+  auto options = FastOptions();
+  options.max_attempts = 3;
+  ResilientChannel channel(&inner, options);
+
+  const RpcResponse resp = BlockingCall(channel, 7, "x");
+  EXPECT_EQ(resp.code, ErrCode::kUnavailable);
+  EXPECT_EQ(inner.attempts, 3);
+}
+
+TEST(ResilientChannelTest, NonRetryableErrorsReturnImmediately) {
+  ScriptedChannel inner;
+  inner.script = {ErrCode::kNotFound};
+  ResilientChannel channel(&inner, FastOptions());
+
+  const RpcResponse resp = BlockingCall(channel, 7, "x");
+  EXPECT_EQ(resp.code, ErrCode::kNotFound);
+  EXPECT_EQ(inner.attempts, 1);  // a live server answered; don't hammer it
+}
+
+TEST(ResilientChannelTest, OneTraceIdAcrossAllAttempts) {
+  ScriptedChannel inner;
+  inner.script = {ErrCode::kTimeout, ErrCode::kTimeout, ErrCode::kOk};
+  ResilientChannel channel(&inner, FastOptions());
+
+  ASSERT_TRUE(BlockingCall(channel, 7, "x").ok());
+  ASSERT_EQ(inner.trace_ids.size(), 3u);
+  EXPECT_NE(inner.trace_ids[0], 0u);  // stamped when the caller didn't
+  EXPECT_EQ(inner.trace_ids[0], inner.trace_ids[1]);
+  EXPECT_EQ(inner.trace_ids[1], inner.trace_ids[2]);
+}
+
+TEST(ResilientChannelTest, BreakerOpensAndFailsFast) {
+  ScriptedChannel inner;
+  for (int i = 0; i < 100; ++i) inner.script.push_back(ErrCode::kUnavailable);
+  auto options = FastOptions();
+  options.max_attempts = 1;
+  options.breaker_threshold = 3;
+  options.breaker_open_ns = 10 * common::kSecond;  // stays open for the test
+  ResilientChannel channel(&inner, options);
+
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(BlockingCall(channel, 7, "x").code, ErrCode::kUnavailable);
+  }
+  EXPECT_EQ(channel.breaker_state(7), BreakerState::kOpen);
+  const int attempts_at_open = inner.attempts;
+
+  // Fast-fail: the doomed endpoint is not touched again.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(BlockingCall(channel, 7, "x").code, ErrCode::kUnavailable);
+  }
+  EXPECT_EQ(inner.attempts, attempts_at_open);
+
+  // Breakers are per endpoint: node 8 is unaffected.
+  inner.script.clear();
+  EXPECT_TRUE(BlockingCall(channel, 8, "y").ok());
+  EXPECT_EQ(channel.breaker_state(8), BreakerState::kClosed);
+}
+
+TEST(ResilientChannelTest, HalfOpenProbeClosesBreakerOnSuccess) {
+  ScriptedChannel inner;
+  for (int i = 0; i < 3; ++i) inner.script.push_back(ErrCode::kUnavailable);
+  auto options = FastOptions();
+  options.max_attempts = 1;
+  options.breaker_threshold = 3;
+  options.breaker_open_ns = 5 * common::kMilli;
+  ResilientChannel channel(&inner, options);
+
+  for (int i = 0; i < 3; ++i) (void)BlockingCall(channel, 7, "x");
+  EXPECT_EQ(channel.breaker_state(7), BreakerState::kOpen);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // Script is exhausted, so the probe succeeds and the breaker closes.
+  EXPECT_TRUE(BlockingCall(channel, 7, "probe").ok());
+  EXPECT_EQ(channel.breaker_state(7), BreakerState::kClosed);
+  EXPECT_TRUE(BlockingCall(channel, 7, "after").ok());
+}
+
+TEST(ResilientChannelTest, HalfOpenProbeFailureReopensBreaker) {
+  ScriptedChannel inner;
+  for (int i = 0; i < 4; ++i) inner.script.push_back(ErrCode::kUnavailable);
+  auto options = FastOptions();
+  options.max_attempts = 1;
+  options.breaker_threshold = 3;
+  options.breaker_open_ns = 5 * common::kMilli;
+  ResilientChannel channel(&inner, options);
+
+  for (int i = 0; i < 3; ++i) (void)BlockingCall(channel, 7, "x");
+  EXPECT_EQ(channel.breaker_state(7), BreakerState::kOpen);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(BlockingCall(channel, 7, "probe").code, ErrCode::kUnavailable);
+  EXPECT_EQ(channel.breaker_state(7), BreakerState::kOpen);
+  const int attempts = inner.attempts;
+  EXPECT_EQ(BlockingCall(channel, 7, "x").code, ErrCode::kUnavailable);
+  EXPECT_EQ(inner.attempts, attempts);  // re-opened: fast fail again
+}
+
+// ---------------------------------------------------------------------------
+// End to end: retry + server-side dedup = exactly-once mutations
+// ---------------------------------------------------------------------------
+
+// Applies each distinct payload; double-apply detection via per-payload count.
+class ApplyOnceHandler final : public RpcHandler {
+ public:
+  RpcResponse Handle(std::uint16_t opcode, std::string_view payload) override {
+    (void)opcode;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++applied_[std::string(payload)];
+    RpcResponse resp;
+    resp.payload = "applied:" + std::string(payload);
+    return resp;
+  }
+
+  std::map<std::string, int> applied() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return applied_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, int> applied_;
+};
+
+TEST(ResilientChannelTest, ExactlyOnceMutationsThroughFaultyTcpServer) {
+  // The server tears 40% of responses mid-frame and duplicates 20% of
+  // request frames; the client retries.  The dedup window must absorb both:
+  // every mutation applies exactly once and every call eventually succeeds.
+  auto spec = FaultSpec::Parse("short_write=0.4,dup=0.2,seed=11");
+  ASSERT_TRUE(spec.ok());
+  FaultInjector injector(*spec);
+  DedupWindow dedup({kEchoOp});
+  ApplyOnceHandler handler;
+
+  TcpServer::Options server_options;
+  server_options.fault = &injector;
+  server_options.dedup = &dedup;
+  TcpServer server(&handler, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  TcpChannelOptions channel_options;
+  channel_options.call_deadline_ns = 500 * common::kMilli;
+  channel_options.connect_attempts = 1;
+  TcpChannel tcp(channel_options);
+  tcp.Register(1, server.host(), server.port());
+
+  ResilienceOptions resilience;
+  resilience.max_attempts = 10;
+  resilience.backoff_base_ns = common::kMilli;
+  resilience.backoff_cap_ns = 5 * common::kMilli;
+  resilience.breaker_threshold = 1000;  // never trips in this test
+  ResilientChannel channel(&tcp, resilience);
+
+  constexpr int kMutations = 25;
+  for (int i = 0; i < kMutations; ++i) {
+    const std::string payload = "mutation-" + std::to_string(i);
+    const RpcResponse resp = BlockingCall(channel, 1, payload);
+    ASSERT_TRUE(resp.ok()) << "mutation " << i << " code "
+                           << static_cast<int>(resp.code);
+    EXPECT_EQ(resp.payload, "applied:" + payload);
+  }
+
+  const auto applied = handler.applied();
+  EXPECT_EQ(applied.size(), static_cast<std::size_t>(kMutations));
+  for (const auto& [payload, count] : applied) {
+    EXPECT_EQ(count, 1) << payload << " double-applied";
+  }
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace loco::net

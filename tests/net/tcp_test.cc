@@ -547,43 +547,6 @@ TEST(TcpWorkerPoolTest, ExtraServiceTimeOverlapsAcrossWorkers) {
   EXPECT_LT(elapsed.count(), 115) << "charges should overlap, not serialize";
 }
 
-TEST(TcpWorkerPoolTest, SerialHandlerMakesPlainHandlerSafe) {
-  // A deliberately non-thread-safe handler: unsynchronized counter.  Wrapped
-  // in SerialHandler and driven from many threads through a pooled server,
-  // no update may be lost (and TSan must stay quiet).
-  class CountingHandler final : public RpcHandler {
-   public:
-    RpcResponse Handle(std::uint16_t, std::string_view) override {
-      ++count_;
-      return RpcResponse{ErrCode::kOk, std::to_string(count_)};
-    }
-    int count() const noexcept { return count_; }
-
-   private:
-    int count_ = 0;
-  };
-  CountingHandler counting;
-  SerialHandler serialized(&counting);
-  TcpServer::Options options;
-  options.workers = 4;
-  TcpServer server(&serialized, options);
-  ASSERT_TRUE(server.Start().ok());
-  TcpChannel channel;
-  channel.Register(1, server.host(), server.port());
-
-  std::vector<std::thread> threads;
-  for (int t = 0; t < 4; ++t) {
-    threads.emplace_back([&channel] {
-      for (int i = 0; i < 25; ++i) {
-        ASSERT_EQ(BlockingCall(channel, 1, 7, "x").code, ErrCode::kOk);
-      }
-    });
-  }
-  for (auto& th : threads) th.join();
-  server.Stop();
-  EXPECT_EQ(counting.count(), 100);
-}
-
 TEST(TcpWorkerPoolTest, WorkerGaugesLiveAndRetired) {
   auto& registry = common::MetricsRegistry::Default();
   EchoHandler handler;

@@ -1,0 +1,217 @@
+// Property/fuzz tests for wire::FrameReader (deterministic, seed-driven).
+//
+// The reader is the only code that touches attacker-controlled bytes before
+// authentication of any kind, so it must never crash, over-read, or allocate
+// proportionally to a length field it has not validated.  These tests feed it
+// valid frames split at every boundary, random garbage, bit-flipped headers
+// and oversized length fields, and assert the latching-kCorruption contract.
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "net/wire.h"
+
+namespace loco::net::wire {
+namespace {
+
+FrameHeader RequestHeader(std::uint16_t opcode, std::uint64_t request_id) {
+  FrameHeader h;
+  h.type = FrameType::kRequest;
+  h.opcode = opcode;
+  h.request_id = request_id;
+  h.trace_id = request_id * 31 + 7;
+  return h;
+}
+
+std::string RandomPayload(common::Rng& rng, std::size_t max_len) {
+  std::string payload(rng.Uniform(max_len + 1), '\0');
+  for (char& c : payload) c = static_cast<char>(rng.Uniform(256));
+  return payload;
+}
+
+// Feed `bytes` to a fresh reader in chunks chosen by `rng`; collect every
+// frame it yields.  Exercises all resume points of the incremental decoder.
+std::vector<Frame> DrainChunked(common::Rng& rng, const std::string& bytes,
+                                Status* final_status) {
+  FrameReader reader;
+  std::vector<Frame> frames;
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    const std::size_t len =
+        1 + rng.Uniform(std::min<std::size_t>(bytes.size() - pos, 97));
+    reader.Append(std::string_view(bytes).substr(pos, len));
+    pos += len;
+    while (auto frame = reader.Next()) frames.push_back(std::move(*frame));
+    if (!reader.status().ok()) break;
+  }
+  *final_status = reader.status();
+  return frames;
+}
+
+TEST(WireFuzzTest, ValidFramesSurviveArbitraryChunking) {
+  common::Rng rng(0xF00D);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<Frame> sent;
+    std::string stream;
+    const int count = 1 + static_cast<int>(rng.Uniform(8));
+    for (int i = 0; i < count; ++i) {
+      Frame f;
+      f.header = RequestHeader(static_cast<std::uint16_t>(rng.Uniform(512)),
+                               rng.Next());
+      f.payload = RandomPayload(rng, 4096);
+      stream += EncodeFrame(f.header, f.payload);
+      sent.push_back(std::move(f));
+    }
+    Status status;
+    const std::vector<Frame> got = DrainChunked(rng, stream, &status);
+    ASSERT_TRUE(status.ok()) << "round " << round;
+    ASSERT_EQ(got.size(), sent.size()) << "round " << round;
+    for (std::size_t i = 0; i < sent.size(); ++i) {
+      EXPECT_EQ(got[i].header.opcode, sent[i].header.opcode);
+      EXPECT_EQ(got[i].header.request_id, sent[i].header.request_id);
+      EXPECT_EQ(got[i].header.trace_id, sent[i].header.trace_id);
+      EXPECT_EQ(got[i].payload, sent[i].payload);
+    }
+  }
+}
+
+TEST(WireFuzzTest, SingleByteFeedingYieldsSameFrames) {
+  common::Rng rng(0xBEEF);
+  Frame f;
+  f.header = RequestHeader(7, 1234567);
+  f.payload = RandomPayload(rng, 256);
+  const std::string bytes = EncodeFrame(f.header, f.payload);
+
+  FrameReader reader;
+  std::vector<Frame> got;
+  for (char c : bytes) {
+    reader.Append(std::string_view(&c, 1));
+    while (auto frame = reader.Next()) got.push_back(std::move(*frame));
+  }
+  ASSERT_TRUE(reader.status().ok());
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].payload, f.payload);
+}
+
+TEST(WireFuzzTest, RandomGarbageNeverCrashesAndUsuallyLatches) {
+  common::Rng rng(0xDEAD);
+  for (int round = 0; round < 200; ++round) {
+    const std::string garbage = RandomPayload(rng, 2048);
+    Status status;
+    const std::vector<Frame> frames = DrainChunked(rng, garbage, &status);
+    // Random bytes essentially never form a valid magic, so any fully decoded
+    // frame is a bug; the reader must either wait for more bytes (ok status,
+    // no frames) or latch kCorruption.  Either way: no crash, no UB.
+    EXPECT_TRUE(frames.empty()) << "round " << round;
+    if (!status.ok()) {
+      EXPECT_EQ(status.code(), ErrCode::kCorruption) << "round " << round;
+    }
+  }
+}
+
+TEST(WireFuzzTest, BitFlippedHeadersLatchCorruption) {
+  common::Rng rng(0xC0FFEE);
+  Frame f;
+  f.header = RequestHeader(9, 42);
+  f.payload = "payload-bytes";
+  const std::string good = EncodeFrame(f.header, f.payload);
+
+  int latched = 0;
+  // Flip every bit of the magic/version/type/code bytes in turn; each flip
+  // must either latch kCorruption immediately or (for the code byte, whose
+  // domain is wider than one valid value) still never yield a mangled frame
+  // that claims a different length than it carries.
+  const std::size_t offsets[] = {0, 1, 2, 3, 4, 5, 24};
+  for (std::size_t offset : offsets) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string bytes = good;
+      bytes[offset] = static_cast<char>(bytes[offset] ^ (1 << bit));
+      Status status;
+      const std::vector<Frame> frames = DrainChunked(rng, bytes, &status);
+      if (!status.ok()) {
+        EXPECT_EQ(status.code(), ErrCode::kCorruption);
+        EXPECT_TRUE(frames.empty());
+        ++latched;
+      } else {
+        // A flip that survived decoding may only do so with intact framing.
+        ASSERT_EQ(frames.size(), 1u);
+        EXPECT_EQ(frames[0].payload.size(), f.payload.size());
+      }
+    }
+  }
+  // Magic (4 bytes), version, and type flips are all fatal: >= 48 latches.
+  EXPECT_GE(latched, 48);
+}
+
+TEST(WireFuzzTest, OversizedLengthLatchesWithoutAllocating) {
+  FrameHeader h = RequestHeader(3, 5);
+  const std::string frame = EncodeFrame(h, "tiny");
+  // Rewrite payload_len (last 4 header bytes, little-endian) to a value far
+  // above the reader's cap, keeping only the header bytes.
+  std::string bytes = frame.substr(0, kHeaderBytes);
+  const std::uint32_t huge = 0xFFFFFFF0u;
+  bytes[25] = static_cast<char>(huge & 0xFF);
+  bytes[26] = static_cast<char>((huge >> 8) & 0xFF);
+  bytes[27] = static_cast<char>((huge >> 16) & 0xFF);
+  bytes[28] = static_cast<char>((huge >> 24) & 0xFF);
+
+  FrameReader reader(/*max_payload=*/1024);
+  reader.Append(bytes);
+  EXPECT_FALSE(reader.Next().has_value());
+  ASSERT_FALSE(reader.status().ok());
+  EXPECT_EQ(reader.status().code(), ErrCode::kCorruption);
+  // The reader must not have buffered gigabytes waiting for a payload it
+  // already rejected; it holds at most what we appended.
+  EXPECT_LE(reader.buffered(), bytes.size());
+
+  // Latching is permanent: even a subsequent valid frame stays unread.
+  reader.Append(frame);
+  EXPECT_FALSE(reader.Next().has_value());
+  EXPECT_EQ(reader.status().code(), ErrCode::kCorruption);
+}
+
+TEST(WireFuzzTest, PayloadJustOverCapLatches) {
+  FrameHeader h = RequestHeader(3, 5);
+  const std::string payload(1025, 'x');
+  const std::string bytes = EncodeFrame(h, payload);
+  FrameReader reader(/*max_payload=*/1024);
+  reader.Append(bytes);
+  EXPECT_FALSE(reader.Next().has_value());
+  EXPECT_EQ(reader.status().code(), ErrCode::kCorruption);
+
+  // Exactly at the cap is fine.
+  FrameReader ok_reader(/*max_payload=*/1025);
+  ok_reader.Append(bytes);
+  auto frame = ok_reader.Next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, payload);
+}
+
+TEST(WireFuzzTest, TruncatedFramesWaitQuietly) {
+  common::Rng rng(0x7A57E);
+  Frame f;
+  f.header = RequestHeader(11, 99);
+  f.payload = RandomPayload(rng, 512);
+  const std::string bytes = EncodeFrame(f.header, f.payload);
+  // Every proper prefix must decode to "need more bytes", never an error and
+  // never a frame.
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    FrameReader reader;
+    reader.Append(std::string_view(bytes).substr(0, cut));
+    EXPECT_FALSE(reader.Next().has_value()) << "cut " << cut;
+    ASSERT_TRUE(reader.status().ok()) << "cut " << cut;
+    // Completing the stream always recovers the original frame.
+    reader.Append(std::string_view(bytes).substr(cut));
+    auto frame = reader.Next();
+    ASSERT_TRUE(frame.has_value()) << "cut " << cut;
+    EXPECT_EQ(frame->payload, f.payload);
+  }
+}
+
+}  // namespace
+}  // namespace loco::net::wire

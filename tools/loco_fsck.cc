@@ -1,0 +1,139 @@
+// loco_fsck — offline consistency checker / repairer for a LocoFS cluster
+// (core/fsck.h; invariants and failure model in docs/FAULTS.md).
+//
+//   loco_fsck --connect dms=H:P,fms=H:P[,fms=H:P...],osd=H:P[,...]
+//             [--repair] [--max-passes N] [--quiet]
+//
+// Default is a dry run: scan, print findings, change nothing.  With
+// --repair, scan→repair passes iterate until a scan is clean (repairs can
+// cascade).  The cluster must be quiesced — scans are per-server snapshots
+// with no cross-server atomicity.
+//
+// Exit codes: 0 = clean (or repaired to clean), 1 = findings remain,
+// 2 = usage error, 3 = RPC failure.
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "benchlib/deploy.h"
+#include "core/fsck.h"
+#include "net/tcp.h"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: loco_fsck --connect dms=H:P,fms=H:P[,...],osd=H:P[,...]"
+    " [--repair] [--max-passes N] [--quiet]\n";
+
+// `--flag value` and `--flag=value`.
+bool FlagValue(int argc, char** argv, int* i, const char* flag,
+               std::string* out) {
+  const std::string_view arg = argv[*i];
+  const std::size_t flag_len = std::strlen(flag);
+  if (arg == flag) {
+    if (*i + 1 >= argc) return false;
+    *out = argv[++*i];
+    return true;
+  }
+  if (arg.size() > flag_len + 1 && arg.substr(0, flag_len) == flag &&
+      arg[flag_len] == '=') {
+    *out = std::string(arg.substr(flag_len + 1));
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace loco;
+
+  std::string connect;
+  std::string passes_str;
+  bool repair = false;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    if (FlagValue(argc, argv, &i, "--connect", &connect)) continue;
+    if (FlagValue(argc, argv, &i, "--max-passes", &passes_str)) continue;
+    if (std::strcmp(argv[i], "--repair") == 0) {
+      repair = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--dry-run") == 0) {  // explicit default
+      repair = false;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+      continue;
+    }
+    std::fprintf(stderr, "loco_fsck: unknown argument '%s'\n%s", argv[i],
+                 kUsage);
+    return 2;
+  }
+  if (connect.empty()) {
+    std::fprintf(stderr, "loco_fsck: --connect is required\n%s", kUsage);
+    return 2;
+  }
+
+  core::FsckRunner::Options options;
+  options.repair = repair;
+  if (!passes_str.empty()) {
+    std::uint32_t passes = 0;
+    const char* begin = passes_str.data();
+    const char* end = begin + passes_str.size();
+    if (auto [p, ec] = std::from_chars(begin, end, passes);
+        ec != std::errc{} || p != end || passes == 0) {
+      std::fprintf(stderr, "loco_fsck: bad --max-passes '%s'\n",
+                   passes_str.c_str());
+      return 2;
+    }
+    options.max_passes = passes;
+  }
+
+  auto endpoints = bench::ParseConnectSpec(connect);
+  if (!endpoints.ok()) {
+    std::fprintf(stderr, "loco_fsck: bad --connect '%s': %s\n", connect.c_str(),
+                 endpoints.status().message().c_str());
+    return 2;
+  }
+  // fsck drives the admin RPCs directly: no client cache, no retry layer (a
+  // repair that must not double-apply goes through the same server-side
+  // dedup window as everything else, but failing loud beats retrying here).
+  bench::RemoteOptions remote_options;
+  remote_options.cache_enabled = false;
+  remote_options.resilience = false;
+  auto deployment = bench::ConnectRemote(*endpoints, remote_options);
+  if (!deployment.ok()) {
+    std::fprintf(stderr, "loco_fsck: connect failed: %s\n",
+                 deployment.status().message().c_str());
+    return 3;
+  }
+
+  core::FsckRunner::Config config;
+  config.dms = deployment->config.dms;
+  config.fms = deployment->config.fms;
+  config.object_stores = deployment->config.object_stores;
+  core::FsckRunner runner(*deployment->channel, config);
+
+  auto report = runner.Run(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "loco_fsck: scan failed: %s (code %d)\n",
+                 report.status().message().c_str(),
+                 static_cast<int>(report.code()));
+    return 3;
+  }
+
+  if (!quiet) {
+    for (const core::FsckFinding& f : report->findings) {
+      std::printf("%s\n", f.Describe().c_str());
+    }
+    std::printf("loco_fsck: %zu finding(s), %llu repair(s), %u pass(es)%s\n",
+                report->findings.size(),
+                static_cast<unsigned long long>(report->repairs),
+                report->passes, repair ? "" : " [dry run]");
+    std::fflush(stdout);
+  }
+  return report->clean() ? 0 : 1;
+}
