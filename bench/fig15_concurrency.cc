@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "core/connect.h"
 #include "core/dms.h"
 #include "core/fms.h"
 #include "core/object_store.h"
@@ -50,7 +51,13 @@ class JournalChargeHandler final : public net::RpcHandler {
 
   net::RpcResponse Handle(std::uint16_t opcode,
                           std::string_view payload) override {
-    net::RpcResponse resp = inner_->Handle(opcode, payload);
+    return HandleCtx(opcode, payload, net::HandlerContext{});
+  }
+  // Forwards the caller context so the DMS lease/push plane behind the
+  // charge wrapper still sees each connection's client id.
+  net::RpcResponse HandleCtx(std::uint16_t opcode, std::string_view payload,
+                             const net::HandlerContext& ctx) override {
+    net::RpcResponse resp = inner_->HandleCtx(opcode, payload, ctx);
     if (IsMutation(opcode)) {
       // One journal append of ~200 B of metadata per mutation.
       resp.extra_service_ns += device_.Cost(1, 200);
@@ -118,22 +125,21 @@ RunResult RunOnce(int workers, int clients, int files_per_client,
     std::exit(1);
   }
 
-  RemoteEndpoints endpoints;
-  endpoints.dms = HostPort(dms_server);
-  endpoints.fms.push_back(HostPort(fms_server));
-  endpoints.object_stores.push_back(HostPort(osd_server));
-  RemoteOptions remote_options;
-  remote_options.channel.max_pipeline = depth;
-  auto deployment = ConnectRemote(endpoints, remote_options);
-  if (!deployment.ok()) {
-    std::fprintf(stderr, "fig15: ConnectRemote failed: %s\n",
-                 deployment.status().ToString().c_str());
+  core::ClientOptions client_options;
+  client_options.dms = HostPort(dms_server);
+  client_options.fms.push_back(HostPort(fms_server));
+  client_options.object_stores.push_back(HostPort(osd_server));
+  client_options.channel.max_pipeline = depth;
+  auto mount = core::Connect(client_options);
+  if (!mount.ok()) {
+    std::fprintf(stderr, "fig15: core::Connect failed: %s\n",
+                 mount.status().ToString().c_str());
     std::exit(1);
   }
 
   std::atomic<std::uint64_t> clock{0};
   auto make_client = [&] {
-    auto client = deployment->MakeClient(
+    auto client = mount->MakeClient(
         [&clock] { return clock.fetch_add(1, std::memory_order_relaxed) + 1; });
     client->SetIdentity(fs::Identity{1000, 1000});
     return client;
@@ -258,6 +264,9 @@ int main(int argc, char** argv) {
   for (int workers : sweep) {
     results.push_back(
         bench::RunOnce(workers, clients, files_per_client, depth));
+    // One delta dump per sweep point, so --metrics-out separates the runs
+    // instead of conflating all three worker counts into one total.
+    metrics.Phase("workers=" + std::to_string(workers));
     const auto& r = results.back();
     table.AddRow({std::to_string(r.workers),
                   bench::Table::Num(r.create_ops_per_sec, 0),

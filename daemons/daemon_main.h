@@ -8,15 +8,22 @@
 // recorded in the dump.
 #pragma once
 
+#include <sys/stat.h>
+
 #include <charconv>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
 
+#include "common/clock.h"
 #include "common/metrics.h"
+#include "core/proto.h"
+#include "fs/wire.h"
 #include "net/fault.h"
 #include "net/tcp.h"
 
@@ -84,13 +91,71 @@ inline bool ParseFaultSpec(const char* name, const std::string& spec,
   return true;
 }
 
+// Server incarnation number: read `<store_dir>/epoch`, bump it, persist it.
+// Hello replies carry the epoch, so clients can tell a daemon restart from a
+// plain reconnect (NotifyListener resyncs on an epoch change).  With no
+// --store-dir the wall clock stands in — still strictly increasing across
+// restarts, just not dense.
+inline std::uint64_t NextEpoch(const std::string& store_dir) {
+  if (store_dir.empty()) return common::WallClockNs();
+  ::mkdir(store_dir.c_str(), 0755);  // may already exist
+  const std::string path = store_dir + "/epoch";
+  std::uint64_t epoch = 0;
+  if (std::FILE* f = std::fopen(path.c_str(), "r")) {
+    char buf[32] = {};
+    if (std::fgets(buf, sizeof(buf), f) != nullptr) {
+      epoch = std::strtoull(buf, nullptr, 10);
+    }
+    std::fclose(f);
+  }
+  ++epoch;
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fprintf(f, "%llu\n", static_cast<unsigned long long>(epoch));
+    std::fclose(f);
+  }
+  return epoch;
+}
+
+// Best-effort restart gossip: tell the DMS at `announce_spec` that server
+// `node` came up with `epoch`.  The DMS broadcasts it down every notify
+// stream so clients reset this node's circuit breaker immediately instead of
+// waiting out the open window.  Failure is non-fatal (the breaker half-open
+// probe remains the fallback).
+inline void AnnounceToDms(const char* name, const std::string& announce_spec,
+                          std::uint32_t node, std::uint64_t epoch) {
+  std::string host;
+  std::uint16_t port = 0;
+  if (!net::ParseHostPort(announce_spec, &host, &port)) {
+    std::fprintf(stderr, "%s: bad --announce spec '%s' (want host:port)\n",
+                 name, announce_spec.c_str());
+    return;
+  }
+  net::TcpChannelOptions channel_options;
+  channel_options.connect_attempts = 1;
+  channel_options.call_deadline_ns = 2 * common::kSecond;
+  net::TcpChannel channel(channel_options);
+  channel.Register(0, host, port);
+  net::RpcResponse resp;
+  channel.CallAsync(0, core::proto::kDmsAnnounce, fs::Pack(node, epoch),
+                    [&](net::RpcResponse r) { resp = std::move(r); });
+  if (resp.code != ErrCode::kOk) {
+    std::fprintf(stderr, "%s: announce to %s failed (%d)\n", name,
+                 announce_spec.c_str(), static_cast<int>(resp.code));
+  }
+}
+
 // Serve `handler` on `listen_spec` ("host:port", port 0 = ephemeral) until
 // SIGINT/SIGTERM, with caller-prepared server options (worker pool size,
-// fault injector, dedup window).  Returns the process exit code.
+// fault injector, dedup window).  `on_serving`, when set, runs once Start()
+// has succeeded and before the address banner is printed (daemons hook the
+// server into their service — SetNotifier — or announce themselves).
+// Returns the process exit code.
 inline int RunDaemon(const char* name, net::RpcHandler* handler,
                      const std::string& listen_spec,
                      const std::string& metrics_out, int workers,
-                     net::TcpServer::Options options) {
+                     net::TcpServer::Options options,
+                     const std::function<void(net::TcpServer&)>& on_serving =
+                         {}) {
   options.workers = workers;
   if (!listen_spec.empty() &&
       !net::ParseHostPort(listen_spec, &options.host, &options.port)) {
@@ -110,6 +175,7 @@ inline int RunDaemon(const char* name, net::RpcHandler* handler,
                  options.host.c_str(), unsigned(options.port));
     return 1;
   }
+  if (on_serving) on_serving(server);
   std::printf("%s: listening on %s:%u (%d workers)\n", name,
               server.host().c_str(), unsigned(server.port()),
               server.workers());

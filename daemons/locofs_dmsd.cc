@@ -73,6 +73,10 @@ int main(int argc, char** argv) {
   net::TcpServer::Options server_options;
   server_options.fault = fault.get();
   server_options.dedup = &dedup;
-  return daemons::RunDaemon("locofs_dmsd", &server, listen, metrics_out,
-                            workers, server_options);
+  server_options.epoch = daemons::NextEpoch(store_dir);
+  // Hand the TCP server to the DMS as its push channel: lease invalidations
+  // and restart gossip ride the connected clients' notify streams.
+  return daemons::RunDaemon(
+      "locofs_dmsd", &server, listen, metrics_out, workers, server_options,
+      [&server](net::TcpServer& tcp) { server.SetNotifier(&tcp); });
 }

@@ -2,6 +2,7 @@
 //
 //   locofs_fmsd [--listen host:port] [--sid N] [--coupled] [--workers N]
 //               [--store-dir dir] [--fault-spec spec]
+//               [--announce host:port] [--node N]
 //               [--metrics-out file.json]
 //
 // --sid must match this server's position in the client's FMS list (it seeds
@@ -11,6 +12,11 @@
 // recovers its files; --fault-spec arms the deterministic fault plane
 // (grammar in net/fault.h).  Idempotent mutations are always served through
 // a dedup window (retries replay instead of double-applying).
+//
+// --announce points at the DMS: once serving, the daemon reports its node id
+// (--node; defaults to --sid, matching core::Connect's fms numbering) and
+// fresh epoch so the DMS can gossip the restart to clients, which reset this
+// node's circuit breaker immediately.
 #include <charconv>
 #include <cstdio>
 #include <cstring>
@@ -32,6 +38,8 @@ int main(int argc, char** argv) {
   std::string workers_str;
   std::string store_dir;
   std::string fault_spec;
+  std::string announce;
+  std::string node_str;
   bool decoupled = true;
   for (int i = 1; i < argc; ++i) {
     if (daemons::FlagValue(argc, argv, &i, "--listen", &listen)) continue;
@@ -40,6 +48,8 @@ int main(int argc, char** argv) {
     if (daemons::FlagValue(argc, argv, &i, "--workers", &workers_str)) continue;
     if (daemons::FlagValue(argc, argv, &i, "--store-dir", &store_dir)) continue;
     if (daemons::FlagValue(argc, argv, &i, "--fault-spec", &fault_spec)) continue;
+    if (daemons::FlagValue(argc, argv, &i, "--announce", &announce)) continue;
+    if (daemons::FlagValue(argc, argv, &i, "--node", &node_str)) continue;
     if (std::strcmp(argv[i], "--coupled") == 0) {
       decoupled = false;
       continue;
@@ -48,6 +58,7 @@ int main(int argc, char** argv) {
                  "locofs_fmsd: unknown argument '%s'\n"
                  "usage: locofs_fmsd [--listen host:port] [--sid N] [--coupled]"
                  " [--workers N] [--store-dir dir] [--fault-spec spec]"
+                 " [--announce host:port] [--node N]"
                  " [--metrics-out file.json]\n",
                  argv[i]);
     return 2;
@@ -76,11 +87,29 @@ int main(int argc, char** argv) {
       return std::make_unique<kv::FaultyKv>(std::move(inner), fault.get());
     };
   }
+  std::uint32_t node = sid;  // core::Connect numbers fms nodes by sid
+  if (!node_str.empty()) {
+    const char* nb = node_str.data();
+    const char* ne = nb + node_str.size();
+    if (auto [p, ec] = std::from_chars(nb, ne, node);
+        ec != std::errc{} || p != ne) {
+      std::fprintf(stderr, "locofs_fmsd: bad --node '%s'\n", node_str.c_str());
+      return 2;
+    }
+  }
+
   core::FileMetadataServer server(options);
   net::DedupWindow dedup(core::proto::IdempotentReplayOps());
   net::TcpServer::Options server_options;
   server_options.fault = fault.get();
   server_options.dedup = &dedup;
-  return daemons::RunDaemon("locofs_fmsd", &server, listen, metrics_out,
-                            workers, server_options);
+  server_options.epoch = daemons::NextEpoch(store_dir);
+  const std::uint64_t epoch = server_options.epoch;
+  return daemons::RunDaemon(
+      "locofs_fmsd", &server, listen, metrics_out, workers, server_options,
+      [&](net::TcpServer&) {
+        if (!announce.empty()) {
+          daemons::AnnounceToDms("locofs_fmsd", announce, node, epoch);
+        }
+      });
 }

@@ -2,7 +2,13 @@
 //
 //   locofs_osd [--listen host:port] [--block-bytes N] [--no-retain]
 //              [--workers N] [--store-dir dir] [--fault-spec spec]
+//              [--announce host:port] [--node N]
 //              [--metrics-out file.json]
+//
+// --announce points at the DMS: once serving, the daemon reports its node id
+// (--node; default 1000, core::Connect's first-osd id) and fresh epoch so
+// the DMS can gossip the restart to clients, which reset this node's circuit
+// breaker immediately.
 //
 // --no-retain accounts block payloads without storing them (reads return
 // zeros); use it for metadata-only benchmarks that push a lot of data.
@@ -31,6 +37,8 @@ int main(int argc, char** argv) {
   std::string workers_str;
   std::string store_dir;
   std::string fault_spec;
+  std::string announce;
+  std::string node_str;
   bool retain = true;
   for (int i = 1; i < argc; ++i) {
     if (daemons::FlagValue(argc, argv, &i, "--listen", &listen)) continue;
@@ -39,6 +47,8 @@ int main(int argc, char** argv) {
     if (daemons::FlagValue(argc, argv, &i, "--workers", &workers_str)) continue;
     if (daemons::FlagValue(argc, argv, &i, "--store-dir", &store_dir)) continue;
     if (daemons::FlagValue(argc, argv, &i, "--fault-spec", &fault_spec)) continue;
+    if (daemons::FlagValue(argc, argv, &i, "--announce", &announce)) continue;
+    if (daemons::FlagValue(argc, argv, &i, "--node", &node_str)) continue;
     if (std::strcmp(argv[i], "--no-retain") == 0) {
       retain = false;
       continue;
@@ -47,7 +57,8 @@ int main(int argc, char** argv) {
                  "locofs_osd: unknown argument '%s'\n"
                  "usage: locofs_osd [--listen host:port] [--block-bytes N]"
                  " [--no-retain] [--workers N] [--store-dir dir]"
-                 " [--fault-spec spec] [--metrics-out file.json]\n",
+                 " [--fault-spec spec] [--announce host:port] [--node N]"
+                 " [--metrics-out file.json]\n",
                  argv[i]);
     return 2;
   }
@@ -73,11 +84,29 @@ int main(int argc, char** argv) {
     options.block_bytes = block_bytes;
   }
 
+  std::uint32_t node = 1000;  // core::Connect numbers osd nodes from 1000
+  if (!node_str.empty()) {
+    const char* nb = node_str.data();
+    const char* ne = nb + node_str.size();
+    if (auto [p, ec] = std::from_chars(nb, ne, node);
+        ec != std::errc{} || p != ne) {
+      std::fprintf(stderr, "locofs_osd: bad --node '%s'\n", node_str.c_str());
+      return 2;
+    }
+  }
+
   core::ObjectStoreServer server(options);
   net::DedupWindow dedup(core::proto::IdempotentReplayOps());
   net::TcpServer::Options server_options;
   server_options.fault = fault.get();
   server_options.dedup = &dedup;
-  return daemons::RunDaemon("locofs_osd", &server, listen, metrics_out,
-                            workers, server_options);
+  server_options.epoch = daemons::NextEpoch(store_dir);
+  const std::uint64_t epoch = server_options.epoch;
+  return daemons::RunDaemon(
+      "locofs_osd", &server, listen, metrics_out, workers, server_options,
+      [&](net::TcpServer&) {
+        if (!announce.empty()) {
+          daemons::AnnounceToDms("locofs_osd", announce, node, epoch);
+        }
+      });
 }

@@ -20,10 +20,10 @@
 #include <string>
 #include <vector>
 
-#include "benchlib/deploy.h"
 #include "common/clock.h"
 #include "common/metrics.h"
 #include "core/client.h"
+#include "core/connect.h"
 #include "core/dms.h"
 #include "core/fms.h"
 #include "core/object_store.h"
@@ -61,30 +61,30 @@ int main(int argc, char** argv) {
   std::unique_ptr<core::DirectoryMetadataServer> dms;
   std::vector<std::unique_ptr<core::FileMetadataServer>> fms;
   std::unique_ptr<core::ObjectStoreServer> object_store;
-  bench::RemoteDeployment remote;
+  core::MountHandle mount;
 
   std::uint64_t clock = 0;
   std::unique_ptr<fs::FileSystemClient> client_owner;
   if (!connect.empty()) {
-    auto endpoints = bench::ParseConnectSpec(connect);
-    if (!endpoints.ok()) {
+    auto options = core::ClientOptions::FromSpec(connect);
+    if (!options.ok()) {
       std::fprintf(stderr, "loco_shell: %s\n",
-                   endpoints.status().ToString().c_str());
+                   options.status().ToString().c_str());
       return 2;
     }
-    auto deployment = bench::ConnectRemote(*endpoints);
-    if (!deployment.ok()) {
+    auto mounted = core::Connect(*options);
+    if (!mounted.ok()) {
       std::fprintf(stderr, "loco_shell: %s\n",
-                   deployment.status().ToString().c_str());
+                   mounted.status().ToString().c_str());
       return 2;
     }
-    remote = std::move(*deployment);
-    client_owner = remote.MakeClient(
+    mount = std::move(*mounted);
+    client_owner = mount.MakeClient(
         [] { return static_cast<std::uint64_t>(common::CpuTimer::Now()); });
     std::printf("LocoFS shell — connected to dms=%s, %zu fms, %zu osd over "
                 "TCP; 'help' for commands\n",
-                endpoints->dms.c_str(), endpoints->fms.size(),
-                endpoints->object_stores.size());
+                options->dms.c_str(), options->fms.size(),
+                options->object_stores.size());
   } else {
     dms = std::make_unique<core::DirectoryMetadataServer>();
     transport.Register(0, dms.get());

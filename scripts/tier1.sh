@@ -10,20 +10,22 @@ cmake -B build -S . >/dev/null
 cmake --build build -j >/dev/null
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "== tier-1: ASan+UBSan pass (net + integration + chaos) =="
+echo "== tier-1: ASan+UBSan pass (net + integration + chaos + notify) =="
 cmake -B build-asan -S . -DLOCO_SANITIZE=ON >/dev/null
 cmake --build build-asan -j --target net_test integration_test chaos_test \
-  locofs_dmsd locofs_fmsd locofs_osd loco_fsck >/dev/null
+  notify_e2e_test locofs_dmsd locofs_fmsd locofs_osd loco_fsck >/dev/null
 ./build-asan/tests/net/net_test
 ./build-asan/tests/integration/integration_test
 ./build-asan/tests/integration/chaos_test
+./build-asan/tests/integration/notify_e2e_test
 
-echo "== tier-1: TSan pass (worker pool, striped KV, concurrent handlers) =="
+echo "== tier-1: TSan pass (worker pool, striped KV, concurrent handlers, notify) =="
 cmake -B build-tsan -S . -DLOCO_SANITIZE=tsan >/dev/null
 cmake --build build-tsan -j --target net_test striped_kv_test \
-  core_concurrency_test >/dev/null
+  core_concurrency_test notify_e2e_test >/dev/null
 ./build-tsan/tests/net/net_test
 ./build-tsan/tests/kvstore/striped_kv_test
 ./build-tsan/tests/core/core_concurrency_test
+./build-tsan/tests/integration/notify_e2e_test
 
 echo "tier1: OK"

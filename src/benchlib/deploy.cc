@@ -35,8 +35,9 @@ Deployment DeployLocoFs(System system, sim::SimCluster* cluster,
   const bool decoupled = system != System::kLocoCF;
   const bool cache = system != System::kLocoNC;
 
-  auto dms = std::make_unique<core::DirectoryMetadataServer>(
-      core::DirectoryMetadataServer::Options{options.dms_backend, {}});
+  core::DirectoryMetadataServer::Options dms_options;
+  dms_options.backend = options.dms_backend;
+  auto dms = std::make_unique<core::DirectoryMetadataServer>(dms_options);
   d.dms = dms.get();
 
   std::vector<net::NodeId> fms_nodes;
@@ -146,98 +147,6 @@ Deployment Deploy(System system, sim::SimCluster* cluster,
                           : DeployBaseline(system, cluster, options);
 }
 
-Result<RemoteEndpoints> ParseConnectSpec(std::string_view spec) {
-  RemoteEndpoints eps;
-  std::size_t pos = 0;
-  while (pos <= spec.size()) {
-    std::size_t comma = spec.find(',', pos);
-    if (comma == std::string_view::npos) comma = spec.size();
-    const std::string_view entry = spec.substr(pos, comma - pos);
-    pos = comma + 1;
-    if (entry.empty()) continue;
-
-    const std::size_t eq = entry.find('=');
-    if (eq == std::string_view::npos) {
-      return Status(ErrCode::kInvalid,
-                    "connect spec entry '" + std::string(entry) +
-                        "' is not role=host:port");
-    }
-    const std::string_view role = entry.substr(0, eq);
-    const std::string_view addr = entry.substr(eq + 1);
-    std::string host;
-    std::uint16_t port = 0;
-    if (!net::ParseHostPort(addr, &host, &port)) {
-      return Status(ErrCode::kInvalid,
-                    "bad host:port '" + std::string(addr) + "' for role '" +
-                        std::string(role) + "'");
-    }
-    if (role == "dms") {
-      if (!eps.dms.empty()) {
-        return Status(ErrCode::kInvalid, "connect spec has more than one dms");
-      }
-      eps.dms = std::string(addr);
-    } else if (role == "fms") {
-      eps.fms.emplace_back(addr);
-    } else if (role == "osd") {
-      eps.object_stores.emplace_back(addr);
-    } else {
-      return Status(ErrCode::kInvalid,
-                    "unknown role '" + std::string(role) + "' (dms|fms|osd)");
-    }
-  }
-  if (eps.dms.empty()) {
-    return Status(ErrCode::kInvalid, "connect spec needs dms=host:port");
-  }
-  if (eps.fms.empty()) {
-    return Status(ErrCode::kInvalid, "connect spec needs at least one fms=");
-  }
-  if (eps.object_stores.empty()) {
-    return Status(ErrCode::kInvalid, "connect spec needs at least one osd=");
-  }
-  return eps;
-}
-
-std::unique_ptr<fs::FileSystemClient> RemoteDeployment::MakeClient(
-    fs::TimeFn now) const {
-  core::LocoClient::Config cfg = config;
-  cfg.now = std::move(now);
-  return std::make_unique<core::LocoClient>(rpc(), cfg);
-}
-
-Result<RemoteDeployment> ConnectRemote(const RemoteEndpoints& endpoints,
-                                       const RemoteOptions& options) {
-  RemoteDeployment d;
-  d.channel = std::make_unique<net::TcpChannel>(options.channel);
-
-  const auto register_node = [&](net::NodeId id,
-                                 const std::string& addr) -> Status {
-    if (!d.channel->Register(id, addr)) {
-      return Status(ErrCode::kInvalid, "bad endpoint '" + addr + "'");
-    }
-    return Status::Ok();
-  };
-
-  d.config.dms = 0;
-  LOCO_RETURN_IF_ERROR(register_node(0, endpoints.dms));
-  for (std::size_t i = 0; i < endpoints.fms.size(); ++i) {
-    const net::NodeId id = static_cast<net::NodeId>(1 + i);
-    LOCO_RETURN_IF_ERROR(register_node(id, endpoints.fms[i]));
-    d.config.fms.push_back(id);
-  }
-  for (std::size_t i = 0; i < endpoints.object_stores.size(); ++i) {
-    const net::NodeId id = static_cast<net::NodeId>(1000 + i);
-    LOCO_RETURN_IF_ERROR(register_node(id, endpoints.object_stores[i]));
-    d.config.object_stores.push_back(id);
-  }
-  d.config.cache_enabled = options.cache_enabled && options.lease_ns > 0;
-  d.config.lease_ns = options.lease_ns;
-  if (options.resilience) {
-    d.resilient = std::make_unique<net::ResilientChannel>(
-        d.channel.get(), options.resilience_options);
-  }
-  return d;
-}
-
 std::string MetricsOutPath(int& argc, char** argv) {
   std::string path;
   int out = 1;
@@ -278,8 +187,60 @@ bool WriteMetricsJson(const std::string& path) {
   return ok;
 }
 
+MetricsDump::MetricsDump(int& argc, char** argv)
+    : path_(MetricsOutPath(argc, argv)) {
+  if (!path_.empty()) {
+    last_ = common::MetricsRegistry::Default().TakeSnapshot();
+  }
+}
+
+void MetricsDump::Phase(const std::string& label) {
+  if (path_.empty()) return;
+  auto& registry = common::MetricsRegistry::Default();
+  phases_.emplace_back(label, registry.DeltaJson(last_));
+  last_ = registry.TakeSnapshot();
+}
+
+namespace {
+
+void AppendJsonKey(std::string* out, const std::string& label) {
+  out->push_back('"');
+  for (char c : label) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  *out += "\": ";
+}
+
+}  // namespace
+
 MetricsDump::~MetricsDump() {
-  if (!path_.empty()) WriteMetricsJson(path_);
+  if (path_.empty()) return;
+  if (phases_.empty()) {
+    WriteMetricsJson(path_);
+    return;
+  }
+  // Phased output: per-phase deltas plus the conventional full dump under
+  // "totals" so existing consumers keep working off one key.
+  std::string out = "{\n\"phases\": {\n";
+  bool first = true;
+  for (const auto& [label, delta] : phases_) {
+    if (!first) out += ",\n";
+    first = false;
+    AppendJsonKey(&out, label);
+    out += delta;
+  }
+  out += "},\n\"totals\": ";
+  out += common::MetricsRegistry::Default().ToJson();
+  out += "}\n";
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "metrics: cannot open %s\n", path_.c_str());
+    return;
+  }
+  const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+  std::fclose(f);
+  if (ok) std::fprintf(stderr, "metrics: wrote %s\n", path_.c_str());
 }
 
 }  // namespace loco::bench

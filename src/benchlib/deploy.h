@@ -16,13 +16,12 @@
 
 #include "baselines/client.h"
 #include "baselines/flavors.h"
+#include "common/metrics.h"
 #include "core/client.h"
 #include "core/dms.h"
 #include "core/fms.h"
 #include "core/object_store.h"
 #include "fs/client.h"
-#include "net/resilience.h"
-#include "net/tcp.h"
 #include "sim/transport.h"
 
 namespace loco::bench {
@@ -42,15 +41,23 @@ enum class System {
 std::string_view SystemName(System system) noexcept;
 bool IsLocoFs(System system) noexcept;
 
-// Routes disjoint opcode ranges to different handlers on one node.
+// Routes disjoint opcode ranges to different handlers on one node.  Forwards
+// the full HandlerContext so context-aware services behind the mux (the DMS
+// lease/push plane keys on ctx.client_id) see the caller's identity.
 class MuxHandler final : public net::RpcHandler {
  public:
   void Route(std::uint16_t lo, std::uint16_t hi, net::RpcHandler* handler) {
     routes_.push_back(Route_{lo, hi, handler});
   }
   net::RpcResponse Handle(std::uint16_t opcode, std::string_view payload) override {
+    return HandleCtx(opcode, payload, net::HandlerContext{});
+  }
+  net::RpcResponse HandleCtx(std::uint16_t opcode, std::string_view payload,
+                             const net::HandlerContext& ctx) override {
     for (const Route_& r : routes_) {
-      if (opcode >= r.lo && opcode <= r.hi) return r.handler->Handle(opcode, payload);
+      if (opcode >= r.lo && opcode <= r.hi) {
+        return r.handler->HandleCtx(opcode, payload, ctx);
+      }
     }
     return net::RpcResponse{ErrCode::kUnsupported, {}};
   }
@@ -99,59 +106,9 @@ struct DeployOptions {
 Deployment Deploy(System system, sim::SimCluster* cluster,
                   const DeployOptions& options);
 
-// ---------------------------------------------------------------------------
-// Remote (TCP) deployments — connect to already-running daemons instead of
-// instantiating servers in this process (docs/NET.md).
-
-// Daemon addresses for one LocoFS deployment, each a "host:port" string.
-struct RemoteEndpoints {
-  std::string dms;
-  std::vector<std::string> fms;
-  std::vector<std::string> object_stores;
-};
-
-// Parse a `--connect` spec: comma-separated `role=host:port` entries with
-// roles dms / fms / osd in any order, e.g.
-//   dms=127.0.0.1:9000,fms=127.0.0.1:9001,fms=127.0.0.1:9002,osd=127.0.0.1:9100
-// Requires exactly one dms and at least one each of fms and osd.
-Result<RemoteEndpoints> ParseConnectSpec(std::string_view spec);
-
-struct RemoteOptions {
-  bool cache_enabled = true;
-  std::uint64_t lease_ns = 30ull * 1'000'000'000;
-  net::TcpChannelOptions channel;
-  // Client resilience layer (net/resilience.h): retry with full-jitter
-  // backoff plus a per-endpoint circuit breaker, wrapped around the TCP
-  // channel.  Safe by default because the daemons deduplicate idempotent
-  // mutations server-side (net::DedupWindow) — a retried Create/Mkdir
-  // replays the cached response instead of double-applying.
-  bool resilience = true;
-  net::ResilienceOptions resilience_options;
-};
-
-// A client-side view of a remote deployment: the TCP channel with every
-// daemon registered (dms = node 0, fms = 1..N in list order — match each
-// daemon's --sid — object stores = 1000+i) plus the matching client config.
-struct RemoteDeployment {
-  std::unique_ptr<net::TcpChannel> channel;
-  // Present when RemoteOptions::resilience is on; wraps *channel.
-  std::unique_ptr<net::ResilientChannel> resilient;
-  core::LocoClient::Config config;
-
-  // The channel clients should issue calls on (the resilient wrapper when
-  // enabled, the bare TCP channel otherwise).
-  net::Channel& rpc() const noexcept {
-    return resilient ? static_cast<net::Channel&>(*resilient)
-                     : static_cast<net::Channel&>(*channel);
-  }
-
-  // Build a client-process library over rpc() (one per logical client;
-  // `now` supplies operation timestamps, e.g. wall-clock nanoseconds).
-  std::unique_ptr<fs::FileSystemClient> MakeClient(fs::TimeFn now) const;
-};
-
-Result<RemoteDeployment> ConnectRemote(const RemoteEndpoints& endpoints,
-                                       const RemoteOptions& options = {});
+// Remote (TCP) deployments: use core::ClientOptions + core::Connect()
+// (core/connect.h) — the former bench::ConnectRemote plumbing lives there
+// now, unified with the notify plane.
 
 // ---------------------------------------------------------------------------
 // Metrics exposition for benchmark binaries.
@@ -170,17 +127,30 @@ bool WriteMetricsJson(const std::string& path);
 
 // Scope guard a bench main() creates first thing: parses the flag and dumps
 // the registry when the run finishes.
+//
+// Sweeping benches additionally call Phase(label) at each sweep-point
+// boundary: the dump then becomes {"phases": {label: <delta>...},
+// "totals": <full registry>} where each delta holds only the counters and
+// histograms touched during that phase (per-bucket subtraction), so one run
+// yields per-configuration metrics instead of one conflated total.
 class MetricsDump {
  public:
-  MetricsDump(int& argc, char** argv) : path_(MetricsOutPath(argc, argv)) {}
+  MetricsDump(int& argc, char** argv);
   ~MetricsDump();
   MetricsDump(const MetricsDump&) = delete;
   MetricsDump& operator=(const MetricsDump&) = delete;
+
+  // Close the current phase: everything recorded since the previous Phase()
+  // call (or since construction) is dumped under `label`.  No-op when
+  // --metrics-out was not given.
+  void Phase(const std::string& label);
 
   const std::string& path() const noexcept { return path_; }
 
  private:
   std::string path_;
+  common::MetricsRegistry::Snapshot last_;
+  std::vector<std::pair<std::string, std::string>> phases_;
 };
 
 }  // namespace loco::bench

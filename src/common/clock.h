@@ -21,6 +21,17 @@ constexpr double ToMicros(Nanos n) noexcept { return static_cast<double>(n) / 1e
 constexpr double ToMillis(Nanos n) noexcept { return static_cast<double>(n) / 1e6; }
 constexpr double ToSeconds(Nanos n) noexcept { return static_cast<double>(n) / 1e9; }
 
+// Wall-clock nanoseconds since the Unix epoch (system_clock).  Used where a
+// timestamp must be comparable across processes on one host — e.g. the
+// notify plane stamps invalidation pushes so the receiving client can record
+// an end-to-end invalidation latency.  Not monotonic; never use for
+// deadlines or elapsed-time measurement (that is CpuTimer's job).
+inline Nanos WallClockNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
 // Monotonic real-time stopwatch (steady_clock).
 class CpuTimer {
  public:

@@ -40,6 +40,23 @@ class Histogram {
     for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
   }
 
+  // Per-bucket subtraction of an `earlier` snapshot of this same histogram:
+  // what remains is exactly the records made since the snapshot.  Lifetime
+  // min/max cannot be recovered for the interval, so the result keeps them
+  // as conservative bounds (percentiles/mean stay exact).
+  void Subtract(const Histogram& earlier) noexcept {
+    count_ -= std::min(count_, earlier.count_);
+    sum_ -= std::min(sum_, earlier.sum_);
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      buckets_[i] -= std::min(buckets_[i], earlier.buckets_[i]);
+    }
+    if (count_ == 0) {
+      min_ = 0;
+      max_ = 0;
+      sum_ = 0;
+    }
+  }
+
   void Reset() noexcept { *this = Histogram(); }
 
   std::uint64_t count() const noexcept { return count_; }

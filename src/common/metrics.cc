@@ -49,6 +49,32 @@ void AppendDouble(std::string* out, double v) {
   *out += buf;
 }
 
+// One histogram record in the exposition JSON (shared by ToJson/DeltaJson).
+void AppendHistogramJson(std::string* out, const std::string& unit,
+                         const Histogram& snap) {
+  *out += "{\"unit\": ";
+  AppendJsonString(out, unit);
+  *out += ", \"count\": ";
+  AppendU64(out, snap.count());
+  *out += ", \"sum\": ";
+  AppendI64(out, snap.sum());
+  *out += ", \"min\": ";
+  AppendI64(out, snap.min());
+  *out += ", \"max\": ";
+  AppendI64(out, snap.max());
+  *out += ", \"mean\": ";
+  AppendDouble(out, snap.Mean());
+  *out += ", \"p50\": ";
+  AppendI64(out, snap.Percentile(0.50));
+  *out += ", \"p90\": ";
+  AppendI64(out, snap.Percentile(0.90));
+  *out += ", \"p99\": ";
+  AppendI64(out, snap.Percentile(0.99));
+  *out += ", \"p999\": ";
+  AppendI64(out, snap.Percentile(0.999));
+  *out += "}";
+}
+
 }  // namespace
 
 void MetricsRegistry::GaugeHandle::Release() noexcept {
@@ -206,27 +232,62 @@ std::string MetricsRegistry::ToJson() const {
     out += first ? "\n    " : ",\n    ";
     first = false;
     AppendJsonString(&out, name);
-    out += ": {\"unit\": ";
-    AppendJsonString(&out, hist->unit());
-    out += ", \"count\": ";
-    AppendU64(&out, snap.count());
-    out += ", \"sum\": ";
-    AppendI64(&out, snap.sum());
-    out += ", \"min\": ";
-    AppendI64(&out, snap.min());
-    out += ", \"max\": ";
-    AppendI64(&out, snap.max());
-    out += ", \"mean\": ";
-    AppendDouble(&out, snap.Mean());
-    out += ", \"p50\": ";
-    AppendI64(&out, snap.Percentile(0.50));
-    out += ", \"p90\": ";
-    AppendI64(&out, snap.Percentile(0.90));
-    out += ", \"p99\": ";
-    AppendI64(&out, snap.Percentile(0.99));
-    out += ", \"p999\": ";
-    AppendI64(&out, snap.Percentile(0.999));
-    out += "}";
+    out += ": ";
+    AppendHistogramJson(&out, hist->unit(), snap);
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
+  // Collect the pointers under the registry lock, snapshot each histogram
+  // outside it (LatencyHistogram has its own mutex).
+  std::vector<std::pair<std::string, const LatencyHistogram*>> hists;
+  Snapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, counter] : counters_) {
+      snap.counters.emplace(name, counter->value());
+    }
+    hists.reserve(histograms_.size());
+    for (const auto& [name, hist] : histograms_) {
+      hists.emplace_back(name, hist.get());
+    }
+  }
+  for (const auto& [name, hist] : hists) {
+    snap.histograms.emplace(name,
+                            Snapshot::Hist{hist->unit(), hist->Snapshot()});
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::DeltaJson(const Snapshot& since) const {
+  const Snapshot now = TakeSnapshot();
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : now.counters) {
+    const auto it = since.counters.find(name);
+    const std::uint64_t base = it == since.counters.end() ? 0 : it->second;
+    const std::uint64_t delta = value >= base ? value - base : 0;
+    if (delta == 0) continue;
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ": ";
+    AppendU64(&out, delta);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : now.histograms) {
+    Histogram delta = hist.hist;
+    const auto it = since.histograms.find(name);
+    if (it != since.histograms.end()) delta.Subtract(it->second.hist);
+    if (delta.count() == 0) continue;
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ": ";
+    AppendHistogramJson(&out, hist.unit, delta);
   }
   out += "\n  }\n}\n";
   return out;
@@ -298,6 +359,7 @@ std::string_view RpcOpName(std::uint16_t opcode) {
     case 8: return "DmsUtimens";
     case 9: return "DmsAccess";
     case 10: return "DmsRename";
+    case 24: return "DmsAnnounce";
     case 32: return "FmsCreate";
     case 33: return "FmsRemove";
     case 34: return "FmsGetAttr";
@@ -330,6 +392,9 @@ std::string_view RpcOpName(std::uint16_t opcode) {
     case 112: return "NsExtract";
     case 113: return "NsLock";
     case 114: return "NsUnlock";
+    case 224: return "NotifyInvalidate";
+    case 225: return "NotifyServerUp";
+    case 240: return "CtlHello";
     default: break;
   }
   // Intern unknown opcodes so the returned view never dangles.

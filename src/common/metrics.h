@@ -150,6 +150,25 @@ class MetricsRegistry {
   std::string ToJson() const;
   std::string ToText() const;
 
+  // Point-in-time copy of every counter and histogram (gauges are
+  // owner-computed and excluded).  Feed a snapshot back to DeltaJson to
+  // render only the activity since it was taken — the per-phase dumps of
+  // bench --metrics-out use this.
+  struct Snapshot {
+    std::map<std::string, std::uint64_t, std::less<>> counters;
+    struct Hist {
+      std::string unit;
+      Histogram hist;
+    };
+    std::map<std::string, Hist, std::less<>> histograms;
+  };
+  Snapshot TakeSnapshot() const;
+
+  // JSON in the same shape as ToJson() (minus "gauges") holding counter
+  // deltas and per-bucket histogram subtractions against `since`.  Metrics
+  // untouched in the interval are omitted.
+  std::string DeltaJson(const Snapshot& since) const;
+
   // Zero every counter and histogram and drop retired gauge values.  Live
   // gauges are owner-computed and are left alone.
   void Reset();

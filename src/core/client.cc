@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/clock.h"
 #include "core/layout.h"
 #include "core/proto.h"
 #include "fs/path.h"
@@ -23,10 +24,47 @@ Status StatusFrom(const net::RpcResponse& resp) { return Status(resp.code); }
 
 }  // namespace
 
+void NotifyFanout::Add(LocoClient* client) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clients_.push_back(client);
+}
+
+void NotifyFanout::Remove(LocoClient* client) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clients_.erase(std::remove(clients_.begin(), clients_.end(), client),
+                 clients_.end());
+}
+
+void NotifyFanout::Invalidate(const std::string& path, bool subtree,
+                              std::uint64_t wall_ts_ns) {
+  // mu_ is held across the callbacks so ~LocoClient (which calls Remove)
+  // cannot complete while a push still holds its pointer.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (LocoClient* client : clients_) {
+    client->OnInvalidate(path, subtree, wall_ts_ns);
+  }
+}
+
+void NotifyFanout::Resync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (LocoClient* client : clients_) client->OnResync();
+}
+
 LocoClient::LocoClient(net::Channel& channel, Config config)
-    : channel_(channel), cfg_(std::move(config)), ring_(cfg_.fms) {}
+    : channel_(channel), cfg_(std::move(config)), ring_(cfg_.fms) {
+  if (cfg_.fanout) cfg_.fanout->Add(this);
+}
+
+LocoClient::~LocoClient() {
+  if (cfg_.fanout) cfg_.fanout->Remove(this);
+}
 
 void LocoClient::InvalidatePrefix(const std::string& path) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  InvalidatePrefixLocked(path);
+}
+
+void LocoClient::InvalidatePrefixLocked(const std::string& path) {
   const std::string prefix = path + "/";
   for (auto it = cache_.begin(); it != cache_.end();) {
     if (it->first == path || it->first.rfind(prefix, 0) == 0) {
@@ -39,6 +77,7 @@ void LocoClient::InvalidatePrefix(const std::string& path) {
 }
 
 void LocoClient::ClearCache() noexcept {
+  std::lock_guard<std::mutex> lock(cache_mu_);
   metric_invalidations_->Add(cache_.size());
   cache_.clear();
 }
@@ -46,6 +85,7 @@ void LocoClient::ClearCache() noexcept {
 void LocoClient::NoteSubdir(std::string_view parent, std::string_view name,
                             bool present) {
   if (!cfg_.cache_enabled) return;
+  std::lock_guard<std::mutex> lock(cache_mu_);
   const auto it = cache_.find(std::string(parent));
   if (it == cache_.end()) return;
   if (present) {
@@ -55,15 +95,50 @@ void LocoClient::NoteSubdir(std::string_view parent, std::string_view name,
   }
 }
 
+void LocoClient::OnInvalidate(const std::string& path, bool subtree,
+                              std::uint64_t wall_ts_ns) {
+  (void)subtree;  // prefix invalidation already covers the whole subtree
+  // Drop the directory and everything cached under it: a chmod on `path`
+  // changes the ancestor ACL evaluation every descendant lease relied on,
+  // so the conservative sweep matches what the local mutation paths do.
+  InvalidatePrefix(path);
+  if (wall_ts_ns != 0) {
+    const std::uint64_t now =
+        static_cast<std::uint64_t>(common::WallClockNs());
+    if (now > wall_ts_ns) {
+      metric_invalidation_latency_->Record(
+          static_cast<common::Nanos>(now - wall_ts_ns));
+    }
+  }
+}
+
+void LocoClient::OnResync() { ClearCache(); }
+
 net::Task<Result<fs::Attr>> LocoClient::LookupDir(std::string path,
                                                   std::uint32_t want,
                                                   std::string shadow_name) {
   if (cfg_.cache_enabled) {
-    const auto it = cache_.find(path);
-    if (it != cache_.end() && Now() < it->second.expires_at) {
-      ++cache_hits_;
-      metric_hits_->Add();
-      const fs::Attr& attr = it->second.attr;
+    // Copy the leased state out under the lock: a push-plane invalidation
+    // may erase the entry the moment the lock drops.
+    bool hit = false;
+    bool shadowed = false;
+    fs::Attr attr;
+    {
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      const auto it = cache_.find(path);
+      if (it != cache_.end() && Now() < it->second.expires_at) {
+        hit = true;
+        attr = it->second.attr;
+        shadowed = !shadow_name.empty() &&
+                   it->second.subdirs.count(shadow_name) != 0;
+        ++cache_hits_;
+        metric_hits_->Add();
+      } else {
+        ++cache_misses_;
+        metric_misses_->Add();
+      }
+    }
+    if (hit) {
       // Leased local evaluation, same order as the DMS: permission bits
       // first, then the subdirectory shadow check against the leased name
       // set (ancestor checks were covered when the lease was granted).
@@ -71,14 +146,9 @@ net::Task<Result<fs::Attr>> LocoClient::LookupDir(std::string path,
           !fs::CheckPermission(identity_, attr.mode, attr.uid, attr.gid, want)) {
         co_return ErrStatus(ErrCode::kPermission);
       }
-      if (!shadow_name.empty() &&
-          it->second.subdirs.count(shadow_name) != 0) {
-        co_return ErrStatus(ErrCode::kExists);
-      }
+      if (shadowed) co_return ErrStatus(ErrCode::kExists);
       co_return attr;
     }
-    ++cache_misses_;
-    metric_misses_->Add();
   }
   net::RpcResponse resp =
       co_await net::Call(channel_, cfg_.dms, proto::kDmsLookup,
@@ -90,6 +160,7 @@ net::Task<Result<fs::Attr>> LocoClient::LookupDir(std::string path,
     co_return ErrStatus(ErrCode::kCorruption);
   }
   if (cfg_.cache_enabled) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
     CacheEntry& entry = cache_[path];
     entry.attr = attr;
     entry.expires_at = Now() + cfg_.lease_ns;

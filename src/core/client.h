@@ -16,6 +16,8 @@
 //     kNotDir (no server holds both namespaces).
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -30,6 +32,30 @@
 
 namespace loco::core {
 
+class LocoClient;
+
+// Bridge between one net::NotifyListener and the LocoClient instances sharing
+// its mount: the listener's reader thread calls Invalidate/Resync, which fan
+// out to every registered client.  Clients register in their constructor and
+// deregister in their destructor, so the fanout must be owned shared_ptr-style
+// by both the mount and each client — a push arriving while a client is being
+// destroyed either completes before ~LocoClient returns or never sees it.
+class NotifyFanout {
+ public:
+  void Add(LocoClient* client);
+  void Remove(LocoClient* client);
+
+  // A leased directory changed on the server (wire::kNotifyInvalidate).
+  void Invalidate(const std::string& path, bool subtree,
+                  std::uint64_t wall_ts_ns);
+  // Pushes may have been missed (gap / reconnect): drop all cached state.
+  void Resync();
+
+ private:
+  std::mutex mu_;
+  std::vector<LocoClient*> clients_;
+};
+
 class LocoClient final : public fs::FileSystemClient {
  public:
   struct Config {
@@ -39,9 +65,14 @@ class LocoClient final : public fs::FileSystemClient {
     bool cache_enabled = true;                     // LocoFS-C vs LocoFS-NC
     std::uint64_t lease_ns = 30ull * 1'000'000'000;  // 30 s (§3.2.2)
     fs::TimeFn now;                                // operation timestamps
+    // Optional push plane (core::Connect wires this): the client registers
+    // with the fanout so server pushes invalidate its lease cache between
+    // operations instead of waiting out lease_ns.
+    std::shared_ptr<NotifyFanout> fanout;
   };
 
   LocoClient(net::Channel& channel, Config config);
+  ~LocoClient() override;
 
   // fs::FileSystemClient ------------------------------------------------
   net::Task<Status> Mkdir(std::string path, std::uint32_t mode) override;
@@ -80,10 +111,26 @@ class LocoClient final : public fs::FileSystemClient {
     identity_ = id;
   }
 
+  // Push-plane entry points, called from the notify listener's reader thread
+  // via NotifyFanout (the only cross-thread access the client supports; the
+  // coroutine API itself stays single-threaded).
+  void OnInvalidate(const std::string& path, bool subtree,
+                    std::uint64_t wall_ts_ns);
+  void OnResync();
+
   // Cache observability.
-  std::uint64_t cache_hits() const noexcept { return cache_hits_; }
-  std::uint64_t cache_misses() const noexcept { return cache_misses_; }
-  std::size_t cache_size() const noexcept { return cache_.size(); }
+  std::uint64_t cache_hits() const noexcept {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    return cache_hits_;
+  }
+  std::uint64_t cache_misses() const noexcept {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    return cache_misses_;
+  }
+  std::size_t cache_size() const noexcept {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    return cache_.size();
+  }
   void DropCache() { ClearCache(); }
 
  private:
@@ -110,6 +157,7 @@ class LocoClient final : public fs::FileSystemClient {
   net::Task<Status> ClassifyMissingFile(std::string path);
 
   void InvalidatePrefix(const std::string& path);
+  void InvalidatePrefixLocked(const std::string& path);
   void ClearCache() noexcept;
   // Erase `name` from / insert it into the cached subdir set of `parent`
   // (no-op when the parent holds no lease).
@@ -125,6 +173,10 @@ class LocoClient final : public fs::FileSystemClient {
   net::Channel& channel_;
   Config cfg_;
   HashRing ring_;
+  // Guards cache_, cache_hits_, cache_misses_: the notify listener's reader
+  // thread invalidates entries concurrently with the (otherwise
+  // single-threaded) operation path.  Never held across a co_await.
+  mutable std::mutex cache_mu_;
   std::unordered_map<std::string, CacheEntry> cache_;
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
@@ -136,6 +188,11 @@ class LocoClient final : public fs::FileSystemClient {
   common::Counter* metric_invalidations_ =
       &common::MetricsRegistry::Default().GetCounter(
           "client.cache.invalidations");
+  // Server-push wall_ts → local receipt delta: the end-to-end invalidation
+  // latency the push plane exists to shrink (docs/LEASES.md).
+  common::MetricsRegistry::LatencyHistogram* metric_invalidation_latency_ =
+      &common::MetricsRegistry::Default().GetHistogram(
+          "client.notify.invalidation_latency");
 };
 
 }  // namespace loco::core

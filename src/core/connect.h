@@ -1,0 +1,108 @@
+// The one way a process connects to a running LocoFS cluster.
+//
+// Every client binary (loco_shell, the benches, loco_fsck, the integration
+// tests) used to assemble the same stack by hand: parse a --connect spec,
+// build a TcpChannel, register node ids, wrap a ResilientChannel, and thread
+// a LocoClient::Config around.  core::Connect() collapses that into one call:
+//
+//   auto opts = core::ClientOptions::FromSpec(
+//       "dms=127.0.0.1:9000,fms=127.0.0.1:9001,osd=127.0.0.1:9100");
+//   auto mount = core::Connect(std::move(*opts));
+//   auto client = mount->MakeClient(now_fn);
+//
+// The MountHandle owns the whole client-side stack:
+//   * the TcpChannel with every daemon registered under the canonical node
+//     ids (dms = 0, fms = 1..N in spec order — match each daemon's --sid —
+//     object stores = 1000+i);
+//   * the optional ResilientChannel (retry + circuit breakers);
+//   * the notify plane: a NotifyListener on a dedicated connection to the
+//     DMS plus the NotifyFanout that routes pushes into every LocoClient
+//     made from this mount (lease invalidation in ~1 RTT instead of the
+//     lease timeout) and breaker gossip into the ResilientChannel.
+// Each mount gets a process-unique client id; the DMS uses it to address
+// pushes and to exempt the mutating mount from its own invalidations.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/client.h"
+#include "net/notify.h"
+#include "net/resilience.h"
+#include "net/tcp.h"
+
+namespace loco::core {
+
+struct ClientOptions {
+  // Daemon addresses, each "host:port".  Exactly one DMS, at least one FMS
+  // and one object store.
+  std::string dms;
+  std::vector<std::string> fms;
+  std::vector<std::string> object_stores;
+
+  // LocoFS-C vs LocoFS-NC; lease_ns = 0 also disables caching.
+  bool cache_enabled = true;
+  std::uint64_t lease_ns = 30ull * 1'000'000'000;
+
+  // Transport tuning (deadlines, connect retry, fault plane...).
+  net::TcpChannelOptions channel;
+
+  // Retry + per-endpoint circuit breakers (net/resilience.h).  Safe by
+  // default because the daemons deduplicate idempotent mutations server-side
+  // (net::DedupWindow).
+  bool resilience = true;
+  net::ResilienceOptions resilience_options;
+
+  // Server-push plane (net/notify.h): lease invalidation + breaker gossip on
+  // a dedicated connection to the DMS.  Degrades automatically against a
+  // server that does not speak it.
+  bool notify = true;
+
+  // Parse a `--connect` spec into the endpoint fields (everything else keeps
+  // its default): comma-separated `role=host:port` entries with roles
+  // dms / fms / osd in any order, e.g.
+  //   dms=127.0.0.1:9000,fms=127.0.0.1:9001,fms=127.0.0.1:9002,osd=127.0.0.1:9100
+  static Result<ClientOptions> FromSpec(std::string_view spec);
+
+  // Fluent knobs for call sites that tweak one or two fields.
+  ClientOptions& WithCache(bool on) { cache_enabled = on; return *this; }
+  ClientOptions& WithLease(std::uint64_t ns) { lease_ns = ns; return *this; }
+  ClientOptions& WithResilience(bool on) { resilience = on; return *this; }
+  ClientOptions& WithNotify(bool on) { notify = on; return *this; }
+};
+
+// A mounted client-side view of a remote deployment.  Movable; destroying it
+// stops the notify listener and closes every connection.  LocoClients made
+// from it must not outlive it.
+struct MountHandle {
+  std::unique_ptr<net::TcpChannel> channel;
+  // Present when ClientOptions::resilience; wraps *channel.
+  std::unique_ptr<net::ResilientChannel> resilient;
+  // Present when ClientOptions::notify; routes pushes into fanout and
+  // breaker gossip into resilient.
+  std::shared_ptr<NotifyFanout> fanout;
+  std::unique_ptr<net::NotifyListener> listener;
+  // Config template for MakeClient (node ids, cache policy, fanout).
+  LocoClient::Config config;
+  // This mount's identity on the wire.
+  std::uint64_t client_id = 0;
+
+  // The channel clients should issue calls on (the resilient wrapper when
+  // enabled, the bare TCP channel otherwise).
+  net::Channel& rpc() const noexcept {
+    return resilient ? static_cast<net::Channel&>(*resilient)
+                     : static_cast<net::Channel&>(*channel);
+  }
+
+  // Build a client-process library over rpc() (one per logical client;
+  // `now` supplies operation timestamps, e.g. wall-clock nanoseconds).
+  std::unique_ptr<fs::FileSystemClient> MakeClient(fs::TimeFn now) const;
+};
+
+Result<MountHandle> Connect(const ClientOptions& options);
+
+}  // namespace loco::core

@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "common/clock.h"
 #include "common/codec.h"
 #include "common/hash.h"
 #include "core/proto.h"
@@ -33,7 +34,8 @@ std::uint64_t PathLockKey(std::string_view path) {
 
 }  // namespace
 
-DirectoryMetadataServer::DirectoryMetadataServer(const Options& options) {
+DirectoryMetadataServer::DirectoryMetadataServer(const Options& options)
+    : leases_(options.lease) {
   // Each store gets its own subdirectory so their WALs never collide.
   kv::KvOptions dirs_opt = options.kv;
   kv::KvOptions dirents_opt = options.kv;
@@ -108,10 +110,20 @@ Result<fs::Attr> DirectoryMetadataServer::ResolveDir(std::string_view path,
 
 net::RpcResponse DirectoryMetadataServer::Handle(std::uint16_t opcode,
                                                  std::string_view payload) {
+  return HandleCtx(opcode, payload, net::HandlerContext{});
+}
+
+net::RpcResponse DirectoryMetadataServer::HandleCtx(
+    std::uint16_t opcode, std::string_view payload,
+    const net::HandlerContext& ctx) {
   const common::ServerOpCounters::PerOp& m = op_metrics_.For(opcode);
   m.calls->Add();
   net::RpcResponse resp = Dispatch(opcode, payload);
-  if (resp.code != ErrCode::kOk) m.errors->Add();
+  if (resp.code != ErrCode::kOk) {
+    m.errors->Add();
+  } else {
+    NotifySideEffects(opcode, payload, ctx.client_id);
+  }
   return resp;
 }
 
@@ -139,7 +151,110 @@ net::RpcResponse DirectoryMetadataServer::Dispatch(std::uint16_t opcode,
     case proto::kDmsScanDirents: return ScanDirents();
     case proto::kDmsRepairDirent: return RepairDirent(payload);
     case proto::kDmsDropDirents: return DropDirents(payload);
+    case proto::kDmsAnnounce: return Announce(payload);
     default: return Fail(ErrCode::kUnsupported);
+  }
+}
+
+// ----------------------------------------------------------- push plane --
+
+void DirectoryMetadataServer::NotifySideEffects(std::uint16_t opcode,
+                                                std::string_view payload,
+                                                std::uint64_t client) {
+  if (notifier_ == nullptr) return;
+  switch (opcode) {
+    case proto::kDmsLookup: {
+      // A successful Lookup is a lease grant — remember who to invalidate.
+      if (client == 0) return;  // anonymous peer: no push session possible
+      std::string path, shadow_name;
+      fs::Identity who;
+      std::uint32_t want = 0;
+      if (!fs::Unpack(payload, path, who, want, shadow_name)) return;
+      leases_.Grant(path, client,
+                    static_cast<std::uint64_t>(common::CpuTimer::Now()));
+      lease_grants_->Add();
+      return;
+    }
+    case proto::kDmsMkdir: {
+      std::string path;
+      std::uint32_t mode = 0;
+      fs::Identity who;
+      std::uint64_t ts = 0;
+      if (!fs::Unpack(payload, path, mode, who, ts)) return;
+      // The parent's leased subdir list grew.
+      PushInvalidate(std::string(fs::ParentPath(path)), false, client);
+      return;
+    }
+    case proto::kDmsRmdir: {
+      std::string path;
+      fs::Identity who;
+      std::uint8_t files_checked = 0;
+      if (!fs::Unpack(payload, path, who, files_checked)) return;
+      PushInvalidate(path, false, client);
+      PushInvalidate(std::string(fs::ParentPath(path)), false, client);
+      return;
+    }
+    case proto::kDmsChmod: {
+      std::string path;
+      fs::Identity who;
+      std::uint32_t mode = 0;
+      std::uint64_t ts = 0;
+      if (!fs::Unpack(payload, path, who, mode, ts)) return;
+      PushInvalidate(path, false, client);
+      return;
+    }
+    case proto::kDmsChown: {
+      std::string path;
+      fs::Identity who;
+      std::uint32_t uid = 0, gid = 0;
+      std::uint64_t ts = 0;
+      if (!fs::Unpack(payload, path, who, uid, gid, ts)) return;
+      PushInvalidate(path, false, client);
+      return;
+    }
+    case proto::kDmsUtimens: {
+      std::string path;
+      fs::Identity who;
+      std::uint64_t mtime = 0, atime = 0;
+      if (!fs::Unpack(payload, path, who, mtime, atime)) return;
+      PushInvalidate(path, false, client);
+      return;
+    }
+    case proto::kDmsRename: {
+      std::string from, to;
+      fs::Identity who;
+      if (!fs::Unpack(payload, from, to, who)) return;
+      // Every lease under the moved subtree names a path that no longer
+      // exists; both parents' subdir lists changed.
+      PushInvalidate(from, true, client);
+      PushInvalidate(std::string(fs::ParentPath(from)), false, client);
+      PushInvalidate(std::string(fs::ParentPath(to)), false, client);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void DirectoryMetadataServer::PushInvalidate(const std::string& path,
+                                             bool subtree,
+                                             std::uint64_t client) {
+  const std::vector<std::uint64_t> targets = leases_.Collect(
+      path, subtree, client,
+      static_cast<std::uint64_t>(common::CpuTimer::Now()));
+  if (targets.empty()) return;
+  net::InvalidateEvent event;
+  event.path = path;
+  event.subtree = subtree;
+  event.wall_ts_ns = static_cast<std::uint64_t>(common::WallClockNs());
+  const std::string bytes = net::EncodeInvalidate(event);
+  for (const std::uint64_t target : targets) {
+    if (notifier_->PushNotify(target, net::wire::kNotifyInvalidate, bytes)) {
+      invalidations_pushed_->Add();
+    } else {
+      // No live push session: its watches are undeliverable, drop them all.
+      leases_.Drop(target);
+    }
   }
 }
 
@@ -454,6 +569,24 @@ net::RpcResponse DirectoryMetadataServer::DropDirents(std::string_view payload) 
   // Only reasonable against a uuid whose d-inode is gone (rmdir crash
   // leftovers); fsck verifies that before asking.
   (void)dirents_->Delete(DirentKey(uuid));
+  return Ok();
+}
+
+net::RpcResponse DirectoryMetadataServer::Announce(std::string_view payload) {
+  std::uint32_t node = 0;
+  std::uint64_t epoch = 0;
+  if (!fs::Unpack(payload, node, epoch)) return BadRequest();
+  // Gossip the restart to every notify session so clients close the node's
+  // circuit breaker immediately.  Without a notifier this is a harmless
+  // no-op: breakers fall back to the half-open probe interval.
+  if (notifier_ != nullptr) {
+    net::ServerUpEvent event;
+    event.node = node;
+    event.epoch = epoch;
+    event.wall_ts_ns = static_cast<std::uint64_t>(common::WallClockNs());
+    (void)notifier_->BroadcastNotify(net::wire::kNotifyServerUp,
+                                     net::EncodeServerUp(event));
+  }
   return Ok();
 }
 

@@ -28,7 +28,9 @@
 
 #include "common/metrics.h"
 #include "core/layout.h"
+#include "core/lease_table.h"
 #include "kvstore/kv.h"
+#include "net/notify.h"
 #include "net/rpc.h"
 
 namespace loco::core {
@@ -45,12 +47,24 @@ class DirectoryMetadataServer final : public net::RpcHandler {
     // Post-construction wrapper applied to each store (fault injection:
     // daemons install kv::FaultyKv here when --fault-spec arms KV faults).
     std::function<std::unique_ptr<kv::Kv>(std::unique_ptr<kv::Kv>)> kv_decorator;
+    // Lease bookkeeping for the push plane: lease term granted per Lookup and
+    // the watch-table bound (docs/LEASES.md).  lease.lease_ns must match the
+    // clients' cache TTL.
+    LeaseTable::Options lease;
   };
 
   DirectoryMetadataServer() : DirectoryMetadataServer(Options{}) {}
   explicit DirectoryMetadataServer(const Options& options);
 
+  // Wire the push plane (net::TcpServer).  Until this is called — and for
+  // clients that never negotiated notify — mutations are visible to lease
+  // holders only after the lease expires, exactly the pre-push behavior.
+  // `notifier` must outlive the server; call before serving traffic.
+  void SetNotifier(net::Notifier* notifier) noexcept { notifier_ = notifier; }
+
   net::RpcResponse Handle(std::uint16_t opcode, std::string_view payload) override;
+  net::RpcResponse HandleCtx(std::uint16_t opcode, std::string_view payload,
+                             const net::HandlerContext& ctx) override;
 
   // Store introspection for tests and benchmarks.
   const kv::Kv& dir_kv() const noexcept { return *dirs_; }
@@ -65,6 +79,15 @@ class DirectoryMetadataServer final : public net::RpcHandler {
                               std::uint32_t want) const;
 
   net::RpcResponse Dispatch(std::uint16_t opcode, std::string_view payload);
+
+  // Post-success push-plane side effects for `opcode`: lease grants (Lookup)
+  // and invalidation pushes (mutations).  No-op until SetNotifier.
+  void NotifySideEffects(std::uint16_t opcode, std::string_view payload,
+                         std::uint64_t client);
+  // Push kNotifyInvalidate to every live watcher of `path` (and of the whole
+  // subtree under it when `subtree`), excluding the originating `client`.
+  void PushInvalidate(const std::string& path, bool subtree,
+                      std::uint64_t client);
 
   net::RpcResponse Mkdir(std::string_view payload);
   net::RpcResponse Rmdir(std::string_view payload);
@@ -81,6 +104,7 @@ class DirectoryMetadataServer final : public net::RpcHandler {
   net::RpcResponse ScanDirents();
   net::RpcResponse RepairDirent(std::string_view payload);
   net::RpcResponse DropDirents(std::string_view payload);
+  net::RpcResponse Announce(std::string_view payload);
 
   std::unique_ptr<kv::Kv> dirs_;     // full path -> 48-byte d-inode
   std::unique_ptr<kv::Kv> dirents_;  // dir uuid -> concatenated subdir names
@@ -93,8 +117,17 @@ class DirectoryMetadataServer final : public net::RpcHandler {
   // create/remove, keyed by the directory path's hash.
   common::LockTable dir_locks_{64};
 
+  // Push plane: notify sink (owned by the hosting server) + lease watches.
+  net::Notifier* notifier_ = nullptr;
+  LeaseTable leases_;
+
   common::ServerOpCounters op_metrics_{&common::MetricsRegistry::Default(),
                                        "server.dms"};
+  common::Counter* lease_grants_ = &common::MetricsRegistry::Default()
+                                        .GetCounter("server.dms.lease.grants");
+  common::Counter* invalidations_pushed_ =
+      &common::MetricsRegistry::Default().GetCounter(
+          "server.dms.lease.invalidations_pushed");
   // server.dms.kv.* gauges aggregating both stores (RAII: unregistered with
   // the server).
   std::vector<common::MetricsRegistry::GaugeHandle> kv_gauges_;

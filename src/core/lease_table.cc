@@ -1,0 +1,96 @@
+#include "core/lease_table.h"
+
+#include <algorithm>
+
+namespace loco::core {
+
+void LeaseTable::Grant(const std::string& path, std::uint64_t client,
+                       std::uint64_t now) {
+  if (client == 0) return;
+  const std::uint64_t expiry = now + options_.lease_ns;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& holders = watches_[path];
+  auto it = holders.find(client);
+  if (it != holders.end()) {
+    // Refresh: the old by_expiry_ twin goes stale and is skipped lazily.
+    it->second = expiry;
+  } else {
+    if (count_ >= options_.max_watches) MakeRoomLocked(now);
+    holders.emplace(client, expiry);
+    ++count_;
+  }
+  by_expiry_.emplace(expiry, ExpiryKey{path, client});
+}
+
+std::vector<std::uint64_t> LeaseTable::Collect(const std::string& path,
+                                               bool subtree,
+                                               std::uint64_t exclude,
+                                               std::uint64_t now) {
+  std::vector<std::uint64_t> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string prefix = path == "/" ? "/" : path + "/";
+  auto it = watches_.find(path);
+  if (it == watches_.end() && subtree) it = watches_.lower_bound(prefix);
+  while (it != watches_.end()) {
+    const bool exact = it->first == path;
+    if (!exact) {
+      if (!subtree || it->first.compare(0, prefix.size(), prefix) != 0) break;
+    }
+    for (const auto& [client, expiry] : it->second) {
+      if (client != exclude && expiry > now) out.push_back(client);
+    }
+    count_ -= it->second.size();
+    it = watches_.erase(it);
+    if (exact && subtree && it == watches_.end()) {
+      // `path` sorts before `path + "/"` but not necessarily adjacent to it
+      // ("/a" < "/a.b" < "/a/"): reseek to the subtree range.
+      it = watches_.lower_bound(prefix);
+    } else if (exact && subtree && it->first.compare(0, prefix.size(), prefix) != 0) {
+      it = watches_.lower_bound(prefix);
+    } else if (exact && !subtree) {
+      break;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void LeaseTable::Drop(std::uint64_t client) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = watches_.begin(); it != watches_.end();) {
+    count_ -= it->second.erase(client);
+    it = it->second.empty() ? watches_.erase(it) : std::next(it);
+  }
+}
+
+std::size_t LeaseTable::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+void LeaseTable::EraseLocked(const std::string& path, std::uint64_t client,
+                             std::uint64_t expiry) {
+  auto it = watches_.find(path);
+  if (it == watches_.end()) return;
+  auto holder = it->second.find(client);
+  if (holder == it->second.end() || holder->second != expiry) return;
+  it->second.erase(holder);
+  if (it->second.empty()) watches_.erase(it);
+  --count_;
+}
+
+void LeaseTable::MakeRoomLocked(std::uint64_t now) {
+  // Pop from the expiry heap until one live watch is gone; stale twins
+  // (refreshed or already-consumed watches) just fall out along the way.
+  while (!by_expiry_.empty() && count_ >= options_.max_watches) {
+    auto it = by_expiry_.begin();
+    const std::size_t before = count_;
+    EraseLocked(it->second.path, it->second.client, it->first);
+    const bool expired = it->first <= now;
+    by_expiry_.erase(it);
+    if (count_ < before && !expired) break;  // evicted one live watch
+  }
+}
+
+}  // namespace loco::core

@@ -1,0 +1,84 @@
+// Server-side lease/watch bookkeeping for the DMS push plane (docs/LEASES.md).
+//
+// Every kDmsLookup that carries a client identity registers a watch: "client C
+// holds a lease on directory P until now + lease_ns".  When a mutation changes
+// P (or, for rename, a whole subtree), the DMS collects the live watchers and
+// pushes wire::kNotifyInvalidate to each of them — shrinking the remote-writer
+// staleness window from the full lease term to roughly one RTT.  The lease
+// timeout itself stays authoritative: a client that misses the push (stream
+// down, frame dropped) is still correct, just slower to notice.
+//
+// The table is bounded: at most `max_watches` live entries.  When a grant
+// would exceed the bound, expired watches are swept first; if the table is
+// still full the soonest-to-expire watch is evicted (its holder merely loses
+// the push and falls back to the lease timeout, so eviction is always safe).
+//
+// Thread safety: all methods take an internal mutex; DMS handlers call in
+// from many TcpServer workers at once.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace loco::core {
+
+class LeaseTable {
+ public:
+  struct Options {
+    // Lease term granted to a Lookup; must match the client's cache TTL.
+    std::uint64_t lease_ns = 30ull * 1'000'000'000;
+    // Upper bound on live (path, client) watches.
+    std::size_t max_watches = 65536;
+  };
+
+  LeaseTable() : LeaseTable(Options()) {}
+  explicit LeaseTable(Options options) : options_(options) {}
+
+  // Record that `client` leased `path` at steady-clock instant `now`.
+  // Re-granting refreshes the expiry.
+  void Grant(const std::string& path, std::uint64_t client, std::uint64_t now);
+
+  // Collect the live watchers of `path` — plus every path strictly under it
+  // when `subtree` — excluding `exclude`, and *consume* their watches (an
+  // invalidated lease is void; the holder re-leases on its next Lookup).
+  // Expired watches encountered along the way are dropped, not returned.
+  std::vector<std::uint64_t> Collect(const std::string& path, bool subtree,
+                                     std::uint64_t exclude, std::uint64_t now);
+
+  // Forget every watch of `client` (its push stream is gone, so pushes to it
+  // can no longer be delivered).
+  void Drop(std::uint64_t client);
+
+  // Live watch count (expired-but-unswept entries included).
+  std::size_t size() const;
+
+  std::uint64_t lease_ns() const noexcept { return options_.lease_ns; }
+
+ private:
+  struct ExpiryKey {
+    std::string path;
+    std::uint64_t client = 0;
+  };
+
+  // Caller holds mu_.  Removes the watch and its by-expiry twin.
+  void EraseLocked(const std::string& path, std::uint64_t client,
+                   std::uint64_t expiry);
+  // Caller holds mu_.  Frees at least one slot: sweep expired watches, then
+  // evict the soonest-to-expire live one.
+  void MakeRoomLocked(std::uint64_t now);
+
+  const Options options_;
+  mutable std::mutex mu_;
+  // path -> {client -> expiry}; ordered so rename subtree invalidation is a
+  // prefix range scan, mirroring the B+-tree range move it reacts to.
+  std::map<std::string, std::map<std::uint64_t, std::uint64_t>> watches_;
+  // expiry -> (path, client) for bounded-size eviction.  Entries go stale
+  // when a watch is refreshed or consumed; lazily skipped on pop.
+  std::multimap<std::uint64_t, ExpiryKey> by_expiry_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace loco::core

@@ -53,6 +53,13 @@ enum DmsOp : std::uint16_t {
   // Drop the whole dirent list keyed by a uuid whose d-inode no longer
   // exists (rmdir crash leftovers).  [dir_uuid] -> []
   kDmsDropDirents = 23,
+
+  // Breaker gossip: a daemon (FMS/OSD — or the DMS itself via its startup
+  // path) announces "I am up, incarnation `epoch`".  The DMS broadcasts a
+  // wire::kNotifyServerUp to every notify session so clients close the
+  // node's circuit breaker immediately instead of waiting out the half-open
+  // probe interval.  [node u32, epoch u64] -> []
+  kDmsAnnounce = 24,
 };
 
 // ------------------------------ FMS (File Metadata Server) -----------------

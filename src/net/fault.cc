@@ -68,6 +68,10 @@ Result<FaultSpec> FaultSpec::Parse(std::string_view text) {
       ok = ParseProbability(value, &spec.kv_put_fail);
     } else if (key == "kv_fail_after") {
       ok = ParseU64(value, &spec.kv_fail_after);
+    } else if (key == "notify_drop") {
+      ok = ParseProbability(value, &spec.notify_drop);
+    } else if (key == "notify_dup") {
+      ok = ParseProbability(value, &spec.notify_dup);
     } else {
       return Result<FaultSpec>(ErrCode::kInvalid,
                                "unknown fault-spec key: " + std::string(key));
@@ -82,7 +86,8 @@ Result<FaultSpec> FaultSpec::Parse(std::string_view text) {
 
 bool FaultSpec::Armed() const noexcept {
   return drop > 0 || dup > 0 || delay > 0 || reset > 0 || short_write > 0 ||
-         crash_after > 0 || kv_put_fail > 0 || kv_fail_after > 0;
+         crash_after > 0 || kv_put_fail > 0 || kv_fail_after > 0 ||
+         notify_drop > 0 || notify_dup > 0;
 }
 
 FaultInjector::FaultInjector(const FaultSpec& spec)
@@ -95,6 +100,8 @@ FaultInjector::FaultInjector(const FaultSpec& spec)
   short_write_count_ = &reg.GetCounter("faults.injected.short_write");
   crash_count_ = &reg.GetCounter("faults.injected.crash");
   kv_put_fail_count_ = &reg.GetCounter("faults.injected.kv_put_fail");
+  notify_drop_count_ = &reg.GetCounter("faults.injected.notify_drop");
+  notify_dup_count_ = &reg.GetCounter("faults.injected.notify_dup");
 }
 
 FaultInjector::FrameFate FaultInjector::OnServerFrame() {
@@ -133,6 +140,22 @@ bool FaultInjector::ShortWriteResponse() {
   if (!rng_.Chance(spec_.short_write)) return false;
   short_write_count_->Add();
   return true;
+}
+
+FaultInjector::NotifyFate FaultInjector::OnNotifyFrame() {
+  NotifyFate fate;
+  if (spec_.notify_drop <= 0 && spec_.notify_dup <= 0) return fate;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spec_.notify_drop > 0 && rng_.Chance(spec_.notify_drop)) {
+    notify_drop_count_->Add();
+    fate.drop = true;
+    return fate;
+  }
+  if (spec_.notify_dup > 0 && rng_.Chance(spec_.notify_dup)) {
+    notify_dup_count_->Add();
+    fate.dup = true;
+  }
+  return fate;
 }
 
 common::Nanos FaultInjector::OnClientSend() {

@@ -21,6 +21,11 @@
 //   kv_put_fail=P   fail a KV Put/PatchValue with kIo
 //   kv_fail_after=N all KV puts fail after N successes (torn multi-key
 //                   sequences: earlier keys applied, later ones lost)
+//   notify_drop=P   swallow an outbound kNotify push frame (its sequence
+//                   number is still consumed, so the client sees a gap and
+//                   resynchronizes)
+//   notify_dup=P    send a kNotify push frame twice with the same sequence
+//                   number (the client must discard the stale copy)
 //
 // Probabilities are in [0, 1].  Every injected fault increments a
 // `faults.injected.<kind>` counter so runs can attest what actually fired.
@@ -49,6 +54,8 @@ struct FaultSpec {
   std::uint64_t crash_after = 0;
   double kv_put_fail = 0.0;
   std::uint64_t kv_fail_after = 0;
+  double notify_drop = 0.0;
+  double notify_dup = 0.0;
 
   // Parse the comma-separated `key=value` grammar above.  Unknown keys and
   // out-of-range probabilities are kInvalid.
@@ -80,6 +87,14 @@ class FaultInjector {
   // True if this response should be truncated mid-frame (conn then drops).
   bool ShortWriteResponse();
 
+  // Fate of one outbound kNotify push frame (TcpServer calls this once per
+  // push per session).
+  struct NotifyFate {
+    bool drop = false;
+    bool dup = false;
+  };
+  NotifyFate OnNotifyFrame();
+
   // Client-side stall before sending a request (TcpChannel hook).
   common::Nanos OnClientSend();
 
@@ -101,6 +116,8 @@ class FaultInjector {
   common::Counter* short_write_count_;
   common::Counter* crash_count_;
   common::Counter* kv_put_fail_count_;
+  common::Counter* notify_drop_count_;
+  common::Counter* notify_dup_count_;
 };
 
 }  // namespace loco::net

@@ -20,6 +20,19 @@ ResilientChannel::ResilientChannel(Channel* inner, ResilienceOptions options)
   retries_ = &reg.GetCounter("rpc.resilient.retries");
   fast_fails_ = &reg.GetCounter("rpc.resilient.fast_fails");
   breaker_opens_ = &reg.GetCounter("rpc.resilient.breaker_opens");
+  gossip_resets_ = &reg.GetCounter("rpc.resilient.gossip_resets");
+}
+
+void ResilientChannel::NotifyServerUp(NodeId server) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = breakers_.find(server);
+  if (it == breakers_.end()) return;
+  Breaker& b = it->second;
+  if (b.consecutive_failures == 0 && b.open_until == 0 && !b.probing) return;
+  b.consecutive_failures = 0;
+  b.open_until = 0;
+  b.probing = false;
+  gossip_resets_->Add();
 }
 
 void ResilientChannel::CallAsync(NodeId server, std::uint16_t opcode,

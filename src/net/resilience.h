@@ -17,8 +17,13 @@
 //   * After `breaker_open_ns` the breaker goes half-open: exactly one probe
 //     call is let through; success closes the breaker, failure re-opens it.
 //
+// The notify plane short-circuits the probe wait: when the DMS broadcasts a
+// kNotifyServerUp (a restarted daemon announced itself), the client calls
+// NotifyServerUp(node) and the breaker closes immediately — the next call
+// goes straight to the wire instead of waiting out breaker_open_ns.
+//
 // Metrics: rpc.resilient.retries, rpc.resilient.fast_fails,
-// rpc.resilient.breaker_opens.
+// rpc.resilient.breaker_opens, rpc.resilient.gossip_resets.
 #pragma once
 
 #include <cstdint>
@@ -63,6 +68,10 @@ class ResilientChannel final : public Channel {
 
   BreakerState breaker_state(NodeId server);
 
+  // Breaker gossip: `server` just announced it is up — close its breaker so
+  // traffic resumes immediately (no-op when the breaker is already closed).
+  void NotifyServerUp(NodeId server);
+
  private:
   struct Breaker {
     int consecutive_failures = 0;
@@ -84,6 +93,7 @@ class ResilientChannel final : public Channel {
   common::Counter* retries_;
   common::Counter* fast_fails_;
   common::Counter* breaker_opens_;
+  common::Counter* gossip_resets_;
 };
 
 }  // namespace loco::net

@@ -44,11 +44,31 @@ struct RpcResponse {
   bool ok() const noexcept { return code == ErrCode::kOk; }
 };
 
+// Transport-provided context for one request.  Only transports with a wire
+// identity fill it in: net::TcpServer passes the client id learned from the
+// connection's hello (0 for v1 peers or anonymous clients) so handlers can
+// attribute requests — e.g. the DMS excludes the mutating client from its
+// own lease invalidations.
+struct HandlerContext {
+  std::uint64_t client_id = 0;
+  std::uint64_t trace_id = 0;
+};
+
 // Server-side request handler.
 class RpcHandler {
  public:
   virtual ~RpcHandler() = default;
   virtual RpcResponse Handle(std::uint16_t opcode, std::string_view payload) = 0;
+
+  // Context-aware entry point; transports that know who is calling use this.
+  // Defaults to the context-free Handle so existing handlers work unchanged.
+  // Wrapping handlers (mux routers, fault decorators) MUST forward this
+  // overload too or the context is silently dropped.
+  virtual RpcResponse HandleCtx(std::uint16_t opcode, std::string_view payload,
+                                const HandlerContext& ctx) {
+    (void)ctx;
+    return Handle(opcode, payload);
+  }
 };
 
 // Per-call metadata carried alongside a request.  Transports that speak a

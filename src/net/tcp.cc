@@ -146,6 +146,11 @@ Status RecvFrame(int fd, wire::FrameReader* reader, wire::Frame* out,
 
 }  // namespace
 
+int DialTcp(const std::string& host, std::uint16_t port,
+            common::Nanos deadline_abs) {
+  return ConnectOnce(host, port, deadline_abs);
+}
+
 bool ParseHostPort(std::string_view spec, std::string* host,
                    std::uint16_t* port) {
   const std::size_t colon = spec.rfind(':');
@@ -197,6 +202,10 @@ struct TcpServer::Conn {
   std::string out;          // pending response bytes
   std::size_t out_pos = 0;  // bytes of `out` already written
   bool dead = false;        // write side failed; remove on the next pass
+  // Hello state (loop thread only).
+  std::uint64_t client_id = 0;   // announced identity; 0 = anonymous
+  bool notify = false;           // this conn is its client's notify session
+  std::uint64_t notify_seq = 0;  // last push sequence number sent
   // Worker mode: responses must leave in decode order even though workers
   // finish in any order.
   std::uint64_t next_seq = 0;    // assigned to the next decoded frame
@@ -320,10 +329,55 @@ void TcpServer::Stop() {
   // Releasing the handles retires the final gauge values into the registry,
   // so end-of-run --metrics-out dumps still carry the worker count.
   gauges_.clear();
+  std::scoped_lock lock(notify_mu_);
+  notify_sessions_.clear();
+  pending_notify_.clear();
+}
+
+bool TcpServer::PushNotify(std::uint64_t client_id, std::uint16_t opcode,
+                           std::string payload) {
+  if (client_id == 0 || !running_.load(std::memory_order_acquire)) return false;
+  {
+    std::scoped_lock lock(notify_mu_);
+    if (notify_sessions_.find(client_id) == notify_sessions_.end()) {
+      common::MetricsRegistry::Default()
+          .GetCounter("notify.server.no_session")
+          .Add();
+      return false;
+    }
+    pending_notify_.push_back(PendingNotify{client_id, opcode, std::move(payload)});
+  }
+  const char byte = 0;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
+  return true;
+}
+
+std::size_t TcpServer::BroadcastNotify(std::uint16_t opcode,
+                                       std::string payload) {
+  if (!running_.load(std::memory_order_acquire)) return 0;
+  std::size_t sessions = 0;
+  {
+    std::scoped_lock lock(notify_mu_);
+    sessions = notify_sessions_.size();
+    if (sessions == 0) return 0;
+    pending_notify_.push_back(PendingNotify{0, opcode, std::move(payload)});
+  }
+  common::MetricsRegistry::Default()
+      .GetCounter("notify.server.broadcasts")
+      .Add();
+  const char byte = 0;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
+  return sessions;
+}
+
+std::size_t TcpServer::notify_sessions() const {
+  std::scoped_lock lock(notify_mu_);
+  return notify_sessions_.size();
 }
 
 std::string TcpServer::Execute(const wire::FrameHeader& req,
-                               std::string_view payload) {
+                               std::string_view payload,
+                               std::uint64_t client_id) {
   const common::RpcMetricsTable::PerOp& m = metrics_.For(req.opcode);
   m.calls->Add();
   m.bytes_received->Add(payload.size());
@@ -349,7 +403,8 @@ std::string TcpServer::Execute(const wire::FrameHeader& req,
     }
   }
   if (!replayed) {
-    resp = handler_->Handle(req.opcode, payload);
+    resp = handler_->HandleCtx(req.opcode, payload,
+                               HandlerContext{client_id, req.trace_id});
     if (dedup_owner) options_.dedup->Complete(dedup_key, resp.code, resp.payload);
   }
   if (resp.extra_service_ns > 0) {
@@ -370,9 +425,49 @@ std::string TcpServer::Execute(const wire::FrameHeader& req,
   return wire::EncodeFrame(reply, resp.payload);
 }
 
+bool TcpServer::HandleHello(Conn* conn, const wire::Frame& frame) {
+  wire::Hello hello;
+  wire::HelloReply reply;
+  reply.proto_version = wire::kVersion;
+  reply.epoch = options_.epoch;
+  ErrCode code = ErrCode::kOk;
+  if (wire::DecodeHello(frame.payload, &hello).ok()) {
+    reply.features = hello.features & options_.features;
+    conn->client_id = hello.client_id;
+    if ((reply.features & wire::kFeatureNotify) != 0 && hello.client_id != 0) {
+      // This connection becomes the client's notify session (latest wins —
+      // a reconnecting listener replaces its predecessor's stale entry).
+      conn->notify = true;
+      std::scoped_lock lock(notify_mu_);
+      notify_sessions_[hello.client_id] = conn->id;
+    }
+  } else {
+    code = ErrCode::kInvalid;
+  }
+  wire::FrameHeader rh;
+  rh.type = wire::FrameType::kResponse;
+  rh.opcode = frame.header.opcode;
+  rh.request_id = frame.header.request_id;
+  rh.trace_id = frame.header.trace_id;
+  rh.code = code;
+  std::string bytes = wire::EncodeFrame(
+      rh, code == ErrCode::kOk ? wire::EncodeHelloReply(reply) : std::string());
+  // Negotiation is answered inline on the loop thread, but in worker mode
+  // the reply must not overtake responses still in the pool: give it a slot
+  // in the per-connection sequence and release it in order.
+  if (options_.workers == 0) return AppendResponse(conn, std::move(bytes));
+  return ReleaseOrdered(conn, conn->next_seq++, std::move(bytes));
+}
+
 bool TcpServer::DrainFrames(Conn* conn) {
   while (auto frame = conn->reader.Next()) {
     if (frame->header.type != wire::FrameType::kRequest) return false;
+    if (frame->header.opcode == wire::kCtlHello) {
+      // Connection control precedes the fault plane: hello is part of the
+      // transport, not the workload under test.
+      if (!HandleHello(conn, *frame)) return false;
+      continue;
+    }
     int copies = 1;
     common::Nanos delay_ns = 0;
     if (options_.fault != nullptr) {
@@ -392,14 +487,16 @@ bool TcpServer::DrainFrames(Conn* conn) {
         if (delay_ns > 0) {
           std::this_thread::sleep_for(std::chrono::nanoseconds(delay_ns));
         }
-        if (!AppendResponse(conn, Execute(frame->header, frame->payload))) {
+        if (!AppendResponse(conn, Execute(frame->header, frame->payload,
+                                          conn->client_id))) {
           return false;
         }
       } else {
         ++conn->inflight;
         {
           std::scoped_lock lock(queue_mu_);
-          queue_.push_back(Work{conn->id, conn->next_seq++, frame->header,
+          queue_.push_back(Work{conn->id, conn->next_seq++, conn->client_id,
+                                frame->header,
                                 copy + 1 < copies ? frame->payload
                                                   : std::move(frame->payload),
                                 delay_ns});
@@ -456,7 +553,7 @@ void TcpServer::WorkerMain(std::size_t index) {
     if (w.delay_ns > 0) {
       std::this_thread::sleep_for(std::chrono::nanoseconds(w.delay_ns));
     }
-    std::string bytes = Execute(w.header, w.payload);
+    std::string bytes = Execute(w.header, w.payload, w.client_id);
     busy_[index].store(false, std::memory_order_relaxed);
     {
       std::scoped_lock lock(comp_mu_);
@@ -466,6 +563,20 @@ void TcpServer::WorkerMain(std::size_t index) {
     const char byte = 0;
     [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
   }
+}
+
+bool TcpServer::ReleaseOrdered(Conn* conn, std::uint64_t seq,
+                               std::string&& bytes) {
+  conn->done.emplace(seq, std::move(bytes));
+  while (!conn->done.empty() &&
+         conn->done.begin()->first == conn->next_flush) {
+    if (!AppendResponse(conn, std::move(conn->done.begin()->second))) {
+      return false;
+    }
+    conn->done.erase(conn->done.begin());
+    ++conn->next_flush;
+  }
+  return true;
 }
 
 void TcpServer::DeliverCompletions(
@@ -480,16 +591,72 @@ void TcpServer::DeliverCompletions(
     if (it == by_id.end()) continue;  // connection dropped meanwhile
     Conn* conn = it->second;
     --conn->inflight;
-    conn->done.emplace(c.seq, std::move(c.bytes));
-    while (!conn->done.empty() &&
-           conn->done.begin()->first == conn->next_flush) {
-      if (!AppendResponse(conn, std::move(conn->done.begin()->second))) {
-        conn->dead = true;
-      }
-      conn->done.erase(conn->done.begin());
-      ++conn->next_flush;
-    }
+    if (!ReleaseOrdered(conn, c.seq, std::move(c.bytes))) conn->dead = true;
     if (!conn->dead && !FlushWrites(conn)) conn->dead = true;
+  }
+}
+
+void TcpServer::SendNotifyFrame(Conn* conn, std::uint16_t opcode,
+                                const std::string& payload) {
+  int copies = 1;
+  if (options_.fault != nullptr) {
+    const FaultInjector::NotifyFate fate = options_.fault->OnNotifyFrame();
+    if (fate.drop) {
+      // The push is lost but its sequence number is consumed, so the client
+      // sees a gap on the next frame and resynchronizes.
+      ++conn->notify_seq;
+      return;
+    }
+    if (fate.dup) copies = 2;  // same sequence number twice; client ignores
+  }
+  wire::FrameHeader header;
+  header.type = wire::FrameType::kNotify;
+  header.opcode = opcode;
+  header.request_id = ++conn->notify_seq;
+  const std::string bytes = wire::EncodeFrame(header, payload);
+  // Notify frames bypass AppendResponse: the short-write fault models torn
+  // *responses* and must not fire on the push path.
+  for (int copy = 0; copy < copies; ++copy) conn->out += bytes;
+  common::MetricsRegistry::Default().GetCounter("notify.server.pushed").Add();
+}
+
+void TcpServer::DrainNotify(
+    const std::unordered_map<std::uint64_t, Conn*>& by_id) {
+  std::vector<PendingNotify> batch;
+  {
+    std::scoped_lock lock(notify_mu_);
+    if (pending_notify_.empty()) return;
+    batch.swap(pending_notify_);
+  }
+  for (PendingNotify& p : batch) {
+    if (p.client_id != 0) {
+      std::uint64_t conn_id = 0;
+      {
+        std::scoped_lock lock(notify_mu_);
+        const auto it = notify_sessions_.find(p.client_id);
+        if (it == notify_sessions_.end()) continue;  // client disconnected
+        conn_id = it->second;
+      }
+      const auto it = by_id.find(conn_id);
+      if (it == by_id.end() || it->second->dead) continue;
+      SendNotifyFrame(it->second, p.opcode, p.payload);
+      if (!FlushWrites(it->second)) it->second->dead = true;
+    } else {
+      for (const auto& [id, conn] : by_id) {
+        if (!conn->notify || conn->dead) continue;
+        SendNotifyFrame(conn, p.opcode, p.payload);
+        if (!FlushWrites(conn)) conn->dead = true;
+      }
+    }
+  }
+}
+
+void TcpServer::ForgetNotifySession(const Conn& conn) {
+  if (!conn.notify) return;
+  std::scoped_lock lock(notify_mu_);
+  const auto it = notify_sessions_.find(conn.client_id);
+  if (it != notify_sessions_.end() && it->second == conn.id) {
+    notify_sessions_.erase(it);
   }
 }
 
@@ -517,6 +684,7 @@ void TcpServer::Loop() {
       }
     }
     if (options_.workers > 0) DeliverCompletions(by_id);
+    DrainNotify(by_id);
     // Conns accepted below were not in this poll round; only the first
     // `polled` entries of `conns` have a matching pollfd.
     const std::size_t polled = pfds.size() - 2;
@@ -558,6 +726,7 @@ void TcpServer::Loop() {
         ++i;
       } else {
         ::close(conn->fd);
+        ForgetNotifySession(*conn);
         by_id.erase(conn->id);
         conns[i] = std::move(conns.back());
         conns.pop_back();
@@ -670,6 +839,23 @@ std::shared_ptr<TcpChannel::PipeConn> TcpChannel::AcquireConn(
     return nullptr;
   }
   auto conn = std::make_shared<PipeConn>(fd, options_.max_payload_bytes);
+  if (options_.client_id != 0 || options_.features != 0) {
+    // Fire-and-forget hello: identifies this mount to the server without
+    // costing a round trip.  Request id 0 is never used by calls, so the
+    // reply is read and discarded by whichever caller is the frame reader.
+    // A v1 server just answers the unknown opcode with an error — same fate.
+    wire::Hello hello;
+    hello.features = options_.features;
+    hello.client_id = options_.client_id;
+    wire::FrameHeader header;
+    header.type = wire::FrameType::kRequest;
+    header.opcode = wire::kCtlHello;
+    header.request_id = 0;
+    header.trace_id = NextTraceId();
+    // A send failure surfaces on the first real call; nothing to do here.
+    (void)SendAll(fd, wire::EncodeFrame(header, wire::EncodeHello(hello)),
+                  deadline_abs);
+  }
   conn->inflight.store(1, std::memory_order_relaxed);
   *reused = false;
   std::scoped_lock lock(ep.mu);
@@ -739,6 +925,11 @@ void TcpChannel::AwaitWaiter(PipeConn& conn, std::uint64_t request_id,
         }
         FailConnLocked(conn, st.code());
         continue;  // loop top reports broken / done
+      }
+      if (frame.header.type == wire::FrameType::kNotify) {
+        // Push frame on an RPC connection (pooled conns don't negotiate
+        // notify, but tolerate it): not addressed to any waiter, keep going.
+        continue;
       }
       if (frame.header.type != wire::FrameType::kResponse) {
         FailConnLocked(conn, ErrCode::kCorruption);

@@ -53,6 +53,7 @@
 #include "common/metrics.h"
 #include "net/dedup.h"
 #include "net/fault.h"
+#include "net/notify.h"
 #include "net/rpc.h"
 #include "net/wire.h"
 
@@ -61,6 +62,13 @@ namespace loco::net {
 // Split "host:port" ("127.0.0.1:9000"); false on malformed input.
 bool ParseHostPort(std::string_view spec, std::string* host,
                    std::uint16_t* port);
+
+// One bounded non-blocking connect attempt (resolve, connect, poll until the
+// absolute steady-clock deadline, self-connect check, TCP_NODELAY); returns
+// the connected fd or -1.  Exposed for net::NotifyListener's dedicated
+// stream connection.
+int DialTcp(const std::string& host, std::uint16_t port,
+            common::Nanos deadline_abs);
 
 // True when a connected socket's local and peer addresses are identical —
 // the TCP simultaneous-open self-connection a loopback connect() to a dead
@@ -72,7 +80,7 @@ bool IsSelfConnected(int fd);
 // Server
 // ---------------------------------------------------------------------------
 
-class TcpServer {
+class TcpServer : public Notifier {
  public:
   struct Options {
     std::string host = "127.0.0.1";
@@ -90,13 +98,32 @@ class TcpServer {
     // duplicates answered from the cached response.  Not owned; shared by a
     // daemon across restarts of its server object.
     DedupWindow* dedup = nullptr;
+    // Feature bits granted to clients in the hello exchange (a client only
+    // gets bits both sides advertise).  Daemons keep the default; tests can
+    // clear bits to exercise the degrade path.
+    std::uint64_t features = wire::kFeatureNotify;
+    // Server incarnation reported in hello replies.  Daemons persist a
+    // counter in --store-dir and bump it per start, so clients can tell a
+    // restart from a plain reconnect.
+    std::uint64_t epoch = 0;
   };
 
   explicit TcpServer(RpcHandler* handler) : TcpServer(handler, Options{}) {}
   TcpServer(RpcHandler* handler, Options options);
-  ~TcpServer();
+  ~TcpServer() override;
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
+
+  // Notifier: queue a kNotify frame for one client's notify session (or all
+  // of them).  Thread-safe; the frame is written by the loop thread.  Pushes
+  // are fire-and-forget — a dead session drops them, and the client-side
+  // sequence check turns any loss into a resync.
+  bool PushNotify(std::uint64_t client_id, std::uint16_t opcode,
+                  std::string payload) override;
+  std::size_t BroadcastNotify(std::uint16_t opcode,
+                              std::string payload) override;
+  // Notify sessions currently registered (tests).
+  std::size_t notify_sessions() const;
 
   // Bind, listen and spawn the event-loop (and worker) threads.  One Start
   // per instance.
@@ -121,6 +148,7 @@ class TcpServer {
   struct Work {
     std::uint64_t conn_id = 0;
     std::uint64_t seq = 0;  // per-connection decode order
+    std::uint64_t client_id = 0;  // from the connection's hello; 0 = unknown
     wire::FrameHeader header;
     std::string payload;
     common::Nanos delay_ns = 0;  // injected stall before service
@@ -131,26 +159,48 @@ class TcpServer {
     std::uint64_t seq = 0;
     std::string bytes;
   };
+  // One queued push (loop thread turns it into a kNotify frame).
+  struct PendingNotify {
+    std::uint64_t client_id = 0;  // 0 = broadcast to every notify session
+    std::uint16_t opcode = 0;
+    std::string payload;
+  };
 
   void Loop();
   void WorkerMain(std::size_t index);
   // Run the handler for one request: metrics, execution, extra_service_ns
   // charge, response encoding.
-  std::string Execute(const wire::FrameHeader& req, std::string_view payload);
+  std::string Execute(const wire::FrameHeader& req, std::string_view payload,
+                      std::uint64_t client_id);
   // Decode every complete frame buffered on `conn` and execute (inline mode)
   // or enqueue (worker mode) each; returns false when the connection must be
   // dropped (framing violation).
   bool DrainFrames(Conn* conn);
+  // Answer a kCtlHello inline on the loop thread (negotiation must precede
+  // any dispatch) and register the notify session when granted.
+  bool HandleHello(Conn* conn, const wire::Frame& frame);
   // Flush pending response bytes; returns false on a dead peer.
   bool FlushWrites(Conn* conn);
   // Queue one encoded response on `conn`, applying the injected short-write
   // fault (truncate mid-frame, flush what fits, then drop the connection).
   // Returns false when the connection must be dropped.
   bool AppendResponse(Conn* conn, std::string&& bytes);
+  // Queue `bytes` as response number `seq`, holding it back until every
+  // earlier response has been queued (worker mode keeps per-connection
+  // decode order).  Returns false when the connection must be dropped.
+  bool ReleaseOrdered(Conn* conn, std::uint64_t seq, std::string&& bytes);
   // Move finished worker results into their connections' output buffers in
   // per-connection decode order.
   void DeliverCompletions(
       const std::unordered_map<std::uint64_t, Conn*>& by_id);
+  // Turn queued pushes into kNotify frames on their sessions' connections.
+  void DrainNotify(const std::unordered_map<std::uint64_t, Conn*>& by_id);
+  // Append one sequence-numbered kNotify frame (fault plane may drop or
+  // duplicate it).
+  void SendNotifyFrame(Conn* conn, std::uint16_t opcode,
+                       const std::string& payload);
+  // Drop `conn`'s notify session if it still points at this connection.
+  void ForgetNotifySession(const Conn& conn);
 
   RpcHandler* handler_;
   Options options_;
@@ -172,6 +222,12 @@ class TcpServer {
   std::vector<Completion> completions_;
   std::deque<std::atomic<bool>> busy_;  // one flag per worker (gauges)
   std::vector<common::MetricsRegistry::GaugeHandle> gauges_;
+
+  // Notify plane: client_id → conn id of its (single) notify session, plus
+  // pushes queued for the loop thread.
+  mutable std::mutex notify_mu_;
+  std::unordered_map<std::uint64_t, std::uint64_t> notify_sessions_;
+  std::vector<PendingNotify> pending_notify_;
 
   common::RpcMetricsTable metrics_{&common::MetricsRegistry::Default(),
                                    "tcp_server", "wall_ns"};
@@ -198,6 +254,17 @@ struct TcpChannelOptions {
   // Optional client-side fault plane: stalls requests before they are sent
   // (the delay=/delay_ms= knobs of the spec).  Not owned.
   FaultInjector* fault = nullptr;
+  // Mount identity announced in a fire-and-forget hello on every fresh
+  // connection (request id 0 — never used by calls, so the reply is read
+  // and discarded by whichever caller holds the reader role).  The server
+  // attributes requests on the connection to this id (HandlerContext), which
+  // is how the DMS knows not to invalidate the mutating client's own lease.
+  // 0 skips the hello entirely (anonymous, v1-identical behaviour).
+  std::uint64_t client_id = 0;
+  // Feature bits advertised in that hello.  Pooled RPC connections should
+  // NOT advertise kFeatureNotify — the notify stream belongs on the
+  // NotifyListener's dedicated connection.
+  std::uint64_t features = 0;
 };
 
 class TcpChannel final : public Channel {

@@ -7,7 +7,10 @@ namespace loco::net::wire {
 std::string EncodeFrame(const FrameHeader& header, std::string_view payload) {
   common::Writer w;
   w.PutU32(kMagic);
-  w.PutU8(kVersion);
+  // Tag each frame with the *minimum* version able to interpret it: request
+  // and response frames are byte-identical to v1, so a v2 sender stays
+  // interoperable with v1 peers; only the new push frames require v2.
+  w.PutU8(header.type == FrameType::kNotify ? kVersion : kMinVersion);
   w.PutU8(static_cast<std::uint8_t>(header.type));
   w.PutU16(header.opcode);
   w.PutU64(header.request_id);
@@ -30,11 +33,12 @@ Status DecodeHeader(std::string_view bytes, FrameHeader* out) {
   out->payload_len = r.GetU32();
   if (!r.ok()) return ErrStatus(ErrCode::kCorruption, "short frame header");
   if (magic != kMagic) return ErrStatus(ErrCode::kCorruption, "bad frame magic");
-  if (version != kVersion) {
+  if (version < kMinVersion || version > kVersion) {
     return ErrStatus(ErrCode::kCorruption, "unsupported frame version");
   }
   if (type != static_cast<std::uint8_t>(FrameType::kRequest) &&
-      type != static_cast<std::uint8_t>(FrameType::kResponse)) {
+      type != static_cast<std::uint8_t>(FrameType::kResponse) &&
+      type != static_cast<std::uint8_t>(FrameType::kNotify)) {
     return ErrStatus(ErrCode::kCorruption, "bad frame type");
   }
   if (code > static_cast<std::uint8_t>(ErrCode::kUnsupported)) {
@@ -42,6 +46,44 @@ Status DecodeHeader(std::string_view bytes, FrameHeader* out) {
   }
   out->type = static_cast<FrameType>(type);
   out->code = static_cast<ErrCode>(code);
+  return OkStatus();
+}
+
+std::string EncodeHello(const Hello& hello) {
+  common::Writer w;
+  w.PutU32(hello.proto_version);
+  w.PutU64(hello.features);
+  w.PutU64(hello.client_id);
+  return w.Take();
+}
+
+Status DecodeHello(std::string_view bytes, Hello* out) {
+  common::Reader r(bytes);
+  out->proto_version = r.GetU32();
+  out->features = r.GetU64();
+  out->client_id = r.GetU64();
+  if (!r.ok() || !r.AtEnd()) {
+    return ErrStatus(ErrCode::kCorruption, "bad hello payload");
+  }
+  return OkStatus();
+}
+
+std::string EncodeHelloReply(const HelloReply& reply) {
+  common::Writer w;
+  w.PutU32(reply.proto_version);
+  w.PutU64(reply.features);
+  w.PutU64(reply.epoch);
+  return w.Take();
+}
+
+Status DecodeHelloReply(std::string_view bytes, HelloReply* out) {
+  common::Reader r(bytes);
+  out->proto_version = r.GetU32();
+  out->features = r.GetU64();
+  out->epoch = r.GetU64();
+  if (!r.ok() || !r.AtEnd()) {
+    return ErrStatus(ErrCode::kCorruption, "bad hello reply payload");
+  }
   return OkStatus();
 }
 

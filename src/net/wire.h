@@ -5,10 +5,12 @@
 //
 //   offset  size  field
 //        0     4  magic       0x4C4F434Fu ("LOCO"), little-endian
-//        4     1  version     kVersion (currently 1)
-//        5     1  type        1 = request, 2 = response
+//        4     1  version     kVersion (currently 2; v1 still accepted)
+//        5     1  type        1 = request, 2 = response, 3 = notify (v2)
 //        6     2  opcode      RPC opcode (core/proto.h, baselines/proto.h)
 //        8     8  request id  per-connection correlation id; echoed verbatim
+//                             (notify frames carry the per-connection push
+//                             sequence number here instead)
 //       16     8  trace id    per-operation id threaded through net::Call
 //       24     1  code        ErrCode of a response; 0 in requests
 //       25     4  payload len bytes that follow the header
@@ -18,6 +20,20 @@
 // defensive: bad magic, unknown version, an out-of-range error code or a
 // payload length above the negotiated cap surface as ErrCode::kCorruption,
 // never as a crash or an unbounded allocation.
+//
+// Opcode space (16 bits, but metrics tables only distinguish [0, 256)):
+//   0   – 223  service RPCs (core/proto.h, baselines/proto.h)
+//   224 – 239  notify events, pushed server→client in kNotify frames
+//   240 – 255  connection-control RPCs (hello / feature negotiation)
+//
+// Version negotiation: a v2 client opens a connection with a kCtlHello
+// *request* (an ordinary v1-tagged frame, so v1 peers parse it fine and
+// merely answer kUnsupported/kInvalid for the unknown opcode) advertising
+// its feature bits.  A v2 server intercepts the opcode and replies with its
+// own bits plus its current epoch.  Frames are version-tagged with the
+// minimum version required to interpret them — request/response stay v1,
+// kNotify is v2 — so both sides degrade to v1 behaviour against an old
+// peer with no flag-day upgrade.
 #pragma once
 
 #include <cstdint>
@@ -30,13 +46,49 @@
 namespace loco::net::wire {
 
 inline constexpr std::uint32_t kMagic = 0x4C4F434Fu;  // "LOCO"
-inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::uint8_t kVersion = 2;
+// Oldest version DecodeHeader still accepts (v1 lacks kNotify and hello).
+inline constexpr std::uint8_t kMinVersion = 1;
 inline constexpr std::size_t kHeaderBytes = 29;
 // Default cap on a single frame's payload.  Far above any legitimate
 // metadata message; guards the peer against hostile length fields.
 inline constexpr std::uint32_t kMaxPayloadBytes = 64u << 20;
 
-enum class FrameType : std::uint8_t { kRequest = 1, kResponse = 2 };
+enum class FrameType : std::uint8_t { kRequest = 1, kResponse = 2, kNotify = 3 };
+
+// Reserved opcode ranges (see the file comment).  Everything below
+// kNotifyOpcodeBase belongs to the services.
+inline constexpr std::uint16_t kNotifyOpcodeBase = 224;  // 224–239
+inline constexpr std::uint16_t kControlOpcodeBase = 240;  // 240–255
+
+// Control opcodes.
+inline constexpr std::uint16_t kCtlHello = 240;
+
+// Notify opcodes (the opcode field of a kNotify frame).
+inline constexpr std::uint16_t kNotifyInvalidate = 224;
+inline constexpr std::uint16_t kNotifyServerUp = 225;
+
+// Feature bits exchanged in the hello.
+inline constexpr std::uint64_t kFeatureNotify = 1ull << 0;
+
+// kCtlHello request payload.
+struct Hello {
+  std::uint32_t proto_version = kVersion;
+  std::uint64_t features = 0;   // kFeature* bits the client supports
+  std::uint64_t client_id = 0;  // process-unique mount id; 0 = anonymous
+};
+
+// kCtlHello response payload.
+struct HelloReply {
+  std::uint32_t proto_version = kVersion;
+  std::uint64_t features = 0;  // bits both sides will use
+  std::uint64_t epoch = 0;     // server incarnation; bumps on restart
+};
+
+std::string EncodeHello(const Hello& hello);
+Status DecodeHello(std::string_view bytes, Hello* out);
+std::string EncodeHelloReply(const HelloReply& reply);
+Status DecodeHelloReply(std::string_view bytes, HelloReply* out);
 
 struct FrameHeader {
   FrameType type = FrameType::kRequest;

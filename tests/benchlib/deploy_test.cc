@@ -27,6 +27,21 @@ class EchoHandler final : public net::RpcHandler {
   std::string tag_;
 };
 
+// Records the HandlerContext it was called with (context-forwarding test).
+class CtxCaptureHandler final : public net::RpcHandler {
+ public:
+  net::RpcResponse Handle(std::uint16_t opcode,
+                          std::string_view payload) override {
+    return HandleCtx(opcode, payload, net::HandlerContext{});
+  }
+  net::RpcResponse HandleCtx(std::uint16_t, std::string_view,
+                             const net::HandlerContext& ctx) override {
+    last_client_id = ctx.client_id;
+    return net::RpcResponse{ErrCode::kOk, {}};
+  }
+  std::uint64_t last_client_id = 0;
+};
+
 TEST(MuxHandlerTest, RoutesByOpcodeRange) {
   EchoHandler low("low"), high("high");
   MuxHandler mux;
@@ -38,6 +53,22 @@ TEST(MuxHandlerTest, RoutesByOpcodeRange) {
   EXPECT_EQ(mux.Handle(63, "d").payload, "high:d");
   EXPECT_EQ(mux.Handle(64, "e").code, ErrCode::kUnsupported);
   EXPECT_EQ(mux.Handle(0, "f").code, ErrCode::kUnsupported);
+}
+
+TEST(MuxHandlerTest, ForwardsHandlerContext) {
+  // The DMS lease/push plane keys on ctx.client_id; a mux that swallowed the
+  // context would silently disable server-push invalidation on co-hosted
+  // deployments.
+  CtxCaptureHandler inner;
+  MuxHandler mux;
+  mux.Route(1, 31, &inner);
+  net::HandlerContext ctx;
+  ctx.client_id = 0xabcdef;
+  EXPECT_TRUE(mux.HandleCtx(5, "", ctx).ok());
+  EXPECT_EQ(inner.last_client_id, 0xabcdefu);
+  // The context-free entry point still works and presents an anonymous ctx.
+  EXPECT_TRUE(mux.Handle(5, "").ok());
+  EXPECT_EQ(inner.last_client_id, 0u);
 }
 
 TEST(DeployTest, LocoFsLayout) {
@@ -191,52 +222,38 @@ TEST(MetricsOutTest, WriteMetricsJsonEmitsRegistryDump) {
   EXPECT_FALSE(WriteMetricsJson("/nonexistent-dir/x/y.json"));
 }
 
-TEST(ConnectSpecTest, ParsesRolesInAnyOrder) {
-  auto eps = ParseConnectSpec(
-      "fms=127.0.0.1:9001,osd=127.0.0.1:9100,dms=127.0.0.1:9000,"
-      "fms=127.0.0.1:9002");
-  ASSERT_TRUE(eps.ok()) << eps.status().ToString();
-  EXPECT_EQ(eps->dms, "127.0.0.1:9000");
-  ASSERT_EQ(eps->fms.size(), 2u);
-  EXPECT_EQ(eps->fms[0], "127.0.0.1:9001");
-  EXPECT_EQ(eps->fms[1], "127.0.0.1:9002");
-  ASSERT_EQ(eps->object_stores.size(), 1u);
-  EXPECT_EQ(eps->object_stores[0], "127.0.0.1:9100");
-}
-
-TEST(ConnectSpecTest, RejectsMalformedSpecs) {
-  // Missing roles.
-  EXPECT_EQ(ParseConnectSpec("").code(), ErrCode::kInvalid);
-  EXPECT_EQ(ParseConnectSpec("dms=1.2.3.4:1").code(), ErrCode::kInvalid);
-  EXPECT_EQ(ParseConnectSpec("dms=h:1,fms=h:2").code(), ErrCode::kInvalid);
-  EXPECT_EQ(ParseConnectSpec("fms=h:2,osd=h:3").code(), ErrCode::kInvalid);
-  // Duplicate dms.
-  EXPECT_EQ(ParseConnectSpec("dms=h:1,dms=h:2,fms=h:3,osd=h:4").code(),
-            ErrCode::kInvalid);
-  // Bad role / bad address / missing '='.
-  EXPECT_EQ(ParseConnectSpec("dms=h:1,fms=h:2,osd=h:3,mds=h:4").code(),
-            ErrCode::kInvalid);
-  EXPECT_EQ(ParseConnectSpec("dms=h,fms=h:2,osd=h:3").code(),
-            ErrCode::kInvalid);
-  EXPECT_EQ(ParseConnectSpec("dms,fms=h:2,osd=h:3").code(), ErrCode::kInvalid);
-}
-
-TEST(ConnectSpecTest, ConnectRemoteAssignsStableNodeIds) {
-  auto eps = ParseConnectSpec(
-      "dms=127.0.0.1:9000,fms=127.0.0.1:9001,fms=127.0.0.1:9002,"
-      "osd=127.0.0.1:9100,osd=127.0.0.1:9101");
-  ASSERT_TRUE(eps.ok());
-  auto deployment = ConnectRemote(*eps);
-  ASSERT_TRUE(deployment.ok()) << deployment.status().ToString();
-  EXPECT_EQ(deployment->config.dms, 0u);
-  EXPECT_EQ(deployment->config.fms, (std::vector<net::NodeId>{1, 2}));
-  EXPECT_EQ(deployment->config.object_stores,
-            (std::vector<net::NodeId>{1000, 1001}));
-  EXPECT_NE(deployment->channel, nullptr);
-  // No daemon is running: clients built from this deployment surface
-  // kUnavailable rather than hanging (covered by the TCP e2e suite).
-  auto client = deployment->MakeClient([] { return std::uint64_t{1}; });
-  EXPECT_NE(client, nullptr);
+TEST(MetricsOutTest, PhasedDumpHoldsPerPhaseDeltasAndTotals) {
+  const std::string path = ::testing::TempDir() + "/deploy_phased_test.json";
+  std::string path_flag = "--metrics-out=" + path;
+  char prog[] = "bench";
+  std::vector<char*> argv = {prog, path_flag.data(), nullptr};
+  int argc = 2;
+  auto& reg = common::MetricsRegistry::Default();
+  {
+    MetricsDump dump(argc, argv.data());
+    ASSERT_EQ(dump.path(), path);
+    reg.GetCounter("test.deploy.phase_a").Add(2);
+    dump.Phase("workers=1");
+    reg.GetCounter("test.deploy.phase_b").Add(7);
+    dump.Phase("workers=2");
+  }  // dtor writes the file
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  EXPECT_NE(json.find("\"phases\""), std::string::npos);
+  EXPECT_NE(json.find("\"totals\""), std::string::npos);
+  // Each phase holds only what it touched.
+  const auto phase1 = json.find("\"workers=1\"");
+  const auto phase2 = json.find("\"workers=2\"");
+  ASSERT_NE(phase1, std::string::npos);
+  ASSERT_NE(phase2, std::string::npos);
+  const std::string phase1_body = json.substr(phase1, phase2 - phase1);
+  EXPECT_NE(phase1_body.find("\"test.deploy.phase_a\": 2"), std::string::npos);
+  EXPECT_EQ(phase1_body.find("test.deploy.phase_b"), std::string::npos);
+  const std::string phase2_body = json.substr(phase2);
+  EXPECT_NE(phase2_body.find("\"test.deploy.phase_b\": 7"), std::string::npos);
 }
 
 }  // namespace

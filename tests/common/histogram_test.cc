@@ -80,6 +80,32 @@ TEST(HistogramTest, MergeWithEmptyIsIdentity) {
   EXPECT_EQ(b.min(), 500);
 }
 
+TEST(HistogramTest, SubtractRemovesEarlierSnapshot) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.Record(100);
+  const Histogram earlier = h;  // snapshot
+  for (int i = 0; i < 5; ++i) h.Record(10000);
+  h.Subtract(earlier);
+  // Exactly the post-snapshot records remain; count/sum/percentiles exact.
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 10000.0 * 5 / 5);
+  EXPECT_GE(h.Percentile(0.5), 10000);
+  // min/max stay lifetime-conservative bounds (documented).
+  EXPECT_LE(h.min(), 100);
+  EXPECT_GE(h.max(), 10000);
+}
+
+TEST(HistogramTest, SubtractEverythingYieldsEmpty) {
+  Histogram h;
+  h.Record(42);
+  const Histogram earlier = h;
+  h.Subtract(earlier);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
 TEST(HistogramTest, ResetClears) {
   Histogram h;
   h.Record(42);

@@ -247,6 +247,26 @@ TEST(MetricsRegistryTest, ReplacedGaugeDoesNotRetireOnOldHandleRelease) {
   EXPECT_EQ(reg.GaugeValue("g"), 2.0);
 }
 
+TEST(MetricsRegistryTest, DeltaJsonRendersOnlyActivitySinceSnapshot) {
+  MetricsRegistry reg;
+  reg.GetCounter("ops").Add(10);
+  reg.GetHistogram("lat").Record(100);
+  reg.GetCounter("idle").Add(3);
+  const auto snap = reg.TakeSnapshot();
+
+  reg.GetCounter("ops").Add(5);
+  reg.GetHistogram("lat").Record(200);
+  reg.GetCounter("fresh").Add(1);
+  const std::string json = reg.DeltaJson(snap);
+
+  // Counter deltas, not totals; untouched metrics omitted; new ones whole.
+  EXPECT_NE(json.find("\"ops\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"fresh\": 1"), std::string::npos);
+  EXPECT_EQ(json.find("idle"), std::string::npos);
+  EXPECT_NE(json.find("\"lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+}
+
 TEST(MetricsRegistryTest, ResetDropsRetiredGauges) {
   MetricsRegistry reg;
   { auto handle = reg.RegisterGauge("g", [] { return 5.0; }); }

@@ -1,0 +1,130 @@
+// core::Connect facade tests: the --connect spec grammar, the canonical node
+// id assignment, the notify-plane wiring, and mount-scoped client ids.
+#include "core/connect.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "core/dms.h"
+#include "net/tcp.h"
+
+namespace loco::core {
+namespace {
+
+TEST(ConnectSpecTest, ParsesRolesInAnyOrder) {
+  auto opts = ClientOptions::FromSpec(
+      "fms=127.0.0.1:9001,osd=127.0.0.1:9100,dms=127.0.0.1:9000,"
+      "fms=127.0.0.1:9002");
+  ASSERT_TRUE(opts.ok()) << opts.status().ToString();
+  EXPECT_EQ(opts->dms, "127.0.0.1:9000");
+  ASSERT_EQ(opts->fms.size(), 2u);
+  EXPECT_EQ(opts->fms[0], "127.0.0.1:9001");
+  EXPECT_EQ(opts->fms[1], "127.0.0.1:9002");
+  ASSERT_EQ(opts->object_stores.size(), 1u);
+  EXPECT_EQ(opts->object_stores[0], "127.0.0.1:9100");
+  // Non-endpoint fields keep their defaults.
+  EXPECT_TRUE(opts->cache_enabled);
+  EXPECT_TRUE(opts->resilience);
+  EXPECT_TRUE(opts->notify);
+}
+
+TEST(ConnectSpecTest, RejectsMalformedSpecs) {
+  // Missing roles.
+  EXPECT_EQ(ClientOptions::FromSpec("").code(), ErrCode::kInvalid);
+  EXPECT_EQ(ClientOptions::FromSpec("dms=1.2.3.4:1").code(), ErrCode::kInvalid);
+  EXPECT_EQ(ClientOptions::FromSpec("dms=h:1,fms=h:2").code(),
+            ErrCode::kInvalid);
+  EXPECT_EQ(ClientOptions::FromSpec("fms=h:2,osd=h:3").code(),
+            ErrCode::kInvalid);
+  // Duplicate dms.
+  EXPECT_EQ(ClientOptions::FromSpec("dms=h:1,dms=h:2,fms=h:3,osd=h:4").code(),
+            ErrCode::kInvalid);
+  // Bad role / bad address / missing '='.
+  EXPECT_EQ(ClientOptions::FromSpec("dms=h:1,fms=h:2,osd=h:3,mds=h:4").code(),
+            ErrCode::kInvalid);
+  EXPECT_EQ(ClientOptions::FromSpec("dms=h,fms=h:2,osd=h:3").code(),
+            ErrCode::kInvalid);
+  EXPECT_EQ(ClientOptions::FromSpec("dms,fms=h:2,osd=h:3").code(),
+            ErrCode::kInvalid);
+}
+
+TEST(ConnectSpecTest, FluentKnobsChain) {
+  auto opts = ClientOptions::FromSpec(
+      "dms=127.0.0.1:9000,fms=127.0.0.1:9001,osd=127.0.0.1:9100");
+  ASSERT_TRUE(opts.ok());
+  opts->WithCache(false).WithResilience(false).WithNotify(false).WithLease(7);
+  EXPECT_FALSE(opts->cache_enabled);
+  EXPECT_FALSE(opts->resilience);
+  EXPECT_FALSE(opts->notify);
+  EXPECT_EQ(opts->lease_ns, 7u);
+}
+
+TEST(ConnectTest, AssignsStableNodeIdsAndHonoursFeatureKnobs) {
+  auto opts = ClientOptions::FromSpec(
+      "dms=127.0.0.1:9000,fms=127.0.0.1:9001,fms=127.0.0.1:9002,"
+      "osd=127.0.0.1:9100,osd=127.0.0.1:9101");
+  ASSERT_TRUE(opts.ok());
+  // Notify off: no listener thread is spawned against the (absent) daemons.
+  opts->WithNotify(false).WithResilience(false);
+  auto mount = Connect(*opts);
+  ASSERT_TRUE(mount.ok()) << mount.status().ToString();
+  EXPECT_EQ(mount->config.dms, 0u);
+  EXPECT_EQ(mount->config.fms, (std::vector<net::NodeId>{1, 2}));
+  EXPECT_EQ(mount->config.object_stores,
+            (std::vector<net::NodeId>{1000, 1001}));
+  ASSERT_NE(mount->channel, nullptr);
+  EXPECT_EQ(mount->resilient, nullptr);
+  EXPECT_EQ(mount->listener, nullptr);
+  EXPECT_EQ(mount->fanout, nullptr);
+  EXPECT_NE(mount->client_id, 0u);
+  // rpc() is the bare channel when resilience is off.
+  EXPECT_EQ(&mount->rpc(), static_cast<net::Channel*>(mount->channel.get()));
+  // No daemon is running: clients built from this mount surface kUnavailable
+  // rather than hanging (covered by the TCP e2e suite).
+  auto client = mount->MakeClient([] { return std::uint64_t{1}; });
+  EXPECT_NE(client, nullptr);
+}
+
+TEST(ConnectTest, DistinctMountsGetDistinctClientIds) {
+  auto opts = ClientOptions::FromSpec(
+      "dms=127.0.0.1:9000,fms=127.0.0.1:9001,osd=127.0.0.1:9100");
+  ASSERT_TRUE(opts.ok());
+  opts->WithNotify(false).WithResilience(false);
+  auto a = Connect(*opts);
+  auto b = Connect(*opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->client_id, 0u);
+  EXPECT_NE(a->client_id, b->client_id);
+}
+
+TEST(ConnectTest, NotifyMountWiresListenerAndFanout) {
+  // A live DMS behind a real TcpServer: the mount's listener negotiates the
+  // notify stream; pushes reach clients made from the mount.
+  DirectoryMetadataServer dms;
+  net::TcpServer server(&dms);
+  ASSERT_TRUE(server.Start().ok());
+  dms.SetNotifier(&server);
+
+  ClientOptions opts;
+  opts.dms = server.host() + ":" + std::to_string(server.port());
+  opts.fms = {opts.dms};  // never called in this test
+  opts.object_stores = {opts.dms};
+  auto mount = Connect(opts);
+  ASSERT_TRUE(mount.ok()) << mount.status().ToString();
+  ASSERT_NE(mount->listener, nullptr);
+  ASSERT_NE(mount->fanout, nullptr);
+  ASSERT_NE(mount->resilient, nullptr);
+  EXPECT_EQ(&mount->rpc(),
+            static_cast<net::Channel*>(mount->resilient.get()));
+  // The listener completes its hello and registers a notify session.
+  for (int i = 0; i < 500 && server.notify_sessions() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server.notify_sessions(), 1u);
+  EXPECT_FALSE(mount->listener->degraded());
+}
+
+}  // namespace
+}  // namespace loco::core

@@ -1,0 +1,165 @@
+// LeaseTable unit tests: grant/collect semantics, subtree prefix scans,
+// originator exclusion, expiry, the bounded-size eviction policy, and
+// dead-client cleanup.
+#include "core/lease_table.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+namespace loco::core {
+namespace {
+
+constexpr std::uint64_t kLease = 1000;  // short lease for test arithmetic
+
+LeaseTable::Options SmallOptions(std::size_t max_watches = 64) {
+  LeaseTable::Options options;
+  options.lease_ns = kLease;
+  options.max_watches = max_watches;
+  return options;
+}
+
+std::vector<std::uint64_t> Sorted(std::vector<std::uint64_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(LeaseTableTest, CollectReturnsLiveWatchersAndConsumesThem) {
+  LeaseTable table(SmallOptions());
+  table.Grant("/d", 1, 0);
+  table.Grant("/d", 2, 0);
+  EXPECT_EQ(table.size(), 2u);
+
+  EXPECT_EQ(Sorted(table.Collect("/d", false, 0, 10)),
+            (std::vector<std::uint64_t>{1, 2}));
+  // Consumed: an invalidated lease is void until re-granted.
+  EXPECT_TRUE(table.Collect("/d", false, 0, 10).empty());
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(LeaseTableTest, ExcludesTheOriginatorButStillConsumesItsWatch) {
+  LeaseTable table(SmallOptions());
+  table.Grant("/d", 1, 0);
+  table.Grant("/d", 2, 0);
+  EXPECT_EQ(table.Collect("/d", false, /*exclude=*/1, 10),
+            (std::vector<std::uint64_t>{2}));
+  // The mutating client's own watch is consumed too — its cache entry was
+  // refreshed by its own mutation path, and the lease is re-granted on the
+  // next Lookup anyway.
+  EXPECT_TRUE(table.Collect("/d", false, 0, 10).empty());
+}
+
+TEST(LeaseTableTest, ExpiredWatchesAreNotCollected) {
+  LeaseTable table(SmallOptions());
+  table.Grant("/d", 1, 0);            // expires at kLease
+  table.Grant("/d", 2, kLease / 2);   // expires at 1.5 * kLease
+  EXPECT_EQ(table.Collect("/d", false, 0, kLease + 1),
+            (std::vector<std::uint64_t>{2}));
+}
+
+TEST(LeaseTableTest, RegrantRefreshesExpiry) {
+  LeaseTable table(SmallOptions());
+  table.Grant("/d", 1, 0);
+  table.Grant("/d", 1, kLease);  // refresh: now expires at 2 * kLease
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.Collect("/d", false, 0, kLease + 1),
+            (std::vector<std::uint64_t>{1}));
+}
+
+TEST(LeaseTableTest, SubtreeCollectIsAPrefixScanWithBoundary) {
+  LeaseTable table(SmallOptions());
+  table.Grant("/a", 1, 0);
+  table.Grant("/a/x", 2, 0);
+  table.Grant("/a/x/y", 3, 0);
+  table.Grant("/a.b", 4, 0);  // "/a.b" sorts between "/a" and "/a/" — not in
+  table.Grant("/ab", 5, 0);   // the subtree, and neither is "/ab"
+  table.Grant("/b", 6, 0);
+
+  EXPECT_EQ(Sorted(table.Collect("/a", true, 0, 10)),
+            (std::vector<std::uint64_t>{1, 2, 3}));
+  // The non-subtree watches survive.
+  EXPECT_EQ(Sorted(table.Collect("/a.b", false, 0, 10)),
+            (std::vector<std::uint64_t>{4}));
+  EXPECT_EQ(Sorted(table.Collect("/ab", false, 0, 10)),
+            (std::vector<std::uint64_t>{5}));
+  EXPECT_EQ(Sorted(table.Collect("/b", false, 0, 10)),
+            (std::vector<std::uint64_t>{6}));
+}
+
+TEST(LeaseTableTest, NonSubtreeCollectLeavesChildrenAlone) {
+  LeaseTable table(SmallOptions());
+  table.Grant("/a", 1, 0);
+  table.Grant("/a/x", 2, 0);
+  EXPECT_EQ(table.Collect("/a", false, 0, 10),
+            (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.Collect("/a/x", false, 0, 10),
+            (std::vector<std::uint64_t>{2}));
+}
+
+TEST(LeaseTableTest, DropForgetsEveryWatchOfAClient) {
+  LeaseTable table(SmallOptions());
+  table.Grant("/a", 1, 0);
+  table.Grant("/b", 1, 0);
+  table.Grant("/b", 2, 0);
+  table.Drop(1);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_TRUE(table.Collect("/a", false, 0, 10).empty());
+  EXPECT_EQ(table.Collect("/b", false, 0, 10),
+            (std::vector<std::uint64_t>{2}));
+}
+
+TEST(LeaseTableTest, BoundSweepsExpiredBeforeEvictingLive) {
+  LeaseTable table(SmallOptions(/*max_watches=*/3));
+  table.Grant("/e1", 1, 0);  // expires at kLease
+  table.Grant("/e2", 2, 0);
+  table.Grant("/l1", 3, 2 * kLease);  // live long past the others
+  // A fourth grant at a time when /e1 and /e2 are expired: the sweep frees
+  // their slots, the live watch stays.
+  table.Grant("/l2", 4, 2 * kLease);
+  EXPECT_LE(table.size(), 3u);
+  EXPECT_EQ(table.Collect("/l1", false, 0, 2 * kLease + 1),
+            (std::vector<std::uint64_t>{3}));
+  EXPECT_EQ(table.Collect("/l2", false, 0, 2 * kLease + 1),
+            (std::vector<std::uint64_t>{4}));
+}
+
+TEST(LeaseTableTest, BoundEvictsSoonestToExpireWhenAllLive) {
+  LeaseTable table(SmallOptions(/*max_watches=*/2));
+  table.Grant("/a", 1, 0);   // soonest to expire
+  table.Grant("/b", 2, 10);  // later
+  table.Grant("/c", 3, 20);  // forces eviction of /a's watch
+  EXPECT_LE(table.size(), 2u);
+  // /a's holder lost its push (safe: the lease timeout still bounds its
+  // staleness); the younger watches survived.
+  EXPECT_TRUE(table.Collect("/a", false, 0, 30).empty());
+  EXPECT_EQ(table.Collect("/b", false, 0, 30),
+            (std::vector<std::uint64_t>{2}));
+  EXPECT_EQ(table.Collect("/c", false, 0, 30),
+            (std::vector<std::uint64_t>{3}));
+}
+
+TEST(LeaseTableTest, ConcurrentGrantCollectDropIsSafe) {
+  LeaseTable table(SmallOptions(/*max_watches=*/128));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&table, t] {
+      const auto client = static_cast<std::uint64_t>(t + 1);
+      for (int i = 0; i < 500; ++i) {
+        const std::string path = "/p" + std::to_string(i % 17);
+        table.Grant(path, client, static_cast<std::uint64_t>(i));
+        if (i % 3 == 0) {
+          table.Collect(path, i % 6 == 0, client,
+                        static_cast<std::uint64_t>(i));
+        }
+        if (i % 101 == 0) table.Drop(client);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_LE(table.size(), 128u);
+}
+
+}  // namespace
+}  // namespace loco::core

@@ -29,8 +29,8 @@
 
 #include <gtest/gtest.h>
 
-#include "benchlib/deploy.h"
 #include "common/clock.h"
+#include "core/connect.h"
 #include "fs/client.h"
 #include "net/task.h"
 #include "net/tcp.h"
@@ -193,18 +193,17 @@ class ChaosCluster {
 
   // A resilient client tuned for fast failure detection (the storm keeps
   // running while a daemon is down; 5 s default deadlines would stall it).
-  Result<bench::RemoteDeployment> Connect() {
-    auto endpoints = bench::ParseConnectSpec(ConnectSpec());
-    if (!endpoints.ok()) return endpoints.status();
-    bench::RemoteOptions options;
-    options.channel.call_deadline_ns = 500 * common::kMilli;
-    options.channel.connect_attempts = 1;
-    options.resilience_options.max_attempts = 2;
-    options.resilience_options.backoff_base_ns = common::kMilli;
-    options.resilience_options.backoff_cap_ns = 10 * common::kMilli;
-    options.resilience_options.breaker_threshold = 10;
-    options.resilience_options.breaker_open_ns = 100 * common::kMilli;
-    return bench::ConnectRemote(*endpoints, options);
+  Result<core::MountHandle> Connect() {
+    auto options = core::ClientOptions::FromSpec(ConnectSpec());
+    if (!options.ok()) return options.status();
+    options->channel.call_deadline_ns = 500 * common::kMilli;
+    options->channel.connect_attempts = 1;
+    options->resilience_options.max_attempts = 2;
+    options->resilience_options.backoff_base_ns = common::kMilli;
+    options->resilience_options.backoff_cap_ns = 10 * common::kMilli;
+    options->resilience_options.breaker_threshold = 10;
+    options->resilience_options.breaker_open_ns = 100 * common::kMilli;
+    return core::Connect(*options);
   }
 
   std::string FsckBinary() const {

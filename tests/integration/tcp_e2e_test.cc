@@ -12,9 +12,9 @@
 #include <string>
 #include <vector>
 
-#include "benchlib/deploy.h"
 #include "common/metrics.h"
 #include "core/client.h"
+#include "core/connect.h"
 #include "core/dms.h"
 #include "core/fms.h"
 #include "core/object_store.h"
@@ -47,20 +47,19 @@ class TcpClusterTest : public ::testing::Test {
     osd_server_ = std::make_unique<net::TcpServer>(&osd_);
     ASSERT_TRUE(osd_server_->Start().ok());
 
-    bench::RemoteEndpoints endpoints;
-    endpoints.dms = HostPort(*dms_server_);
-    for (const auto& s : fms_servers_) endpoints.fms.push_back(HostPort(*s));
-    endpoints.object_stores.push_back(HostPort(*osd_server_));
+    core::ClientOptions options;
+    options.dms = HostPort(*dms_server_);
+    for (const auto& s : fms_servers_) options.fms.push_back(HostPort(*s));
+    options.object_stores.push_back(HostPort(*osd_server_));
 
-    bench::RemoteOptions options;
     // Keep operations against a killed FMS fast: refused connects already
     // fail fast, but cap the deadline so nothing can stall the suite.
     options.channel.connect_attempts = 1;
     options.channel.call_deadline_ns = 2 * common::kSecond;
-    auto deployment = bench::ConnectRemote(endpoints, options);
-    ASSERT_TRUE(deployment.ok()) << deployment.status().ToString();
-    remote_ = std::move(*deployment);
-    client_ = remote_.MakeClient([this] { return ++clock_; });
+    auto mount = core::Connect(options);
+    ASSERT_TRUE(mount.ok()) << mount.status().ToString();
+    mount_ = std::move(*mount);
+    client_ = mount_.MakeClient([this] { return ++clock_; });
     client_->SetIdentity(fs::Identity{1000, 1000});
   }
 
@@ -70,7 +69,7 @@ class TcpClusterTest : public ::testing::Test {
   std::unique_ptr<net::TcpServer> dms_server_;
   std::vector<std::unique_ptr<net::TcpServer>> fms_servers_;
   std::unique_ptr<net::TcpServer> osd_server_;
-  bench::RemoteDeployment remote_;
+  core::MountHandle mount_;
   std::unique_ptr<fs::FileSystemClient> client_;
   std::uint64_t clock_ = 0;
 };

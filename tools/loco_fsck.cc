@@ -16,9 +16,8 @@
 #include <cstring>
 #include <string>
 
-#include "benchlib/deploy.h"
+#include "core/connect.h"
 #include "core/fsck.h"
-#include "net/tcp.h"
 
 namespace {
 
@@ -92,30 +91,29 @@ int main(int argc, char** argv) {
     options.max_passes = passes;
   }
 
-  auto endpoints = bench::ParseConnectSpec(connect);
-  if (!endpoints.ok()) {
+  auto client_options = core::ClientOptions::FromSpec(connect);
+  if (!client_options.ok()) {
     std::fprintf(stderr, "loco_fsck: bad --connect '%s': %s\n", connect.c_str(),
-                 endpoints.status().message().c_str());
+                 client_options.status().message().c_str());
     return 2;
   }
   // fsck drives the admin RPCs directly: no client cache, no retry layer (a
   // repair that must not double-apply goes through the same server-side
-  // dedup window as everything else, but failing loud beats retrying here).
-  bench::RemoteOptions remote_options;
-  remote_options.cache_enabled = false;
-  remote_options.resilience = false;
-  auto deployment = bench::ConnectRemote(*endpoints, remote_options);
-  if (!deployment.ok()) {
+  // dedup window as everything else, but failing loud beats retrying here),
+  // and no notify plane (nothing holds leases, so nothing to invalidate).
+  client_options->WithCache(false).WithResilience(false).WithNotify(false);
+  auto mount = core::Connect(*client_options);
+  if (!mount.ok()) {
     std::fprintf(stderr, "loco_fsck: connect failed: %s\n",
-                 deployment.status().message().c_str());
+                 mount.status().message().c_str());
     return 3;
   }
 
   core::FsckRunner::Config config;
-  config.dms = deployment->config.dms;
-  config.fms = deployment->config.fms;
-  config.object_stores = deployment->config.object_stores;
-  core::FsckRunner runner(*deployment->channel, config);
+  config.dms = mount->config.dms;
+  config.fms = mount->config.fms;
+  config.object_stores = mount->config.object_stores;
+  core::FsckRunner runner(*mount->channel, config);
 
   auto report = runner.Run(options);
   if (!report.ok()) {
