@@ -10,20 +10,29 @@ cmake -B build -S . >/dev/null
 cmake --build build -j >/dev/null
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "== tier-1: ASan+UBSan pass (net + integration + chaos + notify) =="
+echo "== tier-1: ASan+UBSan pass (net + core + integration + chaos + notify) =="
 cmake -B build-asan -S . -DLOCO_SANITIZE=ON >/dev/null
-cmake --build build-asan -j --target net_test integration_test chaos_test \
-  notify_e2e_test locofs_dmsd locofs_fmsd locofs_osd loco_fsck >/dev/null
+cmake --build build-asan -j --target net_test core_test integration_test \
+  chaos_test notify_e2e_test locofs_dmsd locofs_fmsd locofs_osd \
+  loco_fsck >/dev/null
+# net_test carries the wire/batch-envelope fuzz corpus and core_test the
+# batch handler suites, so the epoll server, the batch codecs and their
+# FMS handlers all run under ASan; chaos_test includes the batched
+# crash-restart storm.
 ./build-asan/tests/net/net_test
+./build-asan/tests/core/core_test
 ./build-asan/tests/integration/integration_test
 ./build-asan/tests/integration/chaos_test
 ./build-asan/tests/integration/notify_e2e_test
 
 echo "== tier-1: TSan pass (worker pool, striped KV, concurrent handlers, notify) =="
 cmake -B build-tsan -S . -DLOCO_SANITIZE=tsan >/dev/null
-cmake --build build-tsan -j --target net_test striped_kv_test \
+cmake --build build-tsan -j --target net_test core_test striped_kv_test \
   core_concurrency_test notify_e2e_test >/dev/null
+# net_test exercises the epoll loop + worker pool under TSan; core_test
+# adds the batch handler suites over the striped stores.
 ./build-tsan/tests/net/net_test
+./build-tsan/tests/core/core_test
 ./build-tsan/tests/kvstore/striped_kv_test
 ./build-tsan/tests/core/core_concurrency_test
 ./build-tsan/tests/integration/notify_e2e_test

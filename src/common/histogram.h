@@ -44,17 +44,39 @@ class Histogram {
   // what remains is exactly the records made since the snapshot.  Lifetime
   // min/max cannot be recovered for the interval, so the result keeps them
   // as conservative bounds (percentiles/mean stay exact).
+  //
+  // If `earlier` is NOT a prefix of this histogram — it was Reset, retired
+  // and re-registered, or otherwise replaced between the snapshot and now —
+  // per-bucket subtraction would manufacture nonsense: clamping each field
+  // independently can leave count_ == 0 while buckets still hold entries
+  // (phase deltas silently dropped) or bucket totals below count_
+  // (Percentile falls through to the lifetime max).  Detect that case and
+  // keep the current contents whole: everything recorded since the reset IS
+  // the delta.
   void Subtract(const Histogram& earlier) noexcept {
-    count_ -= std::min(count_, earlier.count_);
-    sum_ -= std::min(sum_, earlier.sum_);
+    if (!earlier.IsPrefixOf(*this)) return;
+    count_ -= earlier.count_;
+    sum_ -= earlier.sum_;
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
-      buckets_[i] -= std::min(buckets_[i], earlier.buckets_[i]);
+      buckets_[i] -= earlier.buckets_[i];
     }
     if (count_ == 0) {
       min_ = 0;
       max_ = 0;
       sum_ = 0;
     }
+  }
+
+  // True when this histogram could be a snapshot of `later`'s past: every
+  // component counted here is still counted there.  A histogram that was
+  // Reset after the snapshot fails this (some bucket shrank), so Subtract
+  // knows the interval is unrecoverable.
+  bool IsPrefixOf(const Histogram& later) const noexcept {
+    if (count_ > later.count_ || sum_ > later.sum_) return false;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      if (buckets_[i] > later.buckets_[i]) return false;
+    }
+    return true;
   }
 
   void Reset() noexcept { *this = Histogram(); }

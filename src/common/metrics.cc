@@ -374,6 +374,9 @@ std::string_view RpcOpName(std::uint16_t opcode) {
     case 43: return "FmsCheckEmpty";
     case 44: return "FmsReadRaw";
     case 45: return "FmsInsertRaw";
+    case 48: return "FmsBatchCreate";
+    case 49: return "FmsBatchStat";
+    case 50: return "FmsReaddirPlus";
     case 64: return "ObjWrite";
     case 65: return "ObjRead";
     case 66: return "ObjTruncate";

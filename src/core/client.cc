@@ -7,6 +7,7 @@
 #include "core/proto.h"
 #include "fs/path.h"
 #include "fs/wire.h"
+#include "net/wire.h"
 
 namespace loco::core {
 
@@ -274,6 +275,145 @@ net::Task<Result<std::vector<fs::DirEntry>>> LocoClient::Readdir(
             [](const fs::DirEntry& a, const fs::DirEntry& b) {
               return a.name < b.name;
             });
+  co_return entries;
+}
+
+// ------------------------------------------------------------ batched ops --
+
+net::Task<Result<std::vector<ErrCode>>> LocoClient::CreateMany(
+    std::string dir_path, std::vector<std::string> names, std::uint32_t mode) {
+  if (!fs::IsValidPath(dir_path)) co_return ErrStatus(ErrCode::kInvalid);
+  auto parent =
+      co_await LookupDir(dir_path, fs::kModeWrite | fs::kModeExec, {});
+  if (!parent.ok()) co_return parent.status();
+  // Shadow check against the leased subdir set — the same name list the DMS
+  // consults for a single create's shadow_name; a shadowed entry fails
+  // locally with kExists instead of reaching the FMS.
+  std::unordered_set<std::string> shadow;
+  if (cfg_.cache_enabled) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    const auto it = cache_.find(dir_path);
+    if (it != cache_.end()) shadow = it->second.subdirs;
+  }
+  const std::uint64_t ts = Now();
+  std::vector<ErrCode> codes(names.size(), ErrCode::kOk);
+  std::unordered_map<net::NodeId, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (shadow.count(names[i]) != 0) {
+      codes[i] = ErrCode::kExists;
+      continue;
+    }
+    groups[FmsFor(parent->uuid, names[i])].push_back(i);
+  }
+  for (auto& [node, idxs] : groups) {
+    std::vector<std::string> subops;
+    subops.reserve(idxs.size());
+    for (const std::size_t i : idxs) {
+      subops.push_back(fs::Pack(parent->uuid, names[i], mode, identity_, ts));
+    }
+    net::RpcResponse resp =
+        co_await net::Call(channel_, node, proto::kFmsBatchCreate,
+                           net::wire::EncodeBatchRequest(subops));
+    if (!resp.ok()) {
+      for (const std::size_t i : idxs) codes[i] = resp.code;
+      continue;
+    }
+    std::vector<net::wire::BatchItem> items;
+    if (!net::wire::DecodeBatchResponse(resp.payload, &items) ||
+        items.size() != idxs.size()) {
+      co_return ErrStatus(ErrCode::kCorruption);
+    }
+    for (std::size_t j = 0; j < idxs.size(); ++j) {
+      codes[idxs[j]] = items[j].code;
+    }
+  }
+  co_return codes;
+}
+
+net::Task<Result<std::vector<LocoClient::StatEntry>>> LocoClient::StatMany(
+    std::string dir_path, std::vector<std::string> names) {
+  if (!fs::IsValidPath(dir_path)) co_return ErrStatus(ErrCode::kInvalid);
+  auto parent = co_await LookupDir(dir_path, fs::kModeExec, {});
+  if (!parent.ok()) co_return parent.status();
+  std::vector<StatEntry> results(names.size());
+  std::unordered_map<net::NodeId, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    groups[FmsFor(parent->uuid, names[i])].push_back(i);
+  }
+  for (auto& [node, idxs] : groups) {
+    std::vector<std::string> subops;
+    subops.reserve(idxs.size());
+    for (const std::size_t i : idxs) {
+      subops.push_back(fs::Pack(parent->uuid, names[i]));
+    }
+    net::RpcResponse resp =
+        co_await net::Call(channel_, node, proto::kFmsBatchStat,
+                           net::wire::EncodeBatchRequest(subops));
+    if (!resp.ok()) {
+      for (const std::size_t i : idxs) results[i].code = resp.code;
+      continue;
+    }
+    std::vector<net::wire::BatchItem> items;
+    if (!net::wire::DecodeBatchResponse(resp.payload, &items) ||
+        items.size() != idxs.size()) {
+      co_return ErrStatus(ErrCode::kCorruption);
+    }
+    for (std::size_t j = 0; j < idxs.size(); ++j) {
+      StatEntry& out = results[idxs[j]];
+      out.code = items[j].code;
+      if (out.code == ErrCode::kOk &&
+          !fs::Unpack(items[j].payload, out.attr)) {
+        co_return ErrStatus(ErrCode::kCorruption);
+      }
+    }
+  }
+  co_return results;
+}
+
+net::Task<Result<std::vector<LocoClient::EntryPlus>>> LocoClient::ReaddirPlus(
+    std::string path) {
+  net::RpcResponse resp = co_await net::Call(
+      channel_, cfg_.dms, proto::kDmsReaddir, fs::Pack(path, identity_));
+  if (!resp.ok()) co_return ErrStatus(resp.code);
+  fs::Attr dir_attr;
+  std::vector<fs::DirEntry> subdirs;
+  if (!fs::Unpack(resp.payload, dir_attr, subdirs)) {
+    co_return ErrStatus(ErrCode::kCorruption);
+  }
+  std::vector<EntryPlus> entries;
+  for (fs::DirEntry& d : subdirs) {
+    EntryPlus e;
+    e.name = std::move(d.name);
+    e.is_dir = true;
+    entries.push_back(std::move(e));
+  }
+  // One round trip per FMS replaces the per-file GetAttr fan-out a plain
+  // readdir + stat loop would issue.
+  std::vector<net::NodeId> fms = cfg_.fms;
+  auto responses = co_await net::CallMany(channel_, std::move(fms),
+                                          proto::kFmsReaddirPlus,
+                                          fs::Pack(dir_attr.uuid));
+  for (const net::RpcResponse& r : responses) {
+    if (!r.ok()) co_return ErrStatus(r.code);
+    std::vector<net::wire::BatchItem> items;
+    if (!net::wire::DecodeBatchResponse(r.payload, &items)) {
+      co_return ErrStatus(ErrCode::kCorruption);
+    }
+    for (net::wire::BatchItem& item : items) {
+      EntryPlus e;
+      e.code = item.code;
+      if (item.code == ErrCode::kOk) {
+        if (!fs::Unpack(item.payload, e.name, e.attr)) {
+          co_return ErrStatus(ErrCode::kCorruption);
+        }
+      } else if (!fs::Unpack(item.payload, e.name)) {
+        co_return ErrStatus(ErrCode::kCorruption);
+      }
+      entries.push_back(std::move(e));
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const EntryPlus& a, const EntryPlus& b) { return a.name < b.name; });
   co_return entries;
 }
 

@@ -96,6 +96,42 @@ class LocoClient final : public fs::FileSystemClient {
   net::Task<Result<std::string>> Read(std::string path, std::uint64_t offset,
                                       std::uint64_t length) override;
 
+  // Batched metadata ops (proto::kFmsBatchCreate / kFmsBatchStat /
+  // kFmsReaddirPlus): names under ONE parent directory, grouped by FMS
+  // placement so each server sees a single frame carrying all of its
+  // sub-ops.  One LookupDir covers the parent for the whole batch.  Each
+  // entry succeeds or fails alone (per-sub-op ErrCode); only transport-level
+  // failures or a corrupt batch envelope fail the call as a whole.
+  //
+  // Per-entry stat result of StatMany.
+  struct StatEntry {
+    ErrCode code = ErrCode::kOk;
+    fs::Attr attr;  // valid only when code == kOk
+  };
+  // Readdir entry with attributes: files carry their Attr (or the per-entry
+  // error a concurrent remove produced); subdirectories carry the name only
+  // (the DMS readdir reply has no per-subdir attrs).
+  struct EntryPlus {
+    std::string name;
+    bool is_dir = false;
+    ErrCode code = ErrCode::kOk;
+    fs::Attr attr;  // files with code == kOk only
+  };
+  // Create every `names[i]` under `dir_path`; result[i] is that entry's
+  // outcome, in `names` order.  The subdirectory shadow check runs against
+  // the leased subdir set when the parent lease is live (same name list the
+  // DMS would consult); with caching disabled it is skipped.
+  net::Task<Result<std::vector<ErrCode>>> CreateMany(
+      std::string dir_path, std::vector<std::string> names,
+      std::uint32_t mode);
+  // Stat every `names[i]` under `dir_path`; results in `names` order.
+  net::Task<Result<std::vector<StatEntry>>> StatMany(
+      std::string dir_path, std::vector<std::string> names);
+  // Readdir returning file attributes in the same round trips: one DMS
+  // readdir plus one kFmsReaddirPlus per FMS, instead of one GetAttr per
+  // file.  Entries are sorted by name.
+  net::Task<Result<std::vector<EntryPlus>>> ReaddirPlus(std::string path);
+
   // Typed fast paths used by benchmarks (mdtest knows object types).
   net::Task<Result<fs::Attr>> StatDir(std::string path) override;
   net::Task<Result<fs::Attr>> StatFile(std::string path) override;

@@ -35,7 +35,17 @@ std::uint64_t PathLockKey(std::string_view path) {
 }  // namespace
 
 DirectoryMetadataServer::DirectoryMetadataServer(const Options& options)
-    : leases_(options.lease) {
+    : leases_([this, &options] {
+        // Cap evictions must not silently drop an invalidation promise: wire
+        // the table's eviction callback to a targeted resync push.  The
+        // callback fires outside the table's lock (see LeaseTable::Grant),
+        // so the Drop() re-entry on a dead push session cannot deadlock.
+        LeaseTable::Options lease = options.lease;
+        lease.on_evict = [this](const std::string& path, std::uint64_t client) {
+          OnWatchEvicted(path, client);
+        };
+        return lease;
+      }()) {
   // Each store gets its own subdirectory so their WALs never collide.
   kv::KvOptions dirs_opt = options.kv;
   kv::KvOptions dirents_opt = options.kv;
@@ -255,6 +265,26 @@ void DirectoryMetadataServer::PushInvalidate(const std::string& path,
       // No live push session: its watches are undeliverable, drop them all.
       leases_.Drop(target);
     }
+  }
+}
+
+void DirectoryMetadataServer::OnWatchEvicted(const std::string& path,
+                                             std::uint64_t client) {
+  // The evicted holder keeps serving its cached entry until the lease times
+  // out unless told otherwise — and the table just forgot it exists, so no
+  // future mutation will tell it.  Close the gap with a synthetic
+  // invalidation now; a client without a push session simply rides out the
+  // lease timeout exactly as before the push plane existed.
+  if (notifier_ == nullptr) return;
+  net::InvalidateEvent event;
+  event.path = path;
+  event.subtree = false;
+  event.wall_ts_ns = static_cast<std::uint64_t>(common::WallClockNs());
+  if (notifier_->PushNotify(client, net::wire::kNotifyInvalidate,
+                            net::EncodeInvalidate(event))) {
+    evict_resyncs_->Add();
+  } else {
+    leases_.Drop(client);
   }
 }
 

@@ -88,6 +88,10 @@ class DirectoryMetadataServer final : public net::RpcHandler {
   // subtree under it when `subtree`), excluding the originating `client`.
   void PushInvalidate(const std::string& path, bool subtree,
                       std::uint64_t client);
+  // A live watch was evicted at the table cap: push a synthetic invalidation
+  // so the holder resyncs now instead of trusting a cache entry whose
+  // invalidation promise was just broken.
+  void OnWatchEvicted(const std::string& path, std::uint64_t client);
 
   net::RpcResponse Mkdir(std::string_view payload);
   net::RpcResponse Rmdir(std::string_view payload);
@@ -128,6 +132,9 @@ class DirectoryMetadataServer final : public net::RpcHandler {
   common::Counter* invalidations_pushed_ =
       &common::MetricsRegistry::Default().GetCounter(
           "server.dms.lease.invalidations_pushed");
+  common::Counter* evict_resyncs_ =
+      &common::MetricsRegistry::Default().GetCounter(
+          "server.dms.lease.evict_resyncs");
   // server.dms.kv.* gauges aggregating both stores (RAII: unregistered with
   // the server).
   std::vector<common::MetricsRegistry::GaugeHandle> kv_gauges_;

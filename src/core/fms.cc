@@ -9,6 +9,7 @@
 #include "core/proto.h"
 #include "fs/wire.h"
 #include "kvstore/striped_kv.h"
+#include "net/wire.h"
 
 namespace loco::core {
 
@@ -24,6 +25,15 @@ net::RpcResponse BadRequest() { return Fail(ErrCode::kCorruption); }
 // Lock-table key for a file's (dir_uuid + name) KV key.
 std::uint64_t FileLockKey(std::string_view key) {
   return common::WyMix(key, 0xfeed);
+}
+
+// rpc.batch.* counters (docs/METRICS.md): batch frames served, sub-ops they
+// carried, and sub-ops that failed while their siblings succeeded.
+void CountBatch(std::size_t subops, std::size_t failed) {
+  auto& reg = common::MetricsRegistry::Default();
+  reg.GetCounter("rpc.batch.calls").Add();
+  reg.GetCounter("rpc.batch.subops").Add(subops);
+  if (failed > 0) reg.GetCounter("rpc.batch.partial_failures").Add(failed);
 }
 
 }  // namespace
@@ -148,6 +158,9 @@ net::RpcResponse FileMetadataServer::Dispatch(std::uint16_t opcode,
     case proto::kFmsSetSize: return SetSize(payload);
     case proto::kFmsSetAtime: return SetAtime(payload);
     case proto::kFmsReaddir: return Readdir(payload);
+    case proto::kFmsBatchCreate: return BatchCreate(payload);
+    case proto::kFmsBatchStat: return BatchStat(payload);
+    case proto::kFmsReaddirPlus: return ReaddirPlus(payload);
     case proto::kFmsCheckEmpty: return CheckEmpty(payload);
     case proto::kFmsReadRaw: return ReadRaw(payload);
     case proto::kFmsInsertRaw: return InsertRaw(payload);
@@ -528,6 +541,68 @@ net::RpcResponse FileMetadataServer::Readdir(std::string_view payload) {
     entries.push_back(fs::DirEntry{std::move(name), false});
   }
   return OkPayload(fs::Pack(entries));
+}
+
+net::RpcResponse FileMetadataServer::BatchCreate(std::string_view payload) {
+  std::vector<std::string_view> subops;
+  if (!net::wire::DecodeBatchRequest(payload, &subops)) return BadRequest();
+  // Each sub-op reuses the single-op handler wholesale, so it takes the same
+  // per-directory lock and the same content-before-access write order; a
+  // duplicate name or I/O failure fails that entry alone.
+  std::vector<net::wire::BatchItem> items;
+  items.reserve(subops.size());
+  std::size_t failed = 0;
+  for (const std::string_view sub : subops) {
+    net::RpcResponse r = Create(sub);
+    if (r.code != ErrCode::kOk) ++failed;
+    items.push_back(net::wire::BatchItem{r.code, std::move(r.payload)});
+  }
+  CountBatch(subops.size(), failed);
+  return OkPayload(net::wire::EncodeBatchResponse(items));
+}
+
+net::RpcResponse FileMetadataServer::BatchStat(std::string_view payload) {
+  std::vector<std::string_view> subops;
+  if (!net::wire::DecodeBatchRequest(payload, &subops)) return BadRequest();
+  std::vector<net::wire::BatchItem> items;
+  items.reserve(subops.size());
+  std::size_t failed = 0;
+  for (const std::string_view sub : subops) {
+    net::RpcResponse r = GetAttr(sub);
+    if (r.code != ErrCode::kOk) ++failed;
+    items.push_back(net::wire::BatchItem{r.code, std::move(r.payload)});
+  }
+  CountBatch(subops.size(), failed);
+  return OkPayload(net::wire::EncodeBatchResponse(items));
+}
+
+net::RpcResponse FileMetadataServer::ReaddirPlus(std::string_view payload) {
+  fs::Uuid dir_uuid;
+  if (!fs::Unpack(payload, dir_uuid)) return BadRequest();
+  std::string value;
+  {
+    // Snapshot the dirent list under the directory lock, then stat outside
+    // it — a concurrent remove turns into a per-entry kNotFound, exactly
+    // what a readdir+stat sequence could observe anyway.
+    const auto guard = dir_locks_.Lock(dir_uuid.raw());
+    (void)dirents_->Get(DirentKey(dir_uuid), &value);
+  }
+  std::vector<net::wire::BatchItem> items;
+  std::size_t failed = 0;
+  for (std::string& name : ParseDirentList(value)) {
+    auto attr = GetAttrInternal(FileKey(dir_uuid, name));
+    net::wire::BatchItem item;
+    if (attr.ok()) {
+      item.payload = fs::Pack(name, *attr);
+    } else {
+      item.code = attr.code();
+      item.payload = fs::Pack(name);
+      ++failed;
+    }
+    items.push_back(std::move(item));
+  }
+  CountBatch(items.size(), failed);
+  return OkPayload(net::wire::EncodeBatchResponse(items));
 }
 
 net::RpcResponse FileMetadataServer::CheckEmpty(std::string_view payload) {

@@ -86,6 +86,12 @@ class FileMetadataServer final : public net::RpcHandler {
   net::RpcResponse SetSize(std::string_view payload);
   net::RpcResponse SetAtime(std::string_view payload);
   net::RpcResponse Readdir(std::string_view payload);
+  // Batched metadata ops (net/wire.h batch framing): each sub-op runs under
+  // the same lock-table guards as its single-op twin and fails individually;
+  // only a malformed batch envelope fails the whole frame (kCorruption).
+  net::RpcResponse BatchCreate(std::string_view payload);
+  net::RpcResponse BatchStat(std::string_view payload);
+  net::RpcResponse ReaddirPlus(std::string_view payload);
   net::RpcResponse CheckEmpty(std::string_view payload);
   net::RpcResponse ReadRaw(std::string_view payload);
   net::RpcResponse InsertRaw(std::string_view payload);

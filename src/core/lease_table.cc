@@ -8,18 +8,29 @@ void LeaseTable::Grant(const std::string& path, std::uint64_t client,
                        std::uint64_t now) {
   if (client == 0) return;
   const std::uint64_t expiry = now + options_.lease_ns;
-  std::lock_guard<std::mutex> lock(mu_);
-  auto& holders = watches_[path];
-  auto it = holders.find(client);
-  if (it != holders.end()) {
-    // Refresh: the old by_expiry_ twin goes stale and is skipped lazily.
-    it->second = expiry;
-  } else {
-    if (count_ >= options_.max_watches) MakeRoomLocked(now);
-    holders.emplace(client, expiry);
-    ++count_;
+  std::vector<std::pair<std::string, std::uint64_t>> evicted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& holders = watches_[path];
+    auto it = holders.find(client);
+    if (it != holders.end()) {
+      // Refresh: the old by_expiry_ twin goes stale and is skipped lazily.
+      it->second = expiry;
+    } else {
+      if (count_ >= options_.max_watches) MakeRoomLocked(now, &evicted);
+      holders.emplace(client, expiry);
+      ++count_;
+    }
+    by_expiry_.emplace(expiry, ExpiryKey{path, client});
   }
-  by_expiry_.emplace(expiry, ExpiryKey{path, client});
+  // Fire eviction callbacks outside mu_: the DMS handler pushes a synthetic
+  // invalidation from here, and its failure path re-enters the table via
+  // Drop() — holding mu_ across the callback would self-deadlock.
+  if (options_.on_evict) {
+    for (const auto& [evicted_path, evicted_client] : evicted) {
+      options_.on_evict(evicted_path, evicted_client);
+    }
+  }
 }
 
 std::vector<std::uint64_t> LeaseTable::Collect(const std::string& path,
@@ -80,7 +91,9 @@ void LeaseTable::EraseLocked(const std::string& path, std::uint64_t client,
   --count_;
 }
 
-void LeaseTable::MakeRoomLocked(std::uint64_t now) {
+void LeaseTable::MakeRoomLocked(
+    std::uint64_t now,
+    std::vector<std::pair<std::string, std::uint64_t>>* evicted) {
   // Pop from the expiry heap until one live watch is gone; stale twins
   // (refreshed or already-consumed watches) just fall out along the way.
   while (!by_expiry_.empty() && count_ >= options_.max_watches) {
@@ -88,8 +101,15 @@ void LeaseTable::MakeRoomLocked(std::uint64_t now) {
     const std::size_t before = count_;
     EraseLocked(it->second.path, it->second.client, it->first);
     const bool expired = it->first <= now;
+    if (count_ < before && !expired) {
+      // A live watch lost its slot: its holder must be told to resync, or
+      // the next mutation of that path would go silently unobserved until
+      // the lease timeout.
+      evicted->emplace_back(std::move(it->second.path), it->second.client);
+      by_expiry_.erase(it);
+      break;
+    }
     by_expiry_.erase(it);
-    if (count_ < before && !expired) break;  // evicted one live watch
   }
 }
 

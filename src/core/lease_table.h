@@ -18,9 +18,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace loco::core {
@@ -32,6 +34,14 @@ class LeaseTable {
     std::uint64_t lease_ns = 30ull * 1'000'000'000;
     // Upper bound on live (path, client) watches.
     std::size_t max_watches = 65536;
+    // Invoked when a *live* watch is evicted to make room at the cap.  The
+    // evicted holder believed it would be pushed an invalidation for `path`;
+    // since that promise is now broken, the owner (the DMS) must push a
+    // synthetic invalidation so the client resyncs instead of serving a
+    // stale entry until its lease times out.  Expired watches are swept
+    // without a callback — their holders already fell back to the timeout.
+    // Called with no internal lock held (safe to re-enter the table).
+    std::function<void(const std::string& path, std::uint64_t client)> on_evict;
   };
 
   LeaseTable() : LeaseTable(Options()) {}
@@ -67,8 +77,11 @@ class LeaseTable {
   void EraseLocked(const std::string& path, std::uint64_t client,
                    std::uint64_t expiry);
   // Caller holds mu_.  Frees at least one slot: sweep expired watches, then
-  // evict the soonest-to-expire live one.
-  void MakeRoomLocked(std::uint64_t now);
+  // evict the soonest-to-expire live one.  Live evictions are appended to
+  // `evicted` so the caller can fire on_evict after releasing mu_.
+  void MakeRoomLocked(
+      std::uint64_t now,
+      std::vector<std::pair<std::string, std::uint64_t>>* evicted);
 
   const Options options_;
   mutable std::mutex mu_;

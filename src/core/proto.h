@@ -98,6 +98,22 @@ enum FmsOp : std::uint16_t {
   // [dir_uuid, name, access_raw, content_raw] -> []
   kFmsInsertRaw = 45,
 
+  // -- batched metadata ops (net/wire.h batch framing) --
+  // One frame carries N independent sub-ops; the response carries one
+  // ErrCode + payload per sub-op, so a single bad entry fails alone.  A
+  // malformed batch envelope (declared count disagreeing with the payload
+  // bytes) is answered with kCorruption for the whole frame.
+  // request sub-op  = kFmsCreate request tuple
+  // response sub-op = [file_uuid]
+  kFmsBatchCreate = 48,
+  // request sub-op  = kFmsGetAttr request tuple ([dir_uuid, name])
+  // response sub-op = [Attr]
+  kFmsBatchStat = 49,
+  // Readdir that returns attributes with the names in one round trip.
+  // request = [dir_uuid] (plain tuple, not batch-framed); response = batch
+  // items of [name, Attr] for every file of the directory on this server.
+  kFmsReaddirPlus = 50,
+
   // -- fsck / admin --
   // [] -> [entries] ; entry = Pack(dir_uuid, name, file_uuid) per file inode
   kFmsScanFiles = 56,
@@ -136,7 +152,7 @@ inline std::vector<std::uint16_t> IdempotentReplayOps() {
           kDmsUtimens, kDmsRename,    kDmsRepairDirent, kDmsDropDirents,
           kFmsCreate,  kFmsRemove,    kFmsChmod,    kFmsChown,
           kFmsUtimens, kFmsSetSize,   kFmsSetAtime, kFmsInsertRaw,
-          kFmsRepairDirent, kFmsPurgeFile,
+          kFmsRepairDirent, kFmsPurgeFile, kFmsBatchCreate,
           kObjWrite,   kObjTruncate,  kObjPurge};
 }
 

@@ -1,7 +1,5 @@
 #include "net/dedup.h"
 
-#include "common/hash.h"
-
 namespace loco::net {
 
 DedupWindow::DedupWindow(std::vector<std::uint16_t> opcodes, Options options)
@@ -10,14 +8,20 @@ DedupWindow::DedupWindow(std::vector<std::uint16_t> opcodes, Options options)
       replays_(&common::MetricsRegistry::Default().GetCounter(
           "rpc.tcp_server.dedup.replays")) {}
 
-std::uint64_t DedupWindow::Key(const wire::FrameHeader& header,
-                               std::string_view payload) noexcept {
-  const std::uint64_t seed =
-      header.trace_id ^ (std::uint64_t{header.opcode} * 0x9e3779b97f4a7c15ULL);
-  return common::WyMix(payload, seed);
+std::string DedupWindow::Key(const wire::FrameHeader& header,
+                             std::string_view payload) {
+  std::string key;
+  key.reserve(10 + payload.size());
+  for (int shift = 0; shift < 64; shift += 8) {
+    key.push_back(static_cast<char>((header.trace_id >> shift) & 0xFF));
+  }
+  key.push_back(static_cast<char>(header.opcode & 0xFF));
+  key.push_back(static_cast<char>((header.opcode >> 8) & 0xFF));
+  key.append(payload.data(), payload.size());
+  return key;
 }
 
-DedupWindow::Outcome DedupWindow::Begin(std::uint64_t key, ErrCode* code,
+DedupWindow::Outcome DedupWindow::Begin(const std::string& key, ErrCode* code,
                                         std::string* payload) {
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
@@ -38,7 +42,7 @@ DedupWindow::Outcome DedupWindow::Begin(std::uint64_t key, ErrCode* code,
   }
 }
 
-void DedupWindow::Complete(std::uint64_t key, ErrCode code,
+void DedupWindow::Complete(const std::string& key, ErrCode code,
                            std::string_view payload) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);

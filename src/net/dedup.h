@@ -9,10 +9,14 @@
 // Keying: raw request ids are minted per attempt by TcpChannel, so they are
 // NOT stable across a retry.  The trace id is — net::Call stamps one per
 // client operation and the resilient channel reuses it for every attempt —
-// so the window keys on hash(trace_id, opcode, payload bytes).  Two calls
-// that share a trace id (a CallMany fan-out or a pipelined burst) differ in
-// payload or land on different servers, so they never collide; a retried or
-// duplicated frame matches exactly.
+// so the window keys on the exact bytes (trace_id, opcode, payload).  Two
+// calls that share a trace id (a CallMany fan-out or a pipelined burst)
+// differ in payload or land on different servers, so they never collide; a
+// retried or duplicated frame matches exactly.  The key is the literal byte
+// string, not a hash: a 64-bit digest would let an unlucky (or adversarial)
+// collision replay a *different* request's cached response as if it were
+// this one — a silent cross-request data leak the window must rule out by
+// construction (tests/net/dedup_test.cc covers the collision case).
 //
 // Concurrency: the first arrival of a key executes the handler; concurrent
 // duplicates block on a condition variable until the owner completes, then
@@ -52,16 +56,18 @@ class DedupWindow {
     return opcodes_.count(opcode) != 0;
   }
 
-  // Stable identity of a request across retries and duplicated frames.
-  static std::uint64_t Key(const wire::FrameHeader& header,
-                           std::string_view payload) noexcept;
+  // Stable identity of a request across retries and duplicated frames: the
+  // exact bytes of (trace_id, opcode, payload).  Collision-free by
+  // construction — two distinct requests can never share a key.
+  static std::string Key(const wire::FrameHeader& header,
+                         std::string_view payload);
 
   enum class Outcome {
     kExecute,  // first arrival: caller runs the handler, must call Complete
     kReplay,   // duplicate: *code/*payload carry the cached response
   };
-  Outcome Begin(std::uint64_t key, ErrCode* code, std::string* payload);
-  void Complete(std::uint64_t key, ErrCode code, std::string_view payload);
+  Outcome Begin(const std::string& key, ErrCode* code, std::string* payload);
+  void Complete(const std::string& key, ErrCode code, std::string_view payload);
 
   std::uint64_t replays() const noexcept { return replays_->value(); }
 
@@ -77,8 +83,8 @@ class DedupWindow {
   common::Counter* replays_;
   std::mutex mu_;
   std::condition_variable cv_;
-  std::unordered_map<std::uint64_t, Entry> entries_;
-  std::deque<std::uint64_t> completed_;  // eviction order
+  std::unordered_map<std::string, Entry> entries_;
+  std::deque<std::string> completed_;  // eviction order
 };
 
 }  // namespace loco::net

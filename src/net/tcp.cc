@@ -6,10 +6,13 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <cerrno>
 #include <charconv>
 #include <chrono>
@@ -25,6 +28,20 @@ namespace loco::net {
 namespace {
 
 constexpr std::size_t kIoChunk = 64 * 1024;
+
+// epoll_event.data.u64 tags for the two non-connection descriptors; real
+// connection ids start at 1 and count up, so they can never collide.
+constexpr std::uint64_t kListenTag = UINT64_MAX;
+constexpr std::uint64_t kWakeTag = UINT64_MAX - 1;
+
+// Scatter-gather flush width: frames gathered into one sendmsg() call.
+constexpr int kMaxIov = 64;
+
+// Buffer-arena bounds: at most this many pooled buffers, none retained once
+// its capacity outgrows the cap (a one-off giant readdir reply must not pin
+// megabytes for the connection's lifetime).
+constexpr std::size_t kPoolMaxBuffers = 64;
+constexpr std::size_t kPoolMaxBufferBytes = 256 * 1024;
 
 bool SetNonBlocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
@@ -199,8 +216,13 @@ struct TcpServer::Conn {
   int fd;
   std::uint64_t id;
   wire::FrameReader reader;
-  std::string out;          // pending response bytes
-  std::size_t out_pos = 0;  // bytes of `out` already written
+  // Pending output: whole encoded frames, moved in (never memcpy'd) and
+  // flushed with writev.  out_off is the partial-send offset into the front
+  // buffer; out_bytes the total unsent bytes across the queue.
+  std::deque<std::string> outq;
+  std::size_t out_off = 0;
+  std::size_t out_bytes = 0;
+  bool want_write = false;  // EPOLLOUT currently registered
   bool dead = false;        // write side failed; remove on the next pass
   // Hello state (loop thread only).
   std::uint64_t client_id = 0;   // announced identity; 0 = anonymous
@@ -271,6 +293,23 @@ Status TcpServer::Start() {
     }
     return ErrStatus(ErrCode::kIo, "cannot create wake pipe");
   }
+  epoll_fd_ = ::epoll_create1(0);
+  if (epoll_fd_ < 0) {
+    ::close(fd);
+    for (int& w : wake_fds_) {
+      ::close(w);
+      w = -1;
+    }
+    return ErrStatus(ErrCode::kIo, "cannot create epoll instance");
+  }
+  {
+    struct epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kListenTag;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    ev.data.u64 = kWakeTag;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fds_[0], &ev);
+  }
   listen_fd_ = fd;
   stop_.store(false, std::memory_order_release);
   queue_stop_ = false;
@@ -322,10 +361,13 @@ void TcpServer::Stop() {
   workers_.clear();
   if (listen_fd_ >= 0) ::close(listen_fd_);
   listen_fd_ = -1;
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  epoll_fd_ = -1;
   for (int& w : wake_fds_) {
     if (w >= 0) ::close(w);
     w = -1;
   }
+  buf_pool_.clear();
   // Releasing the handles retires the final gauge values into the registry,
   // so end-of-run --metrics-out dumps still carry the worker count.
   gauges_.clear();
@@ -377,14 +419,14 @@ std::size_t TcpServer::notify_sessions() const {
 
 std::string TcpServer::Execute(const wire::FrameHeader& req,
                                std::string_view payload,
-                               std::uint64_t client_id) {
+                               std::uint64_t client_id, std::string buf) {
   const common::RpcMetricsTable::PerOp& m = metrics_.For(req.opcode);
   m.calls->Add();
   m.bytes_received->Add(payload.size());
   const common::CpuTimer timer;
   RpcResponse resp;
   bool replayed = false;
-  std::uint64_t dedup_key = 0;
+  std::string dedup_key;
   bool dedup_owner = false;
   if (options_.dedup != nullptr && options_.dedup->Eligible(req.opcode)) {
     // Idempotent replay: a retried or duplicated mutation must not apply
@@ -422,7 +464,9 @@ std::string TcpServer::Execute(const wire::FrameHeader& req,
   reply.request_id = req.request_id;
   reply.trace_id = req.trace_id;
   reply.code = resp.code;
-  return wire::EncodeFrame(reply, resp.payload);
+  buf.clear();
+  wire::EncodeFrameInto(reply, resp.payload, &buf);
+  return buf;
 }
 
 bool TcpServer::HandleHello(Conn* conn, const wire::Frame& frame) {
@@ -450,8 +494,10 @@ bool TcpServer::HandleHello(Conn* conn, const wire::Frame& frame) {
   rh.request_id = frame.header.request_id;
   rh.trace_id = frame.header.trace_id;
   rh.code = code;
-  std::string bytes = wire::EncodeFrame(
-      rh, code == ErrCode::kOk ? wire::EncodeHelloReply(reply) : std::string());
+  const std::string reply_payload =
+      code == ErrCode::kOk ? wire::EncodeHelloReply(reply) : std::string();
+  std::string bytes = GetBuffer();
+  wire::EncodeFrameInto(rh, reply_payload, &bytes);
   // Negotiation is answered inline on the loop thread, but in worker mode
   // the reply must not overtake responses still in the pool: give it a slot
   // in the per-connection sequence and release it in order.
@@ -488,7 +534,7 @@ bool TcpServer::DrainFrames(Conn* conn) {
           std::this_thread::sleep_for(std::chrono::nanoseconds(delay_ns));
         }
         if (!AppendResponse(conn, Execute(frame->header, frame->payload,
-                                          conn->client_id))) {
+                                          conn->client_id, GetBuffer()))) {
           return false;
         }
       } else {
@@ -510,19 +556,41 @@ bool TcpServer::DrainFrames(Conn* conn) {
 }
 
 bool TcpServer::FlushWrites(Conn* conn) {
-  while (conn->out_pos < conn->out.size()) {
-    const ssize_t n = ::send(conn->fd, conn->out.data() + conn->out_pos,
-                             conn->out.size() - conn->out_pos, MSG_NOSIGNAL);
-    if (n > 0) {
-      conn->out_pos += static_cast<std::size_t>(n);
-      continue;
+  while (conn->out_bytes > 0) {
+    // Gather up to kMaxIov queued frames into one scatter-gather send; the
+    // front buffer may already be partially written (out_off).
+    struct iovec iov[kMaxIov];
+    int iovcnt = 0;
+    std::size_t skip = conn->out_off;
+    for (const std::string& frame : conn->outq) {
+      if (iovcnt == kMaxIov) break;
+      iov[iovcnt].iov_base = const_cast<char*>(frame.data()) + skip;
+      iov[iovcnt].iov_len = frame.size() - skip;
+      ++iovcnt;
+      skip = 0;
     }
+    struct msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+    const ssize_t n = ::sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
     if (n < 0 && errno == EINTR) continue;
-    return false;
+    if (n <= 0) return false;
+    conn->out_bytes -= static_cast<std::size_t>(n);
+    std::size_t sent = static_cast<std::size_t>(n);
+    while (sent > 0) {
+      std::string& front = conn->outq.front();
+      const std::size_t remaining = front.size() - conn->out_off;
+      if (sent < remaining) {
+        conn->out_off += sent;
+        break;
+      }
+      sent -= remaining;
+      RecycleBuffer(std::move(front));
+      conn->outq.pop_front();
+      conn->out_off = 0;
+    }
   }
-  conn->out.clear();
-  conn->out_pos = 0;
   return true;
 }
 
@@ -531,11 +599,18 @@ bool TcpServer::AppendResponse(Conn* conn, std::string&& bytes) {
     // Torn response: deliver only the first half of the frame, push what the
     // socket accepts, then let the caller drop the connection.  The client
     // observes a desynchronized stream and must treat the call as failed.
-    conn->out.append(bytes.data(), bytes.size() / 2);
+    bytes.resize(bytes.size() / 2);
+    if (!bytes.empty()) {
+      conn->out_bytes += bytes.size();
+      conn->outq.push_back(std::move(bytes));
+    }
     FlushWrites(conn);
     return false;
   }
-  conn->out += bytes;
+  if (!bytes.empty()) {
+    conn->out_bytes += bytes.size();
+    conn->outq.push_back(std::move(bytes));
+  }
   return true;
 }
 
@@ -553,7 +628,7 @@ void TcpServer::WorkerMain(std::size_t index) {
     if (w.delay_ns > 0) {
       std::this_thread::sleep_for(std::chrono::nanoseconds(w.delay_ns));
     }
-    std::string bytes = Execute(w.header, w.payload, w.client_id);
+    std::string bytes = Execute(w.header, w.payload, w.client_id, std::string());
     busy_[index].store(false, std::memory_order_relaxed);
     {
       std::scoped_lock lock(comp_mu_);
@@ -580,17 +655,18 @@ bool TcpServer::ReleaseOrdered(Conn* conn, std::uint64_t seq,
 }
 
 void TcpServer::DeliverCompletions(
-    const std::unordered_map<std::uint64_t, Conn*>& by_id) {
+    const std::unordered_map<std::uint64_t, std::unique_ptr<Conn>>& conns) {
   std::vector<Completion> batch;
   {
     std::scoped_lock lock(comp_mu_);
     batch.swap(completions_);
   }
   for (Completion& c : batch) {
-    const auto it = by_id.find(c.conn_id);
-    if (it == by_id.end()) continue;  // connection dropped meanwhile
-    Conn* conn = it->second;
+    const auto it = conns.find(c.conn_id);
+    if (it == conns.end()) continue;  // connection dropped meanwhile
+    Conn* conn = it->second.get();
     --conn->inflight;
+    if (conn->dead) continue;
     if (!ReleaseOrdered(conn, c.seq, std::move(c.bytes))) conn->dead = true;
     if (!conn->dead && !FlushWrites(conn)) conn->dead = true;
   }
@@ -613,15 +689,20 @@ void TcpServer::SendNotifyFrame(Conn* conn, std::uint16_t opcode,
   header.type = wire::FrameType::kNotify;
   header.opcode = opcode;
   header.request_id = ++conn->notify_seq;
-  const std::string bytes = wire::EncodeFrame(header, payload);
   // Notify frames bypass AppendResponse: the short-write fault models torn
-  // *responses* and must not fire on the push path.
-  for (int copy = 0; copy < copies; ++copy) conn->out += bytes;
+  // *responses* and must not fire on the push path.  A duplicated push is
+  // encoded twice (same sequence number; the client ignores the replay).
+  for (int copy = 0; copy < copies; ++copy) {
+    std::string bytes = GetBuffer();
+    wire::EncodeFrameInto(header, payload, &bytes);
+    conn->out_bytes += bytes.size();
+    conn->outq.push_back(std::move(bytes));
+  }
   common::MetricsRegistry::Default().GetCounter("notify.server.pushed").Add();
 }
 
 void TcpServer::DrainNotify(
-    const std::unordered_map<std::uint64_t, Conn*>& by_id) {
+    const std::unordered_map<std::uint64_t, std::unique_ptr<Conn>>& conns) {
   std::vector<PendingNotify> batch;
   {
     std::scoped_lock lock(notify_mu_);
@@ -637,15 +718,15 @@ void TcpServer::DrainNotify(
         if (it == notify_sessions_.end()) continue;  // client disconnected
         conn_id = it->second;
       }
-      const auto it = by_id.find(conn_id);
-      if (it == by_id.end() || it->second->dead) continue;
-      SendNotifyFrame(it->second, p.opcode, p.payload);
-      if (!FlushWrites(it->second)) it->second->dead = true;
+      const auto it = conns.find(conn_id);
+      if (it == conns.end() || it->second->dead) continue;
+      SendNotifyFrame(it->second.get(), p.opcode, p.payload);
+      if (!FlushWrites(it->second.get())) it->second->dead = true;
     } else {
-      for (const auto& [id, conn] : by_id) {
+      for (const auto& [id, conn] : conns) {
         if (!conn->notify || conn->dead) continue;
-        SendNotifyFrame(conn, p.opcode, p.payload);
-        if (!FlushWrites(conn)) conn->dead = true;
+        SendNotifyFrame(conn.get(), p.opcode, p.payload);
+        if (!FlushWrites(conn.get())) conn->dead = true;
       }
     }
   }
@@ -660,35 +741,81 @@ void TcpServer::ForgetNotifySession(const Conn& conn) {
   }
 }
 
+void TcpServer::SyncWriteInterest(Conn* conn) {
+  const bool want = conn->out_bytes > 0;
+  if (want == conn->want_write) return;
+  struct epoll_event ev{};
+  ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+  ev.data.u64 = conn->id;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev) == 0) {
+    conn->want_write = want;
+  }
+}
+
+void TcpServer::CloseConn(
+    std::unordered_map<std::uint64_t, std::unique_ptr<Conn>>* conns,
+    std::uint64_t id) {
+  const auto it = conns->find(id);
+  if (it == conns->end()) return;
+  Conn* conn = it->second.get();
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  ForgetNotifySession(*conn);
+  // Undelivered frames die with the connection; their buffers need not.
+  for (std::string& frame : conn->outq) RecycleBuffer(std::move(frame));
+  conns->erase(it);
+}
+
+std::string TcpServer::GetBuffer() {
+  if (buf_pool_.empty()) {
+    bufpool_allocs_->Add();
+    return std::string();
+  }
+  bufpool_reuses_->Add();
+  std::string buf = std::move(buf_pool_.back());
+  buf_pool_.pop_back();
+  buf.clear();
+  return buf;
+}
+
+void TcpServer::RecycleBuffer(std::string&& buf) {
+  if (buf_pool_.size() >= kPoolMaxBuffers ||
+      buf.capacity() > kPoolMaxBufferBytes) {
+    return;
+  }
+  buf_pool_.push_back(std::move(buf));
+}
+
 void TcpServer::Loop() {
-  std::vector<std::unique_ptr<Conn>> conns;
-  std::unordered_map<std::uint64_t, Conn*> by_id;
-  std::vector<struct pollfd> pfds;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns;
   std::uint64_t next_conn_id = 1;
   char buf[kIoChunk];
+  std::array<struct epoll_event, 128> events;
+  std::vector<std::uint64_t> doomed;
+  auto& reg = common::MetricsRegistry::Default();
+  common::Counter& epoll_waits = reg.GetCounter("rpc.tcp_server.epoll.waits");
+  common::Counter& epoll_events = reg.GetCounter("rpc.tcp_server.epoll.events");
   while (!stop_.load(std::memory_order_acquire)) {
-    pfds.clear();
-    pfds.push_back({listen_fd_, POLLIN, 0});
-    pfds.push_back({wake_fds_[0], POLLIN, 0});
-    for (const auto& conn : conns) {
-      short events = POLLIN;
-      if (conn->out_pos < conn->out.size()) events |= POLLOUT;
-      pfds.push_back({conn->fd, events, 0});
-    }
-    if (::poll(pfds.data(), pfds.size(), -1) < 0) {
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), -1);
+    if (n < 0) {
       if (errno == EINTR) continue;
       break;
     }
-    if (pfds[1].revents != 0) {
-      while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+    epoll_waits.Add();
+    epoll_events.Add(static_cast<std::uint64_t>(n));
+    bool accept_ready = false;
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.u64 == kWakeTag) {
+        while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+        }
+      } else if (events[i].data.u64 == kListenTag) {
+        accept_ready = true;
       }
     }
-    if (options_.workers > 0) DeliverCompletions(by_id);
-    DrainNotify(by_id);
-    // Conns accepted below were not in this poll round; only the first
-    // `polled` entries of `conns` have a matching pollfd.
-    const std::size_t polled = pfds.size() - 2;
-    if (pfds[0].revents & POLLIN) {
+    if (options_.workers > 0) DeliverCompletions(conns);
+    DrainNotify(conns);
+    if (accept_ready) {
       for (;;) {
         const int fd = ::accept(listen_fd_, nullptr, nullptr);
         if (fd < 0) break;
@@ -697,45 +824,56 @@ void TcpServer::Loop() {
           continue;
         }
         SetNoDelay(fd);
-        conns.push_back(std::make_unique<Conn>(fd, next_conn_id++,
-                                               options_.max_payload_bytes));
-        by_id[conns.back()->id] = conns.back().get();
+        auto conn = std::make_unique<Conn>(fd, next_conn_id++,
+                                           options_.max_payload_bytes);
+        struct epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.u64 = conn->id;
+        if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+          ::close(fd);
+          continue;
+        }
+        conns.emplace(conn->id, std::move(conn));
       }
     }
-    for (std::size_t i = 0; i < polled && i < conns.size();) {
-      Conn* conn = conns[i].get();
-      const short revents = pfds[2 + i].revents;
-      bool alive = !conn->dead;
-      if (alive && (revents & (POLLIN | POLLHUP | POLLERR))) {
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      if (tag == kListenTag || tag == kWakeTag) continue;
+      const auto it = conns.find(tag);
+      if (it == conns.end()) continue;  // already closed this round
+      Conn* conn = it->second.get();
+      if (conn->dead) continue;  // swept below
+      const std::uint32_t revents = events[i].events;
+      bool alive = true;
+      if (revents & (EPOLLIN | EPOLLHUP | EPOLLERR)) {
         for (;;) {
-          const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
-          if (n > 0) {
+          const ssize_t r = ::recv(conn->fd, buf, sizeof(buf), 0);
+          if (r > 0) {
             conn->reader.Append(
-                std::string_view(buf, static_cast<std::size_t>(n)));
+                std::string_view(buf, static_cast<std::size_t>(r)));
             continue;
           }
-          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-          if (n < 0 && errno == EINTR) continue;
+          if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          if (r < 0 && errno == EINTR) continue;
           alive = false;  // orderly close or hard error
           break;
         }
         if (alive) alive = DrainFrames(conn);
       }
-      if (alive && (conn->out_pos < conn->out.size())) alive = FlushWrites(conn);
-      if (alive) {
-        ++i;
-      } else {
-        ::close(conn->fd);
-        ForgetNotifySession(*conn);
-        by_id.erase(conn->id);
-        conns[i] = std::move(conns.back());
-        conns.pop_back();
-        // pfds is stale after the swap; rebuild on the next iteration.
-        break;
-      }
+      if (alive && conn->out_bytes > 0) alive = FlushWrites(conn);
+      if (!alive) conn->dead = true;
     }
+    // End-of-round sweep: reap failed connections, then reconcile EPOLLOUT
+    // interest on the survivors (completions and notify pushes above may
+    // have queued output on connections with no event this round).
+    doomed.clear();
+    for (const auto& [id, conn] : conns) {
+      if (conn->dead) doomed.push_back(id);
+    }
+    for (const std::uint64_t id : doomed) CloseConn(&conns, id);
+    for (const auto& [id, conn] : conns) SyncWriteInterest(conn.get());
   }
-  for (const auto& conn : conns) ::close(conn->fd);
+  for (const auto& [id, conn] : conns) ::close(conn->fd);
 }
 
 // ---------------------------------------------------------------------------
@@ -764,6 +902,13 @@ bool TcpChannel::Register(NodeId id, std::string_view host_port) {
   if (!ParseHostPort(host_port, &host, &port)) return false;
   Register(id, std::move(host), port);
   return true;
+}
+
+void TcpChannel::SetNextRequestIdForTest(NodeId server, std::uint64_t value) {
+  const auto it = endpoints_.find(server);
+  if (it != endpoints_.end()) {
+    it->second->next_request_id.store(value, std::memory_order_relaxed);
+  }
 }
 
 void TcpChannel::DisconnectAll() {
@@ -871,16 +1016,33 @@ void TcpChannel::FailConnLocked(PipeConn& conn, ErrCode code) {
     w->fail = conn.broken;
   }
   conn.waiting.clear();
+  conn.abandoned.clear();  // no more frames will arrive on this socket
   conn.cv.notify_all();
 }
 
-bool TcpChannel::RegisterWaiter(PipeConn& conn, std::uint64_t request_id,
-                                Waiter* w) {
+std::uint64_t TcpChannel::NextRequestId(Endpoint& ep) {
+  std::uint64_t rid = ep.next_request_id.fetch_add(1, std::memory_order_relaxed);
+  // Id 0 belongs to the fire-and-forget hello; skip it on counter wrap.
+  while (rid == 0) {
+    rid = ep.next_request_id.fetch_add(1, std::memory_order_relaxed);
+  }
+  return rid;
+}
+
+TcpChannel::RegisterResult TcpChannel::RegisterWaiter(PipeConn& conn,
+                                                      std::uint64_t request_id,
+                                                      Waiter* w) {
   std::scoped_lock lock(conn.mu);
-  if (conn.broken != ErrCode::kOk) return false;
-  conn.waiting.emplace(request_id, w);
+  if (conn.broken != ErrCode::kOk) return RegisterResult::kBroken;
+  // After a counter wrap a freshly minted id can collide with one still in
+  // flight — or one whose caller timed out but whose response has not yet
+  // arrived.  Accepting it would deliver the old call's late response to
+  // this new call; refuse so the caller mints another id.
+  if (conn.abandoned.count(request_id) != 0) return RegisterResult::kIdInUse;
+  const auto [it, inserted] = conn.waiting.emplace(request_id, w);
+  if (!inserted) return RegisterResult::kIdInUse;
   pipeline_depth_->Record(static_cast<common::Nanos>(conn.waiting.size()));
-  return true;
+  return RegisterResult::kOk;
 }
 
 void TcpChannel::AwaitWaiter(PipeConn& conn, std::uint64_t request_id,
@@ -895,8 +1057,9 @@ void TcpChannel::AwaitWaiter(PipeConn& conn, std::uint64_t request_id,
     }
     if (common::CpuTimer::Now() >= deadline_abs) {
       // Leave the request outstanding on the wire; the conn stays usable and
-      // the eventual response is discarded by whoever reads it.
-      conn.waiting.erase(request_id);
+      // the eventual response is discarded by whoever reads it.  Remember the
+      // id until that response arrives so a post-wrap call can never mint it.
+      if (conn.waiting.erase(request_id) > 0) conn.abandoned.insert(request_id);
       w.done = true;
       w.fail = ErrCode::kTimeout;
       return;
@@ -915,7 +1078,9 @@ void TcpChannel::AwaitWaiter(PipeConn& conn, std::uint64_t request_id,
         if (st.code() == ErrCode::kTimeout) {
           // Our deadline, not the connection's fault: step aside so a waiter
           // with a later deadline can take over the read.
-          conn.waiting.erase(request_id);
+          if (conn.waiting.erase(request_id) > 0) {
+            conn.abandoned.insert(request_id);
+          }
           if (!w.done) {
             w.done = true;
             w.fail = ErrCode::kTimeout;
@@ -938,6 +1103,8 @@ void TcpChannel::AwaitWaiter(PipeConn& conn, std::uint64_t request_id,
       const auto it = conn.waiting.find(frame.header.request_id);
       if (it == conn.waiting.end()) {
         // Response to a call that already timed out: drop it, keep reading.
+        // Its id is spendable again — the stream can hold no second response.
+        conn.abandoned.erase(frame.header.request_id);
         continue;
       }
       Waiter* target = it->second;
@@ -987,10 +1154,16 @@ RpcResponse TcpChannel::DoCall(Endpoint& ep, std::uint16_t opcode,
     wire::FrameHeader header;
     header.type = wire::FrameType::kRequest;
     header.opcode = opcode;
-    header.request_id = ep.next_request_id.fetch_add(1, std::memory_order_relaxed);
     header.trace_id = meta.trace_id != 0 ? meta.trace_id : NextTraceId();
     Waiter waiter;
-    if (!RegisterWaiter(*conn, header.request_id, &waiter)) {
+    RegisterResult reg = RegisterResult::kIdInUse;
+    // A collision (counter wrap onto an in-flight or abandoned id) just
+    // means "mint another"; only a broken connection is a real failure.
+    for (int mint = 0; mint < 8 && reg == RegisterResult::kIdInUse; ++mint) {
+      header.request_id = NextRequestId(ep);
+      reg = RegisterWaiter(*conn, header.request_id, &waiter);
+    }
+    if (reg != RegisterResult::kOk) {
       conn->inflight.fetch_sub(1, std::memory_order_relaxed);
       if (attempt == 0 && reused) continue;  // conn died under us
       return fail(ErrCode::kUnavailable);
@@ -1085,10 +1258,13 @@ std::vector<RpcResponse> TcpChannel::CallPipelined(
     wire::FrameHeader header;
     header.type = wire::FrameType::kRequest;
     header.opcode = calls[i].first;
-    header.request_id =
-        ep.next_request_id.fetch_add(1, std::memory_order_relaxed);
     header.trace_id = trace_id;
-    if (!RegisterWaiter(*conn, header.request_id, &waiters[i])) {
+    RegisterResult reg = RegisterResult::kIdInUse;
+    for (int mint = 0; mint < 8 && reg == RegisterResult::kIdInUse; ++mint) {
+      header.request_id = NextRequestId(ep);
+      reg = RegisterWaiter(*conn, header.request_id, &waiters[i]);
+    }
+    if (reg != RegisterResult::kOk) {
       waiters[i].done = true;
       waiters[i].fail = ErrCode::kUnavailable;
       continue;

@@ -1,6 +1,15 @@
 // Real TCP transport (docs/NET.md).
 //
-// TcpServer hosts one RpcHandler behind a poll()-driven event loop.  Frames
+// TcpServer hosts one RpcHandler behind an epoll-driven event loop
+// (level-triggered; a self-pipe still wakes the loop for cross-thread
+// nudges).  Each connection is registered once with EPOLLIN and its EPOLLOUT
+// interest toggled only when buffered output appears or drains, so the loop
+// never rebuilds a descriptor array per wakeup the way the old poll() loop
+// did.  Responses are queued as whole encoded frames (one std::string per
+// frame, moved — never memcpy'd — into a per-connection deque) and flushed
+// with scatter-gather writev; drained frame buffers are recycled through a
+// loop-thread-only arena that the inline-execution, hello, and notify encode
+// paths draw from (rpc.tcp_server.bufpool.* counters).  Frames
 // are decoded incrementally (net/wire.h) on the loop thread; with
 // Options::workers == 0 the handler runs inline on that thread (the original
 // single-threaded mode), with workers > 0 decoded requests are dispatched to
@@ -46,6 +55,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -169,9 +179,11 @@ class TcpServer : public Notifier {
   void Loop();
   void WorkerMain(std::size_t index);
   // Run the handler for one request: metrics, execution, extra_service_ns
-  // charge, response encoding.
+  // charge, response encoding.  The frame is encoded into `buf` (cleared
+  // first) so the loop thread can hand Execute an arena-recycled buffer;
+  // workers pass a fresh string.
   std::string Execute(const wire::FrameHeader& req, std::string_view payload,
-                      std::uint64_t client_id);
+                      std::uint64_t client_id, std::string buf);
   // Decode every complete frame buffered on `conn` and execute (inline mode)
   // or enqueue (worker mode) each; returns false when the connection must be
   // dropped (framing violation).
@@ -192,20 +204,35 @@ class TcpServer : public Notifier {
   // Move finished worker results into their connections' output buffers in
   // per-connection decode order.
   void DeliverCompletions(
-      const std::unordered_map<std::uint64_t, Conn*>& by_id);
+      const std::unordered_map<std::uint64_t, std::unique_ptr<Conn>>& conns);
   // Turn queued pushes into kNotify frames on their sessions' connections.
-  void DrainNotify(const std::unordered_map<std::uint64_t, Conn*>& by_id);
+  void DrainNotify(
+      const std::unordered_map<std::uint64_t, std::unique_ptr<Conn>>& conns);
   // Append one sequence-numbered kNotify frame (fault plane may drop or
   // duplicate it).
   void SendNotifyFrame(Conn* conn, std::uint16_t opcode,
                        const std::string& payload);
   // Drop `conn`'s notify session if it still points at this connection.
   void ForgetNotifySession(const Conn& conn);
+  // Reconcile the connection's EPOLLOUT interest with whether it has
+  // buffered output (EPOLL_CTL_MOD only on transitions).
+  void SyncWriteInterest(Conn* conn);
+  // Unregister, close and erase one connection, recycling its queued output
+  // buffers into the arena.
+  void CloseConn(std::unordered_map<std::uint64_t, std::unique_ptr<Conn>>* conns,
+                 std::uint64_t id);
+  // Loop-thread-only response-buffer arena: GetBuffer() reuses a drained
+  // frame buffer when one is pooled, RecycleBuffer() returns one after the
+  // socket accepted its bytes.  Bounded in count and per-buffer capacity so
+  // a burst of huge responses cannot pin memory.
+  std::string GetBuffer();
+  void RecycleBuffer(std::string&& buf);
 
   RpcHandler* handler_;
   Options options_;
   int listen_fd_ = -1;
-  int wake_fds_[2] = {-1, -1};  // self-pipe: Stop()/workers wake the poll loop
+  int epoll_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: Stop()/workers wake the epoll loop
   std::thread thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
@@ -228,6 +255,17 @@ class TcpServer : public Notifier {
   mutable std::mutex notify_mu_;
   std::unordered_map<std::uint64_t, std::uint64_t> notify_sessions_;
   std::vector<PendingNotify> pending_notify_;
+
+  // Arena of recycled response buffers (loop thread only — workers hand
+  // their encoded frames over via completions and the loop recycles them
+  // once flushed).
+  std::vector<std::string> buf_pool_;
+  common::Counter* bufpool_reuses_ =
+      &common::MetricsRegistry::Default().GetCounter(
+          "rpc.tcp_server.bufpool.reuses");
+  common::Counter* bufpool_allocs_ =
+      &common::MetricsRegistry::Default().GetCounter(
+          "rpc.tcp_server.bufpool.allocs");
 
   common::RpcMetricsTable metrics_{&common::MetricsRegistry::Default(),
                                    "tcp_server", "wall_ns"};
@@ -298,6 +336,10 @@ class TcpChannel final : public Channel {
   // flight keep their connection alive until they complete.
   void DisconnectAll();
 
+  // Force the endpoint's request-id counter (tests: exercises the counter
+  // wrap / id-reuse window without issuing 2^64 calls).
+  void SetNextRequestIdForTest(NodeId server, std::uint64_t value);
+
  private:
   // One caller blocked on a pipelined response.
   struct Waiter {
@@ -322,6 +364,13 @@ class TcpChannel final : public Channel {
     std::condition_variable cv;
     wire::FrameReader reader;  // touched only by the active reader
     std::unordered_map<std::uint64_t, Waiter*> waiting;
+    // Request ids whose caller timed out while the request was still
+    // outstanding on the wire.  The server WILL answer them eventually; until
+    // that late response arrives (and is discarded) the id must not be
+    // handed to a new call on this connection, or the old response would
+    // complete the new call.  Ids leave the set when their response shows up
+    // or the connection dies.
+    std::unordered_set<std::uint64_t> abandoned;
     bool reader_active = false;  // some waiter is blocked in recv
     ErrCode broken = ErrCode::kOk;  // terminal failure code
   };
@@ -346,13 +395,23 @@ class TcpChannel final : public Channel {
   std::shared_ptr<PipeConn> AcquireConn(Endpoint& ep,
                                         common::Nanos deadline_abs,
                                         bool* reused, ErrCode* err);
-  // Add `w` to the conn's waiter table under `request_id`; false when the
-  // connection is already broken.
-  bool RegisterWaiter(PipeConn& conn, std::uint64_t request_id, Waiter* w);
+  enum class RegisterResult {
+    kOk,
+    kBroken,   // connection already failed
+    kIdInUse,  // id collides with an in-flight or abandoned request: re-mint
+  };
+  // Add `w` to the conn's waiter table under `request_id`.  Refuses an id
+  // that is still in flight or abandoned on this connection — after a
+  // counter wrap, reusing such an id would let the *old* call's late
+  // response complete the *new* call.
+  RegisterResult RegisterWaiter(PipeConn& conn, std::uint64_t request_id,
+                                Waiter* w);
   // Block until `w` completes or `deadline_abs` passes, acting as the
   // connection's frame reader whenever no other waiter is.
   void AwaitWaiter(PipeConn& conn, std::uint64_t request_id, Waiter& w,
                    common::Nanos deadline_abs);
+  // Mint the next request id for `ep`, skipping 0 (reserved for the hello).
+  static std::uint64_t NextRequestId(Endpoint& ep);
   // Mark the connection dead and fail every registered waiter (conn.mu held).
   static void FailConnLocked(PipeConn& conn, ErrCode code);
 

@@ -4,21 +4,37 @@
 
 namespace loco::net::wire {
 
-std::string EncodeFrame(const FrameHeader& header, std::string_view payload) {
-  common::Writer w;
-  w.PutU32(kMagic);
+namespace {
+
+void AppendLe(std::string* out, std::uint64_t value, int bytes) {
+  for (int shift = 0; shift < bytes * 8; shift += 8) {
+    out->push_back(static_cast<char>((value >> shift) & 0xFF));
+  }
+}
+
+}  // namespace
+
+void EncodeFrameInto(const FrameHeader& header, std::string_view payload,
+                     std::string* out) {
+  out->reserve(out->size() + kHeaderBytes + payload.size());
+  AppendLe(out, kMagic, 4);
   // Tag each frame with the *minimum* version able to interpret it: request
   // and response frames are byte-identical to v1, so a v2 sender stays
   // interoperable with v1 peers; only the new push frames require v2.
-  w.PutU8(header.type == FrameType::kNotify ? kVersion : kMinVersion);
-  w.PutU8(static_cast<std::uint8_t>(header.type));
-  w.PutU16(header.opcode);
-  w.PutU64(header.request_id);
-  w.PutU64(header.trace_id);
-  w.PutU8(static_cast<std::uint8_t>(header.code));
-  w.PutU32(static_cast<std::uint32_t>(payload.size()));
-  w.PutRaw(payload);
-  return w.Take();
+  AppendLe(out, header.type == FrameType::kNotify ? kVersion : kMinVersion, 1);
+  AppendLe(out, static_cast<std::uint8_t>(header.type), 1);
+  AppendLe(out, header.opcode, 2);
+  AppendLe(out, header.request_id, 8);
+  AppendLe(out, header.trace_id, 8);
+  AppendLe(out, static_cast<std::uint8_t>(header.code), 1);
+  AppendLe(out, static_cast<std::uint32_t>(payload.size()), 4);
+  out->append(payload.data(), payload.size());
+}
+
+std::string EncodeFrame(const FrameHeader& header, std::string_view payload) {
+  std::string out;
+  EncodeFrameInto(header, payload, &out);
+  return out;
 }
 
 Status DecodeHeader(std::string_view bytes, FrameHeader* out) {
@@ -85,6 +101,85 @@ Status DecodeHelloReply(std::string_view bytes, HelloReply* out) {
     return ErrStatus(ErrCode::kCorruption, "bad hello reply payload");
   }
   return OkStatus();
+}
+
+std::string EncodeBatchRequest(const std::vector<std::string>& subops) {
+  common::Writer w;
+  w.PutU32(static_cast<std::uint32_t>(subops.size()));
+  for (const std::string& sub : subops) {
+    w.PutU32(static_cast<std::uint32_t>(sub.size()));
+    w.PutRaw(sub);
+  }
+  return w.Take();
+}
+
+std::string EncodeBatchResponse(const std::vector<BatchItem>& items) {
+  common::Writer w;
+  w.PutU32(static_cast<std::uint32_t>(items.size()));
+  for (const BatchItem& item : items) {
+    w.PutU8(static_cast<std::uint8_t>(item.code));
+    w.PutU32(static_cast<std::uint32_t>(item.payload.size()));
+    w.PutRaw(item.payload);
+  }
+  return w.Take();
+}
+
+bool DecodeBatchRequest(std::string_view payload,
+                        std::vector<std::string_view>* out) {
+  common::Reader r(payload);
+  const std::uint32_t count = r.GetU32();
+  if (!r.ok()) return false;
+  // Every item costs at least its 4-byte length prefix, so a count the
+  // remaining bytes cannot possibly hold is rejected before any allocation.
+  if (count > (payload.size() - 4) / 4) return false;
+  out->clear();
+  out->reserve(count);
+  std::size_t off = 4;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (payload.size() - off < 4) return false;
+    std::uint32_t len = 0;
+    for (int shift = 0; shift < 32; shift += 8) {
+      len |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(payload[off + shift / 8]))
+             << shift;
+    }
+    off += 4;
+    if (payload.size() - off < len) return false;
+    out->push_back(payload.substr(off, len));
+    off += len;
+  }
+  return off == payload.size();
+}
+
+bool DecodeBatchResponse(std::string_view payload, std::vector<BatchItem>* out) {
+  common::Reader r(payload);
+  const std::uint32_t count = r.GetU32();
+  if (!r.ok()) return false;
+  // Each item costs at least 5 bytes (code + length prefix).
+  if (count > (payload.size() - 4) / 5) return false;
+  out->clear();
+  out->reserve(count);
+  std::size_t off = 4;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (payload.size() - off < 5) return false;
+    const auto code = static_cast<unsigned char>(payload[off]);
+    if (code > static_cast<unsigned char>(ErrCode::kUnsupported)) return false;
+    ++off;
+    std::uint32_t len = 0;
+    for (int shift = 0; shift < 32; shift += 8) {
+      len |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(payload[off + shift / 8]))
+             << shift;
+    }
+    off += 4;
+    if (payload.size() - off < len) return false;
+    BatchItem item;
+    item.code = static_cast<ErrCode>(code);
+    item.payload.assign(payload.substr(off, len));
+    out->push_back(std::move(item));
+    off += len;
+  }
+  return off == payload.size();
 }
 
 std::optional<Frame> FrameReader::Next() {

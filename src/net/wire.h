@@ -40,6 +40,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/result.h"
 
@@ -103,6 +104,12 @@ struct FrameHeader {
 // not from the struct).  The caller must keep payload within the peer's cap.
 std::string EncodeFrame(const FrameHeader& header, std::string_view payload);
 
+// Append the same frame bytes into a caller-supplied buffer.  The server's
+// flush path recycles response buffers through a per-loop arena; encoding
+// into a reused string avoids one allocation + memcpy per response.
+void EncodeFrameInto(const FrameHeader& header, std::string_view payload,
+                     std::string* out);
+
 // Decode the fixed header from `bytes` (which must hold >= kHeaderBytes).
 // kCorruption on bad magic / unsupported version / invalid type or code.
 Status DecodeHeader(std::string_view bytes, FrameHeader* out);
@@ -136,5 +143,36 @@ class FrameReader {
   std::size_t pos_ = 0;
   Status status_;
 };
+
+// ---------------------------------------------------------------------------
+// Batch sub-op framing
+//
+// Batch RPCs (proto::kFmsBatchCreate, kFmsBatchStat, kFmsReaddirPlus) pack N
+// independent sub-operations into one frame payload:
+//
+//   request payload    u32 count, then count x { u32 len, len bytes }
+//   response payload   u32 count, then count x { u8 code, u32 len, len bytes }
+//
+// Each sub-payload is the single-op fs::Pack tuple of the underlying opcode
+// (kFmsCreate, kFmsGetAttr, one dirent for readdir-plus).  Responses carry a
+// per-sub-op ErrCode so one bad entry never poisons its siblings.  Decoding
+// is defensive: a declared count that disagrees with the actual payload
+// length — truncated items, trailing garbage, or a count far beyond what the
+// bytes could hold — fails without over-reading, and handlers surface that
+// failure as ErrCode::kCorruption.
+
+struct BatchItem {
+  ErrCode code = ErrCode::kOk;  // meaningful in responses; kOk in requests
+  std::string payload;
+};
+
+std::string EncodeBatchRequest(const std::vector<std::string>& subops);
+std::string EncodeBatchResponse(const std::vector<BatchItem>& items);
+
+// Views into `payload`; valid only while the backing bytes live.  Return
+// false (leaving *out unspecified) on any count/length disagreement.
+bool DecodeBatchRequest(std::string_view payload,
+                        std::vector<std::string_view>* out);
+bool DecodeBatchResponse(std::string_view payload, std::vector<BatchItem>* out);
 
 }  // namespace loco::net::wire

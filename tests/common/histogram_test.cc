@@ -106,6 +106,49 @@ TEST(HistogramTest, SubtractEverythingYieldsEmpty) {
   EXPECT_EQ(h.max(), 0);
 }
 
+TEST(HistogramTest, SubtractAfterResetKeepsPostResetRecords) {
+  // Regression: a histogram Reset between a snapshot and the phase-end
+  // delta used to produce nonsense — independent per-field clamps could
+  // leave count()==0 with non-empty buckets (the phase delta silently
+  // dropped) or bucket totals below count() (Percentile falling through to
+  // the lifetime max).  A non-prefix snapshot now leaves the current
+  // contents whole: everything recorded since the reset IS the delta.
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.Record(100);
+  const Histogram earlier = h;  // snapshot
+  h.Reset();                    // histogram replaced mid-phase
+  for (int i = 0; i < 3; ++i) h.Record(10000);
+  h.Subtract(earlier);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 10000.0);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.5)), 10000.0, 10000.0 * 0.05);
+}
+
+TEST(HistogramTest, SubtractShrunkenSnapshotNeverUnderflows) {
+  // A snapshot larger than the current histogram in any component is not a
+  // prefix; subtracting it must not wrap any counter negative.
+  Histogram h;
+  h.Record(100);
+  Histogram bigger;
+  for (int i = 0; i < 5; ++i) bigger.Record(100);
+  for (int i = 0; i < 5; ++i) bigger.Record(77);  // bucket h never touched
+  h.Subtract(bigger);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 100);
+  EXPECT_GE(h.Percentile(1.0), h.Percentile(0.0));
+}
+
+TEST(HistogramTest, IsPrefixOfDetectsResets) {
+  Histogram h;
+  h.Record(100);
+  const Histogram snap = h;
+  h.Record(200);
+  EXPECT_TRUE(snap.IsPrefixOf(h));
+  h.Reset();
+  h.Record(300);
+  EXPECT_FALSE(snap.IsPrefixOf(h));
+}
+
 TEST(HistogramTest, ResetClears) {
   Histogram h;
   h.Record(42);

@@ -267,6 +267,28 @@ TEST(MetricsRegistryTest, DeltaJsonRendersOnlyActivitySinceSnapshot) {
   EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
 }
 
+TEST(MetricsRegistryTest, DeltaJsonSurvivesMidPhaseReset) {
+  // Regression: a registry Reset between the snapshot and the delta used to
+  // subtract a now-larger "earlier" histogram from a smaller current one,
+  // emitting nonsense (or dropping the histogram entirely).  The post-reset
+  // records must render as the phase delta.
+  MetricsRegistry reg;
+  for (int i = 0; i < 10; ++i) reg.GetHistogram("lat").Record(100);
+  reg.GetCounter("ops").Add(10);
+  const auto snap = reg.TakeSnapshot();
+
+  reg.Reset();  // histogram and counters zeroed mid-phase
+  for (int i = 0; i < 3; ++i) reg.GetHistogram("lat").Record(200);
+  reg.GetCounter("ops").Add(2);
+  const std::string json = reg.DeltaJson(snap);
+
+  // The histogram's 3 post-reset records survive instead of vanishing.
+  EXPECT_NE(json.find("\"lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 3"), std::string::npos);
+  // Counter deltas clamp at zero rather than wrapping (2 < 10 → omitted).
+  EXPECT_EQ(json.find("\"ops\""), std::string::npos);
+}
+
 TEST(MetricsRegistryTest, ResetDropsRetiredGauges) {
   MetricsRegistry reg;
   { auto handle = reg.RegisterGauge("g", [] { return 5.0; }); }

@@ -7,6 +7,7 @@
 
 #include "core/proto.h"
 #include "fs/wire.h"
+#include "net/wire.h"
 
 namespace loco::core {
 namespace {
@@ -204,6 +205,99 @@ TEST_P(FmsModeTest, MissingFilesReportNotFound) {
                         fs::Pack(kDir, std::string("ghost"), kAlice))
                 .code,
             ErrCode::kNotFound);
+}
+
+TEST_P(FmsModeTest, BatchCreateAppliesEachSubOpIndependently) {
+  std::vector<std::string> subops;
+  subops.push_back(fs::Pack(kDir, std::string("a"), std::uint32_t{0644},
+                            kAlice, std::uint64_t{1}));
+  subops.push_back(fs::Pack(kDir, std::string("b"), std::uint32_t{0600},
+                            kAlice, std::uint64_t{2}));
+  subops.push_back(fs::Pack(kDir, std::string("a"), std::uint32_t{0644},
+                            kAlice, std::uint64_t{3}));  // duplicate
+  auto resp = fms_.Handle(proto::kFmsBatchCreate,
+                          net::wire::EncodeBatchRequest(subops));
+  ASSERT_TRUE(resp.ok());
+  std::vector<net::wire::BatchItem> items;
+  ASSERT_TRUE(net::wire::DecodeBatchResponse(resp.payload, &items));
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].code, ErrCode::kOk);
+  EXPECT_EQ(items[1].code, ErrCode::kOk);
+  EXPECT_EQ(items[2].code, ErrCode::kExists);
+  fs::Uuid uuid;
+  ASSERT_TRUE(fs::Unpack(items[0].payload, uuid));
+  EXPECT_EQ(uuid.sid(), 3u);
+  EXPECT_EQ(fms_.FileCount(), 2u);
+
+  // Batched stat round-trips both survivors plus one per-entry miss.
+  std::vector<std::string> stats;
+  stats.push_back(fs::Pack(kDir, std::string("a")));
+  stats.push_back(fs::Pack(kDir, std::string("ghost")));
+  stats.push_back(fs::Pack(kDir, std::string("b")));
+  resp = fms_.Handle(proto::kFmsBatchStat, net::wire::EncodeBatchRequest(stats));
+  ASSERT_TRUE(resp.ok());
+  ASSERT_TRUE(net::wire::DecodeBatchResponse(resp.payload, &items));
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].code, ErrCode::kOk);
+  EXPECT_EQ(items[1].code, ErrCode::kNotFound);
+  EXPECT_EQ(items[2].code, ErrCode::kOk);
+  fs::Attr attr;
+  ASSERT_TRUE(fs::Unpack(items[2].payload, attr));
+  EXPECT_EQ(attr.mode, 0600u);
+}
+
+TEST_P(FmsModeTest, ReaddirPlusReturnsNamesWithAttrs) {
+  ASSERT_TRUE(Create("x", 0640, kAlice, 5).ok());
+  ASSERT_TRUE(Create("y", 0644, kAlice, 6).ok());
+  auto resp = fms_.Handle(proto::kFmsReaddirPlus, fs::Pack(kDir));
+  ASSERT_TRUE(resp.ok());
+  std::vector<net::wire::BatchItem> items;
+  ASSERT_TRUE(net::wire::DecodeBatchResponse(resp.payload, &items));
+  ASSERT_EQ(items.size(), 2u);
+  bool saw_x = false, saw_y = false;
+  for (const net::wire::BatchItem& item : items) {
+    ASSERT_EQ(item.code, ErrCode::kOk);
+    std::string name;
+    fs::Attr attr;
+    ASSERT_TRUE(fs::Unpack(item.payload, name, attr));
+    if (name == "x") {
+      saw_x = true;
+      EXPECT_EQ(attr.mode, 0640u);
+    } else if (name == "y") {
+      saw_y = true;
+      EXPECT_EQ(attr.mode, 0644u);
+    }
+  }
+  EXPECT_TRUE(saw_x);
+  EXPECT_TRUE(saw_y);
+}
+
+TEST_P(FmsModeTest, MalformedBatchEnvelopeIsCorruption) {
+  // Declared count far beyond what the bytes could hold.
+  std::string hostile(4, '\0');
+  hostile[0] = '\xff';
+  hostile[1] = '\xff';
+  hostile[2] = '\xff';
+  hostile[3] = '\x7f';
+  EXPECT_EQ(fms_.Handle(proto::kFmsBatchCreate, hostile).code,
+            ErrCode::kCorruption);
+  EXPECT_EQ(fms_.Handle(proto::kFmsBatchStat, hostile).code,
+            ErrCode::kCorruption);
+
+  // Truncated mid-item: count says 2 but the bytes hold 1.5 items.
+  std::string truncated =
+      net::wire::EncodeBatchRequest({fs::Pack(kDir, std::string("a")),
+                                     fs::Pack(kDir, std::string("b"))});
+  truncated.resize(truncated.size() - 3);
+  EXPECT_EQ(fms_.Handle(proto::kFmsBatchStat, truncated).code,
+            ErrCode::kCorruption);
+
+  // Trailing garbage after the declared items.
+  std::string oversized =
+      net::wire::EncodeBatchRequest({fs::Pack(kDir, std::string("a"))});
+  oversized += "junk";
+  EXPECT_EQ(fms_.Handle(proto::kFmsBatchStat, oversized).code,
+            ErrCode::kCorruption);
 }
 
 INSTANTIATE_TEST_SUITE_P(Modes, FmsModeTest, ::testing::Bool(),

@@ -140,6 +140,62 @@ TEST(LeaseTableTest, BoundEvictsSoonestToExpireWhenAllLive) {
             (std::vector<std::uint64_t>{3}));
 }
 
+TEST(LeaseTableTest, EvictingALiveWatchFiresTheResyncCallback) {
+  // Regression: at the watch cap, evicting a *live* watch used to silently
+  // drop its invalidation promise — the holder kept serving a stale cache
+  // entry until the lease timeout with no signal at all.  The table must
+  // report the evicted (path, client) so the DMS can push a synthetic
+  // invalidation.
+  LeaseTable::Options options = SmallOptions(/*max_watches=*/2);
+  std::vector<std::pair<std::string, std::uint64_t>> evicted;
+  options.on_evict = [&](const std::string& path, std::uint64_t client) {
+    evicted.emplace_back(path, client);
+  };
+  LeaseTable table(options);
+  table.Grant("/a", 1, 0);   // soonest to expire: the eviction victim
+  table.Grant("/b", 2, 10);
+  table.Grant("/c", 3, 20);  // cap boundary: forces the eviction
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].first, "/a");
+  EXPECT_EQ(evicted[0].second, 1u);
+}
+
+TEST(LeaseTableTest, SweepingExpiredWatchesDoesNotFireTheCallback) {
+  // Expired watches already fell back to the lease timeout; resyncing them
+  // would be pure noise.
+  LeaseTable::Options options = SmallOptions(/*max_watches=*/2);
+  int fired = 0;
+  options.on_evict = [&](const std::string&, std::uint64_t) { ++fired; };
+  LeaseTable table(options);
+  table.Grant("/e1", 1, 0);  // expires at kLease
+  table.Grant("/e2", 2, 0);
+  // Granting at 2*kLease sweeps both expired watches; no live eviction.
+  table.Grant("/l1", 3, 2 * kLease);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(table.Collect("/l1", false, 0, 2 * kLease + 1),
+            (std::vector<std::uint64_t>{3}));
+}
+
+TEST(LeaseTableTest, EvictCallbackMayReenterTheTable) {
+  // The DMS callback re-enters via Drop() when the push session is gone; the
+  // table must not hold its lock across the callback.
+  LeaseTable::Options options = SmallOptions(/*max_watches=*/2);
+  LeaseTable* table_ptr = nullptr;
+  int fired = 0;
+  options.on_evict = [&](const std::string&, std::uint64_t client) {
+    ++fired;
+    table_ptr->Drop(client);  // deadlocks if mu_ were held across on_evict
+  };
+  LeaseTable table(options);
+  table_ptr = &table;
+  table.Grant("/a", 1, 0);
+  table.Grant("/b", 2, 10);
+  table.Grant("/c", 3, 20);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(table.Collect("/c", false, 0, 30),
+            (std::vector<std::uint64_t>{3}));
+}
+
 TEST(LeaseTableTest, ConcurrentGrantCollectDropIsSafe) {
   LeaseTable table(SmallOptions(/*max_watches=*/128));
   std::vector<std::thread> threads;

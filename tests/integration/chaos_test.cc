@@ -30,6 +30,7 @@
 #include <gtest/gtest.h>
 
 #include "common/clock.h"
+#include "core/client.h"
 #include "core/connect.h"
 #include "fs/client.h"
 #include "net/task.h"
@@ -375,6 +376,87 @@ TEST(ChaosTest, FmsKillRestartFsckClean) {
 TEST(ChaosTest, OsdKillRestartFsckClean) {
   RunKillRestartScenario("osd",
                          [](ChaosCluster& c) -> Daemon& { return c.osd(); });
+}
+
+TEST(ChaosTest, BatchCreateStormKillRestartFsckClean) {
+  // Same kill/restart/fsck discipline as the per-op storms, but every file
+  // mutation rides a kFmsBatchCreate frame.  A frame that dies with its FMS
+  // reports per-name failures (or transport errors) without poisoning the
+  // rest of the batch, acknowledged sub-ops must survive the crash, and the
+  // dedup window replays retried frames instead of double-applying.
+  ChaosCluster cluster("batch");
+  if (!cluster.BinariesPresent()) {
+    GTEST_SKIP() << "daemon or loco_fsck binaries not built";
+  }
+  ASSERT_TRUE(cluster.StartAll());
+
+  auto deployment = cluster.Connect();
+  ASSERT_TRUE(deployment.ok()) << deployment.status().ToString();
+  auto client = deployment->MakeClient(WallClockNs);
+  client->SetIdentity(fs::Identity{1000, 1000});
+  // core::MountHandle::MakeClient always builds a LocoClient.
+  auto* loco = static_cast<core::LocoClient*>(client.get());
+
+  std::vector<std::string> committed;
+  constexpr int kRounds = 10;
+  constexpr int kKillRound = 4;
+  constexpr int kNamesPerRound = 20;
+  for (int round = 0; round < kRounds; ++round) {
+    if (round == kKillRound) Kill9(&cluster.fms(0));
+    const std::string dir = "/batch" + std::to_string(round);
+    if (!net::RunInline(client->Mkdir(dir, 0755)).ok()) continue;
+    std::vector<std::string> names;
+    for (int i = 0; i < kNamesPerRound; ++i) {
+      names.push_back("f" + std::to_string(i));
+    }
+    auto codes = net::RunInline(loco->CreateMany(dir, names, 0644));
+    if (!codes.ok()) continue;  // e.g. parent lookup raced the kill
+    ASSERT_EQ(codes->size(), names.size());
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if ((*codes)[i] == ErrCode::kOk) {
+        committed.push_back(dir + "/" + names[i]);
+      }
+    }
+  }
+  // Placement spreads each round across both FMS, so the surviving server
+  // keeps acknowledging its share while FMS 1 is down.
+  ASSERT_FALSE(committed.empty());
+
+  ASSERT_TRUE(Spawn(&cluster.fms(0))) << "restart failed";
+  deployment->channel->DisconnectAll();
+  ASSERT_TRUE(Eventually([&] {
+    return net::RunInline(client->Stat("/")).ok();
+  })) << "cluster did not come back";
+  ASSERT_EQ(cluster.RunFsck(/*repair=*/true), 0);
+
+  // Every acknowledged batched create is still visible — via the per-op
+  // path and via a batched stat of the same names.
+  for (const std::string& path : committed) {
+    EXPECT_TRUE(Eventually([&] {
+      return net::RunInline(client->StatFile(path)).ok();
+    })) << path;
+  }
+  {
+    const std::string dir = "/batch0";
+    std::vector<std::string> names;
+    for (const std::string& path : committed) {
+      if (path.rfind(dir + "/", 0) == 0) {
+        names.push_back(path.substr(dir.size() + 1));
+      }
+    }
+    if (!names.empty()) {
+      EXPECT_TRUE(Eventually([&] {
+        auto entries = net::RunInline(loco->StatMany(dir, names));
+        if (!entries.ok() || entries->size() != names.size()) return false;
+        for (const core::LocoClient::StatEntry& e : *entries) {
+          if (e.code != ErrCode::kOk) return false;
+        }
+        return true;
+      })) << "StatMany after restart";
+    }
+  }
+
+  EXPECT_EQ(cluster.RunFsck(/*repair=*/false), 0);
 }
 
 TEST(ChaosTest, FaultSpecCrashAfterSelfCrashAndRecovery) {

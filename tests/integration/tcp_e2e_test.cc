@@ -151,6 +151,75 @@ TEST_F(TcpClusterTest, KilledFmsSurfacesUnavailableAndDmsFallbackWorks) {
   EXPECT_TRUE(net::RunInline(c.Mkdir("/d2", 0755)).ok());
 }
 
+TEST_F(TcpClusterTest, BatchedMetadataOpsOverTcp) {
+  // MakeClient always builds a LocoClient; the batch surface is its own.
+  auto& c = *static_cast<core::LocoClient*>(client_.get());
+  ASSERT_TRUE(net::RunInline(c.Mkdir("/batch", 0755)).ok());
+  ASSERT_TRUE(net::RunInline(c.Mkdir("/batch/sub", 0755)).ok());
+
+  std::vector<std::string> names;
+  for (int i = 0; i < 40; ++i) names.push_back("f" + std::to_string(i));
+
+  // The batch carries two doomed entries alongside the good ones: a name
+  // shadowed by the subdirectory and a duplicate of an earlier sub-op.
+  // Partial failure must be per-entry, never whole-batch.
+  std::vector<std::string> create_names = names;
+  create_names.push_back("sub");
+  create_names.push_back("f0");
+  auto codes = net::RunInline(c.CreateMany("/batch", create_names, 0644));
+  ASSERT_TRUE(codes.ok()) << codes.status().ToString();
+  ASSERT_EQ(codes->size(), create_names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ((*codes)[i], ErrCode::kOk) << create_names[i];
+  }
+  EXPECT_EQ((*codes)[names.size()], ErrCode::kExists);      // shadowed
+  EXPECT_EQ((*codes)[names.size() + 1], ErrCode::kExists);  // duplicate
+
+  // Batched stat sees every created file; a missing name fails alone.
+  std::vector<std::string> stat_names = names;
+  stat_names.push_back("missing");
+  auto stats = net::RunInline(c.StatMany("/batch", stat_names));
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_EQ(stats->size(), stat_names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ((*stats)[i].code, ErrCode::kOk) << stat_names[i];
+    EXPECT_FALSE((*stats)[i].attr.is_dir);
+    EXPECT_EQ((*stats)[i].attr.mode, 0644u);
+  }
+  EXPECT_EQ((*stats)[names.size()].code, ErrCode::kNotFound);
+
+  // ReaddirPlus: one DMS readdir + one frame per FMS returns every file
+  // with its attributes, plus the subdirectory by name.
+  auto plus = net::RunInline(c.ReaddirPlus("/batch"));
+  ASSERT_TRUE(plus.ok()) << plus.status().ToString();
+  ASSERT_EQ(plus->size(), names.size() + 1);
+  std::size_t dirs = 0, files = 0;
+  for (const auto& e : *plus) {
+    if (e.is_dir) {
+      ++dirs;
+      EXPECT_EQ(e.name, "sub");
+    } else {
+      ++files;
+      EXPECT_EQ(e.code, ErrCode::kOk) << e.name;
+      EXPECT_EQ(e.attr.mode, 0644u) << e.name;
+    }
+  }
+  EXPECT_EQ(dirs, 1u);
+  EXPECT_EQ(files, names.size());
+
+  // The single-op read path agrees with what the batch wrote.
+  auto attr = net::RunInline(c.Stat("/batch/f7"));
+  ASSERT_TRUE(attr.ok());
+  EXPECT_FALSE(attr->is_dir);
+
+  // Batch traffic was accounted under its own opcode names and counters.
+  const std::string text = common::MetricsRegistry::Default().ToText();
+  EXPECT_NE(text.find("rpc.tcp_server.FmsBatchCreate.calls"), std::string::npos);
+  EXPECT_NE(text.find("rpc.tcp_server.FmsBatchStat.calls"), std::string::npos);
+  EXPECT_NE(text.find("rpc.tcp_server.FmsReaddirPlus.calls"), std::string::npos);
+  EXPECT_NE(text.find("rpc.batch.subops"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // Daemon binaries: spawn locofs_dmsd, parse its "listening on" line, RPC to
 // it over TCP, shut it down with SIGTERM and check the --metrics-out dump.

@@ -172,8 +172,7 @@ TEST(DedupWindowTest, FirstExecutesDuplicateReplays) {
   EXPECT_TRUE(window.Eligible(kEchoOp));
   EXPECT_FALSE(window.Eligible(kEchoOp + 1));
 
-  const std::uint64_t key =
-      DedupWindow::Key(MakeHeader(kEchoOp, 1, 9), "payload");
+  const std::string key = DedupWindow::Key(MakeHeader(kEchoOp, 1, 9), "payload");
   ErrCode code = ErrCode::kOk;
   std::string payload;
   ASSERT_EQ(window.Begin(key, &code, &payload), DedupWindow::Outcome::kExecute);
@@ -192,16 +191,21 @@ TEST(DedupWindowTest, EvictsCompletedEntriesFifo) {
   DedupWindow window({kEchoOp}, options);
   ErrCode code = ErrCode::kOk;
   std::string payload;
-  for (std::uint64_t key : {10u, 11u, 12u}) {
-    ASSERT_EQ(window.Begin(key, &code, &payload),
+  const auto key = [](std::uint64_t trace) {
+    return DedupWindow::Key(MakeHeader(kEchoOp, 1, trace), "p");
+  };
+  for (std::uint64_t trace : {10u, 11u, 12u}) {
+    ASSERT_EQ(window.Begin(key(trace), &code, &payload),
               DedupWindow::Outcome::kExecute);
-    window.Complete(key, ErrCode::kOk, "r");
+    window.Complete(key(trace), ErrCode::kOk, "r");
   }
   // Key 10 was evicted (capacity 2), so its retry executes again; key 12 is
   // still cached and replays.
-  EXPECT_EQ(window.Begin(10, &code, &payload), DedupWindow::Outcome::kExecute);
-  window.Complete(10, ErrCode::kOk, "r");
-  EXPECT_EQ(window.Begin(12, &code, &payload), DedupWindow::Outcome::kReplay);
+  EXPECT_EQ(window.Begin(key(10), &code, &payload),
+            DedupWindow::Outcome::kExecute);
+  window.Complete(key(10), ErrCode::kOk, "r");
+  EXPECT_EQ(window.Begin(key(12), &code, &payload),
+            DedupWindow::Outcome::kReplay);
 }
 
 // ---------------------------------------------------------------------------

@@ -516,6 +516,62 @@ TEST(TcpWorkerPoolTest, TimeoutThenLateResponseIsDiscardedNotCorruption) {
   }
 }
 
+TEST(TcpWorkerPoolTest, WrappedRequestIdNeverMatchesAnAbandonedCall) {
+  // Regression for the id-reuse window: a call that times out leaves its
+  // request outstanding on the wire.  If the per-endpoint id counter then
+  // wraps onto that abandoned id, the old call's late response used to be
+  // delivered verbatim to the *new* call.  The channel must re-mint instead.
+  EchoHandler handler;  // opcode 200 sleeps 200 ms before echoing
+  TcpServer::Options options;
+  options.workers = 2;
+  TcpServer server(&handler, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  TcpChannel channel;
+  channel.Register(1, server.host(), server.port());
+  ASSERT_EQ(BlockingCall(channel, 1, 7, "warm").code, ErrCode::kOk);
+
+  channel.SetNextRequestIdForTest(1, 1000);
+  CallMeta meta;
+  meta.deadline_ns = 20 * common::kMilli;
+  ASSERT_EQ(BlockingCall(channel, 1, 200, "stale-payload", meta).code,
+            ErrCode::kTimeout);
+  // Simulate the 2^64 wrap landing exactly on the abandoned id while the
+  // timed-out request's response is still in flight.
+  channel.SetNextRequestIdForTest(1, 1000);
+  const RpcResponse r = BlockingCall(channel, 1, 7, "fresh-payload");
+  EXPECT_EQ(r.code, ErrCode::kOk);
+  EXPECT_EQ(r.payload, "fresh-payload") << "late response crossed calls";
+}
+
+TEST(TcpWorkerPoolTest, WrappedRequestIdNeverCollidesWithAnInflightCall) {
+  // Same wrap, other window: the colliding id belongs to a call still
+  // *waiting* (not timed out).  Both calls must get their own responses.
+  EchoHandler handler;
+  TcpServer::Options options;
+  options.workers = 2;
+  TcpServer server(&handler, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  TcpChannel channel;
+  channel.Register(1, server.host(), server.port());
+  ASSERT_EQ(BlockingCall(channel, 1, 7, "warm").code, ErrCode::kOk);
+
+  channel.SetNextRequestIdForTest(1, 2000);
+  RpcResponse slow_response;
+  std::thread slow([&] {
+    slow_response = BlockingCall(channel, 1, 200, "slow-own-payload");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));  // slow in flight
+  channel.SetNextRequestIdForTest(1, 2000);  // wrap onto the in-flight id
+  const RpcResponse quick = BlockingCall(channel, 1, 7, "quick-own-payload");
+  slow.join();
+  EXPECT_EQ(quick.code, ErrCode::kOk);
+  EXPECT_EQ(quick.payload, "quick-own-payload");
+  EXPECT_EQ(slow_response.code, ErrCode::kOk);
+  EXPECT_EQ(slow_response.payload, "slow-own-payload");
+}
+
 TEST(TcpWorkerPoolTest, ExtraServiceTimeOverlapsAcrossWorkers) {
   // Modeled device time (extra_service_ns) is charged by sleeping on the
   // worker, so two concurrent calls overlap their 60 ms charges.

@@ -213,5 +213,112 @@ TEST(WireFuzzTest, TruncatedFramesWaitQuietly) {
   }
 }
 
+// ---- batch envelope corpus -------------------------------------------
+// The batch codecs sit directly behind FrameReader on the server hot path:
+// a decoded frame's payload is handed to DecodeBatchRequest/-Response with
+// no intermediate validation, so the decoders carry the same contract —
+// reject any count/length disagreement, never read past the payload, never
+// allocate proportionally to an unvalidated count.
+
+TEST(WireFuzzTest, BatchRoundTripSurvivesChunkedFraming) {
+  common::Rng rng(0xBA7C4);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::string> subops;
+    const int count = static_cast<int>(rng.Uniform(9));
+    for (int i = 0; i < count; ++i) subops.push_back(RandomPayload(rng, 300));
+    const std::string stream =
+        EncodeFrame(RequestHeader(48, rng.Next()), EncodeBatchRequest(subops));
+    Status status;
+    const std::vector<Frame> frames = DrainChunked(rng, stream, &status);
+    ASSERT_TRUE(status.ok()) << "round " << round;
+    ASSERT_EQ(frames.size(), 1u) << "round " << round;
+    std::vector<std::string_view> decoded;
+    ASSERT_TRUE(DecodeBatchRequest(frames[0].payload, &decoded));
+    ASSERT_EQ(decoded.size(), subops.size());
+    for (std::size_t i = 0; i < subops.size(); ++i) {
+      EXPECT_EQ(decoded[i], subops[i]) << "round " << round;
+    }
+  }
+}
+
+TEST(WireFuzzTest, BatchCountBeyondPayloadRejectsWithoutAllocating) {
+  // count = 0x7FFFFFFF with only a handful of bytes behind it: the decoder
+  // must reject from the count/size comparison alone — reserving for it
+  // would allocate gigabytes before the first item bound check.
+  std::string hostile(8, '\0');
+  hostile[0] = '\xff';
+  hostile[1] = '\xff';
+  hostile[2] = '\xff';
+  hostile[3] = '\x7f';
+  std::vector<std::string_view> reqs;
+  EXPECT_FALSE(DecodeBatchRequest(hostile, &reqs));
+  std::vector<BatchItem> items;
+  EXPECT_FALSE(DecodeBatchResponse(hostile, &items));
+
+  // Same with a sub-op length field pointing past the end.
+  std::string bad_len = EncodeBatchRequest({"abc"});
+  bad_len[4] = '\x7f';  // item 0 length low byte: 3 -> 127
+  EXPECT_FALSE(DecodeBatchRequest(bad_len, &reqs));
+}
+
+TEST(WireFuzzTest, TruncatedAndOversizedBatchEnvelopesReject) {
+  common::Rng rng(0x5EED);
+  std::vector<std::string> subops;
+  for (int i = 0; i < 5; ++i) subops.push_back(RandomPayload(rng, 64));
+  const std::string good = EncodeBatchRequest(subops);
+  std::vector<std::string_view> decoded;
+  ASSERT_TRUE(DecodeBatchRequest(good, &decoded));
+
+  // Every proper prefix disagrees with its own count and must be rejected
+  // (the frame layer guarantees whole payloads, so a short envelope is
+  // corruption, not "wait for more").
+  for (std::size_t cut = 0; cut < good.size(); ++cut) {
+    EXPECT_FALSE(DecodeBatchRequest(good.substr(0, cut), &decoded))
+        << "cut " << cut;
+  }
+  // Trailing bytes beyond the declared items are equally malformed.
+  EXPECT_FALSE(DecodeBatchRequest(good + "x", &decoded));
+
+  // Response side: same contract, plus the status byte domain check.
+  std::vector<BatchItem> reply;
+  reply.push_back(BatchItem{ErrCode::kOk, "payload"});
+  reply.push_back(BatchItem{ErrCode::kNotFound, ""});
+  const std::string resp = EncodeBatchResponse(reply);
+  std::vector<BatchItem> out;
+  ASSERT_TRUE(DecodeBatchResponse(resp, &out));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].payload, "payload");
+  for (std::size_t cut = 0; cut < resp.size(); ++cut) {
+    EXPECT_FALSE(DecodeBatchResponse(resp.substr(0, cut), &out))
+        << "cut " << cut;
+  }
+  EXPECT_FALSE(DecodeBatchResponse(resp + "x", &out));
+  std::string bad_code = resp;
+  bad_code[4] = '\x63';  // item 0 status byte: far outside the ErrCode domain
+  EXPECT_FALSE(DecodeBatchResponse(bad_code, &out));
+}
+
+TEST(WireFuzzTest, RandomBytesNeverCrashBatchDecoders) {
+  common::Rng rng(0xFA22);
+  int accepted = 0;
+  for (int round = 0; round < 500; ++round) {
+    const std::string garbage = RandomPayload(rng, 256);
+    std::vector<std::string_view> reqs;
+    if (DecodeBatchRequest(garbage, &reqs)) {
+      // Acceptance is only legal when every view stays inside the buffer.
+      ++accepted;
+      for (std::string_view v : reqs) {
+        EXPECT_GE(v.data(), garbage.data());
+        EXPECT_LE(v.data() + v.size(), garbage.data() + garbage.size());
+      }
+    }
+    std::vector<BatchItem> items;
+    (void)DecodeBatchResponse(garbage, &items);
+  }
+  // Random bytes occasionally form a consistent envelope (e.g. count 0 on a
+  // 4-byte payload); the point is no crash and no over-read above.
+  (void)accepted;
+}
+
 }  // namespace
 }  // namespace loco::net::wire
