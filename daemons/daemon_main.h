@@ -16,12 +16,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <future>
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/metrics.h"
+#include "core/gc.h"
 #include "core/proto.h"
 #include "fs/wire.h"
 #include "net/fault.h"
@@ -142,6 +145,115 @@ inline void AnnounceToDms(const char* name, const std::string& announce_spec,
     std::fprintf(stderr, "%s: announce to %s failed (%d)\n", name,
                  announce_spec.c_str(), static_cast<int>(resp.code));
   }
+}
+
+// Parse the shared background-GC flags (--gc-ops, --gc-batch) into GcManager
+// options.  Empty strings (flags not given) keep the defaults; malformed
+// values are reported and rejected.
+inline bool ParseGcFlags(const char* name, const std::string& ops_str,
+                         const std::string& batch_str,
+                         core::GcManager::Options* out) {
+  if (!ops_str.empty()) {
+    char* end = nullptr;
+    const double ops = std::strtod(ops_str.c_str(), &end);
+    if (end == ops_str.c_str() || *end != '\0' || !(ops > 0)) {
+      std::fprintf(stderr, "%s: bad --gc-ops '%s' (want a rate > 0)\n", name,
+                   ops_str.c_str());
+      return false;
+    }
+    out->ops_per_sec = ops;
+  }
+  if (!batch_str.empty()) {
+    unsigned batch = 0;
+    const char* begin = batch_str.data();
+    const char* end = begin + batch_str.size();
+    if (auto [p, ec] = std::from_chars(begin, end, batch);
+        ec != std::errc{} || p != end || batch == 0) {
+      std::fprintf(stderr, "%s: bad --gc-batch '%s' (want an integer > 0)\n",
+                   name, batch_str.c_str());
+      return false;
+    }
+    out->batch_ops = batch;
+  }
+  return true;
+}
+
+// Blocking cross-server liveness probe for the GC detectors: asks every
+// endpoint whether each uuid is still referenced (kDmsCheckUuids /
+// kFmsCheckUuids) and ORs the replies — a uuid is alive if ANY peer claims
+// it.  Any transport or shape error fails the whole probe, which makes the
+// calling detector skip its cycle ("unreachable" must never read as "dead").
+// Owns its TcpChannel, so keep the prober alive as long as the GcManager
+// that captures it.
+class GcUuidProber {
+ public:
+  GcUuidProber(std::uint16_t opcode, std::vector<std::string> endpoints)
+      : opcode_(opcode) {
+    net::TcpChannelOptions channel_options;
+    channel_options.connect_attempts = 1;
+    channel_options.call_deadline_ns = 5 * common::kSecond;
+    channel_ = std::make_unique<net::TcpChannel>(channel_options);
+    for (const std::string& spec : endpoints) {
+      std::string host;
+      std::uint16_t port = 0;
+      if (!net::ParseHostPort(spec, &host, &port)) {
+        bad_spec_ = spec;
+        continue;
+      }
+      channel_->Register(static_cast<net::NodeId>(nodes_.size()), host, port);
+      nodes_.push_back(static_cast<net::NodeId>(nodes_.size()));
+    }
+  }
+
+  const std::string& bad_spec() const noexcept { return bad_spec_; }
+  bool empty() const noexcept { return nodes_.empty(); }
+
+  Result<std::vector<std::uint8_t>> operator()(
+      const std::vector<fs::Uuid>& uuids) {
+    std::vector<std::string> entries;
+    entries.reserve(uuids.size());
+    for (const fs::Uuid u : uuids) entries.push_back(fs::Pack(u));
+    const std::string request = fs::Pack(entries);
+    std::vector<std::uint8_t> alive(uuids.size(), 0);
+    for (const net::NodeId node : nodes_) {
+      std::promise<net::RpcResponse> done;
+      channel_->CallAsync(node, opcode_, request,
+                          [&done](net::RpcResponse r) {
+                            done.set_value(std::move(r));
+                          });
+      const net::RpcResponse resp = done.get_future().get();
+      if (resp.code != ErrCode::kOk) {
+        return Status{resp.code, "uuid probe rpc failed"};
+      }
+      if (resp.payload.size() != uuids.size()) {
+        return Status{ErrCode::kCorruption, "uuid probe bitmap size mismatch"};
+      }
+      for (std::size_t i = 0; i < uuids.size(); ++i) {
+        if (resp.payload[i] != '\0') alive[i] = 1;
+      }
+    }
+    return alive;
+  }
+
+ private:
+  std::uint16_t opcode_;
+  std::unique_ptr<net::TcpChannel> channel_;
+  std::vector<net::NodeId> nodes_;
+  std::string bad_spec_;
+};
+
+// Split a comma-separated endpoint list ("h1:p1,h2:p2").
+inline std::vector<std::string> SplitEndpoints(const std::string& list) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > start) out.push_back(list.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
 }
 
 // Serve `handler` on `listen_spec` ("host:port", port 0 = ephemeral) until

@@ -11,7 +11,13 @@
 // mutations are always served through a dedup window, so a client retry of
 // an applied Mkdir/Rename replays the cached response instead of
 // double-applying.
+//
+// --gc starts the background housekeeping thread (docs/HOUSEKEEPING.md):
+// incremental detection/repair of the namespace invariants I1-I4, needing
+// no peers (everything it checks lives in this server's two stores).
+// --gc-ops caps the scan rate, --gc-batch sizes one step.
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 
@@ -30,6 +36,9 @@ int main(int argc, char** argv) {
   std::string workers_str;
   std::string store_dir;
   std::string fault_spec;
+  std::string gc_ops_str;
+  std::string gc_batch_str;
+  bool gc_enabled = false;
   for (int i = 1; i < argc; ++i) {
     if (daemons::FlagValue(argc, argv, &i, "--listen", &listen)) continue;
     if (daemons::FlagValue(argc, argv, &i, "--backend", &backend)) continue;
@@ -37,10 +46,17 @@ int main(int argc, char** argv) {
     if (daemons::FlagValue(argc, argv, &i, "--workers", &workers_str)) continue;
     if (daemons::FlagValue(argc, argv, &i, "--store-dir", &store_dir)) continue;
     if (daemons::FlagValue(argc, argv, &i, "--fault-spec", &fault_spec)) continue;
+    if (daemons::FlagValue(argc, argv, &i, "--gc-ops", &gc_ops_str)) continue;
+    if (daemons::FlagValue(argc, argv, &i, "--gc-batch", &gc_batch_str)) continue;
+    if (std::strcmp(argv[i], "--gc") == 0) {
+      gc_enabled = true;
+      continue;
+    }
     std::fprintf(stderr,
                  "locofs_dmsd: unknown argument '%s'\n"
                  "usage: locofs_dmsd [--listen host:port] [--backend btree|hash]"
                  " [--workers N] [--store-dir dir] [--fault-spec spec]"
+                 " [--gc] [--gc-ops RATE] [--gc-batch N]"
                  " [--metrics-out file.json]\n",
                  argv[i]);
     return 2;
@@ -68,15 +84,39 @@ int main(int argc, char** argv) {
     };
   }
 
+  core::GcManager::Options gc_options;
+  gc_options.metrics_prefix = "gc";
+  if (!daemons::ParseGcFlags("locofs_dmsd", gc_ops_str, gc_batch_str,
+                             &gc_options)) {
+    return 2;
+  }
+
   core::DirectoryMetadataServer server(options);
+  // Declared after the server so the GC thread stops (dtor) first.
+  core::GcManager gc(gc_options);
+  if (gc_enabled) {
+    server.SetGcManager(&gc);
+    gc.AddTask("dms-housekeeping", [&server](std::uint32_t budget) {
+      return server.GcStep(budget);
+    });
+  }
+
   net::DedupWindow dedup(core::proto::IdempotentReplayOps());
   net::TcpServer::Options server_options;
   server_options.fault = fault.get();
   server_options.dedup = &dedup;
   server_options.epoch = daemons::NextEpoch(store_dir);
+  // A notify stream dropping means the client is gone (crashed or exited):
+  // free its leases immediately instead of waiting out their TTL.
+  server_options.on_notify_disconnect = [&server](std::uint64_t client) {
+    server.DropClientLeases(client);
+  };
   // Hand the TCP server to the DMS as its push channel: lease invalidations
   // and restart gossip ride the connected clients' notify streams.
   return daemons::RunDaemon(
       "locofs_dmsd", &server, listen, metrics_out, workers, server_options,
-      [&server](net::TcpServer& tcp) { server.SetNotifier(&tcp); });
+      [&](net::TcpServer& tcp) {
+        server.SetNotifier(&tcp);
+        if (gc_enabled) gc.Start();
+      });
 }

@@ -17,6 +17,13 @@
 // (--node; defaults to --sid, matching core::Connect's fms numbering) and
 // fresh epoch so the DMS can gossip the restart to clients, which reset this
 // node's circuit breaker immediately.
+//
+// --gc starts the background housekeeping thread (docs/HOUSEKEEPING.md):
+// session expiry plus incremental detection/repair of invariants I5-I7.
+// The orphan-file detector (I5) needs a DMS to ask which directory uuids
+// are still live; point --gc-dms at it (defaults to the --announce target).
+// --gc-ops caps the scan rate (touched entries/sec), --gc-batch sizes one
+// step.
 #include <charconv>
 #include <cstdio>
 #include <cstring>
@@ -40,6 +47,10 @@ int main(int argc, char** argv) {
   std::string fault_spec;
   std::string announce;
   std::string node_str;
+  std::string gc_ops_str;
+  std::string gc_batch_str;
+  std::string gc_dms;
+  bool gc_enabled = false;
   bool decoupled = true;
   for (int i = 1; i < argc; ++i) {
     if (daemons::FlagValue(argc, argv, &i, "--listen", &listen)) continue;
@@ -50,6 +61,13 @@ int main(int argc, char** argv) {
     if (daemons::FlagValue(argc, argv, &i, "--fault-spec", &fault_spec)) continue;
     if (daemons::FlagValue(argc, argv, &i, "--announce", &announce)) continue;
     if (daemons::FlagValue(argc, argv, &i, "--node", &node_str)) continue;
+    if (daemons::FlagValue(argc, argv, &i, "--gc-ops", &gc_ops_str)) continue;
+    if (daemons::FlagValue(argc, argv, &i, "--gc-batch", &gc_batch_str)) continue;
+    if (daemons::FlagValue(argc, argv, &i, "--gc-dms", &gc_dms)) continue;
+    if (std::strcmp(argv[i], "--gc") == 0) {
+      gc_enabled = true;
+      continue;
+    }
     if (std::strcmp(argv[i], "--coupled") == 0) {
       decoupled = false;
       continue;
@@ -59,6 +77,7 @@ int main(int argc, char** argv) {
                  "usage: locofs_fmsd [--listen host:port] [--sid N] [--coupled]"
                  " [--workers N] [--store-dir dir] [--fault-spec spec]"
                  " [--announce host:port] [--node N]"
+                 " [--gc] [--gc-ops RATE] [--gc-batch N] [--gc-dms host:port]"
                  " [--metrics-out file.json]\n",
                  argv[i]);
     return 2;
@@ -98,12 +117,53 @@ int main(int argc, char** argv) {
     }
   }
 
+  core::GcManager::Options gc_options;
+  gc_options.metrics_prefix = "gc";
+  if (!daemons::ParseGcFlags("locofs_fmsd", gc_ops_str, gc_batch_str,
+                             &gc_options)) {
+    return 2;
+  }
+
   core::FileMetadataServer server(options);
+  // Declared after the server and the prober it captures, so the GC thread
+  // stops (dtor) before either goes away.
+  std::unique_ptr<daemons::GcUuidProber> dir_probe;
+  core::GcManager gc(gc_options);
+  if (gc_enabled) {
+    const std::string& dms_spec = gc_dms.empty() ? announce : gc_dms;
+    if (dms_spec.empty()) {
+      std::fprintf(stderr,
+                   "locofs_fmsd: --gc needs --gc-dms (or --announce) so the"
+                   " orphan-file detector can probe directory liveness\n");
+      return 2;
+    }
+    dir_probe = std::make_unique<daemons::GcUuidProber>(
+        core::proto::kDmsCheckUuids, std::vector<std::string>{dms_spec});
+    if (!dir_probe->bad_spec().empty()) {
+      std::fprintf(stderr, "locofs_fmsd: bad --gc-dms spec '%s'\n",
+                   dir_probe->bad_spec().c_str());
+      return 2;
+    }
+    server.SetGcManager(&gc);
+    gc.AddTask("fms-housekeeping",
+               [&server, probe = dir_probe.get()](std::uint32_t budget) {
+                 return server.GcStep(
+                     budget, [probe](const std::vector<fs::Uuid>& uuids) {
+                       return (*probe)(uuids);
+                     });
+               });
+  }
+
   net::DedupWindow dedup(core::proto::IdempotentReplayOps());
   net::TcpServer::Options server_options;
   server_options.fault = fault.get();
   server_options.dedup = &dedup;
   server_options.epoch = daemons::NextEpoch(store_dir);
+  // A client's last connection dropping prunes its sessions right away
+  // (crash containment); the TTL sweep in GcStep is the fallback.
+  server_options.on_client_disconnect = [&server](std::uint64_t client) {
+    server.DropClientSessions(client);
+  };
   const std::uint64_t epoch = server_options.epoch;
   return daemons::RunDaemon(
       "locofs_fmsd", &server, listen, metrics_out, workers, server_options,
@@ -111,5 +171,6 @@ int main(int argc, char** argv) {
         if (!announce.empty()) {
           daemons::AnnounceToDms("locofs_fmsd", announce, node, epoch);
         }
+        if (gc_enabled) gc.Start();
       });
 }

@@ -10,6 +10,12 @@
 // the DMS can gossip the restart to clients, which reset this node's circuit
 // breaker immediately.
 //
+// --gc starts the background housekeeping thread (docs/HOUSEKEEPING.md):
+// incremental detection/reclaim of leaked objects (invariant I9).  The
+// detector asks every FMS whether each object uuid is still referenced by
+// some inode; point --gc-fms at the comma-separated FMS list.  --gc-ops
+// caps the scan rate, --gc-batch sizes one step.
+//
 // --no-retain accounts block payloads without storing them (reads return
 // zeros); use it for metadata-only benchmarks that push a lot of data.
 // --workers sizes the request dispatch pool (default: hardware concurrency;
@@ -39,6 +45,10 @@ int main(int argc, char** argv) {
   std::string fault_spec;
   std::string announce;
   std::string node_str;
+  std::string gc_ops_str;
+  std::string gc_batch_str;
+  std::string gc_fms;
+  bool gc_enabled = false;
   bool retain = true;
   for (int i = 1; i < argc; ++i) {
     if (daemons::FlagValue(argc, argv, &i, "--listen", &listen)) continue;
@@ -49,6 +59,13 @@ int main(int argc, char** argv) {
     if (daemons::FlagValue(argc, argv, &i, "--fault-spec", &fault_spec)) continue;
     if (daemons::FlagValue(argc, argv, &i, "--announce", &announce)) continue;
     if (daemons::FlagValue(argc, argv, &i, "--node", &node_str)) continue;
+    if (daemons::FlagValue(argc, argv, &i, "--gc-ops", &gc_ops_str)) continue;
+    if (daemons::FlagValue(argc, argv, &i, "--gc-batch", &gc_batch_str)) continue;
+    if (daemons::FlagValue(argc, argv, &i, "--gc-fms", &gc_fms)) continue;
+    if (std::strcmp(argv[i], "--gc") == 0) {
+      gc_enabled = true;
+      continue;
+    }
     if (std::strcmp(argv[i], "--no-retain") == 0) {
       retain = false;
       continue;
@@ -58,6 +75,8 @@ int main(int argc, char** argv) {
                  "usage: locofs_osd [--listen host:port] [--block-bytes N]"
                  " [--no-retain] [--workers N] [--store-dir dir]"
                  " [--fault-spec spec] [--announce host:port] [--node N]"
+                 " [--gc] [--gc-ops RATE] [--gc-batch N]"
+                 " [--gc-fms host:port[,host:port...]]"
                  " [--metrics-out file.json]\n",
                  argv[i]);
     return 2;
@@ -95,7 +114,42 @@ int main(int argc, char** argv) {
     }
   }
 
+  core::GcManager::Options gc_options;
+  gc_options.metrics_prefix = "gc";
+  if (!daemons::ParseGcFlags("locofs_osd", gc_ops_str, gc_batch_str,
+                             &gc_options)) {
+    return 2;
+  }
+
   core::ObjectStoreServer server(options);
+  // Declared after the server and the prober it captures, so the GC thread
+  // stops (dtor) before either goes away.
+  std::unique_ptr<daemons::GcUuidProber> file_probe;
+  core::GcManager gc(gc_options);
+  if (gc_enabled) {
+    if (gc_fms.empty()) {
+      std::fprintf(stderr,
+                   "locofs_osd: --gc needs --gc-fms so the leaked-object"
+                   " detector can probe file-inode liveness\n");
+      return 2;
+    }
+    file_probe = std::make_unique<daemons::GcUuidProber>(
+        core::proto::kFmsCheckUuids, daemons::SplitEndpoints(gc_fms));
+    if (!file_probe->bad_spec().empty()) {
+      std::fprintf(stderr, "locofs_osd: bad --gc-fms spec '%s'\n",
+                   file_probe->bad_spec().c_str());
+      return 2;
+    }
+    server.SetGcManager(&gc);
+    gc.AddTask("osd-housekeeping",
+               [&server, probe = file_probe.get()](std::uint32_t budget) {
+                 return server.GcStep(
+                     budget, [probe](const std::vector<fs::Uuid>& uuids) {
+                       return (*probe)(uuids);
+                     });
+               });
+  }
+
   net::DedupWindow dedup(core::proto::IdempotentReplayOps());
   net::TcpServer::Options server_options;
   server_options.fault = fault.get();
@@ -108,5 +162,6 @@ int main(int argc, char** argv) {
         if (!announce.empty()) {
           daemons::AnnounceToDms("locofs_osd", announce, node, epoch);
         }
+        if (gc_enabled) gc.Start();
       });
 }

@@ -8,14 +8,21 @@
 //   touch <path>            rm <path>            mv <from> <to>
 //   write <path> <text>     cat <path>           stat <path>
 //   chmod <octal> <path>    su <uid> <gid>       cache
-//   stats [json]            help                 quit
+//   stats [json]            sessions             gc
+//   help                    quit
+//
+// `sessions` lists the open file sessions on every FMS (kCtlSessionList);
+// `gc` prints each daemon's background-GC status (kCtlGcStatus) — daemons
+// report "not running" unless started with --gc (docs/HOUSEKEEPING.md).
 //
 // Reads from stdin; EOF exits, so it is safe to pipe a script in:
 //   printf 'mkdir /a\ntouch /a/f\nls /a\n' | ./build/examples/loco_shell
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -26,7 +33,10 @@
 #include "core/connect.h"
 #include "core/dms.h"
 #include "core/fms.h"
+#include "core/gc.h"
 #include "core/object_store.h"
+#include "core/proto.h"
+#include "fs/wire.h"
 #include "net/inproc.h"
 #include "net/task.h"
 
@@ -36,6 +46,101 @@ namespace {
 
 void PrintStatus(const Status& st) {
   std::printf("%s\n", st.ok() ? "ok" : st.ToString().c_str());
+}
+
+// Blocking admin RPC over whichever channel the shell is driving (TCP or
+// in-process; both complete callbacks before CallAsync returns or shortly
+// after, and the in-proc transport runs inline).
+Result<std::string> AdminCall(net::Channel& channel, net::NodeId node,
+                              std::uint16_t opcode, std::string payload) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  net::RpcResponse resp;
+  channel.CallAsync(node, opcode, std::move(payload), [&](net::RpcResponse r) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      resp = std::move(r);
+      done = true;
+    }
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done; });
+  if (!resp.ok()) return ErrStatus(resp.code);
+  return std::move(resp.payload);
+}
+
+void PrintSessions(net::Channel& channel,
+                   const std::vector<net::NodeId>& fms_nodes) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < fms_nodes.size(); ++i) {
+    auto r = AdminCall(channel, fms_nodes[i], core::proto::kCtlSessionList, {});
+    if (!r.ok()) {
+      std::printf("fms%zu: %s\n", i, r.status().ToString().c_str());
+      continue;
+    }
+    std::vector<std::string> entries;
+    if (!fs::Unpack(*r, entries)) {
+      std::printf("fms%zu: bad session list payload\n", i);
+      continue;
+    }
+    for (const std::string& entry : entries) {
+      fs::Uuid dir_uuid;
+      std::string name;
+      std::uint64_t client_id = 0, ttl = 0;
+      std::uint8_t exclusive = 0;
+      if (!fs::Unpack(entry, dir_uuid, name, client_id, ttl, exclusive)) {
+        std::printf("fms%zu: bad session entry\n", i);
+        continue;
+      }
+      std::printf("fms%zu dir=%llu name='%s' client=%llu ttl=%.1fs%s\n", i,
+                  static_cast<unsigned long long>(dir_uuid.raw()), name.c_str(),
+                  static_cast<unsigned long long>(client_id),
+                  static_cast<double>(ttl) / 1e9,
+                  exclusive ? " [exclusive]" : "");
+      ++total;
+    }
+  }
+  std::printf("%zu session(s) across %zu fms\n", total, fms_nodes.size());
+}
+
+void PrintGcStatus(net::Channel& channel, net::NodeId dms_node,
+                   const std::vector<net::NodeId>& fms_nodes,
+                   const std::vector<net::NodeId>& osd_nodes) {
+  auto print_one = [&](const std::string& label, net::NodeId node) {
+    auto r = AdminCall(channel, node, core::proto::kCtlGcStatus, {});
+    if (!r.ok()) {
+      std::printf("%s: gc %s\n", label.c_str(),
+                  r.code() == ErrCode::kUnavailable
+                      ? "not running"
+                      : r.status().ToString().c_str());
+      return;
+    }
+    auto status = core::GcManager::ParseStatusPayload(*r);
+    if (!status.ok()) {
+      std::printf("%s: bad gc status payload\n", label.c_str());
+      return;
+    }
+    std::printf("%s: %s cycles=%llu ops=%llu reclaimed=%llu\n", label.c_str(),
+                status->running ? "running" : "stopped",
+                static_cast<unsigned long long>(status->cycles),
+                static_cast<unsigned long long>(status->ops),
+                static_cast<unsigned long long>(status->reclaimed));
+    for (const core::GcManager::TaskStatus& t : status->tasks) {
+      std::printf("  %s: calls=%llu ops=%llu reclaimed=%llu\n", t.name.c_str(),
+                  static_cast<unsigned long long>(t.calls),
+                  static_cast<unsigned long long>(t.ops),
+                  static_cast<unsigned long long>(t.reclaimed));
+    }
+  };
+  print_one("dms", dms_node);
+  for (std::size_t i = 0; i < fms_nodes.size(); ++i) {
+    print_one("fms" + std::to_string(i), fms_nodes[i]);
+  }
+  for (std::size_t i = 0; i < osd_nodes.size(); ++i) {
+    print_one("osd" + std::to_string(i), osd_nodes[i]);
+  }
 }
 
 }  // namespace
@@ -63,6 +168,13 @@ int main(int argc, char** argv) {
   std::unique_ptr<core::ObjectStoreServer> object_store;
   core::MountHandle mount;
 
+  // Admin plane (sessions / gc): the channel and node ids the housekeeping
+  // RPCs go to, same in both deployment modes.
+  net::Channel* admin_channel = nullptr;
+  net::NodeId admin_dms = 0;
+  std::vector<net::NodeId> admin_fms;
+  std::vector<net::NodeId> admin_osd;
+
   std::uint64_t clock = 0;
   std::unique_ptr<fs::FileSystemClient> client_owner;
   if (!connect.empty()) {
@@ -79,6 +191,10 @@ int main(int argc, char** argv) {
       return 2;
     }
     mount = std::move(*mounted);
+    admin_channel = &*mount.channel;
+    admin_dms = mount.config.dms;
+    admin_fms = mount.config.fms;
+    admin_osd = mount.config.object_stores;
     client_owner = mount.MakeClient(
         [] { return static_cast<std::uint64_t>(common::CpuTimer::Now()); });
     std::printf("LocoFS shell — connected to dms=%s, %zu fms, %zu osd over "
@@ -98,6 +214,10 @@ int main(int argc, char** argv) {
     }
     object_store = std::make_unique<core::ObjectStoreServer>();
     transport.Register(100, object_store.get());
+    admin_channel = &transport;
+    admin_dms = 0;
+    admin_fms = fms_nodes;
+    admin_osd = {100};
 
     core::LocoClient::Config cfg;
     cfg.dms = 0;
@@ -123,7 +243,8 @@ int main(int argc, char** argv) {
 
     if (cmd == "help") {
       std::printf(
-          "mkdir rmdir ls touch rm mv write cat stat chmod su cache stats quit\n");
+          "mkdir rmdir ls touch rm mv write cat stat chmod su cache stats"
+          " sessions gc quit\n");
     } else if (cmd == "mkdir" || cmd == "rmdir" || cmd == "touch" ||
                cmd == "rm") {
       std::string path;
@@ -211,6 +332,10 @@ int main(int argc, char** argv) {
       auto& registry = common::MetricsRegistry::Default();
       std::printf("%s\n", format == "json" ? registry.ToJson().c_str()
                                            : registry.ToText().c_str());
+    } else if (cmd == "sessions") {
+      PrintSessions(*admin_channel, admin_fms);
+    } else if (cmd == "gc") {
+      PrintGcStatus(*admin_channel, admin_dms, admin_fms, admin_osd);
     } else {
       std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
     }

@@ -32,6 +32,10 @@ std::uint64_t PathLockKey(std::string_view path) {
   return common::WyMix(path, 0xfeed);
 }
 
+// Pinned scan snapshots kept per server; pinning beyond this evicts the
+// oldest (a crashed fsck must not pin memory forever).
+constexpr std::size_t kMaxSnapshots = 4;
+
 }  // namespace
 
 DirectoryMetadataServer::DirectoryMetadataServer(const Options& options)
@@ -140,10 +144,15 @@ net::RpcResponse DirectoryMetadataServer::HandleCtx(
 net::RpcResponse DirectoryMetadataServer::Dispatch(std::uint16_t opcode,
                                                    std::string_view payload) {
   // Rename rewrites path keys across a whole subtree; no per-directory lock
-  // covers that, so it excludes every other handler.
+  // covers that, so it excludes every other handler.  Snapshot pinning rides
+  // the same exclusion to materialize a point-in-time cut of both stores.
   if (opcode == proto::kDmsRename) {
     std::unique_lock ns(ns_mu_);
     return Rename(payload);
+  }
+  if (opcode == proto::kCtlSnapshotBegin) {
+    std::unique_lock ns(ns_mu_);
+    return SnapshotBegin();
   }
   std::shared_lock ns(ns_mu_);
   switch (opcode) {
@@ -157,11 +166,14 @@ net::RpcResponse DirectoryMetadataServer::Dispatch(std::uint16_t opcode,
     case proto::kDmsUtimens: return Utimens(payload);
     case proto::kDmsAccess: return Access(payload);
     case proto::kDmsRename: return Rename(payload);
-    case proto::kDmsScanDirs: return ScanDirs();
-    case proto::kDmsScanDirents: return ScanDirents();
+    case proto::kDmsScanDirs: return ScanDirs(payload);
+    case proto::kDmsScanDirents: return ScanDirents(payload);
     case proto::kDmsRepairDirent: return RepairDirent(payload);
     case proto::kDmsDropDirents: return DropDirents(payload);
     case proto::kDmsAnnounce: return Announce(payload);
+    case proto::kDmsCheckUuids: return CheckUuids(payload);
+    case proto::kCtlSnapshotEnd: return SnapshotEnd(payload);
+    case proto::kCtlGcStatus: return GcStatus();
     default: return Fail(ErrCode::kUnsupported);
   }
 }
@@ -547,27 +559,95 @@ net::RpcResponse DirectoryMetadataServer::Rename(std::string_view payload) {
 
 // ----------------------------------------------------- fsck / admin surface --
 
-net::RpcResponse DirectoryMetadataServer::ScanDirs() {
-  // Full d-inode inventory for loco_fsck.  Like any online scan the snapshot
-  // is racy against concurrent mutations; fsck runs against a quiesced
-  // cluster.
+std::string DirectoryMetadataServer::ScanDirsPayload() {
+  // Full d-inode inventory for loco_fsck.
   std::vector<std::string> entries;
   dirs_->ForEach([&entries](std::string_view key, std::string_view value) {
     entries.push_back(
         fs::Pack(std::string(key), DirInodeLayout::Parse(value).uuid));
     return true;
   });
-  return OkPayload(fs::Pack(entries));
+  return fs::Pack(entries);
 }
 
-net::RpcResponse DirectoryMetadataServer::ScanDirents() {
+std::string DirectoryMetadataServer::ScanDirentsPayload() {
   std::vector<std::string> entries;
   dirents_->ForEach([&entries](std::string_view key, std::string_view value) {
     const fs::Uuid uuid(common::LoadAt<std::uint64_t>(key, 0));
     entries.push_back(fs::Pack(uuid, ParseDirentList(value)));
     return true;
   });
-  return OkPayload(fs::Pack(entries));
+  return fs::Pack(entries);
+}
+
+net::RpcResponse DirectoryMetadataServer::ScanDirs(std::string_view payload) {
+  if (!payload.empty()) {
+    std::uint64_t epoch = 0;
+    if (!fs::Unpack(payload, epoch)) return BadRequest();
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    auto it = snapshots_.find(epoch);
+    if (it == snapshots_.end()) return Fail(ErrCode::kNotFound);
+    return OkPayload(it->second.dirs);
+  }
+  // Live scan: racy against concurrent mutations like any online scan —
+  // loco_fsck --live pins an epoch instead.
+  return OkPayload(ScanDirsPayload());
+}
+
+net::RpcResponse DirectoryMetadataServer::ScanDirents(std::string_view payload) {
+  if (!payload.empty()) {
+    std::uint64_t epoch = 0;
+    if (!fs::Unpack(payload, epoch)) return BadRequest();
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    auto it = snapshots_.find(epoch);
+    if (it == snapshots_.end()) return Fail(ErrCode::kNotFound);
+    return OkPayload(it->second.dirents);
+  }
+  return OkPayload(ScanDirentsPayload());
+}
+
+net::RpcResponse DirectoryMetadataServer::SnapshotBegin() {
+  Snapshot snap;
+  snap.dirs = ScanDirsPayload();
+  snap.dirents = ScanDirentsPayload();
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  const std::uint64_t epoch = next_snapshot_epoch_++;
+  snapshots_[epoch] = std::move(snap);
+  while (snapshots_.size() > kMaxSnapshots) snapshots_.erase(snapshots_.begin());
+  return OkPayload(fs::Pack(epoch));
+}
+
+net::RpcResponse DirectoryMetadataServer::SnapshotEnd(std::string_view payload) {
+  std::uint64_t epoch = 0;
+  if (!fs::Unpack(payload, epoch)) return BadRequest();
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  snapshots_.erase(epoch);  // unknown epochs were evicted: fine
+  return Ok();
+}
+
+net::RpcResponse DirectoryMetadataServer::CheckUuids(std::string_view payload) {
+  std::vector<std::string> entries;
+  if (!fs::Unpack(payload, entries)) return BadRequest();
+  std::map<std::uint64_t, std::vector<std::size_t>> wanted;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    fs::Uuid uuid;
+    if (!fs::Unpack(entries[i], uuid)) return BadRequest();
+    wanted[uuid.raw()].push_back(i);
+  }
+  std::string bitmap(entries.size(), '\0');
+  dirs_->ForEach([&](std::string_view, std::string_view value) {
+    auto it = wanted.find(DirInodeLayout::Parse(value).uuid.raw());
+    if (it != wanted.end()) {
+      for (const std::size_t i : it->second) bitmap[i] = '\1';
+    }
+    return true;
+  });
+  return OkPayload(std::move(bitmap));
+}
+
+net::RpcResponse DirectoryMetadataServer::GcStatus() {
+  if (gc_ == nullptr) return Fail(ErrCode::kUnavailable);
+  return OkPayload(gc_->StatusPayload());
 }
 
 net::RpcResponse DirectoryMetadataServer::RepairDirent(std::string_view payload) {
@@ -600,6 +680,177 @@ net::RpcResponse DirectoryMetadataServer::DropDirents(std::string_view payload) 
   // leftovers); fsck verifies that before asking.
   (void)dirents_->Delete(DirentKey(uuid));
   return Ok();
+}
+
+// --------------------------------------------------------- housekeeping --
+
+bool DirectoryMetadataServer::GcFixDirent(const std::string& dir_path,
+                                          const std::string& name, bool add) {
+  std::shared_lock ns(ns_mu_);
+  const auto guard = dir_locks_.Lock(PathLockKey(dir_path));
+  std::string value;
+  if (!dirs_->Get(dir_path, &value).ok()) return false;
+  const fs::Attr attr = DirInodeLayout::Parse(value);
+  const std::string child_path =
+      dir_path == "/" ? "/" + name : dir_path + "/" + name;
+  const bool child_exists = dirs_->Contains(child_path);
+  const std::string dirent_key = DirentKey(attr.uuid);
+  std::string dirent_value;
+  (void)dirents_->Get(dirent_key, &dirent_value);
+  const bool listed = DirentListContains(dirent_value, name);
+  if (add) {
+    // I4: the child d-inode must still exist and still be unlisted.  Holding
+    // the same lock Mkdir appends under makes a duplicate entry impossible.
+    if (!child_exists || listed) return false;
+    AppendDirent(&dirent_value, name);
+  } else {
+    // I2: the entry must still be dangling.  A child mid-Mkdir cannot look
+    // like this (the inode is written before the dirent entry).
+    if (child_exists || !listed) return false;
+    if (!RemoveDirent(&dirent_value, name)) return false;
+  }
+  return dirents_->Put(dirent_key, dirent_value).ok();
+}
+
+GcStepResult DirectoryMetadataServer::GcStep(std::uint32_t budget) {
+  GcStepResult result;
+
+  // Phase 1: apply repairs found by an earlier harvest, re-verified at apply
+  // time under the serving locks.
+  while (!gc_queue_.empty() && result.ops < budget) {
+    const GcPending p = std::move(gc_queue_.front());
+    gc_queue_.pop_front();
+    result.ops += 1;
+    switch (p.kind) {
+      case GcPending::kMkdir: {
+        // I1: recreate a missing parent through the normal Mkdir path (root
+        // identity) so locking, rollback, and lease invalidations all apply;
+        // a concurrent recreate just turns this into kExists.
+        fs::Identity root;
+        root.uid = 0;
+        root.gid = 0;
+        const net::RpcResponse r = HandleCtx(
+            proto::kDmsMkdir,
+            fs::Pack(p.dir_path, std::uint32_t{0755}, root,
+                     static_cast<std::uint64_t>(common::WallClockNs())),
+            net::HandlerContext{});
+        if (r.ok()) {
+          result.reclaimed += 1;
+          gc_i1_repaired_->Add();
+        }
+        break;
+      }
+      case GcPending::kAddName:
+        if (GcFixDirent(p.dir_path, p.name, true)) {
+          result.reclaimed += 1;
+          gc_i4_repaired_->Add();
+        }
+        break;
+      case GcPending::kDropName:
+        if (GcFixDirent(p.dir_path, p.name, false)) {
+          result.reclaimed += 1;
+          gc_i2_repaired_->Add();
+        }
+        break;
+      case GcPending::kDropList: {
+        // I3: confirmed dead in two consecutive harvests.  Uuids are minted
+        // monotonically and never reissued, so a dead uuid cannot return.
+        std::shared_lock ns(ns_mu_);
+        (void)dirents_->Delete(DirentKey(fs::Uuid(p.uuid_raw)));
+        result.reclaimed += 1;
+        gc_i3_repaired_->Add();
+        break;
+      }
+    }
+  }
+  if (!gc_queue_.empty() || result.ops >= budget) return result;
+
+  // Phase 2: harvest.  One pass over both stores under the shared namespace
+  // lock: Rename (the only op that moves path keys) is excluded, so the
+  // path<->uuid mapping cannot tear; Mkdir/Rmdir races are caught by the
+  // phase-1 re-verification.
+  std::map<std::string, std::uint64_t> dirs;
+  std::map<std::uint64_t, std::vector<std::string>> lists;
+  {
+    std::shared_lock ns(ns_mu_);
+    dirs_->ForEach([&dirs](std::string_view key, std::string_view value) {
+      dirs[std::string(key)] = DirInodeLayout::Parse(value).uuid.raw();
+      return true;
+    });
+    dirents_->ForEach([&lists](std::string_view key, std::string_view value) {
+      lists[common::LoadAt<std::uint64_t>(key, 0)] = ParseDirentList(value);
+      return true;
+    });
+  }
+  result.ops += static_cast<std::uint32_t>(dirs.size() + lists.size() + 1);
+
+  // I1: every ancestor of a live directory must exist.  Queue missing ones
+  // shallow-first so a broken chain repairs bottom-up within one pass.
+  std::set<std::string> missing;
+  for (const auto& [path, uuid_raw] : dirs) {
+    std::string p(fs::ParentPath(path));
+    while (p != "/" && dirs.find(p) == dirs.end() && missing.insert(p).second) {
+      p = std::string(fs::ParentPath(p));
+    }
+  }
+  {
+    std::vector<std::string> ordered(missing.begin(), missing.end());
+    std::sort(ordered.begin(), ordered.end(),
+              [](const std::string& a, const std::string& b) {
+                const auto da = std::count(a.begin(), a.end(), '/');
+                const auto db = std::count(b.begin(), b.end(), '/');
+                return da != db ? da < db : a < b;
+              });
+    for (std::string& path : ordered) {
+      gc_queue_.push_back(GcPending{GcPending::kMkdir, std::move(path), {}, 0});
+    }
+  }
+
+  // I2: names in a live directory's list whose d-inode is gone.
+  for (const auto& [path, uuid_raw] : dirs) {
+    auto it = lists.find(uuid_raw);
+    if (it == lists.end()) continue;
+    for (const std::string& name : it->second) {
+      const std::string child = path == "/" ? "/" + name : path + "/" + name;
+      if (dirs.find(child) == dirs.end()) {
+        gc_queue_.push_back(GcPending{GcPending::kDropName, path, name, 0});
+      }
+    }
+  }
+
+  // I4: live directories missing from their (live) parent's list.  A parent
+  // queued for I1 recreation gets its list fixed on the next pass.
+  for (const auto& [path, uuid_raw] : dirs) {
+    if (path == "/") continue;
+    const std::string parent(fs::ParentPath(path));
+    auto pit = dirs.find(parent);
+    if (pit == dirs.end()) continue;
+    const std::string name(fs::BaseName(path));
+    auto lit = lists.find(pit->second);
+    const bool listed = lit != lists.end() &&
+                        std::find(lit->second.begin(), lit->second.end(),
+                                  name) != lit->second.end();
+    if (!listed) {
+      gc_queue_.push_back(GcPending{GcPending::kAddName, parent, name, 0});
+    }
+  }
+
+  // I3: dirent lists keyed by a uuid with no d-inode — two-cycle confirmed
+  // before the (destructive) drop.
+  {
+    std::set<std::uint64_t> live;
+    for (const auto& [path, uuid_raw] : dirs) live.insert(uuid_raw);
+    std::set<std::uint64_t> candidates;
+    for (const auto& [uuid_raw, names] : lists) {
+      if (live.count(uuid_raw) != 0) continue;
+      candidates.insert(uuid_raw);
+      if (gc_i3_prev_.count(uuid_raw) != 0) {
+        gc_queue_.push_back(GcPending{GcPending::kDropList, {}, {}, uuid_raw});
+      }
+    }
+    gc_i3_prev_ = std::move(candidates);
+  }
+  return result;
 }
 
 net::RpcResponse DirectoryMetadataServer::Announce(std::string_view payload) {

@@ -18,8 +18,12 @@
 #pragma once
 
 #include <atomic>
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -27,6 +31,7 @@
 #include "common/lock_table.h"
 
 #include "common/metrics.h"
+#include "core/gc.h"
 #include "core/layout.h"
 #include "core/lease_table.h"
 #include "kvstore/kv.h"
@@ -66,6 +71,23 @@ class DirectoryMetadataServer final : public net::RpcHandler {
   net::RpcResponse HandleCtx(std::uint16_t opcode, std::string_view payload,
                              const net::HandlerContext& ctx) override;
 
+  // Wire the hosting daemon's GC manager so kCtlGcStatus can answer.  The
+  // manager must outlive the server.
+  void SetGcManager(GcManager* gc) noexcept { gc_ = gc; }
+
+  // Disconnect hook (TcpServer::Options::on_notify_disconnect): a client's
+  // push session died, so its lease watches are undeliverable — drop them
+  // now instead of waiting for a mutation to discover the dead session.
+  void DropClientLeases(std::uint64_t client) { leases_.Drop(client); }
+
+  // One incremental GC step (docs/HOUSEKEEPING.md): apply queued repairs,
+  // else harvest both stores and detect the DMS-local invariants — I1
+  // (missing parent d-inodes), I2 (dangling dirent entries), I3 (dirent
+  // lists of dead uuids, two-cycle confirmed), I4 (directories missing from
+  // their parent's list).  Called from a single GcManager thread; repairs
+  // re-verify under the serving locks before touching the stores.
+  GcStepResult GcStep(std::uint32_t budget);
+
   // Store introspection for tests and benchmarks.
   const kv::Kv& dir_kv() const noexcept { return *dirs_; }
   const kv::Kv& dirent_kv() const noexcept { return *dirents_; }
@@ -103,12 +125,29 @@ class DirectoryMetadataServer final : public net::RpcHandler {
   net::RpcResponse Utimens(std::string_view payload);
   net::RpcResponse Access(std::string_view payload);
   net::RpcResponse Rename(std::string_view payload);
-  // fsck / admin surface (tools/loco_fsck).
-  net::RpcResponse ScanDirs();
-  net::RpcResponse ScanDirents();
+  // fsck / admin surface (tools/loco_fsck).  Scans take an optional
+  // [epoch u64] payload: empty reads live state, an epoch serves the pinned
+  // snapshot (kNotFound once evicted or released).
+  net::RpcResponse ScanDirs(std::string_view payload);
+  net::RpcResponse ScanDirents(std::string_view payload);
   net::RpcResponse RepairDirent(std::string_view payload);
   net::RpcResponse DropDirents(std::string_view payload);
   net::RpcResponse Announce(std::string_view payload);
+  net::RpcResponse CheckUuids(std::string_view payload);
+  net::RpcResponse GcStatus();
+  // Caller holds ns_mu_ exclusively (Dispatch routes it that way).
+  net::RpcResponse SnapshotBegin();
+  net::RpcResponse SnapshotEnd(std::string_view payload);
+
+  // Materialized scan payloads (shared by live scans and SnapshotBegin).
+  std::string ScanDirsPayload();
+  std::string ScanDirentsPayload();
+
+  // GC repair primitive: add (or drop) `name` in `dir_path`'s dirent list
+  // iff the child d-inode's existence still justifies it, checked inside the
+  // same per-directory lock Mkdir/Rmdir hold.  Returns true when applied.
+  bool GcFixDirent(const std::string& dir_path, const std::string& name,
+                   bool add);
 
   std::unique_ptr<kv::Kv> dirs_;     // full path -> 48-byte d-inode
   std::unique_ptr<kv::Kv> dirents_;  // dir uuid -> concatenated subdir names
@@ -124,6 +163,39 @@ class DirectoryMetadataServer final : public net::RpcHandler {
   // Push plane: notify sink (owned by the hosting server) + lease watches.
   net::Notifier* notifier_ = nullptr;
   LeaseTable leases_;
+
+  // Snapshot plane (kCtlSnapshotBegin/End): pinning takes ns_mu_ exclusively
+  // (like Rename) so the cut is a point in time.
+  struct Snapshot {
+    std::string dirs;     // kDmsScanDirs reply payload
+    std::string dirents;  // kDmsScanDirents reply payload
+  };
+  std::mutex snap_mu_;  // guards the epoch counter and the snapshot map
+  std::uint64_t next_snapshot_epoch_ = 1;
+  std::map<std::uint64_t, Snapshot> snapshots_;
+
+  // Housekeeping (single GcManager thread): pending repairs and the I3
+  // candidates of the previous harvest (dropping a dirent list is
+  // destructive, so it needs two consecutive sightings).
+  struct GcPending {
+    enum Kind : std::uint8_t { kMkdir, kAddName, kDropName, kDropList };
+    Kind kind;
+    std::string dir_path;  // kMkdir: path to create; kAdd/kDropName: the dir
+    std::string name;
+    std::uint64_t uuid_raw = 0;  // kDropList
+  };
+  std::deque<GcPending> gc_queue_;
+  std::set<std::uint64_t> gc_i3_prev_;
+  GcManager* gc_ = nullptr;
+  // gc.dms.* per-invariant repair counters.
+  common::Counter* gc_i1_repaired_ = &common::MetricsRegistry::Default()
+      .GetCounter("gc.dms.i1_parents_recreated");
+  common::Counter* gc_i2_repaired_ = &common::MetricsRegistry::Default()
+      .GetCounter("gc.dms.i2_dirents_dropped");
+  common::Counter* gc_i3_repaired_ = &common::MetricsRegistry::Default()
+      .GetCounter("gc.dms.i3_lists_dropped");
+  common::Counter* gc_i4_repaired_ = &common::MetricsRegistry::Default()
+      .GetCounter("gc.dms.i4_dirents_added");
 
   common::ServerOpCounters op_metrics_{&common::MetricsRegistry::Default(),
                                        "server.dms"};

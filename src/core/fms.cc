@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "common/clock.h"
 #include "common/codec.h"
 #include "common/hash.h"
 #include "core/proto.h"
@@ -27,6 +28,10 @@ std::uint64_t FileLockKey(std::string_view key) {
   return common::WyMix(key, 0xfeed);
 }
 
+// Pinned scan snapshots kept per server; pinning beyond this evicts the
+// oldest (a crashed fsck must not pin memory forever).
+constexpr std::size_t kMaxSnapshots = 4;
+
 // rpc.batch.* counters (docs/METRICS.md): batch frames served, sub-ops they
 // carried, and sub-ops that failed while their siblings succeeded.
 void CountBatch(std::size_t subops, std::size_t failed) {
@@ -40,8 +45,21 @@ void CountBatch(std::size_t subops, std::size_t failed) {
 
 FileMetadataServer::FileMetadataServer(const Options& options)
     : options_(options),
+      sessions_([&options] {
+        SessionTable::Options s = options.session;
+        if (s.metrics_prefix.empty()) {
+          s.metrics_prefix =
+              "server.fms" + std::to_string(options.sid) + ".sessions";
+        }
+        return s;
+      }()),
       op_metrics_(&common::MetricsRegistry::Default(),
                   "server.fms" + std::to_string(options.sid)) {
+  auto& registry = common::MetricsRegistry::Default();
+  const std::string gc_prefix = "gc.fms" + std::to_string(options_.sid);
+  gc_i5_purged_ = &registry.GetCounter(gc_prefix + ".i5_orphans_purged");
+  gc_i6_repaired_ = &registry.GetCounter(gc_prefix + ".i6_dirents_added");
+  gc_i7_repaired_ = &registry.GetCounter(gc_prefix + ".i7_dirents_dropped");
   // Per-store subdirectories keep the WALs of the co-located stores apart.
   auto sub_options = [&](const char* name) {
     kv::KvOptions opt = options_.kv;
@@ -137,20 +155,40 @@ Result<fs::Attr> FileMetadataServer::GetAttrInternal(const std::string& key) con
 
 net::RpcResponse FileMetadataServer::Handle(std::uint16_t opcode,
                                             std::string_view payload) {
+  return HandleCtx(opcode, payload, net::HandlerContext{});
+}
+
+net::RpcResponse FileMetadataServer::HandleCtx(std::uint16_t opcode,
+                                               std::string_view payload,
+                                               const net::HandlerContext& ctx) {
   const common::ServerOpCounters::PerOp& m = op_metrics_.For(opcode);
   m.calls->Add();
-  net::RpcResponse resp = Dispatch(opcode, payload);
+  if (ctx.client_id != 0) {
+    // Any traffic from an identified client is its session heartbeat.
+    sessions_.Touch(ctx.client_id,
+                    static_cast<std::uint64_t>(common::CpuTimer::Now()));
+  }
+  net::RpcResponse resp = Dispatch(opcode, payload, ctx.client_id);
   if (resp.code != ErrCode::kOk) m.errors->Add();
   return resp;
 }
 
 net::RpcResponse FileMetadataServer::Dispatch(std::uint16_t opcode,
-                                              std::string_view payload) {
+                                              std::string_view payload,
+                                              std::uint64_t client) {
+  // Snapshot pinning excludes every other handler so the materialized cut is
+  // a point in time; everything else proceeds concurrently under the shared
+  // side (the per-dir and per-file lock tables do the fine-grained work).
+  if (opcode == proto::kCtlSnapshotBegin) {
+    std::unique_lock scan(scan_mu_);
+    return SnapshotBegin();
+  }
+  std::shared_lock scan(scan_mu_);
   switch (opcode) {
-    case proto::kFmsCreate: return Create(payload);
+    case proto::kFmsCreate: return Create(payload, client);
     case proto::kFmsRemove: return Remove(payload);
     case proto::kFmsGetAttr: return GetAttr(payload);
-    case proto::kFmsOpen: return Open(payload);
+    case proto::kFmsOpen: return Open(payload, client);
     case proto::kFmsChmod: return Chmod(payload);
     case proto::kFmsChown: return Chown(payload);
     case proto::kFmsUtimens: return Utimens(payload);
@@ -158,16 +196,22 @@ net::RpcResponse FileMetadataServer::Dispatch(std::uint16_t opcode,
     case proto::kFmsSetSize: return SetSize(payload);
     case proto::kFmsSetAtime: return SetAtime(payload);
     case proto::kFmsReaddir: return Readdir(payload);
-    case proto::kFmsBatchCreate: return BatchCreate(payload);
+    case proto::kFmsBatchCreate: return BatchCreate(payload, client);
     case proto::kFmsBatchStat: return BatchStat(payload);
     case proto::kFmsReaddirPlus: return ReaddirPlus(payload);
     case proto::kFmsCheckEmpty: return CheckEmpty(payload);
     case proto::kFmsReadRaw: return ReadRaw(payload);
     case proto::kFmsInsertRaw: return InsertRaw(payload);
-    case proto::kFmsScanFiles: return ScanFiles();
-    case proto::kFmsScanDirents: return ScanDirents();
+    case proto::kFmsScanFiles: return ScanFiles(payload);
+    case proto::kFmsScanDirents: return ScanDirents(payload);
     case proto::kFmsRepairDirent: return RepairDirent(payload);
     case proto::kFmsPurgeFile: return PurgeFile(payload);
+    case proto::kFmsCheckUuids: return CheckUuids(payload);
+    case proto::kFmsOpenSession: return OpenSession(payload, client);
+    case proto::kFmsCloseSession: return CloseSession(payload, client);
+    case proto::kCtlSessionList: return SessionList();
+    case proto::kCtlGcStatus: return GcStatus();
+    case proto::kCtlSnapshotEnd: return SnapshotEnd(payload);
     default: return Fail(ErrCode::kUnsupported);
   }
 }
@@ -195,7 +239,8 @@ void FileMetadataServer::RemoveFromDirent(fs::Uuid dir_uuid,
   }
 }
 
-net::RpcResponse FileMetadataServer::Create(std::string_view payload) {
+net::RpcResponse FileMetadataServer::Create(std::string_view payload,
+                                            std::uint64_t client) {
   fs::Uuid dir_uuid;
   std::string name;
   std::uint32_t mode = 0;
@@ -247,6 +292,12 @@ net::RpcResponse FileMetadataServer::Create(std::string_view payload) {
     }
     return Fail(ErrCode::kIo);
   }
+  if (client != 0) {
+    // Implicit (non-exclusive) session for the creator; refusal is
+    // impossible to act on here — the file already exists — so ignore it.
+    (void)sessions_.Open(dir_uuid, name, client, false,
+                         static_cast<std::uint64_t>(common::CpuTimer::Now()));
+  }
   return OkPayload(fs::Pack(uuid));
 }
 
@@ -266,6 +317,7 @@ net::RpcResponse FileMetadataServer::Remove(std::string_view payload) {
     (void)coupled_->Delete(key);
   }
   RemoveFromDirent(dir_uuid, name);
+  sessions_.DropFile(dir_uuid, name);
   return OkPayload(fs::Pack(attr->uuid));
 }
 
@@ -278,7 +330,8 @@ net::RpcResponse FileMetadataServer::GetAttr(std::string_view payload) {
   return OkPayload(fs::Pack(*attr));
 }
 
-net::RpcResponse FileMetadataServer::Open(std::string_view payload) {
+net::RpcResponse FileMetadataServer::Open(std::string_view payload,
+                                          std::uint64_t client) {
   fs::Uuid dir_uuid;
   std::string name;
   fs::Identity who;
@@ -288,6 +341,10 @@ net::RpcResponse FileMetadataServer::Open(std::string_view payload) {
   if (!fs::CheckPermission(who, attr->mode, attr->uid, attr->gid,
                            fs::kModeRead)) {
     return Fail(ErrCode::kPermission);
+  }
+  if (client != 0) {
+    (void)sessions_.Open(dir_uuid, name, client, false,
+                         static_cast<std::uint64_t>(common::CpuTimer::Now()));
   }
   return OkPayload(fs::Pack(*attr));
 }
@@ -543,7 +600,8 @@ net::RpcResponse FileMetadataServer::Readdir(std::string_view payload) {
   return OkPayload(fs::Pack(entries));
 }
 
-net::RpcResponse FileMetadataServer::BatchCreate(std::string_view payload) {
+net::RpcResponse FileMetadataServer::BatchCreate(std::string_view payload,
+                                                 std::uint64_t client) {
   std::vector<std::string_view> subops;
   if (!net::wire::DecodeBatchRequest(payload, &subops)) return BadRequest();
   // Each sub-op reuses the single-op handler wholesale, so it takes the same
@@ -553,7 +611,7 @@ net::RpcResponse FileMetadataServer::BatchCreate(std::string_view payload) {
   items.reserve(subops.size());
   std::size_t failed = 0;
   for (const std::string_view sub : subops) {
-    net::RpcResponse r = Create(sub);
+    net::RpcResponse r = Create(sub, client);
     if (r.code != ErrCode::kOk) ++failed;
     items.push_back(net::wire::BatchItem{r.code, std::move(r.payload)});
   }
@@ -671,10 +729,9 @@ net::RpcResponse FileMetadataServer::InsertRaw(std::string_view payload) {
 
 // ----------------------------------------------------- fsck / admin surface --
 
-net::RpcResponse FileMetadataServer::ScanFiles() {
+std::string FileMetadataServer::ScanFilesPayload() {
   // Full file-inode inventory for loco_fsck: (parent uuid, name, file uuid)
-  // per inode hashed to this server.  Racy against concurrent mutations like
-  // any online scan; fsck runs against a quiesced cluster.
+  // per inode hashed to this server.
   std::vector<std::string> entries;
   auto emit = [&entries](std::string_view key, fs::Uuid file_uuid) {
     if (key.size() < 8) return;
@@ -695,17 +752,138 @@ net::RpcResponse FileMetadataServer::ScanFiles() {
       return true;
     });
   }
-  return OkPayload(fs::Pack(entries));
+  return fs::Pack(entries);
 }
 
-net::RpcResponse FileMetadataServer::ScanDirents() {
+std::string FileMetadataServer::ScanDirentsPayload() {
   std::vector<std::string> entries;
   dirents_->ForEach([&entries](std::string_view key, std::string_view value) {
     const fs::Uuid dir_uuid(common::LoadAt<std::uint64_t>(key, 0));
     entries.push_back(fs::Pack(dir_uuid, ParseDirentList(value)));
     return true;
   });
+  return fs::Pack(entries);
+}
+
+net::RpcResponse FileMetadataServer::ScanFiles(std::string_view payload) {
+  if (!payload.empty()) {
+    std::uint64_t epoch = 0;
+    if (!fs::Unpack(payload, epoch)) return BadRequest();
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    auto it = snapshots_.find(epoch);
+    if (it == snapshots_.end()) return Fail(ErrCode::kNotFound);
+    return OkPayload(it->second.files);
+  }
+  // Live scan: racy against concurrent mutations like any online scan —
+  // loco_fsck --live pins an epoch instead.
+  return OkPayload(ScanFilesPayload());
+}
+
+net::RpcResponse FileMetadataServer::ScanDirents(std::string_view payload) {
+  if (!payload.empty()) {
+    std::uint64_t epoch = 0;
+    if (!fs::Unpack(payload, epoch)) return BadRequest();
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    auto it = snapshots_.find(epoch);
+    if (it == snapshots_.end()) return Fail(ErrCode::kNotFound);
+    return OkPayload(it->second.dirents);
+  }
+  return OkPayload(ScanDirentsPayload());
+}
+
+net::RpcResponse FileMetadataServer::SnapshotBegin() {
+  Snapshot snap;
+  snap.files = ScanFilesPayload();
+  snap.dirents = ScanDirentsPayload();
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  const std::uint64_t epoch = next_snapshot_epoch_++;
+  snapshots_[epoch] = std::move(snap);
+  while (snapshots_.size() > kMaxSnapshots) snapshots_.erase(snapshots_.begin());
+  return OkPayload(fs::Pack(epoch));
+}
+
+net::RpcResponse FileMetadataServer::SnapshotEnd(std::string_view payload) {
+  std::uint64_t epoch = 0;
+  if (!fs::Unpack(payload, epoch)) return BadRequest();
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  snapshots_.erase(epoch);  // unknown epochs were evicted: fine
+  return Ok();
+}
+
+net::RpcResponse FileMetadataServer::CheckUuids(std::string_view payload) {
+  std::vector<std::string> entries;
+  if (!fs::Unpack(payload, entries)) return BadRequest();
+  std::map<std::uint64_t, std::vector<std::size_t>> wanted;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    fs::Uuid uuid;
+    if (!fs::Unpack(entries[i], uuid)) return BadRequest();
+    wanted[uuid.raw()].push_back(i);
+  }
+  std::string bitmap(entries.size(), '\0');
+  auto mark = [&](fs::Uuid uuid) {
+    auto it = wanted.find(uuid.raw());
+    if (it == wanted.end()) return;
+    for (const std::size_t i : it->second) bitmap[i] = '\1';
+  };
+  if (options_.decoupled) {
+    content_->ForEach([&](std::string_view, std::string_view value) {
+      mark(fs::Uuid(
+          common::LoadAt<std::uint64_t>(value, ContentPartLayout::kUuid)));
+      return true;
+    });
+  } else {
+    coupled_->ForEach([&](std::string_view, std::string_view value) {
+      CoupledInode inode;
+      if (CoupledInode::Deserialize(value, &inode)) mark(inode.attr.uuid);
+      return true;
+    });
+  }
+  return OkPayload(std::move(bitmap));
+}
+
+net::RpcResponse FileMetadataServer::OpenSession(std::string_view payload,
+                                                 std::uint64_t client) {
+  fs::Uuid dir_uuid;
+  std::string name;
+  std::uint8_t exclusive = 0;
+  if (!fs::Unpack(payload, dir_uuid, name, exclusive)) return BadRequest();
+  // Sessions key off the wire-v2 hello identity; an anonymous (v1) peer has
+  // nothing to attach one to.
+  if (client == 0) return Fail(ErrCode::kInvalid);
+  auto attr = GetAttrInternal(FileKey(dir_uuid, name));
+  if (!attr.ok()) return Fail(attr.code());
+  if (!sessions_.Open(dir_uuid, name, client, exclusive != 0,
+                      static_cast<std::uint64_t>(common::CpuTimer::Now()))) {
+    return Fail(ErrCode::kExists);
+  }
+  return Ok();
+}
+
+net::RpcResponse FileMetadataServer::CloseSession(std::string_view payload,
+                                                  std::uint64_t client) {
+  fs::Uuid dir_uuid;
+  std::string name;
+  if (!fs::Unpack(payload, dir_uuid, name)) return BadRequest();
+  if (client == 0) return Fail(ErrCode::kInvalid);
+  (void)sessions_.Close(dir_uuid, name, client);  // close twice: idempotent
+  return Ok();
+}
+
+net::RpcResponse FileMetadataServer::SessionList() {
+  const std::uint64_t now =
+      static_cast<std::uint64_t>(common::CpuTimer::Now());
+  std::vector<std::string> entries;
+  for (const SessionTable::Entry& e : sessions_.List()) {
+    const std::uint64_t ttl = e.expiry > now ? e.expiry - now : 0;
+    entries.push_back(fs::Pack(e.dir_uuid, e.name, e.client, ttl,
+                               static_cast<std::uint8_t>(e.exclusive ? 1 : 0)));
+  }
   return OkPayload(fs::Pack(entries));
+}
+
+net::RpcResponse FileMetadataServer::GcStatus() {
+  if (gc_ == nullptr) return Fail(ErrCode::kUnavailable);
+  return OkPayload(gc_->StatusPayload());
 }
 
 net::RpcResponse FileMetadataServer::RepairDirent(std::string_view payload) {
@@ -745,7 +923,156 @@ net::RpcResponse FileMetadataServer::PurgeFile(std::string_view payload) {
     (void)coupled_->Delete(key);
   }
   RemoveFromDirent(dir_uuid, name);
+  sessions_.DropFile(dir_uuid, name);
   return OkPayload(fs::Pack(uuid));
+}
+
+// --------------------------------------------------------- housekeeping --
+
+GcStepResult FileMetadataServer::GcStep(std::uint32_t budget,
+                                        const UuidProbe& dir_alive) {
+  GcStepResult result;
+  const std::uint64_t now =
+      static_cast<std::uint64_t>(common::CpuTimer::Now());
+  if (sessions_.SweepExpired(now) > 0) result.ops += 1;
+
+  // Phase 1: apply repairs found by an earlier harvest.  Each one re-checks
+  // its invariant under the same per-directory lock the serving handlers
+  // take, so a repair that raced a legitimate create/remove degrades to a
+  // no-op instead of corrupting the store.
+  while (!gc_queue_.empty() && result.ops < budget) {
+    const GcPending p = std::move(gc_queue_.front());
+    gc_queue_.pop_front();
+    result.ops += 1;
+    std::shared_lock scan(scan_mu_);
+    const fs::Uuid dir(p.dir_raw);
+    const auto guard = dir_locks_.Lock(p.dir_raw);
+    const std::string key = FileKey(dir, p.name);
+    const bool have_inode =
+        options_.decoupled ? access_->Contains(key) : coupled_->Contains(key);
+    std::string dirent_value;
+    (void)dirents_->Get(DirentKey(dir), &dirent_value);
+    const bool listed = DirentListContains(dirent_value, p.name);
+    switch (p.kind) {
+      case GcPending::kAddDirent:  // I6: inode present, dirent entry missing
+        if (have_inode && !listed && AppendToDirent(dir, p.name).ok()) {
+          result.reclaimed += 1;
+          gc_i6_repaired_->Add();
+        }
+        break;
+      case GcPending::kDropDirent:  // I7: dirent entry without an inode
+        if (!have_inode && listed) {
+          RemoveFromDirent(dir, p.name);
+          result.reclaimed += 1;
+          gc_i7_repaired_->Add();
+        }
+        break;
+      case GcPending::kPurge:  // I5: orphan confirmed dead twice
+        if (have_inode) {
+          if (options_.decoupled) {
+            (void)access_->Delete(key);
+            (void)content_->Delete(key);
+          } else {
+            (void)coupled_->Delete(key);
+          }
+        }
+        if (listed) RemoveFromDirent(dir, p.name);
+        if (have_inode || listed) {
+          result.reclaimed += 1;
+          gc_i5_purged_->Add();
+          sessions_.DropFile(dir, p.name);
+        }
+        break;
+    }
+  }
+  if (!gc_queue_.empty() || result.ops >= budget) return result;
+
+  // Phase 2: harvest.  One consistent-ish pass over both stores (shared
+  // scan_mu_ only excludes snapshot pinning; per-item races are caught by
+  // the phase-1 re-verification).
+  struct FileRec {
+    std::uint64_t dir_raw;
+    std::string name;
+  };
+  std::vector<FileRec> files;
+  std::map<std::uint64_t, std::vector<std::string>> lists;
+  {
+    std::shared_lock scan(scan_mu_);
+    auto emit = [&files](std::string_view key) {
+      if (key.size() < 8) return;
+      files.push_back(FileRec{common::LoadAt<std::uint64_t>(key, 0),
+                              std::string(key.substr(8))});
+    };
+    if (options_.decoupled) {
+      content_->ForEach([&](std::string_view key, std::string_view) {
+        emit(key);
+        return true;
+      });
+    } else {
+      coupled_->ForEach([&](std::string_view key, std::string_view) {
+        emit(key);
+        return true;
+      });
+    }
+    dirents_->ForEach([&lists](std::string_view key, std::string_view value) {
+      lists[common::LoadAt<std::uint64_t>(key, 0)] = ParseDirentList(value);
+      return true;
+    });
+  }
+  result.ops += static_cast<std::uint32_t>(files.size() + lists.size() + 1);
+
+  // I6/I7: files vs dirent lists, both directions.
+  std::set<std::pair<std::uint64_t, std::string>> file_set;
+  for (const FileRec& f : files) file_set.emplace(f.dir_raw, f.name);
+  for (const FileRec& f : files) {
+    auto it = lists.find(f.dir_raw);
+    const bool listed =
+        it != lists.end() &&
+        std::find(it->second.begin(), it->second.end(), f.name) !=
+            it->second.end();
+    if (!listed) {
+      gc_queue_.push_back(GcPending{GcPending::kAddDirent, f.dir_raw, f.name});
+    }
+  }
+  for (const auto& [dir_raw, names] : lists) {
+    for (const std::string& name : names) {
+      if (file_set.count({dir_raw, name}) == 0) {
+        gc_queue_.push_back(GcPending{GcPending::kDropDirent, dir_raw, name});
+      }
+    }
+  }
+
+  // I5: files whose parent directory no longer exists on the DMS.  The purge
+  // is destructive, so a candidate must be seen dead in two consecutive
+  // harvests; a probe error skips the detector entirely ("unreachable" is
+  // never "dead").
+  if (dir_alive && !files.empty()) {
+    std::vector<fs::Uuid> dirs;
+    {
+      std::set<std::uint64_t> seen;
+      for (const FileRec& f : files) {
+        if (seen.insert(f.dir_raw).second) dirs.push_back(fs::Uuid(f.dir_raw));
+      }
+    }
+    result.ops += static_cast<std::uint32_t>(dirs.size());
+    auto alive = dir_alive(dirs);
+    if (alive.ok() && alive->size() == dirs.size()) {
+      std::set<std::uint64_t> dead;
+      for (std::size_t i = 0; i < dirs.size(); ++i) {
+        if ((*alive)[i] == 0) dead.insert(dirs[i].raw());
+      }
+      std::set<std::pair<std::uint64_t, std::string>> candidates;
+      for (const FileRec& f : files) {
+        if (dead.count(f.dir_raw) == 0) continue;
+        candidates.emplace(f.dir_raw, f.name);
+        if (gc_i5_prev_.count({f.dir_raw, f.name}) != 0) {
+          gc_queue_.push_back(GcPending{GcPending::kPurge, f.dir_raw, f.name});
+        }
+      }
+      gc_i5_prev_ = std::move(candidates);
+    }
+  }
+  return result;
 }
 
 }  // namespace loco::core

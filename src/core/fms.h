@@ -25,15 +25,23 @@
 #pragma once
 
 #include <atomic>
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <set>
+#include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/lock_table.h"
 
 #include "common/metrics.h"
+#include "core/gc.h"
 #include "core/layout.h"
+#include "core/session_table.h"
 #include "kvstore/kv.h"
 #include "net/rpc.h"
 
@@ -51,11 +59,36 @@ class FileMetadataServer final : public net::RpcHandler {
     // Post-construction wrapper applied to each store (fault injection:
     // daemons install kv::FaultyKv here when --fault-spec arms KV faults).
     std::function<std::unique_ptr<kv::Kv>(std::unique_ptr<kv::Kv>)> kv_decorator;
+    // File-session bookkeeping (docs/HOUSEKEEPING.md).  The metrics prefix is
+    // filled in by the constructor when left empty.
+    SessionTable::Options session;
   };
 
   explicit FileMetadataServer(const Options& options);
 
   net::RpcResponse Handle(std::uint16_t opcode, std::string_view payload) override;
+  net::RpcResponse HandleCtx(std::uint16_t opcode, std::string_view payload,
+                             const net::HandlerContext& ctx) override;
+
+  // Wire the hosting daemon's GC manager so kCtlGcStatus can answer.  The
+  // manager must outlive the server.
+  void SetGcManager(GcManager* gc) noexcept { gc_ = gc; }
+
+  // Disconnect hook (TcpServer::Options::on_client_disconnect): drop every
+  // session the vanished client held.  Returns the number dropped.
+  std::size_t DropClientSessions(std::uint64_t client) {
+    return sessions_.DropClient(client);
+  }
+
+  // One incremental GC step (docs/HOUSEKEEPING.md): sweep expired sessions,
+  // apply queued repairs, else harvest the stores and detect invariants
+  // I5/I6/I7 locally.  `dir_alive` probes the DMS for parent-directory
+  // liveness (kDmsCheckUuids); orphan purges (I5, destructive) require the
+  // directory to be seen dead in two consecutive harvests.  Called from a
+  // single GcManager thread; repairs re-verify under the serving dir locks.
+  GcStepResult GcStep(std::uint32_t budget, const UuidProbe& dir_alive);
+
+  SessionTable& sessions() noexcept { return sessions_; }
 
   std::size_t FileCount() const;
   bool decoupled() const noexcept { return options_.decoupled; }
@@ -73,12 +106,13 @@ class FileMetadataServer final : public net::RpcHandler {
   // Read the full Attr of a file (mode-independent helper).
   Result<fs::Attr> GetAttrInternal(const std::string& key) const;
 
-  net::RpcResponse Dispatch(std::uint16_t opcode, std::string_view payload);
+  net::RpcResponse Dispatch(std::uint16_t opcode, std::string_view payload,
+                            std::uint64_t client);
 
-  net::RpcResponse Create(std::string_view payload);
+  net::RpcResponse Create(std::string_view payload, std::uint64_t client);
   net::RpcResponse Remove(std::string_view payload);
   net::RpcResponse GetAttr(std::string_view payload);
-  net::RpcResponse Open(std::string_view payload);
+  net::RpcResponse Open(std::string_view payload, std::uint64_t client);
   net::RpcResponse Chmod(std::string_view payload);
   net::RpcResponse Chown(std::string_view payload);
   net::RpcResponse Utimens(std::string_view payload);
@@ -89,17 +123,32 @@ class FileMetadataServer final : public net::RpcHandler {
   // Batched metadata ops (net/wire.h batch framing): each sub-op runs under
   // the same lock-table guards as its single-op twin and fails individually;
   // only a malformed batch envelope fails the whole frame (kCorruption).
-  net::RpcResponse BatchCreate(std::string_view payload);
+  net::RpcResponse BatchCreate(std::string_view payload, std::uint64_t client);
   net::RpcResponse BatchStat(std::string_view payload);
   net::RpcResponse ReaddirPlus(std::string_view payload);
   net::RpcResponse CheckEmpty(std::string_view payload);
   net::RpcResponse ReadRaw(std::string_view payload);
   net::RpcResponse InsertRaw(std::string_view payload);
-  // fsck / admin surface (tools/loco_fsck).
-  net::RpcResponse ScanFiles();
-  net::RpcResponse ScanDirents();
+  // fsck / admin surface (tools/loco_fsck).  Scans take an optional
+  // [epoch u64] payload: empty reads live state, an epoch serves the pinned
+  // snapshot (kNotFound once evicted or released).
+  net::RpcResponse ScanFiles(std::string_view payload);
+  net::RpcResponse ScanDirents(std::string_view payload);
   net::RpcResponse RepairDirent(std::string_view payload);
   net::RpcResponse PurgeFile(std::string_view payload);
+  net::RpcResponse CheckUuids(std::string_view payload);
+  // Housekeeping / control surface.
+  net::RpcResponse OpenSession(std::string_view payload, std::uint64_t client);
+  net::RpcResponse CloseSession(std::string_view payload, std::uint64_t client);
+  net::RpcResponse SessionList();
+  net::RpcResponse GcStatus();
+  // Caller holds scan_mu_ exclusively (Dispatch routes it that way).
+  net::RpcResponse SnapshotBegin();
+  net::RpcResponse SnapshotEnd(std::string_view payload);
+
+  // Materialized scan payloads (shared by live scans and SnapshotBegin).
+  std::string ScanFilesPayload();
+  std::string ScanDirentsPayload();
 
   Status AppendToDirent(fs::Uuid dir_uuid, std::string_view name);
   void RemoveFromDirent(fs::Uuid dir_uuid, std::string_view name);
@@ -120,9 +169,43 @@ class FileMetadataServer final : public net::RpcHandler {
   common::LockTable dir_locks_{64};
   common::LockTable file_locks_{128};
 
+  // Snapshot plane (kCtlSnapshotBegin/End): SnapshotBegin takes scan_mu_
+  // exclusively to materialize a consistent cut of both stores; every other
+  // handler (and the GC harvest) holds it shared, so pinning waits out
+  // in-flight mutations and never tears one.
+  mutable std::shared_mutex scan_mu_;
+  struct Snapshot {
+    std::string files;    // kFmsScanFiles reply payload
+    std::string dirents;  // kFmsScanDirents reply payload
+  };
+  std::mutex snap_mu_;  // guards the epoch counter and the snapshot map
+  std::uint64_t next_snapshot_epoch_ = 1;
+  std::map<std::uint64_t, Snapshot> snapshots_;
+
+  // File sessions (implicit via Create/Open, explicit via kFmsOpenSession).
+  SessionTable sessions_;
+
+  // Housekeeping (single GcManager thread): repairs detected by the last
+  // harvest, waiting for re-verification under the dir locks, plus the I5
+  // candidates of the previous harvest (destructive purges need two
+  // consecutive sightings).
+  struct GcPending {
+    enum Kind : std::uint8_t { kAddDirent, kDropDirent, kPurge };
+    Kind kind;
+    std::uint64_t dir_raw = 0;
+    std::string name;
+  };
+  std::deque<GcPending> gc_queue_;
+  std::set<std::pair<std::uint64_t, std::string>> gc_i5_prev_;
+  GcManager* gc_ = nullptr;
+
   // server.fms<sid>.* op counters and server.fms<sid>.kv.* gauges.
   common::ServerOpCounters op_metrics_;
   std::vector<common::MetricsRegistry::GaugeHandle> kv_gauges_;
+  // gc.fms<sid>.* per-invariant repair counters.
+  common::Counter* gc_i5_purged_ = nullptr;
+  common::Counter* gc_i6_repaired_ = nullptr;
+  common::Counter* gc_i7_repaired_ = nullptr;
 };
 
 }  // namespace loco::core

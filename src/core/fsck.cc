@@ -133,10 +133,49 @@ Result<std::string> FsckRunner::Call(net::NodeId node, std::uint16_t opcode,
   return std::move(resp.payload);
 }
 
-Result<FsckRunner::Snapshot> FsckRunner::Scan() {
-  Snapshot snap;
+Result<FsckRunner::Epochs> FsckRunner::PinSnapshots() {
+  Epochs epochs;
+  auto pin = [&](net::NodeId node, std::uint64_t* out) -> Status {
+    auto r = Call(node, proto::kCtlSnapshotBegin, {});
+    LOCO_RETURN_IF_ERROR(r.status());
+    if (!fs::Unpack(*r, *out)) return ErrStatus(ErrCode::kCorruption);
+    return OkStatus();
+  };
+  LOCO_RETURN_IF_ERROR(pin(config_.dms, &epochs.dms));
+  epochs.fms.resize(config_.fms.size());
+  for (std::size_t i = 0; i < config_.fms.size(); ++i) {
+    LOCO_RETURN_IF_ERROR(pin(config_.fms[i], &epochs.fms[i]));
+  }
+  epochs.object_stores.resize(config_.object_stores.size());
+  for (std::size_t i = 0; i < config_.object_stores.size(); ++i) {
+    LOCO_RETURN_IF_ERROR(pin(config_.object_stores[i], &epochs.object_stores[i]));
+  }
+  return epochs;
+}
 
-  auto dirs = Call(config_.dms, proto::kDmsScanDirs, {});
+void FsckRunner::ReleaseSnapshots(const Epochs& epochs) {
+  // Best-effort: servers also evict pinned snapshots on their own (bounded
+  // ring), so a lost End just ages out.
+  auto release = [&](net::NodeId node, std::uint64_t epoch) {
+    if (epoch != 0) (void)Call(node, proto::kCtlSnapshotEnd, fs::Pack(epoch));
+  };
+  release(config_.dms, epochs.dms);
+  for (std::size_t i = 0; i < epochs.fms.size(); ++i) {
+    release(config_.fms[i], epochs.fms[i]);
+  }
+  for (std::size_t i = 0; i < epochs.object_stores.size(); ++i) {
+    release(config_.object_stores[i], epochs.object_stores[i]);
+  }
+}
+
+Result<FsckRunner::Snapshot> FsckRunner::Scan(const Epochs* epochs) {
+  Snapshot snap;
+  const auto payload_for = [epochs](std::uint64_t epoch) {
+    return epochs ? fs::Pack(epoch) : std::string{};
+  };
+
+  auto dirs = Call(config_.dms, proto::kDmsScanDirs,
+                   payload_for(epochs ? epochs->dms : 0));
   LOCO_RETURN_IF_ERROR(dirs.status());
   std::vector<std::string> entries;
   if (!fs::Unpack(*dirs, entries)) return ErrStatus(ErrCode::kCorruption);
@@ -148,7 +187,8 @@ Result<FsckRunner::Snapshot> FsckRunner::Scan() {
     snap.path_by_uuid.emplace(uuid.raw(), std::move(path));
   }
 
-  auto dirents = Call(config_.dms, proto::kDmsScanDirents, {});
+  auto dirents = Call(config_.dms, proto::kDmsScanDirents,
+                      payload_for(epochs ? epochs->dms : 0));
   LOCO_RETURN_IF_ERROR(dirents.status());
   entries.clear();
   if (!fs::Unpack(*dirents, entries)) return ErrStatus(ErrCode::kCorruption);
@@ -161,7 +201,8 @@ Result<FsckRunner::Snapshot> FsckRunner::Scan() {
 
   snap.fms.resize(config_.fms.size());
   for (std::size_t i = 0; i < config_.fms.size(); ++i) {
-    auto files = Call(config_.fms[i], proto::kFmsScanFiles, {});
+    auto files = Call(config_.fms[i], proto::kFmsScanFiles,
+                      payload_for(epochs ? epochs->fms[i] : 0));
     LOCO_RETURN_IF_ERROR(files.status());
     entries.clear();
     if (!fs::Unpack(*files, entries)) return ErrStatus(ErrCode::kCorruption);
@@ -174,7 +215,8 @@ Result<FsckRunner::Snapshot> FsckRunner::Scan() {
       snap.fms[i].files.emplace(
           std::make_pair(dir_uuid.raw(), std::move(name)), file_uuid);
     }
-    auto fdirents = Call(config_.fms[i], proto::kFmsScanDirents, {});
+    auto fdirents = Call(config_.fms[i], proto::kFmsScanDirents,
+                         payload_for(epochs ? epochs->fms[i] : 0));
     LOCO_RETURN_IF_ERROR(fdirents.status());
     entries.clear();
     if (!fs::Unpack(*fdirents, entries)) return ErrStatus(ErrCode::kCorruption);
@@ -190,7 +232,8 @@ Result<FsckRunner::Snapshot> FsckRunner::Scan() {
 
   snap.objects.resize(config_.object_stores.size());
   for (std::size_t i = 0; i < config_.object_stores.size(); ++i) {
-    auto objects = Call(config_.object_stores[i], proto::kObjScanObjects, {});
+    auto objects = Call(config_.object_stores[i], proto::kObjScanObjects,
+                        payload_for(epochs ? epochs->object_stores[i] : 0));
     LOCO_RETURN_IF_ERROR(objects.status());
     entries.clear();
     if (!fs::Unpack(*objects, entries)) return ErrStatus(ErrCode::kCorruption);
@@ -470,10 +513,11 @@ Result<std::uint64_t> FsckRunner::Repair(
 }
 
 Result<FsckReport> FsckRunner::Run(const Options& options) {
+  if (options.live) return RunLive(options);
   FsckReport report;
   for (std::uint32_t pass = 0; pass < std::max(options.max_passes, 1u);
        ++pass) {
-    auto snap = Scan();
+    auto snap = Scan(nullptr);
     LOCO_RETURN_IF_ERROR(snap.status());
     report.findings = Analyze(*snap);
     ++report.passes;
@@ -483,10 +527,58 @@ Result<FsckReport> FsckRunner::Run(const Options& options) {
     report.repairs += *applied;
   }
   // Out of passes: report whatever the final state shows.
-  auto snap = Scan();
+  auto snap = Scan(nullptr);
   LOCO_RETURN_IF_ERROR(snap.status());
   report.findings = Analyze(*snap);
   ++report.passes;
+  return report;
+}
+
+namespace {
+
+// Canonical identity of a finding across passes (live-mode confirmation).
+std::string FindingKey(const FsckFinding& f) {
+  return fs::Pack(static_cast<std::uint8_t>(f.type),
+                  static_cast<std::uint64_t>(f.server), f.path, f.name,
+                  f.dir_uuid, f.file_uuid);
+}
+
+}  // namespace
+
+Result<FsckReport> FsckRunner::RunLive(const Options& options) {
+  FsckReport report;
+  std::set<std::string> suspects;  // finding keys from the previous pass
+  // Confirmation needs at least two looks at the cluster.
+  const std::uint32_t max_passes = std::max(options.max_passes, 2u);
+  for (std::uint32_t pass = 0; pass < max_passes; ++pass) {
+    auto epochs = PinSnapshots();
+    LOCO_RETURN_IF_ERROR(epochs.status());
+    auto snap = Scan(&*epochs);
+    ReleaseSnapshots(*epochs);
+    LOCO_RETURN_IF_ERROR(snap.status());
+    const std::vector<FsckFinding> findings = Analyze(*snap);
+    ++report.passes;
+
+    std::vector<FsckFinding> confirmed;
+    std::set<std::string> keys;
+    for (const FsckFinding& f : findings) {
+      std::string key = FindingKey(f);
+      if (suspects.count(key)) confirmed.push_back(f);
+      keys.insert(std::move(key));
+    }
+    suspects = std::move(keys);
+    report.findings = confirmed;
+
+    if (findings.empty()) return report;  // clean scan: nothing suspected
+    if (pass == 0) continue;              // first look: nothing confirmable
+    if (!options.repair) return report;   // dry run: report the confirmed set
+    if (!confirmed.empty()) {
+      auto applied = Repair(confirmed);
+      LOCO_RETURN_IF_ERROR(applied.status());
+      report.repairs += *applied;
+    }
+    // Unconfirmed suspects (in-flight ops or fresh damage) get another pass.
+  }
   return report;
 }
 

@@ -35,6 +35,16 @@
 // repairing run iterates scan→repair until a scan is clean, up to a bounded
 // number of passes.  The cluster must be quiesced: scans are per-server
 // snapshots with no cross-server atomicity, exactly like any offline fsck.
+//
+// Live mode (Options::live) drops the quiesce requirement.  Each pass pins a
+// point-in-time snapshot on every server (kCtlSnapshotBegin/End), scans the
+// pinned epochs, and releases them.  Per-server snapshots are individually
+// consistent but not mutually so: an op in flight between two Begin calls
+// (a create that reached the FMS but whose parent scan predates it) shows up
+// as a spurious one-pass finding.  Live mode therefore acts only on findings
+// seen in two consecutive passes — in-flight ops complete between passes,
+// while real damage persists — which is the same two-cycle confirmation the
+// background GC uses (docs/HOUSEKEEPING.md).
 #pragma once
 
 #include <cstdint>
@@ -91,6 +101,7 @@ class FsckRunner {
   };
   struct Options {
     bool repair = false;     // false = report only (dry run)
+    bool live = false;       // scan pinned snapshots; two-pass confirmation
     std::uint32_t max_passes = 5;
   };
 
@@ -102,8 +113,18 @@ class FsckRunner {
 
  private:
   struct Snapshot;
+  // Pinned snapshot epochs, one per server (parallel to Config's vectors).
+  struct Epochs {
+    std::uint64_t dms = 0;
+    std::vector<std::uint64_t> fms;
+    std::vector<std::uint64_t> object_stores;
+  };
 
-  Result<Snapshot> Scan();
+  // Scan the live stores (epochs == nullptr) or the pinned epochs.
+  Result<Snapshot> Scan(const Epochs* epochs);
+  Result<Epochs> PinSnapshots();
+  void ReleaseSnapshots(const Epochs& epochs);
+  Result<FsckReport> RunLive(const Options& options);
   std::vector<FsckFinding> Analyze(const Snapshot& snap) const;
   // Applies every finding's repair; returns the number of repair RPCs.
   Result<std::uint64_t> Repair(const std::vector<FsckFinding>& findings);

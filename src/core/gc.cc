@@ -1,0 +1,169 @@
+#include "core/gc.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "fs/wire.h"
+
+namespace loco::core {
+
+GcManager::GcManager(Options options)
+    : options_(std::move(options)),
+      cycles_metric_(&common::MetricsRegistry::Default().GetCounter(
+          options_.metrics_prefix + ".cycles")),
+      ops_metric_(&common::MetricsRegistry::Default().GetCounter(
+          options_.metrics_prefix + ".ops")),
+      reclaimed_metric_(&common::MetricsRegistry::Default().GetCounter(
+          options_.metrics_prefix + ".reclaimed")),
+      throttle_ns_metric_(&common::MetricsRegistry::Default().GetCounter(
+          options_.metrics_prefix + ".throttle_ns")) {}
+
+GcManager::~GcManager() { Stop(); }
+
+void GcManager::AddTask(std::string name, GcTaskFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tasks_.push_back(Task{std::move(name), std::move(fn)});
+}
+
+void GcManager::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void GcManager::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+bool GcManager::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+void GcManager::Loop() {
+  // Token bucket: refilled at ops_per_sec, capped at a few batches of burst.
+  // Steps may overdraw (a harvest pass costs what the store holds); the debt
+  // is slept off before the next step runs, which is exactly the rate
+  // guarantee we want.
+  double tokens = options_.batch_ops;
+  const double cap = std::max(4.0 * options_.batch_ops, 1.0);
+  common::Nanos last_refill = common::CpuTimer::Now();
+  std::size_t next_task = 0;
+  std::size_t idle_streak = 0;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    const common::Nanos now = common::CpuTimer::Now();
+    if (options_.ops_per_sec > 0) {
+      tokens = std::min(
+          cap, tokens + common::ToSeconds(now - last_refill) * options_.ops_per_sec);
+    } else {
+      tokens = cap;
+    }
+    last_refill = now;
+
+    if (tasks_.empty()) {
+      cv_.wait_for(lock, std::chrono::nanoseconds(options_.idle_sleep_ns));
+      continue;
+    }
+    if (tokens < 1.0) {
+      // Throttled: sleep until roughly one batch of tokens accrues.
+      const double deficit = options_.batch_ops - tokens;
+      const common::Nanos wait = std::min<common::Nanos>(
+          options_.idle_sleep_ns,
+          static_cast<common::Nanos>(deficit / options_.ops_per_sec *
+                                     common::kSecond) + 1);
+      throttle_ns_metric_->Add(static_cast<std::uint64_t>(wait));
+      cv_.wait_for(lock, std::chrono::nanoseconds(wait));
+      continue;
+    }
+    if (idle_streak >= tasks_.size()) {
+      // A full round found no work; back off before polling the stores again.
+      idle_streak = 0;
+      cv_.wait_for(lock, std::chrono::nanoseconds(options_.idle_sleep_ns));
+      continue;
+    }
+
+    const std::uint32_t budget = static_cast<std::uint32_t>(
+        std::min<double>(options_.batch_ops, tokens));
+    const std::size_t index = next_task;
+    next_task = (next_task + 1) % tasks_.size();
+    if (next_task == 0) {
+      ++cycles_;
+      cycles_metric_->Add();
+    }
+    GcTaskFn fn = tasks_[index].fn;
+
+    lock.unlock();
+    const GcStepResult result = fn(budget);
+    lock.lock();
+
+    tasks_[index].calls += 1;
+    tasks_[index].ops += result.ops;
+    tasks_[index].reclaimed += result.reclaimed;
+    total_ops_ += result.ops;
+    total_reclaimed_ += result.reclaimed;
+    ops_metric_->Add(result.ops);
+    reclaimed_metric_->Add(result.reclaimed);
+    tokens -= std::max<std::uint32_t>(result.ops, 1);
+    idle_streak = result.ops == 0 ? idle_streak + 1 : 0;
+  }
+}
+
+GcManager::Status GcManager::GetStatus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status status;
+  status.running = running_;
+  status.cycles = cycles_;
+  status.ops = total_ops_;
+  status.reclaimed = total_reclaimed_;
+  status.tasks.reserve(tasks_.size());
+  for (const Task& task : tasks_) {
+    status.tasks.push_back(
+        TaskStatus{task.name, task.calls, task.ops, task.reclaimed});
+  }
+  return status;
+}
+
+std::string GcManager::StatusPayload() const {
+  const Status status = GetStatus();
+  std::vector<std::string> entries;
+  entries.reserve(status.tasks.size());
+  for (const TaskStatus& task : status.tasks) {
+    entries.push_back(fs::Pack(task.name, task.calls, task.ops, task.reclaimed));
+  }
+  return fs::Pack(static_cast<std::uint8_t>(status.running ? 1 : 0),
+                  status.cycles, status.ops, status.reclaimed, entries);
+}
+
+Result<GcManager::Status> GcManager::ParseStatusPayload(
+    std::string_view payload) {
+  std::uint8_t running = 0;
+  Status status;
+  std::vector<std::string> entries;
+  if (!fs::Unpack(payload, running, status.cycles, status.ops,
+                  status.reclaimed, entries)) {
+    return {ErrCode::kCorruption, "bad gc status payload"};
+  }
+  status.running = running != 0;
+  for (const std::string& entry : entries) {
+    TaskStatus task;
+    if (!fs::Unpack(entry, task.name, task.calls, task.ops, task.reclaimed)) {
+      return {ErrCode::kCorruption, "bad gc status entry"};
+    }
+    status.tasks.push_back(std::move(task));
+  }
+  return status;
+}
+
+}  // namespace loco::core

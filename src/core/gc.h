@@ -1,0 +1,126 @@
+// Background garbage collection for the housekeeping plane
+// (docs/HOUSEKEEPING.md).
+//
+// fsck (core/fsck.h) repairs invariants I1–I9 with stop-the-world scans; a
+// serving cluster never gets to stop.  GcManager runs the same detectors
+// *incrementally*: one thread per daemon round-robins small GC steps under a
+// token bucket (configurable ops/sec and batch size), so housekeeping load
+// is a bounded, tunable tax on the serving hot path instead of an outage.
+//
+// The manager is generic — daemons register named step callbacks.  A step
+// receives an op budget and returns how many ops it actually spent (scan
+// items + repairs; spending can overshoot the budget, the bucket goes into
+// debt and the loop sleeps it off).  The per-server steps live on the
+// servers themselves (DirectoryMetadataServer::GcStep etc.), where they can
+// re-verify every finding under the same locks the serving handlers take —
+// a GC repair never races a legitimate in-flight mutation.
+//
+// Cross-server invariants (I5: orphan files under dead directories; I9:
+// leaked objects) need a remote liveness check, passed in as a UuidProbe.
+// Their reclaims are destructive, so they require the candidate to be seen
+// dead in two consecutive GC cycles before purging — a probe that raced a
+// concurrent create cannot cost data.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "fs/types.h"
+#include "net/rpc.h"
+
+namespace loco::core {
+
+// One GC step: spend up to `budget` ops, report what was actually spent and
+// how many orphans were reclaimed.
+struct GcStepResult {
+  std::uint32_t ops = 0;
+  std::uint32_t reclaimed = 0;
+};
+using GcTaskFn = std::function<GcStepResult(std::uint32_t budget)>;
+
+// Batched remote liveness check: one byte per uuid, '\1' = alive.  Errors
+// abort the dependent detector for this cycle (never treat "unreachable" as
+// "dead").
+using UuidProbe =
+    std::function<Result<std::vector<std::uint8_t>>(const std::vector<fs::Uuid>&)>;
+
+class GcManager {
+ public:
+  struct Options {
+    double ops_per_sec = 2000.0;       // sustained scan+repair rate
+    std::uint32_t batch_ops = 64;      // max ops granted to one step call
+    common::Nanos idle_sleep_ns = 100 * common::kMilli;  // sleep when idle
+    std::string metrics_prefix = "gc";
+  };
+
+  struct TaskStatus {
+    std::string name;
+    std::uint64_t calls = 0;
+    std::uint64_t ops = 0;
+    std::uint64_t reclaimed = 0;
+  };
+  struct Status {
+    bool running = false;
+    std::uint64_t cycles = 0;     // completed round-robin rounds
+    std::uint64_t ops = 0;        // total ops spent
+    std::uint64_t reclaimed = 0;  // total orphans reclaimed
+    std::vector<TaskStatus> tasks;
+  };
+
+  GcManager() : GcManager(Options()) {}
+  explicit GcManager(Options options);
+  ~GcManager();
+
+  GcManager(const GcManager&) = delete;
+  GcManager& operator=(const GcManager&) = delete;
+
+  // Register a step before Start().
+  void AddTask(std::string name, GcTaskFn fn);
+
+  void Start();
+  void Stop();
+  bool running() const;
+
+  Status GetStatus() const;
+  // kCtlGcStatus reply payload (layout in core/proto.h).
+  std::string StatusPayload() const;
+  static Result<Status> ParseStatusPayload(std::string_view payload);
+
+  const Options& options() const noexcept { return options_; }
+
+ private:
+  struct Task {
+    std::string name;
+    GcTaskFn fn;
+    std::uint64_t calls = 0;
+    std::uint64_t ops = 0;
+    std::uint64_t reclaimed = 0;
+  };
+
+  void Loop();
+
+  const Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Task> tasks_;
+  std::thread thread_;
+  bool running_ = false;
+  bool stop_ = false;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t total_ops_ = 0;
+  std::uint64_t total_reclaimed_ = 0;
+
+  common::Counter* cycles_metric_;
+  common::Counter* ops_metric_;
+  common::Counter* reclaimed_metric_;
+  common::Counter* throttle_ns_metric_;
+};
+
+}  // namespace loco::core

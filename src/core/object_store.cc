@@ -15,6 +15,10 @@ namespace loco::core {
 namespace {
 net::RpcResponse Fail(ErrCode code) { return net::RpcResponse{code, {}}; }
 net::RpcResponse BadRequest() { return Fail(ErrCode::kCorruption); }
+
+// Pinned scan snapshots kept per server; pinning beyond this evicts the
+// oldest (a crashed fsck must not pin memory forever).
+constexpr std::size_t kMaxSnapshots = 4;
 }  // namespace
 
 namespace {
@@ -52,12 +56,19 @@ net::RpcResponse ObjectStoreServer::Handle(std::uint16_t opcode,
 
 net::RpcResponse ObjectStoreServer::Dispatch(std::uint16_t opcode,
                                              std::string_view payload) {
+  if (opcode == proto::kCtlSnapshotBegin) {
+    std::unique_lock scan(scan_mu_);
+    return SnapshotBegin();
+  }
+  std::shared_lock scan(scan_mu_);
   switch (opcode) {
     case proto::kObjWrite: return Write(payload);
     case proto::kObjRead: return Read(payload);
     case proto::kObjTruncate: return Truncate(payload);
-    case proto::kObjScanObjects: return ScanObjects();
+    case proto::kObjScanObjects: return ScanObjects(payload);
     case proto::kObjPurge: return Purge(payload);
+    case proto::kCtlSnapshotEnd: return SnapshotEnd(payload);
+    case proto::kCtlGcStatus: return GcStatus();
     default: return Fail(ErrCode::kUnsupported);
   }
 }
@@ -190,10 +201,8 @@ net::RpcResponse ObjectStoreServer::Truncate(std::string_view payload) {
   return resp;
 }
 
-net::RpcResponse ObjectStoreServer::ScanObjects() {
-  // fsck inventory: every object uuid present plus its block count.  The
-  // snapshot is racy against concurrent writes, like any online scan; fsck
-  // runs against a quiesced cluster.
+std::string ObjectStoreServer::ScanObjectsPayload() {
+  // fsck inventory: every object uuid present plus its block count.
   std::map<std::uint64_t, std::uint64_t> counts;
   blocks_->ForEach([&](std::string_view key, std::string_view) {
     if (key.size() == 16) ++counts[common::LoadAt<std::uint64_t>(key, 0)];
@@ -204,27 +213,125 @@ net::RpcResponse ObjectStoreServer::ScanObjects() {
   for (const auto& [uuid, blocks] : counts) {
     entries.push_back(fs::Pack(uuid, blocks));
   }
+  return fs::Pack(entries);
+}
+
+net::RpcResponse ObjectStoreServer::ScanObjects(std::string_view payload) {
   net::RpcResponse resp;
-  resp.payload = fs::Pack(entries);
+  if (!payload.empty()) {
+    std::uint64_t epoch = 0;
+    if (!fs::Unpack(payload, epoch)) return BadRequest();
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    auto it = snapshots_.find(epoch);
+    if (it == snapshots_.end()) return Fail(ErrCode::kNotFound);
+    resp.payload = it->second;
+    return resp;
+  }
+  // Live scan: racy against concurrent writes, like any online scan —
+  // loco_fsck --live pins an epoch instead.
+  resp.payload = ScanObjectsPayload();
   return resp;
 }
 
-net::RpcResponse ObjectStoreServer::Purge(std::string_view payload) {
-  fs::Uuid uuid;
-  if (!fs::Unpack(payload, uuid)) return BadRequest();
-  const common::LockTable::Guard guard = object_locks_.Lock(uuid.raw());
+net::RpcResponse ObjectStoreServer::SnapshotBegin() {
+  std::string payload = ScanObjectsPayload();
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  const std::uint64_t epoch = next_snapshot_epoch_++;
+  snapshots_[epoch] = std::move(payload);
+  while (snapshots_.size() > kMaxSnapshots) snapshots_.erase(snapshots_.begin());
+  net::RpcResponse resp;
+  resp.payload = fs::Pack(epoch);
+  return resp;
+}
+
+net::RpcResponse ObjectStoreServer::SnapshotEnd(std::string_view payload) {
+  std::uint64_t epoch = 0;
+  if (!fs::Unpack(payload, epoch)) return BadRequest();
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  snapshots_.erase(epoch);  // unknown epochs were evicted: fine
+  return net::RpcResponse{};
+}
+
+net::RpcResponse ObjectStoreServer::GcStatus() {
+  if (gc_ == nullptr) return Fail(ErrCode::kUnavailable);
+  net::RpcResponse resp;
+  resp.payload = gc_->StatusPayload();
+  return resp;
+}
+
+std::size_t ObjectStoreServer::PurgeBlocks(std::uint64_t uuid) {
+  const common::LockTable::Guard guard = object_locks_.Lock(uuid);
   std::vector<std::string> doomed;
   blocks_->ForEach([&](std::string_view key, std::string_view) {
-    if (key.size() == 16 && common::LoadAt<std::uint64_t>(key, 0) == uuid.raw()) {
+    if (key.size() == 16 && common::LoadAt<std::uint64_t>(key, 0) == uuid) {
       doomed.emplace_back(key);
     }
     return true;
   });
   for (const std::string& key : doomed) (void)blocks_->Delete(key);
+  return doomed.size();
+}
+
+net::RpcResponse ObjectStoreServer::Purge(std::string_view payload) {
+  fs::Uuid uuid;
+  if (!fs::Unpack(payload, uuid)) return BadRequest();
+  const std::size_t deleted = PurgeBlocks(uuid.raw());
   net::RpcResponse resp;
-  resp.payload = fs::Pack(static_cast<std::uint64_t>(doomed.size()));
-  resp.extra_service_ns = options_.device.Cost(doomed.size() + 1, 0);
+  resp.payload = fs::Pack(static_cast<std::uint64_t>(deleted));
+  resp.extra_service_ns = options_.device.Cost(deleted + 1, 0);
   return resp;
+}
+
+// --------------------------------------------------------- housekeeping --
+
+GcStepResult ObjectStoreServer::GcStep(std::uint32_t budget,
+                                       const UuidProbe& file_alive) {
+  GcStepResult result;
+
+  // Phase 1: apply queued purges.  A purge candidate was confirmed dead in
+  // two consecutive harvests; uuids are never reissued, so the object cannot
+  // have come back to life — only grown blocks from a straggling writer,
+  // which the purge drops with the rest (that writer's file is gone).
+  while (!gc_queue_.empty() && result.ops < budget) {
+    const std::uint64_t uuid = gc_queue_.front();
+    gc_queue_.pop_front();
+    result.ops += 1;
+    std::shared_lock scan(scan_mu_);
+    if (PurgeBlocks(uuid) > 0) {
+      result.reclaimed += 1;
+      gc_i9_purged_->Add();
+    }
+  }
+  if (!gc_queue_.empty() || result.ops >= budget) return result;
+
+  // Phase 2: harvest the object inventory and probe the FMSes.
+  std::set<std::uint64_t> objects;
+  {
+    std::shared_lock scan(scan_mu_);
+    blocks_->ForEach([&objects](std::string_view key, std::string_view) {
+      if (key.size() == 16) objects.insert(common::LoadAt<std::uint64_t>(key, 0));
+      return true;
+    });
+  }
+  result.ops += static_cast<std::uint32_t>(objects.size() + 1);
+  if (!file_alive || objects.empty()) return result;
+
+  std::vector<fs::Uuid> uuids;
+  uuids.reserve(objects.size());
+  for (const std::uint64_t raw : objects) uuids.push_back(fs::Uuid(raw));
+  result.ops += static_cast<std::uint32_t>(uuids.size());
+  auto alive = file_alive(uuids);
+  if (!alive.ok() || alive->size() != uuids.size()) return result;
+
+  std::set<std::uint64_t> candidates;
+  for (std::size_t i = 0; i < uuids.size(); ++i) {
+    if ((*alive)[i] != 0) continue;
+    const std::uint64_t raw = uuids[i].raw();
+    candidates.insert(raw);
+    if (gc_i9_prev_.count(raw) != 0) gc_queue_.push_back(raw);
+  }
+  gc_i9_prev_ = std::move(candidates);
+  return result;
 }
 
 }  // namespace loco::core

@@ -7,12 +7,19 @@
 // virtual clock (the host has no spinning disks to measure).
 #pragma once
 
+#include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <set>
+#include <shared_mutex>
 #include <string>
 
 #include "common/clock.h"
 #include "common/lock_table.h"
 #include "common/metrics.h"
+#include "core/gc.h"
 #include "kvstore/kv.h"
 #include "net/rpc.h"
 
@@ -60,20 +67,55 @@ class ObjectStoreServer final : public net::RpcHandler {
   std::size_t BlockCount() const { return blocks_->Size(); }
   std::size_t block_bytes() const noexcept { return options_.block_bytes; }
 
+  // Wire the hosting daemon's GC manager so kCtlGcStatus can answer.  The
+  // manager must outlive the server.
+  void SetGcManager(GcManager* gc) noexcept { gc_ = gc; }
+
+  // One incremental GC step (docs/HOUSEKEEPING.md): apply queued purges,
+  // else harvest the block table and detect invariant I9 (objects whose
+  // uuid no file inode references).  `file_alive` probes every FMS
+  // (kFmsCheckUuids, '\1' when some inode carries the uuid); purges are
+  // destructive, so a candidate must be seen dead in two consecutive
+  // harvests, and a probe error skips the detector for the cycle.
+  GcStepResult GcStep(std::uint32_t budget, const UuidProbe& file_alive);
+
  private:
   net::RpcResponse Dispatch(std::uint16_t opcode, std::string_view payload);
 
   net::RpcResponse Write(std::string_view payload);
   net::RpcResponse Read(std::string_view payload);
   net::RpcResponse Truncate(std::string_view payload);
-  net::RpcResponse ScanObjects();
+  net::RpcResponse ScanObjects(std::string_view payload);
   net::RpcResponse Purge(std::string_view payload);
+  net::RpcResponse GcStatus();
+  // Caller holds scan_mu_ exclusively (Dispatch routes it that way).
+  net::RpcResponse SnapshotBegin();
+  net::RpcResponse SnapshotEnd(std::string_view payload);
+
+  std::string ScanObjectsPayload();
+  // Drop every block of `uuid` under the object lock; returns blocks freed.
+  std::size_t PurgeBlocks(std::uint64_t uuid);
 
   static std::string BlockKey(std::uint64_t uuid, std::uint64_t block);
 
   Options options_;
   std::unique_ptr<kv::Kv> blocks_;
   common::LockTable object_locks_;  // keyed by uuid: serializes RMW/truncate
+
+  // Snapshot plane (kCtlSnapshotBegin/End): pinning takes scan_mu_
+  // exclusively; every other handler and the GC harvest hold it shared.
+  mutable std::shared_mutex scan_mu_;
+  std::mutex snap_mu_;  // guards the epoch counter and the snapshot map
+  std::uint64_t next_snapshot_epoch_ = 1;
+  std::map<std::uint64_t, std::string> snapshots_;  // epoch -> scan payload
+
+  // Housekeeping (single GcManager thread): purge queue plus the I9
+  // candidates of the previous harvest (two-cycle confirmation).
+  std::deque<std::uint64_t> gc_queue_;
+  std::set<std::uint64_t> gc_i9_prev_;
+  GcManager* gc_ = nullptr;
+  common::Counter* gc_i9_purged_ = &common::MetricsRegistry::Default()
+      .GetCounter("gc.obj.i9_objects_purged");
   // Object stores are fungible replicas: all instances share one
   // "server.obj" metric family (per-instance split adds nothing here).
   common::ServerOpCounters op_metrics_{&common::MetricsRegistry::Default(),

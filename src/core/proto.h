@@ -60,6 +60,12 @@ enum DmsOp : std::uint16_t {
   // node's circuit breaker immediately instead of waiting out the half-open
   // probe interval.  [node u32, epoch u64] -> []
   kDmsAnnounce = 24,
+
+  // Batched d-inode liveness probe (FMS GC, invariant I5: files whose parent
+  // directory no longer exists).  Request entries are Pack(uuid); the reply
+  // is one byte per entry, '\1' if a directory with that uuid exists.
+  // [entries] -> [bitmap]
+  kDmsCheckUuids = 25,
 };
 
 // ------------------------------ FMS (File Metadata Server) -----------------
@@ -124,6 +130,19 @@ enum FmsOp : std::uint16_t {
   // Unconditionally drop a file inode (both parts) and its dirent entry.
   // [dir_uuid, name] -> [file_uuid]
   kFmsPurgeFile = 59,
+
+  // Batched file-uuid liveness probe (OSD GC, invariant I9: leaked objects).
+  // Request entries are Pack(uuid); the reply is one byte per entry, '\1' if
+  // some file inode on this server carries that uuid.  [entries] -> [bitmap]
+  kFmsCheckUuids = 60,
+  // Explicit session open: register (or renew) a file session for the
+  // calling client id (from the wire-v2 hello).  exclusive=1 demands sole
+  // ownership — kExists if any other client holds a session on the file, and
+  // later openers are refused until the holder closes, disconnects, or its
+  // session TTL lapses.  [dir_uuid, name, exclusive u8] -> []
+  kFmsOpenSession = 61,
+  // Drop the calling client's session on one file.  [dir_uuid, name] -> []
+  kFmsCloseSession = 62,
 };
 
 // ----------------------------------- Object store --------------------------
@@ -140,6 +159,33 @@ enum ObjOp : std::uint16_t {
   kObjScanObjects = 80,
   // [uuid] -> [deleted_blocks u64] ; drop every block of an object
   kObjPurge = 81,
+};
+
+// ------------------------------ Control plane -------------------------------
+// Admin opcodes in the wire-v2 control range (240–255).  240 (kCtlHello) is
+// consumed by the transport itself; everything above it is dispatched to the
+// hosting service like any RPC, so each daemon answers for its own
+// housekeeping state.
+enum CtlOp : std::uint16_t {
+  // GC progress of this daemon.  [] ->
+  //   [running u8, cycles u64, ops u64, reclaimed u64, entries]
+  //   entry = Pack(task_name, calls u64, ops u64, reclaimed u64)
+  // kUnavailable when the daemon runs without a GC manager.
+  kCtlGcStatus = 241,
+  // Pin a point-in-time snapshot of this server's scan surface and return
+  // its epoch.  Until the matching SnapshotEnd, scan opcodes called with
+  // payload [epoch u64] serve the pinned cut while mutations proceed; scan
+  // calls with an empty payload keep reading live state.  Snapshots are
+  // bounded per server; pinning beyond the bound evicts the oldest.
+  // [] -> [epoch u64]
+  kCtlSnapshotBegin = 242,
+  // Release a pinned snapshot.  Unknown epochs are ignored (the snapshot
+  // may have been evicted).  [epoch u64] -> []
+  kCtlSnapshotEnd = 243,
+  // Live file sessions of an FMS.  [] -> [entries]
+  //   entry = Pack(dir_uuid, name, client u64, ttl_ns u64, exclusive u8)
+  // kUnsupported on daemons without a session table (DMS, OSD).
+  kCtlSessionList = 244,
 };
 
 // Mutations eligible for the server-side idempotent-replay window

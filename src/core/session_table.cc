@@ -1,0 +1,186 @@
+#include "core/session_table.h"
+
+#include <algorithm>
+
+namespace loco::core {
+
+SessionTable::SessionTable(Options options) : options_(std::move(options)) {
+  if (!options_.metrics_prefix.empty()) {
+    auto& registry = common::MetricsRegistry::Default();
+    const std::string& p = options_.metrics_prefix;
+    opened_ = &registry.GetCounter(p + ".opened");
+    closed_ = &registry.GetCounter(p + ".closed");
+    pruned_ = &registry.GetCounter(p + ".pruned");
+    expired_ = &registry.GetCounter(p + ".expired");
+    rejected_ = &registry.GetCounter(p + ".rejected");
+    live_gauge_ = registry.RegisterGauge(p + ".live", [this] {
+      return static_cast<std::uint64_t>(size());
+    });
+  }
+}
+
+bool SessionTable::Open(fs::Uuid dir_uuid, const std::string& name,
+                        std::uint64_t client, bool exclusive,
+                        std::uint64_t now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const FileKey key{dir_uuid.raw(), name};
+  auto it = sessions_.find(key);
+  if (it != sessions_.end()) {
+    for (const auto& [holder, h] : it->second) {
+      if (holder == client || h.expiry <= now) continue;
+      if (exclusive || h.exclusive) {
+        if (rejected_) rejected_->Add();
+        return false;
+      }
+    }
+  }
+  const bool fresh =
+      it == sessions_.end() || it->second.find(client) == it->second.end();
+  if (fresh && count_ >= options_.max_sessions) MakeRoomLocked(now);
+  auto& holder = sessions_[key][client];
+  holder.expiry = now + options_.ttl_ns;
+  holder.exclusive = exclusive;
+  if (fresh) {
+    by_client_[client][key] = true;
+    ++count_;
+    if (opened_) opened_->Add();
+  }
+  return true;
+}
+
+bool SessionTable::Close(fs::Uuid dir_uuid, const std::string& name,
+                         std::uint64_t client) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const FileKey key{dir_uuid.raw(), name};
+  auto it = sessions_.find(key);
+  if (it == sessions_.end() || it->second.find(client) == it->second.end()) {
+    return false;
+  }
+  EraseLocked(key, client);
+  if (closed_) closed_->Add();
+  return true;
+}
+
+void SessionTable::Touch(std::uint64_t client, std::uint64_t now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_client_.find(client);
+  if (it == by_client_.end()) return;
+  const std::uint64_t expiry = now + options_.ttl_ns;
+  for (const auto& [key, unused] : it->second) {
+    auto sit = sessions_.find(key);
+    if (sit == sessions_.end()) continue;
+    auto hit = sit->second.find(client);
+    if (hit != sit->second.end()) hit->second.expiry = expiry;
+  }
+}
+
+std::size_t SessionTable::DropClient(std::uint64_t client) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_client_.find(client);
+  if (it == by_client_.end()) return 0;
+  // EraseLocked mutates by_client_; detach the key list first.
+  std::vector<FileKey> keys;
+  keys.reserve(it->second.size());
+  for (const auto& [key, unused] : it->second) keys.push_back(key);
+  for (const FileKey& key : keys) EraseLocked(key, client);
+  if (pruned_) pruned_->Add(keys.size());
+  return keys.size();
+}
+
+void SessionTable::DropFile(fs::Uuid dir_uuid, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const FileKey key{dir_uuid.raw(), name};
+  auto it = sessions_.find(key);
+  if (it == sessions_.end()) return;
+  std::vector<std::uint64_t> clients;
+  clients.reserve(it->second.size());
+  for (const auto& [client, h] : it->second) clients.push_back(client);
+  for (std::uint64_t client : clients) EraseLocked(key, client);
+  if (closed_) closed_->Add(clients.size());
+}
+
+std::size_t SessionTable::SweepExpired(std::uint64_t now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<FileKey, std::uint64_t>> doomed;
+  for (const auto& [key, holders] : sessions_) {
+    for (const auto& [client, h] : holders) {
+      if (h.expiry <= now) doomed.emplace_back(key, client);
+    }
+  }
+  for (const auto& [key, client] : doomed) EraseLocked(key, client);
+  if (expired_) expired_->Add(doomed.size());
+  return doomed.size();
+}
+
+bool SessionTable::HasLiveSession(fs::Uuid dir_uuid, const std::string& name,
+                                  std::uint64_t now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(FileKey{dir_uuid.raw(), name});
+  if (it == sessions_.end()) return false;
+  return std::any_of(it->second.begin(), it->second.end(),
+                     [now](const auto& kv) { return kv.second.expiry > now; });
+}
+
+std::vector<SessionTable::Entry> SessionTable::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> out;
+  out.reserve(count_);
+  for (const auto& [key, holders] : sessions_) {
+    for (const auto& [client, h] : holders) {
+      out.push_back(Entry{fs::Uuid(key.first), key.second, client, h.expiry,
+                          h.exclusive});
+    }
+  }
+  return out;
+}
+
+std::size_t SessionTable::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+void SessionTable::EraseLocked(const FileKey& key, std::uint64_t client) {
+  auto it = sessions_.find(key);
+  if (it == sessions_.end()) return;
+  if (it->second.erase(client) == 0) return;
+  if (it->second.empty()) sessions_.erase(it);
+  auto cit = by_client_.find(client);
+  if (cit != by_client_.end()) {
+    cit->second.erase(key);
+    if (cit->second.empty()) by_client_.erase(cit);
+  }
+  --count_;
+}
+
+void SessionTable::MakeRoomLocked(std::uint64_t now) {
+  // Sweep expired sessions first.
+  std::vector<std::pair<FileKey, std::uint64_t>> doomed;
+  for (const auto& [key, holders] : sessions_) {
+    for (const auto& [client, h] : holders) {
+      if (h.expiry <= now) doomed.emplace_back(key, client);
+    }
+  }
+  for (const auto& [key, client] : doomed) EraseLocked(key, client);
+  if (expired_ && !doomed.empty()) expired_->Add(doomed.size());
+  if (count_ < options_.max_sessions) return;
+  // Still full: evict the soonest-to-expire live session.
+  const FileKey* victim_key = nullptr;
+  std::uint64_t victim_client = 0;
+  std::uint64_t soonest = ~0ull;
+  for (const auto& [key, holders] : sessions_) {
+    for (const auto& [client, h] : holders) {
+      if (h.expiry < soonest) {
+        soonest = h.expiry;
+        victim_key = &key;
+        victim_client = client;
+      }
+    }
+  }
+  if (victim_key != nullptr) {
+    const FileKey key = *victim_key;
+    EraseLocked(key, victim_client);
+    if (expired_) expired_->Add();
+  }
+}
+
+}  // namespace loco::core

@@ -477,6 +477,17 @@ bool TcpServer::HandleHello(Conn* conn, const wire::Frame& frame) {
   ErrCode code = ErrCode::kOk;
   if (wire::DecodeHello(frame.payload, &hello).ok()) {
     reply.features = hello.features & options_.features;
+    if (conn->client_id != hello.client_id) {
+      // Re-identifying a connection is legal (tests do); keep the per-client
+      // connection counts honest across the switch.
+      if (conn->client_id != 0) {
+        auto it = client_conns_.find(conn->client_id);
+        if (it != client_conns_.end() && --it->second == 0) {
+          client_conns_.erase(it);
+        }
+      }
+      if (hello.client_id != 0) ++client_conns_[hello.client_id];
+    }
     conn->client_id = hello.client_id;
     if ((reply.features & wire::kFeatureNotify) != 0 && hello.client_id != 0) {
       // This connection becomes the client's notify session (latest wins —
@@ -734,10 +745,20 @@ void TcpServer::DrainNotify(
 
 void TcpServer::ForgetNotifySession(const Conn& conn) {
   if (!conn.notify) return;
-  std::scoped_lock lock(notify_mu_);
-  const auto it = notify_sessions_.find(conn.client_id);
-  if (it != notify_sessions_.end() && it->second == conn.id) {
-    notify_sessions_.erase(it);
+  bool forgotten = false;
+  {
+    std::scoped_lock lock(notify_mu_);
+    const auto it = notify_sessions_.find(conn.client_id);
+    if (it != notify_sessions_.end() && it->second == conn.id) {
+      notify_sessions_.erase(it);
+      forgotten = true;
+    }
+  }
+  // The client's push stream is gone: tell the owner now (lease watches and
+  // undeliverable pushes die with it) instead of waiting for a failed push.
+  if (forgotten && options_.on_notify_disconnect &&
+      !stop_.load(std::memory_order_acquire)) {
+    options_.on_notify_disconnect(conn.client_id);
   }
 }
 
@@ -761,9 +782,20 @@ void TcpServer::CloseConn(
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
   ::close(conn->fd);
   ForgetNotifySession(*conn);
+  const std::uint64_t client_id = conn->client_id;
   // Undelivered frames die with the connection; their buffers need not.
   for (std::string& frame : conn->outq) RecycleBuffer(std::move(frame));
   conns->erase(it);
+  if (client_id != 0) {
+    auto cit = client_conns_.find(client_id);
+    if (cit != client_conns_.end() && --cit->second == 0) {
+      client_conns_.erase(cit);
+      if (options_.on_client_disconnect &&
+          !stop_.load(std::memory_order_acquire)) {
+        options_.on_client_disconnect(client_id);
+      }
+    }
+  }
 }
 
 std::string TcpServer::GetBuffer() {

@@ -116,6 +116,17 @@ class TcpServer : public Notifier {
     // counter in --store-dir and bump it per start, so clients can tell a
     // restart from a plain reconnect.
     std::uint64_t epoch = 0;
+    // Housekeeping hooks, both invoked on the loop thread with no server
+    // lock held (safe to call PushNotify etc., but keep them quick — the
+    // event loop is stalled while they run).  on_notify_disconnect fires
+    // when a client's notify session is torn down (its push stream is gone:
+    // the DMS drops the client's lease watches immediately instead of
+    // waiting out the expiry sweep).  on_client_disconnect fires when the
+    // *last* connection that said hello as `client_id` closes (the client
+    // process is gone: the FMS prunes its file sessions).  Not fired during
+    // server Stop() — shutdown is not a client crash.
+    std::function<void(std::uint64_t client_id)> on_notify_disconnect;
+    std::function<void(std::uint64_t client_id)> on_client_disconnect;
   };
 
   explicit TcpServer(RpcHandler* handler) : TcpServer(handler, Options{}) {}
@@ -255,6 +266,11 @@ class TcpServer : public Notifier {
   mutable std::mutex notify_mu_;
   std::unordered_map<std::uint64_t, std::uint64_t> notify_sessions_;
   std::vector<PendingNotify> pending_notify_;
+
+  // client_id → number of live connections that said hello as that id.
+  // Loop thread only: maintained by HandleHello/CloseConn, consulted to fire
+  // Options::on_client_disconnect when a client's last connection dies.
+  std::unordered_map<std::uint64_t, std::uint64_t> client_conns_;
 
   // Arena of recycled response buffers (loop thread only — workers hand
   // their encoded frames over via completions and the loop recycles them

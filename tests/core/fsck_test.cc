@@ -200,7 +200,6 @@ TEST(FsckTest, MissingParentRecreatedAndSubtreeReattached) {
 TEST(FsckTest, DeadDirentListDropped) {
   FsckFixture fx;
   ASSERT_TRUE(net::RunInline(fx.client->Mkdir("/gone", 0755)).ok());
-  const fs::Uuid uuid = fx.DirUuid("/gone");
   // Give /gone a subdirectory so its dirent list is non-empty, then lose
   // both d-inodes but keep the list (rmdir crash leftovers).
   ASSERT_TRUE(net::RunInline(fx.client->Mkdir("/gone/sub", 0755)).ok());
@@ -377,6 +376,117 @@ TEST(FsckTest, CompoundDamageConvergesWithinPassBudget) {
   const FsckReport again = fx.RepairRun();
   EXPECT_TRUE(again.clean());
   EXPECT_EQ(again.repairs, 0u);
+}
+
+// ------------------------------------------------------------- live mode --
+
+TEST(FsckTest, SnapshotEpochsPinPointInTimeState) {
+  FsckFixture fx;
+  ASSERT_TRUE(net::RunInline(fx.client->Mkdir("/before", 0755)).ok());
+
+  const auto begin = fx.Call(kDms, proto::kCtlSnapshotBegin, {});
+  ASSERT_TRUE(begin.ok());
+  std::uint64_t epoch = 0;
+  ASSERT_TRUE(fs::Unpack(begin.payload, epoch));
+
+  // Mutate after pinning: the live scan sees the new directory, the pinned
+  // epoch does not.
+  ASSERT_TRUE(net::RunInline(fx.client->Mkdir("/after", 0755)).ok());
+  auto count_dirs = [&](std::string payload) -> std::size_t {
+    const auto resp = fx.Call(kDms, proto::kDmsScanDirs, std::move(payload));
+    EXPECT_TRUE(resp.ok());
+    std::vector<std::string> entries;
+    EXPECT_TRUE(fs::Unpack(resp.payload, entries));
+    return entries.size();
+  };
+  EXPECT_EQ(count_dirs({}), 3u);                // "/", /before, /after
+  EXPECT_EQ(count_dirs(fs::Pack(epoch)), 2u);   // pinned: no /after
+
+  // Released (or unknown) epochs answer kNotFound.
+  ASSERT_TRUE(fx.Call(kDms, proto::kCtlSnapshotEnd, fs::Pack(epoch)).ok());
+  EXPECT_EQ(fx.Call(kDms, proto::kDmsScanDirs, fs::Pack(epoch)).code,
+            ErrCode::kNotFound);
+  EXPECT_EQ(fx.Call(kDms, proto::kDmsScanDirs, fs::Pack(epoch + 999)).code,
+            ErrCode::kNotFound);
+}
+
+TEST(FsckTest, SnapshotRingEvictsOldestWhenFull) {
+  FsckFixture fx;
+  ASSERT_TRUE(net::RunInline(fx.client->Mkdir("/d", 0755)).ok());
+  const auto first = fx.Call(kDms, proto::kCtlSnapshotBegin, {});
+  ASSERT_TRUE(first.ok());
+  std::uint64_t first_epoch = 0;
+  ASSERT_TRUE(fs::Unpack(first.payload, first_epoch));
+  // The ring holds 4 pinned snapshots; the 5th Begin evicts the oldest.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(fx.Call(kDms, proto::kCtlSnapshotBegin, {}).ok());
+  }
+  EXPECT_EQ(fx.Call(kDms, proto::kDmsScanDirs, fs::Pack(first_epoch)).code,
+            ErrCode::kNotFound);
+}
+
+TEST(FsckTest, LiveCleanClusterIsClean) {
+  FsckFixture fx;
+  ASSERT_TRUE(net::RunInline(fx.client->Mkdir("/a", 0755)).ok());
+  ASSERT_TRUE(net::RunInline(fx.client->Create("/a/f", 0644)).ok());
+
+  FsckRunner runner(fx.transport, fx.config);
+  FsckRunner::Options options;
+  options.live = true;
+  auto report = runner.Run(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->clean());
+  EXPECT_EQ(report->passes, 1u);  // a clean pinned scan ends the run
+}
+
+TEST(FsckTest, LiveDryRunConfirmsFindingsAcrossTwoPasses) {
+  FsckFixture fx;
+  ASSERT_TRUE(net::RunInline(fx.client->Mkdir("/live", 0755)).ok());
+  ASSERT_TRUE(
+      fx.Call(kDms, proto::kDmsRepairDirent,
+              fs::Pack(std::string("/"), std::string("ghost"), std::uint8_t{1}))
+          .ok());
+
+  FsckRunner runner(fx.transport, fx.config);
+  FsckRunner::Options options;
+  options.live = true;
+  auto report = runner.Run(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // Persistent damage survives snapshot-to-snapshot, so the dry run reports
+  // it — but only after a second pass confirmed it, and without repairing.
+  EXPECT_EQ(report->passes, 2u);
+  ASSERT_EQ(report->findings.size(), 1u);
+  EXPECT_EQ(report->findings[0].type, FsckFindingType::kDanglingDmsDirent);
+  EXPECT_EQ(report->repairs, 0u);
+}
+
+TEST(FsckTest, LiveRepairFixesConfirmedDamage) {
+  FsckFixture fx;
+  ASSERT_TRUE(net::RunInline(fx.client->Mkdir("/w", 0755)).ok());
+  ASSERT_TRUE(net::RunInline(fx.client->Create("/w/keep", 0644)).ok());
+  ASSERT_TRUE(
+      fx.Call(kDms, proto::kDmsRepairDirent,
+              fs::Pack(std::string("/"), std::string("ghost"), std::uint8_t{1}))
+          .ok());
+  ASSERT_TRUE(fx.Call(kObjBase, proto::kObjWrite,
+                      fs::Pack(fs::Uuid(13371337), std::uint64_t{0},
+                               std::string("leak")))
+                  .ok());
+
+  FsckRunner runner(fx.transport, fx.config);
+  FsckRunner::Options options;
+  options.live = true;
+  options.repair = true;
+  auto report = runner.Run(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->clean());
+  EXPECT_GE(report->repairs, 2u);
+  EXPECT_GE(report->passes, 3u);  // suspect, confirm+repair, verify clean
+
+  // The cluster still serves and the healthy file survived.
+  EXPECT_TRUE(net::RunInline(fx.client->StatFile("/w/keep")).ok());
+  const FsckReport offline = fx.DryRun();
+  EXPECT_TRUE(offline.clean());
 }
 
 }  // namespace

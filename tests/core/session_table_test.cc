@@ -1,0 +1,144 @@
+// core::SessionTable — the FMS file-session ledger (docs/HOUSEKEEPING.md).
+// Pure unit tests on a fabricated steady clock: open/renew/close semantics,
+// the exclusivity contract, TTL expiry, disconnect pruning, and the bounded
+// table's eviction policy.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/session_table.h"
+#include "fs/types.h"
+
+namespace loco::core {
+namespace {
+
+constexpr std::uint64_t kTtl = 1'000;  // small, so tests do exact arithmetic
+
+SessionTable::Options SmallTable(std::size_t max_sessions = 64) {
+  SessionTable::Options options;
+  options.ttl_ns = kTtl;
+  options.max_sessions = max_sessions;
+  return options;
+}
+
+const fs::Uuid kDirA{0x10};
+const fs::Uuid kDirB{0x20};
+
+TEST(SessionTableTest, OpenCloseRoundTrip) {
+  SessionTable table(SmallTable());
+  EXPECT_TRUE(table.Open(kDirA, "f", 1, /*exclusive=*/false, /*now=*/0));
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_TRUE(table.HasLiveSession(kDirA, "f", 10));
+  EXPECT_FALSE(table.HasLiveSession(kDirA, "g", 10));
+  EXPECT_FALSE(table.HasLiveSession(kDirB, "f", 10));
+
+  EXPECT_TRUE(table.Close(kDirA, "f", 1));
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_FALSE(table.HasLiveSession(kDirA, "f", 10));
+  // Closing twice reports "nothing there".
+  EXPECT_FALSE(table.Close(kDirA, "f", 1));
+}
+
+TEST(SessionTableTest, ReopenRenewsInsteadOfDuplicating) {
+  SessionTable table(SmallTable());
+  ASSERT_TRUE(table.Open(kDirA, "f", 1, false, 0));
+  ASSERT_TRUE(table.Open(kDirA, "f", 1, false, 500));
+  EXPECT_EQ(table.size(), 1u);
+  // Renewed at 500 → live until 500 + kTtl.
+  EXPECT_TRUE(table.HasLiveSession(kDirA, "f", kTtl + 250));
+}
+
+TEST(SessionTableTest, ExclusiveContract) {
+  SessionTable table(SmallTable());
+  ASSERT_TRUE(table.Open(kDirA, "f", 1, /*exclusive=*/true, 0));
+  // Another client can neither share nor take over the file...
+  EXPECT_FALSE(table.Open(kDirA, "f", 2, false, 10));
+  EXPECT_FALSE(table.Open(kDirA, "f", 2, true, 10));
+  // ...but the holder can re-open (renew) its own session.
+  EXPECT_TRUE(table.Open(kDirA, "f", 1, true, 10));
+  // Shared holders block a later exclusive open by someone else.
+  ASSERT_TRUE(table.Open(kDirB, "g", 1, false, 0));
+  ASSERT_TRUE(table.Open(kDirB, "g", 2, false, 0));
+  EXPECT_FALSE(table.Open(kDirB, "g", 3, true, 10));
+  // Once the exclusive holder's TTL lapses, the file is free again.
+  EXPECT_TRUE(table.Open(kDirA, "f", 2, true, 2 * kTtl));
+}
+
+TEST(SessionTableTest, TouchRenewsEverySessionOfClient) {
+  SessionTable table(SmallTable());
+  ASSERT_TRUE(table.Open(kDirA, "f", 1, false, 0));
+  ASSERT_TRUE(table.Open(kDirB, "g", 1, false, 0));
+  ASSERT_TRUE(table.Open(kDirA, "h", 2, false, 0));
+  table.Touch(1, 900);
+  // Client 1's sessions were renewed at 900; client 2's were not.
+  EXPECT_EQ(table.SweepExpired(kTtl + 1), 1u);
+  EXPECT_TRUE(table.HasLiveSession(kDirA, "f", kTtl + 1));
+  EXPECT_TRUE(table.HasLiveSession(kDirB, "g", kTtl + 1));
+  EXPECT_FALSE(table.HasLiveSession(kDirA, "h", kTtl + 1));
+}
+
+TEST(SessionTableTest, DropClientDropsOnlyThatClient) {
+  SessionTable table(SmallTable());
+  ASSERT_TRUE(table.Open(kDirA, "f", 1, false, 0));
+  ASSERT_TRUE(table.Open(kDirA, "f", 2, false, 0));
+  ASSERT_TRUE(table.Open(kDirB, "g", 1, false, 0));
+  EXPECT_EQ(table.DropClient(1), 2u);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_TRUE(table.HasLiveSession(kDirA, "f", 10));   // client 2 remains
+  EXPECT_FALSE(table.HasLiveSession(kDirB, "g", 10));
+  EXPECT_EQ(table.DropClient(1), 0u);
+}
+
+TEST(SessionTableTest, DropFileDropsEveryHolder) {
+  SessionTable table(SmallTable());
+  ASSERT_TRUE(table.Open(kDirA, "f", 1, false, 0));
+  ASSERT_TRUE(table.Open(kDirA, "f", 2, false, 0));
+  ASSERT_TRUE(table.Open(kDirB, "g", 1, false, 0));
+  table.DropFile(kDirA, "f");
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_FALSE(table.HasLiveSession(kDirA, "f", 10));
+  EXPECT_TRUE(table.HasLiveSession(kDirB, "g", 10));
+}
+
+TEST(SessionTableTest, SweepExpiredDropsOnlyLapsedSessions) {
+  SessionTable table(SmallTable());
+  ASSERT_TRUE(table.Open(kDirA, "f", 1, false, 0));
+  ASSERT_TRUE(table.Open(kDirB, "g", 2, false, 800));
+  EXPECT_EQ(table.SweepExpired(kTtl + 1), 1u);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_TRUE(table.HasLiveSession(kDirB, "g", kTtl + 1));
+}
+
+TEST(SessionTableTest, BoundedTableEvictsSoonestToExpire) {
+  SessionTable table(SmallTable(/*max_sessions=*/2));
+  ASSERT_TRUE(table.Open(kDirA, "f", 1, false, 0));    // expires at kTtl
+  ASSERT_TRUE(table.Open(kDirA, "g", 1, false, 500));  // expires at 1500
+  // Table is full and nothing has expired: the soonest-to-expire session
+  // ("f") is evicted to make room.
+  ASSERT_TRUE(table.Open(kDirA, "h", 2, false, 600));
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_FALSE(table.HasLiveSession(kDirA, "f", 700));
+  EXPECT_TRUE(table.HasLiveSession(kDirA, "g", 700));
+  EXPECT_TRUE(table.HasLiveSession(kDirA, "h", 700));
+}
+
+TEST(SessionTableTest, ListReportsLiveEntries) {
+  SessionTable table(SmallTable());
+  ASSERT_TRUE(table.Open(kDirA, "f", 1, true, 0));
+  ASSERT_TRUE(table.Open(kDirB, "g", 2, false, 0));
+  const auto entries = table.List();
+  ASSERT_EQ(entries.size(), 2u);
+  bool saw_exclusive = false;
+  for (const SessionTable::Entry& e : entries) {
+    if (e.dir_uuid.raw() == kDirA.raw()) {
+      EXPECT_EQ(e.name, "f");
+      EXPECT_EQ(e.client, 1u);
+      EXPECT_TRUE(e.exclusive);
+      saw_exclusive = true;
+    }
+  }
+  EXPECT_TRUE(saw_exclusive);
+}
+
+}  // namespace
+}  // namespace loco::core

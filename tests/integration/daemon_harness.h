@@ -1,0 +1,125 @@
+// Shared process harness for integration tests that spawn the real daemon
+// binaries (locofs_dmsd / locofs_fmsd / locofs_osd) and kill them with
+// SIGKILL mid-test.  Used by chaos_test.cc and gc_soak_test.cc; both compile
+// with LOCO_DAEMON_DIR pointing at the built daemons.
+#ifndef LOCO_TESTS_INTEGRATION_DAEMON_HARNESS_H_
+#define LOCO_TESTS_INTEGRATION_DAEMON_HARNESS_H_
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace loco::testutil {
+
+inline std::uint64_t WallClockNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// One managed daemon process: binary, stable flags, learned port.
+struct Daemon {
+  std::string binary;
+  std::vector<std::string> args;  // everything but --listen
+  std::uint16_t port = 0;         // 0 until first spawn
+  pid_t pid = -1;
+
+  bool alive() const { return pid > 0; }
+};
+
+// Spawn `d` (first time on a kernel-assigned port, restarts on the learned
+// one); parses the "listening on host:port" banner.  False on failure.
+inline bool Spawn(Daemon* d) {
+  int out_pipe[2];
+  if (::pipe(out_pipe) != 0) return false;
+  const std::string listen_addr =
+      "127.0.0.1:" + std::to_string(static_cast<unsigned>(d->port));
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    return false;
+  }
+  if (pid == 0) {
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(d->binary.c_str()));
+    static const std::string listen_flag = "--listen";
+    argv.push_back(const_cast<char*>(listen_flag.c_str()));
+    argv.push_back(const_cast<char*>(listen_addr.c_str()));
+    for (const std::string& a : d->args) {
+      argv.push_back(const_cast<char*>(a.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execv(d->binary.c_str(), argv.data());
+    _exit(127);
+  }
+  ::close(out_pipe[1]);
+  std::string line;
+  char ch;
+  while (line.size() < 256 && ::read(out_pipe[0], &ch, 1) == 1 && ch != '\n') {
+    line.push_back(ch);
+  }
+  ::close(out_pipe[0]);
+  const std::size_t colon = line.rfind(':');
+  std::uint16_t port = 0;
+  if (colon != std::string::npos) {
+    port = static_cast<std::uint16_t>(
+        std::strtoul(line.c_str() + colon + 1, nullptr, 10));
+  }
+  if (port == 0 || (d->port != 0 && port != d->port)) {
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+    return false;
+  }
+  d->port = port;
+  d->pid = pid;
+  return true;
+}
+
+inline void Kill9(Daemon* d) {
+  if (!d->alive()) return;
+  ::kill(d->pid, SIGKILL);
+  ::waitpid(d->pid, nullptr, 0);
+  d->pid = -1;
+}
+
+// Reap a daemon expected to have exited on its own (crash_after=).  Returns
+// the exit status, or -1 on timeout.
+inline int AwaitSelfExit(Daemon* d, int timeout_ms) {
+  for (int waited = 0; waited < timeout_ms; waited += 20) {
+    int wstatus = 0;
+    const pid_t r = ::waitpid(d->pid, &wstatus, WNOHANG);
+    if (r == d->pid) {
+      d->pid = -1;
+      return WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -2;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return -1;
+}
+
+// Retry `op` until it reports success or ~5 s elapse (post-restart calls may
+// fail while stale pooled connections drain and breakers half-open).
+inline bool Eventually(const std::function<bool()>& op) {
+  for (int i = 0; i < 100; ++i) {
+    if (op()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return false;
+}
+
+}  // namespace loco::testutil
+
+#endif  // LOCO_TESTS_INTEGRATION_DAEMON_HARNESS_H_

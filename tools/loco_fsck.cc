@@ -2,12 +2,15 @@
 // (core/fsck.h; invariants and failure model in docs/FAULTS.md).
 //
 //   loco_fsck --connect dms=H:P,fms=H:P[,fms=H:P...],osd=H:P[,...]
-//             [--repair] [--max-passes N] [--quiet]
+//             [--repair] [--live] [--max-passes N] [--quiet]
 //
 // Default is a dry run: scan, print findings, change nothing.  With
 // --repair, scan→repair passes iterate until a scan is clean (repairs can
 // cascade).  The cluster must be quiesced — scans are per-server snapshots
-// with no cross-server atomicity.
+// with no cross-server atomicity — unless --live is given, which pins
+// point-in-time snapshot epochs on every server (kCtlSnapshotBegin/End) and
+// only acts on findings confirmed in two consecutive passes, so it is safe
+// against a serving cluster (docs/HOUSEKEEPING.md).
 //
 // Exit codes: 0 = clean (or repaired to clean), 1 = findings remain,
 // 2 = usage error, 3 = RPC failure.
@@ -23,7 +26,7 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: loco_fsck --connect dms=H:P,fms=H:P[,...],osd=H:P[,...]"
-    " [--repair] [--max-passes N] [--quiet]\n";
+    " [--repair] [--live] [--max-passes N] [--quiet]\n";
 
 // `--flag value` and `--flag=value`.
 bool FlagValue(int argc, char** argv, int* i, const char* flag,
@@ -51,6 +54,7 @@ int main(int argc, char** argv) {
   std::string connect;
   std::string passes_str;
   bool repair = false;
+  bool live = false;
   bool quiet = false;
   for (int i = 1; i < argc; ++i) {
     if (FlagValue(argc, argv, &i, "--connect", &connect)) continue;
@@ -61,6 +65,10 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--dry-run") == 0) {  // explicit default
       repair = false;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--live") == 0) {
+      live = true;
       continue;
     }
     if (std::strcmp(argv[i], "--quiet") == 0) {
@@ -78,6 +86,7 @@ int main(int argc, char** argv) {
 
   core::FsckRunner::Options options;
   options.repair = repair;
+  options.live = live;
   if (!passes_str.empty()) {
     std::uint32_t passes = 0;
     const char* begin = passes_str.data();
@@ -127,10 +136,11 @@ int main(int argc, char** argv) {
     for (const core::FsckFinding& f : report->findings) {
       std::printf("%s\n", f.Describe().c_str());
     }
-    std::printf("loco_fsck: %zu finding(s), %llu repair(s), %u pass(es)%s\n",
+    std::printf("loco_fsck: %zu finding(s), %llu repair(s), %u pass(es)%s%s\n",
                 report->findings.size(),
                 static_cast<unsigned long long>(report->repairs),
-                report->passes, repair ? "" : " [dry run]");
+                report->passes, repair ? "" : " [dry run]",
+                live ? " [live]" : "");
     std::fflush(stdout);
   }
   return report->clean() ? 0 : 1;
