@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
   std::string fault_spec;
   std::string gc_ops_str;
   std::string gc_batch_str;
+  std::string io_backend_str;
   bool gc_enabled = false;
   for (int i = 1; i < argc; ++i) {
     if (daemons::FlagValue(argc, argv, &i, "--listen", &listen)) continue;
@@ -48,6 +49,7 @@ int main(int argc, char** argv) {
     if (daemons::FlagValue(argc, argv, &i, "--fault-spec", &fault_spec)) continue;
     if (daemons::FlagValue(argc, argv, &i, "--gc-ops", &gc_ops_str)) continue;
     if (daemons::FlagValue(argc, argv, &i, "--gc-batch", &gc_batch_str)) continue;
+    if (daemons::FlagValue(argc, argv, &i, "--io-backend", &io_backend_str)) continue;
     if (std::strcmp(argv[i], "--gc") == 0) {
       gc_enabled = true;
       continue;
@@ -57,7 +59,7 @@ int main(int argc, char** argv) {
                  "usage: locofs_dmsd [--listen host:port] [--backend btree|hash]"
                  " [--workers N] [--store-dir dir] [--fault-spec spec]"
                  " [--gc] [--gc-ops RATE] [--gc-batch N]"
-                 " [--metrics-out file.json]\n",
+                 " [--io-backend epoll|uring] [--metrics-out file.json]\n",
                  argv[i]);
     return 2;
   }
@@ -105,6 +107,10 @@ int main(int argc, char** argv) {
   net::TcpServer::Options server_options;
   server_options.fault = fault.get();
   server_options.dedup = &dedup;
+  if (!daemons::ParseIoBackend("locofs_dmsd", io_backend_str,
+                               &server_options.io_backend)) {
+    return 2;
+  }
   server_options.epoch = daemons::NextEpoch(store_dir);
   // A notify stream dropping means the client is gone (crashed or exited):
   // free its leases immediately instead of waiting out their TTL.

@@ -10,18 +10,29 @@ cmake -B build -S . >/dev/null
 cmake --build build -j >/dev/null
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "== tier-1: ASan+UBSan pass (net + core + integration + chaos + gc soak + notify) =="
+echo "== tier-1: io_uring backend smoke (daemons under --io-backend=uring) =="
+# Spawns a real daemon on the uring event loop and round-trips RPCs.  On a
+# kernel (or build) without io_uring the daemon falls back to epoll, which
+# the test detects from the banner and reports as a clean GTEST_SKIP —
+# either way the run must be green.
+./build/tests/integration/integration_test --gtest_filter='UringBackend*'
+
+echo "== tier-1: ASan+UBSan pass (net + kv + fs + core + integration + chaos + gc soak + notify) =="
 cmake -B build-asan -S . -DLOCO_SANITIZE=ON >/dev/null
-cmake --build build-asan -j --target net_test core_test \
-  core_housekeeping_test locofs_property_test integration_test \
+cmake --build build-asan -j --target net_test kvstore_test fs_test \
+  core_test core_housekeeping_test locofs_property_test integration_test \
   chaos_test gc_soak_test notify_e2e_test locofs_dmsd locofs_fmsd \
   locofs_osd loco_fsck loco_shell >/dev/null
 # net_test carries the wire/batch-envelope fuzz corpus and core_test the
 # batch handler suites, so the epoll server, the batch codecs and their
-# FMS handlers all run under ASan; chaos_test includes the batched
-# crash-restart storm, and gc_soak_test kills a client + FMS while every
-# daemon runs its GC thread and then repairs with `loco_fsck --live`.
+# FMS handlers all run under ASan; kvstore_test covers the WAL replay and
+# compaction paths and fs_test the client-visible namespace semantics;
+# chaos_test includes the batched crash-restart storm, and gc_soak_test
+# kills a client + FMS while every daemon runs its GC thread and then
+# repairs with `loco_fsck --live`.
 ./build-asan/tests/net/net_test
+./build-asan/tests/kvstore/kvstore_test
+./build-asan/tests/fs/fs_test
 ./build-asan/tests/core/core_test
 ./build-asan/tests/core/core_housekeeping_test
 ./build-asan/tests/core/locofs_property_test
@@ -32,13 +43,17 @@ cmake --build build-asan -j --target net_test core_test \
 
 echo "== tier-1: TSan pass (worker pool, striped KV, concurrent handlers, GC, notify) =="
 cmake -B build-tsan -S . -DLOCO_SANITIZE=tsan >/dev/null
-cmake --build build-tsan -j --target net_test core_test striped_kv_test \
+cmake --build build-tsan -j --target net_test kvstore_test fs_test \
+  core_test striped_kv_test \
   core_concurrency_test core_housekeeping_test notify_e2e_test >/dev/null
-# net_test exercises the epoll loop + worker pool under TSan; core_test
-# adds the batch handler suites over the striped stores, and
-# core_housekeeping_test runs the GcManager scan thread against serving
-# handlers (token bucket, snapshot pins, session table).
+# net_test exercises both server backends, the client reactor and the
+# worker pool under TSan; core_test adds the batch handler suites over the
+# striped stores, and core_housekeeping_test runs the GcManager scan
+# thread against serving handlers (token bucket, snapshot pins, session
+# table).
 ./build-tsan/tests/net/net_test
+./build-tsan/tests/kvstore/kvstore_test
+./build-tsan/tests/fs/fs_test
 ./build-tsan/tests/core/core_test
 ./build-tsan/tests/kvstore/striped_kv_test
 ./build-tsan/tests/core/core_concurrency_test

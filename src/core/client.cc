@@ -370,6 +370,123 @@ net::Task<Result<std::vector<LocoClient::StatEntry>>> LocoClient::StatMany(
   co_return results;
 }
 
+net::Task<Result<std::vector<ErrCode>>> LocoClient::MkdirMany(
+    std::vector<std::string> paths, std::uint32_t mode) {
+  std::vector<ErrCode> codes(paths.size(), ErrCode::kOk);
+  const std::uint64_t ts = Now();
+  std::vector<std::string> subops;
+  std::vector<std::size_t> sent;  // index into `paths` per sub-op
+  subops.reserve(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (!fs::IsValidPath(paths[i]) || paths[i] == "/") {
+      codes[i] = ErrCode::kInvalid;
+      continue;
+    }
+    subops.push_back(fs::Pack(paths[i], mode, identity_, ts));
+    sent.push_back(i);
+  }
+  if (subops.empty()) co_return codes;
+  net::RpcResponse resp =
+      co_await net::Call(channel_, cfg_.dms, proto::kDmsBatchMkdir,
+                         net::wire::EncodeBatchRequest(subops));
+  if (!resp.ok()) {
+    for (const std::size_t i : sent) codes[i] = resp.code;
+    co_return codes;
+  }
+  std::vector<net::wire::BatchItem> items;
+  if (!net::wire::DecodeBatchResponse(resp.payload, &items) ||
+      items.size() != sent.size()) {
+    co_return ErrStatus(ErrCode::kCorruption);
+  }
+  for (std::size_t j = 0; j < sent.size(); ++j) {
+    const std::size_t i = sent[j];
+    codes[i] = items[j].code;
+    if (codes[i] == ErrCode::kOk) {
+      // Keep any live lease on the parent shadow-accurate, like Mkdir.
+      NoteSubdir(fs::ParentPath(paths[i]), fs::BaseName(paths[i]), true);
+    }
+  }
+  co_return codes;
+}
+
+net::Task<Result<std::vector<ErrCode>>> LocoClient::PutMany(
+    std::string dir_path, std::vector<PutEntry> entries) {
+  if (!fs::IsValidPath(dir_path)) co_return ErrStatus(ErrCode::kInvalid);
+  auto parent = co_await LookupDir(dir_path, fs::kModeExec, {});
+  if (!parent.ok()) co_return parent.status();
+  const std::uint64_t ts = Now();
+  std::vector<ErrCode> codes(entries.size(), ErrCode::kOk);
+
+  // Phase 1: the metadata half — one kFmsBatchSetSize frame per FMS the
+  // names hash to.  Each reply item carries the file's uuid, which decides
+  // the data half's routing.
+  std::vector<fs::Uuid> uuids(entries.size());
+  std::unordered_map<net::NodeId, std::vector<std::size_t>> fms_groups;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    fms_groups[FmsFor(parent->uuid, entries[i].name)].push_back(i);
+  }
+  for (auto& [node, idxs] : fms_groups) {
+    std::vector<std::string> subops;
+    subops.reserve(idxs.size());
+    for (const std::size_t i : idxs) {
+      subops.push_back(fs::Pack(parent->uuid, entries[i].name, identity_,
+                                static_cast<std::uint64_t>(entries[i].data.size()),
+                                std::uint8_t{1}, ts));
+    }
+    net::RpcResponse resp =
+        co_await net::Call(channel_, node, proto::kFmsBatchSetSize,
+                           net::wire::EncodeBatchRequest(subops));
+    if (!resp.ok()) {
+      for (const std::size_t i : idxs) codes[i] = resp.code;
+      continue;
+    }
+    std::vector<net::wire::BatchItem> items;
+    if (!net::wire::DecodeBatchResponse(resp.payload, &items) ||
+        items.size() != idxs.size()) {
+      co_return ErrStatus(ErrCode::kCorruption);
+    }
+    for (std::size_t j = 0; j < idxs.size(); ++j) {
+      const std::size_t i = idxs[j];
+      codes[i] = items[j].code;
+      if (codes[i] != ErrCode::kOk) continue;
+      std::uint64_t new_size = 0;
+      if (!fs::Unpack(items[j].payload, uuids[i], new_size)) {
+        co_return ErrStatus(ErrCode::kCorruption);
+      }
+    }
+  }
+
+  // Phase 2: the data half — one kObjBatchPut frame per object store the
+  // uuids place onto.  Only entries whose metadata update succeeded ship.
+  std::unordered_map<net::NodeId, std::vector<std::size_t>> obj_groups;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (codes[i] == ErrCode::kOk) obj_groups[ObjFor(uuids[i])].push_back(i);
+  }
+  for (auto& [node, idxs] : obj_groups) {
+    std::vector<std::string> subops;
+    subops.reserve(idxs.size());
+    for (const std::size_t i : idxs) {
+      subops.push_back(fs::Pack(uuids[i], std::uint64_t{0}, entries[i].data));
+    }
+    net::RpcResponse resp =
+        co_await net::Call(channel_, node, proto::kObjBatchPut,
+                           net::wire::EncodeBatchRequest(subops));
+    if (!resp.ok()) {
+      for (const std::size_t i : idxs) codes[i] = resp.code;
+      continue;
+    }
+    std::vector<net::wire::BatchItem> items;
+    if (!net::wire::DecodeBatchResponse(resp.payload, &items) ||
+        items.size() != idxs.size()) {
+      co_return ErrStatus(ErrCode::kCorruption);
+    }
+    for (std::size_t j = 0; j < idxs.size(); ++j) {
+      codes[idxs[j]] = items[j].code;
+    }
+  }
+  co_return codes;
+}
+
 net::Task<Result<std::vector<LocoClient::EntryPlus>>> LocoClient::ReaddirPlus(
     std::string path) {
   net::RpcResponse resp = co_await net::Call(
@@ -638,8 +755,19 @@ net::Task<Result<fs::Attr>> LocoClient::Open(std::string path) {
 }
 
 net::Task<Status> LocoClient::Close(std::string path) {
-  // LocoFS keeps no server-side open state: close is client-local.
-  (void)path;
+  // LocoFS keeps no server-side open state beyond the file session the FMS
+  // registered on Open/Create: drop it now (kFmsCloseSession) instead of
+  // letting it age out or die with the connection.  Best-effort — close
+  // itself never fails: a missing parent, an unreachable FMS, or an
+  // anonymous (no-hello) peer all leave nothing worth closing.
+  if (!fs::IsValidPath(path) || path == "/") co_return OkStatus();
+  const std::string name(fs::BaseName(path));
+  auto parent = co_await LookupDir(std::string(fs::ParentPath(path)), 0, {});
+  if (parent.ok()) {
+    (void)co_await net::Call(channel_, FmsFor(parent->uuid, name),
+                             proto::kFmsCloseSession,
+                             fs::Pack(parent->uuid, name));
+  }
   co_return OkStatus();
 }
 

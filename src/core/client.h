@@ -132,6 +132,25 @@ class LocoClient final : public fs::FileSystemClient {
   // file.  Entries are sorted by name.
   net::Task<Result<std::vector<EntryPlus>>> ReaddirPlus(std::string path);
 
+  // Bulk tree materialization (proto::kDmsBatchMkdir): all `paths[i]` in one
+  // frame to the DMS, applied in order — so a batch may create "a" and then
+  // "a/b".  result[i] is that path's outcome in `paths` order.
+  net::Task<Result<std::vector<ErrCode>>> MkdirMany(
+      std::vector<std::string> paths, std::uint32_t mode);
+
+  // Bulk small-file write: the contents of existing files under ONE parent
+  // directory, each replaced wholesale (truncating put at offset 0).  Two
+  // batched phases replace the per-file SetSize + ObjWrite pair: one
+  // kFmsBatchSetSize frame per FMS (grouped by ring placement; the replies
+  // carry each file's uuid), then one kObjBatchPut frame per object store
+  // (grouped by uuid placement).  result[i] is entry i's outcome.
+  struct PutEntry {
+    std::string name;
+    std::string data;
+  };
+  net::Task<Result<std::vector<ErrCode>>> PutMany(std::string dir_path,
+                                                  std::vector<PutEntry> entries);
+
   // Typed fast paths used by benchmarks (mdtest knows object types).
   net::Task<Result<fs::Attr>> StatDir(std::string path) override;
   net::Task<Result<fs::Attr>> StatFile(std::string path) override;

@@ -129,6 +129,9 @@ Result<MountHandle> Connect(const ClientOptions& options) {
                     "bad endpoint '" + options.dms + "'");
     }
     lo.client_id = m.client_id;
+    // The whole mount shares the channel's reactor thread: pooled RPC
+    // connections and the notify stream wait on the same epoll instance.
+    lo.reactor = &m.channel->reactor();
     m.fanout = std::make_shared<NotifyFanout>();
     m.config.fanout = m.fanout;
     // The callback runs on the listener's reader thread.  It captures the

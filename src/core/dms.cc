@@ -11,6 +11,7 @@
 #include "fs/path.h"
 #include "fs/wire.h"
 #include "kvstore/striped_kv.h"
+#include "net/wire.h"
 
 namespace loco::core {
 
@@ -35,6 +36,14 @@ std::uint64_t PathLockKey(std::string_view path) {
 // Pinned scan snapshots kept per server; pinning beyond this evicts the
 // oldest (a crashed fsck must not pin memory forever).
 constexpr std::size_t kMaxSnapshots = 4;
+
+// rpc.batch.* counters (docs/METRICS.md), shared with the FMS batch ops.
+void CountBatch(std::size_t subops, std::size_t failed) {
+  auto& reg = common::MetricsRegistry::Default();
+  reg.GetCounter("rpc.batch.calls").Add();
+  reg.GetCounter("rpc.batch.subops").Add(subops);
+  if (failed > 0) reg.GetCounter("rpc.batch.partial_failures").Add(failed);
+}
 
 }  // namespace
 
@@ -157,6 +166,7 @@ net::RpcResponse DirectoryMetadataServer::Dispatch(std::uint16_t opcode,
   std::shared_lock ns(ns_mu_);
   switch (opcode) {
     case proto::kDmsMkdir: return Mkdir(payload);
+    case proto::kDmsBatchMkdir: return BatchMkdir(payload);
     case proto::kDmsRmdir: return Rmdir(payload);
     case proto::kDmsLookup: return Lookup(payload);
     case proto::kDmsStat: return Stat(payload);
@@ -205,6 +215,26 @@ void DirectoryMetadataServer::NotifySideEffects(std::uint16_t opcode,
       if (!fs::Unpack(payload, path, mode, who, ts)) return;
       // The parent's leased subdir list grew.
       PushInvalidate(std::string(fs::ParentPath(path)), false, client);
+      return;
+    }
+    case proto::kDmsBatchMkdir: {
+      // One push per distinct parent whose leased subdir list may have
+      // grown.  Pushing for a sub-op that failed (kExists etc.) is merely a
+      // spurious re-lookup for the holder, never a missed invalidation.
+      std::vector<std::string_view> subops;
+      if (!net::wire::DecodeBatchRequest(payload, &subops)) return;
+      std::set<std::string> parents;
+      for (const std::string_view sub : subops) {
+        std::string path;
+        std::uint32_t mode = 0;
+        fs::Identity who;
+        std::uint64_t ts = 0;
+        if (!fs::Unpack(sub, path, mode, who, ts)) continue;
+        parents.emplace(fs::ParentPath(path));
+      }
+      for (const std::string& parent : parents) {
+        PushInvalidate(parent, false, client);
+      }
       return;
     }
     case proto::kDmsRmdir: {
@@ -341,6 +371,25 @@ net::RpcResponse DirectoryMetadataServer::Mkdir(std::string_view payload) {
     return Fail(ErrCode::kIo);
   }
   return Ok();
+}
+
+net::RpcResponse DirectoryMetadataServer::BatchMkdir(std::string_view payload) {
+  std::vector<std::string_view> subops;
+  if (!net::wire::DecodeBatchRequest(payload, &subops)) return BadRequest();
+  // Dispatch already holds ns_mu_ shared for the whole frame: the entire
+  // batch is one namespace-lock acquisition.  Sub-ops apply in order, so a
+  // batch may materialize "a" and then "a/b"; each one reuses the single-op
+  // Mkdir (per-parent dir lock, rollback) and fails alone.
+  std::vector<net::wire::BatchItem> items;
+  items.reserve(subops.size());
+  std::size_t failed = 0;
+  for (const std::string_view sub : subops) {
+    net::RpcResponse r = Mkdir(sub);
+    if (r.code != ErrCode::kOk) ++failed;
+    items.push_back(net::wire::BatchItem{r.code, std::move(r.payload)});
+  }
+  CountBatch(subops.size(), failed);
+  return OkPayload(net::wire::EncodeBatchResponse(items));
 }
 
 net::RpcResponse DirectoryMetadataServer::Rmdir(std::string_view payload) {

@@ -116,6 +116,12 @@ class DirectoryMetadataServer final : public net::RpcHandler {
   void OnWatchEvicted(const std::string& path, std::uint64_t client);
 
   net::RpcResponse Mkdir(std::string_view payload);
+  // Bulk tree materialization (net/wire.h batch framing): N kDmsMkdir
+  // sub-ops applied in order inside the single shared namespace-lock
+  // acquisition Dispatch already took for the frame.  Each sub-op runs the
+  // single-op Mkdir wholesale (same per-parent lock, same rollback) and
+  // fails alone; a malformed envelope fails the frame with kCorruption.
+  net::RpcResponse BatchMkdir(std::string_view payload);
   net::RpcResponse Rmdir(std::string_view payload);
   net::RpcResponse Lookup(std::string_view payload);
   net::RpcResponse Stat(std::string_view payload);

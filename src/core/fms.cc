@@ -198,6 +198,7 @@ net::RpcResponse FileMetadataServer::Dispatch(std::uint16_t opcode,
     case proto::kFmsReaddir: return Readdir(payload);
     case proto::kFmsBatchCreate: return BatchCreate(payload, client);
     case proto::kFmsBatchStat: return BatchStat(payload);
+    case proto::kFmsBatchSetSize: return BatchSetSize(payload);
     case proto::kFmsReaddirPlus: return ReaddirPlus(payload);
     case proto::kFmsCheckEmpty: return CheckEmpty(payload);
     case proto::kFmsReadRaw: return ReadRaw(payload);
@@ -627,6 +628,24 @@ net::RpcResponse FileMetadataServer::BatchStat(std::string_view payload) {
   std::size_t failed = 0;
   for (const std::string_view sub : subops) {
     net::RpcResponse r = GetAttr(sub);
+    if (r.code != ErrCode::kOk) ++failed;
+    items.push_back(net::wire::BatchItem{r.code, std::move(r.payload)});
+  }
+  CountBatch(subops.size(), failed);
+  return OkPayload(net::wire::EncodeBatchResponse(items));
+}
+
+net::RpcResponse FileMetadataServer::BatchSetSize(std::string_view payload) {
+  std::vector<std::string_view> subops;
+  if (!net::wire::DecodeBatchRequest(payload, &subops)) return BadRequest();
+  // The metadata half of a bulk small-file ingest: each sub-op takes the
+  // same per-file lock as a single SetSize, so the size-monotonicity
+  // guarantee holds against concurrent writers.
+  std::vector<net::wire::BatchItem> items;
+  items.reserve(subops.size());
+  std::size_t failed = 0;
+  for (const std::string_view sub : subops) {
+    net::RpcResponse r = SetSize(sub);
     if (r.code != ErrCode::kOk) ++failed;
     items.push_back(net::wire::BatchItem{r.code, std::move(r.payload)});
   }

@@ -125,6 +125,7 @@ class FileMetadataServer final : public net::RpcHandler {
   // only a malformed batch envelope fails the whole frame (kCorruption).
   net::RpcResponse BatchCreate(std::string_view payload, std::uint64_t client);
   net::RpcResponse BatchStat(std::string_view payload);
+  net::RpcResponse BatchSetSize(std::string_view payload);
   net::RpcResponse ReaddirPlus(std::string_view payload);
   net::RpcResponse CheckEmpty(std::string_view payload);
   net::RpcResponse ReadRaw(std::string_view payload);

@@ -9,6 +9,7 @@
 #include "core/proto.h"
 #include "fs/wire.h"
 #include "kvstore/striped_kv.h"
+#include "net/wire.h"
 
 namespace loco::core {
 
@@ -63,6 +64,7 @@ net::RpcResponse ObjectStoreServer::Dispatch(std::uint16_t opcode,
   std::shared_lock scan(scan_mu_);
   switch (opcode) {
     case proto::kObjWrite: return Write(payload);
+    case proto::kObjBatchPut: return BatchPut(payload);
     case proto::kObjRead: return Read(payload);
     case proto::kObjTruncate: return Truncate(payload);
     case proto::kObjScanObjects: return ScanObjects(payload);
@@ -119,6 +121,29 @@ net::RpcResponse ObjectStoreServer::Write(std::string_view payload) {
   net::RpcResponse resp;
   resp.extra_service_ns = options_.device.Cost(std::max<std::uint64_t>(touched_blocks, 1),
                                                data.size());
+  return resp;
+}
+
+net::RpcResponse ObjectStoreServer::BatchPut(std::string_view payload) {
+  std::vector<std::string_view> subops;
+  if (!net::wire::DecodeBatchRequest(payload, &subops)) return BadRequest();
+  std::vector<net::wire::BatchItem> items;
+  items.reserve(subops.size());
+  std::size_t failed = 0;
+  common::Nanos total_device_ns = 0;
+  for (const std::string_view sub : subops) {
+    net::RpcResponse r = Write(sub);
+    if (r.code != ErrCode::kOk) ++failed;
+    total_device_ns += r.extra_service_ns;
+    items.push_back(net::wire::BatchItem{r.code, std::move(r.payload)});
+  }
+  auto& reg = common::MetricsRegistry::Default();
+  reg.GetCounter("rpc.batch.calls").Add();
+  reg.GetCounter("rpc.batch.subops").Add(subops.size());
+  if (failed > 0) reg.GetCounter("rpc.batch.partial_failures").Add(failed);
+  net::RpcResponse resp;
+  resp.payload = net::wire::EncodeBatchResponse(items);
+  resp.extra_service_ns = total_device_ns;
   return resp;
 }
 

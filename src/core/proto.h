@@ -40,6 +40,15 @@ enum DmsOp : std::uint16_t {
   // Directory rename: relocates the whole subtree of d-inodes (B+-tree range
   // move, §3.4.3).  [from, to, Identity] -> [moved u64]
   kDmsRename = 10,
+  // Bulk tree materialization (net/wire.h batch framing): one frame carries
+  // N kDmsMkdir request tuples and runs them under a single namespace-lock
+  // acquisition, so a client building a deep or wide tree pays the
+  // shared-lock and dispatch overhead once.  Each sub-op succeeds or fails
+  // alone (per-sub-op ErrCode); sub-ops may depend on earlier siblings
+  // ("a", then "a/b") because they apply in order.
+  // request sub-op  = kDmsMkdir request tuple
+  // response sub-op = []
+  kDmsBatchMkdir = 11,
 
   // -- fsck / admin (loco_fsck; unauthenticated, run against a quiesced
   //    cluster like any offline consistency checker) --
@@ -119,6 +128,13 @@ enum FmsOp : std::uint16_t {
   // request = [dir_uuid] (plain tuple, not batch-framed); response = batch
   // items of [name, Attr] for every file of the directory on this server.
   kFmsReaddirPlus = 50,
+  // Bulk write-path metadata update: the metadata half of a small-file
+  // ingest (`PutMany`).  One frame carries N kFmsSetSize tuples; the reply
+  // returns each file's uuid so the client can route the data half
+  // (kObjBatchPut) by object placement.
+  // request sub-op  = kFmsSetSize request tuple
+  // response sub-op = [file_uuid, new_size u64]
+  kFmsBatchSetSize = 51,
 
   // -- fsck / admin --
   // [] -> [entries] ; entry = Pack(dir_uuid, name, file_uuid) per file inode
@@ -153,6 +169,13 @@ enum ObjOp : std::uint16_t {
   kObjRead = 65,
   // [uuid, size u64] -> [] ; drop blocks beyond size
   kObjTruncate = 66,
+  // Bulk small-object write (net/wire.h batch framing): one frame carries N
+  // kObjWrite tuples, amortizing per-RPC dispatch for small-file ingest.
+  // Device time for the whole batch is charged on the enclosing frame
+  // (extra_service_ns sums the sub-op costs).
+  // request sub-op  = kObjWrite request tuple ([uuid, offset u64, data])
+  // response sub-op = []
+  kObjBatchPut = 67,
 
   // -- fsck / admin --
   // [] -> [entries] ; entry = Pack(uuid u64, blocks u64) per stored object
@@ -196,10 +219,11 @@ enum CtlOp : std::uint16_t {
 inline std::vector<std::uint16_t> IdempotentReplayOps() {
   return {kDmsMkdir,   kDmsRmdir,     kDmsChmod,    kDmsChown,
           kDmsUtimens, kDmsRename,    kDmsRepairDirent, kDmsDropDirents,
+          kDmsBatchMkdir,
           kFmsCreate,  kFmsRemove,    kFmsChmod,    kFmsChown,
           kFmsUtimens, kFmsSetSize,   kFmsSetAtime, kFmsInsertRaw,
-          kFmsRepairDirent, kFmsPurgeFile, kFmsBatchCreate,
-          kObjWrite,   kObjTruncate,  kObjPurge};
+          kFmsRepairDirent, kFmsPurgeFile, kFmsBatchCreate, kFmsBatchSetSize,
+          kObjWrite,   kObjTruncate,  kObjPurge,    kObjBatchPut};
 }
 
 }  // namespace loco::core::proto

@@ -27,7 +27,7 @@ bool SessionTable::Open(fs::Uuid dir_uuid, const std::string& name,
   auto it = sessions_.find(key);
   if (it != sessions_.end()) {
     for (const auto& [holder, h] : it->second) {
-      if (holder == client || h.expiry <= now) continue;
+      if (holder == client || ExpiryLocked(holder, h) <= now) continue;
       if (exclusive || h.exclusive) {
         if (rejected_) rejected_->Add();
         return false;
@@ -63,15 +63,13 @@ bool SessionTable::Close(fs::Uuid dir_uuid, const std::string& name,
 
 void SessionTable::Touch(std::uint64_t client, std::uint64_t now) {
   std::lock_guard<std::mutex> lock(mu_);
+  // The lazy renewal: one timestamp write covers every session the client
+  // holds.  Walking them eagerly made each RPC cost O(sessions held), which
+  // for a client mid-ingest (one implicit session per created file) turned
+  // the per-op metadata path quadratic.
   auto it = by_client_.find(client);
   if (it == by_client_.end()) return;
-  const std::uint64_t expiry = now + options_.ttl_ns;
-  for (const auto& [key, unused] : it->second) {
-    auto sit = sessions_.find(key);
-    if (sit == sessions_.end()) continue;
-    auto hit = sit->second.find(client);
-    if (hit != sit->second.end()) hit->second.expiry = expiry;
-  }
+  last_seen_[client] = now;
 }
 
 std::size_t SessionTable::DropClient(std::uint64_t client) {
@@ -104,7 +102,7 @@ std::size_t SessionTable::SweepExpired(std::uint64_t now) {
   std::vector<std::pair<FileKey, std::uint64_t>> doomed;
   for (const auto& [key, holders] : sessions_) {
     for (const auto& [client, h] : holders) {
-      if (h.expiry <= now) doomed.emplace_back(key, client);
+      if (ExpiryLocked(client, h) <= now) doomed.emplace_back(key, client);
     }
   }
   for (const auto& [key, client] : doomed) EraseLocked(key, client);
@@ -118,7 +116,9 @@ bool SessionTable::HasLiveSession(fs::Uuid dir_uuid, const std::string& name,
   auto it = sessions_.find(FileKey{dir_uuid.raw(), name});
   if (it == sessions_.end()) return false;
   return std::any_of(it->second.begin(), it->second.end(),
-                     [now](const auto& kv) { return kv.second.expiry > now; });
+                     [this, now](const auto& kv) {
+                       return ExpiryLocked(kv.first, kv.second) > now;
+                     });
 }
 
 std::vector<SessionTable::Entry> SessionTable::List() const {
@@ -127,8 +127,8 @@ std::vector<SessionTable::Entry> SessionTable::List() const {
   out.reserve(count_);
   for (const auto& [key, holders] : sessions_) {
     for (const auto& [client, h] : holders) {
-      out.push_back(Entry{fs::Uuid(key.first), key.second, client, h.expiry,
-                          h.exclusive});
+      out.push_back(Entry{fs::Uuid(key.first), key.second, client,
+                          ExpiryLocked(client, h), h.exclusive});
     }
   }
   return out;
@@ -147,9 +147,19 @@ void SessionTable::EraseLocked(const FileKey& key, std::uint64_t client) {
   auto cit = by_client_.find(client);
   if (cit != by_client_.end()) {
     cit->second.erase(key);
-    if (cit->second.empty()) by_client_.erase(cit);
+    if (cit->second.empty()) {
+      by_client_.erase(cit);
+      last_seen_.erase(client);  // no sessions left; the heartbeat with it
+    }
   }
   --count_;
+}
+
+std::uint64_t SessionTable::ExpiryLocked(std::uint64_t client,
+                                         const Holder& h) const {
+  const auto it = last_seen_.find(client);
+  if (it == last_seen_.end()) return h.expiry;
+  return std::max(h.expiry, it->second + options_.ttl_ns);
 }
 
 void SessionTable::MakeRoomLocked(std::uint64_t now) {
@@ -157,7 +167,7 @@ void SessionTable::MakeRoomLocked(std::uint64_t now) {
   std::vector<std::pair<FileKey, std::uint64_t>> doomed;
   for (const auto& [key, holders] : sessions_) {
     for (const auto& [client, h] : holders) {
-      if (h.expiry <= now) doomed.emplace_back(key, client);
+      if (ExpiryLocked(client, h) <= now) doomed.emplace_back(key, client);
     }
   }
   for (const auto& [key, client] : doomed) EraseLocked(key, client);
@@ -169,8 +179,9 @@ void SessionTable::MakeRoomLocked(std::uint64_t now) {
   std::uint64_t soonest = ~0ull;
   for (const auto& [key, holders] : sessions_) {
     for (const auto& [client, h] : holders) {
-      if (h.expiry < soonest) {
-        soonest = h.expiry;
+      const std::uint64_t expiry = ExpiryLocked(client, h);
+      if (expiry < soonest) {
+        soonest = expiry;
         victim_key = &key;
         victim_client = client;
       }

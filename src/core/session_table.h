@@ -67,6 +67,10 @@ class SessionTable {
   bool Close(fs::Uuid dir_uuid, const std::string& name, std::uint64_t client);
 
   // Renew every session held by `client` (called on any RPC it sends).
+  // O(log clients): records the client's last-seen instant; liveness checks
+  // treat max(open expiry, last_seen + ttl) as the effective expiry, so the
+  // renewal is lazy instead of walking every session the client holds on
+  // every RPC it sends.
   void Touch(std::uint64_t client, std::uint64_t now);
 
   // Drop every session of `client` (its connections are gone).  Returns the
@@ -99,13 +103,20 @@ class SessionTable {
   // Caller holds mu_.  Frees at least one slot: sweep expired, then evict
   // the soonest-to-expire live session.
   void MakeRoomLocked(std::uint64_t now);
+  // Caller holds mu_.  The session's effective expiry: its own term or the
+  // holder's last-seen instant plus one TTL, whichever is later.
+  std::uint64_t ExpiryLocked(std::uint64_t client, const Holder& h) const;
 
   const Options options_;
   mutable std::mutex mu_;
   // file -> {client -> holder}
   std::map<FileKey, std::map<std::uint64_t, Holder>> sessions_;
-  // client -> its open files (DropClient/Touch without a full scan)
+  // client -> its open files (DropClient without a full scan)
   std::map<std::uint64_t, std::map<FileKey, bool>> by_client_;
+  // client -> instant of its most recent RPC (only clients holding sessions;
+  // erased with the client's last session).  Touch writes here in O(log n)
+  // instead of renewing each session eagerly.
+  std::map<std::uint64_t, std::uint64_t> last_seen_;
   std::size_t count_ = 0;
 
   // sessions.* counters (null when metrics_prefix is empty).

@@ -10,6 +10,7 @@
 
 #include "common/codec.h"
 #include "common/metrics.h"
+#include "net/reactor.h"
 #include "net/tcp.h"
 
 namespace loco::net {
@@ -185,9 +186,14 @@ bool NotifyListener::RecvOne(int fd, wire::FrameReader* reader,
       return true;
     }
     if (!reader->status().ok()) return false;
-    if (PollStoppable(fd, stop_fds_[0], POLLIN, deadline_abs) <= 0) {
-      return false;
-    }
+    // Readability waits go through the shared reactor when the mount has
+    // one (a one-shot registration per wait; the stop pipe doubles as the
+    // cancel descriptor), else through the private poll fallback.
+    const int ready =
+        options_.reactor != nullptr
+            ? options_.reactor->AwaitReadable(fd, stop_fds_[0], deadline_abs)
+            : PollStoppable(fd, stop_fds_[0], POLLIN, deadline_abs);
+    if (ready <= 0) return false;
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n > 0) {
       reader->Append(std::string_view(buf, static_cast<std::size_t>(n)));
@@ -309,10 +315,14 @@ void NotifyListener::Run() {
     backoff = connected_this_cycle
                   ? options_.backoff_base_ns
                   : std::min(backoff * 2, options_.backoff_cap_ns);
-    // Interruptible backoff sleep (fd -1 is ignored by poll; only the stop
-    // pipe can cut the wait short).
-    (void)PollStoppable(-1, stop_fds_[0], 0,
-                        common::CpuTimer::Now() + backoff);
+    // Interruptible backoff sleep (no data descriptor; only the stop pipe
+    // can cut the wait short).
+    const common::Nanos wake_at = common::CpuTimer::Now() + backoff;
+    if (options_.reactor != nullptr) {
+      (void)options_.reactor->AwaitReadable(-1, stop_fds_[0], wake_at);
+    } else {
+      (void)PollStoppable(-1, stop_fds_[0], 0, wake_at);
+    }
   }
   connected_.store(false, std::memory_order_release);
 }

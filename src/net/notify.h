@@ -34,6 +34,8 @@
 
 namespace loco::net {
 
+class Reactor;
+
 // Capability to push notify frames to connected clients.  Implemented by
 // net::TcpServer; servers hand it to their handler (the DMS) which calls it
 // from worker threads — implementations must be thread-safe.
@@ -111,6 +113,12 @@ class NotifyListener {
     // Reconnect backoff: doubles from base to cap while the server is down.
     common::Nanos backoff_base_ns = 50 * common::kMilli;
     common::Nanos backoff_cap_ns = 2 * common::kSecond;
+    // Shared client-side reactor (not owned; must outlive the listener).
+    // When set, the stream's readability waits ride the reactor's epoll
+    // thread (core::Connect passes the TcpChannel's reactor so the mount
+    // runs one I/O thread); when null the listener falls back to a private
+    // two-descriptor ::poll.
+    Reactor* reactor = nullptr;
   };
 
   // Invoked on the listener's reader thread.  Must not block for long and

@@ -1,0 +1,203 @@
+#include "net/reactor.h"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <fcntl.h>
+#include <memory>
+
+namespace loco::net {
+
+namespace {
+
+bool MakeNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+Reactor::Reactor() {
+  epoll_fd_ = ::epoll_create1(0);
+  if (epoll_fd_ < 0) return;
+  if (::pipe(wake_fds_) != 0 || !MakeNonBlocking(wake_fds_[0]) ||
+      !MakeNonBlocking(wake_fds_[1])) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+    for (int& fd : wake_fds_) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+    return;
+  }
+  struct epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fds_[0];
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fds_[0], &ev);
+  started_ = true;
+  thread_ = std::thread(&Reactor::Loop, this);
+}
+
+Reactor::~Reactor() {
+  if (started_) {
+    stop_.store(true, std::memory_order_release);
+    const char byte = 0;
+    [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
+    if (thread_.joinable()) thread_.join();
+  }
+  // Dropping the callbacks releases whatever their captures keep alive
+  // (closing connection fds along the way); the loop is gone, so no lock.
+  entries_.clear();
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  for (int& fd : wake_fds_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+}
+
+Status Reactor::Add(int fd, ReadCallback on_readable) {
+  if (!started_ || stop_.load(std::memory_order_acquire)) {
+    return ErrStatus(ErrCode::kUnavailable, "reactor not running");
+  }
+  if (fd < 0) return ErrStatus(ErrCode::kInvalid, "bad descriptor");
+  std::scoped_lock lock(mu_);
+  const auto [it, inserted] = entries_.emplace(fd, std::move(on_readable));
+  if (!inserted) {
+    return ErrStatus(ErrCode::kInvalid, "descriptor already registered");
+  }
+  struct epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    entries_.erase(it);
+    return ErrStatus(ErrCode::kIo, "epoll_ctl add failed");
+  }
+  return OkStatus();
+}
+
+void Reactor::Remove(int fd) {
+  if (!started_ || fd < 0) return;
+  std::unique_lock lock(mu_);
+  // Wait out an in-flight callback for this descriptor: when Remove returns,
+  // the callback is guaranteed not to run again (its captures may be freed).
+  active_cv_.wait(lock, [&] { return active_fd_ != fd; });
+  const auto it = entries_.find(fd);
+  if (it == entries_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ReadCallback dead = std::move(it->second);
+  entries_.erase(it);
+  lock.unlock();
+  // Destroy outside the lock: the captures may close the fd / free the
+  // connection, neither of which should run under mu_.
+  dead = nullptr;
+}
+
+void Reactor::Loop() {
+  std::array<struct epoll_event, 64> events;
+  char drain[256];
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    wakeups_->Add();
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fds_[0]) {
+        while (::read(wake_fds_[0], drain, sizeof(drain)) > 0) {
+        }
+        continue;
+      }
+      events_->Add();
+      std::unique_lock lock(mu_);
+      const auto it = entries_.find(fd);
+      if (it == entries_.end()) continue;  // removed since epoll_wait
+      active_fd_ = fd;
+      ReadCallback* cb = &it->second;
+      lock.unlock();
+      // Safe without the lock: Remove(fd) blocks on active_fd_, other
+      // entries' mutation never invalidates this node (unordered_map).
+      const bool keep = (*cb)();
+      lock.lock();
+      if (!keep) {
+        const auto again = entries_.find(fd);
+        if (again != entries_.end()) {
+          ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+          ReadCallback dead = std::move(again->second);
+          entries_.erase(again);
+          active_fd_ = -1;
+          lock.unlock();
+          active_cv_.notify_all();
+          dead = nullptr;  // may close the fd; runs outside mu_
+          continue;
+        }
+      }
+      active_fd_ = -1;
+      lock.unlock();
+      active_cv_.notify_all();
+    }
+  }
+}
+
+int Reactor::AwaitReadable(int fd, int cancel_fd, common::Nanos deadline_abs) {
+  if (!started_) return -1;
+  struct WaitState {
+    std::mutex mu;
+    std::condition_variable cv;
+    int result = 0;  // 0 = still waiting / deadline; 1 = fd; -1 = cancel
+  };
+  auto state = std::make_shared<WaitState>();
+  bool fd_registered = false;
+  bool cancel_registered = false;
+  // Register the cancel side first so a stop racing registration still wins.
+  if (cancel_fd >= 0) {
+    cancel_registered = Add(cancel_fd, [state] {
+                          std::scoped_lock lock(state->mu);
+                          if (state->result == 0) state->result = -1;
+                          state->cv.notify_one();
+                          return false;  // one-shot
+                        }).ok();
+    if (!cancel_registered) return -1;
+  }
+  if (fd >= 0) {
+    fd_registered = Add(fd, [state] {
+                      std::scoped_lock lock(state->mu);
+                      if (state->result == 0) state->result = 1;
+                      state->cv.notify_one();
+                      return false;  // one-shot
+                    }).ok();
+    if (!fd_registered) {
+      if (cancel_registered) Remove(cancel_fd);
+      return -1;
+    }
+  }
+  int result = 0;
+  {
+    std::unique_lock lock(state->mu);
+    for (;;) {
+      if (state->result != 0) {
+        result = state->result;
+        break;
+      }
+      if (deadline_abs > 0) {
+        const common::Nanos remaining = deadline_abs - common::CpuTimer::Now();
+        if (remaining <= 0) break;  // result stays 0: deadline
+        state->cv.wait_for(lock, std::chrono::nanoseconds(remaining));
+      } else {
+        state->cv.wait(lock);
+      }
+    }
+  }
+  // One-shot callbacks self-deregister when they fire; Remove covers the
+  // ones that did not (no-op otherwise).
+  if (fd_registered) Remove(fd);
+  if (cancel_registered) Remove(cancel_fd);
+  return result;
+}
+
+}  // namespace loco::net

@@ -1,0 +1,90 @@
+// Shared epoll reactor for client-side sockets (docs/NET.md "I/O backends").
+//
+// One Reactor owns one epoll instance and one dedicated thread.  Descriptors
+// are registered level-triggered for readability; when a descriptor becomes
+// readable its callback runs on the reactor thread.  TcpChannel registers
+// every pooled connection here, so an arbitrarily large connection pool is
+// drained by a single thread with one epoll_wait per batch of readable
+// sockets — replacing the old leader/follower scheme where each blocked
+// caller took a turn in ::poll on its own connection.  NotifyListener's
+// dedicated stream rides the same reactor through AwaitReadable, so a client
+// process runs exactly one I/O thread per channel regardless of how many
+// servers it talks to.
+//
+// Threading contract:
+//   * callbacks run on the reactor thread, never concurrently with
+//     themselves or with Remove() of their descriptor;
+//   * Remove(fd) is synchronous — when it returns, the callback is not
+//     running and will never run again.  Never call Remove from inside a
+//     callback (return false to self-deregister instead);
+//   * a callback must not block: it should consume the readable data and
+//     hand completed work to waiting threads.
+//
+// Counters: rpc.tcp.reactor.wakeups (epoll_wait returns),
+// rpc.tcp.reactor.events (descriptors reported readable).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "common/result.h"
+
+namespace loco::net {
+
+class Reactor {
+ public:
+  // Invoked on the reactor thread when the descriptor is readable.  Return
+  // true to stay registered, false to deregister (the reactor drops the
+  // callback — and with it any references its captures hold).
+  using ReadCallback = std::function<bool()>;
+
+  Reactor();
+  ~Reactor();
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  // Register `fd` (must be non-blocking) for level-triggered readability.
+  // Fails if the reactor is stopped or the descriptor is already registered.
+  Status Add(int fd, ReadCallback on_readable);
+
+  // Synchronously deregister `fd`.  No-op when it is not registered (a
+  // callback may have self-deregistered concurrently).
+  void Remove(int fd);
+
+  // Block the *calling* thread until `fd` is readable (returns 1), the
+  // absolute steady-clock deadline passes (returns 0; deadline_abs == 0
+  // waits forever), or `cancel_fd` becomes readable (returns -1, which is
+  // also the registration-failure result).  Either descriptor may be -1 to
+  // skip it.  Built on one-shot registrations, so it serves sockets that are
+  // otherwise driven by blocking readers (the notify stream) without giving
+  // them their own poll loop.
+  int AwaitReadable(int fd, int cancel_fd, common::Nanos deadline_abs);
+
+ private:
+  void Loop();
+
+  int epoll_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: destructor interrupts epoll_wait
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;  // epoll + wake pipe creation succeeded
+
+  std::mutex mu_;
+  std::condition_variable active_cv_;  // signals "callback finished"
+  int active_fd_ = -1;                 // fd whose callback is running now
+  std::unordered_map<int, ReadCallback> entries_;
+
+  common::Counter* wakeups_ = &common::MetricsRegistry::Default().GetCounter(
+      "rpc.tcp.reactor.wakeups");
+  common::Counter* events_ = &common::MetricsRegistry::Default().GetCounter(
+      "rpc.tcp.reactor.events");
+};
+
+}  // namespace loco::net

@@ -22,12 +22,32 @@
 #include <thread>
 
 #include "common/rng.h"
+#include "net/uring.h"
 
 namespace loco::net {
 
 namespace {
 
 constexpr std::size_t kIoChunk = 64 * 1024;
+// Smallest receive window worth a recv() syscall; below this the reader
+// rotates to a fresh arena chunk instead of filling the tail fragment.
+constexpr std::size_t kMinRecvWindow = 4 * 1024;
+
+// io_uring backend sizing: SQ entries and the registered recv-buffer arena.
+// Connections beyond the arena fall back to unregistered per-conn buffers.
+constexpr unsigned kUringEntries = 256;
+constexpr unsigned kUringBufCount = 64;
+
+// user_data layout for uring completions: tag in the low 3 bits, conn id
+// above (conn ids start at 1, so accept/wake use id 0).
+constexpr std::uint64_t kUringTagAccept = 1;
+constexpr std::uint64_t kUringTagWake = 2;
+constexpr std::uint64_t kUringTagRecv = 3;
+constexpr std::uint64_t kUringTagPollOut = 4;
+
+constexpr std::uint64_t UringData(std::uint64_t tag, std::uint64_t conn_id) {
+  return (conn_id << 3) | tag;
+}
 
 // epoll_event.data.u64 tags for the two non-connection descriptors; real
 // connection ids start at 1 and count up, so they can never collide.
@@ -134,33 +154,6 @@ Status SendAll(int fd, std::string_view data, common::Nanos deadline_abs) {
   return OkStatus();
 }
 
-// Read until one complete frame is available.  `got_any` reports whether any
-// response bytes arrived before a failure (reused-connection retry guard).
-Status RecvFrame(int fd, wire::FrameReader* reader, wire::Frame* out,
-                 common::Nanos deadline_abs, bool* got_any) {
-  char buf[kIoChunk];
-  for (;;) {
-    if (auto frame = reader->Next()) {
-      *out = std::move(*frame);
-      return OkStatus();
-    }
-    if (!reader->status().ok()) return reader->status();
-    const int r = PollUntil(fd, POLLIN, deadline_abs);
-    if (r == 0) return ErrStatus(ErrCode::kTimeout, "receive deadline");
-    if (r < 0) return ErrStatus(ErrCode::kUnavailable, "poll failed");
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n > 0) {
-      *got_any = true;
-      reader->Append(std::string_view(buf, static_cast<std::size_t>(n)));
-      continue;
-    }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
-      continue;
-    }
-    return ErrStatus(ErrCode::kUnavailable, "peer disconnected mid-stream");
-  }
-}
-
 }  // namespace
 
 int DialTcp(const std::string& host, std::uint16_t port,
@@ -215,7 +208,9 @@ struct TcpServer::Conn {
       : fd(fd_in), id(id_in), reader(max_payload) {}
   int fd;
   std::uint64_t id;
-  wire::FrameReader reader;
+  // Zero-copy decode: recv() lands in the reader's refcounted arena and
+  // request payloads dispatch as views pinned into it (docs/NET.md).
+  wire::PinnedFrameReader reader;
   // Pending output: whole encoded frames, moved in (never memcpy'd) and
   // flushed with writev.  out_off is the partial-send offset into the front
   // buffer; out_bytes the total unsent bytes across the queue.
@@ -234,6 +229,25 @@ struct TcpServer::Conn {
   std::uint64_t next_flush = 0;  // next seq allowed into `out`
   std::uint64_t inflight = 0;    // dispatched, not yet delivered
   std::map<std::uint64_t, std::string> done;  // finished out-of-order
+  // io_uring backend state (uring loop thread only).  A dead connection is
+  // shutdown() first and closed only after its armed recv/poll completions
+  // drain — closing with a recv in flight would let the kernel write into a
+  // buffer the arena may have handed to a newer connection.
+  // Registered-buffer index; -1 recvs straight into the reader's arena
+  // (zero-copy even under uring, at the cost of unregistered I/O).
+  int ubuf = -1;
+  bool recv_armed = false;
+  bool pollout_armed = false;
+  bool shutdown_sent = false;
+};
+
+// io_uring backend state: the ring plus the registered recv-buffer arena.
+// Namespace-scope (tcp.h forward-declares it as `class UringState`).
+class UringState {
+ public:
+  uring::Ring ring;
+  std::vector<std::unique_ptr<char[]>> bufs;
+  std::vector<int> free_bufs;
 };
 
 TcpServer::TcpServer(RpcHandler* handler, Options options)
@@ -293,16 +307,43 @@ Status TcpServer::Start() {
     }
     return ErrStatus(ErrCode::kIo, "cannot create wake pipe");
   }
-  epoll_fd_ = ::epoll_create1(0);
-  if (epoll_fd_ < 0) {
-    ::close(fd);
-    for (int& w : wake_fds_) {
-      ::close(w);
-      w = -1;
+  // Backend selection: try io_uring when asked, fall back to epoll when the
+  // kernel (or the build) lacks it.  Both backends share everything past the
+  // event loop — dispatch, workers, buffer pool, notify plane.
+  uring_active_ = false;
+  if (options_.io_backend == IoBackend::kUring) {
+    auto st = std::make_unique<UringState>();
+    if (st->ring.Init(kUringEntries)) {
+      st->bufs.reserve(kUringBufCount);
+      std::vector<struct iovec> iovs(kUringBufCount);
+      for (unsigned i = 0; i < kUringBufCount; ++i) {
+        st->bufs.push_back(std::make_unique<char[]>(kIoChunk));
+        iovs[i].iov_base = st->bufs.back().get();
+        iovs[i].iov_len = kIoChunk;
+        st->free_bufs.push_back(static_cast<int>(i));
+      }
+      if (!st->ring.RegisterBuffers(iovs.data(), kUringBufCount)) {
+        // No fixed buffers: every connection recvs through a spill buffer.
+        st->free_bufs.clear();
+      }
+      uring_state_ = std::move(st);
+      uring_active_ = true;
+    } else {
+      common::MetricsRegistry::Default()
+          .GetCounter("rpc.tcp_server.uring.fallbacks")
+          .Add();
     }
-    return ErrStatus(ErrCode::kIo, "cannot create epoll instance");
   }
-  {
+  if (!uring_active_) {
+    epoll_fd_ = ::epoll_create1(0);
+    if (epoll_fd_ < 0) {
+      ::close(fd);
+      for (int& w : wake_fds_) {
+        ::close(w);
+        w = -1;
+      }
+      return ErrStatus(ErrCode::kIo, "cannot create epoll instance");
+    }
     struct epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.u64 = kListenTag;
@@ -324,7 +365,8 @@ Status TcpServer::Start() {
     workers_.emplace_back(&TcpServer::WorkerMain, this,
                           static_cast<std::size_t>(i));
   }
-  thread_ = std::thread(&TcpServer::Loop, this);
+  thread_ = uring_active_ ? std::thread(&TcpServer::UringLoop, this)
+                          : std::thread(&TcpServer::Loop, this);
   auto& reg = common::MetricsRegistry::Default();
   gauges_.push_back(reg.RegisterGauge(
       "rpc.tcp_server.workers",
@@ -363,6 +405,8 @@ void TcpServer::Stop() {
   listen_fd_ = -1;
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
   epoll_fd_ = -1;
+  uring_state_.reset();
+  uring_active_ = false;
   for (int& w : wake_fds_) {
     if (w >= 0) ::close(w);
     w = -1;
@@ -469,7 +513,7 @@ std::string TcpServer::Execute(const wire::FrameHeader& req,
   return buf;
 }
 
-bool TcpServer::HandleHello(Conn* conn, const wire::Frame& frame) {
+bool TcpServer::HandleHello(Conn* conn, const wire::PinnedFrame& frame) {
   wire::Hello hello;
   wire::HelloReply reply;
   reply.proto_version = wire::kVersion;
@@ -519,6 +563,11 @@ bool TcpServer::HandleHello(Conn* conn, const wire::Frame& frame) {
 bool TcpServer::DrainFrames(Conn* conn) {
   while (auto frame = conn->reader.Next()) {
     if (frame->header.type != wire::FrameType::kRequest) return false;
+    if (frame->zero_copy) {
+      zerocopy_hits_->Add();
+    } else {
+      zerocopy_copies_->Add();
+    }
     if (frame->header.opcode == wire::kCtlHello) {
       // Connection control precedes the fault plane: hello is part of the
       // transport, not the workload under test.
@@ -551,11 +600,11 @@ bool TcpServer::DrainFrames(Conn* conn) {
       } else {
         ++conn->inflight;
         {
+          // Duplicated frames share the payload view and its pin; Execute
+          // only reads the bytes.
           std::scoped_lock lock(queue_mu_);
           queue_.push_back(Work{conn->id, conn->next_seq++, conn->client_id,
-                                frame->header,
-                                copy + 1 < copies ? frame->payload
-                                                  : std::move(frame->payload),
+                                frame->header, frame->payload, frame->pin,
                                 delay_ns});
         }
         queue_cv_.notify_one();
@@ -821,7 +870,7 @@ void TcpServer::RecycleBuffer(std::string&& buf) {
 void TcpServer::Loop() {
   std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns;
   std::uint64_t next_conn_id = 1;
-  char buf[kIoChunk];
+  char wake_drain[256];
   std::array<struct epoll_event, 128> events;
   std::vector<std::uint64_t> doomed;
   auto& reg = common::MetricsRegistry::Default();
@@ -839,7 +888,7 @@ void TcpServer::Loop() {
     bool accept_ready = false;
     for (int i = 0; i < n; ++i) {
       if (events[i].data.u64 == kWakeTag) {
-        while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+        while (::read(wake_fds_[0], wake_drain, sizeof(wake_drain)) > 0) {
         }
       } else if (events[i].data.u64 == kListenTag) {
         accept_ready = true;
@@ -879,10 +928,13 @@ void TcpServer::Loop() {
       bool alive = true;
       if (revents & (EPOLLIN | EPOLLHUP | EPOLLERR)) {
         for (;;) {
-          const ssize_t r = ::recv(conn->fd, buf, sizeof(buf), 0);
+          // Zero-copy ingest: recv straight into the reader's arena, so the
+          // payload views DrainFrames dispatches are the kernel's bytes.
+          std::size_t capacity = 0;
+          char* dst = conn->reader.RecvInto(kMinRecvWindow, &capacity);
+          const ssize_t r = ::recv(conn->fd, dst, capacity, 0);
           if (r > 0) {
-            conn->reader.Append(
-                std::string_view(buf, static_cast<std::size_t>(r)));
+            conn->reader.Commit(static_cast<std::size_t>(r));
             continue;
           }
           if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -904,6 +956,172 @@ void TcpServer::Loop() {
     }
     for (const std::uint64_t id : doomed) CloseConn(&conns, id);
     for (const auto& [id, conn] : conns) SyncWriteInterest(conn.get());
+  }
+  for (const auto& [id, conn] : conns) ::close(conn->fd);
+}
+
+void TcpServer::UringLoop() {
+  // io_uring backend (docs/NET.md "I/O backends").  One completion ring
+  // replaces epoll_wait + per-fd recv: the listener runs a multishot accept,
+  // every connection keeps one recv armed into a registered buffer, and
+  // write interest is a one-shot POLLOUT armed only while output is queued.
+  // Dispatch (DrainFrames/Execute/workers), write batching (FlushWrites),
+  // and the notify plane are shared verbatim with the epoll loop.
+  UringState& us = *uring_state_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns;
+  std::uint64_t next_conn_id = 1;
+  char wake_buf[256];
+  std::vector<std::uint64_t> doomed;
+  auto& reg = common::MetricsRegistry::Default();
+  common::Counter& sqes = reg.GetCounter("rpc.tcp_server.uring.sqes");
+  common::Counter& cqes = reg.GetCounter("rpc.tcp_server.uring.cqes");
+  common::Counter& accepts = reg.GetCounter("rpc.tcp_server.uring.accepts");
+  common::Counter& fixed_reads =
+      reg.GetCounter("rpc.tcp_server.uring.fixed_reads");
+
+  // SQ-full is transient: flush queued SQEs and retry once.
+  const auto prep = [&](auto&& fn) {
+    if (fn()) {
+      sqes.Add();
+      return true;
+    }
+    (void)us.ring.SubmitAndWait(false);
+    if (fn()) {
+      sqes.Add();
+      return true;
+    }
+    return false;
+  };
+  const auto arm_recv = [&](Conn* conn) {
+    const std::uint64_t ud = UringData(kUringTagRecv, conn->id);
+    bool ok = false;
+    if (conn->ubuf >= 0) {
+      char* buf = us.bufs[static_cast<std::size_t>(conn->ubuf)].get();
+      ok = prep([&] {
+        return us.ring.PrepReadFixed(conn->fd, buf, kIoChunk,
+                                     static_cast<unsigned>(conn->ubuf), ud);
+      });
+      if (ok) fixed_reads.Add();
+    } else {
+      // No registered buffer free: recv straight into the reader's arena
+      // (zero-copy decode).  The region is stable until the matching Commit
+      // — only this loop touches the reader, and one recv is armed at a
+      // time, so nothing rotates the chunk under the kernel.
+      std::size_t capacity = 0;
+      char* dst = conn->reader.RecvInto(kMinRecvWindow, &capacity);
+      ok = prep([&] { return us.ring.PrepRecv(conn->fd, dst, capacity, ud); });
+    }
+    conn->recv_armed = ok;
+    if (!ok) conn->dead = true;
+  };
+  const auto arm_wake = [&] {
+    return prep([&] {
+      return us.ring.PrepRead(wake_fds_[0], wake_buf, sizeof(wake_buf),
+                              UringData(kUringTagWake, 0));
+    });
+  };
+  const auto arm_accept = [&] {
+    return prep([&] {
+      return us.ring.PrepAcceptMultishot(listen_fd_,
+                                         UringData(kUringTagAccept, 0));
+    });
+  };
+
+  if (!arm_accept() || !arm_wake()) return;  // cannot happen with a fresh SQ
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int rc = us.ring.SubmitAndWait(true);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    bool accept_rearm = false;
+    bool wake_rearm = false;
+    uring::Cqe cqe;
+    while (us.ring.PopCqe(&cqe)) {
+      cqes.Add();
+      const std::uint64_t tag = cqe.user_data & 7;
+      const std::uint64_t cid = cqe.user_data >> 3;
+      if (tag == kUringTagAccept) {
+        if (!uring::CqeHasMore(cqe)) accept_rearm = true;
+        if (cqe.res < 0) continue;  // transient accept failure
+        const int fd = cqe.res;
+        SetNoDelay(fd);
+        auto conn = std::make_unique<Conn>(fd, next_conn_id++,
+                                           options_.max_payload_bytes);
+        if (!us.free_bufs.empty()) {
+          conn->ubuf = us.free_bufs.back();
+          us.free_bufs.pop_back();
+        }
+        Conn* raw = conn.get();
+        conns.emplace(raw->id, std::move(conn));
+        accepts.Add();
+        arm_recv(raw);
+      } else if (tag == kUringTagWake) {
+        wake_rearm = true;  // payload is opaque; completions drain below
+      } else if (tag == kUringTagRecv) {
+        const auto it = conns.find(cid);
+        if (it == conns.end()) continue;
+        Conn* conn = it->second.get();
+        conn->recv_armed = false;
+        if (cqe.res > 0) {
+          if (conn->ubuf >= 0) {
+            conn->reader.Append(std::string_view(
+                us.bufs[static_cast<std::size_t>(conn->ubuf)].get(),
+                static_cast<std::size_t>(cqe.res)));
+          } else {
+            conn->reader.Commit(static_cast<std::size_t>(cqe.res));
+          }
+          if (!conn->dead && !DrainFrames(conn)) conn->dead = true;
+          if (!conn->dead && conn->out_bytes > 0 && !FlushWrites(conn)) {
+            conn->dead = true;
+          }
+          if (!conn->dead) arm_recv(conn);
+        } else if (cqe.res == -EAGAIN || cqe.res == -EINTR) {
+          if (!conn->dead) arm_recv(conn);
+        } else {
+          conn->dead = true;  // orderly close (0) or hard error
+        }
+      } else if (tag == kUringTagPollOut) {
+        const auto it = conns.find(cid);
+        if (it == conns.end()) continue;
+        Conn* conn = it->second.get();
+        conn->pollout_armed = false;
+        if (!conn->dead && !FlushWrites(conn)) conn->dead = true;
+      }
+    }
+    if (options_.workers > 0) DeliverCompletions(conns);
+    DrainNotify(conns);
+    // Reconcile write interest: anything still backlogged gets a one-shot
+    // POLLOUT (the uring analogue of SyncWriteInterest).
+    for (const auto& [id, conn] : conns) {
+      if (conn->dead || conn->out_bytes == 0 || conn->pollout_armed) continue;
+      if (prep([&] {
+            return us.ring.PrepPollOutOneshot(
+                conn->fd, UringData(kUringTagPollOut, conn->id));
+          })) {
+        conn->pollout_armed = true;
+      }
+    }
+    // Reap failed connections.  The kernel may still own an armed recv or
+    // poll on the fd: shutdown() forces those completions, and the close is
+    // deferred until they drain — closing early would hand the registered
+    // buffer back to the arena while the kernel can still write into it.
+    doomed.clear();
+    for (const auto& [id, conn] : conns) {
+      if (!conn->dead) continue;
+      if (!conn->shutdown_sent) {
+        ::shutdown(conn->fd, SHUT_RDWR);
+        conn->shutdown_sent = true;
+      }
+      if (!conn->recv_armed && !conn->pollout_armed) doomed.push_back(id);
+    }
+    for (const std::uint64_t id : doomed) {
+      const auto it = conns.find(id);
+      if (it->second->ubuf >= 0) us.free_bufs.push_back(it->second->ubuf);
+      CloseConn(&conns, id);  // epoll_ctl on fd -1 is a harmless no-op here
+    }
+    if (wake_rearm && !arm_wake()) break;
+    if (accept_rearm && !arm_accept()) break;
   }
   for (const auto& [id, conn] : conns) ::close(conn->fd);
 }
@@ -945,10 +1163,30 @@ void TcpChannel::SetNextRequestIdForTest(NodeId server, std::uint64_t value) {
 
 void TcpChannel::DisconnectAll() {
   for (auto& [id, ep] : endpoints_) {
-    std::scoped_lock lock(ep->mu);
-    // Dropping the endpoint's references closes idle sockets immediately;
-    // in-flight calls hold their own reference until they finish.
-    ep->conns.clear();
+    std::vector<std::shared_ptr<PipeConn>> dropped;
+    {
+      std::scoped_lock lock(ep->mu);
+      dropped.swap(ep->conns);
+    }
+    // Idle connections are deregistered from the reactor and closed here;
+    // connections with calls in flight are marked orphaned — the reactor
+    // keeps serving their waiters and drops its reference once the last
+    // response lands.
+    for (const std::shared_ptr<PipeConn>& conn : dropped) {
+      bool idle = false;
+      {
+        std::scoped_lock lock(conn->mu);
+        if (conn->waiting.empty() &&
+            conn->inflight.load(std::memory_order_acquire) == 0) {
+          idle = true;
+        } else {
+          conn->orphaned = true;
+        }
+      }
+      // Never while holding conn->mu: Remove waits out an in-flight reactor
+      // callback, and that callback takes conn->mu.
+      if (idle) reactor_.Remove(conn->fd);
+    }
   }
 }
 
@@ -1035,9 +1273,78 @@ std::shared_ptr<TcpChannel::PipeConn> TcpChannel::AcquireConn(
   }
   conn->inflight.store(1, std::memory_order_relaxed);
   *reused = false;
-  std::scoped_lock lock(ep.mu);
-  ep.conns.push_back(conn);
+  {
+    std::scoped_lock lock(ep.mu);
+    ep.conns.push_back(conn);
+  }
+  // Hand the receive side to the reactor.  On registration failure the conn
+  // is broken immediately; the caller's RegisterWaiter observes it and fails
+  // the call with kUnavailable.
+  if (!reactor_.Add(fd, [this, conn] { return OnReadable(conn); }).ok()) {
+    std::scoped_lock lock(conn->mu);
+    FailConnLocked(*conn, ErrCode::kUnavailable);
+  }
   return conn;
+}
+
+bool TcpChannel::OnReadable(const std::shared_ptr<PipeConn>& conn) {
+  // Reactor thread only — the FrameReader needs no lock, the waiter table
+  // does.  One recv sweep drains however many pipelined responses arrived.
+  char buf[kIoChunk];
+  bool dead = false;
+  ErrCode fail_code = ErrCode::kUnavailable;
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->reader.Append(std::string_view(buf, static_cast<std::size_t>(n)));
+      if (static_cast<std::size_t>(n) < sizeof(buf)) break;  // likely drained
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    dead = true;  // orderly close or hard error
+    break;
+  }
+  std::size_t dispatched = 0;
+  std::scoped_lock lock(conn->mu);
+  while (auto frame = conn->reader.Next()) {
+    if (frame->header.type == wire::FrameType::kNotify) {
+      // Push frame on an RPC connection (pooled conns don't negotiate
+      // notify, but tolerate it): not addressed to any waiter.
+      continue;
+    }
+    if (frame->header.type != wire::FrameType::kResponse) {
+      dead = true;
+      fail_code = ErrCode::kCorruption;
+      break;
+    }
+    const auto it = conn->waiting.find(frame->header.request_id);
+    if (it == conn->waiting.end()) {
+      // The hello reply (id 0) or a response to a call that already timed
+      // out: drop it.  Its id is spendable again — the stream can hold no
+      // second response.
+      conn->abandoned.erase(frame->header.request_id);
+      continue;
+    }
+    Waiter* w = it->second;
+    conn->waiting.erase(it);
+    w->frame = std::move(*frame);
+    w->done = true;
+    w->cv.notify_one();
+    ++dispatched;
+  }
+  if (dispatched > 0) reactor_frames_->Add(dispatched);
+  if (!dead && !conn->reader.status().ok()) {
+    dead = true;
+    fail_code = ErrCode::kCorruption;
+  }
+  if (dead) {
+    FailConnLocked(*conn, fail_code);
+    return false;  // deregister; the reactor drops its reference
+  }
+  // An orphaned conn (DisconnectAll raced in-flight calls) lives only for
+  // its remaining waiters; once they are answered, release the socket.
+  return !(conn->orphaned && conn->waiting.empty());
 }
 
 void TcpChannel::FailConnLocked(PipeConn& conn, ErrCode code) {
@@ -1046,10 +1353,10 @@ void TcpChannel::FailConnLocked(PipeConn& conn, ErrCode code) {
   for (auto& [rid, w] : conn.waiting) {
     w->done = true;
     w->fail = conn.broken;
+    w->cv.notify_one();
   }
   conn.waiting.clear();
   conn.abandoned.clear();  // no more frames will arrive on this socket
-  conn.cv.notify_all();
 }
 
 std::uint64_t TcpChannel::NextRequestId(Endpoint& ep) {
@@ -1079,6 +1386,30 @@ TcpChannel::RegisterResult TcpChannel::RegisterWaiter(PipeConn& conn,
 
 void TcpChannel::AwaitWaiter(PipeConn& conn, std::uint64_t request_id,
                              Waiter& w, common::Nanos deadline_abs) {
+  // Spin-then-park.  A blocking caller's response is typically one loopback
+  // round trip away; parking on the cv immediately would put two sequential
+  // futex wake-ups (epoll -> reactor -> caller) on every call's critical
+  // path, which on a busy single-core host costs more than the RPC itself.
+  // Yield-spin briefly — ceding the CPU to the reactor and the server — and
+  // only fall back to the cv for responses that are genuinely slow.
+  constexpr common::Nanos kSpinNs = 200'000;
+  const common::Nanos spin_until =
+      std::min(common::CpuTimer::Now() + kSpinNs, deadline_abs);
+  for (;;) {
+    {
+      std::scoped_lock spin_lock(conn.mu);
+      if (w.done) return;
+      if (conn.broken != ErrCode::kOk) {
+        w.done = true;
+        w.fail = conn.broken;
+        return;
+      }
+    }
+    if (common::CpuTimer::Now() >= spin_until) break;
+    std::this_thread::yield();
+  }
+  // The reactor thread completes the waiter (or fails the connection); this
+  // thread only sleeps on its own cv until then.
   std::unique_lock lock(conn.mu);
   for (;;) {
     if (w.done) return;
@@ -1087,70 +1418,17 @@ void TcpChannel::AwaitWaiter(PipeConn& conn, std::uint64_t request_id,
       w.fail = conn.broken;
       return;
     }
-    if (common::CpuTimer::Now() >= deadline_abs) {
+    const common::Nanos remaining = deadline_abs - common::CpuTimer::Now();
+    if (remaining <= 0) {
       // Leave the request outstanding on the wire; the conn stays usable and
-      // the eventual response is discarded by whoever reads it.  Remember the
-      // id until that response arrives so a post-wrap call can never mint it.
+      // the reactor discards the eventual response.  Remember the id until
+      // that response arrives so a post-wrap call can never mint it.
       if (conn.waiting.erase(request_id) > 0) conn.abandoned.insert(request_id);
       w.done = true;
       w.fail = ErrCode::kTimeout;
       return;
     }
-    if (!conn.reader_active) {
-      // No one is reading: take the reader role for one frame.
-      conn.reader_active = true;
-      lock.unlock();
-      wire::Frame frame;
-      bool got_any = false;
-      const Status st =
-          RecvFrame(conn.fd, &conn.reader, &frame, deadline_abs, &got_any);
-      lock.lock();
-      conn.reader_active = false;
-      if (!st.ok()) {
-        if (st.code() == ErrCode::kTimeout) {
-          // Our deadline, not the connection's fault: step aside so a waiter
-          // with a later deadline can take over the read.
-          if (conn.waiting.erase(request_id) > 0) {
-            conn.abandoned.insert(request_id);
-          }
-          if (!w.done) {
-            w.done = true;
-            w.fail = ErrCode::kTimeout;
-          }
-          conn.cv.notify_all();
-          return;
-        }
-        FailConnLocked(conn, st.code());
-        continue;  // loop top reports broken / done
-      }
-      if (frame.header.type == wire::FrameType::kNotify) {
-        // Push frame on an RPC connection (pooled conns don't negotiate
-        // notify, but tolerate it): not addressed to any waiter, keep going.
-        continue;
-      }
-      if (frame.header.type != wire::FrameType::kResponse) {
-        FailConnLocked(conn, ErrCode::kCorruption);
-        continue;
-      }
-      const auto it = conn.waiting.find(frame.header.request_id);
-      if (it == conn.waiting.end()) {
-        // Response to a call that already timed out: drop it, keep reading.
-        // Its id is spendable again — the stream can hold no second response.
-        conn.abandoned.erase(frame.header.request_id);
-        continue;
-      }
-      Waiter* target = it->second;
-      conn.waiting.erase(it);
-      target->frame = std::move(frame);
-      target->done = true;
-      conn.cv.notify_all();
-      continue;
-    }
-    // Another waiter is reading; wake on dispatch or to re-check the
-    // deadline (the active reader may have a later one than ours).
-    const common::Nanos remaining = deadline_abs - common::CpuTimer::Now();
-    conn.cv.wait_for(lock, std::chrono::nanoseconds(std::clamp<common::Nanos>(
-                               remaining, 0, 50 * common::kMilli)));
+    w.cv.wait_for(lock, std::chrono::nanoseconds(remaining));
   }
 }
 

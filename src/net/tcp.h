@@ -28,10 +28,12 @@
 // host:port endpoints.  Each endpoint keeps a small set of connections and
 // **pipelines** up to Options::max_pipeline concurrent calls on each one,
 // correlating responses by the wire header's request id (responses may
-// arrive out of order).  Waiting callers share the receive side
-// leader/follower style: one caller reads frames and hands each to its
-// waiter; when it completes (or its deadline expires) another waiter takes
-// over the read.  The channel enforces a per-call deadline, retries refused
+// arrive out of order).  The receive side is event-driven: every pooled
+// connection is registered with the channel's net::Reactor, whose single
+// thread drains readable sockets (one recv sweep per readable socket, so a
+// pipelined burst of N responses costs one syscall, not N) and completes
+// each response's waiter by request id — waking only the owning caller,
+// never the whole pool.  The channel enforces a per-call deadline, retries refused
 // connects a bounded number of times with exponential backoff, and surfaces
 // failures exactly like the in-process transport does — kUnavailable for
 // unreachable/dead peers, kTimeout for an expired deadline, kCorruption for
@@ -64,6 +66,7 @@
 #include "net/dedup.h"
 #include "net/fault.h"
 #include "net/notify.h"
+#include "net/reactor.h"
 #include "net/rpc.h"
 #include "net/wire.h"
 
@@ -89,6 +92,15 @@ bool IsSelfConnected(int fd);
 // ---------------------------------------------------------------------------
 // Server
 // ---------------------------------------------------------------------------
+
+// Event-loop implementation behind TcpServer (docs/NET.md "I/O backends").
+// kUring requires a kernel with io_uring and a build with LOCO_IOURING; when
+// either is missing the server silently runs the epoll loop instead (the
+// rpc.tcp_server.uring.fallbacks counter records it).
+enum class IoBackend {
+  kEpoll,
+  kUring,
+};
 
 class TcpServer : public Notifier {
  public:
@@ -127,6 +139,10 @@ class TcpServer : public Notifier {
     // server Stop() — shutdown is not a client crash.
     std::function<void(std::uint64_t client_id)> on_notify_disconnect;
     std::function<void(std::uint64_t client_id)> on_client_disconnect;
+    // Event-loop backend (daemons expose this as --io-backend).  Dispatch,
+    // worker pool, response ordering, buffer arena, and the notify plane are
+    // shared; only the readiness/accept/recv machinery differs.
+    IoBackend io_backend = IoBackend::kEpoll;
   };
 
   explicit TcpServer(RpcHandler* handler) : TcpServer(handler, Options{}) {}
@@ -158,6 +174,10 @@ class TcpServer : public Notifier {
   std::uint16_t port() const noexcept { return port_; }
   const std::string& host() const noexcept { return options_.host; }
   int workers() const noexcept { return options_.workers; }
+  // The backend actually serving (post-fallback): "epoll" or "uring".
+  const char* io_backend_name() const noexcept {
+    return uring_active_ ? "uring" : "epoll";
+  }
   // Requests executed by the handler so far (tests / daemon stats).
   std::uint64_t requests_served() const noexcept {
     return requests_.load(std::memory_order_relaxed);
@@ -165,13 +185,16 @@ class TcpServer : public Notifier {
 
  private:
   struct Conn;
-  // One decoded request headed for the worker pool.
+  // One decoded request headed for the worker pool.  The payload is a view
+  // into the connection's receive arena; `pin` keeps the backing chunk alive
+  // until the worker finishes (zero-copy decode, docs/NET.md).
   struct Work {
     std::uint64_t conn_id = 0;
     std::uint64_t seq = 0;  // per-connection decode order
     std::uint64_t client_id = 0;  // from the connection's hello; 0 = unknown
     wire::FrameHeader header;
-    std::string payload;
+    std::string_view payload;
+    std::shared_ptr<const std::string> pin;
     common::Nanos delay_ns = 0;  // injected stall before service
   };
   // One encoded response headed back to the loop thread.
@@ -188,6 +211,10 @@ class TcpServer : public Notifier {
   };
 
   void Loop();
+  // io_uring event loop: multishot accept, per-connection re-armed recv into
+  // registered buffers, one-shot POLLOUT arming for pending output.  Shares
+  // DrainFrames / FlushWrites / worker delivery / notify drain with Loop().
+  void UringLoop();
   void WorkerMain(std::size_t index);
   // Run the handler for one request: metrics, execution, extra_service_ns
   // charge, response encoding.  The frame is encoded into `buf` (cleared
@@ -201,7 +228,7 @@ class TcpServer : public Notifier {
   bool DrainFrames(Conn* conn);
   // Answer a kCtlHello inline on the loop thread (negotiation must precede
   // any dispatch) and register the notify session when granted.
-  bool HandleHello(Conn* conn, const wire::Frame& frame);
+  bool HandleHello(Conn* conn, const wire::PinnedFrame& frame);
   // Flush pending response bytes; returns false on a dead peer.
   bool FlushWrites(Conn* conn);
   // Queue one encoded response on `conn`, applying the injected short-write
@@ -242,8 +269,11 @@ class TcpServer : public Notifier {
   RpcHandler* handler_;
   Options options_;
   int listen_fd_ = -1;
-  int epoll_fd_ = -1;
-  int wake_fds_[2] = {-1, -1};  // self-pipe: Stop()/workers wake the epoll loop
+  int epoll_fd_ = -1;  // epoll backend only (-1 under uring)
+  // io_uring backend (forward-declared; null under epoll or after fallback).
+  std::unique_ptr<class UringState> uring_state_;
+  bool uring_active_ = false;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: Stop()/workers wake the event loop
   std::thread thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
@@ -282,6 +312,14 @@ class TcpServer : public Notifier {
   common::Counter* bufpool_allocs_ =
       &common::MetricsRegistry::Default().GetCounter(
           "rpc.tcp_server.bufpool.allocs");
+  // Requests whose payload was dispatched as a view pinned into the receive
+  // arena (no decode-time copy); .copies counts the chunk-straddlers.
+  common::Counter* zerocopy_hits_ =
+      &common::MetricsRegistry::Default().GetCounter(
+          "rpc.tcp_server.bufpool.zerocopy_hits");
+  common::Counter* zerocopy_copies_ =
+      &common::MetricsRegistry::Default().GetCounter(
+          "rpc.tcp_server.bufpool.zerocopy_copies");
 
   common::RpcMetricsTable metrics_{&common::MetricsRegistry::Default(),
                                    "tcp_server", "wall_ns"};
@@ -356,12 +394,18 @@ class TcpChannel final : public Channel {
   // wrap / id-reuse window without issuing 2^64 calls).
   void SetNextRequestIdForTest(NodeId server, std::uint64_t value);
 
+  // The channel's I/O reactor (core::Connect hands it to the NotifyListener
+  // so the whole mount shares one event thread).
+  Reactor& reactor() noexcept { return reactor_; }
+
  private:
-  // One caller blocked on a pipelined response.
+  // One caller blocked on a pipelined response.  Each waiter has its own
+  // condition variable so the reactor wakes exactly the owning caller.
   struct Waiter {
     wire::Frame frame;
     bool done = false;
     ErrCode fail = ErrCode::kOk;
+    std::condition_variable cv;  // paired with the connection's mu
   };
 
   // A connection multiplexing many concurrent calls.  Shared by reference
@@ -376,9 +420,8 @@ class TcpChannel final : public Channel {
     std::atomic<bool> dead{false};       // failed; skipped and pruned
     std::atomic<std::uint32_t> inflight{0};  // reservations (load balancing)
     std::mutex write_mu;  // serializes request bytes onto the socket
-    std::mutex mu;        // guards everything below
-    std::condition_variable cv;
-    wire::FrameReader reader;  // touched only by the active reader
+    std::mutex mu;        // guards everything below (except `reader`)
+    wire::FrameReader reader;  // reactor thread only
     std::unordered_map<std::uint64_t, Waiter*> waiting;
     // Request ids whose caller timed out while the request was still
     // outstanding on the wire.  The server WILL answer them eventually; until
@@ -387,7 +430,10 @@ class TcpChannel final : public Channel {
     // complete the new call.  Ids leave the set when their response shows up
     // or the connection dies.
     std::unordered_set<std::uint64_t> abandoned;
-    bool reader_active = false;  // some waiter is blocked in recv
+    // DisconnectAll dropped this conn from the endpoint pool while calls were
+    // in flight: the reactor keeps reading until the last waiter is answered,
+    // then drops its (final) reference.
+    bool orphaned = false;
     ErrCode broken = ErrCode::kOk;  // terminal failure code
   };
 
@@ -422,10 +468,14 @@ class TcpChannel final : public Channel {
   // response complete the *new* call.
   RegisterResult RegisterWaiter(PipeConn& conn, std::uint64_t request_id,
                                 Waiter* w);
-  // Block until `w` completes or `deadline_abs` passes, acting as the
-  // connection's frame reader whenever no other waiter is.
+  // Block until `w` completes or `deadline_abs` passes.  Completion arrives
+  // from the reactor thread, which reads frames and signals the waiter's cv.
   void AwaitWaiter(PipeConn& conn, std::uint64_t request_id, Waiter& w,
                    common::Nanos deadline_abs);
+  // Reactor callback: drain the socket, dispatch complete response frames to
+  // their waiters by request id.  Returns false (deregister) when the
+  // connection died or an orphaned connection ran out of waiters.
+  bool OnReadable(const std::shared_ptr<PipeConn>& conn);
   // Mint the next request id for `ep`, skipping 0 (reserved for the hello).
   static std::uint64_t NextRequestId(Endpoint& ep);
   // Mark the connection dead and fail every registered waiter (conn.mu held).
@@ -437,6 +487,12 @@ class TcpChannel final : public Channel {
                                    "tcp", "wall_ns"};
   // Waiters outstanding on the connection at each call issue (docs/METRICS.md).
   common::LatencyHistogram* pipeline_depth_;
+  // Response frames the reactor matched to a waiter (docs/METRICS.md).
+  common::Counter* reactor_frames_ =
+      &common::MetricsRegistry::Default().GetCounter("rpc.tcp.reactor.frames");
+  // Declared last so it is destroyed first: joining the reactor thread before
+  // any other member dies guarantees no callback touches a dead channel.
+  Reactor reactor_;
 };
 
 }  // namespace loco::net

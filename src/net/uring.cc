@@ -1,0 +1,246 @@
+#include "net/uring.h"
+
+#if defined(LOCO_IOURING) && defined(__linux__) && \
+    __has_include(<linux/io_uring.h>)
+#define LOCO_URING_IMPL 1
+#endif
+
+#if defined(LOCO_URING_IMPL)
+
+#include <linux/io_uring.h>
+#include <poll.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace loco::net::uring {
+
+namespace {
+
+int SysSetup(unsigned entries, struct io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int SysEnter(int fd, unsigned to_submit, unsigned min_complete,
+             unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+
+int SysRegister(int fd, unsigned opcode, const void* arg, unsigned nr_args) {
+  return static_cast<int>(
+      ::syscall(__NR_io_uring_register, fd, opcode, arg, nr_args));
+}
+
+}  // namespace
+
+bool Supported() {
+  static const bool ok = [] {
+    struct io_uring_params p {};
+    const int fd = SysSetup(4, &p);
+    if (fd < 0) return false;
+    ::close(fd);
+    return true;
+  }();
+  return ok;
+}
+
+bool CqeHasMore(const Cqe& cqe) { return (cqe.flags & IORING_CQE_F_MORE) != 0; }
+
+Ring::~Ring() { Close(); }
+
+bool Ring::Init(unsigned entries) {
+  struct io_uring_params p {};
+  ring_fd_ = SysSetup(entries, &p);
+  if (ring_fd_ < 0) {
+    ring_fd_ = -1;
+    return false;
+  }
+  const bool single_mmap = (p.features & IORING_FEAT_SINGLE_MMAP) != 0;
+  sq_ring_bytes_ = p.sq_off.array + p.sq_entries * sizeof(unsigned);
+  cq_ring_bytes_ = p.cq_off.cqes + p.cq_entries * sizeof(struct io_uring_cqe);
+  if (single_mmap) {
+    sq_ring_bytes_ = cq_ring_bytes_ = std::max(sq_ring_bytes_, cq_ring_bytes_);
+  }
+  sq_ring_ = ::mmap(nullptr, sq_ring_bytes_, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+  if (sq_ring_ == MAP_FAILED) {
+    sq_ring_ = nullptr;
+    Close();
+    return false;
+  }
+  if (single_mmap) {
+    cq_ring_ = sq_ring_;
+  } else {
+    cq_ring_ = ::mmap(nullptr, cq_ring_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_CQ_RING);
+    if (cq_ring_ == MAP_FAILED) {
+      cq_ring_ = nullptr;
+      Close();
+      return false;
+    }
+  }
+  sqes_bytes_ = p.sq_entries * sizeof(struct io_uring_sqe);
+  sqes_ = ::mmap(nullptr, sqes_bytes_, PROT_READ | PROT_WRITE,
+                 MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES);
+  if (sqes_ == MAP_FAILED) {
+    sqes_ = nullptr;
+    Close();
+    return false;
+  }
+  auto* sq = static_cast<char*>(sq_ring_);
+  sq_head_ = reinterpret_cast<unsigned*>(sq + p.sq_off.head);
+  sq_tail_ = reinterpret_cast<unsigned*>(sq + p.sq_off.tail);
+  sq_mask_ = *reinterpret_cast<unsigned*>(sq + p.sq_off.ring_mask);
+  sq_array_ = reinterpret_cast<unsigned*>(sq + p.sq_off.array);
+  sq_entries_ = p.sq_entries;
+  sq_tail_local_ = *sq_tail_;
+  auto* cq = static_cast<char*>(cq_ring_);
+  cq_head_ = reinterpret_cast<unsigned*>(cq + p.cq_off.head);
+  cq_tail_ = reinterpret_cast<unsigned*>(cq + p.cq_off.tail);
+  cq_mask_ = *reinterpret_cast<unsigned*>(cq + p.cq_off.ring_mask);
+  cqes_ = cq + p.cq_off.cqes;
+  return true;
+}
+
+void Ring::Close() {
+  if (sqes_ != nullptr) ::munmap(sqes_, sqes_bytes_);
+  if (cq_ring_ != nullptr && cq_ring_ != sq_ring_) {
+    ::munmap(cq_ring_, cq_ring_bytes_);
+  }
+  if (sq_ring_ != nullptr) ::munmap(sq_ring_, sq_ring_bytes_);
+  sqes_ = nullptr;
+  cq_ring_ = nullptr;
+  sq_ring_ = nullptr;
+  if (ring_fd_ >= 0) ::close(ring_fd_);
+  ring_fd_ = -1;
+}
+
+bool Ring::RegisterBuffers(const struct ::iovec* iovs, unsigned n) {
+  return valid() && SysRegister(ring_fd_, IORING_REGISTER_BUFFERS, iovs, n) == 0;
+}
+
+void* Ring::NextSqe() {
+  const unsigned head = __atomic_load_n(sq_head_, __ATOMIC_ACQUIRE);
+  if (sq_tail_local_ - head >= sq_entries_) return nullptr;  // SQ full
+  auto* sqe = &static_cast<struct io_uring_sqe*>(sqes_)[sq_tail_local_ &
+                                                        sq_mask_];
+  std::memset(sqe, 0, sizeof(*sqe));
+  sq_array_[sq_tail_local_ & sq_mask_] = sq_tail_local_ & sq_mask_;
+  ++sq_tail_local_;
+  ++to_submit_;
+  return sqe;
+}
+
+bool Ring::PrepAcceptMultishot(int fd, std::uint64_t user_data) {
+  auto* sqe = static_cast<struct io_uring_sqe*>(NextSqe());
+  if (sqe == nullptr) return false;
+  sqe->opcode = IORING_OP_ACCEPT;
+  sqe->fd = fd;
+  sqe->ioprio = IORING_ACCEPT_MULTISHOT;
+  sqe->accept_flags = SOCK_NONBLOCK | SOCK_CLOEXEC;
+  sqe->user_data = user_data;
+  return true;
+}
+
+bool Ring::PrepRecv(int fd, void* buf, std::size_t len,
+                    std::uint64_t user_data) {
+  auto* sqe = static_cast<struct io_uring_sqe*>(NextSqe());
+  if (sqe == nullptr) return false;
+  sqe->opcode = IORING_OP_RECV;
+  sqe->fd = fd;
+  sqe->addr = reinterpret_cast<std::uint64_t>(buf);
+  sqe->len = static_cast<std::uint32_t>(len);
+  sqe->user_data = user_data;
+  return true;
+}
+
+bool Ring::PrepReadFixed(int fd, void* buf, std::size_t len,
+                         unsigned buf_index, std::uint64_t user_data) {
+  auto* sqe = static_cast<struct io_uring_sqe*>(NextSqe());
+  if (sqe == nullptr) return false;
+  sqe->opcode = IORING_OP_READ_FIXED;
+  sqe->fd = fd;
+  sqe->addr = reinterpret_cast<std::uint64_t>(buf);
+  sqe->len = static_cast<std::uint32_t>(len);
+  sqe->buf_index = static_cast<std::uint16_t>(buf_index);
+  sqe->user_data = user_data;
+  return true;
+}
+
+bool Ring::PrepRead(int fd, void* buf, std::size_t len,
+                    std::uint64_t user_data) {
+  auto* sqe = static_cast<struct io_uring_sqe*>(NextSqe());
+  if (sqe == nullptr) return false;
+  sqe->opcode = IORING_OP_READ;
+  sqe->fd = fd;
+  sqe->addr = reinterpret_cast<std::uint64_t>(buf);
+  sqe->len = static_cast<std::uint32_t>(len);
+  sqe->user_data = user_data;
+  return true;
+}
+
+bool Ring::PrepPollOutOneshot(int fd, std::uint64_t user_data) {
+  auto* sqe = static_cast<struct io_uring_sqe*>(NextSqe());
+  if (sqe == nullptr) return false;
+  sqe->opcode = IORING_OP_POLL_ADD;
+  sqe->fd = fd;
+  sqe->poll_events = POLLOUT | POLLERR | POLLHUP;
+  sqe->user_data = user_data;
+  return true;
+}
+
+int Ring::SubmitAndWait(bool wait_for_one) {
+  __atomic_store_n(sq_tail_, sq_tail_local_, __ATOMIC_RELEASE);
+  const unsigned flags = wait_for_one ? IORING_ENTER_GETEVENTS : 0;
+  const int rc =
+      SysEnter(ring_fd_, to_submit_, wait_for_one ? 1 : 0, flags);
+  if (rc >= 0) {
+    to_submit_ -= std::min(to_submit_, static_cast<unsigned>(rc));
+  }
+  return rc;
+}
+
+bool Ring::PopCqe(Cqe* out) {
+  const unsigned head = *cq_head_;  // single consumer: plain read of our index
+  const unsigned tail = __atomic_load_n(cq_tail_, __ATOMIC_ACQUIRE);
+  if (head == tail) return false;
+  const auto* cqe =
+      &static_cast<const struct io_uring_cqe*>(cqes_)[head & cq_mask_];
+  out->user_data = cqe->user_data;
+  out->res = cqe->res;
+  out->flags = cqe->flags;
+  __atomic_store_n(cq_head_, head + 1, __ATOMIC_RELEASE);
+  return true;
+}
+
+}  // namespace loco::net::uring
+
+#else  // !LOCO_URING_IMPL — stub: the uring backend reports unsupported.
+
+namespace loco::net::uring {
+
+bool Supported() { return false; }
+bool CqeHasMore(const Cqe&) { return false; }
+Ring::~Ring() = default;
+bool Ring::Init(unsigned) { return false; }
+void Ring::Close() {}
+bool Ring::RegisterBuffers(const struct ::iovec*, unsigned) { return false; }
+bool Ring::PrepAcceptMultishot(int, std::uint64_t) { return false; }
+bool Ring::PrepRecv(int, void*, std::size_t, std::uint64_t) { return false; }
+bool Ring::PrepReadFixed(int, void*, std::size_t, unsigned, std::uint64_t) {
+  return false;
+}
+bool Ring::PrepRead(int, void*, std::size_t, std::uint64_t) { return false; }
+bool Ring::PrepPollOutOneshot(int, std::uint64_t) { return false; }
+int Ring::SubmitAndWait(bool) { return -1; }
+bool Ring::PopCqe(Cqe*) { return false; }
+
+}  // namespace loco::net::uring
+
+#endif  // LOCO_URING_IMPL

@@ -1,0 +1,98 @@
+// Minimal raw-syscall io_uring shim (docs/NET.md "I/O backends").
+//
+// The container has no liburing, so this wraps the three io_uring syscalls
+// (setup / enter / register) and the mmap'd submission + completion rings
+// directly, exposing just what the TcpServer uring backend needs: multishot
+// accept, (re-armed) socket recv into registered buffers, one-shot POLLOUT
+// arming, and a pipe read for cross-thread wakeups.  Compiled to stubs —
+// Supported() == false, Init() fails — when the build disables LOCO_IOURING
+// or <linux/io_uring.h> is absent, so callers need no #ifdefs: selecting the
+// uring backend simply falls back to epoll.
+//
+// Single-threaded by design: one Ring belongs to one event-loop thread (the
+// only cross-thread signal is the wake pipe, which is itself an armed read).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+struct iovec;
+
+namespace loco::net::uring {
+
+// True when the running kernel accepts io_uring_setup (the syscall may be
+// compiled out, seccomp-filtered, or predate the opcodes we use).
+bool Supported();
+
+// One harvested completion (copied out of the CQ ring).
+struct Cqe {
+  std::uint64_t user_data = 0;
+  std::int32_t res = 0;
+  std::uint32_t flags = 0;
+};
+
+// True when the kernel will post further completions for the same
+// (multishot) submission.
+bool CqeHasMore(const Cqe& cqe);
+
+class Ring {
+ public:
+  Ring() = default;
+  ~Ring();
+  Ring(const Ring&) = delete;
+  Ring& operator=(const Ring&) = delete;
+
+  // Create the ring and map the SQ/CQ rings and SQE array.  False when the
+  // kernel lacks io_uring (callers fall back to epoll).
+  bool Init(unsigned entries);
+  void Close();
+  bool valid() const noexcept { return ring_fd_ >= 0; }
+
+  // Register a table of fixed buffers for PrepReadFixed (index = position in
+  // `iovs`).  Call once, before any submission.
+  bool RegisterBuffers(const struct ::iovec* iovs, unsigned n);
+
+  // SQE preparation.  Each returns false when the submission queue is full
+  // (SubmitAndWait(0) flushes it).  Nothing reaches the kernel until
+  // SubmitAndWait.
+  bool PrepAcceptMultishot(int fd, std::uint64_t user_data);
+  bool PrepRecv(int fd, void* buf, std::size_t len, std::uint64_t user_data);
+  bool PrepReadFixed(int fd, void* buf, std::size_t len, unsigned buf_index,
+                     std::uint64_t user_data);
+  bool PrepRead(int fd, void* buf, std::size_t len, std::uint64_t user_data);
+  bool PrepPollOutOneshot(int fd, std::uint64_t user_data);
+
+  // Publish queued SQEs and (when wait_for_one) block until at least one
+  // completion is pending.  Returns the number of SQEs consumed, or -1 with
+  // errno set (EINTR is the caller's retry signal).
+  int SubmitAndWait(bool wait_for_one);
+
+  // Harvest one completion; false when the CQ is empty.
+  bool PopCqe(Cqe* out);
+
+ private:
+  void* NextSqe();  // zeroed SQE slot or nullptr when the SQ is full
+
+  int ring_fd_ = -1;
+  void* sq_ring_ = nullptr;
+  std::size_t sq_ring_bytes_ = 0;
+  void* cq_ring_ = nullptr;  // == sq_ring_ on IORING_FEAT_SINGLE_MMAP kernels
+  std::size_t cq_ring_bytes_ = 0;
+  void* sqes_ = nullptr;
+  std::size_t sqes_bytes_ = 0;
+
+  unsigned* sq_head_ = nullptr;   // kernel-written consumer index
+  unsigned* sq_tail_ = nullptr;   // our producer index (store-release)
+  unsigned* sq_array_ = nullptr;  // index indirection array
+  unsigned sq_mask_ = 0;
+  unsigned sq_entries_ = 0;
+  unsigned sq_tail_local_ = 0;  // unpublished tail
+  unsigned to_submit_ = 0;
+
+  unsigned* cq_head_ = nullptr;  // our consumer index (store-release)
+  unsigned* cq_tail_ = nullptr;  // kernel-written producer index
+  unsigned cq_mask_ = 0;
+  void* cqes_ = nullptr;
+};
+
+}  // namespace loco::net::uring

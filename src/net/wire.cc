@@ -1,5 +1,8 @@
 #include "net/wire.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "common/codec.h"
 
 namespace loco::net::wire {
@@ -205,6 +208,155 @@ std::optional<Frame> FrameReader::Next() {
     buf_.erase(0, pos_);
     pos_ = 0;
   }
+  return frame;
+}
+
+// ---------------------------------------------------------------------------
+// PinnedFrameReader
+// ---------------------------------------------------------------------------
+
+namespace {
+// Retired-but-pinned chunks kept waiting for their handlers; beyond this the
+// oldest is simply dropped (its pins still own it via shared_ptr).
+constexpr std::size_t kMaxPooledChunks = 8;
+}  // namespace
+
+PinnedFrameReader::PinnedFrameReader(std::uint32_t max_payload,
+                                     std::size_t chunk_bytes)
+    : max_payload_(max_payload),
+      chunk_bytes_(chunk_bytes < kHeaderBytes ? kHeaderBytes : chunk_bytes) {}
+
+PinnedFrameReader::Chunk PinnedFrameReader::MakeChunk() {
+  Chunk chunk;
+  // Reuse a retired chunk only once every pinned frame in it is gone; the
+  // data pointer must stay stable, so the string is sized once and only the
+  // side `size` counter tracks valid bytes from then on.
+  for (auto it = pool_.begin(); it != pool_.end(); ++it) {
+    if (it->use_count() == 1) {
+      chunk.buf = std::move(*it);
+      pool_.erase(it);
+      return chunk;
+    }
+  }
+  chunk.buf = std::make_shared<std::string>();
+  chunk.buf->resize(chunk_bytes_);
+  return chunk;
+}
+
+void PinnedFrameReader::PopFrontIfExhausted() {
+  while (!chunks_.empty() && read_off_ == chunks_.front().size &&
+         (chunks_.size() > 1 || chunks_.front().size == chunk_bytes_)) {
+    if (pool_.size() < kMaxPooledChunks) {
+      pool_.push_back(std::move(chunks_.front().buf));
+    }
+    chunks_.pop_front();
+    read_off_ = 0;
+  }
+}
+
+char* PinnedFrameReader::RecvInto(std::size_t min_bytes, std::size_t* capacity) {
+  if (min_bytes > chunk_bytes_) min_bytes = chunk_bytes_;
+  if (chunks_.empty() || chunk_bytes_ - chunks_.back().size < min_bytes) {
+    chunks_.push_back(MakeChunk());
+  }
+  Chunk& back = chunks_.back();
+  *capacity = chunk_bytes_ - back.size;
+  return back.buf->data() + back.size;
+}
+
+void PinnedFrameReader::Commit(std::size_t n) {
+  chunks_.back().size += n;
+  buffered_ += n;
+}
+
+void PinnedFrameReader::Append(std::string_view bytes) {
+  while (!bytes.empty()) {
+    std::size_t capacity = 0;
+    char* dst = RecvInto(1, &capacity);
+    const std::size_t n = bytes.size() < capacity ? bytes.size() : capacity;
+    std::memcpy(dst, bytes.data(), n);
+    Commit(n);
+    bytes.remove_prefix(n);
+  }
+}
+
+void PinnedFrameReader::CopyOut(std::size_t n, char* out) {
+  while (n > 0) {
+    Chunk& front = chunks_.front();
+    const std::size_t avail = front.size - read_off_;
+    const std::size_t take = n < avail ? n : avail;
+    std::memcpy(out, front.buf->data() + read_off_, take);
+    out += take;
+    read_off_ += take;
+    buffered_ -= take;
+    n -= take;
+    PopFrontIfExhausted();
+  }
+}
+
+std::optional<PinnedFrame> PinnedFrameReader::Next() {
+  if (!status_.ok()) return std::nullopt;
+  if (buffered_ < kHeaderBytes) return std::nullopt;
+  // Decode the header without consuming: view it in place when the front
+  // chunk holds all 29 bytes, else peek through a stack copy.
+  FrameHeader header;
+  char scratch[kHeaderBytes];
+  std::string_view header_bytes;
+  const Chunk& front = chunks_.front();
+  if (front.size - read_off_ >= kHeaderBytes) {
+    header_bytes = std::string_view(front.buf->data() + read_off_, kHeaderBytes);
+  } else {
+    std::size_t copied = 0;
+    std::size_t off = read_off_;
+    for (auto it = chunks_.begin(); it != chunks_.end() && copied < kHeaderBytes;
+         ++it) {
+      const std::size_t take =
+          std::min(kHeaderBytes - copied, it->size - off);
+      std::memcpy(scratch + copied, it->buf->data() + off, take);
+      copied += take;
+      off = 0;
+    }
+    header_bytes = std::string_view(scratch, kHeaderBytes);
+  }
+  status_ = DecodeHeader(header_bytes, &header);
+  if (!status_.ok()) return std::nullopt;
+  if (header.payload_len > max_payload_) {
+    status_ = ErrStatus(ErrCode::kCorruption, "frame payload over cap");
+    return std::nullopt;
+  }
+  if (buffered_ < kHeaderBytes + header.payload_len) return std::nullopt;
+
+  PinnedFrame frame;
+  frame.header = header;
+  // Consume the header, then serve the payload in place when one chunk holds
+  // it all — the hot path: recv() landed the frame contiguously, and the
+  // handler reads the very bytes the kernel wrote.
+  char discard[kHeaderBytes];
+  CopyOut(kHeaderBytes, discard);
+  if (header.payload_len == 0) {
+    frame.zero_copy = true;
+    ++zero_copy_frames_;
+    return frame;
+  }
+  Chunk& pfront = chunks_.front();
+  if (pfront.size - read_off_ >= header.payload_len) {
+    frame.payload =
+        std::string_view(pfront.buf->data() + read_off_, header.payload_len);
+    frame.pin = pfront.buf;
+    frame.zero_copy = true;
+    ++zero_copy_frames_;
+    read_off_ += header.payload_len;
+    buffered_ -= header.payload_len;
+    PopFrontIfExhausted();
+    return frame;
+  }
+  auto assembled = std::make_shared<std::string>();
+  assembled->resize(header.payload_len);
+  CopyOut(header.payload_len, assembled->data());
+  frame.payload = std::string_view(*assembled);
+  frame.pin = std::move(assembled);
+  frame.zero_copy = false;
+  ++assembled_frames_;
   return frame;
 }
 

@@ -37,6 +37,8 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -141,6 +143,75 @@ class FrameReader {
   std::uint32_t max_payload_;
   std::string buf_;
   std::size_t pos_ = 0;
+  Status status_;
+};
+
+// One decoded frame whose payload is a view into the reader's refcounted
+// receive arena.  `payload` stays valid while `pin` is held, so a handler —
+// even one running on a worker thread after the reader has moved on — reads
+// the request bytes in place.  zero_copy is false only when the frame
+// straddled a chunk boundary and had to be assembled (one copy).
+struct PinnedFrame {
+  FrameHeader header;
+  std::string_view payload;
+  std::shared_ptr<const std::string> pin;
+  bool zero_copy = false;
+};
+
+// Incremental frame extractor without FrameReader's per-payload copy.  Bytes
+// land directly in refcounted arena chunks — either received in place
+// (RecvInto/Commit) or appended by transports that must receive elsewhere
+// (io_uring registered buffers) — and Next() yields payload views pinned
+// into those chunks.  A chunk returns to the internal pool once the reader
+// has consumed it and every handler has dropped its pin (use_count == 1),
+// so steady-state traffic recycles a handful of chunks with no allocation.
+// Same latching error contract as FrameReader: the first framing violation
+// poisons the stream and the connection must be dropped.
+//
+// Single-threaded: one owner drives RecvInto/Commit/Append/Next.  Only the
+// pins it hands out may cross threads.
+class PinnedFrameReader {
+ public:
+  explicit PinnedFrameReader(std::uint32_t max_payload = kMaxPayloadBytes,
+                             std::size_t chunk_bytes = 64u << 10);
+
+  // Zero-copy receive: a writable region of at least min(min_bytes,
+  // chunk_bytes) bytes — the tail of the current chunk, or a fresh chunk.
+  // The pointer is stable until Commit (chunks never reallocate).
+  char* RecvInto(std::size_t min_bytes, std::size_t* capacity);
+  // Publish `n` bytes received into the last RecvInto region.
+  void Commit(std::size_t n);
+  // Copy path: append bytes received in a foreign buffer.  Decode stays
+  // view-based; only this ingest copies.
+  void Append(std::string_view bytes);
+
+  std::optional<PinnedFrame> Next();
+
+  const Status& status() const noexcept { return status_; }
+  // Bytes received but not yet consumed by a completed frame.
+  std::size_t buffered() const noexcept { return buffered_; }
+  // Frames whose payload was served in place / had to be assembled.
+  std::uint64_t zero_copy_frames() const noexcept { return zero_copy_frames_; }
+  std::uint64_t assembled_frames() const noexcept { return assembled_frames_; }
+
+ private:
+  struct Chunk {
+    std::shared_ptr<std::string> buf;  // preallocated to chunk_bytes
+    std::size_t size = 0;              // valid bytes (never buf->resize'd)
+  };
+
+  Chunk MakeChunk();               // pooled when a retired chunk is unpinned
+  void PopFrontIfExhausted();      // retire a fully-consumed front chunk
+  void CopyOut(std::size_t n, char* out);  // copy+consume across chunks
+
+  std::uint32_t max_payload_;
+  std::size_t chunk_bytes_;
+  std::deque<Chunk> chunks_;
+  std::size_t read_off_ = 0;  // into chunks_.front()
+  std::size_t buffered_ = 0;
+  std::vector<std::shared_ptr<std::string>> pool_;
+  std::uint64_t zero_copy_frames_ = 0;
+  std::uint64_t assembled_frames_ = 0;
   Status status_;
 };
 

@@ -77,6 +77,25 @@ TEST(SessionTableTest, TouchRenewsEverySessionOfClient) {
   EXPECT_FALSE(table.HasLiveSession(kDirA, "h", kTtl + 1));
 }
 
+TEST(SessionTableTest, LazyRenewalSurvivesClosingASiblingSession) {
+  // Touch records one last-seen instant per client instead of walking its
+  // sessions; closing one session must not discard the renewal the others
+  // still rely on — only the client's *last* close may.
+  SessionTable table(SmallTable());
+  ASSERT_TRUE(table.Open(kDirA, "f", 1, false, 0));
+  ASSERT_TRUE(table.Open(kDirB, "g", 1, false, 0));
+  table.Touch(1, 900);
+  ASSERT_TRUE(table.Close(kDirA, "f", 1));
+  // "g" was renewed at 900 and is still live past its open-based expiry.
+  EXPECT_TRUE(table.HasLiveSession(kDirB, "g", kTtl + 1));
+  EXPECT_EQ(table.SweepExpired(kTtl + 1), 0u);
+  // After the last session closes, a fresh open expires on its own term.
+  ASSERT_TRUE(table.Close(kDirB, "g", 1));
+  ASSERT_TRUE(table.Open(kDirA, "h", 1, false, 2 * kTtl));
+  EXPECT_TRUE(table.HasLiveSession(kDirA, "h", 3 * kTtl - 1));
+  EXPECT_FALSE(table.HasLiveSession(kDirA, "h", 3 * kTtl + 1));
+}
+
 TEST(SessionTableTest, DropClientDropsOnlyThatClient) {
   SessionTable table(SmallTable());
   ASSERT_TRUE(table.Open(kDirA, "f", 1, false, 0));

@@ -25,6 +25,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -361,6 +362,91 @@ TEST(ChaosTest, BatchCreateStormKillRestartFsckClean) {
         return true;
       })) << "StatMany after restart";
     }
+  }
+
+  EXPECT_EQ(cluster.RunFsck(/*repair=*/false), 0);
+}
+
+TEST(ChaosTest, BatchMkdirAndPutStormKillRestartFsckClean) {
+  // The PR-8 batch opcodes under the kill/restart/fsck discipline:
+  // kDmsBatchMkdir trees (MkdirMany) and the two-phase small-file ingest
+  // (PutMany: kFmsBatchSetSize then kObjBatchPut), with the OSD SIGKILLed
+  // mid-storm.  All three opcodes sit in the idempotent-replay set, so the
+  // resilient channel's retries must apply exactly once; acknowledged
+  // sub-ops must survive the crash; fsck must end clean.
+  ChaosCluster cluster("batchmk");
+  if (!cluster.BinariesPresent()) {
+    GTEST_SKIP() << "daemon or loco_fsck binaries not built";
+  }
+  ASSERT_TRUE(cluster.StartAll());
+
+  auto deployment = cluster.Connect();
+  ASSERT_TRUE(deployment.ok()) << deployment.status().ToString();
+  auto client = deployment->MakeClient(WallClockNs);
+  client->SetIdentity(fs::Identity{1000, 1000});
+  auto* loco = static_cast<core::LocoClient*>(client.get());
+
+  std::vector<std::string> committed_dirs;
+  // path -> expected contents, for every acknowledged put.
+  std::vector<std::pair<std::string, std::string>> committed_puts;
+  constexpr int kRounds = 10;
+  constexpr int kKillRound = 4;
+  for (int round = 0; round < kRounds; ++round) {
+    if (round == kKillRound) Kill9(&cluster.osd());
+    // One kDmsBatchMkdir frame materializes a small tree, later entries
+    // depending on earlier siblings.
+    const std::string root = "/bm" + std::to_string(round);
+    const std::vector<std::string> tree = {root, root + "/a", root + "/a/b"};
+    auto mk = net::RunInline(loco->MkdirMany(tree, 0755));
+    if (!mk.ok()) continue;
+    ASSERT_EQ(mk->size(), tree.size());
+    for (std::size_t i = 0; i < tree.size(); ++i) {
+      if ((*mk)[i] == ErrCode::kOk) committed_dirs.push_back(tree[i]);
+    }
+    if ((*mk)[0] != ErrCode::kOk) continue;
+
+    // Create the files per-op, then bulk-load their contents via PutMany.
+    std::vector<core::LocoClient::PutEntry> entries;
+    for (int i = 0; i < 8; ++i) {
+      const std::string name = "p" + std::to_string(i);
+      if (!net::RunInline(client->Create(root + "/" + name, 0644)).ok()) {
+        continue;
+      }
+      entries.push_back(core::LocoClient::PutEntry{
+          name, "round" + std::to_string(round) + "-" + name});
+    }
+    if (entries.empty()) continue;
+    auto put = net::RunInline(loco->PutMany(root, entries));
+    if (!put.ok()) continue;  // OSD down: whole data phase may fail
+    ASSERT_EQ(put->size(), entries.size());
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if ((*put)[i] == ErrCode::kOk) {
+        committed_puts.emplace_back(root + "/" + entries[i].name,
+                                    entries[i].data);
+      }
+    }
+  }
+  ASSERT_FALSE(committed_dirs.empty());
+
+  ASSERT_TRUE(Spawn(&cluster.osd())) << "restart failed";
+  deployment->channel->DisconnectAll();
+  ASSERT_TRUE(Eventually([&] {
+    return net::RunInline(client->Stat("/")).ok();
+  })) << "cluster did not come back";
+  ASSERT_EQ(cluster.RunFsck(/*repair=*/true), 0);
+
+  for (const std::string& dir : committed_dirs) {
+    EXPECT_TRUE(Eventually([&] {
+      return net::RunInline(client->Stat(dir)).ok();
+    })) << dir;
+  }
+  // Every acknowledged put reads back byte-exactly (size from the batched
+  // SetSize, contents from the batched object write).
+  for (const auto& [path, data] : committed_puts) {
+    EXPECT_TRUE(Eventually([&] {
+      auto got = net::RunInline(client->Read(path, 0, data.size() + 16));
+      return got.ok() && *got == data;
+    })) << path;
   }
 
   EXPECT_EQ(cluster.RunFsck(/*repair=*/false), 0);

@@ -423,6 +423,52 @@ TEST(GcSoakTest, ChurnWithKilledClientAndFmsStaysCleanLive) {
   }
 }
 
+TEST(GcSoakTest, ExplicitCloseReleasesSessionsWhileMountStaysConnected) {
+  // LocoClient::Close sends kFmsCloseSession for the implicit session its
+  // Open/Create registered.  The session count under the directory must
+  // drop to zero on Close alone — the mount stays connected (so the
+  // disconnect hook cannot explain it) and the TTL is 60 s (so expiry
+  // cannot either).
+  GcCluster cluster("close");
+  if (!cluster.BinariesPresent()) {
+    GTEST_SKIP() << "daemon or loco_fsck binaries not built";
+  }
+  ASSERT_TRUE(cluster.StartAll());
+
+  auto deployment = cluster.Connect();
+  ASSERT_TRUE(deployment.ok()) << deployment.status().ToString();
+  auto client = deployment->MakeClient(WallClockNs);
+  client->SetIdentity(fs::Identity{1000, 1000});
+
+  ASSERT_TRUE(net::RunInline(client->Mkdir("/closing", 0755)).ok());
+  std::vector<std::string> paths;
+  for (int i = 0; i < 6; ++i) {
+    const std::string path = "/closing/c" + std::to_string(i);
+    ASSERT_TRUE(net::RunInline(client->Create(path, 0644)).ok());
+    paths.push_back(path);
+  }
+  const auto attr = net::RunInline(client->Stat("/closing"));
+  ASSERT_TRUE(attr.ok());
+  const fs::Uuid dir_uuid = attr->uuid;
+
+  AdminPlane admin(cluster);
+  ASSERT_TRUE(Eventually([&] {
+    return admin.SessionsUnder(dir_uuid) == static_cast<int>(paths.size());
+  })) << "creates registered " << admin.SessionsUnder(dir_uuid)
+      << " sessions, expected " << paths.size();
+
+  for (const std::string& path : paths) {
+    ASSERT_TRUE(net::RunInline(client->Close(path)).ok()) << path;
+  }
+  EXPECT_TRUE(Eventually([&] { return admin.SessionsUnder(dir_uuid) == 0; }))
+      << "explicit Close left " << admin.SessionsUnder(dir_uuid)
+      << " sessions registered";
+
+  // The mount is still healthy afterwards: sessions were closed, not the
+  // connection.
+  EXPECT_TRUE(net::RunInline(client->StatFile(paths[0])).ok());
+}
+
 TEST(GcSoakTest, KilledClientsExclusiveSessionIsTakeable) {
   GcCluster cluster("excl");
   if (!cluster.BinariesPresent()) {

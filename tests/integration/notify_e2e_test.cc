@@ -209,6 +209,64 @@ TEST_F(NotifyClusterTest, SeveredStreamFallsBackToLeaseTimeout) {
   EXPECT_LE(WallNow() - t0, 5 * static_cast<std::uint64_t>(common::kSecond));
 }
 
+// Server-side severing: the DMS dies and comes back on the same port.  The
+// listener (riding the mount's shared reactor thread) must notice the dead
+// stream, reconnect with backoff, surface kResync — dropping the client's
+// cached state, since pushes may have been missed — and then deliver pushes
+// on the re-established stream.  Regression for the reactor port of the
+// reconnect path: the old poll-loop listener owned its own descriptors, the
+// reactor one must re-register its stream fd after every reconnect.
+TEST_F(NotifyClusterTest, ServerSeveredStreamReconnectsAndResyncs) {
+  StartCluster();
+  Peer a = MakePeer(BaseOptions());
+  Peer b = MakePeer(BaseOptions());
+  ASSERT_TRUE(Await([&] { return dms_server_->notify_sessions() == 2; }));
+
+  ASSERT_TRUE(net::RunInline(a.client->Mkdir("/d", 0755)).ok());
+  ASSERT_TRUE(net::RunInline(a.client->Create("/d/f", 0644)).ok());
+  ASSERT_GE(a.loco->cache_size(), 1u);
+
+  auto& registry = common::MetricsRegistry::Default();
+  const std::uint64_t reconnects_before =
+      registry.CounterValue("notify.listener.reconnects");
+  const std::uint64_t resyncs_before =
+      registry.CounterValue("notify.listener.resyncs");
+
+  // Kill the DMS incarnation and restart it on the same port (same
+  // in-process stores, so the namespace survives like a daemon restart
+  // from its --store-dir would).
+  const std::uint16_t dms_port = dms_server_->port();
+  dms_server_->Stop();
+  net::TcpServer::Options restart_options;
+  restart_options.port = dms_port;
+  dms_server_ = std::make_unique<net::TcpServer>(&dms_, restart_options);
+  ASSERT_TRUE(dms_server_->Start().ok());
+  dms_.SetNotifier(dms_server_.get());
+
+  // Both listeners reconnect and re-hello; each reconnect is a resync.
+  ASSERT_TRUE(Await([&] { return dms_server_->notify_sessions() == 2; }))
+      << "listeners never re-established their streams";
+  EXPECT_GE(registry.CounterValue("notify.listener.reconnects"),
+            reconnects_before + 2);
+  ASSERT_TRUE(Await([&] {
+    return registry.CounterValue("notify.listener.resyncs") >=
+           resyncs_before + 2;
+  }));
+  // kResync dropped A's cached state (missed pushes are possible).
+  ASSERT_TRUE(Await([&] { return a.loco->cache_size() == 0; }));
+
+  // The re-established stream carries pushes end to end: A re-arms its
+  // lease on /d, B mutates it, and the invalidation lands at A.
+  const std::uint64_t invalidates_before =
+      registry.CounterValue("notify.listener.invalidates");
+  ASSERT_TRUE(net::RunInline(a.client->Stat("/d/f")).ok());
+  ASSERT_TRUE(net::RunInline(b.client->Mkdir("/d/after-sever", 0755)).ok());
+  ASSERT_TRUE(Await([&] {
+    return registry.CounterValue("notify.listener.invalidates") >
+           invalidates_before;
+  })) << "reconnected stream never delivered a push";
+}
+
 // Dropped and duplicated pushes: the client never wedges, never
 // double-applies, and converges — by resync when a later push lands, by
 // lease expiry when none does.

@@ -14,10 +14,14 @@
 #include <gtest/gtest.h>
 
 #include "common/clock.h"
+#include "core/dms.h"
+#include "core/proto.h"
+#include "fs/wire.h"
 #include "net/dedup.h"
 #include "net/fault.h"
 #include "net/resilience.h"
 #include "net/tcp.h"
+#include "net/wire.h"
 
 namespace loco::net {
 namespace {
@@ -249,6 +253,63 @@ TEST(ResilientChannelTest, ExactlyOnceMutationsThroughFaultyTcpServer) {
   EXPECT_EQ(applied.size(), static_cast<std::size_t>(kMutations));
   for (const auto& [payload, count] : applied) {
     EXPECT_EQ(count, 1) << payload << " double-applied";
+  }
+  server.Stop();
+}
+
+TEST(ResilientChannelTest, BatchMkdirRepliesExactlyOnceThroughFaultyServer) {
+  // The batch opcodes ride the same idempotent-replay window as their
+  // per-op forms.  Against a server that duplicates request frames and
+  // tears responses, a retried kDmsBatchMkdir must be replayed from the
+  // dedup cache, not re-applied: a re-applied batch would answer kExists
+  // for every sub-op, which the client would misread as lost directories.
+  auto spec = FaultSpec::Parse("short_write=0.4,dup=0.2,seed=13");
+  ASSERT_TRUE(spec.ok());
+  FaultInjector injector(*spec);
+  DedupWindow dedup(core::proto::IdempotentReplayOps());
+  core::DirectoryMetadataServer dms;
+
+  TcpServer::Options server_options;
+  server_options.fault = &injector;
+  server_options.dedup = &dedup;
+  TcpServer server(&dms, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  TcpChannelOptions channel_options;
+  channel_options.call_deadline_ns = 500 * common::kMilli;
+  channel_options.connect_attempts = 1;
+  TcpChannel tcp(channel_options);
+  tcp.Register(1, server.host(), server.port());
+
+  ResilienceOptions resilience;
+  resilience.max_attempts = 10;
+  resilience.backoff_base_ns = common::kMilli;
+  resilience.backoff_cap_ns = 5 * common::kMilli;
+  resilience.breaker_threshold = 1000;
+  ResilientChannel channel(&tcp, resilience);
+
+  const fs::Identity id{1000, 1000};
+  for (int round = 0; round < 20; ++round) {
+    const std::string root = "/dedup" + std::to_string(round);
+    std::vector<std::string> subops;
+    for (const std::string& path : {root, root + "/x", root + "/x/y"}) {
+      subops.push_back(fs::Pack(path, std::uint32_t{0755}, id,
+                                std::uint64_t{static_cast<std::uint64_t>(
+                                    round + 1)}));
+    }
+    RpcResponse resp;
+    channel.CallAsync(1, core::proto::kDmsBatchMkdir,
+                      wire::EncodeBatchRequest(subops),
+                      [&](RpcResponse r) { resp = std::move(r); });
+    ASSERT_TRUE(resp.ok()) << "round " << round;
+    std::vector<wire::BatchItem> items;
+    ASSERT_TRUE(wire::DecodeBatchResponse(resp.payload, &items));
+    ASSERT_EQ(items.size(), subops.size());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      EXPECT_EQ(items[i].code, ErrCode::kOk)
+          << "round " << round << " sub-op " << i
+          << ": a duplicate delivery was re-applied instead of replayed";
+    }
   }
   server.Stop();
 }

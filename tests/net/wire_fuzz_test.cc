@@ -241,6 +241,49 @@ TEST(WireFuzzTest, BatchRoundTripSurvivesChunkedFraming) {
   }
 }
 
+TEST(WireFuzzTest, ZeroCountBatchEnvelopeIsValidAndEmpty) {
+  // An empty batch is legal on the wire (clients may flush an empty queue);
+  // handlers answer it with an empty response envelope, not an error.  Any
+  // byte beyond the count word, however, disagrees with count=0 and rejects.
+  const std::string req = EncodeBatchRequest({});
+  ASSERT_EQ(req.size(), 4u);
+  std::vector<std::string_view> reqs{std::string_view("stale")};
+  EXPECT_TRUE(DecodeBatchRequest(req, &reqs));
+  EXPECT_TRUE(reqs.empty());
+
+  const std::string resp = EncodeBatchResponse({});
+  std::vector<BatchItem> items{BatchItem{ErrCode::kNotFound, "stale"}};
+  EXPECT_TRUE(DecodeBatchResponse(resp, &items));
+  EXPECT_TRUE(items.empty());
+
+  EXPECT_FALSE(DecodeBatchRequest(req + std::string(1, '\0'), &reqs));
+  EXPECT_FALSE(DecodeBatchResponse(resp + std::string(1, '\0'), &items));
+}
+
+TEST(WireFuzzTest, BatchCountLengthDisagreementNeverOverReads) {
+  // Seed-driven sweep: take a well-formed envelope and corrupt the count
+  // word to every nearby value; only the true count may decode, and every
+  // accepted view must stay inside the buffer.
+  common::Rng rng(0xD15A);
+  std::vector<std::string> subops;
+  for (int i = 0; i < 4; ++i) subops.push_back(RandomPayload(rng, 48));
+  const std::string good = EncodeBatchRequest(subops);
+  for (std::uint32_t count = 0; count < 12; ++count) {
+    std::string bytes = good;
+    bytes[0] = static_cast<char>(count & 0xFF);
+    bytes[1] = static_cast<char>((count >> 8) & 0xFF);
+    bytes[2] = 0;
+    bytes[3] = 0;
+    std::vector<std::string_view> decoded;
+    const bool ok = DecodeBatchRequest(bytes, &decoded);
+    if (count == subops.size()) {
+      EXPECT_TRUE(ok);
+    } else {
+      EXPECT_FALSE(ok) << "count " << count;
+    }
+  }
+}
+
 TEST(WireFuzzTest, BatchCountBeyondPayloadRejectsWithoutAllocating) {
   // count = 0x7FFFFFFF with only a handful of bytes behind it: the decoder
   // must reject from the count/size comparison alone — reserving for it

@@ -4,7 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
+#include <memory>
 #include <string>
+#include <string_view>
 
 namespace loco::net::wire {
 namespace {
@@ -182,6 +186,165 @@ TEST(WireTest, EmptyPayloadRoundtrip) {
   ASSERT_TRUE(frame.has_value());
   EXPECT_TRUE(frame->payload.empty());
   EXPECT_EQ(frame->header.payload_len, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// PinnedFrameReader: the zero-copy arena reader the TcpServer decodes with.
+// ---------------------------------------------------------------------------
+
+// Push `bytes` through the reader's RecvInto/Commit receive path in
+// deliveries of at most `step` bytes, mimicking short recv() returns.
+void FeedPinned(PinnedFrameReader& reader, std::string_view bytes,
+                std::size_t step) {
+  while (!bytes.empty()) {
+    std::size_t capacity = 0;
+    char* dst = reader.RecvInto(/*min_bytes=*/1, &capacity);
+    ASSERT_NE(dst, nullptr);
+    ASSERT_GT(capacity, 0u);
+    const std::size_t n = std::min({bytes.size(), step, capacity});
+    std::memcpy(dst, bytes.data(), n);
+    reader.Commit(n);
+    bytes.remove_prefix(n);
+  }
+}
+
+TEST(PinnedReaderTest, SingleFrameServedInPlace) {
+  PinnedFrameReader reader;
+  const std::string bytes = EncodeFrame(RequestHeader(42, 7, 99), "payload");
+  FeedPinned(reader, bytes, bytes.size());
+  auto frame = reader.Next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->header.opcode, 42);
+  EXPECT_EQ(frame->payload, "payload");
+  EXPECT_TRUE(frame->zero_copy);
+  EXPECT_EQ(reader.zero_copy_frames(), 1u);
+  EXPECT_EQ(reader.assembled_frames(), 0u);
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(PinnedReaderTest, ByteAtATimeDeliveryStillDecodes) {
+  PinnedFrameReader reader;
+  const std::string bytes =
+      EncodeFrame(RequestHeader(64, 77, 88), std::string(100, 'x'));
+  FeedPinned(reader, std::string_view(bytes).substr(0, bytes.size() - 1), 1);
+  EXPECT_FALSE(reader.Next().has_value());
+  ASSERT_TRUE(reader.status().ok());
+  FeedPinned(reader, std::string_view(bytes).substr(bytes.size() - 1), 1);
+  auto frame = reader.Next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->header.opcode, 64);
+  EXPECT_EQ(frame->payload, std::string(100, 'x'));
+}
+
+TEST(PinnedReaderTest, FrameStraddlingChunksIsAssembledOnce) {
+  // A 1 KiB chunk size forces the second frame's payload across a chunk
+  // boundary; it must still decode byte-exactly, flagged as assembled.
+  PinnedFrameReader reader(kMaxPayloadBytes, /*chunk_bytes=*/1024);
+  std::string big(3 * 1024, '\0');
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<char>('A' + (i % 17));
+  }
+  const std::string bytes = EncodeFrame(RequestHeader(1, 1, 1), "small") +
+                            EncodeFrame(RequestHeader(2, 2, 2), big);
+  FeedPinned(reader, bytes, 300);
+  auto small = reader.Next();
+  ASSERT_TRUE(small.has_value());
+  EXPECT_EQ(small->payload, "small");
+  auto straddler = reader.Next();
+  ASSERT_TRUE(straddler.has_value());
+  EXPECT_EQ(straddler->payload, big);
+  EXPECT_FALSE(straddler->zero_copy);
+  EXPECT_GE(reader.assembled_frames(), 1u);
+}
+
+TEST(PinnedReaderTest, PinKeepsPayloadAliveAfterReaderMovesOn) {
+  // The worker-pool contract: a handler may hold the frame long after the
+  // reader has decoded (and recycled chunks for) later frames.
+  auto reader = std::make_unique<PinnedFrameReader>(
+      kMaxPayloadBytes, /*chunk_bytes=*/1024);
+  const std::string first_payload(600, 'p');
+  const std::string bytes = EncodeFrame(RequestHeader(1, 1, 1), first_payload);
+  FeedPinned(*reader, bytes, bytes.size());
+  auto held = reader->Next();
+  ASSERT_TRUE(held.has_value());
+
+  // Push enough traffic through to rotate the arena several times over.
+  for (int i = 0; i < 16; ++i) {
+    const std::string f =
+        EncodeFrame(RequestHeader(2, static_cast<std::uint64_t>(i), 2),
+                    std::string(700, static_cast<char>('a' + i)));
+    FeedPinned(*reader, f, 256);
+    auto got = reader->Next();
+    ASSERT_TRUE(got.has_value());
+  }
+  reader.reset();  // even destroying the reader must not free pinned bytes
+  EXPECT_EQ(held->payload, first_payload);
+}
+
+TEST(PinnedReaderTest, AppendPathMatchesRecvPath) {
+  // Transports that receive into foreign buffers (io_uring registered
+  // buffers) ingest via Append; decode must behave identically.
+  PinnedFrameReader reader(kMaxPayloadBytes, /*chunk_bytes=*/512);
+  const std::string bytes = EncodeFrame(RequestHeader(9, 5, 3), "via-append") +
+                            EncodeFrame(RequestHeader(10, 6, 3),
+                                        std::string(900, 'q'));
+  for (std::size_t i = 0; i < bytes.size(); i += 128) {
+    reader.Append(std::string_view(bytes).substr(i, 128));
+  }
+  auto a = reader.Next();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->payload, "via-append");
+  auto b = reader.Next();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->payload, std::string(900, 'q'));
+  EXPECT_FALSE(reader.Next().has_value());
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(PinnedReaderTest, OversizedPayloadLatchesCorruption) {
+  PinnedFrameReader reader(/*max_payload=*/1024);
+  std::string bytes = EncodeFrame(RequestHeader(1, 1, 1), "");
+  bytes[25] = char(0xFF);
+  bytes[26] = char(0xFF);
+  bytes[27] = char(0xFF);
+  bytes[28] = char(0xFF);
+  FeedPinned(reader, bytes, bytes.size());
+  EXPECT_FALSE(reader.Next().has_value());
+  EXPECT_EQ(reader.status().code(), ErrCode::kCorruption);
+  const std::string good = EncodeFrame(RequestHeader(2, 2, 2), "ok");
+  FeedPinned(reader, good, good.size());
+  EXPECT_FALSE(reader.Next().has_value());
+  EXPECT_EQ(reader.status().code(), ErrCode::kCorruption);
+}
+
+TEST(PinnedReaderTest, BadMagicMidStreamLatches) {
+  PinnedFrameReader reader;
+  const std::string good = EncodeFrame(RequestHeader(1, 1, 1), "good");
+  std::string bad = EncodeFrame(RequestHeader(2, 2, 2), "bad");
+  bad[0] ^= 0xFF;
+  FeedPinned(reader, good + bad, 64);
+  auto frame = reader.Next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, "good");
+  EXPECT_FALSE(reader.Next().has_value());
+  EXPECT_EQ(reader.status().code(), ErrCode::kCorruption);
+}
+
+TEST(PinnedReaderTest, EmptyPayloadAndBackToBackFrames) {
+  PinnedFrameReader reader;
+  const std::string bytes = EncodeFrame(RequestHeader(10, 1, 0), "") +
+                            EncodeFrame(RequestHeader(11, 2, 0), "two") +
+                            EncodeFrame(RequestHeader(12, 3, 0), "three");
+  FeedPinned(reader, bytes, bytes.size());
+  auto a = reader.Next();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(a->payload.empty());
+  auto b = reader.Next();
+  auto c = reader.Next();
+  ASSERT_TRUE(b && c);
+  EXPECT_EQ(b->payload, "two");
+  EXPECT_EQ(c->payload, "three");
+  EXPECT_EQ(reader.buffered(), 0u);
 }
 
 }  // namespace
