@@ -26,6 +26,7 @@ loco_add_bench(fig14_rename bench/fig14_rename.cc)
 loco_add_bench(fig15_concurrency bench/fig15_concurrency.cc)
 loco_add_bench(fig_batch bench/fig_batch.cc)
 loco_add_bench(fig_async bench/fig_async.cc)
+loco_add_bench(fig_overload bench/fig_overload.cc)
 loco_add_bench(tab01_access_matrix bench/tab01_access_matrix.cc)
 loco_add_bench(tab03_clients bench/tab03_clients.cc)
 loco_add_bench(abl01_lease bench/abl01_lease.cc)

@@ -235,12 +235,16 @@ class GcUuidProber {
     for (const fs::Uuid u : uuids) entries.push_back(fs::Pack(u));
     const std::string request = fs::Pack(entries);
     std::vector<std::uint8_t> alive(uuids.size(), 0);
+    // Housekeeping traffic: tagged background so a saturated peer sheds the
+    // probe before any foreground request (the detector just skips a cycle).
+    net::CallMeta meta;
+    meta.priority = net::Priority::kBackground;
     for (const net::NodeId node : nodes_) {
       std::promise<net::RpcResponse> done;
-      channel_->CallAsync(node, opcode_, request,
-                          [&done](net::RpcResponse r) {
-                            done.set_value(std::move(r));
-                          });
+      channel_->CallAsyncMeta(node, opcode_, request, meta,
+                              [&done](net::RpcResponse r) {
+                                done.set_value(std::move(r));
+                              });
       const net::RpcResponse resp = done.get_future().get();
       if (resp.code != ErrCode::kOk) {
         return Status{resp.code, "uuid probe rpc failed"};
@@ -281,13 +285,17 @@ inline std::vector<std::string> SplitEndpoints(const std::string& list) {
 // fault injector, dedup window).  `on_serving`, when set, runs once Start()
 // has succeeded and before the address banner is printed (daemons hook the
 // server into their service — SetNotifier — or announce themselves).
+// `on_stopping`, when set, runs after the signal arrives and BEFORE
+// server.Stop(): anything that samples the server from another thread (the
+// GC load signal) must be stopped here, while the reference is still alive.
 // Returns the process exit code.
 inline int RunDaemon(const char* name, net::RpcHandler* handler,
                      const std::string& listen_spec,
                      const std::string& metrics_out, int workers,
                      net::TcpServer::Options options,
                      const std::function<void(net::TcpServer&)>& on_serving =
-                         {}) {
+                         {},
+                     const std::function<void()>& on_stopping = {}) {
   options.workers = workers;
   if (!listen_spec.empty() &&
       !net::ParseHostPort(listen_spec, &options.host, &options.port)) {
@@ -317,6 +325,7 @@ inline int RunDaemon(const char* name, net::RpcHandler* handler,
   while (!internal::g_stop) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
+  if (on_stopping) on_stopping();
   server.Stop();
 
   if (!metrics_out.empty()) {

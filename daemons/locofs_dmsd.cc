@@ -123,6 +123,14 @@ int main(int argc, char** argv) {
       "locofs_dmsd", &server, listen, metrics_out, workers, server_options,
       [&](net::TcpServer& tcp) {
         server.SetNotifier(&tcp);
-        if (gc_enabled) gc.Start();
-      });
+        if (gc_enabled) {
+          // Adaptive pacing: yield to foreground traffic when the admission
+          // queue backs up (docs/OVERLOAD.md).
+          gc.SetLoadSignal([&tcp] { return tcp.RecentQueueDelayNs(); });
+          gc.Start();
+        }
+      },
+      // The load signal samples the TcpServer; stop the GC thread while the
+      // server is still alive.
+      [&] { gc.Stop(); });
 }

@@ -173,10 +173,18 @@ int main(int argc, char** argv) {
   const std::uint64_t epoch = server_options.epoch;
   return daemons::RunDaemon(
       "locofs_fmsd", &server, listen, metrics_out, workers, server_options,
-      [&](net::TcpServer&) {
+      [&](net::TcpServer& tcp) {
         if (!announce.empty()) {
           daemons::AnnounceToDms("locofs_fmsd", announce, node, epoch);
         }
-        if (gc_enabled) gc.Start();
-      });
+        if (gc_enabled) {
+          // Adaptive pacing: yield to foreground traffic when the admission
+          // queue backs up (docs/OVERLOAD.md).
+          gc.SetLoadSignal([&tcp] { return tcp.RecentQueueDelayNs(); });
+          gc.Start();
+        }
+      },
+      // The load signal samples the TcpServer; stop the GC thread while the
+      // server is still alive.
+      [&] { gc.Stop(); });
 }

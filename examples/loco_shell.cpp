@@ -9,11 +9,15 @@
 //   write <path> <text>     cat <path>           stat <path>
 //   chmod <octal> <path>    su <uid> <gid>       cache
 //   stats [json]            sessions             gc
-//   help                    quit
+//   load                    help                 quit
 //
 // `sessions` lists the open file sessions on every FMS (kCtlSessionList);
 // `gc` prints each daemon's background-GC status (kCtlGcStatus) — daemons
 // report "not running" unless started with --gc (docs/HOUSEKEEPING.md).
+// `load` prints each daemon's overload-control status (kCtlLoadStatus:
+// admission-queue depths, shed/expired counters, queue-delay EWMA —
+// docs/OVERLOAD.md); only TCP daemons answer it, the in-process deployment
+// reports it unavailable.
 //
 // Reads from stdin; EOF exits, so it is safe to pipe a script in:
 //   printf 'mkdir /a\ntouch /a/f\nls /a\n' | ./build/examples/loco_shell
@@ -39,6 +43,8 @@
 #include "fs/wire.h"
 #include "net/inproc.h"
 #include "net/task.h"
+#include "net/tcp.h"
+#include "net/wire.h"
 
 using namespace loco;
 
@@ -133,6 +139,42 @@ void PrintGcStatus(net::Channel& channel, net::NodeId dms_node,
                   static_cast<unsigned long long>(t.ops),
                   static_cast<unsigned long long>(t.reclaimed));
     }
+  };
+  print_one("dms", dms_node);
+  for (std::size_t i = 0; i < fms_nodes.size(); ++i) {
+    print_one("fms" + std::to_string(i), fms_nodes[i]);
+  }
+  for (std::size_t i = 0; i < osd_nodes.size(); ++i) {
+    print_one("osd" + std::to_string(i), osd_nodes[i]);
+  }
+}
+
+void PrintLoadStatus(net::Channel& channel, net::NodeId dms_node,
+                     const std::vector<net::NodeId>& fms_nodes,
+                     const std::vector<net::NodeId>& osd_nodes) {
+  auto print_one = [&](const std::string& label, net::NodeId node) {
+    auto r = AdminCall(channel, node, net::wire::kCtlLoadStatus, {});
+    if (!r.ok()) {
+      // In-process servers (no TcpServer in front) answer kUnsupported.
+      std::printf("%s: load status unavailable (%s)\n", label.c_str(),
+                  r.status().ToString().c_str());
+      return;
+    }
+    net::LoadStatus status;
+    if (!net::DecodeLoadStatus(*r, &status).ok()) {
+      std::printf("%s: bad load-status payload\n", label.c_str());
+      return;
+    }
+    std::printf(
+        "%s: workers=%u queued fg=%u bg=%u ctl=%u qdelay=%.1fus"
+        " shed=%llu expired=%llu stalls=%llu slow_disconnects=%llu\n",
+        label.c_str(), status.workers, status.queued_foreground,
+        status.queued_background, status.queued_control,
+        static_cast<double>(status.queue_delay_ewma_ns) / 1e3,
+        static_cast<unsigned long long>(status.shed),
+        static_cast<unsigned long long>(status.expired_dropped),
+        static_cast<unsigned long long>(status.read_stalls),
+        static_cast<unsigned long long>(status.slow_client_disconnects));
   };
   print_one("dms", dms_node);
   for (std::size_t i = 0; i < fms_nodes.size(); ++i) {
@@ -244,7 +286,7 @@ int main(int argc, char** argv) {
     if (cmd == "help") {
       std::printf(
           "mkdir rmdir ls touch rm mv write cat stat chmod su cache stats"
-          " sessions gc quit\n");
+          " sessions gc load quit\n");
     } else if (cmd == "mkdir" || cmd == "rmdir" || cmd == "touch" ||
                cmd == "rm") {
       std::string path;
@@ -336,6 +378,8 @@ int main(int argc, char** argv) {
       PrintSessions(*admin_channel, admin_fms);
     } else if (cmd == "gc") {
       PrintGcStatus(*admin_channel, admin_dms, admin_fms, admin_osd);
+    } else if (cmd == "load") {
+      PrintLoadStatus(*admin_channel, admin_dms, admin_fms, admin_osd);
     } else {
       std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
     }

@@ -17,12 +17,35 @@ echo "== tier-1: io_uring backend smoke (daemons under --io-backend=uring) =="
 # either way the run must be green.
 ./build/tests/integration/integration_test --gtest_filter='UringBackend*'
 
-echo "== tier-1: ASan+UBSan pass (net + kv + fs + core + integration + chaos + gc soak + notify) =="
+echo "== tier-1: overload smoke (fig_overload --short, gated) =="
+# Drives an in-process FMS through peak -> deadline-burst -> 2x sustained
+# overload and enforces the docs/OVERLOAD.md gates: >= 70% of peak goodput
+# retained, offered load >= 2x peak, expired requests dropped unexecuted,
+# admission queue bounded at max_queue.
+cmake --build build -j --target fig_overload >/dev/null
+./build/bench/fig_overload --short --out build/BENCH_overload_smoke.json
+# Same driver against a live daemon: spawn a real FMS and round-trip the
+# three phases over TCP (the environment-sensitive gates are skipped in
+# --connect mode; the run must still complete cleanly).
+smoke_dir=$(mktemp -d)
+./build/daemons/locofs_fmsd --listen 127.0.0.1:47117 --sid 1 --workers 4 \
+  --store-dir "$smoke_dir" >"$smoke_dir/fms.log" 2>&1 &
+smoke_pid=$!
+trap 'kill $smoke_pid 2>/dev/null || true; rm -rf "$smoke_dir"' EXIT
+sleep 0.5
+./build/bench/fig_overload --short --connect 127.0.0.1:47117 \
+  --out build/BENCH_overload_live.json
+kill $smoke_pid 2>/dev/null || true
+wait $smoke_pid 2>/dev/null || true
+trap - EXIT
+rm -rf "$smoke_dir"
+
+echo "== tier-1: ASan+UBSan pass (net + kv + fs + sim + core + integration + chaos + gc soak + notify) =="
 cmake -B build-asan -S . -DLOCO_SANITIZE=ON >/dev/null
 cmake --build build-asan -j --target net_test kvstore_test fs_test \
-  core_test core_housekeeping_test locofs_property_test integration_test \
-  chaos_test gc_soak_test notify_e2e_test locofs_dmsd locofs_fmsd \
-  locofs_osd loco_fsck loco_shell >/dev/null
+  sim_test core_test core_housekeeping_test locofs_property_test \
+  integration_test chaos_test gc_soak_test notify_e2e_test locofs_dmsd \
+  locofs_fmsd locofs_osd loco_fsck loco_shell >/dev/null
 # net_test carries the wire/batch-envelope fuzz corpus and core_test the
 # batch handler suites, so the epoll server, the batch codecs and their
 # FMS handlers all run under ASan; kvstore_test covers the WAL replay and
@@ -33,6 +56,7 @@ cmake --build build-asan -j --target net_test kvstore_test fs_test \
 ./build-asan/tests/net/net_test
 ./build-asan/tests/kvstore/kvstore_test
 ./build-asan/tests/fs/fs_test
+./build-asan/tests/sim/sim_test
 ./build-asan/tests/core/core_test
 ./build-asan/tests/core/core_housekeeping_test
 ./build-asan/tests/core/locofs_property_test
@@ -41,10 +65,10 @@ cmake --build build-asan -j --target net_test kvstore_test fs_test \
 ./build-asan/tests/integration/gc_soak_test
 ./build-asan/tests/integration/notify_e2e_test
 
-echo "== tier-1: TSan pass (worker pool, striped KV, concurrent handlers, GC, notify) =="
+echo "== tier-1: TSan pass (worker pool, striped KV, sim, concurrent handlers, GC, notify) =="
 cmake -B build-tsan -S . -DLOCO_SANITIZE=tsan >/dev/null
 cmake --build build-tsan -j --target net_test kvstore_test fs_test \
-  core_test striped_kv_test \
+  sim_test core_test striped_kv_test \
   core_concurrency_test core_housekeeping_test notify_e2e_test >/dev/null
 # net_test exercises both server backends, the client reactor and the
 # worker pool under TSan; core_test adds the batch handler suites over the
@@ -54,6 +78,7 @@ cmake --build build-tsan -j --target net_test kvstore_test fs_test \
 ./build-tsan/tests/net/net_test
 ./build-tsan/tests/kvstore/kvstore_test
 ./build-tsan/tests/fs/fs_test
+./build-tsan/tests/sim/sim_test
 ./build-tsan/tests/core/core_test
 ./build-tsan/tests/kvstore/striped_kv_test
 ./build-tsan/tests/core/core_concurrency_test

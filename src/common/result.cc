@@ -18,6 +18,7 @@ std::string_view ErrName(ErrCode code) noexcept {
     case ErrCode::kCorruption: return "kCorruption";
     case ErrCode::kStale: return "kStale";
     case ErrCode::kUnsupported: return "kUnsupported";
+    case ErrCode::kOverloaded: return "kOverloaded";
   }
   return "kUnknown";
 }

@@ -31,7 +31,12 @@ enum class ErrCode : std::uint8_t {
   kCorruption,     // checksum or framing mismatch
   kStale,          // lease or cached handle no longer valid
   kUnsupported,    // operation not implemented by this service
+  kOverloaded,     // server shed the request; retry after the hinted delay
 };
+
+// Highest valid ErrCode value; wire decoders reject anything above it.
+inline constexpr std::uint8_t kMaxErrCode =
+    static_cast<std::uint8_t>(ErrCode::kOverloaded);
 
 // Human-readable name for an error code (stable, used in logs and tests).
 std::string_view ErrName(ErrCode code) noexcept;

@@ -764,9 +764,13 @@ net::Task<Status> LocoClient::Close(std::string path) {
   const std::string name(fs::BaseName(path));
   auto parent = co_await LookupDir(std::string(fs::ParentPath(path)), 0, {});
   if (parent.ok()) {
+    // Session maintenance, not serving work: a saturated FMS may shed it
+    // (the session then ages out via TTL or the disconnect hook).
+    net::CallMeta close_meta;
+    close_meta.priority = net::Priority::kBackground;
     (void)co_await net::Call(channel_, FmsFor(parent->uuid, name),
                              proto::kFmsCloseSession,
-                             fs::Pack(parent->uuid, name));
+                             fs::Pack(parent->uuid, name), close_meta);
   }
   co_return OkStatus();
 }
@@ -895,6 +899,25 @@ net::Task<Status> LocoClient::Rename(std::string from, std::string to) {
     net::RpcResponse rm = co_await net::Call(
         channel_, FmsFor(src_parent->uuid, from_name), proto::kFmsRemove,
         fs::Pack(src_parent->uuid, from_name, identity_));
+    if (!rm.ok()) {
+      // The insert applied but the remove did not: two dirents now share one
+      // file uuid.  Converge the namespace toward the outcome we report.  A
+      // shed remove (kOverloaded) definitely never executed, but an earlier
+      // attempt may have applied ambiguously, so probe the source: gone means
+      // the remove did land (the rename is complete); still present means we
+      // undo the insert so the reported failure matches the namespace.  Best
+      // effort — a probe or undo that itself fails leaves the duplicate for
+      // fsck to resolve.
+      net::RpcResponse probe = co_await net::Call(
+          channel_, FmsFor(src_parent->uuid, from_name), proto::kFmsGetAttr,
+          fs::Pack(src_parent->uuid, from_name));
+      if (probe.code == ErrCode::kNotFound) co_return OkStatus();
+      if (probe.ok()) {
+        (void)co_await net::Call(
+            channel_, FmsFor(dst_parent->uuid, to_name), proto::kFmsRemove,
+            fs::Pack(dst_parent->uuid, to_name, identity_));
+      }
+    }
     co_return StatusFrom(rm);
   }
   if (raw.code != ErrCode::kNotFound) co_return StatusFrom(raw);

@@ -5,6 +5,7 @@
 #include <map>
 #include <mutex>
 #include <set>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -88,6 +89,15 @@ std::string FsckFinding::Describe() const {
              std::to_string(file_uuid.raw()) + " unreferenced";
       break;
   }
+  if (!holders.empty()) {
+    out += " [held by client";
+    if (holders.size() > 1) out += "s";
+    for (std::size_t i = 0; i < holders.size(); ++i) {
+      out += i == 0 ? " " : ", ";
+      out += std::to_string(holders[i]);
+    }
+    out += "]";
+  }
   return out;
 }
 
@@ -118,7 +128,13 @@ Result<std::string> FsckRunner::Call(net::NodeId node, std::uint16_t opcode,
   std::condition_variable cv;
   bool done = false;
   net::RpcResponse resp;
-  channel_.CallAsync(node, opcode, std::move(payload),
+  // Fsck scan traffic is housekeeping: tagged background so a saturated
+  // server sheds it before any foreground request (the scan reports the
+  // error and the operator retries when load drops).
+  net::CallMeta meta;
+  meta.trace_id = net::NextTraceId();
+  meta.priority = net::Priority::kBackground;
+  channel_.CallAsyncMeta(node, opcode, std::move(payload), meta,
                      [&](net::RpcResponse r) {
                        {
                          std::lock_guard<std::mutex> lock(mu);
@@ -512,8 +528,43 @@ Result<std::uint64_t> FsckRunner::Repair(
   return applied;
 }
 
+void FsckRunner::AnnotateSessionHolders(std::vector<FsckFinding>* findings) {
+  // One session-list sweep, then match findings by (server, dir uuid, name).
+  // Best-effort: an FMS that fails the list RPC just contributes no holders.
+  std::map<std::tuple<std::size_t, std::uint64_t, std::string>,
+           std::vector<std::uint64_t>>
+      holders;
+  for (std::size_t i = 0; i < config_.fms.size(); ++i) {
+    auto r = Call(config_.fms[i], proto::kCtlSessionList, {});
+    if (!r.ok()) continue;
+    std::vector<std::string> entries;
+    if (!fs::Unpack(*r, entries)) continue;
+    for (const std::string& entry : entries) {
+      fs::Uuid dir_uuid{0};
+      std::string name;
+      std::uint64_t client_id = 0, ttl = 0;
+      std::uint8_t exclusive = 0;
+      if (!fs::Unpack(entry, dir_uuid, name, client_id, ttl, exclusive)) {
+        continue;
+      }
+      holders[{i, dir_uuid.raw(), name}].push_back(client_id);
+    }
+  }
+  if (holders.empty()) return;
+  for (FsckFinding& f : *findings) {
+    auto it = holders.find({f.server, f.dir_uuid.raw(), f.name});
+    if (it != holders.end()) f.holders = it->second;
+  }
+}
+
 Result<FsckReport> FsckRunner::Run(const Options& options) {
-  if (options.live) return RunLive(options);
+  if (options.live) {
+    auto report = RunLive(options);
+    if (report.ok() && !report->findings.empty()) {
+      AnnotateSessionHolders(&report->findings);
+    }
+    return report;
+  }
   FsckReport report;
   for (std::uint32_t pass = 0; pass < std::max(options.max_passes, 1u);
        ++pass) {

@@ -80,6 +80,10 @@ struct FsckFinding {
   std::string name;       // dirent / file name
   fs::Uuid dir_uuid{0};   // FMS findings: parent directory uuid
   fs::Uuid file_uuid{0};  // file / object uuid
+  // Live mode: client ids holding an open session on this (dir, name) — who
+  // pins the file a repair would touch.  Empty for offline runs and for
+  // findings no session covers.
+  std::vector<std::uint64_t> holders;
 
   std::string Describe() const;
 };
@@ -125,6 +129,9 @@ class FsckRunner {
   Result<Epochs> PinSnapshots();
   void ReleaseSnapshots(const Epochs& epochs);
   Result<FsckReport> RunLive(const Options& options);
+  // Live mode: attach session-holder client ids (kCtlSessionList) to every
+  // finding whose (server, dir uuid, name) an open session covers.
+  void AnnotateSessionHolders(std::vector<FsckFinding>* findings);
   std::vector<FsckFinding> Analyze(const Snapshot& snap) const;
   // Applies every finding's repair; returns the number of repair RPCs.
   Result<std::uint64_t> Repair(const std::vector<FsckFinding>& findings);

@@ -25,6 +25,28 @@ void GcManager::AddTask(std::string name, GcTaskFn fn) {
   tasks_.push_back(Task{std::move(name), std::move(fn)});
 }
 
+void GcManager::SetLoadSignal(LoadSignal signal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  load_signal_ = std::move(signal);
+}
+
+double GcManager::PacingFactorLocked() const {
+  if (!load_signal_) return 1.0;
+  const common::Nanos delay = load_signal_();
+  if (delay <= options_.load_low_ns) return 1.0;
+  if (delay >= options_.load_high_ns) return options_.load_min_factor;
+  // Linear ramp between the watermarks.
+  const double span =
+      static_cast<double>(options_.load_high_ns - options_.load_low_ns);
+  const double t = static_cast<double>(delay - options_.load_low_ns) / span;
+  return 1.0 - t * (1.0 - options_.load_min_factor);
+}
+
+double GcManager::CurrentPacingFactor() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PacingFactorLocked();
+}
+
 void GcManager::Start() {
   std::lock_guard<std::mutex> lock(mu_);
   if (running_) return;
@@ -64,11 +86,14 @@ void GcManager::Loop() {
   std::unique_lock<std::mutex> lock(mu_);
   while (!stop_) {
     const common::Nanos now = common::CpuTimer::Now();
-    if (options_.ops_per_sec > 0) {
-      tokens = std::min(
-          cap, tokens + common::ToSeconds(now - last_refill) * options_.ops_per_sec);
-    } else {
-      tokens = cap;
+    // Adaptive pacing: scale the refill rate by the serving-load factor so a
+    // saturated foreground (queueing admission delay) starves housekeeping
+    // first, and an idle one restores the configured rate.
+    const double rate = options_.ops_per_sec * PacingFactorLocked();
+    if (rate > 0) {
+      tokens = std::min(cap, tokens + common::ToSeconds(now - last_refill) * rate);
+    } else if (options_.ops_per_sec <= 0) {
+      tokens = cap;  // unthrottled configuration
     }
     last_refill = now;
 
@@ -77,11 +102,12 @@ void GcManager::Loop() {
       continue;
     }
     if (tokens < 1.0) {
-      // Throttled: sleep until roughly one batch of tokens accrues.
+      // Throttled: sleep until roughly one batch of tokens accrues at the
+      // current (possibly load-scaled) rate.
       const double deficit = options_.batch_ops - tokens;
       const common::Nanos wait = std::min<common::Nanos>(
           options_.idle_sleep_ns,
-          static_cast<common::Nanos>(deficit / options_.ops_per_sec *
+          static_cast<common::Nanos>(deficit / std::max(rate, 1e-9) *
                                      common::kSecond) + 1);
       throttle_ns_metric_->Add(static_cast<std::uint64_t>(wait));
       cv_.wait_for(lock, std::chrono::nanoseconds(wait));

@@ -20,6 +20,13 @@
 // Their reclaims are destructive, so they require the candidate to be seen
 // dead in two consecutive GC cycles before purging — a probe that raced a
 // concurrent create cannot cost data.
+//
+// Adaptive pacing (docs/OVERLOAD.md): a daemon can hand the manager a load
+// signal — its TcpServer's recent admission-queue delay.  While foreground
+// traffic queues (delay at or above Options::load_high_ns) the token refill
+// collapses toward load_min_factor, so housekeeping yields the machine to
+// the serving path; once the delay falls back below load_low_ns GC resumes
+// its configured rate.  The extra waiting shows up in <prefix>.throttle_ns.
 #pragma once
 
 #include <condition_variable>
@@ -58,6 +65,12 @@ class GcManager {
     std::uint32_t batch_ops = 64;      // max ops granted to one step call
     common::Nanos idle_sleep_ns = 100 * common::kMilli;  // sleep when idle
     std::string metrics_prefix = "gc";
+    // Adaptive pacing against the load signal (no effect without one).
+    // Queue delay >= load_high_ns scales the refill rate by load_min_factor;
+    // <= load_low_ns restores full rate; in between it ramps linearly.
+    common::Nanos load_high_ns = common::kMilli;
+    common::Nanos load_low_ns = 50 * common::kMicro;
+    double load_min_factor = 0.1;
   };
 
   struct TaskStatus {
@@ -84,6 +97,16 @@ class GcManager {
   // Register a step before Start().
   void AddTask(std::string name, GcTaskFn fn);
 
+  // Serving-load signal for adaptive pacing: sampled once per loop
+  // iteration; must be cheap and thread-safe (daemons pass their server's
+  // RecentQueueDelayNs).  Set before Start().
+  using LoadSignal = std::function<common::Nanos()>;
+  void SetLoadSignal(LoadSignal signal);
+
+  // Current pacing factor in [load_min_factor, 1]; 1 without a signal
+  // (tests / loco_shell gc).
+  double CurrentPacingFactor() const;
+
   void Start();
   void Stop();
   bool running() const;
@@ -105,8 +128,10 @@ class GcManager {
   };
 
   void Loop();
+  double PacingFactorLocked() const;
 
   const Options options_;
+  LoadSignal load_signal_;  // set before Start(); read under mu_
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::vector<Task> tasks_;

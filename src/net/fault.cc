@@ -72,6 +72,8 @@ Result<FaultSpec> FaultSpec::Parse(std::string_view text) {
       ok = ParseProbability(value, &spec.notify_drop);
     } else if (key == "notify_dup") {
       ok = ParseProbability(value, &spec.notify_dup);
+    } else if (key == "queue_full") {
+      ok = ParseProbability(value, &spec.queue_full);
     } else {
       return Result<FaultSpec>(ErrCode::kInvalid,
                                "unknown fault-spec key: " + std::string(key));
@@ -87,7 +89,7 @@ Result<FaultSpec> FaultSpec::Parse(std::string_view text) {
 bool FaultSpec::Armed() const noexcept {
   return drop > 0 || dup > 0 || delay > 0 || reset > 0 || short_write > 0 ||
          crash_after > 0 || kv_put_fail > 0 || kv_fail_after > 0 ||
-         notify_drop > 0 || notify_dup > 0;
+         notify_drop > 0 || notify_dup > 0 || queue_full > 0;
 }
 
 FaultInjector::FaultInjector(const FaultSpec& spec)
@@ -102,6 +104,7 @@ FaultInjector::FaultInjector(const FaultSpec& spec)
   kv_put_fail_count_ = &reg.GetCounter("faults.injected.kv_put_fail");
   notify_drop_count_ = &reg.GetCounter("faults.injected.notify_drop");
   notify_dup_count_ = &reg.GetCounter("faults.injected.notify_dup");
+  queue_full_count_ = &reg.GetCounter("faults.injected.queue_full");
 }
 
 FaultInjector::FrameFate FaultInjector::OnServerFrame() {
@@ -164,6 +167,14 @@ common::Nanos FaultInjector::OnClientSend() {
   if (!rng_.Chance(spec_.delay)) return 0;
   delay_count_->Add();
   return spec_.delay_ns;
+}
+
+bool FaultInjector::ForceQueueFull() {
+  if (spec_.queue_full <= 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!rng_.Chance(spec_.queue_full)) return false;
+  queue_full_count_->Add();
+  return true;
 }
 
 bool FaultInjector::FailKvPut() {

@@ -26,6 +26,9 @@
 //                   resynchronizes)
 //   notify_dup=P    send a kNotify push frame twice with the same sequence
 //                   number (the client must discard the stale copy)
+//   queue_full=P    treat the server's admission queue as full for this
+//                   request (shed with kOverloaded regardless of real depth;
+//                   docs/OVERLOAD.md)
 //
 // Probabilities are in [0, 1].  Every injected fault increments a
 // `faults.injected.<kind>` counter so runs can attest what actually fired.
@@ -56,6 +59,7 @@ struct FaultSpec {
   std::uint64_t kv_fail_after = 0;
   double notify_drop = 0.0;
   double notify_dup = 0.0;
+  double queue_full = 0.0;
 
   // Parse the comma-separated `key=value` grammar above.  Unknown keys and
   // out-of-range probabilities are kInvalid.
@@ -101,6 +105,10 @@ class FaultInjector {
   // True if this KV Put/PatchValue should fail with kIo (FaultyKv hook).
   bool FailKvPut();
 
+  // True if the server should pretend its admission queue is full for this
+  // request and shed it with kOverloaded (TcpServer::AdmitWork hook).
+  bool ForceQueueFull();
+
   const FaultSpec& spec() const noexcept { return spec_; }
 
  private:
@@ -118,6 +126,7 @@ class FaultInjector {
   common::Counter* kv_put_fail_count_;
   common::Counter* notify_drop_count_;
   common::Counter* notify_dup_count_;
+  common::Counter* queue_full_count_;
 };
 
 }  // namespace loco::net

@@ -4,23 +4,39 @@
 #include <chrono>
 #include <thread>
 
+#include "common/codec.h"
+
 namespace loco::net {
 
 namespace {
 
 bool Retryable(ErrCode code) noexcept {
-  return code == ErrCode::kUnavailable || code == ErrCode::kTimeout;
+  return code == ErrCode::kUnavailable || code == ErrCode::kTimeout ||
+         code == ErrCode::kOverloaded;
+}
+
+// The kOverloaded retry-after hint (u64 nanoseconds); 0 when the payload is
+// absent or malformed (the caller falls back to jittered backoff).
+common::Nanos RetryAfterHint(const std::string& payload) {
+  common::Reader r(payload);
+  const std::uint64_t hint = r.GetU64();
+  if (!r.ok()) return 0;
+  return static_cast<common::Nanos>(hint);
 }
 
 }  // namespace
 
 ResilientChannel::ResilientChannel(Channel* inner, ResilienceOptions options)
-    : inner_(inner), options_(options), rng_(options.seed) {
+    : inner_(inner),
+      options_(options),
+      rng_(options.seed),
+      retry_tokens_(options.retry_budget_cap) {
   auto& reg = common::MetricsRegistry::Default();
   retries_ = &reg.GetCounter("rpc.resilient.retries");
   fast_fails_ = &reg.GetCounter("rpc.resilient.fast_fails");
   breaker_opens_ = &reg.GetCounter("rpc.resilient.breaker_opens");
   gossip_resets_ = &reg.GetCounter("rpc.resilient.gossip_resets");
+  budget_exhausted_ = &reg.GetCounter("rpc.resilient.budget_exhausted");
 }
 
 void ResilientChannel::NotifyServerUp(NodeId server) {
@@ -50,14 +66,34 @@ void ResilientChannel::CallAsyncMeta(NodeId server, std::uint16_t opcode,
                                      std::function<void(RpcResponse)> done) {
   CallMeta attempt_meta = meta;
   if (attempt_meta.trace_id == 0) attempt_meta.trace_id = NextTraceId();
+  // ONE deadline budget covers every attempt: each retry is stamped with
+  // what remains, so max_attempts can never stretch a call past its total.
+  const common::Nanos total_ns =
+      meta.deadline_ns > 0 ? meta.deadline_ns : options_.default_deadline_ns;
+  const common::Nanos deadline_abs = common::CpuTimer::Now() + total_ns;
+  DepositRetryToken();
   RpcResponse last{ErrCode::kUnavailable, {}};
   for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    const common::Nanos remaining = deadline_abs - common::CpuTimer::Now();
+    if (remaining <= 0) {
+      if (attempt == 0) last = RpcResponse{ErrCode::kTimeout, {}};
+      break;
+    }
+    attempt_meta.deadline_ns = remaining;
     const Admit admit = AdmitCall(server);
     if (admit == Admit::kFastFail) {
       fast_fails_->Add();
       last = RpcResponse{ErrCode::kUnavailable, {}};
     } else {
-      if (attempt > 0) retries_->Add();
+      if (attempt > 0) {
+        if (!SpendRetryToken()) {
+          // Sustained failure drained the bucket: stop amplifying load and
+          // surface the first attempt's verdict.
+          budget_exhausted_->Add();
+          break;
+        }
+        retries_->Add();
+      }
       RpcResponse resp;
       bool got = false;
       // All project transports complete inline (tcp blocks the caller), so
@@ -75,7 +111,10 @@ void ResilientChannel::CallAsyncMeta(NodeId server, std::uint16_t opcode,
         return;
       }
       const bool failed = Retryable(resp.code);
-      RecordOutcome(server, !failed, admit == Admit::kProbe);
+      // kOverloaded is retryable but comes from a live, answering server:
+      // it never counts toward opening the breaker.
+      RecordOutcome(server, !failed || resp.code == ErrCode::kOverloaded,
+                    admit == Admit::kProbe);
       if (!failed) {
         done(std::move(resp));
         return;
@@ -83,13 +122,34 @@ void ResilientChannel::CallAsyncMeta(NodeId server, std::uint16_t opcode,
       last = std::move(resp);
     }
     if (attempt + 1 < options_.max_attempts) {
-      const common::Nanos sleep_ns = JitterBackoff(attempt);
+      common::Nanos sleep_ns = 0;
+      if (last.code == ErrCode::kOverloaded) {
+        // The shedding server said when to come back; believe it.
+        sleep_ns = RetryAfterHint(last.payload);
+      }
+      if (sleep_ns <= 0) sleep_ns = JitterBackoff(attempt);
+      sleep_ns = std::min(sleep_ns, deadline_abs - common::CpuTimer::Now());
       if (sleep_ns > 0) {
         std::this_thread::sleep_for(std::chrono::nanoseconds(sleep_ns));
       }
     }
   }
   done(std::move(last));
+}
+
+void ResilientChannel::DepositRetryToken() {
+  if (options_.retry_budget_ratio <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  retry_tokens_ = std::min(options_.retry_budget_cap,
+                           retry_tokens_ + options_.retry_budget_ratio);
+}
+
+bool ResilientChannel::SpendRetryToken() {
+  if (options_.retry_budget_ratio <= 0) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (retry_tokens_ < 1.0) return false;
+  retry_tokens_ -= 1.0;
+  return true;
 }
 
 ResilientChannel::Admit ResilientChannel::AdmitCall(NodeId server) {

@@ -11,11 +11,25 @@
 // Failure handling per endpoint:
 //   * kUnavailable / kTimeout are retryable (the peer may be restarting);
 //     anything else came from a live server and is returned immediately.
+//   * kOverloaded is also retryable, but it came from a live server that is
+//     shedding load: it never counts against the breaker, and the backoff
+//     before the next attempt honors the server's retry-after hint (the
+//     response payload, docs/OVERLOAD.md) instead of the jitter schedule.
 //   * `breaker_threshold` consecutive retryable failures open the breaker:
 //     calls fail fast with kUnavailable without touching the wire, so a
 //     stampede of doomed connects never piles onto a dead daemon.
 //   * After `breaker_open_ns` the breaker goes half-open: exactly one probe
 //     call is let through; success closes the breaker, failure re-opens it.
+//
+// Two global guards bound what retrying may amplify:
+//   * One deadline budget covers ALL attempts of a call: the first attempt
+//     gets the full budget, later attempts only what is left of it, and the
+//     loop stops once it is spent — a 3-attempt call can never take 3x its
+//     deadline.
+//   * A token-bucket retry budget (retry_budget_ratio per issued call,
+//     capped) gates every retry: when sustained failure drains the bucket,
+//     calls fail after their first attempt (rpc.resilient.budget_exhausted)
+//     instead of multiplying offered load against a struggling cluster.
 //
 // The notify plane short-circuits the probe wait: when the DMS broadcasts a
 // kNotifyServerUp (a restarted daemon announced itself), the client calls
@@ -23,7 +37,8 @@
 // goes straight to the wire instead of waiting out breaker_open_ns.
 //
 // Metrics: rpc.resilient.retries, rpc.resilient.fast_fails,
-// rpc.resilient.breaker_opens, rpc.resilient.gossip_resets.
+// rpc.resilient.breaker_opens, rpc.resilient.gossip_resets,
+// rpc.resilient.budget_exhausted.
 #pragma once
 
 #include <cstdint>
@@ -50,6 +65,17 @@ struct ResilienceOptions {
   common::Nanos breaker_open_ns = 500 * common::kMilli;
   // Seed for the deterministic jitter stream.
   std::uint64_t seed = 0x5eed;
+  // Total deadline budget shared across all attempts of one call when the
+  // caller's CallMeta carries none (matches TcpChannelOptions'
+  // call_deadline_ns default).  A CallMeta deadline overrides it and is
+  // likewise treated as the all-attempts total.
+  common::Nanos default_deadline_ns = 5 * common::kSecond;
+  // Retry token bucket: each issued call deposits `retry_budget_ratio`
+  // tokens (bounded by `retry_budget_cap`; the bucket starts full) and each
+  // retry spends one.  At ratio 0.1 sustained failure settles at ~10% retry
+  // amplification.  ratio <= 0 disables the budget (unlimited retries).
+  double retry_budget_ratio = 0.1;
+  double retry_budget_cap = 50.0;
 };
 
 enum class BreakerState { kClosed, kOpen, kHalfOpen };
@@ -84,16 +110,22 @@ class ResilientChannel final : public Channel {
   Admit AdmitCall(NodeId server);
   void RecordOutcome(NodeId server, bool success, bool was_probe);
   common::Nanos JitterBackoff(int attempt);
+  // Token bucket: deposit for one issued call / withdraw for one retry
+  // (false = bucket empty, the retry must not happen).
+  void DepositRetryToken();
+  bool SpendRetryToken();
 
   Channel* inner_;
   const ResilienceOptions options_;
-  std::mutex mu_;  // guards breakers_ and rng_
+  std::mutex mu_;  // guards breakers_, rng_ and retry_tokens_
   std::unordered_map<NodeId, Breaker> breakers_;
   common::Rng rng_;
+  double retry_tokens_;
   common::Counter* retries_;
   common::Counter* fast_fails_;
   common::Counter* breaker_opens_;
   common::Counter* gossip_resets_;
+  common::Counter* budget_exhausted_;
 };
 
 }  // namespace loco::net

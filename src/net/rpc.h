@@ -71,10 +71,20 @@ class RpcHandler {
   }
 };
 
+// Priority class of a call (mirrors wire::kPriority*): foreground is the
+// serving hot path, background marks housekeeping traffic (GC liveness
+// probes, fsck scans, session keepalives) a saturated server sheds first,
+// control marks admin RPCs that must get through during an overload.
+enum class Priority : std::uint8_t {
+  kForeground = 0,
+  kBackground = 1,
+  kControl = 2,
+};
+
 // Per-call metadata carried alongside a request.  Transports that speak a
-// real wire format (net::TcpChannel) put the trace id in the frame header
-// and enforce the deadline; the in-process and simulated transports ignore
-// both fields.
+// real wire format (net::TcpChannel) put the trace id, remaining deadline
+// budget and priority in the frame header and enforce the deadline; the
+// in-process and simulated transports ignore these fields.
 struct CallMeta {
   // Correlates every RPC issued on behalf of one client operation (the
   // ROADMAP tracing groundwork).  0 means "unassigned": net::Call stamps a
@@ -83,6 +93,8 @@ struct CallMeta {
   std::uint64_t trace_id = 0;
   // Per-call deadline; 0 selects the transport's default.
   common::Nanos deadline_ns = 0;
+  // Priority class stamped on the wire (docs/OVERLOAD.md).
+  Priority priority = Priority::kForeground;
 };
 
 // Process-unique, monotonically increasing trace id (never returns 0).

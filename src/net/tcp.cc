@@ -21,6 +21,7 @@
 #include <map>
 #include <thread>
 
+#include "common/codec.h"
 #include "common/rng.h"
 #include "net/uring.h"
 
@@ -154,7 +155,53 @@ Status SendAll(int fd, std::string_view data, common::Nanos deadline_abs) {
   return OkStatus();
 }
 
+// Encode a handler-free response frame (shed, expired, or otherwise refused
+// requests): echoes the request's opcode / ids so the client's waiter matches.
+std::string EncodeErrorReply(const wire::FrameHeader& req, ErrCode code,
+                             std::string_view payload, std::string buf) {
+  wire::FrameHeader reply;
+  reply.type = wire::FrameType::kResponse;
+  reply.opcode = req.opcode;
+  reply.request_id = req.request_id;
+  reply.trace_id = req.trace_id;
+  reply.code = code;
+  buf.clear();
+  wire::EncodeFrameInto(reply, payload, &buf);
+  return buf;
+}
+
 }  // namespace
+
+std::string EncodeLoadStatus(const LoadStatus& status) {
+  common::Writer w;
+  w.PutU32(status.workers);
+  w.PutU32(status.queued_foreground);
+  w.PutU32(status.queued_background);
+  w.PutU32(status.queued_control);
+  w.PutU64(status.shed);
+  w.PutU64(status.expired_dropped);
+  w.PutU64(status.queue_delay_ewma_ns);
+  w.PutU64(status.read_stalls);
+  w.PutU64(status.slow_client_disconnects);
+  return w.Take();
+}
+
+Status DecodeLoadStatus(std::string_view payload, LoadStatus* out) {
+  common::Reader r(payload);
+  out->workers = r.GetU32();
+  out->queued_foreground = r.GetU32();
+  out->queued_background = r.GetU32();
+  out->queued_control = r.GetU32();
+  out->shed = r.GetU64();
+  out->expired_dropped = r.GetU64();
+  out->queue_delay_ewma_ns = r.GetU64();
+  out->read_stalls = r.GetU64();
+  out->slow_client_disconnects = r.GetU64();
+  if (!r.AtEnd()) {
+    return ErrStatus(ErrCode::kCorruption, "bad load-status payload");
+  }
+  return OkStatus();
+}
 
 int DialTcp(const std::string& host, std::uint16_t port,
             common::Nanos deadline_abs) {
@@ -219,6 +266,9 @@ struct TcpServer::Conn {
   std::size_t out_bytes = 0;
   bool want_write = false;  // EPOLLOUT currently registered
   bool dead = false;        // write side failed; remove on the next pass
+  // Output backlog exceeded the soft cap: reads are paused until the peer
+  // drains its responses (epoll: EPOLLIN dropped; uring: recv not re-armed).
+  bool read_stalled = false;
   // Hello state (loop thread only).
   std::uint64_t client_id = 0;   // announced identity; 0 = anonymous
   bool notify = false;           // this conn is its client's notify session
@@ -354,7 +404,7 @@ Status TcpServer::Start() {
   listen_fd_ = fd;
   stop_.store(false, std::memory_order_release);
   queue_stop_ = false;
-  queue_.clear();
+  for (auto& q : queues_) q.clear();
   completions_.clear();
   busy_.clear();
   running_.store(true, std::memory_order_release);
@@ -373,7 +423,9 @@ Status TcpServer::Start() {
       [this] { return static_cast<double>(options_.workers); }));
   gauges_.push_back(reg.RegisterGauge("rpc.tcp_server.queue_depth", [this] {
     std::scoped_lock lock(queue_mu_);
-    return static_cast<double>(queue_.size());
+    std::size_t depth = 0;
+    for (const auto& q : queues_) depth += q.size();
+    return static_cast<double>(depth);
   }));
   for (std::size_t i = 0; i < busy_.size(); ++i) {
     gauges_.push_back(reg.RegisterGauge(
@@ -394,7 +446,8 @@ void TcpServer::Stop() {
   {
     std::scoped_lock lock(queue_mu_);
     queue_stop_ = true;
-    queue_.clear();  // undelivered requests are dropped, like their conns
+    // Undelivered requests are dropped, like their connections.
+    for (auto& q : queues_) q.clear();
   }
   queue_cv_.notify_all();
   for (std::thread& w : workers_) {
@@ -560,6 +613,101 @@ bool TcpServer::HandleHello(Conn* conn, const wire::PinnedFrame& frame) {
   return ReleaseOrdered(conn, conn->next_seq++, std::move(bytes));
 }
 
+bool TcpServer::HandleLoadStatus(Conn* conn, const wire::PinnedFrame& frame) {
+  LoadStatus status;
+  status.workers = static_cast<std::uint32_t>(std::max(options_.workers, 0));
+  {
+    std::scoped_lock lock(queue_mu_);
+    status.queued_foreground = static_cast<std::uint32_t>(
+        queues_[wire::kPriorityForeground].size());
+    status.queued_background = static_cast<std::uint32_t>(
+        queues_[wire::kPriorityBackground].size());
+    status.queued_control =
+        static_cast<std::uint32_t>(queues_[wire::kPriorityControl].size());
+  }
+  status.shed = shed_total_.load(std::memory_order_relaxed);
+  status.expired_dropped = expired_total_.load(std::memory_order_relaxed);
+  status.queue_delay_ewma_ns = static_cast<std::uint64_t>(
+      queue_delay_ewma_ns_.load(std::memory_order_relaxed));
+  status.read_stalls = read_stall_total_.load(std::memory_order_relaxed);
+  status.slow_client_disconnects =
+      slow_disconnect_total_.load(std::memory_order_relaxed);
+  std::string bytes = EncodeErrorReply(frame.header, ErrCode::kOk,
+                                       EncodeLoadStatus(status), GetBuffer());
+  // Like the hello: answered inline, but never ahead of responses already in
+  // the worker pool for this connection.
+  if (options_.workers == 0) return AppendResponse(conn, std::move(bytes));
+  return ReleaseOrdered(conn, conn->next_seq++, std::move(bytes));
+}
+
+std::string TcpServer::RetryAfterPayload() const {
+  // Hint roughly one queue drain (the recent queue delay), floored so a shed
+  // client never spins on a zero hint.
+  common::Nanos hint = queue_delay_ewma_ns_.load(std::memory_order_relaxed);
+  if (hint < common::kMilli) hint = common::kMilli;
+  common::Writer w;
+  w.PutU64(static_cast<std::uint64_t>(hint));
+  return w.Take();
+}
+
+void TcpServer::CompleteWithError(std::uint64_t conn_id, std::uint64_t seq,
+                                  const wire::FrameHeader& req, ErrCode code,
+                                  std::string payload) {
+  // Through the completion path so the refused request still releases its
+  // slot in the per-connection response order — an evicted background
+  // request may even belong to a different connection than the one whose
+  // frames are being drained.
+  std::string bytes = EncodeErrorReply(req, code, payload, std::string());
+  {
+    std::scoped_lock lock(comp_mu_);
+    completions_.push_back(Completion{conn_id, seq, std::move(bytes)});
+  }
+  // Self-wake: the loop only drains completions at the top of a round.
+  const char byte = 0;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
+}
+
+void TcpServer::AdmitWork(Conn* conn, Work&& work) {
+  (void)conn;  // inflight already charged by the caller
+  const std::uint8_t pri = work.header.priority < wire::kPriorityCount
+                               ? work.header.priority
+                               : wire::kPriorityForeground;
+  const bool forced =
+      options_.fault != nullptr && options_.fault->ForceQueueFull();
+  bool shed_self = false;
+  std::optional<Work> evicted;
+  {
+    std::scoped_lock lock(queue_mu_);
+    // Control traffic is exempt from the cap: the load-status probe and its
+    // kin must get through during the very overload they diagnose.
+    const std::size_t bounded = queues_[wire::kPriorityForeground].size() +
+                                queues_[wire::kPriorityBackground].size();
+    const bool full =
+        pri != wire::kPriorityControl &&
+        (forced || (options_.max_queue > 0 && bounded >= options_.max_queue));
+    if (!full) {
+      queues_[pri].push_back(std::move(work));
+    } else if (pri == wire::kPriorityForeground &&
+               !queues_[wire::kPriorityBackground].empty()) {
+      // Foreground displaces the oldest queued background request, which is
+      // shed in its place.
+      evicted = std::move(queues_[wire::kPriorityBackground].front());
+      queues_[wire::kPriorityBackground].pop_front();
+      queues_[pri].push_back(std::move(work));
+    } else {
+      shed_self = true;
+    }
+  }
+  if (shed_self || evicted.has_value()) {
+    shed_metric_->Add();
+    shed_total_.fetch_add(1, std::memory_order_relaxed);
+    const Work& victim = shed_self ? work : *evicted;
+    CompleteWithError(victim.conn_id, victim.seq, victim.header,
+                      ErrCode::kOverloaded, RetryAfterPayload());
+  }
+  if (!shed_self) queue_cv_.notify_one();
+}
+
 bool TcpServer::DrainFrames(Conn* conn) {
   while (auto frame = conn->reader.Next()) {
     if (frame->header.type != wire::FrameType::kRequest) return false;
@@ -572,6 +720,13 @@ bool TcpServer::DrainFrames(Conn* conn) {
       // Connection control precedes the fault plane: hello is part of the
       // transport, not the workload under test.
       if (!HandleHello(conn, *frame)) return false;
+      continue;
+    }
+    if (frame->header.opcode == wire::kCtlLoadStatus) {
+      // Also transport-level, and deliberately ahead of the fault plane and
+      // the admission queues: the probe must answer while the server is busy
+      // shedding everything else.
+      if (!HandleLoadStatus(conn, *frame)) return false;
       continue;
     }
     int copies = 1;
@@ -588,26 +743,48 @@ bool TcpServer::DrainFrames(Conn* conn) {
       if (fate.dup) copies = 2;
       delay_ns = fate.delay_ns;
     }
+    // The wire deadline budget counts from decode: by the time the request
+    // reaches a worker (or survives an injected delay) the caller may have
+    // given up, and executing for an absent caller only deepens an overload.
+    const common::Nanos decoded_ns = common::CpuTimer::Now();
+    const common::Nanos expire_ns =
+        frame->header.deadline_budget_ns > 0
+            ? decoded_ns +
+                  static_cast<common::Nanos>(frame->header.deadline_budget_ns)
+            : 0;
     for (int copy = 0; copy < copies; ++copy) {
       if (options_.workers == 0) {
         if (delay_ns > 0) {
           std::this_thread::sleep_for(std::chrono::nanoseconds(delay_ns));
         }
-        if (!AppendResponse(conn, Execute(frame->header, frame->payload,
-                                          conn->client_id, GetBuffer()))) {
+        if (expire_ns != 0 && common::CpuTimer::Now() > expire_ns) {
+          expired_metric_->Add();
+          expired_total_.fetch_add(1, std::memory_order_relaxed);
+          if (!AppendResponse(conn,
+                              EncodeErrorReply(frame->header, ErrCode::kTimeout,
+                                               {}, GetBuffer()))) {
+            return false;
+          }
+        } else if (!AppendResponse(conn,
+                                   Execute(frame->header, frame->payload,
+                                           conn->client_id, GetBuffer()))) {
           return false;
         }
       } else {
+        // Duplicated frames share the payload view and its pin; Execute
+        // only reads the bytes.
+        Work work;
+        work.conn_id = conn->id;
+        work.seq = conn->next_seq++;
+        work.client_id = conn->client_id;
+        work.header = frame->header;
+        work.payload = frame->payload;
+        work.pin = frame->pin;
+        work.delay_ns = delay_ns;
+        work.enqueue_ns = decoded_ns;
+        work.expire_ns = expire_ns;
         ++conn->inflight;
-        {
-          // Duplicated frames share the payload view and its pin; Execute
-          // only reads the bytes.
-          std::scoped_lock lock(queue_mu_);
-          queue_.push_back(Work{conn->id, conn->next_seq++, conn->client_id,
-                                frame->header, frame->payload, frame->pin,
-                                delay_ns});
-        }
-        queue_cv_.notify_one();
+        AdmitWork(conn, std::move(work));
       }
     }
   }
@@ -668,6 +845,15 @@ bool TcpServer::AppendResponse(Conn* conn, std::string&& bytes) {
     return false;
   }
   if (!bytes.empty()) {
+    if (options_.max_conn_output_bytes > 0 &&
+        conn->out_bytes + bytes.size() > 2 * options_.max_conn_output_bytes) {
+      // Twice the soft cap of undrained responses: the peer stopped reading
+      // long ago (the soft cap already paused its requests).  Cut it loose
+      // rather than buffer without bound.
+      slow_disconnect_metric_->Add();
+      slow_disconnect_total_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
     conn->out_bytes += bytes.size();
     conn->outq.push_back(std::move(bytes));
   }
@@ -679,16 +865,50 @@ void TcpServer::WorkerMain(std::size_t index) {
     Work w;
     {
       std::unique_lock lock(queue_mu_);
-      queue_cv_.wait(lock, [this] { return queue_stop_ || !queue_.empty(); });
+      queue_cv_.wait(lock, [this] {
+        if (queue_stop_) return true;
+        for (const auto& q : queues_) {
+          if (!q.empty()) return true;
+        }
+        return false;
+      });
       if (queue_stop_) return;
-      w = std::move(queue_.front());
-      queue_.pop_front();
+      // Strict priority dequeue: control, then foreground, then background.
+      std::deque<Work>* src = &queues_[wire::kPriorityControl];
+      if (src->empty()) src = &queues_[wire::kPriorityForeground];
+      if (src->empty()) src = &queues_[wire::kPriorityBackground];
+      w = std::move(src->front());
+      src->pop_front();
     }
     busy_[index].store(true, std::memory_order_relaxed);
+    const common::Nanos dequeued_ns = common::CpuTimer::Now();
+    if (w.enqueue_ns > 0 && dequeued_ns > w.enqueue_ns) {
+      const common::Nanos qdelay = dequeued_ns - w.enqueue_ns;
+      queue_delay_hist_->Record(qdelay);
+      // EWMA (alpha 0.2) of the admission-queue wait: the serving-load
+      // signal behind RetryAfterPayload and GC pacing.  Single-writer per
+      // sample is not guaranteed (any worker updates it), but a lost update
+      // between concurrent dequeues only costs one sample of smoothing.
+      const common::Nanos prev =
+          queue_delay_ewma_ns_.load(std::memory_order_relaxed);
+      queue_delay_ewma_ns_.store(prev - prev / 5 + qdelay / 5,
+                                 std::memory_order_relaxed);
+    }
     if (w.delay_ns > 0) {
       std::this_thread::sleep_for(std::chrono::nanoseconds(w.delay_ns));
     }
-    std::string bytes = Execute(w.header, w.payload, w.client_id, std::string());
+    std::string bytes;
+    if (w.expire_ns != 0 && common::CpuTimer::Now() > w.expire_ns) {
+      // The caller's budget ran out while the request sat queued: answer
+      // kTimeout without executing.  The response still flows through the
+      // ordered release path — silently dropping the seq would wedge every
+      // later response on the connection.
+      expired_metric_->Add();
+      expired_total_.fetch_add(1, std::memory_order_relaxed);
+      bytes = EncodeErrorReply(w.header, ErrCode::kTimeout, {}, std::string());
+    } else {
+      bytes = Execute(w.header, w.payload, w.client_id, std::string());
+    }
     busy_[index].store(false, std::memory_order_relaxed);
     {
       std::scoped_lock lock(comp_mu_);
@@ -813,12 +1033,22 @@ void TcpServer::ForgetNotifySession(const Conn& conn) {
 
 void TcpServer::SyncWriteInterest(Conn* conn) {
   const bool want = conn->out_bytes > 0;
-  if (want == conn->want_write) return;
+  // Soft output cap: a reader this far behind loses EPOLLIN until its
+  // backlog drains below the cap — the slow client stalls itself, not the
+  // daemon's memory (docs/OVERLOAD.md).
+  const bool stall = options_.max_conn_output_bytes > 0 &&
+                     conn->out_bytes > options_.max_conn_output_bytes;
+  if (want == conn->want_write && stall == conn->read_stalled) return;
   struct epoll_event ev{};
-  ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+  ev.events = (stall ? 0u : EPOLLIN) | (want ? EPOLLOUT : 0u);
   ev.data.u64 = conn->id;
   if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev) == 0) {
+    if (stall && !conn->read_stalled) {
+      read_stall_metric_->Add();
+      read_stall_total_.fetch_add(1, std::memory_order_relaxed);
+    }
     conn->want_write = want;
+    conn->read_stalled = stall;
   }
 }
 
@@ -1075,10 +1305,10 @@ void TcpServer::UringLoop() {
           if (!conn->dead && conn->out_bytes > 0 && !FlushWrites(conn)) {
             conn->dead = true;
           }
-          if (!conn->dead) arm_recv(conn);
-        } else if (cqe.res == -EAGAIN || cqe.res == -EINTR) {
-          if (!conn->dead) arm_recv(conn);
-        } else {
+          // Re-armed in the end-of-round reconcile below, where the output
+          // backlog (including responses workers deliver this round) decides
+          // whether the reader must stall.
+        } else if (cqe.res != -EAGAIN && cqe.res != -EINTR) {
           conn->dead = true;  // orderly close (0) or hard error
         }
       } else if (tag == kUringTagPollOut) {
@@ -1101,6 +1331,25 @@ void TcpServer::UringLoop() {
           })) {
         conn->pollout_armed = true;
       }
+    }
+    // Re-arm receives — the uring analogue of SyncWriteInterest's EPOLLIN
+    // gate: a connection whose output backlog exceeds the soft cap keeps its
+    // recv unarmed until the peer drains responses (the POLLOUT above wakes
+    // the loop as that happens).
+    for (const auto& [id, conn] : conns) {
+      if (conn->dead || conn->recv_armed) continue;
+      const bool stall = options_.max_conn_output_bytes > 0 &&
+                         conn->out_bytes > options_.max_conn_output_bytes;
+      if (stall) {
+        if (!conn->read_stalled) {
+          conn->read_stalled = true;
+          read_stall_metric_->Add();
+          read_stall_total_.fetch_add(1, std::memory_order_relaxed);
+        }
+        continue;
+      }
+      conn->read_stalled = false;
+      arm_recv(conn.get());
     }
     // Reap failed connections.  The kernel may still own an armed recv or
     // poll on the fd: shutdown() forces those completions, and the close is
@@ -1320,9 +1569,20 @@ bool TcpChannel::OnReadable(const std::shared_ptr<PipeConn>& conn) {
     }
     const auto it = conn->waiting.find(frame->header.request_id);
     if (it == conn->waiting.end()) {
-      // The hello reply (id 0) or a response to a call that already timed
-      // out: drop it.  Its id is spendable again — the stream can hold no
-      // second response.
+      if (frame->header.request_id == 0 &&
+          frame->header.opcode == wire::kCtlHello &&
+          frame->header.code == ErrCode::kOk) {
+        // The fire-and-forget hello's reply: capture the feature bits the
+        // server granted.  Calls issued before it lands simply go out as v1
+        // frames — optimistic degrade, no round trip on the fast path.
+        wire::HelloReply reply;
+        if (wire::DecodeHelloReply(frame->payload, &reply).ok()) {
+          conn->peer_features.store(reply.features, std::memory_order_release);
+        }
+        continue;
+      }
+      // A response to a call that already timed out: drop it.  Its id is
+      // spendable again — the stream can hold no second response.
       conn->abandoned.erase(frame->header.request_id);
       continue;
     }
@@ -1478,6 +1738,16 @@ RpcResponse TcpChannel::DoCall(Endpoint& ep, std::uint16_t opcode,
       if (attempt == 0 && reused) continue;  // conn died under us
       return fail(ErrCode::kUnavailable);
     }
+    if ((conn->peer_features.load(std::memory_order_acquire) &
+         wire::kFeatureDeadline) != 0) {
+      // Overload-control extension (docs/OVERLOAD.md): what is left of THIS
+      // call's patience, re-stamped at send time, plus its priority class.
+      const common::Nanos remaining = deadline_abs - common::CpuTimer::Now();
+      if (remaining > 0) {
+        header.deadline_budget_ns = static_cast<std::uint64_t>(remaining);
+      }
+      header.priority = static_cast<std::uint8_t>(meta.priority);
+    }
     const std::string frame = wire::EncodeFrame(header, payload);
     Status st;
     {
@@ -1555,6 +1825,9 @@ std::vector<RpcResponse> TcpChannel::CallPipelined(
                            std::memory_order_relaxed);
   const std::uint64_t trace_id =
       meta.trace_id != 0 ? meta.trace_id : NextTraceId();
+  const bool deadline_on_wire =
+      (conn->peer_features.load(std::memory_order_acquire) &
+       wire::kFeatureDeadline) != 0;
   std::vector<Waiter> waiters(calls.size());
   std::vector<std::uint64_t> rids(calls.size(), 0);
   std::vector<bool> registered(calls.size(), false);
@@ -1569,6 +1842,13 @@ std::vector<RpcResponse> TcpChannel::CallPipelined(
     header.type = wire::FrameType::kRequest;
     header.opcode = calls[i].first;
     header.trace_id = trace_id;
+    if (deadline_on_wire) {
+      const common::Nanos remaining = deadline_abs - common::CpuTimer::Now();
+      if (remaining > 0) {
+        header.deadline_budget_ns = static_cast<std::uint64_t>(remaining);
+      }
+      header.priority = static_cast<std::uint8_t>(meta.priority);
+    }
     RegisterResult reg = RegisterResult::kIdInUse;
     for (int mint = 0; mint < 8 && reg == RegisterResult::kIdInUse; ++mint) {
       header.request_id = NextRequestId(ep);

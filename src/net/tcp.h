@@ -102,6 +102,24 @@ enum class IoBackend {
   kUring,
 };
 
+// wire::kCtlLoadStatus reply payload: a point-in-time view of one server's
+// admission state (docs/OVERLOAD.md).  Answered inline by the event loop,
+// so it works against every daemon regardless of handler.
+struct LoadStatus {
+  std::uint32_t workers = 0;
+  std::uint32_t queued_foreground = 0;
+  std::uint32_t queued_background = 0;
+  std::uint32_t queued_control = 0;
+  std::uint64_t shed = 0;             // admission rejections + evictions
+  std::uint64_t expired_dropped = 0;  // expired work dropped at dequeue
+  std::uint64_t queue_delay_ewma_ns = 0;
+  std::uint64_t read_stalls = 0;             // slow readers paused
+  std::uint64_t slow_client_disconnects = 0; // slow readers dropped
+};
+
+std::string EncodeLoadStatus(const LoadStatus& status);
+Status DecodeLoadStatus(std::string_view payload, LoadStatus* out);
+
 class TcpServer : public Notifier {
  public:
   struct Options {
@@ -123,7 +141,7 @@ class TcpServer : public Notifier {
     // Feature bits granted to clients in the hello exchange (a client only
     // gets bits both sides advertise).  Daemons keep the default; tests can
     // clear bits to exercise the degrade path.
-    std::uint64_t features = wire::kFeatureNotify;
+    std::uint64_t features = wire::kFeatureNotify | wire::kFeatureDeadline;
     // Server incarnation reported in hello replies.  Daemons persist a
     // counter in --store-dir and bump it per start, so clients can tell a
     // restart from a plain reconnect.
@@ -143,6 +161,19 @@ class TcpServer : public Notifier {
     // worker pool, response ordering, buffer arena, and the notify plane are
     // shared; only the readiness/accept/recv machinery differs.
     IoBackend io_backend = IoBackend::kEpoll;
+    // Admission control (docs/OVERLOAD.md): cap on queued-but-unstarted
+    // requests across the foreground and background classes together
+    // (control traffic is exempt; 0 = unbounded).  At the cap a background
+    // arrival is shed with ErrCode::kOverloaded + a retry-after hint; a
+    // foreground arrival first evicts the oldest queued background request
+    // (which is shed the same way) and is only refused when none is queued.
+    // Worker mode only — inline mode has no queue to bound.
+    std::size_t max_queue = 4096;
+    // Per-connection cap on buffered response bytes.  Above this soft cap
+    // the server stops reading the connection (a slow reader stalls itself,
+    // not the daemon); above twice the cap the connection is dropped.
+    // 0 = uncapped.
+    std::size_t max_conn_output_bytes = 8u << 20;
   };
 
   explicit TcpServer(RpcHandler* handler) : TcpServer(handler, Options{}) {}
@@ -182,6 +213,28 @@ class TcpServer : public Notifier {
   std::uint64_t requests_served() const noexcept {
     return requests_.load(std::memory_order_relaxed);
   }
+  // Recent admission-queue delay (EWMA over worker dequeues, nanoseconds) —
+  // the serving-load signal housekeeping subscribes to for adaptive pacing
+  // (core::GcManager::SetLoadSignal).  Thread-safe.
+  common::Nanos RecentQueueDelayNs() const noexcept {
+    return queue_delay_ewma_ns_.load(std::memory_order_relaxed);
+  }
+  // Requests shed with kOverloaded / expired work dropped at dequeue, this
+  // server instance only (the rpc.tcp_server.* counters are process-wide).
+  std::uint64_t shed_count() const noexcept {
+    return shed_total_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t expired_dropped_count() const noexcept {
+    return expired_total_.load(std::memory_order_relaxed);
+  }
+  // Slow-reader backpressure, this instance only: reads paused at the soft
+  // output cap / connections dropped at the hard cap.
+  std::uint64_t read_stall_count() const noexcept {
+    return read_stall_total_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t slow_client_disconnect_count() const noexcept {
+    return slow_disconnect_total_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Conn;
@@ -195,7 +248,11 @@ class TcpServer : public Notifier {
     wire::FrameHeader header;
     std::string_view payload;
     std::shared_ptr<const std::string> pin;
-    common::Nanos delay_ns = 0;  // injected stall before service
+    common::Nanos delay_ns = 0;    // injected stall before service
+    common::Nanos enqueue_ns = 0;  // admission time (queue-delay measurement)
+    // Absolute expiry from the wire deadline budget; 0 = none.  Workers drop
+    // expired work at dequeue instead of executing for an absent caller.
+    common::Nanos expire_ns = 0;
   };
   // One encoded response headed back to the loop thread.
   struct Completion {
@@ -229,6 +286,21 @@ class TcpServer : public Notifier {
   // Answer a kCtlHello inline on the loop thread (negotiation must precede
   // any dispatch) and register the notify session when granted.
   bool HandleHello(Conn* conn, const wire::PinnedFrame& frame);
+  // Answer a kCtlLoadStatus inline on the loop thread (the loop owns the
+  // admission queues; no handler dispatch, works under full saturation).
+  bool HandleLoadStatus(Conn* conn, const wire::PinnedFrame& frame);
+  // Worker-mode admission: enqueue the decoded request or shed it (and
+  // possibly an older background request) with kOverloaded.  The caller has
+  // already charged conn->inflight and minted `seq`.
+  void AdmitWork(Conn* conn, Work&& work);
+  // Answer request `seq` on `conn_id` with `code` (no handler execution) via
+  // the completion path: shed and expired work still releases its slot in
+  // the per-connection response order.  Loop or worker thread.
+  void CompleteWithError(std::uint64_t conn_id, std::uint64_t seq,
+                         const wire::FrameHeader& req, ErrCode code,
+                         std::string payload);
+  // Encode the kOverloaded retry-after hint payload (EWMA queue delay).
+  std::string RetryAfterPayload() const;
   // Flush pending response bytes; returns false on a dead peer.
   bool FlushWrites(Conn* conn);
   // Queue one encoded response on `conn`, applying the injected short-write
@@ -280,11 +352,13 @@ class TcpServer : public Notifier {
   std::uint16_t port_ = 0;
   std::atomic<std::uint64_t> requests_{0};
 
-  // Worker pool (empty in inline mode).
+  // Worker pool (empty in inline mode).  Admission queues are bounded and
+  // per-priority (dequeue order control > foreground > background; see
+  // Options::max_queue for the shed policy).
   std::vector<std::thread> workers_;
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
-  std::deque<Work> queue_;
+  std::deque<Work> queues_[wire::kPriorityCount];
   bool queue_stop_ = false;
   std::mutex comp_mu_;
   std::vector<Completion> completions_;
@@ -321,6 +395,28 @@ class TcpServer : public Notifier {
       &common::MetricsRegistry::Default().GetCounter(
           "rpc.tcp_server.bufpool.zerocopy_copies");
 
+  // Overload-control state (docs/OVERLOAD.md).  Per-instance totals back
+  // the LoadStatus reply; the rpc.tcp_server.* counters are process-wide.
+  std::atomic<common::Nanos> queue_delay_ewma_ns_{0};
+  std::atomic<std::uint64_t> shed_total_{0};
+  std::atomic<std::uint64_t> expired_total_{0};
+  std::atomic<std::uint64_t> read_stall_total_{0};
+  std::atomic<std::uint64_t> slow_disconnect_total_{0};
+  common::Counter* shed_metric_ =
+      &common::MetricsRegistry::Default().GetCounter("rpc.tcp_server.shed");
+  common::Counter* expired_metric_ =
+      &common::MetricsRegistry::Default().GetCounter(
+          "rpc.tcp_server.expired_dropped");
+  common::Counter* read_stall_metric_ =
+      &common::MetricsRegistry::Default().GetCounter(
+          "rpc.tcp_server.read_stalls");
+  common::Counter* slow_disconnect_metric_ =
+      &common::MetricsRegistry::Default().GetCounter(
+          "rpc.tcp_server.slow_client_disconnects");
+  common::LatencyHistogram* queue_delay_hist_ =
+      &common::MetricsRegistry::Default().GetHistogram(
+          "rpc.tcp_server.queue_delay", "wall_ns");
+
   common::RpcMetricsTable metrics_{&common::MetricsRegistry::Default(),
                                    "tcp_server", "wall_ns"};
 };
@@ -355,8 +451,12 @@ struct TcpChannelOptions {
   std::uint64_t client_id = 0;
   // Feature bits advertised in that hello.  Pooled RPC connections should
   // NOT advertise kFeatureNotify — the notify stream belongs on the
-  // NotifyListener's dedicated connection.
-  std::uint64_t features = 0;
+  // NotifyListener's dedicated connection.  kFeatureDeadline is advertised
+  // by default: once the server's hello reply grants it, calls carry their
+  // remaining deadline budget and priority class on the wire
+  // (docs/OVERLOAD.md); against an old server the channel keeps emitting
+  // v1 frames.
+  std::uint64_t features = wire::kFeatureDeadline;
 };
 
 class TcpChannel final : public Channel {
@@ -419,6 +519,11 @@ class TcpChannel final : public Channel {
     const int fd;
     std::atomic<bool> dead{false};       // failed; skipped and pruned
     std::atomic<std::uint32_t> inflight{0};  // reservations (load balancing)
+    // Feature bits the server granted in its hello reply (the reactor
+    // captures the request-id-0 response).  0 until the reply arrives, so
+    // early calls degrade to v1 frames; once kFeatureDeadline shows up the
+    // channel stamps the deadline budget + priority extension.
+    std::atomic<std::uint64_t> peer_features{0};
     std::mutex write_mu;  // serializes request bytes onto the socket
     std::mutex mu;        // guards everything below (except `reader`)
     wire::FrameReader reader;  // reactor thread only

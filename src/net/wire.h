@@ -5,7 +5,7 @@
 //
 //   offset  size  field
 //        0     4  magic       0x4C4F434Fu ("LOCO"), little-endian
-//        4     1  version     kVersion (currently 2; v1 still accepted)
+//        4     1  version     kVersion (currently 3; v1/v2 still accepted)
 //        5     1  type        1 = request, 2 = response, 3 = notify (v2)
 //        6     2  opcode      RPC opcode (core/proto.h, baselines/proto.h)
 //        8     8  request id  per-connection correlation id; echoed verbatim
@@ -14,7 +14,15 @@
 //       16     8  trace id    per-operation id threaded through net::Call
 //       24     1  code        ErrCode of a response; 0 in requests
 //       25     4  payload len bytes that follow the header
-//       29     …  payload     opcode-specific bytes (fs::Pack tuples)
+//   --- v3 frames only (overload control, docs/OVERLOAD.md) ---
+//       29     8  deadline budget  remaining ns the caller will wait; 0 = none.
+//                             Re-stamped per hop: each sender writes what is
+//                             left of ITS budget, so the receiver can drop
+//                             work the caller has already abandoned.
+//       37     1  priority    2-bit class: 0 foreground, 1 background,
+//                             2 control (higher bits must be zero)
+//   ---
+//    29/38     …  payload     opcode-specific bytes (fs::Pack tuples)
 //
 // All integers are little-endian (common::Writer/Reader).  Decoding is
 // defensive: bad magic, unknown version, an out-of-range error code or a
@@ -31,9 +39,12 @@
 // merely answer kUnsupported/kInvalid for the unknown opcode) advertising
 // its feature bits.  A v2 server intercepts the opcode and replies with its
 // own bits plus its current epoch.  Frames are version-tagged with the
-// minimum version required to interpret them — request/response stay v1,
-// kNotify is v2 — so both sides degrade to v1 behaviour against an old
-// peer with no flag-day upgrade.
+// minimum version required to interpret them — request/response with no
+// deadline budget and default (foreground) priority stay v1, kNotify is v2,
+// and only frames that actually carry the overload-control extension are
+// tagged v3 — so both sides degrade to v1 behaviour against an old peer
+// with no flag-day upgrade.  A client sends v3 frames only after the hello
+// reply granted kFeatureDeadline (net/tcp.cc captures the grant).
 #pragma once
 
 #include <cstdint>
@@ -49,10 +60,22 @@
 namespace loco::net::wire {
 
 inline constexpr std::uint32_t kMagic = 0x4C4F434Fu;  // "LOCO"
-inline constexpr std::uint8_t kVersion = 2;
+inline constexpr std::uint8_t kVersion = 3;
 // Oldest version DecodeHeader still accepts (v1 lacks kNotify and hello).
 inline constexpr std::uint8_t kMinVersion = 1;
+// Frames that need the notify plane (push frames) are tagged v2.
+inline constexpr std::uint8_t kNotifyVersion = 2;
 inline constexpr std::size_t kHeaderBytes = 29;
+// v3 header: the v1 layout plus the 8-byte deadline budget and 1-byte
+// priority class.  Readers size their peek buffers to the largest header.
+inline constexpr std::size_t kHeaderBytesV3 = 38;
+inline constexpr std::size_t kMaxHeaderBytes = kHeaderBytesV3;
+
+// Header length for a frame tagged `version`.  Unknown future versions fall
+// back to the base length; DecodeHeader rejects them regardless.
+constexpr std::size_t HeaderLen(std::uint8_t version) noexcept {
+  return version >= 3 && version <= kVersion ? kHeaderBytesV3 : kHeaderBytes;
+}
 // Default cap on a single frame's payload.  Far above any legitimate
 // metadata message; guards the peer against hostile length fields.
 inline constexpr std::uint32_t kMaxPayloadBytes = 64u << 20;
@@ -64,8 +87,13 @@ enum class FrameType : std::uint8_t { kRequest = 1, kResponse = 2, kNotify = 3 }
 inline constexpr std::uint16_t kNotifyOpcodeBase = 224;  // 224–239
 inline constexpr std::uint16_t kControlOpcodeBase = 240;  // 240–255
 
-// Control opcodes.
+// Control opcodes.  240 and 245 are transport-level (intercepted by
+// TcpServer itself); 241–244 are service-level admin RPCs (core/proto.h).
 inline constexpr std::uint16_t kCtlHello = 240;
+// Serving-load snapshot (admission queue depths, shed/expired counts, queue
+// delay).  Answered inline by the server's event loop — the loop owns the
+// queues — so every daemon exposes it without handler changes.
+inline constexpr std::uint16_t kCtlLoadStatus = 245;
 
 // Notify opcodes (the opcode field of a kNotify frame).
 inline constexpr std::uint16_t kNotifyInvalidate = 224;
@@ -73,6 +101,18 @@ inline constexpr std::uint16_t kNotifyServerUp = 225;
 
 // Feature bits exchanged in the hello.
 inline constexpr std::uint64_t kFeatureNotify = 1ull << 0;
+// Peer understands v3 frames (deadline budget + priority class).  A client
+// must not emit a v3 frame before the hello reply grants this bit.
+inline constexpr std::uint64_t kFeatureDeadline = 1ull << 1;
+
+// Priority classes carried in the v3 header (2-bit field; 3 is reserved).
+// Foreground is the default serving traffic; background marks housekeeping
+// (GC probes, fsck scans, session keepalives) that admission control sheds
+// first; control marks admin RPCs that must get through under saturation.
+inline constexpr std::uint8_t kPriorityForeground = 0;
+inline constexpr std::uint8_t kPriorityBackground = 1;
+inline constexpr std::uint8_t kPriorityControl = 2;
+inline constexpr std::uint8_t kPriorityCount = 3;
 
 // kCtlHello request payload.
 struct Hello {
@@ -100,6 +140,11 @@ struct FrameHeader {
   std::uint64_t trace_id = 0;
   ErrCode code = ErrCode::kOk;  // responses only; requests carry kOk
   std::uint32_t payload_len = 0;
+  // v3 extension (zero / foreground on v1-v2 frames).  A frame is encoded
+  // as v3 exactly when either field departs from its default, so senders
+  // simply leave them zeroed against peers that never granted the feature.
+  std::uint64_t deadline_budget_ns = 0;  // remaining caller patience; 0 = none
+  std::uint8_t priority = kPriorityForeground;
 };
 
 // Serialize one complete frame (header.payload_len is taken from `payload`,
@@ -112,8 +157,10 @@ std::string EncodeFrame(const FrameHeader& header, std::string_view payload);
 void EncodeFrameInto(const FrameHeader& header, std::string_view payload,
                      std::string* out);
 
-// Decode the fixed header from `bytes` (which must hold >= kHeaderBytes).
-// kCorruption on bad magic / unsupported version / invalid type or code.
+// Decode the header from `bytes`, which must hold the full header for the
+// frame's version — HeaderLen(bytes[4]) bytes; callers peek the version byte
+// once kHeaderBytes are buffered.  kCorruption on bad magic / unsupported
+// version / invalid type, code or priority.
 Status DecodeHeader(std::string_view bytes, FrameHeader* out);
 
 struct Frame {

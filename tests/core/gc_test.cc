@@ -132,6 +132,74 @@ TEST(GcManagerTest, TokenBucketBoundsSpend) {
   EXPECT_GE(gc.GetStatus().ops, 1u);
 }
 
+TEST(GcManagerTest, PacingFactorFollowsTheLoadSignal) {
+  GcManager::Options options;
+  options.metrics_prefix = "gc_test_factor";
+  options.load_low_ns = 100 * common::kMicro;
+  options.load_high_ns = common::kMilli;
+  options.load_min_factor = 0.2;
+  GcManager gc(options);
+
+  // No signal: full rate.
+  EXPECT_DOUBLE_EQ(gc.CurrentPacingFactor(), 1.0);
+
+  common::Nanos delay = 0;
+  gc.SetLoadSignal([&delay] { return delay; });
+  delay = 50 * common::kMicro;  // below the low watermark
+  EXPECT_DOUBLE_EQ(gc.CurrentPacingFactor(), 1.0);
+  delay = 10 * common::kMilli;  // far above the high watermark
+  EXPECT_DOUBLE_EQ(gc.CurrentPacingFactor(), 0.2);
+  delay = 550 * common::kMicro;  // halfway up the ramp
+  EXPECT_NEAR(gc.CurrentPacingFactor(), 0.6, 1e-9);
+}
+
+// Acceptance: gc.throttle_ns rises under injected foreground saturation and
+// the scan rate recovers once the load signal drops (ROADMAP item 5).
+TEST(GcManagerTest, AdaptivePacingYieldsToForegroundLoad) {
+  GcManager::Options options;
+  options.ops_per_sec = 2000.0;
+  options.batch_ops = 10;
+  options.idle_sleep_ns = 1'000'000;
+  options.metrics_prefix = "gc_test_pacing";
+  GcManager gc(options);
+  std::atomic<common::Nanos> qdelay{0};
+  gc.SetLoadSignal(
+      [&qdelay] { return qdelay.load(std::memory_order_relaxed); });
+  gc.AddTask("spender", [](std::uint32_t budget) {
+    return GcStepResult{budget, 0};  // always spends its full grant
+  });
+  auto throttle_ns = [] {
+    return common::MetricsRegistry::Default()
+        .GetCounter("gc_test_pacing.throttle_ns")
+        .value();
+  };
+
+  gc.Start();
+  EXPECT_DOUBLE_EQ(gc.CurrentPacingFactor(), 1.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  const std::uint64_t ops_idle = gc.GetStatus().ops;
+
+  // Foreground saturation: queue delay far above load_high_ns collapses the
+  // refill rate to load_min_factor, so the same wall-clock window grants far
+  // fewer ops and the extra waiting lands in <prefix>.throttle_ns.
+  qdelay.store(10 * common::kMilli, std::memory_order_relaxed);
+  EXPECT_DOUBLE_EQ(gc.CurrentPacingFactor(), options.load_min_factor);
+  const std::uint64_t throttle_at_saturation = throttle_ns();
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  const std::uint64_t ops_loaded = gc.GetStatus().ops - ops_idle;
+  EXPECT_GT(throttle_ns(), throttle_at_saturation);
+  EXPECT_LT(ops_loaded, ops_idle);
+
+  // Load drops: the configured rate comes back.
+  qdelay.store(0, std::memory_order_relaxed);
+  EXPECT_DOUBLE_EQ(gc.CurrentPacingFactor(), 1.0);
+  const std::uint64_t ops_before_recovery = gc.GetStatus().ops;
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  gc.Stop();
+  const std::uint64_t ops_recovered = gc.GetStatus().ops - ops_before_recovery;
+  EXPECT_GT(ops_recovered, ops_loaded);
+}
+
 // ------------------------------------------------------------ DMS GcStep --
 
 struct DmsGcFixture {

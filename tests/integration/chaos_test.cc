@@ -37,6 +37,7 @@
 #include "fs/client.h"
 #include "net/task.h"
 #include "net/tcp.h"
+#include "net/wire.h"
 
 #if defined(LOCO_DAEMON_DIR) && defined(LOCO_TOOL_DIR)
 
@@ -49,6 +50,15 @@ using testutil::Eventually;
 using testutil::Kill9;
 using testutil::Spawn;
 using testutil::WallClockNs;
+
+// TcpChannel completes callbacks inline, so a plain out-param works.
+net::RpcResponse BlockingCall(net::Channel& channel, net::NodeId node,
+                              std::uint16_t opcode, std::string payload) {
+  net::RpcResponse out;
+  channel.CallAsync(node, opcode, std::move(payload),
+                    [&out](net::RpcResponse r) { out = std::move(r); });
+  return out;
+}
 
 class ChaosCluster {
  public:
@@ -161,6 +171,11 @@ class ChaosCluster {
 struct StormResult {
   std::vector<std::string> committed_dirs;
   std::vector<std::string> committed_files;
+  // Renames that reported failure: {from, to} pairs.  The f-rename is a
+  // composite (insert at the destination, then remove the source), so a
+  // failure may have left the file under either name — but never both (a
+  // duplicated mutation) and never neither (a lost file).
+  std::vector<std::pair<std::string, std::string>> unresolved_renames;
   int failures = 0;
 };
 
@@ -213,6 +228,10 @@ StormResult RunStorm(fs::FileSystemClient& client, int ops, int kill_at,
         if (net::RunInline(client.Rename(path, to)).ok()) {
           path = to;
         } else {
+          // A failed composite rename may still have moved the file; verify
+          // it later as exactly-one-of {from, to} instead of by exact name.
+          result.unresolved_renames.emplace_back(path, to);
+          result.committed_files.pop_back();
           ++result.failures;
         }
         break;
@@ -265,6 +284,15 @@ void RunKillRestartScenario(const std::string& tag,
     EXPECT_TRUE(Eventually([&] {
       return net::RunInline(client->StatFile(path)).ok();
     })) << path;
+  }
+  // A failed rename resolved to exactly one of its two names: never both
+  // (duplicated mutation), never neither (lost file).
+  for (const auto& [from, to] : storm.unresolved_renames) {
+    EXPECT_TRUE(Eventually([&] {
+      const bool at_from = net::RunInline(client->StatFile(from)).ok();
+      const bool at_to = net::RunInline(client->StatFile(to)).ok();
+      return at_from != at_to;
+    })) << from << " -> " << to;
   }
 
   // And the second, read-only pass finds nothing left to repair.
@@ -446,6 +474,117 @@ TEST(ChaosTest, BatchMkdirAndPutStormKillRestartFsckClean) {
     EXPECT_TRUE(Eventually([&] {
       auto got = net::RunInline(client->Read(path, 0, data.size() + 16));
       return got.ok() && *got == data;
+    })) << path;
+  }
+
+  EXPECT_EQ(cluster.RunFsck(/*repair=*/false), 0);
+}
+
+TEST(ChaosTest, OverloadStormShedKillRestartFsckClean) {
+  // Overload storm phase (docs/OVERLOAD.md): FMS 2 is armed with
+  // queue_full=0.35, so roughly a third of its decoded frames take the
+  // admission-queue-full path and are shed with kOverloaded + retry-after —
+  // the daemon is continuously shedding under the storm.  The SIGKILL then
+  // lands *mid-shed* (asserted via the kCtlLoadStatus shed counter just
+  // before the kill fires).  After restart, fsck must find a clean
+  // namespace, the client's breaker must admit traffic to the restarted
+  // node again, and no mutation may have applied twice: kOverloaded is
+  // replied before execution, so a shed-then-retried request applies
+  // exactly once, and timed-out retries replay through the dedup window.
+  // RunStorm's rename chain (f -> fr, tracking the new name) is the
+  // duplicate detector — a double-applied rename leaves the tracked name
+  // unreadable.
+  ChaosCluster cluster("overload", "queue_full=0.35,seed=11");
+  if (!cluster.BinariesPresent()) {
+    GTEST_SKIP() << "daemon or loco_fsck binaries not built";
+  }
+  ASSERT_TRUE(cluster.StartAll());
+
+  auto deployment = cluster.Connect();
+  ASSERT_TRUE(deployment.ok()) << deployment.status().ToString();
+  auto client = deployment->MakeClient(WallClockNs);
+  client->SetIdentity(fs::Identity{1000, 1000});
+
+  // Admin probe straight at the shedding FMS: control-plane traffic is
+  // exempt from admission control, so the probe answers even while the
+  // daemon sheds serving work.
+  net::TcpChannelOptions probe_options;
+  probe_options.connect_attempts = 1;
+  probe_options.call_deadline_ns = 2 * common::kSecond;
+  net::TcpChannel probe(probe_options);
+  probe.Register(0, "127.0.0.1", cluster.fms(1).port);
+
+  bool killed_mid_shed = false;
+  const StormResult storm = RunStorm(*client, /*ops=*/200, /*kill_at=*/120, [&] {
+    const net::RpcResponse r =
+        BlockingCall(probe, 0, net::wire::kCtlLoadStatus, {});
+    if (r.ok()) {
+      net::LoadStatus status;
+      if (DecodeLoadStatus(r.payload, &status).ok() && status.shed > 0) {
+        killed_mid_shed = true;
+      }
+    }
+    Kill9(&cluster.fms(1));
+  });
+  EXPECT_TRUE(killed_mid_shed) << "SIGKILL did not land while shedding";
+  ASSERT_FALSE(storm.committed_dirs.empty());
+  ASSERT_FALSE(storm.committed_files.empty());
+  // The fault plane guarantees sheds happened; with only 2 attempts per
+  // call some of them surfaced to the storm as failures.
+  EXPECT_GT(storm.failures, 0);
+
+  // Restart FMS 2 without the fault spec: the mid-shed kill already
+  // happened, and recovery should measure the overload plane, not a daemon
+  // still shedding a third of everything (fsck scans ride background
+  // priority and would be shed too).
+  {
+    auto& args = cluster.fms(1).args;
+    for (auto it = args.begin(); it != args.end();) {
+      if (*it == "--fault-spec") {
+        it = args.erase(it, it + 2);
+      } else {
+        ++it;
+      }
+    }
+  }
+  ASSERT_TRUE(Spawn(&cluster.fms(1))) << "restart failed";
+  deployment->channel->DisconnectAll();
+  ASSERT_TRUE(Eventually([&] {
+    return net::RunInline(client->Stat("/")).ok();
+  })) << "cluster did not come back";
+  ASSERT_EQ(cluster.RunFsck(/*repair=*/true), 0);
+
+  // Zero duplicated mutations: every path the client saw commit is visible
+  // under exactly the name the client tracked through the rename chain, and
+  // every failed rename resolved to exactly one of its two names.
+  for (const std::string& dir : storm.committed_dirs) {
+    EXPECT_TRUE(Eventually([&] {
+      return net::RunInline(client->Stat(dir)).ok();
+    })) << dir;
+  }
+  for (const std::string& path : storm.committed_files) {
+    EXPECT_TRUE(Eventually([&] {
+      return net::RunInline(client->StatFile(path)).ok();
+    })) << path;
+  }
+  for (const auto& [from, to] : storm.unresolved_renames) {
+    EXPECT_TRUE(Eventually([&] {
+      const bool at_from = net::RunInline(client->StatFile(from)).ok();
+      const bool at_to = net::RunInline(client->StatFile(to)).ok();
+      return at_from != at_to;
+    })) << from << " -> " << to;
+  }
+
+  // Breaker recovery: the restarted, no-longer-shedding FMS must accept
+  // fresh mutations (placement spreads these across both FMS, so a breaker
+  // stuck open on node 2 would strand some of them).
+  ASSERT_TRUE(Eventually([&] {
+    return net::RunInline(client->Mkdir("/postshed", 0755)).ok();
+  }));
+  for (int i = 0; i < 10; ++i) {
+    const std::string path = "/postshed/f" + std::to_string(i);
+    EXPECT_TRUE(Eventually([&] {
+      return net::RunInline(client->Create(path, 0644)).ok();
     })) << path;
   }
 

@@ -246,8 +246,13 @@ TEST_F(NotifyClusterTest, ServerSeveredStreamReconnectsAndResyncs) {
   // Both listeners reconnect and re-hello; each reconnect is a resync.
   ASSERT_TRUE(Await([&] { return dms_server_->notify_sessions() == 2; }))
       << "listeners never re-established their streams";
-  EXPECT_GE(registry.CounterValue("notify.listener.reconnects"),
-            reconnects_before + 2);
+  // The server registers a session before its hello reply reaches the
+  // listener, which bumps the counter only after decoding that reply — so
+  // the counters trail notify_sessions() and must be awaited, not asserted.
+  ASSERT_TRUE(Await([&] {
+    return registry.CounterValue("notify.listener.reconnects") >=
+           reconnects_before + 2;
+  }));
   ASSERT_TRUE(Await([&] {
     return registry.CounterValue("notify.listener.resyncs") >=
            resyncs_before + 2;

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "common/clock.h"
+#include "common/codec.h"
 #include "core/dms.h"
 #include "core/proto.h"
 #include "fs/wire.h"
@@ -45,18 +46,22 @@ class ScriptedChannel final : public Channel {
     (void)opcode;
     ++attempts;
     trace_ids.push_back(meta.trace_id);
+    deadlines.push_back(meta.deadline_ns);
     RpcResponse resp;
     if (!script.empty()) {
       resp.code = script.front();
       script.pop_front();
     }
     if (resp.ok()) resp.payload = std::move(payload);
+    if (resp.code == ErrCode::kOverloaded) resp.payload = overloaded_payload;
     done(std::move(resp));
   }
 
   std::deque<ErrCode> script;  // per-attempt outcome; exhausted = kOk
   int attempts = 0;
   std::vector<std::uint64_t> trace_ids;
+  std::vector<common::Nanos> deadlines;    // meta.deadline_ns per attempt
+  std::string overloaded_payload;          // attached to kOverloaded replies
 };
 
 ResilienceOptions FastOptions() {
@@ -183,6 +188,123 @@ TEST(ResilientChannelTest, HalfOpenProbeFailureReopensBreaker) {
   const int attempts = inner.attempts;
   EXPECT_EQ(BlockingCall(channel, 7, "x").code, ErrCode::kUnavailable);
   EXPECT_EQ(inner.attempts, attempts);  // re-opened: fast fail again
+}
+
+// Inner channel that burns real time failing — models a peer that accepts
+// the connection but never answers inside the attempt's deadline.
+class SlowFailChannel final : public Channel {
+ public:
+  void CallAsync(NodeId server, std::uint16_t opcode, std::string payload,
+                 std::function<void(RpcResponse)> done) override {
+    CallAsyncMeta(server, opcode, std::move(payload), CallMeta{},
+                  std::move(done));
+  }
+  void CallAsyncMeta(NodeId, std::uint16_t, std::string, const CallMeta& meta,
+                     std::function<void(RpcResponse)> done) override {
+    ++attempts;
+    deadlines.push_back(meta.deadline_ns);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    done(RpcResponse{ErrCode::kTimeout, {}});
+  }
+
+  int attempts = 0;
+  std::vector<common::Nanos> deadlines;
+};
+
+// Satellite regression: ONE deadline budget covers every attempt.  Before
+// the fix each attempt got the full call deadline, so a max_attempts=5 call
+// against a 30ms-per-attempt failure could run ~5x its 50ms budget.
+TEST(ResilientChannelTest, OneDeadlineBudgetBoundsAllAttempts) {
+  SlowFailChannel inner;
+  auto options = FastOptions();
+  options.max_attempts = 5;
+  ResilientChannel channel(&inner, options);
+
+  CallMeta meta;
+  meta.deadline_ns = 50 * common::kMilli;
+  const common::Nanos start = common::CpuTimer::Now();
+  RpcResponse resp;
+  channel.CallAsyncMeta(7, kEchoOp, "x", meta,
+                        [&](RpcResponse r) { resp = std::move(r); });
+  const common::Nanos elapsed = common::CpuTimer::Now() - start;
+
+  EXPECT_EQ(resp.code, ErrCode::kTimeout);
+  // Two 30ms attempts exhaust the 50ms budget; attempts 3-5 never run and
+  // the wall clock stays near the budget, not max_attempts x budget.
+  EXPECT_LE(inner.attempts, 2);
+  EXPECT_GE(inner.attempts, 1);
+  EXPECT_LT(elapsed, 150 * common::kMilli);
+  // The first attempt carries (about) the whole budget, later ones only the
+  // shrinking remainder.
+  ASSERT_FALSE(inner.deadlines.empty());
+  EXPECT_LE(inner.deadlines.front(), 50 * common::kMilli);
+  EXPECT_GT(inner.deadlines.front(), 40 * common::kMilli);
+  for (std::size_t i = 1; i < inner.deadlines.size(); ++i) {
+    EXPECT_LT(inner.deadlines[i], inner.deadlines[i - 1]);
+    EXPECT_LT(inner.deadlines[i], 25 * common::kMilli);
+  }
+}
+
+TEST(ResilientChannelTest, RetryBudgetStopsAmplification) {
+  ScriptedChannel inner;
+  for (int i = 0; i < 100; ++i) inner.script.push_back(ErrCode::kUnavailable);
+  auto options = FastOptions();
+  options.max_attempts = 4;
+  options.breaker_threshold = 1000;  // keep the breaker out of the picture
+  options.retry_budget_cap = 2.0;
+  options.retry_budget_ratio = 0.01;
+  ResilientChannel channel(&inner, options);
+
+  const std::uint64_t exhausted_before =
+      common::MetricsRegistry::Default()
+          .GetCounter("rpc.resilient.budget_exhausted")
+          .value();
+  // Bucket starts full (2 tokens): first attempt is free, two retries spend
+  // the bucket, the third retry is denied.
+  EXPECT_EQ(BlockingCall(channel, 7, "x").code, ErrCode::kUnavailable);
+  EXPECT_EQ(inner.attempts, 3);
+  EXPECT_GT(common::MetricsRegistry::Default()
+                .GetCounter("rpc.resilient.budget_exhausted")
+                .value(),
+            exhausted_before);
+  // Bucket (near) empty: the next call gets its first attempt only — offered
+  // load stops multiplying against a struggling cluster.
+  EXPECT_EQ(BlockingCall(channel, 7, "x").code, ErrCode::kUnavailable);
+  EXPECT_EQ(inner.attempts, 4);
+}
+
+TEST(ResilientChannelTest, OverloadedNeverTripsTheBreaker) {
+  ScriptedChannel inner;
+  for (int i = 0; i < 100; ++i) inner.script.push_back(ErrCode::kOverloaded);
+  auto options = FastOptions();
+  options.max_attempts = 2;
+  options.breaker_threshold = 2;
+  ResilientChannel channel(&inner, options);
+
+  // Far more consecutive kOverloaded outcomes than the threshold: the server
+  // is alive and answering, so the breaker must stay closed throughout.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(BlockingCall(channel, 7, "x").code, ErrCode::kOverloaded);
+    EXPECT_EQ(channel.breaker_state(7), BreakerState::kClosed);
+  }
+  EXPECT_EQ(inner.attempts, 10);  // still retried, just never tripped
+}
+
+TEST(ResilientChannelTest, OverloadedBackoffHonorsRetryAfterHint) {
+  ScriptedChannel inner;
+  inner.script = {ErrCode::kOverloaded};  // then kOk
+  common::Writer hint;
+  hint.PutU64(50 * common::kMilli);
+  inner.overloaded_payload = hint.Take();
+  // Jitter is capped at 1ns by FastOptions: any real wait below came from
+  // the server's hint.
+  ResilientChannel channel(&inner, FastOptions());
+
+  const common::Nanos start = common::CpuTimer::Now();
+  EXPECT_TRUE(BlockingCall(channel, 7, "x").ok());
+  const common::Nanos elapsed = common::CpuTimer::Now() - start;
+  EXPECT_EQ(inner.attempts, 2);
+  EXPECT_GE(elapsed, 45 * common::kMilli);
 }
 
 // ---------------------------------------------------------------------------

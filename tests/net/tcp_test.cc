@@ -256,6 +256,11 @@ TEST(TcpTest, GarbageResponseIsCorruption) {
   RawResponder responder(std::string(64, 'Z'));  // wrong magic
   TcpChannelOptions options;
   options.connect_attempts = 1;
+  // No hello: the responder reads exactly one blob and answers it, and the
+  // fire-and-forget hello would race the request for that single read (the
+  // responder could reply-and-close before the request send completes,
+  // surfacing kUnavailable instead of the decode verdict under test).
+  options.features = 0;
   TcpChannel channel(options);
   channel.Register(1, "127.0.0.1", responder.port());
 
