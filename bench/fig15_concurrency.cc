@@ -126,7 +126,7 @@ RunResult RunOnce(int workers, int clients, int files_per_client,
   }
 
   core::ClientOptions client_options;
-  client_options.dms = HostPort(dms_server);
+  client_options.dms = {HostPort(dms_server)};
   client_options.fms.push_back(HostPort(fms_server));
   client_options.object_stores.push_back(HostPort(osd_server));
   client_options.channel.max_pipeline = depth;

@@ -153,7 +153,7 @@ ModeResult RunMode(int files, int batch, int workers,
   }
 
   core::ClientOptions client_options;
-  client_options.dms = HostPort(dms_server);
+  client_options.dms = {HostPort(dms_server)};
   client_options.fms.push_back(HostPort(fms1_server));
   client_options.fms.push_back(HostPort(fms2_server));
   client_options.object_stores.push_back(HostPort(osd_server));

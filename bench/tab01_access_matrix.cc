@@ -26,7 +26,7 @@ struct Stack {
   Stack() {
     transport.Register(0, &dms);
     core::LocoClient::Config cfg;
-    cfg.dms = 0;
+    cfg.dms = {0};
     core::FileMetadataServer::Options fo;
     fo.sid = 1;
     fms = std::make_unique<core::FileMetadataServer>(fo);

@@ -20,8 +20,10 @@
 //
 // --gc starts the background housekeeping thread (docs/HOUSEKEEPING.md):
 // session expiry plus incremental detection/repair of invariants I5-I7.
-// The orphan-file detector (I5) needs a DMS to ask which directory uuids
+// The orphan-file detector (I5) needs the DMS to ask which directory uuids
 // are still live; point --gc-dms at it (defaults to the --announce target).
+// Sharded deployments pass every shard as a comma-separated list
+// (--gc-dms h1:p1,h2:p2,...): a uuid is alive if ANY shard claims it.
 // --gc-ops caps the scan rate (touched entries/sec), --gc-batch sizes one
 // step.
 #include <charconv>
@@ -79,7 +81,8 @@ int main(int argc, char** argv) {
                  "usage: locofs_fmsd [--listen host:port] [--sid N] [--coupled]"
                  " [--workers N] [--store-dir dir] [--fault-spec spec]"
                  " [--announce host:port] [--node N]"
-                 " [--gc] [--gc-ops RATE] [--gc-batch N] [--gc-dms host:port]"
+                 " [--gc] [--gc-ops RATE] [--gc-batch N]"
+                 " [--gc-dms h1:p1,h2:p2,...]"
                  " [--io-backend epoll|uring] [--metrics-out file.json]\n",
                  argv[i]);
     return 2;
@@ -140,7 +143,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     dir_probe = std::make_unique<daemons::GcUuidProber>(
-        core::proto::kDmsCheckUuids, std::vector<std::string>{dms_spec});
+        core::proto::kDmsCheckUuids, daemons::SplitEndpoints(dms_spec));
     if (!dir_probe->bad_spec().empty()) {
       std::fprintf(stderr, "locofs_fmsd: bad --gc-dms spec '%s'\n",
                    dir_probe->bad_spec().c_str());

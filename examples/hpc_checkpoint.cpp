@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
   std::atomic<std::uint64_t> clock{0};
   auto make_client = [&]() {
     core::LocoClient::Config cfg;
-    cfg.dms = 0;
+    cfg.dms = {0};
     cfg.fms = fms_nodes;
     cfg.object_stores = {100};
     cfg.now = [&clock] { return ++clock; };

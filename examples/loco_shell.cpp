@@ -1,7 +1,7 @@
 // loco_shell: an interactive shell over a LocoFS deployment — in-process by
 // default, or against running daemons over TCP with --connect.
 //
-//   loco_shell [--connect dms=h:p,fms=h:p[,fms=h:p...],osd=h:p[,osd=h:p...]]
+//   loco_shell [--connect dms=h:p[,dms=h:p...],fms=h:p[,fms=h:p...],osd=h:p[,osd=h:p...]]
 //
 // Commands:
 //   mkdir <path>            rmdir <path>         ls <path>
@@ -111,7 +111,8 @@ void PrintSessions(net::Channel& channel,
   std::printf("%zu session(s) across %zu fms\n", total, fms_nodes.size());
 }
 
-void PrintGcStatus(net::Channel& channel, net::NodeId dms_node,
+void PrintGcStatus(net::Channel& channel,
+                   const std::vector<net::NodeId>& dms_nodes,
                    const std::vector<net::NodeId>& fms_nodes,
                    const std::vector<net::NodeId>& osd_nodes) {
   auto print_one = [&](const std::string& label, net::NodeId node) {
@@ -140,7 +141,10 @@ void PrintGcStatus(net::Channel& channel, net::NodeId dms_node,
                   static_cast<unsigned long long>(t.reclaimed));
     }
   };
-  print_one("dms", dms_node);
+  for (std::size_t i = 0; i < dms_nodes.size(); ++i) {
+    print_one(dms_nodes.size() == 1 ? "dms" : "dms" + std::to_string(i),
+              dms_nodes[i]);
+  }
   for (std::size_t i = 0; i < fms_nodes.size(); ++i) {
     print_one("fms" + std::to_string(i), fms_nodes[i]);
   }
@@ -149,7 +153,8 @@ void PrintGcStatus(net::Channel& channel, net::NodeId dms_node,
   }
 }
 
-void PrintLoadStatus(net::Channel& channel, net::NodeId dms_node,
+void PrintLoadStatus(net::Channel& channel,
+                     const std::vector<net::NodeId>& dms_nodes,
                      const std::vector<net::NodeId>& fms_nodes,
                      const std::vector<net::NodeId>& osd_nodes) {
   auto print_one = [&](const std::string& label, net::NodeId node) {
@@ -176,7 +181,10 @@ void PrintLoadStatus(net::Channel& channel, net::NodeId dms_node,
         static_cast<unsigned long long>(status.read_stalls),
         static_cast<unsigned long long>(status.slow_client_disconnects));
   };
-  print_one("dms", dms_node);
+  for (std::size_t i = 0; i < dms_nodes.size(); ++i) {
+    print_one(dms_nodes.size() == 1 ? "dms" : "dms" + std::to_string(i),
+              dms_nodes[i]);
+  }
   for (std::size_t i = 0; i < fms_nodes.size(); ++i) {
     print_one("fms" + std::to_string(i), fms_nodes[i]);
   }
@@ -197,7 +205,7 @@ int main(int argc, char** argv) {
       connect = std::string(arg.substr(std::strlen("--connect=")));
     } else {
       std::fprintf(stderr,
-                   "usage: loco_shell [--connect dms=h:p,fms=h:p,osd=h:p]\n");
+                   "usage: loco_shell [--connect dms=h:p[,dms=h:p...],fms=h:p,osd=h:p]\n");
       return 2;
     }
   }
@@ -213,7 +221,7 @@ int main(int argc, char** argv) {
   // Admin plane (sessions / gc): the channel and node ids the housekeeping
   // RPCs go to, same in both deployment modes.
   net::Channel* admin_channel = nullptr;
-  net::NodeId admin_dms = 0;
+  std::vector<net::NodeId> admin_dms{0};
   std::vector<net::NodeId> admin_fms;
   std::vector<net::NodeId> admin_osd;
 
@@ -239,9 +247,9 @@ int main(int argc, char** argv) {
     admin_osd = mount.config.object_stores;
     client_owner = mount.MakeClient(
         [] { return static_cast<std::uint64_t>(common::CpuTimer::Now()); });
-    std::printf("LocoFS shell — connected to dms=%s, %zu fms, %zu osd over "
-                "TCP; 'help' for commands\n",
-                options->dms.c_str(), options->fms.size(),
+    std::printf("LocoFS shell — connected to %zu dms shard(s), %zu fms, "
+                "%zu osd over TCP; 'help' for commands\n",
+                options->dms.size(), options->fms.size(),
                 options->object_stores.size());
   } else {
     dms = std::make_unique<core::DirectoryMetadataServer>();
@@ -257,12 +265,12 @@ int main(int argc, char** argv) {
     object_store = std::make_unique<core::ObjectStoreServer>();
     transport.Register(100, object_store.get());
     admin_channel = &transport;
-    admin_dms = 0;
+    admin_dms = {0};
     admin_fms = fms_nodes;
     admin_osd = {100};
 
     core::LocoClient::Config cfg;
-    cfg.dms = 0;
+    cfg.dms = {0};
     cfg.fms = fms_nodes;
     cfg.object_stores = {100};
     cfg.now = [&clock] { return ++clock; };

@@ -46,7 +46,7 @@ int main() {
   // --- client ------------------------------------------------------------
   std::uint64_t clock = 0;
   core::LocoClient::Config cfg;
-  cfg.dms = 0;
+  cfg.dms = {0};
   cfg.fms = fms_nodes;
   cfg.object_stores = {100};
   cfg.cache_enabled = true;  // the 30s d-inode lease cache of §3.2.2

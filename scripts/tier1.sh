@@ -40,12 +40,28 @@ wait $smoke_pid 2>/dev/null || true
 trap - EXIT
 rm -rf "$smoke_dir"
 
-echo "== tier-1: ASan+UBSan pass (net + kv + fs + sim + core + integration + chaos + gc soak + notify) =="
+echo "== tier-1: 2-shard live e2e leg (create/rename/fsck-clean) =="
+# Two real locofs_dmsd shard processes plus FMS/OSD: the cross-shard rename
+# chaos matrix (docs/SHARDING.md) — client-driven 2PC end to end, SIGKILL at
+# each crash point, recovery by loco_fsck --repair and by the shards' own
+# intent-resolution GC, with a clean read-only fsck pass after each.
+./build/tests/integration/shard_rename_test
+
+echo "== tier-1: shard scale-out smoke (fig_shard --short) =="
+# Sim-based 1/2/4-shard sweep of the mkdir/create/rename mix.  The --short
+# run is a correctness smoke (zero failed ops across shard counts); the
+# full `fig_shard` run (saturating client count) is what demonstrates the
+# >= 1.6x 2-shard scale-out recorded in BENCH_shard.json.
+cmake --build build -j --target fig_shard >/dev/null
+./build/bench/fig_shard --short --out build/BENCH_shard_smoke.json
+
+echo "== tier-1: ASan+UBSan pass (net + kv + fs + sim + core + benchlib + integration + chaos + shard + gc soak + notify) =="
 cmake -B build-asan -S . -DLOCO_SANITIZE=ON >/dev/null
 cmake --build build-asan -j --target net_test kvstore_test fs_test \
   sim_test core_test core_housekeeping_test locofs_property_test \
-  integration_test chaos_test gc_soak_test notify_e2e_test locofs_dmsd \
-  locofs_fmsd locofs_osd loco_fsck loco_shell >/dev/null
+  benchlib_test integration_test chaos_test shard_rename_test gc_soak_test \
+  notify_e2e_test locofs_dmsd locofs_fmsd locofs_osd loco_fsck \
+  loco_shell >/dev/null
 # net_test carries the wire/batch-envelope fuzz corpus and core_test the
 # batch handler suites, so the epoll server, the batch codecs and their
 # FMS handlers all run under ASan; kvstore_test covers the WAL replay and
@@ -60,8 +76,10 @@ cmake --build build-asan -j --target net_test kvstore_test fs_test \
 ./build-asan/tests/core/core_test
 ./build-asan/tests/core/core_housekeeping_test
 ./build-asan/tests/core/locofs_property_test
+./build-asan/tests/benchlib/benchlib_test
 ./build-asan/tests/integration/integration_test
 ./build-asan/tests/integration/chaos_test
+./build-asan/tests/integration/shard_rename_test
 ./build-asan/tests/integration/gc_soak_test
 ./build-asan/tests/integration/notify_e2e_test
 

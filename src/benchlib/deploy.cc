@@ -35,10 +35,19 @@ Deployment DeployLocoFs(System system, sim::SimCluster* cluster,
   const bool decoupled = system != System::kLocoCF;
   const bool cache = system != System::kLocoNC;
 
-  core::DirectoryMetadataServer::Options dms_options;
-  dms_options.backend = options.dms_backend;
-  auto dms = std::make_unique<core::DirectoryMetadataServer>(dms_options);
-  d.dms = dms.get();
+  // DMS shards: each gets its own uuid sid (0xfffe - i) so fids allocated on
+  // different shards never collide (shard 0 keeps the historic 0xfffe).
+  const int shards = options.dms_shards > 0 ? options.dms_shards : 1;
+  std::vector<std::unique_ptr<core::DirectoryMetadataServer>> dms;
+  for (int i = 0; i < shards; ++i) {
+    core::DirectoryMetadataServer::Options dms_options;
+    dms_options.backend = options.dms_backend;
+    dms_options.sid = 0xfffe - static_cast<std::uint32_t>(i);
+    dms.push_back(
+        std::make_unique<core::DirectoryMetadataServer>(dms_options));
+    d.dms_shards.push_back(dms.back().get());
+  }
+  d.dms = d.dms_shards.front();
 
   std::vector<net::NodeId> fms_nodes;
   for (int i = 0; i < options.metadata_servers; ++i) {
@@ -50,14 +59,23 @@ Deployment DeployLocoFs(System system, sim::SimCluster* cluster,
 
     auto mux = std::make_unique<MuxHandler>();
     mux->Route(32, 63, fms.get());
-    if (i == 0) mux->Route(1, 31, dms.get());  // DMS co-hosted on node 0
+    // DMS shard i co-hosted on metadata node i (the paper's combined
+    // metadata-server configuration, one shard per node).
+    if (i < shards) mux->Route(1, 31, dms[i].get());
     const net::NodeId id = cluster->AddServer(mux.get());
     fms_nodes.push_back(id);
     d.metadata_nodes.push_back(id);
     d.muxes.push_back(std::move(mux));
     d.handlers.push_back(std::move(fms));
   }
-  d.handlers.push_back(std::move(dms));
+  // Shards beyond the metadata node count get dedicated nodes.
+  std::vector<net::NodeId> dms_nodes;
+  for (int i = 0; i < shards; ++i) {
+    dms_nodes.push_back(i < options.metadata_servers
+                            ? d.metadata_nodes[i]
+                            : cluster->AddServer(dms[i].get()));
+  }
+  for (auto& shard : dms) d.handlers.push_back(std::move(shard));
 
   for (int i = 0; i < options.object_servers; ++i) {
     core::ObjectStoreServer::Options oo;
@@ -68,14 +86,13 @@ Deployment DeployLocoFs(System system, sim::SimCluster* cluster,
     d.handlers.push_back(std::move(obj));
   }
 
-  const net::NodeId dms_node = d.metadata_nodes.front();
   const std::vector<net::NodeId> object_nodes = d.object_nodes;
   const std::uint64_t lease_ns = options.loco_lease_ns;
-  d.make_client = [dms_node, fms_nodes, object_nodes, cache,
+  d.make_client = [dms_nodes, fms_nodes, object_nodes, cache,
                    lease_ns](net::Channel& ch, fs::TimeFn now)
       -> std::unique_ptr<fs::FileSystemClient> {
     core::LocoClient::Config cfg;
-    cfg.dms = dms_node;
+    cfg.dms = dms_nodes;
     cfg.fms = fms_nodes;
     cfg.object_stores = object_nodes;
     cfg.cache_enabled = cache && lease_ns > 0;

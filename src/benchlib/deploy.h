@@ -82,8 +82,10 @@ struct Deployment {
   std::function<std::unique_ptr<fs::FileSystemClient>(net::Channel&, fs::TimeFn)>
       make_client;
 
-  // Introspection (set for LocoFS deployments).
+  // Introspection (set for LocoFS deployments).  `dms` is shard 0;
+  // `dms_shards` lists every shard in shard order.
   core::DirectoryMetadataServer* dms = nullptr;
+  std::vector<core::DirectoryMetadataServer*> dms_shards;
   std::vector<core::FileMetadataServer*> fms;
   std::vector<baselines::NsServer*> ns_servers;
 };
@@ -91,6 +93,9 @@ struct Deployment {
 struct DeployOptions {
   int metadata_servers = 1;
   int object_servers = 2;
+  // LocoFS: number of DMS shards (docs/SHARDING.md).  Shard i is co-hosted
+  // on metadata node i while nodes last; extra shards get dedicated nodes.
+  int dms_shards = 1;
   // LocoFS: DMS store backend (Fig. 14 compares kBTree vs kHash).
   kv::KvBackend dms_backend = kv::KvBackend::kBTree;
   // Object store device.

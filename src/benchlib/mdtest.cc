@@ -44,12 +44,15 @@ net::Task<Status> IssueOp(fs::FileSystemClient& fsc, fs::FsOp op,
       auto entries = co_await fsc.Readdir(std::move(path));
       co_return entries.status();
     }
+    // Attribute ops target the file items (f%06d), so the typed fast paths
+    // apply — implementations skip the file-vs-directory fallback probe.
     case fs::FsOp::kChmod:
-      co_return co_await fsc.Chmod(std::move(path), 0600);
+      co_return co_await fsc.ChmodFile(std::move(path), 0600);
     case fs::FsOp::kChown:
-      co_return co_await fsc.Chown(std::move(path), fsc.identity().uid, 4242);
+      co_return co_await fsc.ChownFile(std::move(path), fsc.identity().uid,
+                                       4242);
     case fs::FsOp::kAccess:
-      co_return co_await fsc.Access(std::move(path), fs::kModeRead);
+      co_return co_await fsc.AccessFile(std::move(path), fs::kModeRead);
     case fs::FsOp::kTruncate:
       co_return co_await fsc.Truncate(std::move(path), 0);
     case fs::FsOp::kUtimens:

@@ -1,6 +1,7 @@
 #include "core/client.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/clock.h"
 #include "core/layout.h"
@@ -22,6 +23,35 @@ Result<fs::Attr> AttrFrom(const net::RpcResponse& resp) {
 }
 
 Status StatusFrom(const net::RpcResponse& resp) { return Status(resp.code); }
+
+// Transaction id for a cross-shard rename transfer: unique enough that two
+// transfers alive at once never collide (wall clock + process-local counter),
+// and never zero (the protocol reserves 0).
+std::uint64_t MintTxid() {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t c = counter.fetch_add(1, std::memory_order_relaxed);
+  return ((static_cast<std::uint64_t>(common::WallClockNs()) << 12) ^ c) | 1;
+}
+
+// Root attributes are replicated on every shard (docs/SHARDING.md): a
+// mutation targeting "/" must apply everywhere, so fan it out and surface
+// the first failing leg.  Any other path goes to its owning shard only.
+net::Task<net::RpcResponse> CallDmsWrite(net::Channel& channel,
+                                         const std::vector<net::NodeId>& dms,
+                                         net::NodeId owner,
+                                         std::string_view path,
+                                         std::uint16_t opcode,
+                                         std::string payload) {
+  if (path == "/" && dms.size() > 1) {
+    auto responses =
+        co_await net::CallMany(channel, dms, opcode, std::move(payload));
+    for (net::RpcResponse& r : responses) {
+      if (!r.ok()) co_return std::move(r);
+    }
+    co_return std::move(responses.front());
+  }
+  co_return co_await net::Call(channel, owner, opcode, std::move(payload));
+}
 
 }  // namespace
 
@@ -52,7 +82,11 @@ void NotifyFanout::Resync() {
 }
 
 LocoClient::LocoClient(net::Channel& channel, Config config)
-    : channel_(channel), cfg_(std::move(config)), ring_(cfg_.fms) {
+    : channel_(channel),
+      cfg_(std::move(config)),
+      ring_(cfg_.fms),
+      shards_(cfg_.dms.size()) {
+  if (cfg_.dms.empty()) cfg_.dms.push_back(0);  // legacy single-DMS default
   if (cfg_.fanout) cfg_.fanout->Add(this);
 }
 
@@ -151,14 +185,37 @@ net::Task<Result<fs::Attr>> LocoClient::LookupDir(std::string path,
       co_return attr;
     }
   }
-  net::RpcResponse resp =
-      co_await net::Call(channel_, cfg_.dms, proto::kDmsLookup,
-                         fs::Pack(path, identity_, want, shadow_name));
-  if (!resp.ok()) co_return ErrStatus(resp.code);
   fs::Attr attr;
   std::vector<std::string> subdirs;
-  if (!fs::Unpack(resp.payload, attr, subdirs)) {
-    co_return ErrStatus(ErrCode::kCorruption);
+  if (path == "/" && cfg_.dms.size() > 1) {
+    // The root is replicated per shard and its subdir set is partitioned:
+    // each shard's reply lists the top-level directories that shard owns.
+    // Fan out, take the attrs from shard 0 (the root's canonical owner) and
+    // the union of the name sets; each shard also grants its own lease, so
+    // every shard pushes invalidations for the entries it contributed.
+    auto responses =
+        co_await net::CallMany(channel_, cfg_.dms, proto::kDmsLookup,
+                               fs::Pack(path, identity_, want, shadow_name));
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      if (!responses[i].ok()) co_return ErrStatus(responses[i].code);
+      fs::Attr shard_attr;
+      std::vector<std::string> shard_subdirs;
+      if (!fs::Unpack(responses[i].payload, shard_attr, shard_subdirs)) {
+        co_return ErrStatus(ErrCode::kCorruption);
+      }
+      if (i == 0) attr = shard_attr;
+      subdirs.insert(subdirs.end(),
+                     std::make_move_iterator(shard_subdirs.begin()),
+                     std::make_move_iterator(shard_subdirs.end()));
+    }
+  } else {
+    net::RpcResponse resp =
+        co_await net::Call(channel_, DmsFor(path), proto::kDmsLookup,
+                           fs::Pack(path, identity_, want, shadow_name));
+    if (!resp.ok()) co_return ErrStatus(resp.code);
+    if (!fs::Unpack(resp.payload, attr, subdirs)) {
+      co_return ErrStatus(ErrCode::kCorruption);
+    }
   }
   if (cfg_.cache_enabled) {
     std::lock_guard<std::mutex> lock(cache_mu_);
@@ -174,7 +231,7 @@ net::Task<Result<fs::Attr>> LocoClient::LookupDir(std::string path,
 
 net::Task<Status> LocoClient::ClassifyMissingFile(std::string path) {
   net::RpcResponse resp = co_await net::Call(
-      channel_, cfg_.dms, proto::kDmsStat, fs::Pack(path, identity_));
+      channel_, DmsFor(path), proto::kDmsStat, fs::Pack(path, identity_));
   // If a directory exists at this path the file op mis-typed its target;
   // other resolution failures (e.g. kPermission on an ancestor) are the
   // authoritative answer and pass through.
@@ -187,7 +244,7 @@ net::Task<Status> LocoClient::ClassifyMissingFile(std::string path) {
 
 net::Task<Status> LocoClient::Mkdir(std::string path, std::uint32_t mode) {
   net::RpcResponse resp =
-      co_await net::Call(channel_, cfg_.dms, proto::kDmsMkdir,
+      co_await net::Call(channel_, DmsFor(path), proto::kDmsMkdir,
                          fs::Pack(path, mode, identity_, Now()));
   if (resp.ok()) {
     // Keep any live lease on the parent shadow-accurate.
@@ -224,9 +281,9 @@ net::Task<Status> LocoClient::Rmdir(std::string path) {
     if (check.code == ErrCode::kNotEmpty) co_return ErrStatus(ErrCode::kNotEmpty);
     if (!check.ok()) co_return ErrStatus(check.code);
   }
-  // Phase 3: remove on the DMS (which re-checks subdirectory emptiness).
+  // Phase 3: remove on the owning shard (which re-checks subdir emptiness).
   net::RpcResponse resp =
-      co_await net::Call(channel_, cfg_.dms, proto::kDmsRmdir,
+      co_await net::Call(channel_, DmsFor(path), proto::kDmsRmdir,
                          fs::Pack(path, identity_, std::uint8_t{1}));
   if (resp.ok()) {
     InvalidatePrefix(path);
@@ -237,27 +294,47 @@ net::Task<Status> LocoClient::Rmdir(std::string path) {
 
 net::Task<Result<std::vector<fs::DirEntry>>> LocoClient::Readdir(
     std::string path) {
-  net::RpcResponse resp = co_await net::Call(
-      channel_, cfg_.dms, proto::kDmsReaddir, fs::Pack(path, identity_));
-  if (!resp.ok()) {
-    if (resp.code != ErrCode::kNotFound || path == "/") {
-      co_return ErrStatus(resp.code);
-    }
-    // Maybe a file path.
-    auto parent = co_await LookupDir(std::string(fs::ParentPath(path)),
-                                   fs::kModeExec, {});
-    if (parent.ok()) {
-      net::RpcResponse probe = co_await net::Call(
-          channel_, FmsFor(parent->uuid, fs::BaseName(path)), proto::kFmsGetAttr,
-          fs::Pack(parent->uuid, std::string(fs::BaseName(path))));
-      if (probe.ok()) co_return ErrStatus(ErrCode::kNotDir);
-    }
-    co_return ErrStatus(ErrCode::kNotFound);
-  }
   fs::Attr dir_attr;
   std::vector<fs::DirEntry> entries;
-  if (!fs::Unpack(resp.payload, dir_attr, entries)) {
-    co_return ErrStatus(ErrCode::kCorruption);
+  if (path == "/" && cfg_.dms.size() > 1) {
+    // The root's subdir list is partitioned per shard: merge every shard's
+    // contribution (attrs from shard 0, the canonical root owner).
+    auto responses = co_await net::CallMany(
+        channel_, cfg_.dms, proto::kDmsReaddir, fs::Pack(path, identity_));
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      if (!responses[i].ok()) co_return ErrStatus(responses[i].code);
+      fs::Attr shard_attr;
+      std::vector<fs::DirEntry> shard_entries;
+      if (!fs::Unpack(responses[i].payload, shard_attr, shard_entries)) {
+        co_return ErrStatus(ErrCode::kCorruption);
+      }
+      if (i == 0) dir_attr = shard_attr;
+      entries.insert(entries.end(),
+                     std::make_move_iterator(shard_entries.begin()),
+                     std::make_move_iterator(shard_entries.end()));
+    }
+  } else {
+    net::RpcResponse resp = co_await net::Call(
+        channel_, DmsFor(path), proto::kDmsReaddir, fs::Pack(path, identity_));
+    if (!resp.ok()) {
+      if (resp.code != ErrCode::kNotFound || path == "/") {
+        co_return ErrStatus(resp.code);
+      }
+      // Maybe a file path.
+      auto parent = co_await LookupDir(std::string(fs::ParentPath(path)),
+                                       fs::kModeExec, {});
+      if (parent.ok()) {
+        net::RpcResponse probe = co_await net::Call(
+            channel_, FmsFor(parent->uuid, fs::BaseName(path)),
+            proto::kFmsGetAttr,
+            fs::Pack(parent->uuid, std::string(fs::BaseName(path))));
+        if (probe.ok()) co_return ErrStatus(ErrCode::kNotDir);
+      }
+      co_return ErrStatus(ErrCode::kNotFound);
+    }
+    if (!fs::Unpack(resp.payload, dir_attr, entries)) {
+      co_return ErrStatus(ErrCode::kCorruption);
+    }
   }
   // Pull the file entries from every FMS (the paper's readdir fan-out).
   std::vector<net::NodeId> fms = cfg_.fms;
@@ -374,36 +451,47 @@ net::Task<Result<std::vector<ErrCode>>> LocoClient::MkdirMany(
     std::vector<std::string> paths, std::uint32_t mode) {
   std::vector<ErrCode> codes(paths.size(), ErrCode::kOk);
   const std::uint64_t ts = Now();
-  std::vector<std::string> subops;
-  std::vector<std::size_t> sent;  // index into `paths` per sub-op
-  subops.reserve(paths.size());
+  // One frame per owning shard, preserving the caller's order within each
+  // group.  Dependent paths ("a", then "a/b") share a top-level component
+  // and therefore a shard, so in-order application still holds per frame.
+  std::unordered_map<net::NodeId, std::vector<std::size_t>> groups;
+  std::vector<net::NodeId> order;  // deterministic frame order
   for (std::size_t i = 0; i < paths.size(); ++i) {
     if (!fs::IsValidPath(paths[i]) || paths[i] == "/") {
       codes[i] = ErrCode::kInvalid;
       continue;
     }
-    subops.push_back(fs::Pack(paths[i], mode, identity_, ts));
-    sent.push_back(i);
+    const net::NodeId node = DmsFor(paths[i]);
+    auto [it, inserted] = groups.try_emplace(node);
+    if (inserted) order.push_back(node);
+    it->second.push_back(i);
   }
-  if (subops.empty()) co_return codes;
-  net::RpcResponse resp =
-      co_await net::Call(channel_, cfg_.dms, proto::kDmsBatchMkdir,
-                         net::wire::EncodeBatchRequest(subops));
-  if (!resp.ok()) {
-    for (const std::size_t i : sent) codes[i] = resp.code;
-    co_return codes;
-  }
-  std::vector<net::wire::BatchItem> items;
-  if (!net::wire::DecodeBatchResponse(resp.payload, &items) ||
-      items.size() != sent.size()) {
-    co_return ErrStatus(ErrCode::kCorruption);
-  }
-  for (std::size_t j = 0; j < sent.size(); ++j) {
-    const std::size_t i = sent[j];
-    codes[i] = items[j].code;
-    if (codes[i] == ErrCode::kOk) {
-      // Keep any live lease on the parent shadow-accurate, like Mkdir.
-      NoteSubdir(fs::ParentPath(paths[i]), fs::BaseName(paths[i]), true);
+  for (const net::NodeId node : order) {
+    const std::vector<std::size_t>& sent = groups[node];
+    std::vector<std::string> subops;
+    subops.reserve(sent.size());
+    for (const std::size_t i : sent) {
+      subops.push_back(fs::Pack(paths[i], mode, identity_, ts));
+    }
+    net::RpcResponse resp =
+        co_await net::Call(channel_, node, proto::kDmsBatchMkdir,
+                           net::wire::EncodeBatchRequest(subops));
+    if (!resp.ok()) {
+      for (const std::size_t i : sent) codes[i] = resp.code;
+      continue;
+    }
+    std::vector<net::wire::BatchItem> items;
+    if (!net::wire::DecodeBatchResponse(resp.payload, &items) ||
+        items.size() != sent.size()) {
+      co_return ErrStatus(ErrCode::kCorruption);
+    }
+    for (std::size_t j = 0; j < sent.size(); ++j) {
+      const std::size_t i = sent[j];
+      codes[i] = items[j].code;
+      if (codes[i] == ErrCode::kOk) {
+        // Keep any live lease on the parent shadow-accurate, like Mkdir.
+        NoteSubdir(fs::ParentPath(paths[i]), fs::BaseName(paths[i]), true);
+      }
     }
   }
   co_return codes;
@@ -489,13 +577,31 @@ net::Task<Result<std::vector<ErrCode>>> LocoClient::PutMany(
 
 net::Task<Result<std::vector<LocoClient::EntryPlus>>> LocoClient::ReaddirPlus(
     std::string path) {
-  net::RpcResponse resp = co_await net::Call(
-      channel_, cfg_.dms, proto::kDmsReaddir, fs::Pack(path, identity_));
-  if (!resp.ok()) co_return ErrStatus(resp.code);
   fs::Attr dir_attr;
   std::vector<fs::DirEntry> subdirs;
-  if (!fs::Unpack(resp.payload, dir_attr, subdirs)) {
-    co_return ErrStatus(ErrCode::kCorruption);
+  if (path == "/" && cfg_.dms.size() > 1) {
+    // Partitioned root subdir list: merge every shard's slice (see Readdir).
+    auto responses = co_await net::CallMany(
+        channel_, cfg_.dms, proto::kDmsReaddir, fs::Pack(path, identity_));
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      if (!responses[i].ok()) co_return ErrStatus(responses[i].code);
+      fs::Attr shard_attr;
+      std::vector<fs::DirEntry> shard_subdirs;
+      if (!fs::Unpack(responses[i].payload, shard_attr, shard_subdirs)) {
+        co_return ErrStatus(ErrCode::kCorruption);
+      }
+      if (i == 0) dir_attr = shard_attr;
+      subdirs.insert(subdirs.end(),
+                     std::make_move_iterator(shard_subdirs.begin()),
+                     std::make_move_iterator(shard_subdirs.end()));
+    }
+  } else {
+    net::RpcResponse resp = co_await net::Call(
+        channel_, DmsFor(path), proto::kDmsReaddir, fs::Pack(path, identity_));
+    if (!resp.ok()) co_return ErrStatus(resp.code);
+    if (!fs::Unpack(resp.payload, dir_attr, subdirs)) {
+      co_return ErrStatus(ErrCode::kCorruption);
+    }
   }
   std::vector<EntryPlus> entries;
   for (fs::DirEntry& d : subdirs) {
@@ -583,7 +689,7 @@ net::Task<Result<fs::Attr>> LocoClient::StatFile(std::string path) {
 net::Task<Result<fs::Attr>> LocoClient::StatDir(std::string path) {
   if (path == "/" || !cfg_.cache_enabled) {
     net::RpcResponse resp = co_await net::Call(
-        channel_, cfg_.dms, proto::kDmsStat, fs::Pack(path, identity_));
+        channel_, DmsFor(path), proto::kDmsStat, fs::Pack(path, identity_));
     co_return AttrFrom(resp);
   }
   co_return co_await LookupDir(std::move(path), 0, {});
@@ -632,8 +738,9 @@ net::Task<Status> LocoClient::Chmod(std::string path, std::uint32_t mode) {
     }
   }
   net::RpcResponse resp =
-      co_await net::Call(channel_, cfg_.dms, proto::kDmsChmod,
-                         fs::Pack(path, identity_, mode, Now()));
+      co_await CallDmsWrite(channel_, cfg_.dms, DmsFor(path), path,
+                            proto::kDmsChmod,
+                            fs::Pack(path, identity_, mode, Now()));
   if (resp.ok()) InvalidatePrefix(path);
   if (resp.code == ErrCode::kNotFound &&
       file.code() == ErrCode::kUnavailable) {
@@ -666,8 +773,9 @@ net::Task<Status> LocoClient::Chown(std::string path, std::uint32_t uid,
     }
   }
   net::RpcResponse resp =
-      co_await net::Call(channel_, cfg_.dms, proto::kDmsChown,
-                         fs::Pack(path, identity_, uid, gid, Now()));
+      co_await CallDmsWrite(channel_, cfg_.dms, DmsFor(path), path,
+                            proto::kDmsChown,
+                            fs::Pack(path, identity_, uid, gid, Now()));
   if (resp.ok()) InvalidatePrefix(path);
   if (resp.code == ErrCode::kNotFound &&
       file.code() == ErrCode::kUnavailable) {
@@ -697,8 +805,9 @@ net::Task<Status> LocoClient::Access(std::string path, std::uint32_t want) {
       co_return file;
     }
   }
-  net::RpcResponse resp = co_await net::Call(
-      channel_, cfg_.dms, proto::kDmsAccess, fs::Pack(path, identity_, want));
+  net::RpcResponse resp =
+      co_await net::Call(channel_, DmsFor(path), proto::kDmsAccess,
+                         fs::Pack(path, identity_, want));
   if (resp.code == ErrCode::kNotFound &&
       file.code() == ErrCode::kUnavailable) {
     co_return file;  // genuinely unknown: report the outage
@@ -725,8 +834,9 @@ net::Task<Status> LocoClient::Utimens(std::string path, std::uint64_t mtime,
     file = StatusFrom(fresp);
   }
   net::RpcResponse resp =
-      co_await net::Call(channel_, cfg_.dms, proto::kDmsUtimens,
-                         fs::Pack(path, identity_, mtime, atime));
+      co_await CallDmsWrite(channel_, cfg_.dms, DmsFor(path), path,
+                            proto::kDmsUtimens,
+                            fs::Pack(path, identity_, mtime, atime));
   if (resp.ok()) InvalidatePrefix(path);
   if (resp.code == ErrCode::kNotFound &&
       file.code() == ErrCode::kUnavailable) {
@@ -886,7 +996,7 @@ net::Task<Status> LocoClient::Rename(std::string from, std::string to) {
     if (!dst_parent.ok()) co_return dst_parent.status();
     // A directory at the destination shadows the file rename.
     net::RpcResponse dir_probe = co_await net::Call(
-        channel_, cfg_.dms, proto::kDmsStat, fs::Pack(to, identity_));
+        channel_, DmsFor(to), proto::kDmsStat, fs::Pack(to, identity_));
     if (dir_probe.ok()) co_return ErrStatus(ErrCode::kExists);
     std::string access, content;
     if (!fs::Unpack(raw.payload, access, content)) {
@@ -925,7 +1035,7 @@ net::Task<Status> LocoClient::Rename(std::string from, std::string to) {
   // d-rename.  Source existence is verified first: a missing source
   // dominates any destination-side condition.
   net::RpcResponse src_probe = co_await net::Call(
-      channel_, cfg_.dms, proto::kDmsStat, fs::Pack(from, identity_));
+      channel_, DmsFor(from), proto::kDmsStat, fs::Pack(from, identity_));
   if (!src_probe.ok()) co_return StatusFrom(src_probe);
 
   // The destination must not exist as a file either.
@@ -936,14 +1046,124 @@ net::Task<Status> LocoClient::Rename(std::string from, std::string to) {
         fs::Pack(dst_parent->uuid, to_name));
     if (file_probe.ok()) co_return ErrStatus(ErrCode::kExists);
   }
+  const net::NodeId src_node = DmsFor(from);
+  const net::NodeId dst_node = DmsFor(to);
+  if (src_node != dst_node) {
+    co_return co_await RenameAcrossShards(std::move(from), std::move(to),
+                                          src_node, dst_node);
+  }
   net::RpcResponse resp = co_await net::Call(
-      channel_, cfg_.dms, proto::kDmsRename, fs::Pack(from, to, identity_));
+      channel_, src_node, proto::kDmsRename, fs::Pack(from, to, identity_));
   if (resp.ok()) {
     InvalidatePrefix(from);
     NoteSubdir(fs::ParentPath(from), from_name, false);
     NoteSubdir(fs::ParentPath(to), to_name, true);
   }
   co_return StatusFrom(resp);
+}
+
+// Cross-shard directory rename (docs/SHARDING.md): a client-driven 2PC with
+// a durable intent on the source shard and a durable incoming marker on the
+// destination shard.  The commit installs the moved root last, so "`to`
+// exists at the destination with the moved root's uuid" is the transfer's
+// commit point — every recovery decision (here, in fsck, and in the daemon
+// intent GC) branches on that single predicate.
+net::Task<Status> LocoClient::RenameAcrossShards(std::string from,
+                                                 std::string to,
+                                                 net::NodeId src_node,
+                                                 net::NodeId dst_node) {
+  const std::uint64_t txid = MintTxid();
+
+  // Phase 1: prepare — persist the intent, lock the subtree against other
+  // mutations, and package its d-inodes + dirent lists.
+  net::RpcResponse prep =
+      co_await net::Call(channel_, src_node, proto::kDmsRenamePrepare,
+                         fs::Pack(from, to, txid, identity_));
+  // Failure responses leave no durable source state; a transport timeout may
+  // have persisted the intent, which the source daemon's intent GC ages out.
+  if (!prep.ok()) co_return StatusFrom(prep);
+  std::vector<std::string> entries;
+  if (!fs::Unpack(prep.payload, entries)) {
+    (void)co_await net::Call(channel_, src_node, proto::kDmsRenameAbort,
+                             fs::Pack(txid));
+    co_return ErrStatus(ErrCode::kCorruption);
+  }
+  // The moved root's uuid (the rel == "" entry) identifies *our* transfer at
+  // the destination during the ambiguity probe below.
+  fs::Uuid moved_uuid;
+  bool have_uuid = false;
+  for (const std::string& e : entries) {
+    std::string rel, dinode, dirent_value;
+    if (!fs::Unpack(e, rel, dinode, dirent_value) || !rel.empty()) continue;
+    moved_uuid = DirInodeLayout::Parse(dinode).uuid;
+    have_uuid = true;
+    break;
+  }
+  if (!have_uuid) {
+    (void)co_await net::Call(channel_, src_node, proto::kDmsRenameAbort,
+                             fs::Pack(txid));
+    co_return ErrStatus(ErrCode::kCorruption);
+  }
+
+  // Rollback helper.  Order matters: the destination must be fenced (its
+  // tombstone blocks a still-queued commit) *before* the source intent is
+  // dropped — aborting the source first could let a late commit materialize
+  // an orphan subtree no intent points at.  If the fence cannot be
+  // confirmed, the source intent is left in place for fsck/GC.
+  auto roll_back = [this, txid, src_node, dst_node]() -> net::Task<bool> {
+    net::RpcResponse fence =
+        co_await net::Call(channel_, dst_node, proto::kDmsAbortIncoming,
+                           fs::Pack(txid, std::uint8_t{1}));
+    if (!fence.ok()) co_return false;
+    (void)co_await net::Call(channel_, src_node, proto::kDmsRenameAbort,
+                             fs::Pack(txid));
+    co_return true;
+  };
+
+  // Phase 2: commit on the destination shard.
+  net::RpcResponse commit =
+      co_await net::Call(channel_, dst_node, proto::kDmsRenameCommit,
+                         fs::Pack(txid, to, identity_, entries));
+  if (!commit.ok()) {
+    // kTimeout/kUnavailable mean the frame may still execute server-side;
+    // every other code is a response the destination actually sent, i.e. a
+    // definite "not committed".
+    const bool ambiguous = commit.code == ErrCode::kTimeout ||
+                           commit.code == ErrCode::kUnavailable;
+    if (!ambiguous) {
+      (void)co_await roll_back();
+      co_return StatusFrom(commit);
+    }
+    net::RpcResponse probe = co_await net::Call(
+        channel_, dst_node, proto::kDmsStat, fs::Pack(to, identity_));
+    if (probe.ok()) {
+      fs::Attr attr;
+      if (fs::Unpack(probe.payload, attr) && attr.uuid == moved_uuid) {
+        // Our transfer landed after all: fall through to Finish.
+      } else {
+        // A foreign directory occupies the destination.
+        (void)co_await roll_back();
+        co_return ErrStatus(ErrCode::kExists);
+      }
+    } else if (probe.code == ErrCode::kNotFound) {
+      (void)co_await roll_back();
+      co_return StatusFrom(commit);
+    } else {
+      // Probe unreachable: resolution is left to fsck / the intent GC.
+      co_return StatusFrom(commit);
+    }
+  }
+
+  // Phase 3: finish — drop the source copy.  Best effort: the destination
+  // already owns the subtree, and an unreachable source resolves via its
+  // intent (dst root present => roll forward).
+  (void)co_await net::Call(channel_, src_node, proto::kDmsRenameFinish,
+                           fs::Pack(txid));
+
+  InvalidatePrefix(from);
+  NoteSubdir(fs::ParentPath(from), fs::BaseName(from), false);
+  NoteSubdir(fs::ParentPath(to), fs::BaseName(to), true);
+  co_return OkStatus();
 }
 
 }  // namespace loco::core

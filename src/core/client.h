@@ -26,6 +26,7 @@
 #include "common/metrics.h"
 #include "core/layout.h"
 #include "core/ring.h"
+#include "core/shard.h"
 #include "fs/client.h"
 #include "net/call.h"
 #include "net/rpc.h"
@@ -59,7 +60,10 @@ class NotifyFanout {
 class LocoClient final : public fs::FileSystemClient {
  public:
   struct Config {
-    net::NodeId dms = 0;
+    // Ordered DMS shard set (docs/SHARDING.md).  Placement is positional —
+    // every client and tool must list the shards in the same order.  A
+    // single entry reproduces the paper's one-DMS deployment exactly.
+    std::vector<net::NodeId> dms = {0};
     std::vector<net::NodeId> fms;
     std::vector<net::NodeId> object_stores;
     bool cache_enabled = true;                     // LocoFS-C vs LocoFS-NC
@@ -154,10 +158,10 @@ class LocoClient final : public fs::FileSystemClient {
   // Typed fast paths used by benchmarks (mdtest knows object types).
   net::Task<Result<fs::Attr>> StatDir(std::string path) override;
   net::Task<Result<fs::Attr>> StatFile(std::string path) override;
-  net::Task<Status> ChmodFile(std::string path, std::uint32_t mode);
+  net::Task<Status> ChmodFile(std::string path, std::uint32_t mode) override;
   net::Task<Status> ChownFile(std::string path, std::uint32_t uid,
-                              std::uint32_t gid);
-  net::Task<Status> AccessFile(std::string path, std::uint32_t want);
+                              std::uint32_t gid) override;
+  net::Task<Status> AccessFile(std::string path, std::uint32_t want) override;
 
   // The d-inode cache holds leases whose ancestor ACL checks were performed
   // under the granting identity; an identity change invalidates them all.
@@ -218,16 +222,28 @@ class LocoClient final : public fs::FileSystemClient {
   // (no-op when the parent holds no lease).
   void NoteSubdir(std::string_view parent, std::string_view name, bool present);
 
+  // Cross-shard directory rename: the two-phase transfer protocol of
+  // docs/SHARDING.md, driven against the source and destination shards.
+  net::Task<Status> RenameAcrossShards(std::string from, std::string to,
+                                       net::NodeId src_node,
+                                       net::NodeId dst_node);
+
   net::NodeId FmsFor(fs::Uuid dir_uuid, std::string_view name) const {
     return ring_.Locate(FileKey(dir_uuid, name));
   }
   net::NodeId ObjFor(fs::Uuid uuid) const {
     return cfg_.object_stores[uuid.raw() % cfg_.object_stores.size()];
   }
+  // Owning DMS shard for a directory path (mirrors FmsFor): subtree
+  // placement over the top-level path component, root pinned to shard 0.
+  net::NodeId DmsFor(std::string_view path) const {
+    return cfg_.dms[shards_.ShardOf(path)];
+  }
 
   net::Channel& channel_;
   Config cfg_;
   HashRing ring_;
+  ShardMap shards_;
   // Guards cache_, cache_hits_, cache_misses_: the notify listener's reader
   // thread invalidates entries concurrently with the (otherwise
   // single-threaded) operation path.  Never held across a co_await.

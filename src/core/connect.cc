@@ -51,10 +51,7 @@ Result<ClientOptions> ClientOptions::FromSpec(std::string_view spec) {
                         std::string(role) + "'");
     }
     if (role == "dms") {
-      if (!opts.dms.empty()) {
-        return Status(ErrCode::kInvalid, "connect spec has more than one dms");
-      }
-      opts.dms = std::string(addr);
+      opts.dms.emplace_back(addr);
     } else if (role == "fms") {
       opts.fms.emplace_back(addr);
     } else if (role == "osd") {
@@ -65,7 +62,8 @@ Result<ClientOptions> ClientOptions::FromSpec(std::string_view spec) {
     }
   }
   if (opts.dms.empty()) {
-    return Status(ErrCode::kInvalid, "connect spec needs dms=host:port");
+    return Status(ErrCode::kInvalid,
+                  "connect spec needs at least one dms=host:port");
   }
   if (opts.fms.empty()) {
     return Status(ErrCode::kInvalid, "connect spec needs at least one fms=");
@@ -102,8 +100,17 @@ Result<MountHandle> Connect(const ClientOptions& options) {
     return Status::Ok();
   };
 
-  m.config.dms = 0;
-  LOCO_RETURN_IF_ERROR(register_node(0, options.dms));
+  // DMS shard node ids: shard 0 keeps the historic id 0 (single-shard specs
+  // stay wire-compatible with old deployments); shards 1..N-1 get 900+i,
+  // below the object-store range and above any realistic FMS count.
+  const auto dms_node = [](std::size_t shard) -> net::NodeId {
+    return shard == 0 ? 0 : static_cast<net::NodeId>(900 + shard);
+  };
+  m.config.dms.clear();
+  for (std::size_t i = 0; i < options.dms.size(); ++i) {
+    LOCO_RETURN_IF_ERROR(register_node(dms_node(i), options.dms[i]));
+    m.config.dms.push_back(dms_node(i));
+  }
   for (std::size_t i = 0; i < options.fms.size(); ++i) {
     const net::NodeId id = static_cast<net::NodeId>(1 + i);
     LOCO_RETURN_IF_ERROR(register_node(id, options.fms[i]));
@@ -123,46 +130,52 @@ Result<MountHandle> Connect(const ClientOptions& options) {
   }
 
   if (options.notify) {
-    net::NotifyListener::Options lo;
-    if (!net::ParseHostPort(options.dms, &lo.host, &lo.port)) {
-      return Status(ErrCode::kInvalid,
-                    "bad endpoint '" + options.dms + "'");
-    }
-    lo.client_id = m.client_id;
-    // The whole mount shares the channel's reactor thread: pooled RPC
-    // connections and the notify stream wait on the same epoll instance.
-    lo.reactor = &m.channel->reactor();
     m.fanout = std::make_shared<NotifyFanout>();
     m.config.fanout = m.fanout;
-    // The callback runs on the listener's reader thread.  It captures the
-    // fanout by shared_ptr and the resilient channel by raw pointer — both
-    // heap-stable across MountHandle moves.
-    std::shared_ptr<NotifyFanout> fanout = m.fanout;
-    net::ResilientChannel* resilient = m.resilient.get();
-    auto callback = [fanout, resilient](const net::NotifyEvent& event) {
-      switch (event.kind) {
-        case net::NotifyEvent::Kind::kInvalidate:
-          fanout->Invalidate(event.invalidate.path, event.invalidate.subtree,
-                             event.invalidate.wall_ts_ns);
-          break;
-        case net::NotifyEvent::Kind::kServerUp:
-          if (resilient != nullptr) {
-            resilient->NotifyServerUp(event.server_up.node);
-          }
-          break;
-        case net::NotifyEvent::Kind::kResync:
-          // Missed pushes are possible: drop cached state.  Reaching the
-          // hello also proves the DMS itself is back, so close its breaker.
-          fanout->Resync();
-          if (resilient != nullptr) resilient->NotifyServerUp(0);
-          break;
-        case net::NotifyEvent::Kind::kStreamDown:
-          break;  // leases stay authoritative; nothing to do
+    // One listener per DMS shard: each shard pushes invalidations for the
+    // directories it owns, and all streams feed the one shared fanout.
+    for (std::size_t i = 0; i < options.dms.size(); ++i) {
+      net::NotifyListener::Options lo;
+      if (!net::ParseHostPort(options.dms[i], &lo.host, &lo.port)) {
+        return Status(ErrCode::kInvalid,
+                      "bad endpoint '" + options.dms[i] + "'");
       }
-    };
-    m.listener =
-        std::make_unique<net::NotifyListener>(lo, std::move(callback));
-    LOCO_RETURN_IF_ERROR(m.listener->Start());
+      lo.client_id = m.client_id;
+      // The whole mount shares the channel's reactor thread: pooled RPC
+      // connections and every notify stream wait on the same epoll instance.
+      lo.reactor = &m.channel->reactor();
+      // The callback runs on the listener's reader thread.  It captures the
+      // fanout by shared_ptr and the resilient channel by raw pointer — both
+      // heap-stable across MountHandle moves.
+      std::shared_ptr<NotifyFanout> fanout = m.fanout;
+      net::ResilientChannel* resilient = m.resilient.get();
+      const net::NodeId shard_node = dms_node(i);
+      auto callback = [fanout, resilient,
+                       shard_node](const net::NotifyEvent& event) {
+        switch (event.kind) {
+          case net::NotifyEvent::Kind::kInvalidate:
+            fanout->Invalidate(event.invalidate.path, event.invalidate.subtree,
+                               event.invalidate.wall_ts_ns);
+            break;
+          case net::NotifyEvent::Kind::kServerUp:
+            if (resilient != nullptr) {
+              resilient->NotifyServerUp(event.server_up.node);
+            }
+            break;
+          case net::NotifyEvent::Kind::kResync:
+            // Missed pushes are possible: drop cached state.  Reaching the
+            // hello also proves this shard is back, so close its breaker.
+            fanout->Resync();
+            if (resilient != nullptr) resilient->NotifyServerUp(shard_node);
+            break;
+          case net::NotifyEvent::Kind::kStreamDown:
+            break;  // leases stay authoritative; nothing to do
+        }
+      };
+      m.listeners.push_back(
+          std::make_unique<net::NotifyListener>(lo, std::move(callback)));
+      LOCO_RETURN_IF_ERROR(m.listeners.back()->Start());
+    }
   }
   return m;
 }

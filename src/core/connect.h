@@ -12,13 +12,14 @@
 //
 // The MountHandle owns the whole client-side stack:
 //   * the TcpChannel with every daemon registered under the canonical node
-//     ids (dms = 0, fms = 1..N in spec order — match each daemon's --sid —
-//     object stores = 1000+i);
+//     ids (dms shard 0 = 0, shard i >= 1 = 900+i; fms = 1..N in spec order —
+//     match each daemon's --sid — object stores = 1000+i);
 //   * the optional ResilientChannel (retry + circuit breakers);
-//   * the notify plane: a NotifyListener on a dedicated connection to the
-//     DMS plus the NotifyFanout that routes pushes into every LocoClient
-//     made from this mount (lease invalidation in ~1 RTT instead of the
-//     lease timeout) and breaker gossip into the ResilientChannel.
+//   * the notify plane: one NotifyListener per DMS shard on a dedicated
+//     connection, all feeding the shared NotifyFanout that routes pushes
+//     into every LocoClient made from this mount (lease invalidation in
+//     ~1 RTT instead of the lease timeout) and breaker gossip into the
+//     ResilientChannel.
 // Each mount gets a process-unique client id; the DMS uses it to address
 // pushes and to exempt the mutating mount from its own invalidations.
 #pragma once
@@ -38,9 +39,11 @@
 namespace loco::core {
 
 struct ClientOptions {
-  // Daemon addresses, each "host:port".  Exactly one DMS, at least one FMS
-  // and one object store.
-  std::string dms;
+  // Daemon addresses, each "host:port".  At least one DMS shard, one FMS
+  // and one object store.  DMS order is the shard order (docs/SHARDING.md):
+  // placement is positional, so every client and tool connecting to one
+  // cluster must list the shards identically.
+  std::vector<std::string> dms;
   std::vector<std::string> fms;
   std::vector<std::string> object_stores;
 
@@ -64,8 +67,9 @@ struct ClientOptions {
 
   // Parse a `--connect` spec into the endpoint fields (everything else keeps
   // its default): comma-separated `role=host:port` entries with roles
-  // dms / fms / osd in any order, e.g.
-  //   dms=127.0.0.1:9000,fms=127.0.0.1:9001,fms=127.0.0.1:9002,osd=127.0.0.1:9100
+  // dms / fms / osd in any order.  Repeating `dms=` declares DMS shards in
+  // shard order, e.g.
+  //   dms=127.0.0.1:9000,dms=127.0.0.1:9010,fms=127.0.0.1:9001,osd=127.0.0.1:9100
   static Result<ClientOptions> FromSpec(std::string_view spec);
 
   // Fluent knobs for call sites that tweak one or two fields.
@@ -83,9 +87,10 @@ struct MountHandle {
   // Present when ClientOptions::resilience; wraps *channel.
   std::unique_ptr<net::ResilientChannel> resilient;
   // Present when ClientOptions::notify; routes pushes into fanout and
-  // breaker gossip into resilient.
+  // breaker gossip into resilient.  One listener per DMS shard, in shard
+  // order — every shard pushes invalidations for the directories it owns.
   std::shared_ptr<NotifyFanout> fanout;
-  std::unique_ptr<net::NotifyListener> listener;
+  std::vector<std::unique_ptr<net::NotifyListener>> listeners;
   // Config template for MakeClient (node ids, cache policy, fanout).
   LocoClient::Config config;
   // This mount's identity on the wire.

@@ -24,8 +24,20 @@ net::RpcResponse OkPayload(std::string payload) {
 }
 net::RpcResponse BadRequest() { return Fail(ErrCode::kCorruption); }
 
-// Server id used in directory uuids (the root reserves 0xffff).
-constexpr std::uint32_t kDmsSid = 0xfffe;
+// Intent-log key: [kind u8 | txid u64] (see dms.h PendingRename).
+std::string IntentKey(std::uint8_t kind, std::uint64_t txid) {
+  std::string key(9, '\0');
+  key[0] = static_cast<char>(kind);
+  common::StoreAt<std::uint64_t>(&key, 1, txid);
+  return key;
+}
+
+bool PathInSubtree(std::string_view path, std::string_view root) {
+  if (root.empty()) return false;
+  if (path == root) return true;
+  return path.size() > root.size() && path.substr(0, root.size()) == root &&
+         path[root.size()] == '/';
+}
 
 // Lock-table key for a directory path.  Paths (not uuids) name directories
 // here so a lock taken before resolution still guards the right directory.
@@ -59,15 +71,19 @@ DirectoryMetadataServer::DirectoryMetadataServer(const Options& options)
         };
         return lease;
       }()) {
+  sid_ = options.sid;
   // Each store gets its own subdirectory so their WALs never collide.
   kv::KvOptions dirs_opt = options.kv;
   kv::KvOptions dirents_opt = options.kv;
+  kv::KvOptions intents_opt = options.kv;
   if (!options.kv.dir.empty()) {
     dirs_opt.dir = options.kv.dir + "/dirs";
     dirents_opt.dir = options.kv.dir + "/dirents";
+    intents_opt.dir = options.kv.dir + "/intents";
     std::error_code ec;
     std::filesystem::create_directories(dirs_opt.dir, ec);
     std::filesystem::create_directories(dirents_opt.dir, ec);
+    std::filesystem::create_directories(intents_opt.dir, ec);
   }
   dirs_ = std::move(kv::MakeStripedKv(options.backend, dirs_opt,
                                       options.kv_stripes))
@@ -75,10 +91,25 @@ DirectoryMetadataServer::DirectoryMetadataServer(const Options& options)
   dirents_ = std::move(kv::MakeStripedKv(kv::KvBackend::kHash, dirents_opt,
                                          options.kv_stripes))
                  .value();
+  // The rename intent log stays tiny (one record per in-flight cross-shard
+  // transfer); a single stripe avoids 16 extra WAL files per daemon.
+  intents_ =
+      std::move(kv::MakeStripedKv(kv::KvBackend::kHash, intents_opt, 1)).value();
   if (options.kv_decorator) {
     dirs_ = options.kv_decorator(std::move(dirs_));
     dirents_ = options.kv_decorator(std::move(dirents_));
   }
+  // Reload pending cross-shard transfers: after a crash these drive the
+  // roll-forward / roll-back decision (docs/SHARDING.md recovery table).
+  intents_->ForEach([this](std::string_view key, std::string_view value) {
+    if (key.size() != 9) return true;
+    PendingRename p;
+    p.kind = static_cast<std::uint8_t>(key[0]);
+    p.txid = common::LoadAt<std::uint64_t>(key, 1);
+    if (!fs::Unpack(value, p.from, p.to)) return true;
+    pending_renames_[{p.kind, p.txid}] = std::move(p);
+    return true;
+  });
   // Recover the uuid allocator: it must never reissue a live fid.
   std::uint64_t max_fid = 1;
   dirents_->ForEach([&max_fid](std::string_view key, std::string_view) {
@@ -159,6 +190,31 @@ net::RpcResponse DirectoryMetadataServer::Dispatch(std::uint16_t opcode,
     std::unique_lock ns(ns_mu_);
     return Rename(payload);
   }
+  // The cross-shard transfer steps install or delete whole subtrees of path
+  // keys, so they take the same exclusion Rename does.
+  switch (opcode) {
+    case proto::kDmsRenamePrepare: {
+      std::unique_lock ns(ns_mu_);
+      return RenamePrepare(payload);
+    }
+    case proto::kDmsRenameCommit: {
+      std::unique_lock ns(ns_mu_);
+      return RenameCommit(payload);
+    }
+    case proto::kDmsRenameFinish: {
+      std::unique_lock ns(ns_mu_);
+      return RenameFinish(payload);
+    }
+    case proto::kDmsRenameAbort: {
+      std::unique_lock ns(ns_mu_);
+      return RenameAbort(payload);
+    }
+    case proto::kDmsAbortIncoming: {
+      std::unique_lock ns(ns_mu_);
+      return AbortIncoming(payload);
+    }
+    default: break;
+  }
   if (opcode == proto::kCtlSnapshotBegin) {
     std::unique_lock ns(ns_mu_);
     return SnapshotBegin();
@@ -176,6 +232,7 @@ net::RpcResponse DirectoryMetadataServer::Dispatch(std::uint16_t opcode,
     case proto::kDmsUtimens: return Utimens(payload);
     case proto::kDmsAccess: return Access(payload);
     case proto::kDmsRename: return Rename(payload);
+    case proto::kDmsScanIntents: return ScanIntents(payload);
     case proto::kDmsScanDirs: return ScanDirs(payload);
     case proto::kDmsScanDirents: return ScanDirents(payload);
     case proto::kDmsRepairDirent: return RepairDirent(payload);
@@ -283,6 +340,16 @@ void DirectoryMetadataServer::NotifySideEffects(std::uint16_t opcode,
       PushInvalidate(std::string(fs::ParentPath(to)), false, client);
       return;
     }
+    case proto::kDmsRenameCommit: {
+      // The destination parent's leased subdir list grew.
+      std::uint64_t txid = 0;
+      std::string to;
+      fs::Identity who;
+      std::vector<std::string> entries;
+      if (!fs::Unpack(payload, txid, to, who, entries)) return;
+      PushInvalidate(std::string(fs::ParentPath(to)), false, client);
+      return;
+    }
     default:
       return;
   }
@@ -337,6 +404,7 @@ net::RpcResponse DirectoryMetadataServer::Mkdir(std::string_view payload) {
   std::uint64_t ts = 0;
   if (!fs::Unpack(payload, path, mode, who, ts)) return BadRequest();
   if (!fs::IsValidPath(path) || path == "/") return Fail(ErrCode::kInvalid);
+  if (LockedForRename(path)) return Fail(ErrCode::kStale);
 
   // Serialize against sibling mkdirs and a concurrent rmdir of the parent:
   // existence check, d-inode put, and dirent append are one critical
@@ -354,7 +422,7 @@ net::RpcResponse DirectoryMetadataServer::Mkdir(std::string_view payload) {
   attr.gid = who.gid;
   attr.ctime = attr.mtime = attr.atime = ts;
   attr.uuid = fs::Uuid::Make(
-      kDmsSid, next_fid_.fetch_add(1, std::memory_order_relaxed));
+      sid_, next_fid_.fetch_add(1, std::memory_order_relaxed));
   if (!dirs_->Put(path, DirInodeLayout::Make(attr)).ok()) {
     return Fail(ErrCode::kIo);
   }
@@ -398,6 +466,7 @@ net::RpcResponse DirectoryMetadataServer::Rmdir(std::string_view payload) {
   std::uint8_t files_checked = 0;
   if (!fs::Unpack(payload, path, who, files_checked)) return BadRequest();
   if (!fs::IsValidPath(path) || path == "/") return Fail(ErrCode::kInvalid);
+  if (LockedForRename(path)) return Fail(ErrCode::kStale);
 
   // Lock the parent (its dirent list shrinks) and the target (a concurrent
   // mkdir inside it locks the same slot as its parent); LockPair orders the
@@ -485,6 +554,7 @@ net::RpcResponse DirectoryMetadataServer::Chmod(std::string_view payload) {
   std::uint32_t mode = 0;
   std::uint64_t ts = 0;
   if (!fs::Unpack(payload, path, who, mode, ts)) return BadRequest();
+  if (LockedForRename(path)) return Fail(ErrCode::kStale);
   auto attr = ResolveDir(path, who, 0);
   if (!attr.ok()) return Fail(attr.code());
   if (who.uid != 0 && who.uid != attr->uid) return Fail(ErrCode::kPermission);
@@ -502,6 +572,7 @@ net::RpcResponse DirectoryMetadataServer::Chown(std::string_view payload) {
   std::uint32_t uid = 0, gid = 0;
   std::uint64_t ts = 0;
   if (!fs::Unpack(payload, path, who, uid, gid, ts)) return BadRequest();
+  if (LockedForRename(path)) return Fail(ErrCode::kStale);
   // Chown writes two separate patches (uid/gid, then ctime); keep the pair
   // atomic against a concurrent chown of the same directory.
   const auto guard = dir_locks_.Lock(PathLockKey(path));
@@ -525,6 +596,7 @@ net::RpcResponse DirectoryMetadataServer::Utimens(std::string_view payload) {
   fs::Identity who;
   std::uint64_t mtime = 0, atime = 0;
   if (!fs::Unpack(payload, path, who, mtime, atime)) return BadRequest();
+  if (LockedForRename(path)) return Fail(ErrCode::kStale);
   auto attr = ResolveDir(path, who, 0);
   if (!attr.ok()) return Fail(attr.code());
   if (who.uid != 0 && who.uid != attr->uid &&
@@ -562,6 +634,9 @@ net::RpcResponse DirectoryMetadataServer::Rename(std::string_view payload) {
     return Fail(ErrCode::kInvalid);  // destination inside source subtree
   }
   if (from == to) return OkPayload(fs::Pack(std::uint64_t{0}));
+  if (LockedForRename(from) || LockedForRename(to)) {
+    return Fail(ErrCode::kStale);
+  }
 
   auto src_parent = ResolveDir(fs::ParentPath(from), who,
                                fs::kModeWrite | fs::kModeExec);
@@ -604,6 +679,301 @@ net::RpcResponse DirectoryMetadataServer::Rename(std::string_view payload) {
   AppendDirent(&dst_dirents, fs::BaseName(to));
   (void)dirents_->Put(dst_key, dst_dirents);
   return OkPayload(fs::Pack(moved));
+}
+
+// ------------------------------------------ cross-shard rename transfer --
+//
+// The client drives Prepare (source) -> Commit (destination) -> Finish
+// (source); every step is idempotent, keyed by a client-minted txid, and
+// leaves a durable record (outgoing intent on the source, incoming marker on
+// the destination) so fsck/GC can resolve a transfer abandoned at any crash
+// point.  The commit installs the subtree root *last*: "the root of `to`
+// exists on the destination" is therefore the transaction's durable commit
+// point — present means roll forward (Finish), absent means roll back
+// (AbortIncoming purge + Abort).  See docs/SHARDING.md.
+
+bool DirectoryMetadataServer::LockedForRename(std::string_view path) const {
+  std::lock_guard<std::mutex> lock(rename_mu_);
+  for (const auto& [key, p] : pending_renames_) {
+    if (p.kind == 0 && PathInSubtree(path, p.from)) return true;
+    if (p.kind == 1 && PathInSubtree(path, p.to)) return true;
+  }
+  return false;
+}
+
+bool DirectoryMetadataServer::PutIntent(std::uint8_t kind, std::uint64_t txid,
+                                        std::string_view from,
+                                        std::string_view to) {
+  if (!intents_->Put(IntentKey(kind, txid),
+                     fs::Pack(std::string(from), std::string(to)))
+           .ok()) {
+    return false;
+  }
+  PendingRename p;
+  p.kind = kind;
+  p.txid = txid;
+  p.from = std::string(from);
+  p.to = std::string(to);
+  std::lock_guard<std::mutex> lock(rename_mu_);
+  pending_renames_[{kind, txid}] = std::move(p);
+  return true;
+}
+
+void DirectoryMetadataServer::EraseIntent(std::uint8_t kind,
+                                          std::uint64_t txid) {
+  (void)intents_->Delete(IntentKey(kind, txid));
+  std::lock_guard<std::mutex> lock(rename_mu_);
+  pending_renames_.erase({kind, txid});
+}
+
+void DirectoryMetadataServer::DeleteSubtree(const std::string& root) {
+  std::vector<kv::Entry> subtree;
+  (void)dirs_->ScanPrefix(root + "/", 0, &subtree);
+  for (const auto& [key, inode] : subtree) {
+    (void)dirents_->Delete(DirentKey(DirInodeLayout::Parse(inode).uuid));
+    (void)dirs_->Delete(key);
+  }
+  std::string inode;
+  if (dirs_->Get(root, &inode).ok()) {
+    (void)dirents_->Delete(DirentKey(DirInodeLayout::Parse(inode).uuid));
+    (void)dirs_->Delete(root);
+  }
+}
+
+std::vector<DirectoryMetadataServer::PendingRename>
+DirectoryMetadataServer::PendingRenames() const {
+  std::vector<PendingRename> out;
+  std::lock_guard<std::mutex> lock(rename_mu_);
+  out.reserve(pending_renames_.size());
+  for (const auto& [key, p] : pending_renames_) out.push_back(p);
+  return out;
+}
+
+net::RpcResponse DirectoryMetadataServer::RenamePrepare(
+    std::string_view payload) {
+  std::string from, to;
+  std::uint64_t txid = 0;
+  fs::Identity who;
+  if (!fs::Unpack(payload, from, to, txid, who)) return BadRequest();
+  if (!fs::IsValidPath(from) || !fs::IsValidPath(to) || from == "/" ||
+      to == "/" || txid == 0) {
+    return Fail(ErrCode::kInvalid);
+  }
+  if (PathInSubtree(to, from)) return Fail(ErrCode::kInvalid);
+
+  // A retry of an already-prepared txid re-packages the (still locked, so
+  // unchanged) subtree.  Any *other* pending transfer overlapping `from`
+  // blocks this one.
+  bool retry = false;
+  {
+    std::lock_guard<std::mutex> lock(rename_mu_);
+    for (const auto& [key, p] : pending_renames_) {
+      if (p.kind == 0 && p.txid == txid && p.from == from && p.to == to) {
+        retry = true;
+        continue;
+      }
+      if (p.kind == 0 && (PathInSubtree(from, p.from) ||
+                          PathInSubtree(p.from, from))) {
+        return Fail(ErrCode::kStale);
+      }
+    }
+  }
+
+  auto src_parent =
+      ResolveDir(fs::ParentPath(from), who, fs::kModeWrite | fs::kModeExec);
+  if (!src_parent.ok()) return Fail(src_parent.code());
+  std::string root_inode;
+  if (!dirs_->Get(from, &root_inode).ok()) return Fail(ErrCode::kNotFound);
+
+  // Package the subtree: one entry per d-inode, with its uuid-keyed dirent
+  // list riding along (the uuids move to the destination shard with their
+  // directories).  rel_path is "" for the subtree root.
+  std::vector<std::string> entries;
+  auto package = [this, &entries](std::string rel, std::string_view inode) {
+    std::string dirent_value;
+    (void)dirents_->Get(DirentKey(DirInodeLayout::Parse(inode).uuid),
+                        &dirent_value);
+    entries.push_back(
+        fs::Pack(std::move(rel), std::string(inode), dirent_value));
+  };
+  package("", root_inode);
+  std::vector<kv::Entry> subtree;
+  (void)dirs_->ScanPrefix(from + "/", 0, &subtree);
+  for (const auto& [key, inode] : subtree) {
+    package(key.substr(from.size() + 1), inode);
+  }
+
+  if (!retry && !PutIntent(0, txid, from, to)) return Fail(ErrCode::kIo);
+  return OkPayload(fs::Pack(entries));
+}
+
+net::RpcResponse DirectoryMetadataServer::RenameCommit(
+    std::string_view payload) {
+  std::uint64_t txid = 0;
+  std::string to;
+  fs::Identity who;
+  std::vector<std::string> entries;
+  if (!fs::Unpack(payload, txid, to, who, entries)) return BadRequest();
+  if (!fs::IsValidPath(to) || to == "/" || txid == 0 || entries.empty()) {
+    return Fail(ErrCode::kInvalid);
+  }
+
+  // A tombstone fences a commit that lost the race with rollback: once the
+  // client (or fsck/GC) aborted this txid here, a late-arriving or retried
+  // commit must not materialize the subtree — the source may already have
+  // been rolled back or re-renamed.
+  {
+    std::lock_guard<std::mutex> lock(rename_mu_);
+    if (pending_renames_.count({2, txid}) != 0) return Fail(ErrCode::kStale);
+  }
+
+  auto dst_parent =
+      ResolveDir(fs::ParentPath(to), who, fs::kModeWrite | fs::kModeExec);
+  if (!dst_parent.ok()) return Fail(dst_parent.code());
+  if (dirs_->Contains(to)) {
+    // Either a genuine name collision or a retry of a commit that already
+    // completed.  Our own completed commit left (or is about to drop) the
+    // incoming marker; distinguish by txid.
+    bool ours = false;
+    {
+      std::lock_guard<std::mutex> lock(rename_mu_);
+      ours = pending_renames_.count({1, txid}) != 0;
+    }
+    if (!ours) return Fail(ErrCode::kExists);
+    EraseIntent(1, txid);
+    return Ok();
+  }
+
+  // Durable order: marker first (so a crash mid-install is recognizably a
+  // partial transfer), children next, the subtree root *last* (the commit
+  // point), then the parent dirent entry, then the marker drop.
+  if (!PutIntent(1, txid, "", to)) return Fail(ErrCode::kIo);
+  std::string root_inode;
+  for (const std::string& entry : entries) {
+    std::string rel, inode, dirent_value;
+    if (!fs::Unpack(entry, rel, inode, dirent_value)) {
+      return BadRequest();  // marker stays; fsck rolls the partial back
+    }
+    if (rel.empty()) {
+      root_inode = inode;
+      if (!dirent_value.empty()) {
+        (void)dirents_->Put(DirentKey(DirInodeLayout::Parse(inode).uuid),
+                            dirent_value);
+      }
+      continue;
+    }
+    const std::string path = to + "/" + rel;
+    if (!dirs_->Put(path, inode).ok()) return Fail(ErrCode::kIo);
+    if (!dirent_value.empty()) {
+      (void)dirents_->Put(DirentKey(DirInodeLayout::Parse(inode).uuid),
+                          dirent_value);
+    }
+  }
+  if (root_inode.empty()) return Fail(ErrCode::kInvalid);
+  if (!dirs_->Put(to, root_inode).ok()) return Fail(ErrCode::kIo);
+
+  const std::string dst_key = DirentKey(dst_parent->uuid);
+  std::string dst_dirents;
+  (void)dirents_->Get(dst_key, &dst_dirents);
+  if (!DirentListContains(dst_dirents, fs::BaseName(to))) {
+    AppendDirent(&dst_dirents, fs::BaseName(to));
+    (void)dirents_->Put(dst_key, dst_dirents);
+  }
+  EraseIntent(1, txid);
+  return Ok();
+}
+
+net::RpcResponse DirectoryMetadataServer::RenameFinish(
+    std::string_view payload) {
+  std::uint64_t txid = 0;
+  if (!fs::Unpack(payload, txid)) return BadRequest();
+  PendingRename p;
+  {
+    std::lock_guard<std::mutex> lock(rename_mu_);
+    auto it = pending_renames_.find({0, txid});
+    if (it == pending_renames_.end()) return Ok();  // already finished
+    p = it->second;
+  }
+  // The destination owns the subtree now: delete the source copy, fix the
+  // source parent's dirent list, drop the intent.
+  std::string parent_inode;
+  if (dirs_->Get(std::string(fs::ParentPath(p.from)), &parent_inode).ok()) {
+    const std::string src_key =
+        DirentKey(DirInodeLayout::Parse(parent_inode).uuid);
+    std::string src_dirents;
+    if (dirents_->Get(src_key, &src_dirents).ok() &&
+        RemoveDirent(&src_dirents, fs::BaseName(p.from))) {
+      (void)dirents_->Put(src_key, src_dirents);
+    }
+  }
+  DeleteSubtree(p.from);
+  // Push while `from` is still known (Finish carries only the txid, so the
+  // generic NotifySideEffects path cannot recover the paths afterwards).
+  // client=0 never matches a real push session, so nobody is excluded.
+  if (notifier_ != nullptr) {
+    PushInvalidate(p.from, true, 0);
+    PushInvalidate(std::string(fs::ParentPath(p.from)), false, 0);
+  }
+  EraseIntent(0, txid);
+  return Ok();
+}
+
+net::RpcResponse DirectoryMetadataServer::RenameAbort(
+    std::string_view payload) {
+  std::uint64_t txid = 0;
+  if (!fs::Unpack(payload, txid)) return BadRequest();
+  // Pre-commit rollback: the source subtree was never touched, so dropping
+  // the intent (and with it the mutation lock) is the whole cleanup.
+  EraseIntent(0, txid);
+  return Ok();
+}
+
+net::RpcResponse DirectoryMetadataServer::AbortIncoming(
+    std::string_view payload) {
+  std::uint64_t txid = 0;
+  std::uint8_t purge = 0;
+  if (!fs::Unpack(payload, txid, purge)) return BadRequest();
+  // Tombstone the txid unconditionally — even when no marker exists yet.
+  // The commit this abort outruns may still be queued (a client timeout does
+  // not mean the frame was dropped); the tombstone makes it bounce with
+  // kStale instead of resurrecting a rolled-back subtree.  Tombstones are a
+  // 9-byte key each and only ever created for failed transfers, so they are
+  // kept forever rather than aged.
+  if (!PutIntent(2, txid, "", "")) return Fail(ErrCode::kIo);
+  PendingRename p;
+  {
+    std::lock_guard<std::mutex> lock(rename_mu_);
+    auto it = pending_renames_.find({1, txid});
+    if (it == pending_renames_.end()) return Ok();  // commit completed or
+                                                    // never started here
+    p = it->second;
+  }
+  // Purge only a *partial* install: if the subtree root exists the commit
+  // completed and the transfer must roll forward — drop just the marker.
+  if (purge != 0 && !dirs_->Contains(p.to)) DeleteSubtree(p.to);
+  EraseIntent(1, txid);
+  return Ok();
+}
+
+std::string DirectoryMetadataServer::ScanIntentsPayload() const {
+  std::vector<std::string> entries;
+  for (const PendingRename& p : PendingRenames()) {
+    entries.push_back(fs::Pack(p.kind, p.txid, p.from, p.to));
+  }
+  return fs::Pack(entries);
+}
+
+net::RpcResponse DirectoryMetadataServer::ScanIntents(
+    std::string_view payload) {
+  if (!payload.empty()) {
+    std::uint64_t epoch = 0;
+    if (!fs::Unpack(payload, epoch)) return BadRequest();
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    auto it = snapshots_.find(epoch);
+    if (it == snapshots_.end()) return Fail(ErrCode::kNotFound);
+    return OkPayload(it->second.intents);
+  }
+  return OkPayload(ScanIntentsPayload());
 }
 
 // ----------------------------------------------------- fsck / admin surface --
@@ -659,6 +1029,7 @@ net::RpcResponse DirectoryMetadataServer::SnapshotBegin() {
   Snapshot snap;
   snap.dirs = ScanDirsPayload();
   snap.dirents = ScanDirentsPayload();
+  snap.intents = ScanIntentsPayload();
   std::lock_guard<std::mutex> lock(snap_mu_);
   const std::uint64_t epoch = next_snapshot_epoch_++;
   snapshots_[epoch] = std::move(snap);
@@ -835,8 +1206,20 @@ GcStepResult DirectoryMetadataServer::GcStep(std::uint32_t budget) {
 
   // I1: every ancestor of a live directory must exist.  Queue missing ones
   // shallow-first so a broken chain repairs bottom-up within one pass.
+  // Paths covered by an incoming transfer marker are *expected* to have
+  // missing ancestors mid-commit (children install before the subtree root);
+  // recreating those would wrongly materialize a partially transferred `to`,
+  // so they are the recovery protocol's to resolve, not I1's.
+  const std::vector<PendingRename> pending = PendingRenames();
+  const auto in_pending_transfer = [&pending](std::string_view path) {
+    for (const PendingRename& p : pending) {
+      if (p.kind == 1 && PathInSubtree(path, p.to)) return true;
+    }
+    return false;
+  };
   std::set<std::string> missing;
   for (const auto& [path, uuid_raw] : dirs) {
+    if (in_pending_transfer(path)) continue;
     std::string p(fs::ParentPath(path));
     while (p != "/" && dirs.find(p) == dirs.end() && missing.insert(p).second) {
       p = std::string(fs::ParentPath(p));

@@ -26,6 +26,7 @@
 #include <set>
 #include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/lock_table.h"
@@ -56,6 +57,10 @@ class DirectoryMetadataServer final : public net::RpcHandler {
     // the watch-table bound (docs/LEASES.md).  lease.lease_ns must match the
     // clients' cache TTL.
     LeaseTable::Options lease;
+    // Server id minted into this shard's directory uuids (the root reserves
+    // 0xffff).  Each DMS shard must use a distinct sid so uuids stay unique
+    // cluster-wide: shard i conventionally runs 0xfffe - i (--shard-id).
+    std::uint32_t sid = 0xfffe;
   };
 
   DirectoryMetadataServer() : DirectoryMetadataServer(Options{}) {}
@@ -94,6 +99,21 @@ class DirectoryMetadataServer final : public net::RpcHandler {
   kv::Kv& mutable_dir_kv() noexcept { return *dirs_; }
   std::size_t DirCount() const { return dirs_->Size(); }
 
+  // One pending cross-shard rename transfer (docs/SHARDING.md), as persisted
+  // in the intent log.  kind 0 = outgoing intent (this shard is the source),
+  // kind 1 = incoming marker (this shard is the destination; `from` is empty
+  // there — the marker only needs `to` and the txid for recovery).
+  struct PendingRename {
+    std::uint8_t kind = 0;
+    std::uint64_t txid = 0;
+    std::string from;
+    std::string to;
+  };
+  // Snapshot of the pending transfers, for the hosting daemon's intent-
+  // resolution GC task and tests.  (fsck reads the same state over the wire
+  // via kDmsScanIntents.)
+  std::vector<PendingRename> PendingRenames() const;
+
  private:
   // Resolve `path` as a directory: exec on every ancestor, `want` bits on
   // the target.  Returns the target's attributes.
@@ -131,6 +151,14 @@ class DirectoryMetadataServer final : public net::RpcHandler {
   net::RpcResponse Utimens(std::string_view payload);
   net::RpcResponse Access(std::string_view payload);
   net::RpcResponse Rename(std::string_view payload);
+  // Cross-shard rename transfer (all run under ns_mu_ exclusive — they move,
+  // install, or delete whole subtrees of path keys).
+  net::RpcResponse RenamePrepare(std::string_view payload);
+  net::RpcResponse RenameCommit(std::string_view payload);
+  net::RpcResponse RenameFinish(std::string_view payload);
+  net::RpcResponse RenameAbort(std::string_view payload);
+  net::RpcResponse AbortIncoming(std::string_view payload);
+  net::RpcResponse ScanIntents(std::string_view payload);
   // fsck / admin surface (tools/loco_fsck).  Scans take an optional
   // [epoch u64] payload: empty reads live state, an epoch serves the pinned
   // snapshot (kNotFound once evicted or released).
@@ -148,6 +176,19 @@ class DirectoryMetadataServer final : public net::RpcHandler {
   // Materialized scan payloads (shared by live scans and SnapshotBegin).
   std::string ScanDirsPayload();
   std::string ScanDirentsPayload();
+  std::string ScanIntentsPayload() const;
+
+  // True when `path` lies inside a subtree locked by a pending outgoing
+  // intent or covered by an incoming transfer marker; mutations there answer
+  // kStale until the transfer resolves.
+  bool LockedForRename(std::string_view path) const;
+  // Persist one intent-log record (kind/txid as in PendingRename) and mirror
+  // it in the in-memory map; Erase drops both.
+  bool PutIntent(std::uint8_t kind, std::uint64_t txid, std::string_view from,
+                 std::string_view to);
+  void EraseIntent(std::uint8_t kind, std::uint64_t txid);
+  // Delete every d-inode at/under `root` plus their uuid-keyed dirent lists.
+  void DeleteSubtree(const std::string& root);
 
   // GC repair primitive: add (or drop) `name` in `dir_path`'s dirent list
   // iff the child d-inode's existence still justifies it, checked inside the
@@ -157,7 +198,18 @@ class DirectoryMetadataServer final : public net::RpcHandler {
 
   std::unique_ptr<kv::Kv> dirs_;     // full path -> 48-byte d-inode
   std::unique_ptr<kv::Kv> dirents_;  // dir uuid -> concatenated subdir names
+  // Cross-shard rename intent log: [kind u8 | txid u64] -> Pack(from, to).
+  // Tiny (one record per in-flight transfer) but durable — recovery after a
+  // crash is driven entirely from this store.
+  std::unique_ptr<kv::Kv> intents_;
   std::atomic<std::uint64_t> next_fid_{2};
+  std::uint32_t sid_ = 0xfffe;
+
+  // In-memory mirror of intents_, keyed by (kind, txid).  Guarded by
+  // rename_mu_ so read paths (LockedForRename, PendingRenames) never touch
+  // the KV store.
+  mutable std::mutex rename_mu_;
+  std::map<std::pair<std::uint8_t, std::uint64_t>, PendingRename> pending_renames_;
 
   // Rename takes this exclusively (it moves path keys under every other
   // handler's feet); all other handlers take it shared.
@@ -175,6 +227,7 @@ class DirectoryMetadataServer final : public net::RpcHandler {
   struct Snapshot {
     std::string dirs;     // kDmsScanDirs reply payload
     std::string dirents;  // kDmsScanDirents reply payload
+    std::string intents;  // kDmsScanIntents reply payload
   };
   std::mutex snap_mu_;  // guards the epoch counter and the snapshot map
   std::uint64_t next_snapshot_epoch_ = 1;

@@ -45,6 +45,7 @@ const char* FsckFindingName(FsckFindingType type) noexcept {
     case FsckFindingType::kDanglingFmsDirent: return "dangling-fms-dirent";
     case FsckFindingType::kDuplicateUuid: return "duplicate-uuid";
     case FsckFindingType::kLeakedObject: return "leaked-object";
+    case FsckFindingType::kRenameIntent: return "rename-intent";
   }
   return "unknown";
 }
@@ -88,6 +89,12 @@ std::string FsckFinding::Describe() const {
       out += " osd" + std::to_string(server) + " object uuid " +
              std::to_string(file_uuid.raw()) + " unreferenced";
       break;
+    case FsckFindingType::kRenameIntent:
+      out += " txid " + std::to_string(txid) + " '" + path + "' -> '" + name +
+             "' (dms" + std::to_string(src_shard) + " -> dms" +
+             std::to_string(dst_shard) + "): " +
+             (roll_forward ? "roll forward" : "roll back");
+      break;
   }
   if (!holders.empty()) {
     out += " [held by client";
@@ -104,10 +111,27 @@ std::string FsckFinding::Describe() const {
 // ---------------------------------------------------------------- snapshot --
 
 struct FsckRunner::Snapshot {
-  // DMS.
+  // DMS (merged across shards; uuids never collide between shards because
+  // each shard allocates from its own sid).
   std::unordered_map<std::string, fs::Uuid> dir_by_path;
   std::unordered_map<std::uint64_t, std::string> path_by_uuid;
-  std::vector<std::pair<fs::Uuid, std::vector<std::string>>> dms_dirents;
+  // Which shard each scanned d-inode lives on ("/" is replicated; the first
+  // scan — shard 0, the canonical root — wins).
+  std::unordered_map<std::string, std::size_t> dir_shard;
+  struct DirentList {
+    std::size_t shard;  // shard the list was scanned from (repairs go there)
+    fs::Uuid uuid;
+    std::vector<std::string> names;
+  };
+  std::vector<DirentList> dms_dirents;
+  // Pending cross-shard rename records (kDmsScanIntents), all shards.
+  struct Intent {
+    std::size_t shard;
+    std::uint8_t kind;  // 0 = outgoing intent, 1 = incoming marker
+    std::uint64_t txid;
+    std::string from, to;
+  };
+  std::vector<Intent> intents;
   // Per FMS (indexed like Config::fms).
   struct FmsState {
     // (dir uuid, name) -> file uuid
@@ -120,7 +144,9 @@ struct FsckRunner::Snapshot {
 };
 
 FsckRunner::FsckRunner(net::Channel& channel, Config config)
-    : channel_(channel), config_(std::move(config)) {}
+    : channel_(channel),
+      config_(std::move(config)),
+      shards_(config_.dms.size()) {}
 
 Result<std::string> FsckRunner::Call(net::NodeId node, std::uint16_t opcode,
                                      std::string payload) {
@@ -157,7 +183,10 @@ Result<FsckRunner::Epochs> FsckRunner::PinSnapshots() {
     if (!fs::Unpack(*r, *out)) return ErrStatus(ErrCode::kCorruption);
     return OkStatus();
   };
-  LOCO_RETURN_IF_ERROR(pin(config_.dms, &epochs.dms));
+  epochs.dms.resize(config_.dms.size());
+  for (std::size_t i = 0; i < config_.dms.size(); ++i) {
+    LOCO_RETURN_IF_ERROR(pin(config_.dms[i], &epochs.dms[i]));
+  }
   epochs.fms.resize(config_.fms.size());
   for (std::size_t i = 0; i < config_.fms.size(); ++i) {
     LOCO_RETURN_IF_ERROR(pin(config_.fms[i], &epochs.fms[i]));
@@ -175,7 +204,9 @@ void FsckRunner::ReleaseSnapshots(const Epochs& epochs) {
   auto release = [&](net::NodeId node, std::uint64_t epoch) {
     if (epoch != 0) (void)Call(node, proto::kCtlSnapshotEnd, fs::Pack(epoch));
   };
-  release(config_.dms, epochs.dms);
+  for (std::size_t i = 0; i < epochs.dms.size(); ++i) {
+    release(config_.dms[i], epochs.dms[i]);
+  }
   for (std::size_t i = 0; i < epochs.fms.size(); ++i) {
     release(config_.fms[i], epochs.fms[i]);
   }
@@ -190,29 +221,54 @@ Result<FsckRunner::Snapshot> FsckRunner::Scan(const Epochs* epochs) {
     return epochs ? fs::Pack(epoch) : std::string{};
   };
 
-  auto dirs = Call(config_.dms, proto::kDmsScanDirs,
-                   payload_for(epochs ? epochs->dms : 0));
-  LOCO_RETURN_IF_ERROR(dirs.status());
   std::vector<std::string> entries;
-  if (!fs::Unpack(*dirs, entries)) return ErrStatus(ErrCode::kCorruption);
-  for (const std::string& entry : entries) {
-    std::string path;
-    fs::Uuid uuid;
-    if (!fs::Unpack(entry, path, uuid)) return ErrStatus(ErrCode::kCorruption);
-    snap.dir_by_path.emplace(path, uuid);
-    snap.path_by_uuid.emplace(uuid.raw(), std::move(path));
-  }
+  for (std::size_t shard = 0; shard < config_.dms.size(); ++shard) {
+    const std::string epoch_payload =
+        payload_for(epochs ? epochs->dms[shard] : 0);
 
-  auto dirents = Call(config_.dms, proto::kDmsScanDirents,
-                      payload_for(epochs ? epochs->dms : 0));
-  LOCO_RETURN_IF_ERROR(dirents.status());
-  entries.clear();
-  if (!fs::Unpack(*dirents, entries)) return ErrStatus(ErrCode::kCorruption);
-  for (const std::string& entry : entries) {
-    fs::Uuid uuid;
-    std::vector<std::string> names;
-    if (!fs::Unpack(entry, uuid, names)) return ErrStatus(ErrCode::kCorruption);
-    snap.dms_dirents.emplace_back(uuid, std::move(names));
+    auto dirs = Call(config_.dms[shard], proto::kDmsScanDirs, epoch_payload);
+    LOCO_RETURN_IF_ERROR(dirs.status());
+    entries.clear();
+    if (!fs::Unpack(*dirs, entries)) return ErrStatus(ErrCode::kCorruption);
+    for (const std::string& entry : entries) {
+      std::string path;
+      fs::Uuid uuid;
+      if (!fs::Unpack(entry, path, uuid)) {
+        return ErrStatus(ErrCode::kCorruption);
+      }
+      snap.dir_shard.emplace(path, shard);
+      snap.dir_by_path.emplace(path, uuid);
+      snap.path_by_uuid.emplace(uuid.raw(), std::move(path));
+    }
+
+    auto dirents =
+        Call(config_.dms[shard], proto::kDmsScanDirents, epoch_payload);
+    LOCO_RETURN_IF_ERROR(dirents.status());
+    entries.clear();
+    if (!fs::Unpack(*dirents, entries)) return ErrStatus(ErrCode::kCorruption);
+    for (const std::string& entry : entries) {
+      fs::Uuid uuid;
+      std::vector<std::string> names;
+      if (!fs::Unpack(entry, uuid, names)) {
+        return ErrStatus(ErrCode::kCorruption);
+      }
+      snap.dms_dirents.push_back({shard, uuid, std::move(names)});
+    }
+
+    auto intents =
+        Call(config_.dms[shard], proto::kDmsScanIntents, epoch_payload);
+    LOCO_RETURN_IF_ERROR(intents.status());
+    entries.clear();
+    if (!fs::Unpack(*intents, entries)) return ErrStatus(ErrCode::kCorruption);
+    for (const std::string& entry : entries) {
+      Snapshot::Intent in;
+      in.shard = shard;
+      if (!fs::Unpack(entry, in.kind, in.txid, in.from, in.to)) {
+        return ErrStatus(ErrCode::kCorruption);
+      }
+      if (in.kind > 1) continue;  // kind 2 = tombstone, permanent by design
+      snap.intents.push_back(std::move(in));
+    }
   }
 
   snap.fms.resize(config_.fms.size());
@@ -269,6 +325,55 @@ Result<FsckRunner::Snapshot> FsckRunner::Scan(const Epochs* epochs) {
 std::vector<FsckFinding> FsckRunner::Analyze(const Snapshot& snap) const {
   std::vector<FsckFinding> findings;
 
+  // I10 first, alone: a pending cross-shard transfer makes the moved subtree
+  // look damaged to every other DMS invariant (paths present on two shards,
+  // dirents with no child, ...), so intent findings are resolved before any
+  // other check is trusted — this pass reports only them and the multi-pass
+  // loop re-scans once they are gone.
+  if (!snap.intents.empty()) {
+    // Pair each txid's outgoing intent with its incoming marker.
+    std::map<std::uint64_t, FsckFinding> by_txid;
+    for (const Snapshot::Intent& in : snap.intents) {
+      FsckFinding& f = by_txid[in.txid];
+      f.type = FsckFindingType::kRenameIntent;
+      f.txid = in.txid;
+      if (in.kind == 0) {
+        f.has_intent = true;
+        f.src_shard = in.shard;
+        f.path = in.from;
+        f.name = in.to;
+      } else {
+        f.has_marker = true;
+        f.dst_shard = in.shard;
+        if (f.name.empty()) f.name = in.to;
+      }
+    }
+    for (auto& [txid, f] : by_txid) {
+      if (!f.has_marker) f.dst_shard = DmsShardOf(f.name);
+      if (!f.has_intent) f.src_shard = f.path.empty() ? 0 : DmsShardOf(f.path);
+      // Commit-point rule: the destination root's presence on the
+      // destination shard decides the direction.  The uuid must match the
+      // still-present source root (when the source has it) — a foreign
+      // directory at `to` means our transfer never landed there.
+      const auto to_it = snap.dir_by_path.find(f.name);
+      const auto to_shard = snap.dir_shard.find(f.name);
+      bool dst_present = to_it != snap.dir_by_path.end() &&
+                         to_shard != snap.dir_shard.end() &&
+                         to_shard->second == f.dst_shard;
+      if (dst_present && f.has_intent) {
+        const auto from_it = snap.dir_by_path.find(f.path);
+        if (from_it != snap.dir_by_path.end() &&
+            from_it->second != to_it->second) {
+          dst_present = false;  // foreign occupant, not our subtree
+        }
+      }
+      f.roll_forward = dst_present;
+      f.server = f.src_shard;
+      findings.push_back(std::move(f));
+    }
+    return findings;
+  }
+
   // I1: every directory except the root has a live parent.  Sort missing
   // parents shallowest-first so the Mkdir repairs apply top-down.
   std::set<std::string> missing_parents;
@@ -285,20 +390,22 @@ std::vector<FsckFinding> FsckRunner::Analyze(const Snapshot& snap) const {
   }
 
   // I2 / I3: DMS dirent lists point only at live children and are keyed by
-  // live directories.
-  for (const auto& [uuid, names] : snap.dms_dirents) {
-    auto it = snap.path_by_uuid.find(uuid.raw());
+  // live directories.  Repairs are routed to the shard the list lives on.
+  for (const auto& list : snap.dms_dirents) {
+    auto it = snap.path_by_uuid.find(list.uuid.raw());
     if (it == snap.path_by_uuid.end()) {
       FsckFinding f;
       f.type = FsckFindingType::kDeadDirentList;
-      f.dir_uuid = uuid;
+      f.server = list.shard;
+      f.dir_uuid = list.uuid;
       findings.push_back(std::move(f));
       continue;
     }
-    for (const std::string& name : names) {
+    for (const std::string& name : list.names) {
       if (!snap.dir_by_path.count(fs::JoinPath(it->second, name))) {
         FsckFinding f;
         f.type = FsckFindingType::kDanglingDmsDirent;
+        f.server = list.shard;
         f.path = it->second;
         f.name = name;
         findings.push_back(std::move(f));
@@ -306,12 +413,14 @@ std::vector<FsckFinding> FsckRunner::Analyze(const Snapshot& snap) const {
     }
   }
 
-  // I4: every directory is listed in its parent's dirent list.
+  // I4: every directory is listed in its parent's dirent list.  The root's
+  // list is partitioned: each shard holds the slice naming its own
+  // subtrees, so the per-uuid union below is the full membership view.
   std::unordered_map<std::uint64_t, std::unordered_set<std::string>>
       dirents_by_uuid;
-  for (const auto& [uuid, names] : snap.dms_dirents) {
-    auto& set = dirents_by_uuid[uuid.raw()];
-    for (const std::string& name : names) set.insert(name);
+  for (const auto& list : snap.dms_dirents) {
+    auto& set = dirents_by_uuid[list.uuid.raw()];
+    for (const std::string& name : list.names) set.insert(name);
   }
   for (const auto& [path, uuid] : snap.dir_by_path) {
     if (path == "/") continue;
@@ -323,6 +432,9 @@ std::vector<FsckFinding> FsckRunner::Analyze(const Snapshot& snap) const {
     if (lit == dirents_by_uuid.end() || !lit->second.count(name)) {
       FsckFinding f;
       f.type = FsckFindingType::kOrphanDir;
+      // The re-added name belongs on the child's shard: that shard holds
+      // the parent's dirent slice naming this subtree.
+      f.server = DmsShardOf(path);
       f.path = parent;
       f.name = name;
       findings.push_back(std::move(f));
@@ -449,7 +561,7 @@ Result<std::uint64_t> FsckRunner::Repair(
         // Recreate the lost directory so its children become reachable
         // again.  kExists is fine (an earlier repair in this pass may have
         // created it); a missing grandparent resolves on the next pass.
-        auto r = Call(config_.dms, proto::kDmsMkdir,
+        auto r = Call(config_.dms[DmsShardOf(f.path)], proto::kDmsMkdir,
                       fs::Pack(f.path, std::uint32_t{0755}, root,
                                std::uint64_t{0}));
         if (!r.ok() && r.code() != ErrCode::kExists &&
@@ -460,20 +572,21 @@ Result<std::uint64_t> FsckRunner::Repair(
         break;
       }
       case FsckFindingType::kDanglingDmsDirent: {
-        auto r = Call(config_.dms, proto::kDmsRepairDirent,
+        auto r = Call(config_.dms[f.server], proto::kDmsRepairDirent,
                       fs::Pack(f.path, f.name, std::uint8_t{0}));
         LOCO_RETURN_IF_ERROR(r.status());
         ++applied;
         break;
       }
       case FsckFindingType::kDeadDirentList: {
-        auto r = Call(config_.dms, proto::kDmsDropDirents, fs::Pack(f.dir_uuid));
+        auto r = Call(config_.dms[f.server], proto::kDmsDropDirents,
+                      fs::Pack(f.dir_uuid));
         LOCO_RETURN_IF_ERROR(r.status());
         ++applied;
         break;
       }
       case FsckFindingType::kOrphanDir: {
-        auto r = Call(config_.dms, proto::kDmsRepairDirent,
+        auto r = Call(config_.dms[f.server], proto::kDmsRepairDirent,
                       fs::Pack(f.path, f.name, std::uint8_t{1}));
         LOCO_RETURN_IF_ERROR(r.status());
         ++applied;
@@ -521,6 +634,39 @@ Result<std::uint64_t> FsckRunner::Repair(
                       fs::Pack(f.file_uuid));
         LOCO_RETURN_IF_ERROR(r.status());
         ++applied;
+        break;
+      }
+      case FsckFindingType::kRenameIntent: {
+        // Resolve by the commit-point rule Analyze computed.  Forward: drop
+        // the lingering marker, then Finish the source (deletes its copy).
+        // Back: fence the destination FIRST (its tombstone blocks a commit
+        // still queued anywhere), purge any partial install, then abort the
+        // source — the same ordering the client uses.
+        if (f.roll_forward) {
+          if (f.has_marker) {
+            auto r = Call(config_.dms[f.dst_shard], proto::kDmsAbortIncoming,
+                          fs::Pack(f.txid, std::uint8_t{0}));
+            LOCO_RETURN_IF_ERROR(r.status());
+            ++applied;
+          }
+          if (f.has_intent) {
+            auto r = Call(config_.dms[f.src_shard], proto::kDmsRenameFinish,
+                          fs::Pack(f.txid));
+            LOCO_RETURN_IF_ERROR(r.status());
+            ++applied;
+          }
+        } else {
+          auto fence = Call(config_.dms[f.dst_shard], proto::kDmsAbortIncoming,
+                            fs::Pack(f.txid, std::uint8_t{1}));
+          LOCO_RETURN_IF_ERROR(fence.status());
+          ++applied;
+          if (f.has_intent) {
+            auto r = Call(config_.dms[f.src_shard], proto::kDmsRenameAbort,
+                          fs::Pack(f.txid));
+            LOCO_RETURN_IF_ERROR(r.status());
+            ++applied;
+          }
+        }
         break;
       }
     }
@@ -591,7 +737,7 @@ namespace {
 std::string FindingKey(const FsckFinding& f) {
   return fs::Pack(static_cast<std::uint8_t>(f.type),
                   static_cast<std::uint64_t>(f.server), f.path, f.name,
-                  f.dir_uuid, f.file_uuid);
+                  f.dir_uuid, f.file_uuid, f.txid);
 }
 
 }  // namespace

@@ -30,6 +30,13 @@
 //            surviving inode references them)
 //   I9  every object-store uuid is referenced by some file inode
 //         -> purge the leaked object's blocks
+//   I10 no DMS shard holds a pending cross-shard rename intent or marker
+//         -> resolve the transfer by its commit point (docs/SHARDING.md):
+//            destination root present = roll forward (Finish the source,
+//            drop the marker), absent = roll back (fence + purge the
+//            destination first, then abort the source).  I10 findings are
+//            resolved before any other invariant is trusted — a transfer in
+//            flight makes the subtree look damaged to I1-I4.
 //
 // Repairs can cascade (purging a duplicate may orphan a dirent entry), so a
 // repairing run iterates scan→repair until a scan is clean, up to a bounded
@@ -52,6 +59,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/shard.h"
 #include "fs/types.h"
 #include "net/rpc.h"
 
@@ -67,6 +75,7 @@ enum class FsckFindingType : std::uint8_t {
   kDanglingFmsDirent, // I7: FMS dirent name without a file inode
   kDuplicateUuid,     // I8: same file uuid at more than one FMS key
   kLeakedObject,      // I9: object data no file inode references
+  kRenameIntent,      // I10: pending cross-shard rename transfer
 };
 
 const char* FsckFindingName(FsckFindingType type) noexcept;
@@ -74,12 +83,22 @@ const char* FsckFindingName(FsckFindingType type) noexcept;
 struct FsckFinding {
   FsckFindingType type;
   // Repair coordinates: which server (index into Config::fms /
-  // Config::object_stores; unused for DMS findings) and which key.
+  // Config::object_stores; for DMS dirent findings, the shard the scanned
+  // list lives on) and which key.
   std::size_t server = 0;
-  std::string path;       // DMS findings: directory path
-  std::string name;       // dirent / file name
+  std::string path;       // DMS findings: directory path (I10: `from`)
+  std::string name;       // dirent / file name (I10: `to`)
   fs::Uuid dir_uuid{0};   // FMS findings: parent directory uuid
   fs::Uuid file_uuid{0};  // file / object uuid
+  // I10 (kRenameIntent) coordinates: the transfer's txid, the shards on each
+  // side, which durable records were seen, and the resolution direction the
+  // commit-point rule picked.
+  std::uint64_t txid = 0;
+  std::size_t src_shard = 0;
+  std::size_t dst_shard = 0;
+  bool has_intent = false;   // outgoing intent seen on src_shard
+  bool has_marker = false;   // incoming marker seen on dst_shard
+  bool roll_forward = false;
   // Live mode: client ids holding an open session on this (dir, name) — who
   // pins the file a repair would touch.  Empty for offline runs and for
   // findings no session covers.
@@ -99,7 +118,9 @@ struct FsckReport {
 class FsckRunner {
  public:
   struct Config {
-    net::NodeId dms = 0;
+    // DMS shard set in shard order (must match the clients' ordering —
+    // placement is positional; docs/SHARDING.md).
+    std::vector<net::NodeId> dms = {0};
     std::vector<net::NodeId> fms;
     std::vector<net::NodeId> object_stores;
   };
@@ -119,7 +140,7 @@ class FsckRunner {
   struct Snapshot;
   // Pinned snapshot epochs, one per server (parallel to Config's vectors).
   struct Epochs {
-    std::uint64_t dms = 0;
+    std::vector<std::uint64_t> dms;
     std::vector<std::uint64_t> fms;
     std::vector<std::uint64_t> object_stores;
   };
@@ -143,9 +164,15 @@ class FsckRunner {
   net::NodeId ObjFor(fs::Uuid uuid) const {
     return config_.object_stores[uuid.raw() % config_.object_stores.size()];
   }
+  // Owning shard for a directory path (same positional placement as
+  // LocoClient::DmsFor).
+  std::size_t DmsShardOf(std::string_view path) const {
+    return shards_.ShardOf(path);
+  }
 
   net::Channel& channel_;
   Config config_;
+  ShardMap shards_;
 };
 
 }  // namespace loco::core

@@ -50,6 +50,36 @@ enum DmsOp : std::uint16_t {
   // response sub-op = []
   kDmsBatchMkdir = 11,
 
+  // -- cross-shard rename: two-phase commit over a persisted intent log
+  //    (docs/SHARDING.md).  The client (or a recovery agent) drives:
+  //    Prepare on the source shard, Commit on the destination shard, Finish
+  //    back on the source.  Every step is idempotent and keyed by a client-
+  //    minted transaction id, so crashed transfers are resolved by fsck/GC
+  //    from the persisted intents alone. --
+  // Validate the rename on the source shard, persist an outgoing intent
+  // record, lock the subtree against other mutations, and return the packed
+  // subtree: one entry per d-inode, Pack(rel_path, dinode_raw, dirent_raw)
+  // where rel_path is "" for the subtree root and "name" / "name/sub" below
+  // it.  [from, to, txid u64, Identity] -> [entries]
+  kDmsRenamePrepare = 12,
+  // Install the transferred subtree under `to` on the destination shard.
+  // Persists an incoming marker first, installs children, installs the
+  // subtree root *last* (so "root of `to` exists" is the durable commit
+  // point), appends `to` to its parent's dirent list, then drops the marker.
+  // [txid u64, to, Identity, entries] -> []
+  kDmsRenameCommit = 13,
+  // Source-side cleanup after a successful commit: delete the moved subtree
+  // and the source parent dirent entry, drop the intent.  Unknown txid ->
+  // kOk (a retry after completion).  [txid u64] -> []
+  kDmsRenameFinish = 14,
+  // Source-side rollback before commit: drop the intent and release the
+  // subtree lock, leaving the source subtree untouched.  [txid u64] -> []
+  kDmsRenameAbort = 15,
+  // Destination-side rollback: drop the incoming marker; purge=1 also
+  // deletes any partially installed d-inodes under the marker's `to` path.
+  // [txid u64, purge u8] -> []
+  kDmsAbortIncoming = 16,
+
   // -- fsck / admin (loco_fsck; unauthenticated, run against a quiesced
   //    cluster like any offline consistency checker) --
   // [] -> [entries] ; entry = Pack(path, uuid) for every d-inode
@@ -75,6 +105,14 @@ enum DmsOp : std::uint16_t {
   // is one byte per entry, '\1' if a directory with that uuid exists.
   // [entries] -> [bitmap]
   kDmsCheckUuids = 25,
+
+  // Dump this shard's pending rename-transfer state for fsck/GC recovery.
+  // Optional [epoch u64] payload reads a pinned snapshot (kCtlSnapshotBegin)
+  // like the other scan opcodes.  [] or [epoch u64] -> [entries] where
+  // entry = Pack(kind u8, txid u64, from, to); kind 0 = outgoing intent
+  // (this shard is the rename source), kind 1 = incoming marker (this shard
+  // is the destination and the transfer may be partially installed).
+  kDmsScanIntents = 26,
 };
 
 // ------------------------------ FMS (File Metadata Server) -----------------
@@ -220,6 +258,8 @@ inline std::vector<std::uint16_t> IdempotentReplayOps() {
   return {kDmsMkdir,   kDmsRmdir,     kDmsChmod,    kDmsChown,
           kDmsUtimens, kDmsRename,    kDmsRepairDirent, kDmsDropDirents,
           kDmsBatchMkdir,
+          kDmsRenamePrepare, kDmsRenameCommit, kDmsRenameFinish,
+          kDmsRenameAbort, kDmsAbortIncoming,
           kFmsCreate,  kFmsRemove,    kFmsChmod,    kFmsChown,
           kFmsUtimens, kFmsSetSize,   kFmsSetAtime, kFmsInsertRaw,
           kFmsRepairDirent, kFmsPurgeFile, kFmsBatchCreate, kFmsBatchSetSize,

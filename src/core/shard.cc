@@ -1,0 +1,32 @@
+#include "core/shard.h"
+
+namespace loco::core {
+
+std::string_view ShardKey(std::string_view path) noexcept {
+  if (path.size() <= 1) return path;  // "/"
+  const std::size_t slash = path.find('/', 1);
+  return slash == std::string_view::npos ? path : path.substr(0, slash);
+}
+
+namespace {
+
+std::vector<net::NodeId> ShardIndices(std::size_t shards) {
+  std::vector<net::NodeId> ids;
+  ids.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    ids.push_back(static_cast<net::NodeId>(i));
+  }
+  return ids;
+}
+
+}  // namespace
+
+ShardMap::ShardMap(std::size_t shards)
+    : shards_(shards == 0 ? 1 : shards), ring_(ShardIndices(shards_)) {}
+
+std::size_t ShardMap::ShardOf(std::string_view path) const noexcept {
+  if (shards_ == 1 || path.size() <= 1) return 0;
+  return static_cast<std::size_t>(ring_.Locate(ShardKey(path)));
+}
+
+}  // namespace loco::core

@@ -1,0 +1,49 @@
+// Directory-shard placement: which DMS shard owns a directory path.
+//
+// LocoFS partitions the directory namespace by *top-level subtree*: every
+// path under "/a" lives on the shard that owns "/a", chosen by consistent
+// hashing over the first path component.  The root "/" itself is replicated
+// on every shard (each shard seeds its own root d-inode so local ancestor
+// walks always terminate); shard 0 is the canonical owner of the root's
+// attributes.
+//
+// Subtree placement keeps every parent/child pair except (root, top-level
+// dir) on one shard, so Mkdir/Rmdir/Lookup permission walks stay local and
+// only a rename that moves a subtree *across top-level directories* needs
+// the cross-shard two-phase protocol (docs/SHARDING.md).
+//
+// The map is deterministic from the ordered shard count alone — clients,
+// daemons, fsck, and benches all compute identical placement without any
+// coordination, exactly like the FMS `HashRing` placement it mirrors.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "core/ring.h"
+
+namespace loco::core {
+
+// Placement key for a path: the top-level component as "/name" ("/a/b/c" ->
+// "/a"); the root maps to itself.
+std::string_view ShardKey(std::string_view path) noexcept;
+
+class ShardMap {
+ public:
+  // `shards` is the number of DMS shards in the ordered shard set (>= 1).
+  explicit ShardMap(std::size_t shards);
+
+  // Index of the shard owning `path`.  The root is pinned to shard 0 (its
+  // canonical owner); everything else hashes its top-level component over a
+  // consistent ring of shard indices.
+  std::size_t ShardOf(std::string_view path) const noexcept;
+
+  std::size_t size() const noexcept { return shards_; }
+
+ private:
+  std::size_t shards_;
+  HashRing ring_;  // NodeId doubles as the shard index here
+};
+
+}  // namespace loco::core

@@ -48,6 +48,19 @@ class FileSystemClient {
   virtual net::Task<Status> Chown(std::string path, std::uint32_t uid,
                                   std::uint32_t gid) = 0;
   virtual net::Task<Status> Access(std::string path, std::uint32_t want) = 0;
+  // Typed attribute fast paths, mirroring StatFile/StatDir: the caller
+  // already knows the target is a file, letting implementations skip the
+  // file-vs-directory fallback probe.  Defaults delegate to the generic op.
+  virtual net::Task<Status> ChmodFile(std::string path, std::uint32_t mode) {
+    co_return co_await Chmod(std::move(path), mode);
+  }
+  virtual net::Task<Status> ChownFile(std::string path, std::uint32_t uid,
+                                      std::uint32_t gid) {
+    co_return co_await Chown(std::move(path), uid, gid);
+  }
+  virtual net::Task<Status> AccessFile(std::string path, std::uint32_t want) {
+    co_return co_await Access(std::move(path), want);
+  }
   virtual net::Task<Status> Utimens(std::string path, std::uint64_t mtime,
                                     std::uint64_t atime) = 0;
   virtual net::Task<Status> Truncate(std::string path, std::uint64_t size) = 0;

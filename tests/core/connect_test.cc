@@ -18,7 +18,7 @@ TEST(ConnectSpecTest, ParsesRolesInAnyOrder) {
       "fms=127.0.0.1:9001,osd=127.0.0.1:9100,dms=127.0.0.1:9000,"
       "fms=127.0.0.1:9002");
   ASSERT_TRUE(opts.ok()) << opts.status().ToString();
-  EXPECT_EQ(opts->dms, "127.0.0.1:9000");
+  EXPECT_EQ(opts->dms, (std::vector<std::string>{"127.0.0.1:9000"}));
   ASSERT_EQ(opts->fms.size(), 2u);
   EXPECT_EQ(opts->fms[0], "127.0.0.1:9001");
   EXPECT_EQ(opts->fms[1], "127.0.0.1:9002");
@@ -38,9 +38,6 @@ TEST(ConnectSpecTest, RejectsMalformedSpecs) {
             ErrCode::kInvalid);
   EXPECT_EQ(ClientOptions::FromSpec("fms=h:2,osd=h:3").code(),
             ErrCode::kInvalid);
-  // Duplicate dms.
-  EXPECT_EQ(ClientOptions::FromSpec("dms=h:1,dms=h:2,fms=h:3,osd=h:4").code(),
-            ErrCode::kInvalid);
   // Bad role / bad address / missing '='.
   EXPECT_EQ(ClientOptions::FromSpec("dms=h:1,fms=h:2,osd=h:3,mds=h:4").code(),
             ErrCode::kInvalid);
@@ -48,6 +45,15 @@ TEST(ConnectSpecTest, RejectsMalformedSpecs) {
             ErrCode::kInvalid);
   EXPECT_EQ(ClientOptions::FromSpec("dms,fms=h:2,osd=h:3").code(),
             ErrCode::kInvalid);
+}
+
+TEST(ConnectSpecTest, RepeatedDmsEntriesAreShardsInSpecOrder) {
+  auto opts = ClientOptions::FromSpec(
+      "dms=127.0.0.1:9000,fms=127.0.0.1:9001,dms=127.0.0.1:9010,"
+      "osd=127.0.0.1:9100");
+  ASSERT_TRUE(opts.ok()) << opts.status().ToString();
+  EXPECT_EQ(opts->dms,
+            (std::vector<std::string>{"127.0.0.1:9000", "127.0.0.1:9010"}));
 }
 
 TEST(ConnectSpecTest, FluentKnobsChain) {
@@ -70,13 +76,13 @@ TEST(ConnectTest, AssignsStableNodeIdsAndHonoursFeatureKnobs) {
   opts->WithNotify(false).WithResilience(false);
   auto mount = Connect(*opts);
   ASSERT_TRUE(mount.ok()) << mount.status().ToString();
-  EXPECT_EQ(mount->config.dms, 0u);
+  EXPECT_EQ(mount->config.dms, (std::vector<net::NodeId>{0}));
   EXPECT_EQ(mount->config.fms, (std::vector<net::NodeId>{1, 2}));
   EXPECT_EQ(mount->config.object_stores,
             (std::vector<net::NodeId>{1000, 1001}));
   ASSERT_NE(mount->channel, nullptr);
   EXPECT_EQ(mount->resilient, nullptr);
-  EXPECT_EQ(mount->listener, nullptr);
+  EXPECT_TRUE(mount->listeners.empty());
   EXPECT_EQ(mount->fanout, nullptr);
   EXPECT_NE(mount->client_id, 0u);
   // rpc() is the bare channel when resilience is off.
@@ -85,6 +91,19 @@ TEST(ConnectTest, AssignsStableNodeIdsAndHonoursFeatureKnobs) {
   // rather than hanging (covered by the TCP e2e suite).
   auto client = mount->MakeClient([] { return std::uint64_t{1}; });
   EXPECT_NE(client, nullptr);
+}
+
+TEST(ConnectTest, DmsShardsGetStableNodeIds) {
+  // Shard 0 keeps the historic node id 0; later shards are 900+i, so a
+  // single-shard spec stays wire-compatible with old deployments.
+  auto opts = ClientOptions::FromSpec(
+      "dms=127.0.0.1:9000,dms=127.0.0.1:9010,dms=127.0.0.1:9020,"
+      "fms=127.0.0.1:9001,osd=127.0.0.1:9100");
+  ASSERT_TRUE(opts.ok());
+  opts->WithNotify(false).WithResilience(false);
+  auto mount = Connect(*opts);
+  ASSERT_TRUE(mount.ok()) << mount.status().ToString();
+  EXPECT_EQ(mount->config.dms, (std::vector<net::NodeId>{0, 901, 902}));
 }
 
 TEST(ConnectTest, DistinctMountsGetDistinctClientIds) {
@@ -108,12 +127,14 @@ TEST(ConnectTest, NotifyMountWiresListenerAndFanout) {
   dms.SetNotifier(&server);
 
   ClientOptions opts;
-  opts.dms = server.host() + ":" + std::to_string(server.port());
-  opts.fms = {opts.dms};  // never called in this test
-  opts.object_stores = {opts.dms};
+  const std::string addr =
+      server.host() + ":" + std::to_string(server.port());
+  opts.dms = {addr};
+  opts.fms = {addr};  // never called in this test
+  opts.object_stores = {addr};
   auto mount = Connect(opts);
   ASSERT_TRUE(mount.ok()) << mount.status().ToString();
-  ASSERT_NE(mount->listener, nullptr);
+  ASSERT_EQ(mount->listeners.size(), 1u);
   ASSERT_NE(mount->fanout, nullptr);
   ASSERT_NE(mount->resilient, nullptr);
   EXPECT_EQ(&mount->rpc(),
@@ -123,7 +144,7 @@ TEST(ConnectTest, NotifyMountWiresListenerAndFanout) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   EXPECT_EQ(server.notify_sessions(), 1u);
-  EXPECT_FALSE(mount->listener->degraded());
+  EXPECT_FALSE(mount->listeners[0]->degraded());
 }
 
 }  // namespace

@@ -33,7 +33,7 @@ struct FsckFixture {
   FsckFixture() {
     transport.Register(kDms, &dms);
     LocoClient::Config cfg;
-    cfg.dms = kDms;
+    cfg.dms = {kDms};
     for (int i = 0; i < 2; ++i) {
       FileMetadataServer::Options fo;
       fo.sid = static_cast<std::uint32_t>(i + 1);

@@ -210,7 +210,7 @@ struct DmsGcFixture {
     fms = std::make_unique<FileMetadataServer>(fo);
     transport.Register(1, fms.get());
     LocoClient::Config cfg;
-    cfg.dms = 0;
+    cfg.dms = {0};
     cfg.fms = {1};
     cfg.cache_enabled = false;
     cfg.now = [this] { return ++clock; };
@@ -361,7 +361,7 @@ struct FmsGcFixture {
     transport.Register(1, fms.get());
     transport.Register(1000, &osd);
     LocoClient::Config cfg;
-    cfg.dms = 0;
+    cfg.dms = {0};
     cfg.fms = {1};
     cfg.object_stores = {1000};
     cfg.cache_enabled = false;

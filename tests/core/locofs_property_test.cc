@@ -28,7 +28,7 @@ class LocoFsPropertyTest : public ::testing::TestWithParam<Param> {
   void SetUp() override {
     transport_.Register(0, &dms_);
     LocoClient::Config cfg;
-    cfg.dms = 0;
+    cfg.dms = {0};
     for (int i = 0; i < 4; ++i) {
       FileMetadataServer::Options fo;
       fo.sid = static_cast<std::uint32_t>(i + 1);

@@ -27,7 +27,7 @@ struct LocoFixture {
   explicit LocoFixture(int n_fms = 4, bool cache = true, bool decoupled = true) {
     transport.Register(kDms, &dms);
     LocoClient::Config cfg;
-    cfg.dms = kDms;
+    cfg.dms = {kDms};
     for (int i = 0; i < n_fms; ++i) {
       FileMetadataServer::Options fo;
       fo.sid = static_cast<std::uint32_t>(i + 1);

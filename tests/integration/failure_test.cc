@@ -26,7 +26,7 @@ TEST(FailureTest, UnreachableFmsYieldsUnavailable) {
   transport.Register(1, &fms);
 
   LocoClient::Config cfg;
-  cfg.dms = 0;
+  cfg.dms = {0};
   cfg.fms = {1, 2};  // node 2 was never registered (dead server)
   cfg.object_stores = {100};
   std::uint64_t clock = 1;
@@ -66,7 +66,7 @@ TEST(FailureTest, UnreachableDmsFailsDirectoryOps) {
   transport.Register(1, &fms);
 
   LocoClient::Config cfg;
-  cfg.dms = 0;  // never registered
+  cfg.dms = {0};  // never registered
   cfg.fms = {1};
   cfg.object_stores = {100};
   cfg.now = [] { return std::uint64_t{1}; };

@@ -38,7 +38,7 @@ struct Cluster {
 
   std::unique_ptr<LocoClient> NewClient(bool cache = true) {
     LocoClient::Config cfg;
-    cfg.dms = 0;
+    cfg.dms = {0};
     cfg.fms = fms_nodes;
     cfg.object_stores = {100};
     cfg.cache_enabled = cache;

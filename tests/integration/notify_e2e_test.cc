@@ -69,7 +69,7 @@ class NotifyClusterTest : public ::testing::Test {
 
   core::ClientOptions BaseOptions() const {
     core::ClientOptions options;
-    options.dms = HostPort(*dms_server_);
+    options.dms = {HostPort(*dms_server_)};
     options.fms.push_back(HostPort(*fms_server_));
     options.object_stores.push_back(HostPort(*osd_server_));
     options.channel.connect_attempts = 1;
@@ -179,7 +179,7 @@ TEST_F(NotifyClusterTest, SeveredStreamFallsBackToLeaseTimeout) {
   ASSERT_TRUE(net::RunInline(a.client->Create("/d/f1", 0644)).ok());
 
   // Sever A's push stream (the server-side session goes with it).
-  a.mount.listener->Stop();
+  a.mount.listeners[0]->Stop();
   ASSERT_TRUE(Await([&] { return dms_server_->notify_sessions() == 1; }));
 
   auto& registry = common::MetricsRegistry::Default();

@@ -47,7 +47,7 @@ class PersistenceTest : public ::testing::Test {
     stack->transport.Register(0, stack->dms.get());
 
     LocoClient::Config cfg;
-    cfg.dms = 0;
+    cfg.dms = {0};
     for (int i = 0; i < n_fms; ++i) {
       FileMetadataServer::Options fopt;
       fopt.sid = static_cast<std::uint32_t>(i + 1);

@@ -48,7 +48,7 @@ class TcpClusterTest : public ::testing::Test {
     ASSERT_TRUE(osd_server_->Start().ok());
 
     core::ClientOptions options;
-    options.dms = HostPort(*dms_server_);
+    options.dms = {HostPort(*dms_server_)};
     for (const auto& s : fms_servers_) options.fms.push_back(HostPort(*s));
     options.object_stores.push_back(HostPort(*osd_server_));
 
